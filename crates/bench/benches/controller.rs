@@ -1,0 +1,57 @@
+//! The per-round cost of the whole control loop — the paper's claim that
+//! "calculating the blocking rate is cheap, which means that we are not
+//! harming performance while trying to improve it", measured end to end:
+//! observe samples, decay, (optionally cluster,) rebuild functions, solve.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_core::controller::{BalancerConfig, ClusteringConfig, LoadBalancer};
+use streambal_core::rate::ConnectionSample;
+
+fn warmed_balancer(n: usize, clustered: bool) -> LoadBalancer {
+    let mut b = BalancerConfig::builder(n);
+    if clustered {
+        b.clustering(ClusteringConfig::default());
+    }
+    let mut lb = LoadBalancer::new(b.build().unwrap());
+    // Accumulate realistic history: 100 rounds of rotating observations.
+    for round in 0..100u64 {
+        let conn = (round as usize * 7) % n;
+        lb.observe(&[ConnectionSample::new(conn, 0.1 + (round % 9) as f64 * 0.1)]);
+        lb.rebalance();
+    }
+    lb
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_round");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, &n| {
+            let mut lb = warmed_balancer(n, false);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let conn = (round as usize * 13) % n;
+                lb.observe(&[ConnectionSample::new(conn, 0.42)]);
+                black_box(lb.rebalance().units()[0])
+            })
+        });
+    }
+    for &n in &[32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("clustered", n), &n, |b, &n| {
+            let mut lb = warmed_balancer(n, true);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let conn = (round as usize * 13) % n;
+                lb.observe(&[ConnectionSample::new(conn, 0.42)]);
+                black_box(lb.rebalance().units()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The per-round cost of the model: fold a sample in, rebuild the
+//! prediction (smooth -> monotone regression -> interpolation), decay.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_core::function::BlockingRateFunction;
+
+fn populated_function(points: usize) -> BlockingRateFunction {
+    let mut f = BlockingRateFunction::new(1000, 0.5);
+    for i in 0..points {
+        let w = 1 + (i * 997) % 1000;
+        f.observe(w as u32, (i % 13) as f64 * 0.05);
+    }
+    f
+}
+
+fn bench_function(c: &mut Criterion) {
+    let mut group = c.benchmark_group("function");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for points in [4usize, 32, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("observe_and_predict", points),
+            &points,
+            |b, &points| {
+                let mut f = populated_function(points);
+                let mut w = 1u32;
+                b.iter(|| {
+                    w = w % 1000 + 1;
+                    f.observe(w, 0.25);
+                    black_box(f.predicted().len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decay_and_predict", points),
+            &points,
+            |b, &points| {
+                let mut f = populated_function(points);
+                b.iter(|| {
+                    f.decay_above(500, 0.9);
+                    black_box(f.predicted()[750])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_function);
+criterion_main!(benches);

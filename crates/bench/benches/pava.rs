@@ -1,0 +1,31 @@
+//! Monotone-regression (PAVA) throughput at the sizes the controller uses.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_core::pava::isotonic_non_decreasing;
+
+fn noisy_series(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let base = i as f64 * 0.01;
+            let noise = ((i * 2_654_435_761) % 997) as f64 / 997.0 - 0.5;
+            base + noise
+        })
+        .collect()
+}
+
+fn bench_pava(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pava");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for len in [8usize, 64, 1001] {
+        let y = noisy_series(len);
+        let w = vec![1.0; len];
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| isotonic_non_decreasing(black_box(&y), black_box(&w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pava);
+criterion_main!(benches);

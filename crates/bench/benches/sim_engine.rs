@@ -1,0 +1,32 @@
+//! Raw discrete-event engine throughput (simulated tuples per wall second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streambal_sim::config::{RegionConfig, StopCondition};
+use streambal_sim::policy::RoundRobinPolicy;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for n in [2usize, 16, 64] {
+        let tuples = 50_000u64;
+        let cfg = RegionConfig::builder(n)
+            .base_cost(1_000)
+            .mult_ns(200.0)
+            .stop(StopCondition::Tuples(tuples))
+            .build()
+            .unwrap();
+        group.throughput(Throughput::Elements(tuples));
+        group.bench_with_input(BenchmarkId::new("tuples", n), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut p = RoundRobinPolicy::new();
+                streambal_sim::run(cfg, &mut p).unwrap().delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

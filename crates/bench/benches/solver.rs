@@ -1,0 +1,61 @@
+//! Solver ablation: Fox greedy vs. threshold bisection vs. brute force.
+//!
+//! The paper picks Fox's greedy scheme over the asymptotically faster
+//! alternatives it cites because N and R are modest; this bench quantifies
+//! that choice.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_core::solver::{bisect, brute, fox, galil_megiddo, Problem};
+
+/// Deterministic pseudo-random monotone function over `0..=r`.
+fn monotone_function(r: u32, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut f = Vec::with_capacity(r as usize + 1);
+    let mut acc = 0.0;
+    f.push(0.0);
+    for _ in 0..r {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        acc += (state % 1000) as f64 / 1e6;
+        f.push(acc);
+    }
+    f
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, r) in &[(4usize, 1000u32), (16, 1000), (64, 1000), (16, 100)] {
+        let funcs: Vec<Vec<f64>> = (0..n).map(|j| monotone_function(r, j as u64)).collect();
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let problem = Problem::new(slices, r).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("fox", format!("n{n}_r{r}")),
+            &problem,
+            |b, p| b.iter(|| fox::solve(black_box(p)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bisect", format!("n{n}_r{r}")),
+            &problem,
+            |b, p| b.iter(|| bisect::solve(black_box(p)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("galil_megiddo", format!("n{n}_r{r}")),
+            &problem,
+            |b, p| b.iter(|| galil_megiddo::solve(black_box(p)).unwrap()),
+        );
+    }
+    // Brute force only at toy sizes — it is the test oracle, not a solver.
+    let funcs: Vec<Vec<f64>> = (0..3).map(|j| monotone_function(16, j as u64)).collect();
+    let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+    let problem = Problem::new(slices, 16).unwrap();
+    group.bench_function("brute/n3_r16", |b| {
+        b.iter(|| brute::solve(black_box(&problem)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Runs the three design-choice ablations (decay factor, exploration step,
+//! clustering threshold). Pass --quick for a smoke run.
+
+use streambal_bench::experiments::ablations;
+
+fn main() {
+    let out = streambal_bench::results_dir();
+    ablations::decay(&out);
+    ablations::step(&out);
+    ablations::clustering(&out);
+}

@@ -1,0 +1,29 @@
+//! Runs every reproduced experiment in sequence, writing CSVs to the
+//! results directory. Pass --quick for a scaled-down smoke run.
+
+use streambal_bench::experiments::{ablations, indepth, latency, placement, reroute, sweeps, threaded};
+
+fn main() {
+    let out = streambal_bench::results_dir();
+    eprintln!("writing results to {}", out.display());
+    let started = std::time::Instant::now();
+    indepth::fig02(&out);
+    indepth::fig05(&out);
+    indepth::fig07(&out);
+    indepth::fig08_top(&out);
+    indepth::fig08_bottom(&out);
+    sweeps::fig09(&out);
+    sweeps::fig10(&out);
+    indepth::fig11_top(&out);
+    sweeps::fig11_bottom(&out);
+    indepth::fig12(&out);
+    sweeps::fig13(&out);
+    reroute::run(&out);
+    ablations::decay(&out);
+    ablations::step(&out);
+    ablations::clustering(&out);
+    latency::run(&out);
+    placement::run(&out);
+    threaded::fig08_threaded(&out);
+    eprintln!("all experiments done in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig05 experiment. Pass --quick for a smoke run.
+fn main() {
+    let out = streambal_bench::results_dir();
+    streambal_bench::experiments::indepth::fig05(&out);
+}

@@ -1,0 +1,5 @@
+//! Extension: Figure 8 on the real threaded runtime.
+fn main() {
+    let out = streambal_bench::results_dir();
+    streambal_bench::experiments::threaded::fig08_threaded(&out);
+}

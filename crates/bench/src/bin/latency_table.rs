@@ -1,0 +1,5 @@
+//! Extension: per-tuple latency percentiles by policy.
+fn main() {
+    let out = streambal_bench::results_dir();
+    streambal_bench::experiments::latency::run(&out);
+}

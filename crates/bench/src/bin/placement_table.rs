@@ -1,0 +1,5 @@
+//! Extension: cluster-wide placement strategies (§8 future work).
+fn main() {
+    let out = streambal_bench::results_dir();
+    streambal_bench::experiments::placement::run(&out);
+}

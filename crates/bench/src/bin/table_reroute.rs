@@ -1,0 +1,5 @@
+//! Regenerates the §4.4 transport-level rerouting comparison.
+fn main() {
+    let out = streambal_bench::results_dir();
+    streambal_bench::experiments::reroute::run(&out);
+}

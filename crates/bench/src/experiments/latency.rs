@@ -1,0 +1,55 @@
+//! Extension experiment (beyond the paper's figures): per-tuple region
+//! latency under each policy. The paper motivates stream processing with
+//! "low latency, high throughput demands"; because the in-order merge holds
+//! fast tuples hostage to slow ones, bad balancing inflates *tail* latency
+//! far more than it hurts throughput.
+
+use std::path::Path;
+
+use streambal_sim::SECOND_NS;
+use streambal_workloads::policies::PolicyKind;
+use streambal_workloads::report::{fmt_tput, Table};
+use streambal_workloads::scenarios;
+
+use crate::harness::{quick_requested, run_kind, scale_scenario};
+
+/// Latency percentiles per policy on the Figure 9-style static workload
+/// (4 PEs, half at 10x).
+pub fn run(out: &Path) -> Vec<Table> {
+    let mut scenario = scenarios::fig09(4, false);
+    if quick_requested() {
+        scale_scenario(&mut scenario, 8);
+    }
+    let mut table = Table::new(
+        "extension: region latency by policy (fig09 workload, n=4, static 10x)",
+        vec![
+            "policy".into(),
+            "p50_ms".into(),
+            "p95_ms".into(),
+            "p99_ms".into(),
+            "max_ms".into(),
+            "tput".into(),
+        ],
+    );
+    for kind in PolicyKind::sweep_set(false) {
+        let r = run_kind(&scenario, &kind);
+        let ms = |q: f64| {
+            r.latency_quantile(q)
+                .map(|ns| format!("{:.2}", ns as f64 / 1e6))
+                .unwrap_or_else(|| "-".into())
+        };
+        table.push_row(vec![
+            kind.name().to_owned(),
+            ms(0.50),
+            ms(0.95),
+            ms(0.99),
+            ms(1.0),
+            fmt_tput(r.delivered as f64 * SECOND_NS as f64 / r.duration_ns.max(1) as f64),
+        ]);
+    }
+    table
+        .write_csv(out.join("extension_latency.csv"))
+        .expect("results directory is writable");
+    println!("{table}");
+    vec![table]
+}

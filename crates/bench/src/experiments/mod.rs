@@ -1,0 +1,10 @@
+//! One module per reproduced experiment; each exposes a `run(out_dir)`
+//! returning the tables it printed (and writes full series as CSV).
+
+pub mod ablations;
+pub mod indepth;
+pub mod latency;
+pub mod placement;
+pub mod reroute;
+pub mod sweeps;
+pub mod threaded;

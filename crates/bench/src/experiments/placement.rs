@@ -1,0 +1,63 @@
+//! Extension experiment (the paper's §8 future work): cluster-wide PE
+//! placement. Compares the naive scheduler against capacity-aware
+//! placement on a heterogeneous cluster, analytically and under
+//! utilization-aware co-simulation with the local balancer running.
+
+use std::path::Path;
+
+use streambal_cluster::model::{ClusterSpec, RegionSpec};
+use streambal_cluster::placement::{place, Strategy};
+use streambal_cluster::verify::{co_simulate, co_simulate_coupled};
+use streambal_sim::host::Host;
+use streambal_workloads::report::{fmt_tput, Table};
+
+use crate::harness::quick_requested;
+
+/// Runs the placement comparison and prints/writes the table.
+pub fn run(out: &Path) -> Vec<Table> {
+    let seconds = if quick_requested() { 15 } else { 45 };
+    let spec = ClusterSpec::new(
+        vec![Host::fast(), Host::fast(), Host::slow(), Host::slow()],
+        vec![
+            RegionSpec::new(16, 20_000, 50.0),
+            RegionSpec::new(16, 5_000, 50.0),
+        ],
+    )
+    .expect("valid cluster spec");
+
+    let mut table = Table::new(
+        "extension §8: cluster-wide placement (2 regions, 2 fast + 2 slow hosts)",
+        vec![
+            "strategy".into(),
+            "predicted_min".into(),
+            "predicted_total".into(),
+            "fixedpoint_total".into(),
+            "coupled_total".into(),
+        ],
+    );
+    for strategy in [
+        Strategy::RoundRobin,
+        Strategy::CapacityAware,
+        Strategy::LocalSearch,
+    ] {
+        let p = place(&spec, strategy);
+        let fixed = co_simulate(&spec, &p, seconds, 2).expect("co-simulation runs");
+        let coupled =
+            co_simulate_coupled(&spec, &p, seconds).expect("coupled simulation runs");
+        let total = |runs: &[streambal_sim::metrics::RunResult]| -> f64 {
+            runs.iter().map(|r| r.final_throughput(8)).sum()
+        };
+        table.push_row(vec![
+            format!("{strategy:?}"),
+            fmt_tput(spec.min_region_throughput(&p)),
+            fmt_tput(spec.total_throughput(&p)),
+            fmt_tput(total(&fixed)),
+            fmt_tput(total(&coupled)),
+        ]);
+    }
+    table
+        .write_csv(out.join("extension_placement.csv"))
+        .expect("results directory is writable");
+    println!("{table}");
+    vec![table]
+}

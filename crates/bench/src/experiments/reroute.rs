@@ -1,0 +1,51 @@
+//! §4.4's transport-level rerouting baseline: "too little, too late".
+//!
+//! The paper's motivating negative result: rerouting a tuple to a sibling
+//! connection at the moment a send would block barely helps, because
+//! blocking is a *late* indicator of congestion — with cheap (1,000
+//! multiply) tuples it reroutes ~0.5% of tuples for no gain; with expensive
+//! (10,000 multiply) tuples it reroutes ~7.5% for only ~20% improvement.
+
+use std::path::Path;
+
+use streambal_workloads::policies::PolicyKind;
+use streambal_workloads::report::{fmt3, Table};
+use streambal_workloads::scenarios;
+
+use crate::harness::{quick_requested, run_kind, scale_scenario};
+
+/// Runs the rerouting comparison for both tuple costs and prints the table.
+pub fn run(out: &Path) -> Vec<Table> {
+    let mut table = Table::new(
+        "§4.4: transport-level rerouting vs round-robin (2 PEs, one 100x)",
+        vec![
+            "base_cost".into(),
+            "rerouted_pct".into(),
+            "rr_time_s".into(),
+            "reroute_time_s".into(),
+            "speedup".into(),
+        ],
+    );
+    for base in [1_000u64, 10_000] {
+        let mut scenario = scenarios::reroute_experiment(base);
+        if quick_requested() {
+            scale_scenario(&mut scenario, 8);
+        }
+        let rr = run_kind(&scenario, &PolicyKind::RoundRobin);
+        let re = run_kind(&scenario, &PolicyKind::Reroute);
+        let rr_s = rr.duration_ns as f64 / streambal_sim::SECOND_NS as f64;
+        let re_s = re.duration_ns as f64 / streambal_sim::SECOND_NS as f64;
+        table.push_row(vec![
+            base.to_string(),
+            fmt3(100.0 * re.rerouted as f64 / re.sent.max(1) as f64),
+            fmt3(rr_s),
+            fmt3(re_s),
+            fmt3(rr_s / re_s),
+        ]);
+    }
+    table
+        .write_csv(out.join("table_reroute.csv"))
+        .expect("results directory is writable");
+    println!("{table}");
+    vec![table]
+}

@@ -1,0 +1,180 @@
+//! Sweep experiments: Figures 9, 10, 11 (bottom) and 13.
+
+use std::path::Path;
+
+use streambal_sim::metrics::RunResult;
+use streambal_workloads::policies::PolicyKind;
+use streambal_workloads::report::{fmt3, fmt_tput, Table};
+use streambal_workloads::scenarios::{self, Placement, Scenario};
+
+use crate::harness::{quick_requested, run_kind, scale_scenario};
+
+/// Samples in the final-throughput tail window (the paper measures "well
+/// after the load has been removed").
+const TAIL: usize = 10;
+
+fn maybe_quick(mut s: Scenario) -> Scenario {
+    if quick_requested() {
+        scale_scenario(&mut s, 8);
+    }
+    s
+}
+
+fn exec_seconds(r: &RunResult) -> f64 {
+    r.duration_ns as f64 / streambal_sim::SECOND_NS as f64
+}
+
+/// Runs `kinds` over a sweep of scenarios and produces two tables: execution
+/// time normalized to `normalize_to`, and final throughput (tuples/s).
+fn sweep(
+    title: &str,
+    runs: Vec<(String, Scenario)>,
+    kinds: &[PolicyKind],
+    normalize_to: &str,
+) -> (Table, Table) {
+    let mut headers = vec!["n".to_owned()];
+    headers.extend(kinds.iter().map(|k| k.name().to_owned()));
+    let mut exec = Table::new(
+        format!("{title}: execution time (normalized to {normalize_to})"),
+        headers.clone(),
+    );
+    let mut tput = Table::new(format!("{title}: final throughput (tuples/s)"), headers);
+
+    for (label, scenario) in runs {
+        let results: Vec<RunResult> = kinds.iter().map(|k| run_kind(&scenario, k)).collect();
+        let reference = kinds
+            .iter()
+            .position(|k| k.name() == normalize_to)
+            .expect("normalization reference must be in the sweep set");
+        let ref_time = exec_seconds(&results[reference]);
+
+        let mut exec_row = vec![label.clone()];
+        let mut tput_row = vec![label];
+        for r in &results {
+            exec_row.push(fmt3(exec_seconds(r) / ref_time));
+            tput_row.push(fmt_tput(r.final_throughput(TAIL)));
+        }
+        exec.push_row(exec_row);
+        tput.push_row(tput_row);
+    }
+    (exec, tput)
+}
+
+/// Figure 9: 1,000-multiply tuples, half the PEs at 10× — static (left) and
+/// dynamic (middle/right) variants over 2–16 PEs.
+pub fn fig09(out: &Path) -> Vec<Table> {
+    sweep_figure(out, "fig09", &scenarios::SWEEP_SIZES, scenarios::fig09)
+}
+
+/// Figure 10: 10,000-multiply tuples, half the PEs at 100× — static and
+/// dynamic variants over 2–16 PEs.
+pub fn fig10(out: &Path) -> Vec<Table> {
+    sweep_figure(out, "fig10", &scenarios::SWEEP_SIZES, scenarios::fig10)
+}
+
+fn sweep_figure(
+    out: &Path,
+    fig: &str,
+    sizes: &[usize],
+    scenario_fn: fn(usize, bool) -> Scenario,
+) -> Vec<Table> {
+    let kinds = PolicyKind::sweep_set(false);
+
+    let static_runs = sizes
+        .iter()
+        .map(|&n| (n.to_string(), maybe_quick(scenario_fn(n, false))))
+        .collect();
+    let (exec_static, _) = sweep(
+        &format!("{fig} static"),
+        static_runs,
+        &kinds,
+        "Oracle*",
+    );
+
+    let dynamic_runs: Vec<(String, Scenario)> = sizes
+        .iter()
+        .map(|&n| (n.to_string(), maybe_quick(scenario_fn(n, true))))
+        .collect();
+    let (exec_dynamic, tput_dynamic) = sweep(
+        &format!("{fig} dynamic"),
+        dynamic_runs,
+        &kinds,
+        "Oracle*",
+    );
+
+    for (t, name) in [
+        (&exec_static, format!("{fig}_static_exec.csv")),
+        (&exec_dynamic, format!("{fig}_dynamic_exec.csv")),
+        (&tput_dynamic, format!("{fig}_dynamic_tput.csv")),
+    ] {
+        t.write_csv(out.join(name)).expect("results directory is writable");
+    }
+    println!("{exec_static}");
+    println!("{exec_dynamic}");
+    println!("{tput_dynamic}");
+    vec![exec_static, exec_dynamic, tput_dynamic]
+}
+
+/// Figure 11 bottom: PEs placed across heterogeneous hosts; All-Fast,
+/// All-Slow, Even-RR and Even-LB over 2–24 PEs.
+pub fn fig11_bottom(out: &Path) -> Vec<Table> {
+    let alternatives: [(&str, Placement, PolicyKind); 4] = [
+        ("All-Fast", Placement::AllFast, PolicyKind::RoundRobin),
+        ("All-Slow", Placement::AllSlow, PolicyKind::RoundRobin),
+        ("Even-RR", Placement::Even, PolicyKind::RoundRobin),
+        ("Even-LB", Placement::Even, PolicyKind::LbAdaptive),
+    ];
+
+    let mut headers = vec!["n".to_owned()];
+    headers.extend(alternatives.iter().map(|(name, _, _)| (*name).to_owned()));
+    let mut exec = Table::new(
+        "fig11 bottom: execution time (normalized to Even-RR)",
+        headers.clone(),
+    );
+    let mut tput = Table::new("fig11 bottom: final throughput (tuples/s)", headers);
+
+    for &n in &scenarios::HETERO_SIZES {
+        let results: Vec<RunResult> = alternatives
+            .iter()
+            .map(|(_, placement, kind)| {
+                let scenario = maybe_quick(scenarios::fig11_sweep(n, *placement));
+                run_kind(&scenario, kind)
+            })
+            .collect();
+        let ref_time = exec_seconds(&results[2]); // Even-RR
+        let mut exec_row = vec![n.to_string()];
+        let mut tput_row = vec![n.to_string()];
+        for r in &results {
+            exec_row.push(fmt3(exec_seconds(r) / ref_time));
+            tput_row.push(fmt_tput(r.final_throughput(TAIL)));
+        }
+        exec.push_row(exec_row);
+        tput.push_row(tput_row);
+    }
+
+    exec.write_csv(out.join("fig11_bottom_exec.csv"))
+        .expect("results directory is writable");
+    tput.write_csv(out.join("fig11_bottom_tput.csv"))
+        .expect("results directory is writable");
+    println!("{exec}");
+    println!("{tput}");
+    vec![exec, tput]
+}
+
+/// Figure 13: clustering on, 60,000-multiply tuples, half the PEs at 100×
+/// removed an eighth through, over 4–64 PEs.
+pub fn fig13(out: &Path) -> Vec<Table> {
+    let kinds = PolicyKind::sweep_set(true);
+    let runs = scenarios::CLUSTER_SIZES
+        .iter()
+        .map(|&n| (n.to_string(), maybe_quick(scenarios::fig13(n))))
+        .collect();
+    let (exec, tput) = sweep("fig13", runs, &kinds, "Oracle*");
+    exec.write_csv(out.join("fig13_exec.csv"))
+        .expect("results directory is writable");
+    tput.write_csv(out.join("fig13_tput.csv"))
+        .expect("results directory is writable");
+    println!("{exec}");
+    println!("{tput}");
+    vec![exec, tput]
+}

@@ -1,0 +1,22 @@
+//! # streambal-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! paper's evaluation (§6). Each figure has a standalone binary
+//! (`cargo run --release -p streambal-bench --bin fig09`) and they are all
+//! callable from `all_experiments`, which writes CSV series/tables under
+//! `results/` and prints the same rows the paper reports.
+//!
+//! Pass `--quick` (or set `STREAMBAL_QUICK=1`) to any binary to scale the
+//! workloads down ~8× for a fast smoke run; shapes persist, noise grows.
+//!
+//! Criterion micro-benchmarks for the algorithmic components (solvers,
+//! monotone regression, function updates, clustering, the event engine)
+//! live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{quick_requested, results_dir, run_kind, scale_scenario};

@@ -1,0 +1,407 @@
+//! Hand-rolled argument parsing (no CLI dependency by design).
+
+use std::fmt;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+streambal — blocking-rate load balancing for ordered parallel regions
+
+USAGE:
+    streambal simulate [OPTIONS]     simulate one parallel region
+    streambal placement [OPTIONS]    place regions across hosts (cluster-wide)
+    streambal help                   show this text
+
+SIMULATE OPTIONS:
+    --workers N            number of worker PEs (default 3)
+    --base-cost M          integer multiplies per tuple (default 1000)
+    --mult-ns NS           simulated ns per multiply (default 500)
+    --load J=F             give worker J a constant FxF load (repeatable)
+    --load J=F@S           ...removed S seconds into the run
+    --hosts LIST           comma list of 'fast'/'slow'/'T@S' (threads@speed);
+                           workers are dealt round-robin across them
+    --policy P             rr | reroute | lb-static | lb-adaptive | oracle
+                           (default lb-adaptive)
+    --clustering           enable connection clustering in the balancer
+    --seconds S            run for S simulated seconds (default 60)
+    --tuples T             ...or until T tuples are delivered
+    --seed N               simulation seed (default 42)
+    --csv PATH             write the per-second trace as CSV
+
+PLACEMENT OPTIONS:
+    --hosts LIST           as above (default fast,slow)
+    --region pes=N,cost=M  add a region (repeatable; cost in multiplies)
+    --mult-ns NS           simulated ns per multiply (default 50)
+    --strategy S           round-robin | capacity-aware | local-search
+    --verify               also simulate each region under the placement
+    --coupled              verify with the coupled multi-region engine
+";
+
+/// A parsed load directive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadArg {
+    /// Worker index.
+    pub worker: usize,
+    /// Cost multiplier.
+    pub factor: f64,
+    /// Optional removal time, seconds.
+    pub until_s: Option<u64>,
+}
+
+/// A parsed host directive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HostArg {
+    /// The calibrated "fast" host.
+    Fast,
+    /// The baseline "slow" host.
+    Slow,
+    /// `threads@speed`.
+    Custom(u32, f64),
+}
+
+/// Balancing policy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyArg {
+    /// Naive round-robin.
+    Rr,
+    /// Round-robin with transport-level rerouting.
+    Reroute,
+    /// The model without decay.
+    LbStatic,
+    /// The full adaptive model.
+    LbAdaptive,
+    /// Ground-truth weight schedule.
+    Oracle,
+}
+
+/// The `simulate` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    pub workers: usize,
+    pub base_cost: u64,
+    pub mult_ns: f64,
+    pub loads: Vec<LoadArg>,
+    pub hosts: Vec<HostArg>,
+    pub policy: PolicyArg,
+    pub clustering: bool,
+    pub seconds: u64,
+    pub tuples: Option<u64>,
+    pub seed: u64,
+    pub csv: Option<String>,
+}
+
+/// The `placement` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementArgs {
+    pub hosts: Vec<HostArg>,
+    pub regions: Vec<(usize, u64)>,
+    pub mult_ns: f64,
+    pub strategy: String,
+    pub verify: bool,
+    pub coupled: bool,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Simulate(SimulateArgs),
+    Placement(PlacementArgs),
+    Help,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" => parse_simulate(&argv[1..]),
+        "placement" => parse_placement(&argv[1..]),
+        other => Err(err(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| err(format!("{flag} needs a value")))
+}
+
+fn parse_hosts(list: &str) -> Result<Vec<HostArg>, ParseError> {
+    list.split(',')
+        .map(|h| match h.trim() {
+            "fast" => Ok(HostArg::Fast),
+            "slow" => Ok(HostArg::Slow),
+            custom => {
+                let (threads, speed) = custom
+                    .split_once('@')
+                    .ok_or_else(|| err(format!("bad host '{custom}' (use fast|slow|T@S)")))?;
+                Ok(HostArg::Custom(
+                    threads
+                        .parse()
+                        .map_err(|_| err(format!("bad thread count in '{custom}'")))?,
+                    speed
+                        .parse()
+                        .map_err(|_| err(format!("bad speed in '{custom}'")))?,
+                ))
+            }
+        })
+        .collect()
+}
+
+fn parse_load(spec: &str) -> Result<LoadArg, ParseError> {
+    let (worker, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| err(format!("bad load '{spec}' (use J=F or J=F@S)")))?;
+    let worker = worker
+        .parse()
+        .map_err(|_| err(format!("bad worker index in '{spec}'")))?;
+    let (factor, until_s) = match rest.split_once('@') {
+        Some((f, s)) => (
+            f.parse()
+                .map_err(|_| err(format!("bad factor in '{spec}'")))?,
+            Some(
+                s.parse()
+                    .map_err(|_| err(format!("bad removal time in '{spec}'")))?,
+            ),
+        ),
+        None => (
+            rest.parse()
+                .map_err(|_| err(format!("bad factor in '{spec}'")))?,
+            None,
+        ),
+    };
+    Ok(LoadArg {
+        worker,
+        factor,
+        until_s,
+    })
+}
+
+fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
+    let mut a = SimulateArgs {
+        workers: 3,
+        base_cost: 1_000,
+        mult_ns: 500.0,
+        loads: Vec::new(),
+        hosts: Vec::new(),
+        policy: PolicyArg::LbAdaptive,
+        clustering: false,
+        seconds: 60,
+        tuples: None,
+        seed: 42,
+        csv: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workers" => {
+                a.workers = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --workers"))?
+            }
+            "--base-cost" => {
+                a.base_cost = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --base-cost"))?
+            }
+            "--mult-ns" => {
+                a.mult_ns = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --mult-ns"))?
+            }
+            "--load" => a.loads.push(parse_load(take_value(flag, &mut it)?)?),
+            "--hosts" => a.hosts = parse_hosts(take_value(flag, &mut it)?)?,
+            "--policy" => {
+                a.policy = match take_value(flag, &mut it)? {
+                    "rr" => PolicyArg::Rr,
+                    "reroute" => PolicyArg::Reroute,
+                    "lb-static" => PolicyArg::LbStatic,
+                    "lb-adaptive" => PolicyArg::LbAdaptive,
+                    "oracle" => PolicyArg::Oracle,
+                    other => return Err(err(format!("unknown policy '{other}'"))),
+                }
+            }
+            "--clustering" => a.clustering = true,
+            "--seconds" => {
+                a.seconds = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --seconds"))?
+            }
+            "--tuples" => {
+                a.tuples = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("bad --tuples"))?,
+                )
+            }
+            "--seed" => {
+                a.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --seed"))?
+            }
+            "--csv" => a.csv = Some(take_value(flag, &mut it)?.to_owned()),
+            other => return Err(err(format!("unknown flag '{other}'"))),
+        }
+    }
+    if a.workers == 0 {
+        return Err(err("--workers must be positive"));
+    }
+    for l in &a.loads {
+        if l.worker >= a.workers {
+            return Err(err(format!("--load worker {} out of range", l.worker)));
+        }
+    }
+    Ok(Command::Simulate(a))
+}
+
+fn parse_region(spec: &str) -> Result<(usize, u64), ParseError> {
+    let mut pes = None;
+    let mut cost = None;
+    for part in spec.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| err(format!("bad region part '{part}'")))?;
+        match k.trim() {
+            "pes" => pes = Some(v.parse().map_err(|_| err("bad pes"))?),
+            "cost" => cost = Some(v.parse().map_err(|_| err("bad cost"))?),
+            other => return Err(err(format!("unknown region key '{other}'"))),
+        }
+    }
+    match (pes, cost) {
+        (Some(p), Some(c)) => Ok((p, c)),
+        _ => Err(err("region needs pes=N,cost=M")),
+    }
+}
+
+fn parse_placement(argv: &[String]) -> Result<Command, ParseError> {
+    let mut a = PlacementArgs {
+        hosts: vec![HostArg::Fast, HostArg::Slow],
+        regions: Vec::new(),
+        mult_ns: 50.0,
+        strategy: "capacity-aware".to_owned(),
+        verify: false,
+        coupled: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--hosts" => a.hosts = parse_hosts(take_value(flag, &mut it)?)?,
+            "--region" => a.regions.push(parse_region(take_value(flag, &mut it)?)?),
+            "--mult-ns" => {
+                a.mult_ns = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --mult-ns"))?
+            }
+            "--strategy" => a.strategy = take_value(flag, &mut it)?.to_owned(),
+            "--verify" => a.verify = true,
+            "--coupled" => {
+                a.verify = true;
+                a.coupled = true;
+            }
+            other => return Err(err(format!("unknown flag '{other}'"))),
+        }
+    }
+    if a.regions.is_empty() {
+        return Err(err("placement needs at least one --region"));
+    }
+    Ok(Command::Placement(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&args("help")), Ok(Command::Help));
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let Command::Simulate(a) = parse(&args("simulate")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.workers, 3);
+        assert_eq!(a.policy, PolicyArg::LbAdaptive);
+        assert_eq!(a.seconds, 60);
+    }
+
+    #[test]
+    fn simulate_full_flags() {
+        let cmd = parse(&args(
+            "simulate --workers 4 --base-cost 2000 --load 0=100@30 --load 1=5 \
+             --policy rr --seconds 120 --seed 7 --csv out.csv",
+        ))
+        .unwrap();
+        let Command::Simulate(a) = cmd else { panic!() };
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.base_cost, 2_000);
+        assert_eq!(
+            a.loads,
+            vec![
+                LoadArg { worker: 0, factor: 100.0, until_s: Some(30) },
+                LoadArg { worker: 1, factor: 5.0, until_s: None },
+            ]
+        );
+        assert_eq!(a.policy, PolicyArg::Rr);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn hosts_parse_all_forms() {
+        let hosts = parse_hosts("fast,slow,12@1.5").unwrap();
+        assert_eq!(
+            hosts,
+            vec![HostArg::Fast, HostArg::Slow, HostArg::Custom(12, 1.5)]
+        );
+        assert!(parse_hosts("warp").is_err());
+    }
+
+    #[test]
+    fn load_out_of_range_rejected() {
+        assert!(parse(&args("simulate --workers 2 --load 5=10")).is_err());
+    }
+
+    #[test]
+    fn placement_needs_regions() {
+        assert!(parse(&args("placement")).is_err());
+        let cmd = parse(&args(
+            "placement --hosts fast,slow --region pes=8,cost=10000 --strategy local-search --verify",
+        ))
+        .unwrap();
+        let Command::Placement(p) = cmd else { panic!() };
+        assert_eq!(p.regions, vec![(8, 10_000)]);
+        assert!(p.verify);
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        assert!(parse(&args("simulate --frobnicate 1")).is_err());
+        assert!(parse(&args("blorp")).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Command execution: turn parsed arguments into simulator / placement
+//! calls and print results.
+
+use std::error::Error;
+
+use streambal_cluster::model::{ClusterSpec, RegionSpec};
+use streambal_cluster::placement::{place, Strategy};
+use streambal_cluster::verify::{co_simulate_coupled, simulate_region};
+use streambal_core::controller::{BalancerConfig, BalancerMode, ClusteringConfig};
+use streambal_sim::config::{RegionConfig, StopCondition};
+use streambal_sim::host::Host;
+use streambal_sim::load::LoadSchedule;
+use streambal_sim::policy::{BalancerPolicy, Policy, RoundRobinPolicy};
+use streambal_sim::SECOND_NS;
+use streambal_workloads::oracle;
+use streambal_workloads::report::Table;
+
+use crate::args::{Command, HostArg, PlacementArgs, PolicyArg, SimulateArgs};
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::Help => {
+            println!("{}", crate::args::USAGE);
+            Ok(())
+        }
+        Command::Simulate(a) => simulate(a),
+        Command::Placement(a) => placement(a),
+    }
+}
+
+fn to_host(h: HostArg) -> Host {
+    match h {
+        HostArg::Fast => Host::fast(),
+        HostArg::Slow => Host::slow(),
+        HostArg::Custom(threads, speed) => Host::new(threads, speed),
+    }
+}
+
+fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
+    let mut b = RegionConfig::builder(a.workers);
+    b.base_cost(a.base_cost).mult_ns(a.mult_ns).seed(a.seed);
+    if !a.hosts.is_empty() {
+        let hosts: Vec<Host> = a.hosts.iter().copied().map(to_host).collect();
+        let count = hosts.len();
+        b.hosts(hosts);
+        for j in 0..a.workers {
+            b.worker_host(j, j % count);
+        }
+    }
+    for l in &a.loads {
+        match l.until_s {
+            Some(s) => {
+                b.worker_load_schedule(
+                    l.worker,
+                    LoadSchedule::step(l.factor, s * SECOND_NS, 1.0),
+                );
+            }
+            None => {
+                b.worker_load(l.worker, l.factor);
+            }
+        }
+    }
+    b.stop(match a.tuples {
+        Some(t) => StopCondition::Tuples(t),
+        None => StopCondition::Duration(a.seconds * SECOND_NS),
+    });
+    let cfg = b.build()?;
+
+    let mut policy: Box<dyn Policy> = match a.policy {
+        PolicyArg::Rr => Box::new(RoundRobinPolicy::new()),
+        PolicyArg::Reroute => Box::new(RoundRobinPolicy::with_reroute()),
+        PolicyArg::Oracle => Box::new(oracle::policy(&cfg)),
+        PolicyArg::LbStatic | PolicyArg::LbAdaptive => {
+            let mut cb = BalancerConfig::builder(a.workers);
+            if a.policy == PolicyArg::LbStatic {
+                cb.mode(BalancerMode::Static);
+            }
+            if a.clustering {
+                cb.clustering(ClusteringConfig::default());
+            }
+            Box::new(BalancerPolicy::new(cb.build()?))
+        }
+    };
+
+    let result = streambal_sim::run(&cfg, policy.as_mut())?;
+    println!(
+        "policy {} delivered {} tuples in {:.1} simulated seconds \
+         ({:.0} tuples/s mean, {:.0} tuples/s final)",
+        result.policy,
+        result.delivered,
+        result.duration_ns as f64 / SECOND_NS as f64,
+        result.mean_throughput(),
+        result.final_throughput(10),
+    );
+    if let Some(last) = result.samples.last() {
+        println!("final weights (0.1% units): {:?}", last.weights);
+    }
+    if result.rerouted > 0 {
+        println!(
+            "rerouted {} tuples ({:.2}%)",
+            result.rerouted,
+            100.0 * result.rerouted as f64 / result.sent.max(1) as f64
+        );
+    }
+
+    if let Some(path) = &a.csv {
+        let mut headers = vec!["t_s".to_owned()];
+        for j in 0..a.workers {
+            headers.push(format!("w{j}"));
+        }
+        for j in 0..a.workers {
+            headers.push(format!("rate{j}"));
+        }
+        headers.push("delivered".to_owned());
+        let mut table = Table::new("trace", headers);
+        for s in &result.samples {
+            let mut row = vec![format!("{}", s.t_ns / SECOND_NS)];
+            row.extend(s.weights.iter().map(u32::to_string));
+            row.extend(s.rates.iter().map(|r| format!("{r:.4}")));
+            row.push(s.delivered.to_string());
+            table.push_row(row);
+        }
+        table.write_csv(path)?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+fn placement(a: PlacementArgs) -> Result<(), Box<dyn Error>> {
+    let strategy = match a.strategy.as_str() {
+        "round-robin" => Strategy::RoundRobin,
+        "capacity-aware" => Strategy::CapacityAware,
+        "local-search" => Strategy::LocalSearch,
+        other => return Err(format!("unknown strategy '{other}'").into()),
+    };
+    let spec = ClusterSpec::new(
+        a.hosts.iter().copied().map(to_host).collect(),
+        a.regions
+            .iter()
+            .map(|&(pes, cost)| RegionSpec::new(pes, cost, a.mult_ns))
+            .collect(),
+    )?;
+    let p = place(&spec, strategy);
+    println!("strategy {strategy:?}");
+    println!("PEs per host: {:?}", spec.pes_per_host(&p));
+    for (r, hosts) in p.assignment().iter().enumerate() {
+        println!(
+            "region {r}: predicted {:>10.0} tuples/s  hosts {hosts:?}",
+            spec.region_throughput(&p, r)
+        );
+    }
+    println!(
+        "min region {:.0} tuples/s, total {:.0} tuples/s",
+        spec.min_region_throughput(&p),
+        spec.total_throughput(&p)
+    );
+    if a.verify {
+        if a.coupled {
+            println!("\ncoupled multi-region simulation (45 sim-seconds, LB-adaptive):");
+            let runs = co_simulate_coupled(&spec, &p, 45)?;
+            for (r, run) in runs.iter().enumerate() {
+                println!(
+                    "region {r}: simulated {:>10.0} tuples/s",
+                    run.final_throughput(8)
+                );
+            }
+        } else {
+            println!("\nsimulating each region (45 sim-seconds, LB-adaptive):");
+            for r in 0..spec.regions().len() {
+                let run = simulate_region(&spec, &p, r, 45)?;
+                println!(
+                    "region {r}: simulated {:>10.0} tuples/s",
+                    run.final_throughput(8)
+                );
+            }
+        }
+    }
+    Ok(())
+}

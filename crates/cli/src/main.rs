@@ -1,0 +1,34 @@
+//! `streambal` — simulate ordered data-parallel regions and compute
+//! cluster placements from the command line.
+//!
+//! ```text
+//! streambal simulate --workers 3 --load 0=100 --policy lb-adaptive --seconds 60
+//! streambal simulate --workers 16 --hosts fast,slow --policy rr --tuples 500000
+//! streambal placement --hosts fast,slow,slow --region pes=8,cost=20000 \
+//!                     --region pes=8,cost=5000 --strategy local-search
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end tests of the `streambal` binary.
+
+use std::process::Command;
+
+fn streambal(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_streambal-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = streambal(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = streambal(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let out = streambal(&["simulate", "--frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"));
+}
+
+#[test]
+fn simulate_runs_and_reports() {
+    let out = streambal(&[
+        "simulate", "--workers", "2", "--load", "0=20", "--seconds", "10",
+        "--mult-ns", "500",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("LB-adaptive"), "{text}");
+    assert!(text.contains("final weights"));
+}
+
+#[test]
+fn simulate_writes_csv() {
+    let dir = std::env::temp_dir().join(format!("streambal_cli_{}", std::process::id()));
+    let path = dir.join("trace.csv");
+    let path_str = path.to_str().unwrap();
+    let out = streambal(&[
+        "simulate", "--workers", "2", "--seconds", "5", "--mult-ns", "500",
+        "--csv", path_str,
+    ]);
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&path).expect("CSV written");
+    assert!(csv.starts_with("t_s,w0,w1,rate0,rate1,delivered"));
+    assert!(csv.lines().count() >= 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_rr_policy() {
+    let out = streambal(&[
+        "simulate", "--workers", "3", "--policy", "rr", "--tuples", "5000",
+        "--mult-ns", "500",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("policy RR delivered 5000"));
+}
+
+#[test]
+fn placement_reports_strategies() {
+    let out = streambal(&[
+        "placement", "--hosts", "fast,slow", "--region", "pes=4,cost=10000",
+        "--strategy", "local-search",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PEs per host"));
+    assert!(text.contains("min region"));
+}
+
+#[test]
+fn placement_rejects_bad_strategy() {
+    let out = streambal(&[
+        "placement", "--region", "pes=4,cost=10000", "--strategy", "magic",
+    ]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,50 @@
+//! # streambal-cluster
+//!
+//! Cluster-wide load balancing — the paper's future-work direction (§8):
+//! *"Our future work will consider cluster-wide load balancing by assigning
+//! the parallel PE workers to many nodes. With many parallel regions, there
+//! will be flexibility in the whole system to adapt."*
+//!
+//! The local balancer (in [`streambal_core`]) fixes the weights *given* a
+//! PE-to-host assignment; this crate chooses the assignment. A cluster
+//! hosts several independent parallel regions; every PE placed on a host
+//! consumes one hardware thread, and oversubscribed hosts time-share, so
+//! placements couple the regions' throughputs.
+//!
+//! Components:
+//!
+//! - [`model`] — the cluster specification (hosts, regions) and the
+//!   analytic throughput model: with a locally optimal splitter, a region's
+//!   throughput is the sum of its PEs' effective service rates, capped by
+//!   its splitter; oversubscription is shared across *all* PEs on a host.
+//! - [`placement`] — assignment strategies: naive round-robin over hosts,
+//!   a capacity-aware greedy (max marginal throughput per PE), and a
+//!   swap-based local search refinement.
+//! - [`verify`] — turns a placement into per-region
+//!   [`streambal_sim`] configurations (with cross-region oversubscription
+//!   folded into effective host speeds) so analytic predictions can be
+//!   validated against the simulator with the local balancer running.
+//!
+//! ```
+//! use streambal_cluster::model::{ClusterSpec, RegionSpec};
+//! use streambal_cluster::placement::{self, Strategy};
+//! use streambal_sim::host::Host;
+//!
+//! let spec = ClusterSpec::new(
+//!     vec![Host::fast(), Host::slow()],
+//!     vec![RegionSpec::new(6, 10_000, 50.0), RegionSpec::new(6, 20_000, 50.0)],
+//! ).unwrap();
+//! let naive = placement::place(&spec, Strategy::RoundRobin);
+//! let smart = placement::place(&spec, Strategy::CapacityAware);
+//! assert!(spec.min_region_throughput(&smart) >= spec.min_region_throughput(&naive));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod placement;
+pub mod verify;
+
+pub use model::{ClusterSpec, RegionSpec};
+pub use placement::{place, Placement, Strategy};

@@ -1,0 +1,270 @@
+//! PE-to-host assignment strategies.
+
+use crate::model::ClusterSpec;
+
+/// A complete assignment: `assignment()[r][i]` is the host index of region
+/// `r`'s `i`-th PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    assignment: Vec<Vec<usize>>,
+}
+
+impl Placement {
+    /// Wraps an explicit assignment.
+    pub fn from_assignment(assignment: Vec<Vec<usize>>) -> Self {
+        Placement { assignment }
+    }
+
+    /// The per-region host indices.
+    pub fn assignment(&self) -> &[Vec<usize>] {
+        &self.assignment
+    }
+}
+
+/// Placement strategies, from naive to cluster-aware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Deal PEs over hosts in round-robin order, ignoring capacity — the
+    /// baseline a scheduler without load information would produce.
+    RoundRobin,
+    /// Greedy: place one PE at a time (largest-demand regions first), each
+    /// on the host that maximizes the cluster's minimum region throughput,
+    /// breaking ties by total throughput.
+    CapacityAware,
+    /// [`Strategy::CapacityAware`] followed by a swap/move local search
+    /// until no single-PE move improves the (min, total) objective.
+    LocalSearch,
+}
+
+/// Computes a placement for `spec` with the given strategy.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_cluster::model::{ClusterSpec, RegionSpec};
+/// use streambal_cluster::placement::{place, Strategy};
+/// use streambal_sim::host::Host;
+///
+/// let spec = ClusterSpec::new(
+///     vec![Host::slow()],
+///     vec![RegionSpec::new(3, 1_000, 50.0)],
+/// ).unwrap();
+/// let p = place(&spec, Strategy::RoundRobin);
+/// assert_eq!(p.assignment()[0], vec![0, 0, 0]);
+/// ```
+pub fn place(spec: &ClusterSpec, strategy: Strategy) -> Placement {
+    match strategy {
+        Strategy::RoundRobin => round_robin(spec),
+        Strategy::CapacityAware => greedy(spec),
+        Strategy::LocalSearch => local_search(spec, greedy(spec)),
+    }
+}
+
+fn round_robin(spec: &ClusterSpec) -> Placement {
+    let hosts = spec.hosts().len();
+    let mut next = 0usize;
+    let assignment = spec
+        .regions()
+        .iter()
+        .map(|r| {
+            (0..r.pes)
+                .map(|_| {
+                    let h = next % hosts;
+                    next += 1;
+                    h
+                })
+                .collect()
+        })
+        .collect();
+    Placement { assignment }
+}
+
+/// Objective: lexicographic (min region throughput, total throughput).
+fn objective(spec: &ClusterSpec, p: &Placement) -> (f64, f64) {
+    (spec.min_region_throughput(p), spec.total_throughput(p))
+}
+
+fn better(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 > b.0 + 1e-9 || (a.0 > b.0 - 1e-9 && a.1 > b.1 + 1e-9)
+}
+
+fn greedy(spec: &ClusterSpec) -> Placement {
+    // Regions in descending total demand, so the hungriest get first pick.
+    let mut order: Vec<usize> = (0..spec.regions().len()).collect();
+    order.sort_by(|&a, &b| {
+        let demand = |r: usize| {
+            let s = &spec.regions()[r];
+            s.pes as f64 * s.service_ns()
+        };
+        demand(b).total_cmp(&demand(a)).then(a.cmp(&b))
+    });
+
+    let mut assignment: Vec<Vec<usize>> = spec.regions().iter().map(|_| Vec::new()).collect();
+    for &r in &order {
+        for _ in 0..spec.regions()[r].pes {
+            // Try every host for this PE; keep the best objective. A PE must
+            // go somewhere, so seed with host 0.
+            let mut best_host = 0usize;
+            let mut best_obj: Option<(f64, f64)> = None;
+            for h in 0..spec.hosts().len() {
+                assignment[r].push(h);
+                let candidate = Placement {
+                    assignment: assignment.clone(),
+                };
+                let obj = partial_objective(spec, &candidate);
+                assignment[r].pop();
+                if best_obj.map(|b| better(obj, b)).unwrap_or(true) {
+                    best_obj = Some(obj);
+                    best_host = h;
+                }
+            }
+            assignment[r].push(best_host);
+        }
+    }
+    Placement { assignment }
+}
+
+/// Objective for partially-built placements: regions with no PEs yet are
+/// ignored in the minimum (they would pin it to zero).
+fn partial_objective(spec: &ClusterSpec, p: &Placement) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    for r in 0..spec.regions().len() {
+        if p.assignment()[r].is_empty() {
+            continue;
+        }
+        // Evaluate the placed prefix of the region as if it were complete.
+        let placed = p.assignment()[r].len();
+        let spec_r = &spec.regions()[r];
+        let per_host = spec.pes_per_host(p);
+        let sum: f64 = p.assignment()[r]
+            .iter()
+            .map(|&h| {
+                spec.hosts()[h].effective_speed(per_host[h].max(1))
+                    * streambal_sim::SECOND_NS as f64
+                    / spec_r.service_ns()
+            })
+            .sum();
+        let t = sum.min(spec_r.splitter_rate());
+        total += t;
+        if placed == spec_r.pes {
+            min = min.min(t);
+        } else {
+            // Partial regions contribute to totals only.
+        }
+    }
+    if min.is_infinite() {
+        min = 0.0;
+    }
+    (min, total)
+}
+
+fn local_search(spec: &ClusterSpec, start: Placement) -> Placement {
+    let mut current = start;
+    let mut current_obj = objective(spec, &current);
+    loop {
+        let mut improved = false;
+        'moves: for r in 0..current.assignment.len() {
+            for i in 0..current.assignment[r].len() {
+                let original = current.assignment[r][i];
+                for h in 0..spec.hosts().len() {
+                    if h == original {
+                        continue;
+                    }
+                    current.assignment[r][i] = h;
+                    let obj = objective(spec, &current);
+                    if better(obj, current_obj) {
+                        current_obj = obj;
+                        improved = true;
+                        continue 'moves;
+                    }
+                    current.assignment[r][i] = original;
+                }
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RegionSpec;
+    use streambal_sim::host::Host;
+
+    fn two_host_spec() -> ClusterSpec {
+        ClusterSpec::new(
+            vec![Host::fast(), Host::slow()],
+            vec![
+                RegionSpec::new(8, 10_000, 50.0),
+                RegionSpec::new(8, 20_000, 50.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_deals_across_hosts() {
+        let spec = two_host_spec();
+        let p = place(&spec, Strategy::RoundRobin);
+        let counts = spec.pes_per_host(&p);
+        assert_eq!(counts, vec![8, 8]);
+    }
+
+    #[test]
+    fn greedy_beats_or_matches_round_robin() {
+        let spec = two_host_spec();
+        let rr = place(&spec, Strategy::RoundRobin);
+        let greedy = place(&spec, Strategy::CapacityAware);
+        assert!(
+            spec.min_region_throughput(&greedy) >= spec.min_region_throughput(&rr) - 1e-6,
+            "greedy {} vs rr {}",
+            spec.min_region_throughput(&greedy),
+            spec.min_region_throughput(&rr)
+        );
+    }
+
+    #[test]
+    fn local_search_never_regresses() {
+        let spec = two_host_spec();
+        let greedy = place(&spec, Strategy::CapacityAware);
+        let refined = place(&spec, Strategy::LocalSearch);
+        assert!(
+            spec.min_region_throughput(&refined)
+                >= spec.min_region_throughput(&greedy) - 1e-6
+        );
+    }
+
+    #[test]
+    fn placements_are_complete_and_valid() {
+        let spec = two_host_spec();
+        for strategy in [
+            Strategy::RoundRobin,
+            Strategy::CapacityAware,
+            Strategy::LocalSearch,
+        ] {
+            let p = place(&spec, strategy);
+            assert_eq!(p.assignment().len(), spec.regions().len());
+            for (r, hosts) in p.assignment().iter().enumerate() {
+                assert_eq!(hosts.len(), spec.regions()[r].pes, "{strategy:?}");
+                assert!(hosts.iter().all(|&h| h < spec.hosts().len()));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_aware_prefers_unsaturated_hosts() {
+        // One big fast host, one tiny slow host: greedy should favor the
+        // fast one until it saturates.
+        let spec = ClusterSpec::new(
+            vec![Host::new(16, 2.0), Host::new(2, 0.5)],
+            vec![RegionSpec::new(8, 10_000, 50.0)],
+        )
+        .unwrap();
+        let p = place(&spec, Strategy::CapacityAware);
+        let counts = spec.pes_per_host(&p);
+        assert!(counts[0] >= 7, "fast host should take nearly all PEs: {counts:?}");
+    }
+}

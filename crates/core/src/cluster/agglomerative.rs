@@ -1,0 +1,185 @@
+//! Agglomerative (bottom-up) clustering over a pairwise distance matrix.
+//!
+//! Standard complete-linkage agglomeration: start with singletons and
+//! repeatedly merge the two closest clusters while their linkage distance
+//! stays below a threshold. Complete linkage (the *maximum* pairwise
+//! distance between members) keeps clusters tight, which matters here: a
+//! cluster mixing a 100×-loaded channel with an unloaded one would starve or
+//! flood its members.
+
+/// A clustering result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// For each item, the id of its cluster (`0..num_clusters`). Cluster ids
+    /// are assigned in order of each cluster's smallest member index, so the
+    /// labelling is deterministic.
+    pub assignment: Vec<usize>,
+    /// The members of each cluster, sorted ascending.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Clusters `n` items given a symmetric pairwise `distances` matrix
+/// (row-major `n × n`), merging while the complete-linkage distance is at
+/// most `threshold`.
+///
+/// # Panics
+///
+/// Panics if `distances.len() != n * n`, if `n == 0`, or if any distance is
+/// negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_core::cluster::cluster;
+///
+/// // Items 0,1 close together; item 2 far away.
+/// let d = vec![
+///     0.0, 0.1, 9.0,
+///     0.1, 0.0, 9.0,
+///     9.0, 9.0, 0.0,
+/// ];
+/// let c = cluster(3, &d, 0.5);
+/// assert_eq!(c.assignment, vec![0, 0, 1]);
+/// ```
+pub fn cluster(n: usize, distances: &[f64], threshold: f64) -> Clustering {
+    assert!(n > 0, "need at least one item");
+    assert_eq!(distances.len(), n * n, "distance matrix must be n x n");
+    for &d in distances {
+        assert!(d.is_finite() && d >= 0.0, "distances must be finite and >= 0");
+    }
+
+    // Active clusters as member lists; complete-linkage distance cache.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    let linkage = |a: &[usize], b: &[usize]| -> f64 {
+        let mut worst = 0.0f64;
+        for &i in a {
+            for &j in b {
+                worst = worst.max(distances[i * n + j]);
+            }
+        }
+        worst
+    };
+
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..clusters.len() {
+            for b in a + 1..clusters.len() {
+                let d = linkage(&clusters[a], &clusters[b]);
+                match best {
+                    Some((_, _, bd)) if bd <= d => {}
+                    _ => best = Some((a, b, d)),
+                }
+            }
+        }
+        match best {
+            Some((a, b, d)) if d <= threshold => {
+                let merged = clusters.remove(b);
+                clusters[a].extend(merged);
+                clusters[a].sort_unstable();
+            }
+            _ => break,
+        }
+    }
+
+    // Deterministic labelling by smallest member.
+    clusters.sort_by_key(|c| c[0]);
+    let mut assignment = vec![0usize; n];
+    for (id, members) in clusters.iter().enumerate() {
+        for &m in members {
+            assignment[m] = id;
+        }
+    }
+    Clustering {
+        assignment,
+        members: clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                m[i * n + j] = if i == j { 0.0 } else { f(i.min(j), i.max(j)) };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn all_far_stays_singletons() {
+        let d = matrix(4, |_, _| 10.0);
+        let c = cluster(4, &d, 1.0);
+        assert_eq!(c.num_clusters(), 4);
+        assert_eq!(c.assignment, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_close_merges_to_one() {
+        let d = matrix(5, |_, _| 0.01);
+        let c = cluster(5, &d, 1.0);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.members[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn two_groups_separate() {
+        // Items 0-2 in one group, 3-5 in another.
+        let d = matrix(6, |i, j| {
+            let same = (i < 3) == (j < 3);
+            if same {
+                0.1
+            } else {
+                5.0
+            }
+        });
+        let c = cluster(6, &d, 1.0);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.members[0], vec![0, 1, 2]);
+        assert_eq!(c.members[1], vec![3, 4, 5]);
+        assert_eq!(c.assignment, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn complete_linkage_blocks_chaining() {
+        // 0-1 close, 1-2 close, but 0-2 far: complete linkage must not put
+        // all three together.
+        let mut d = matrix(3, |_, _| 0.0);
+        d[0 * 3 + 1] = 0.1;
+        d[1 * 3 + 0] = 0.1;
+        d[1 * 3 + 2] = 0.1;
+        d[2 * 3 + 1] = 0.1;
+        d[0 * 3 + 2] = 9.0;
+        d[2 * 3 + 0] = 9.0;
+        let c = cluster(3, &d, 1.0);
+        assert_eq!(c.num_clusters(), 2, "chaining should be prevented");
+    }
+
+    #[test]
+    fn singleton_input() {
+        let c = cluster(1, &[0.0], 1.0);
+        assert_eq!(c.assignment, vec![0]);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn threshold_zero_merges_only_identical() {
+        let mut d = matrix(3, |_, _| 1.0);
+        d[0 * 3 + 1] = 0.0;
+        d[1 * 3 + 0] = 0.0;
+        let c = cluster(3, &d, 0.0);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+    }
+}

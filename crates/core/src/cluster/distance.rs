@@ -1,0 +1,109 @@
+//! The paper's knee-based distance between two predictive functions.
+//!
+//! ```text
+//! Distance(F_j, F_k) = max( |log(w_js / w_ks)|,
+//!                           α |log(F_j(w_js) / F_k(w_ks))|,
+//!                           α |log(F_j(R)    / F_k(R))| )
+//! ```
+//!
+//! Logarithms of ratios penalize large differences far more than small ones;
+//! `max` (rather than sum or product) avoids the information loss of
+//! aggregation. The scaling factor `α = log R / |log(Rδ)|` puts all three
+//! terms on the same scale.
+
+use super::knee::Knee;
+use crate::DELTA;
+
+/// The paper's scaling factor `α = log R / |log(Rδ)|` for resolution `r`.
+///
+/// With the defaults `R = 1000` and `δ = 1e-6`, `α = 1`.
+///
+/// # Panics
+///
+/// Panics if `resolution == 0`.
+pub fn alpha(resolution: u32) -> f64 {
+    assert!(resolution > 0, "resolution must be positive");
+    let r = f64::from(resolution);
+    (r.ln() / (r * DELTA).ln().abs()).abs()
+}
+
+/// Computes the distance between two functions from their [`Knee`]s.
+///
+/// Zero when the knees are indistinguishable; grows with the log-ratio of
+/// any of the three compared features.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_core::cluster::{distance, knee_of};
+///
+/// let same = [0.0, 0.0, 0.1, 0.2];
+/// assert_eq!(distance(&knee_of(&same), &knee_of(&same), 3), 0.0);
+/// ```
+pub fn distance(a: &Knee, b: &Knee, resolution: u32) -> f64 {
+    let al = alpha(resolution);
+    let d_knee = (f64::from(a.service_weight) / f64::from(b.service_weight))
+        .ln()
+        .abs();
+    let d_rate = al * (a.rate_at_knee / b.rate_at_knee).ln().abs();
+    let d_max = al * (a.rate_at_max / b.rate_at_max).ln().abs();
+    d_knee.max(d_rate).max(d_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::knee_of;
+
+    #[test]
+    fn alpha_is_one_at_defaults() {
+        assert!((alpha(1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let f: Vec<f64> = (0..=100).map(|i| if i < 40 { 0.0 } else { (i - 40) as f64 * 0.01 }).collect();
+        let g: Vec<f64> = (0..=100).map(|i| if i < 10 { 0.0 } else { (i - 10) as f64 * 0.1 }).collect();
+        let (kf, kg) = (knee_of(&f), knee_of(&g));
+        let d1 = distance(&kf, &kg, 100);
+        let d2 = distance(&kg, &kf, 100);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn identical_functions_have_zero_distance() {
+        let f: Vec<f64> = (0..=100).map(|i| i as f64 * 0.5).collect();
+        let k = knee_of(&f);
+        assert_eq!(distance(&k, &k, 100), 0.0);
+    }
+
+    #[test]
+    fn capacity_ratio_shows_up_as_log() {
+        // Knees at weights 100 and 500: distance >= ln(5).
+        let mut f = vec![0.0; 1001];
+        let mut g = vec![0.0; 1001];
+        for i in 100..=1000 {
+            f[i] = (i - 99) as f64 * 0.001;
+        }
+        for i in 500..=1000 {
+            g[i] = (i - 499) as f64 * 0.001;
+        }
+        let d = distance(&knee_of(&f), &knee_of(&g), 1000);
+        assert!(d >= (5.0f64).ln() - 1e-9);
+    }
+
+    #[test]
+    fn similar_capacities_are_close() {
+        let mut f = vec![0.0; 1001];
+        let mut g = vec![0.0; 1001];
+        for i in 480..=1000 {
+            f[i] = (i - 479) as f64 * 0.001;
+        }
+        for i in 520..=1000 {
+            g[i] = (i - 519) as f64 * 0.001;
+        }
+        let d = distance(&knee_of(&f), &knee_of(&g), 1000);
+        assert!(d < 0.2, "knees 48% vs 52% should be close, got {d}");
+    }
+}

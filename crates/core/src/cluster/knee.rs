@@ -1,0 +1,87 @@
+//! Knee extraction from predictive blocking-rate functions.
+//!
+//! Predictive functions "tend to have a sharp knee at a particular weight
+//! `w_{j,s}`, which is effectively the service rate for channel j": below
+//! the knee the function is zero, above it blocking grows. The clustering
+//! distance compares three features: the knee position, the blocking at the
+//! knee, and the blocking at full load.
+
+use crate::DELTA;
+
+/// The characteristic features of a predictive function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knee {
+    /// `w_{j,s}`: the first weight (in units, `>= 1`) where the predicted
+    /// blocking rate exceeds [`DELTA`]. Equal to the resolution `R` when the
+    /// function never predicts blocking.
+    pub service_weight: u32,
+    /// `F_j(w_{j,s})`: blocking at the knee, floored at [`DELTA`].
+    pub rate_at_knee: f64,
+    /// `F_j(R)`: blocking at full load, floored at [`DELTA`].
+    pub rate_at_max: f64,
+}
+
+/// Extracts the knee of a predicted function (a slice of length `R + 1`).
+///
+/// # Panics
+///
+/// Panics if `predicted.len() < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_core::cluster::knee_of;
+///
+/// // No blocking until weight 3, then rising.
+/// let f = [0.0, 0.0, 0.0, 0.1, 0.2];
+/// let k = knee_of(&f);
+/// assert_eq!(k.service_weight, 3);
+/// assert_eq!(k.rate_at_knee, 0.1);
+/// assert_eq!(k.rate_at_max, 0.2);
+/// ```
+pub fn knee_of(predicted: &[f64]) -> Knee {
+    assert!(predicted.len() >= 2, "function domain must have at least two points");
+    let r = predicted.len() - 1;
+    let service_weight = predicted
+        .iter()
+        .position(|&v| v > DELTA)
+        .unwrap_or(r)
+        .max(1) as u32;
+    Knee {
+        service_weight,
+        rate_at_knee: predicted[service_weight as usize].max(DELTA),
+        rate_at_max: predicted[r].max(DELTA),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_function_has_knee_at_max() {
+        let f = vec![0.0; 11];
+        let k = knee_of(&f);
+        assert_eq!(k.service_weight, 10);
+        assert_eq!(k.rate_at_knee, DELTA);
+        assert_eq!(k.rate_at_max, DELTA);
+    }
+
+    #[test]
+    fn immediate_blocking_has_knee_at_one() {
+        // The paper's "severe blocking even with 0.001 of the load" channel.
+        let f: Vec<f64> = (0..=10).map(|i| i as f64 * 5.0).collect();
+        let k = knee_of(&f);
+        assert_eq!(k.service_weight, 1);
+        assert_eq!(k.rate_at_knee, 5.0);
+        assert_eq!(k.rate_at_max, 50.0);
+    }
+
+    #[test]
+    fn rates_floored_at_delta() {
+        let mut f = vec![0.0; 11];
+        f[10] = DELTA / 2.0;
+        let k = knee_of(&f);
+        assert_eq!(k.rate_at_max, DELTA);
+    }
+}

@@ -1,0 +1,65 @@
+//! Clustering of connections with similar blocking-rate functions (§5.3).
+//!
+//! With many connections the fixed budget of blocking observations spreads
+//! thin and each per-connection function becomes unreliable. The paper's
+//! systems insight is that performance is correlated per host, so
+//! connections are grouped by *function shape*: each predictive function has
+//! a sharp knee at its effective service rate, and two functions are close
+//! when their knees, knee heights and full-load heights agree within small
+//! log-ratios. Clusters pool their members' raw data into one robust
+//! function, the [minimax optimization](crate::solver) runs over clusters
+//! (with multiplicities), and the per-cluster weight is shared by every
+//! member.
+
+mod agglomerative;
+mod distance;
+mod knee;
+
+pub use agglomerative::{cluster, Clustering};
+pub use distance::{alpha, distance};
+pub use knee::{knee_of, Knee};
+
+use crate::function::BlockingRateFunction;
+
+/// Builds the pooled function for a cluster by merging the raw data points
+/// of all member functions (duplicate weights are averaged).
+///
+/// # Panics
+///
+/// Panics if `members` is empty or the members disagree on resolution.
+pub fn aggregate_functions(
+    members: &[&BlockingRateFunction],
+    alpha_smoothing: f64,
+) -> BlockingRateFunction {
+    assert!(!members.is_empty(), "cluster must have at least one member");
+    let resolution = members[0].resolution();
+    assert!(
+        members.iter().all(|m| m.resolution() == resolution),
+        "members must share a resolution"
+    );
+    let points = members.iter().flat_map(|m| m.raw_points());
+    BlockingRateFunction::from_raw_points(resolution, alpha_smoothing, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_pools_member_data() {
+        let mut a = BlockingRateFunction::new(100, 1.0);
+        a.observe(50, 0.2);
+        let mut b = BlockingRateFunction::new(100, 1.0);
+        b.observe(50, 0.4);
+        b.observe(80, 1.0);
+        let mut g = aggregate_functions(&[&a, &b], 1.0);
+        assert!((g.value(50) - 0.3).abs() < 1e-12, "averaged at shared weight");
+        assert!((g.value(80) - 1.0).abs() < 1e-12, "kept unique point");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn aggregate_rejects_empty() {
+        let _ = aggregate_functions(&[], 0.5);
+    }
+}

@@ -1,0 +1,800 @@
+//! The local load-balancing control loop.
+//!
+//! [`LoadBalancer`] owns one [`BlockingRateFunction`] per connection and the
+//! current [`WeightVector`]. Each control round (one sampling interval, 1 s
+//! in the paper):
+//!
+//! 1. [`observe`](LoadBalancer::observe) folds the new blocking-rate samples
+//!    into the per-connection functions at their *current* weights. Because
+//!    of drafting, usually only one connection delivers a *nonzero* sample
+//!    per round; zero samples still count as evidence that the current
+//!    weight is sustainable (they are what lets a throttled connection
+//!    recover after external load disappears).
+//! 2. [`rebalance`](LoadBalancer::rebalance) applies the exploration decay
+//!    (adaptive mode only), optionally clusters the connections, solves the
+//!    minimax RAP with [Fox's greedy algorithm](crate::solver::fox), and
+//!    installs the new weights.
+//!
+//! The *LB-static* variant of the paper is [`BalancerMode::Static`]; the
+//! *LB-adaptive* variant is [`BalancerMode::Adaptive`] with the paper's 10%
+//! decay.
+
+use std::fmt;
+
+use crate::cluster::{self, Clustering};
+use crate::function::BlockingRateFunction;
+use crate::rate::ConnectionSample;
+use crate::solver::{fox, Problem};
+use crate::weights::{WeightVector, DEFAULT_RESOLUTION};
+use crate::DELTA;
+
+/// Whether the balancer re-explores (decays stale data) each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BalancerMode {
+    /// *LB-static*: functions only change when new data arrives. Fast to
+    /// converge, but never discovers that load has been removed.
+    Static,
+    /// *LB-adaptive*: every round, each function's values above its current
+    /// weight shrink by the given factor (the paper reduces by 10%, i.e.
+    /// `decay = 0.9`), forcing periodic re-exploration.
+    Adaptive {
+        /// Multiplicative per-round decay factor in `[0, 1]`.
+        decay: f64,
+    },
+}
+
+impl Default for BalancerMode {
+    fn default() -> Self {
+        BalancerMode::Adaptive { decay: 0.9 }
+    }
+}
+
+/// Configuration for clustering (enabled for wide parallel regions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringConfig {
+    /// Clustering only activates at or above this many connections (the
+    /// paper finds it "only becomes necessary as the number of channels
+    /// scales to 32 and higher").
+    pub min_connections: usize,
+    /// Complete-linkage merge threshold on the knee distance. With the
+    /// default `α = 1`, a threshold of `ln 2 ≈ 0.69` clusters capacities
+    /// within a factor of two.
+    pub distance_threshold: f64,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig {
+            min_connections: 32,
+            distance_threshold: 0.7,
+        }
+    }
+}
+
+/// Error building a [`BalancerConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `connections` was zero.
+    NoConnections,
+    /// `resolution` was zero or smaller than the connection count.
+    BadResolution,
+    /// A smoothing/decay factor was outside its valid range.
+    BadFactor,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoConnections => write!(f, "need at least one connection"),
+            ConfigError::BadResolution => {
+                write!(f, "resolution must be positive and >= connection count")
+            }
+            ConfigError::BadFactor => write!(f, "smoothing/decay factors must be in (0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of a [`LoadBalancer`]. Build with
+/// [`BalancerConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancerConfig {
+    connections: usize,
+    resolution: u32,
+    smoothing: f64,
+    mode: BalancerMode,
+    max_step_up: Option<u32>,
+    max_step_down: Option<u32>,
+    exploration_step: u32,
+    clustering: Option<ClusteringConfig>,
+    record_zero_rates: bool,
+}
+
+impl BalancerConfig {
+    /// Starts a builder for a balancer over `connections` connections.
+    pub fn builder(connections: usize) -> BalancerConfigBuilder {
+        BalancerConfigBuilder {
+            connections,
+            resolution: DEFAULT_RESOLUTION,
+            smoothing: 0.5,
+            mode: BalancerMode::default(),
+            max_step_up: None,
+            max_step_down: None,
+            exploration_step: 10,
+            clustering: None,
+            record_zero_rates: true,
+        }
+    }
+
+    /// Number of connections.
+    pub fn connections(&self) -> usize {
+        self.connections
+    }
+
+    /// Weight resolution `R`.
+    pub fn resolution(&self) -> u32 {
+        self.resolution
+    }
+
+    /// The balancer mode.
+    pub fn mode(&self) -> BalancerMode {
+        self.mode
+    }
+}
+
+/// Builder for [`BalancerConfig`].
+#[derive(Debug, Clone)]
+pub struct BalancerConfigBuilder {
+    connections: usize,
+    resolution: u32,
+    smoothing: f64,
+    mode: BalancerMode,
+    max_step_up: Option<u32>,
+    max_step_down: Option<u32>,
+    exploration_step: u32,
+    clustering: Option<ClusteringConfig>,
+    record_zero_rates: bool,
+}
+
+impl BalancerConfigBuilder {
+    /// Sets the weight resolution `R` (default 1000, i.e. 0.1% units).
+    pub fn resolution(&mut self, resolution: u32) -> &mut Self {
+        self.resolution = resolution;
+        self
+    }
+
+    /// Sets the EWMA weight for new samples (default 0.5).
+    pub fn smoothing(&mut self, alpha: f64) -> &mut Self {
+        self.smoothing = alpha;
+        self
+    }
+
+    /// Sets the mode (default `Adaptive { decay: 0.9 }`).
+    pub fn mode(&mut self, mode: BalancerMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Limits how many units a connection's weight may *gain* per round.
+    pub fn max_step_up(&mut self, units: u32) -> &mut Self {
+        self.max_step_up = Some(units);
+        self
+    }
+
+    /// Limits how many units a connection's weight may *lose* per round.
+    pub fn max_step_down(&mut self, units: u32) -> &mut Self {
+        self.max_step_down = Some(units);
+        self
+    }
+
+    /// Sets how far (in units) a connection's weight may push past its
+    /// *knowledge frontier* — the largest weight where its function still
+    /// predicts no blocking — in one round (default 10, i.e. 1%).
+    ///
+    /// This realizes the paper's incremental "minimum and maximum change
+    /// constraints": a connection may shed weight or move freely within
+    /// territory predicted clean, but may only creep into
+    /// predicted-blocking territory. It is what makes the paper's loaded
+    /// connection retry weight 9 (not 200) after being throttled to 0.
+    pub fn exploration_step(&mut self, units: u32) -> &mut Self {
+        self.exploration_step = units;
+        self
+    }
+
+    /// Enables clustering with the given configuration.
+    ///
+    /// Per-round step limits are ignored while clustering is active (the
+    /// cluster optimization re-derives bounds from cluster sizes).
+    pub fn clustering(&mut self, clustering: ClusteringConfig) -> &mut Self {
+        self.clustering = Some(clustering);
+        self
+    }
+
+    /// Whether samples with (near-)zero blocking rates are recorded as data
+    /// points at the connection's current weight (default `true`).
+    ///
+    /// Zero observations are what let a throttled connection *recover*: the
+    /// paper's Figure 8 describes the climb back to an even distribution as
+    /// "slow because its function still indicates that blocking is probable
+    /// at higher allocation weights, and the new data is slowly changing
+    /// that function" — without recording no-blocking rounds, stale
+    /// pessimism at or below the current weight would never erode (the
+    /// exploration decay only touches weights *above* it). Setting this to
+    /// `false` restricts data to connections that actually blocked.
+    pub fn record_zero_rates(&mut self, record: bool) -> &mut Self {
+        self.record_zero_rates = record;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first invalid field.
+    pub fn build(&self) -> Result<BalancerConfig, ConfigError> {
+        if self.connections == 0 {
+            return Err(ConfigError::NoConnections);
+        }
+        if self.resolution == 0 || (self.resolution as usize) < self.connections {
+            return Err(ConfigError::BadResolution);
+        }
+        if !(self.smoothing > 0.0 && self.smoothing <= 1.0) {
+            return Err(ConfigError::BadFactor);
+        }
+        if let BalancerMode::Adaptive { decay } = self.mode {
+            if !(0.0..=1.0).contains(&decay) {
+                return Err(ConfigError::BadFactor);
+            }
+        }
+        Ok(BalancerConfig {
+            connections: self.connections,
+            resolution: self.resolution,
+            smoothing: self.smoothing,
+            mode: self.mode,
+            max_step_up: self.max_step_up,
+            max_step_down: self.max_step_down,
+            exploration_step: self.exploration_step,
+            clustering: self.clustering,
+            record_zero_rates: self.record_zero_rates,
+        })
+    }
+}
+
+/// The local load balancer for one parallel region's splitter.
+///
+/// # Examples
+///
+/// Detecting a severe imbalance and adapting, then recovering once the load
+/// disappears (the adaptive decay slowly re-opens the throttled connection):
+///
+/// ```
+/// use streambal_core::controller::{BalancerConfig, LoadBalancer};
+/// use streambal_core::rate::ConnectionSample;
+///
+/// let mut lb = LoadBalancer::new(BalancerConfig::builder(2).build().unwrap());
+/// lb.observe(&[ConnectionSample::new(0, 0.95)]); // connection 0 overloaded
+/// lb.rebalance();
+/// assert!(lb.weights().units()[0] < lb.weights().units()[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    cfg: BalancerConfig,
+    functions: Vec<BlockingRateFunction>,
+    weights: WeightVector,
+    round: u64,
+    last_clusters: Option<Clustering>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer starting from an even weight split.
+    pub fn new(cfg: BalancerConfig) -> Self {
+        let functions = (0..cfg.connections)
+            .map(|_| BlockingRateFunction::new(cfg.resolution, cfg.smoothing))
+            .collect();
+        let weights = WeightVector::even(cfg.connections, cfg.resolution);
+        LoadBalancer {
+            cfg,
+            functions,
+            weights,
+            round: 0,
+            last_clusters: None,
+        }
+    }
+
+    /// The current allocation weights.
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+
+    /// The configuration this balancer was built with.
+    pub fn config(&self) -> &BalancerConfig {
+        &self.cfg
+    }
+
+    /// Number of completed rebalance rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The predictive function of connection `j` (for introspection and
+    /// plotting, e.g. the paper's Figure 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn function(&self, j: usize) -> &BlockingRateFunction {
+        &self.functions[j]
+    }
+
+    /// Mutable access to a connection's function (used by tests and by
+    /// scenario setup to seed prior knowledge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn function_mut(&mut self, j: usize) -> &mut BlockingRateFunction {
+        &mut self.functions[j]
+    }
+
+    /// The clustering used by the most recent rebalance, if clustering was
+    /// active.
+    pub fn last_clusters(&self) -> Option<&Clustering> {
+        self.last_clusters.as_ref()
+    }
+
+    /// Folds one sampling interval's blocking-rate measurements into the
+    /// model at the connections' current weights.
+    ///
+    /// By default every sample is recorded, including (EWMA-smoothed)
+    /// zeros — a no-blocking round at the current weight is evidence the
+    /// connection can sustain that weight, and is what erodes stale
+    /// pessimism at low weights after a load disappears. With
+    /// `record_zero_rates(false)`, rates at or below the noise floor
+    /// ([`DELTA`]) are treated as "no data" instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's connection index is out of bounds.
+    pub fn observe(&mut self, samples: &[ConnectionSample]) {
+        for s in samples {
+            assert!(
+                s.connection < self.cfg.connections,
+                "sample for unknown connection {}",
+                s.connection
+            );
+            let rate = s.rate.value();
+            if rate <= DELTA && !self.cfg.record_zero_rates {
+                continue;
+            }
+            let w = self.weights.units()[s.connection];
+            self.functions[s.connection].observe(w, rate);
+        }
+    }
+
+    /// Runs one optimization round and installs the new weights.
+    ///
+    /// Until the first real observation arrives, the even split is kept
+    /// (with no data every allocation is equally "optimal", and an even
+    /// split is the only defensible prior).
+    pub fn rebalance(&mut self) -> &WeightVector {
+        self.round += 1;
+
+        if let BalancerMode::Adaptive { decay } = self.cfg.mode {
+            for (j, f) in self.functions.iter_mut().enumerate() {
+                f.decay_above(self.weights.units()[j], decay);
+            }
+        }
+
+        let has_data = self.functions.iter().any(|f| f.raw_len() > 1);
+        if !has_data {
+            return &self.weights;
+        }
+
+        let clustering_active = self
+            .cfg
+            .clustering
+            .map(|c| self.cfg.connections >= c.min_connections)
+            .unwrap_or(false);
+
+        if clustering_active {
+            self.rebalance_clustered();
+        } else {
+            self.rebalance_plain();
+        }
+        &self.weights
+    }
+
+    /// The largest weight at which `predicted` (monotone) still forecasts
+    /// no blocking.
+    fn clean_frontier(predicted: &[f64]) -> u32 {
+        predicted
+            .iter()
+            .rposition(|&v| v <= crate::DELTA)
+            .unwrap_or(0) as u32
+    }
+
+    /// Per-connection weight bounds for this round.
+    ///
+    /// Decreases are unconstrained (a connection may always be throttled,
+    /// even straight to zero, as in the paper's Figure 8). Increases may go
+    /// anywhere the function predicts no blocking, plus at most
+    /// `exploration_step` units into predicted-blocking territory — and a
+    /// connection may always keep its current weight, which keeps the
+    /// problem feasible even when every function predicts blocking.
+    fn step_bounds(&mut self) -> (Vec<u32>, Vec<u32>) {
+        let r = self.cfg.resolution;
+        let step = self.cfg.exploration_step;
+        let units: Vec<u32> = self.weights.units().to_vec();
+        let lower: Vec<u32> = units
+            .iter()
+            .map(|&w| match self.cfg.max_step_down {
+                Some(d) => w.saturating_sub(d),
+                None => 0,
+            })
+            .collect();
+        let upper: Vec<u32> = units
+            .iter()
+            .enumerate()
+            .map(|(j, &w)| {
+                let frontier = Self::clean_frontier(self.functions[j].predicted());
+                let mut up = frontier
+                    .saturating_add(step)
+                    .max(w.saturating_add(step))
+                    .min(r);
+                if let Some(u) = self.cfg.max_step_up {
+                    up = up.min(w.saturating_add(u)).max(w);
+                }
+                up
+            })
+            .collect();
+        (lower, upper)
+    }
+
+    fn rebalance_plain(&mut self) {
+        let (lower, upper) = self.step_bounds();
+        let predicted: Vec<Vec<f64>> = self
+            .functions
+            .iter_mut()
+            .map(|f| f.predicted().to_vec())
+            .collect();
+        // Tie-break equal (usually zero) marginals toward the connections
+        // with the most demonstrated headroom; see Problem::with_tie_priority.
+        let priority: Vec<u64> = predicted
+            .iter()
+            .map(|p| u64::from(Self::clean_frontier(p)))
+            .collect();
+        let slices: Vec<&[f64]> = predicted.iter().map(Vec::as_slice).collect();
+        let problem = Problem::new(slices, self.cfg.resolution)
+            .expect("function domains are consistent by construction")
+            .with_bounds(lower, upper)
+            .expect("bounds derived from current weights are valid")
+            .with_tie_priority(priority)
+            .expect("priority vector matches the connection count");
+        let allocation = fox::solve(&problem)
+            .expect("bounds bracketing the current weights are always feasible");
+        self.weights = WeightVector::from_units(allocation.weights, self.cfg.resolution)
+            .expect("fox assigns exactly R units for multiplicity-1 problems");
+        self.last_clusters = None;
+    }
+
+    fn rebalance_clustered(&mut self) {
+        let cfg = self
+            .cfg
+            .clustering
+            .expect("clustered rebalance requires clustering config");
+        let r = self.cfg.resolution;
+        let n = self.cfg.connections;
+
+        // 1. Knees and pairwise distances on the per-connection functions.
+        let knees: Vec<_> = self
+            .functions
+            .iter_mut()
+            .map(|f| cluster::knee_of(f.predicted()))
+            .collect();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = cluster::distance(&knees[i], &knees[j], r);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let clustering = cluster::cluster(n, &dist, cfg.distance_threshold);
+
+        // 2. Pool member data into one function per cluster.
+        let mut pooled: Vec<BlockingRateFunction> = clustering
+            .members
+            .iter()
+            .map(|members| {
+                let refs: Vec<&BlockingRateFunction> =
+                    members.iter().map(|&m| &self.functions[m]).collect();
+                cluster::aggregate_functions(&refs, self.cfg.smoothing)
+            })
+            .collect();
+        let predicted: Vec<Vec<f64>> = pooled.iter_mut().map(|f| f.predicted().to_vec()).collect();
+        let slices: Vec<&[f64]> = predicted.iter().map(Vec::as_slice).collect();
+
+        // 3. Solve over clusters: granting a cluster one unit of
+        //    per-connection weight consumes `size` units of resource.
+        let sizes: Vec<u32> = clustering.members.iter().map(|m| m.len() as u32).collect();
+        let step = self.cfg.exploration_step;
+        let upper: Vec<u32> = clustering
+            .members
+            .iter()
+            .zip(&predicted)
+            .map(|(members, pred)| {
+                let frontier = Self::clean_frontier(pred);
+                let keep = members
+                    .iter()
+                    .map(|&m| self.weights.units()[m])
+                    .max()
+                    .unwrap_or(0);
+                frontier
+                    .saturating_add(step)
+                    .max(keep.saturating_add(step))
+                    .min(r)
+            })
+            .collect();
+        let lower = vec![0; sizes.len()];
+        let cluster_frontiers: Vec<u64> = predicted
+            .iter()
+            .map(|p| u64::from(Self::clean_frontier(p)))
+            .collect();
+        let problem = Problem::new(slices, r)
+            .expect("pooled function domains are consistent")
+            .with_bounds(lower, upper)
+            .expect("cluster bounds are valid by construction")
+            .with_multiplicity(sizes.clone())
+            .expect("cluster sizes are positive")
+            .with_tie_priority(cluster_frontiers.clone())
+            .expect("priority vector matches the cluster count");
+        let allocation = fox::solve(&problem)
+            .expect("keep-current upper bounds always cover R units");
+
+        // 4. Expand per-cluster weights to members and hand out the
+        //    remainder (< max cluster size) unit-by-unit, cheapest marginal
+        //    cluster first.
+        let mut units = vec![0u32; n];
+        for (c, members) in clustering.members.iter().enumerate() {
+            for &m in members {
+                units[m] = allocation.weights[c];
+            }
+        }
+        let mut remainder = (u64::from(r) - allocation.assigned) as u32;
+        if remainder > 0 {
+            let mut order: Vec<usize> = (0..clustering.members.len()).collect();
+            order.sort_by(|&a, &b| {
+                let next = |c: usize| {
+                    let w = (allocation.weights[c] + 1).min(r) as usize;
+                    predicted[c][w]
+                };
+                next(a)
+                    .total_cmp(&next(b))
+                    .then(cluster_frontiers[b].cmp(&cluster_frontiers[a]))
+                    .then(a.cmp(&b))
+            });
+            'outer: for &c in &order {
+                for &m in &clustering.members[c] {
+                    if remainder == 0 {
+                        break 'outer;
+                    }
+                    if units[m] < r {
+                        units[m] += 1;
+                        remainder -= 1;
+                    }
+                }
+            }
+        }
+
+        self.weights = WeightVector::from_units(units, r)
+            .expect("cluster expansion plus remainder distribution totals R");
+        self.last_clusters = Some(clustering);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::ConnectionSample;
+
+    fn balancer(n: usize) -> LoadBalancer {
+        LoadBalancer::new(BalancerConfig::builder(n).build().unwrap())
+    }
+
+    #[test]
+    fn starts_even() {
+        let lb = balancer(4);
+        assert_eq!(lb.weights().units(), &[250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn no_data_keeps_even_split() {
+        let mut lb = balancer(3);
+        for _ in 0..5 {
+            lb.rebalance();
+        }
+        assert_eq!(lb.weights().units(), &[334, 333, 333]);
+    }
+
+    #[test]
+    fn all_zero_rates_keep_even_split() {
+        let mut lb = balancer(3);
+        lb.observe(&[
+            ConnectionSample::new(0, 0.0),
+            ConnectionSample::new(1, 0.0),
+            ConnectionSample::new(2, 0.0),
+        ]);
+        lb.rebalance();
+        assert_eq!(lb.weights().units(), &[334, 333, 333]);
+    }
+
+    #[test]
+    fn zero_rates_can_be_ignored_by_config() {
+        let cfg = BalancerConfig::builder(3)
+            .record_zero_rates(false)
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        lb.observe(&[ConnectionSample::new(0, 0.0)]);
+        assert_eq!(lb.function(0).raw_len(), 1, "zero sample discarded");
+        let cfg = BalancerConfig::builder(3).build().unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        lb.observe(&[ConnectionSample::new(0, 0.0)]);
+        assert_eq!(lb.function(0).raw_len(), 2, "zero sample recorded");
+    }
+
+    #[test]
+    fn overloaded_connection_is_throttled() {
+        let mut lb = balancer(3);
+        lb.observe(&[ConnectionSample::new(0, 0.9)]);
+        lb.rebalance();
+        // The paper: "our model decides to change its allocation weight to 0".
+        assert_eq!(lb.weights().units()[0], 0);
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn weights_always_sum_to_resolution() {
+        let mut lb = balancer(5);
+        for round in 0..50u32 {
+            let conn = (round % 5) as usize;
+            lb.observe(&[ConnectionSample::new(conn, 0.1 + 0.01 * round as f64)]);
+            lb.rebalance();
+            assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        }
+    }
+
+    #[test]
+    fn step_limits_bound_weight_changes() {
+        let cfg = BalancerConfig::builder(2)
+            .max_step_down(100)
+            .max_step_up(100)
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        lb.observe(&[ConnectionSample::new(0, 0.99)]);
+        lb.rebalance();
+        assert_eq!(lb.weights().units(), &[400, 600]);
+        lb.rebalance();
+        assert_eq!(lb.weights().units(), &[300, 700]);
+    }
+
+    #[test]
+    fn static_mode_never_recovers() {
+        let cfg = BalancerConfig::builder(2)
+            .mode(BalancerMode::Static)
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        lb.observe(&[ConnectionSample::new(0, 0.9)]);
+        lb.rebalance();
+        let throttled = lb.weights().units()[0];
+        // Many silent rounds: without decay nothing changes.
+        for _ in 0..200 {
+            lb.rebalance();
+        }
+        assert_eq!(lb.weights().units()[0], throttled);
+    }
+
+    #[test]
+    fn adaptive_mode_reexplores_after_load_removal() {
+        // Simulated physics: connection 0 starts 100x loaded (it blocks
+        // severely at any real weight), then the load disappears. After
+        // removal connection 0 never blocks again, while connection 1 keeps
+        // blocking whenever it carries more than 60% of the traffic. The
+        // adaptive decay must erode connection 0's stale severe function and
+        // hand its capacity back; the static variant must not.
+        let run = |mode: BalancerMode| {
+            let cfg = BalancerConfig::builder(2).mode(mode).build().unwrap();
+            let mut lb = LoadBalancer::new(cfg);
+            // While loaded: conn 0 blocks hard at its even share.
+            for _ in 0..5 {
+                lb.observe(&[ConnectionSample::new(0, 2.0)]);
+                lb.rebalance();
+            }
+            // Load removed; conn 1 pushes back when oversubscribed.
+            for _ in 0..300 {
+                if lb.weights().units()[1] > 600 {
+                    lb.observe(&[ConnectionSample::new(1, 0.3)]);
+                }
+                lb.rebalance();
+            }
+            lb.weights().units()[0]
+        };
+        let adaptive = run(BalancerMode::Adaptive { decay: 0.9 });
+        let static_ = run(BalancerMode::Static);
+        assert!(
+            adaptive >= 300,
+            "adaptive should hand most capacity back, got {adaptive}"
+        );
+        assert!(
+            adaptive > static_,
+            "adaptive ({adaptive}) must recover more than static ({static_})"
+        );
+    }
+
+    #[test]
+    fn observation_is_recorded_at_current_weight() {
+        let mut lb = balancer(2);
+        lb.observe(&[ConnectionSample::new(1, 0.4)]);
+        let pts: Vec<(u32, f64)> = lb.function(1).raw_points().collect();
+        assert_eq!(pts, vec![(0, 0.0), (500, 0.4)]);
+    }
+
+    #[test]
+    fn clustering_activates_at_threshold() {
+        let cfg = BalancerConfig::builder(32)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        // Half the connections report severe blocking.
+        for j in 0..16 {
+            lb.observe(&[ConnectionSample::new(j, 0.8)]);
+        }
+        lb.rebalance();
+        let clusters = lb.last_clusters().expect("clustering should be active");
+        assert!(clusters.num_clusters() >= 2);
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        // Loaded connections share a cluster distinct from unloaded ones.
+        let a = clusters.assignment[0];
+        assert!((0..16).all(|j| clusters.assignment[j] == a));
+        assert!((16..32).all(|j| clusters.assignment[j] != a));
+    }
+
+    #[test]
+    fn clustering_below_threshold_is_plain() {
+        let cfg = BalancerConfig::builder(4)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        lb.observe(&[ConnectionSample::new(0, 0.5)]);
+        lb.rebalance();
+        assert!(lb.last_clusters().is_none());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(
+            BalancerConfig::builder(0).build().unwrap_err(),
+            ConfigError::NoConnections
+        );
+        assert_eq!(
+            BalancerConfig::builder(10).resolution(5).build().unwrap_err(),
+            ConfigError::BadResolution
+        );
+        assert_eq!(
+            BalancerConfig::builder(2).smoothing(0.0).build().unwrap_err(),
+            ConfigError::BadFactor
+        );
+        assert_eq!(
+            BalancerConfig::builder(2)
+                .mode(BalancerMode::Adaptive { decay: 1.5 })
+                .build()
+                .unwrap_err(),
+            ConfigError::BadFactor
+        );
+    }
+}

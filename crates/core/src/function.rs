@@ -1,0 +1,394 @@
+//! Per-connection predictive blocking-rate functions `F_j(w_j)`.
+//!
+//! The x-axis is the discrete allocation weight (units of `1/R`, default
+//! 0.1%); the y-axis is the blocking rate the connection experienced — or is
+//! predicted to experience — at that weight. Following §5.1 of the paper, a
+//! function is derived in three steps:
+//!
+//! 1. new data is smoothed into the existing raw data (EWMA per weight; the
+//!    point `(0, 0)` is assumed),
+//! 2. the raw points are forced into non-decreasing order by
+//!    [monotone regression](crate::pava), and
+//! 3. missing points in the domain are filled by linear interpolation, with
+//!    linear extrapolation past the last observation.
+//!
+//! The adaptive balancer additionally applies an *exploration decay*
+//! ([`BlockingRateFunction::decay_above`]): every round, all raw values above
+//! the current allocation weight shrink by 10%, so stale pessimism erodes
+//! and the optimizer eventually re-explores higher weights.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::pava::isotonic_non_decreasing;
+
+/// Predictive blocking-rate function for one connection.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_core::function::BlockingRateFunction;
+///
+/// let mut f = BlockingRateFunction::new(1000, 0.5);
+/// f.observe(500, 0.2); // blocked 20% of the interval at weight 50.0%
+/// assert_eq!(f.value(0), 0.0);
+/// assert!((f.value(500) - 0.2).abs() < 1e-12);
+/// assert!(f.value(250) > 0.0); // interpolated
+/// assert!(f.value(1000) > f.value(500)); // extrapolated
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockingRateFunction {
+    resolution: u32,
+    alpha: f64,
+    /// Raw smoothed observations, keyed by weight units: `(rate, count)`
+    /// where `count` is how many samples were folded in (used to weight the
+    /// monotone regression — a frequently-confirmed point should not be
+    /// pooled away by a single noisy neighbour). Always contains `(0, 0.0)`.
+    raw: BTreeMap<u32, (f64, f64)>,
+    predicted: Vec<f64>,
+    dirty: bool,
+}
+
+impl BlockingRateFunction {
+    /// Creates an empty function over weights `0..=resolution`.
+    ///
+    /// `alpha` is the EWMA weight given to new observations at an
+    /// already-observed weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution == 0` or `alpha` is not in `(0, 1]`.
+    pub fn new(resolution: u32, alpha: f64) -> Self {
+        assert!(resolution > 0, "resolution must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        let mut raw = BTreeMap::new();
+        raw.insert(0, (0.0, 1.0));
+        BlockingRateFunction {
+            resolution,
+            alpha,
+            raw,
+            predicted: vec![0.0; resolution as usize + 1],
+            dirty: false,
+        }
+    }
+
+    /// The number of discrete units `R` in the weight domain.
+    pub fn resolution(&self) -> u32 {
+        self.resolution
+    }
+
+    /// Records a blocking-rate observation at the given allocation weight.
+    ///
+    /// Observations at weight zero are ignored — `(0, 0)` is an axiom of the
+    /// model (a connection receiving no tuples cannot block). If the weight
+    /// was observed before, the new rate is folded in by EWMA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight > resolution` or `rate` is negative/non-finite.
+    pub fn observe(&mut self, weight: u32, rate: f64) {
+        assert!(weight <= self.resolution, "weight out of domain");
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and >= 0");
+        if weight == 0 {
+            return;
+        }
+        let alpha = self.alpha;
+        self.raw
+            .entry(weight)
+            .and_modify(|(v, count)| {
+                *v = alpha * rate + (1.0 - alpha) * *v;
+                *count += 1.0;
+            })
+            .or_insert((rate, 1.0));
+        self.dirty = true;
+    }
+
+    /// Applies one round of exploration decay: every raw value at a weight
+    /// strictly above `weight` is multiplied by `factor`.
+    ///
+    /// The paper reduces such values by a fixed 10% per round
+    /// (`factor = 0.9`); combined with monotone regression this flattens the
+    /// function beyond the current allocation and induces re-exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= factor <= 1`.
+    pub fn decay_above(&mut self, weight: u32, factor: f64) {
+        assert!((0.0..=1.0).contains(&factor), "factor must be in [0, 1]");
+        let mut changed = false;
+        for (_, (v, _)) in self.raw.range_mut(weight.saturating_add(1)..) {
+            *v *= factor;
+            changed = true;
+        }
+        self.dirty |= changed;
+    }
+
+    /// The predicted blocking rate at every weight in `0..=R`.
+    ///
+    /// The returned slice has length `R + 1` and is non-decreasing.
+    pub fn predicted(&mut self) -> &[f64] {
+        if self.dirty {
+            self.rebuild();
+            self.dirty = false;
+        }
+        &self.predicted
+    }
+
+    /// The predicted blocking rate at a single weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight > resolution`.
+    pub fn value(&mut self, weight: u32) -> f64 {
+        assert!(weight <= self.resolution, "weight out of domain");
+        self.predicted()[weight as usize]
+    }
+
+    /// Iterates over the raw (smoothed, pre-regression) data points.
+    pub fn raw_points(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.raw.iter().map(|(&w, &(v, _))| (w, v))
+    }
+
+    /// Iterates over the raw points with their observation counts (the
+    /// weights used by the monotone regression).
+    pub fn raw_points_weighted(&self) -> impl Iterator<Item = (u32, f64, f64)> + '_ {
+        self.raw.iter().map(|(&w, &(v, c))| (w, v, c))
+    }
+
+    /// Number of distinct weights with raw data (including the axiom point).
+    pub fn raw_len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Discards all observations, returning to the empty function.
+    pub fn reset(&mut self) {
+        self.raw.clear();
+        self.raw.insert(0, (0.0, 1.0));
+        self.predicted.iter_mut().for_each(|v| *v = 0.0);
+        self.dirty = false;
+    }
+
+    /// Builds a function directly from raw points (used when aggregating
+    /// cluster members). Points at weight 0 are pinned to zero; duplicate
+    /// weights are averaged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight exceeds `resolution` or any rate is
+    /// negative/non-finite.
+    pub fn from_raw_points<I>(resolution: u32, alpha: f64, points: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, f64)>,
+    {
+        let mut sums: BTreeMap<u32, (f64, u32)> = BTreeMap::new();
+        for (w, v) in points {
+            assert!(w <= resolution, "weight out of domain");
+            assert!(v.is_finite() && v >= 0.0, "rate must be finite and >= 0");
+            let e = sums.entry(w).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        let mut f = BlockingRateFunction::new(resolution, alpha);
+        for (w, (sum, n)) in sums {
+            if w == 0 {
+                continue;
+            }
+            f.raw.insert(w, (sum / f64::from(n), f64::from(n)));
+        }
+        f.dirty = true;
+        f
+    }
+
+    fn rebuild(&mut self) {
+        let xs: Vec<u32> = self.raw.keys().copied().collect();
+        let ys: Vec<f64> = self.raw.values().map(|&(v, _)| v).collect();
+        let weights: Vec<f64> = self.raw.values().map(|&(_, c)| c).collect();
+        let fit = isotonic_non_decreasing(&ys, &weights);
+
+        let r = self.resolution as usize;
+        let out = &mut self.predicted;
+        debug_assert_eq!(out.len(), r + 1);
+
+        // Piecewise-linear fill between consecutive raw points.
+        for k in 0..xs.len() {
+            let x0 = xs[k] as usize;
+            let y0 = fit[k];
+            out[x0] = y0;
+            if k + 1 < xs.len() {
+                let x1 = xs[k + 1] as usize;
+                let y1 = fit[k + 1];
+                let span = (x1 - x0) as f64;
+                for (i, x) in (x0 + 1..x1).enumerate() {
+                    out[x] = y0 + (y1 - y0) * (i + 1) as f64 / span;
+                }
+            }
+        }
+
+        // Linear extrapolation past the last raw point using the slope of
+        // the final segment (non-negative because the fit is monotone).
+        let last = *xs.last().expect("raw always contains weight 0") as usize;
+        if last < r {
+            let slope = if xs.len() >= 2 {
+                let x0 = xs[xs.len() - 2] as usize;
+                (fit[xs.len() - 1] - fit[xs.len() - 2]) / (last - x0) as f64
+            } else {
+                0.0
+            };
+            let base = fit[xs.len() - 1];
+            for x in last + 1..=r {
+                out[x] = base + slope * (x - last) as f64;
+            }
+        }
+    }
+}
+
+impl fmt::Display for BlockingRateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F({} raw points over 0..={})", self.raw.len(), self.resolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_function_is_zero() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        assert!(f.predicted().iter().all(|&v| v == 0.0));
+        assert_eq!(f.predicted().len(), 1001);
+    }
+
+    #[test]
+    fn observation_interpolates_from_origin() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(400, 0.4);
+        assert!((f.value(200) - 0.2).abs() < 1e-12);
+        assert!((f.value(100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_continues_last_slope() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(400, 0.4);
+        f.observe(500, 0.6);
+        // Slope past 500 is (0.6-0.4)/100 = 0.002 per unit.
+        assert!((f.value(600) - 0.8).abs() < 1e-9);
+        assert!((f.value(1000) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_extrapolates_flat() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(300, 0.3);
+        // Only segment is (0,0)..(300,0.3); beyond 300 slope continues.
+        assert!((f.value(600) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_smoothing_at_same_weight() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(500, 0.8);
+        f.observe(500, 0.0);
+        assert!((f.value(500) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_regression_fixes_violations() {
+        let mut f = BlockingRateFunction::new(1000, 1.0);
+        f.observe(200, 0.5);
+        f.observe(400, 0.1); // violates monotonicity
+        let p = f.predicted();
+        assert!(p.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!((p[200] - 0.3).abs() < 1e-12, "pooled to mean");
+        assert!((p[400] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confirmed_points_outweigh_one_off_noise() {
+        // Weight 200 confirmed three times at 0.5; a single noisy 0.1 at
+        // weight 400 should barely drag the pooled value down.
+        let mut f = BlockingRateFunction::new(1000, 1.0);
+        f.observe(200, 0.5);
+        f.observe(200, 0.5);
+        f.observe(200, 0.5);
+        f.observe(400, 0.1);
+        let p = f.predicted();
+        // Weighted pool: (3*0.5 + 1*0.1) / 4 = 0.4 (vs 0.3 unweighted).
+        assert!((p[200] - 0.4).abs() < 1e-12, "got {}", p[200]);
+        let counts: Vec<f64> = f.raw_points_weighted().map(|(_, _, c)| c).collect();
+        assert_eq!(counts, vec![1.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn observe_at_zero_ignored() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(0, 0.9);
+        assert_eq!(f.value(0), 0.0);
+        assert_eq!(f.raw_len(), 1);
+    }
+
+    #[test]
+    fn decay_flattens_above_current_weight() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(300, 0.3);
+        f.observe(800, 0.9);
+        let before = f.value(800);
+        for _ in 0..10 {
+            f.decay_above(300, 0.9);
+        }
+        let after = f.value(800);
+        assert!(after < before);
+        assert!((after - before * 0.9f64.powi(10)).abs() < 1e-9);
+        // Values at or below the current weight are untouched.
+        assert!((f.value(300) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_eventually_flattens_to_current_level() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(300, 0.3);
+        f.observe(800, 5.0);
+        for _ in 0..400 {
+            f.decay_above(300, 0.9);
+        }
+        // Monotone regression keeps the function >= its value at 300.
+        assert!(f.value(800) >= f.value(300) - 1e-9);
+        assert!(f.value(800) < 0.31);
+    }
+
+    #[test]
+    fn reset_clears_all_data() {
+        let mut f = BlockingRateFunction::new(1000, 0.5);
+        f.observe(500, 1.0);
+        f.reset();
+        assert!(f.predicted().iter().all(|&v| v == 0.0));
+        assert_eq!(f.raw_len(), 1);
+    }
+
+    #[test]
+    fn from_raw_points_averages_duplicates() {
+        let mut f =
+            BlockingRateFunction::from_raw_points(1000, 0.5, vec![(500, 0.2), (500, 0.4)]);
+        assert!((f.value(500) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_is_always_monotone() {
+        let mut f = BlockingRateFunction::new(100, 0.7);
+        let data = [(10, 0.9), (20, 0.1), (50, 0.5), (70, 0.2), (90, 2.0)];
+        for (w, v) in data {
+            f.observe(w, v);
+        }
+        let p = f.predicted();
+        assert!(p.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight out of domain")]
+    fn observe_out_of_domain_panics() {
+        let mut f = BlockingRateFunction::new(100, 0.5);
+        f.observe(101, 0.1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Monotone (isotonic) regression via the pool-adjacent-violators algorithm.
+//!
+//! The blocking rate should logically be non-decreasing in the allocation
+//! weight, but sparse noisy samples occasionally violate this. The paper
+//! "forces the raw data points into non-decreasing order by a process known
+//! as monotone regression"; the classic algorithm is **PAVA**
+//! (pool-adjacent-violators), which computes the weighted least-squares
+//! non-decreasing fit in `O(n)`.
+
+/// Computes the weighted least-squares non-decreasing fit of `y`.
+///
+/// Returns `fit` with `fit.len() == y.len()`, `fit` non-decreasing, and
+/// `Σ w_i (fit_i - y_i)²` minimal among all non-decreasing vectors.
+/// If `y` is already non-decreasing, it is returned unchanged.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != y.len()`, or any weight is not strictly
+/// positive, or any value is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_core::pava::isotonic_non_decreasing;
+///
+/// let fit = isotonic_non_decreasing(&[1.0, 3.0, 2.0], &[1.0, 1.0, 1.0]);
+/// assert_eq!(fit, vec![1.0, 2.5, 2.5]);
+/// ```
+pub fn isotonic_non_decreasing(y: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), weights.len(), "y and weights must have equal length");
+    for (&v, &w) in y.iter().zip(weights) {
+        assert!(v.is_finite(), "values must be finite");
+        assert!(w.is_finite() && w > 0.0, "weights must be finite and > 0");
+    }
+    if y.is_empty() {
+        return Vec::new();
+    }
+
+    // Stack of pooled blocks: (mean, total weight, count).
+    let mut blocks: Vec<(f64, f64, usize)> = Vec::with_capacity(y.len());
+    for (&v, &w) in y.iter().zip(weights) {
+        let mut mean = v;
+        let mut weight = w;
+        let mut count = 1;
+        // Pool backwards while the monotonicity constraint is violated.
+        while let Some(&(pm, pw, pc)) = blocks.last() {
+            if pm <= mean {
+                break;
+            }
+            blocks.pop();
+            let total = pw + weight;
+            mean = (pm * pw + mean * weight) / total;
+            weight = total;
+            count += pc;
+        }
+        blocks.push((mean, weight, count));
+    }
+
+    let mut fit = Vec::with_capacity(y.len());
+    for (mean, _, count) in blocks {
+        fit.extend(std::iter::repeat(mean).take(count));
+    }
+    fit
+}
+
+/// Convenience wrapper for unit weights.
+///
+/// Equivalent to [`isotonic_non_decreasing`] with all weights equal to one.
+pub fn isotonic_non_decreasing_unweighted(y: &[f64]) -> Vec<f64> {
+    isotonic_non_decreasing(y, &vec![1.0; y.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_non_decreasing(v: &[f64]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1] + 1e-12)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(isotonic_non_decreasing(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn already_monotone_unchanged() {
+        let y = [0.0, 0.1, 0.1, 0.5, 2.0];
+        let fit = isotonic_non_decreasing_unweighted(&y);
+        assert_eq!(fit, y.to_vec());
+    }
+
+    #[test]
+    fn single_violation_pools_pair() {
+        let fit = isotonic_non_decreasing_unweighted(&[2.0, 1.0]);
+        assert_eq!(fit, vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn decreasing_input_pools_to_mean() {
+        let fit = isotonic_non_decreasing_unweighted(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert!(fit.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn weights_bias_the_pool() {
+        // Heavy first point dominates the pooled mean.
+        let fit = isotonic_non_decreasing(&[2.0, 1.0], &[3.0, 1.0]);
+        assert!((fit[0] - 1.75).abs() < 1e-12);
+        assert_eq!(fit[0], fit[1]);
+    }
+
+    #[test]
+    fn preserves_weighted_mean() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let w = [1.0, 2.0, 1.0, 3.0, 1.0, 1.0, 2.0, 1.0];
+        let fit = isotonic_non_decreasing(&y, &w);
+        let m0: f64 = y.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let m1: f64 = fit.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert!((m0 - m1).abs() < 1e-9);
+        assert!(is_non_decreasing(&fit));
+    }
+
+    #[test]
+    fn idempotent() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let fit = isotonic_non_decreasing_unweighted(&y);
+        let fit2 = isotonic_non_decreasing_unweighted(&fit);
+        for (a, b) in fit.iter().zip(&fit2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = isotonic_non_decreasing(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "> 0")]
+    fn zero_weight_panics() {
+        let _ = isotonic_non_decreasing(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Threshold binary-search solver (Galil–Megiddo style).
+//!
+//! The minimax optimum is always one of the function values, so we can
+//! binary-search the sorted set of candidate thresholds `t` for the smallest
+//! feasible one, where *feasible* means every item can be pushed to the
+//! largest weight whose value stays `≤ t` and those weights sum to at least
+//! `R`. Each feasibility probe costs `O(N log R)` (a partition-point search
+//! per monotone function), giving `O(N log R log(NR))` overall — the
+//! `O(N log² R)` scheme the paper cites, up to the candidate sort.
+//!
+//! This solver supports multiplicity-1 problems only; it exists to
+//! cross-check [`fox`](super::fox) and for the solver ablation bench.
+
+use super::{Allocation, Problem, SolveError};
+
+/// Largest weight in `[lower, upper]` whose value is `≤ t`, or `lower` if
+/// even `F(lower) > t`.
+fn max_weight_at(f: &[f64], lower: u32, upper: u32, t: f64) -> u32 {
+    let lo = lower as usize;
+    let hi = upper as usize;
+    // Partition point: first index in (lo..=hi] with value > t.
+    let mut a = lo;
+    let mut b = hi + 1;
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if f[mid] <= t {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    // `a` is the first index with value > t (or hi+1); step back, but never
+    // below the lower bound.
+    (a.saturating_sub(1).max(lo)) as u32
+}
+
+/// Solves a multiplicity-1 problem by threshold bisection.
+///
+/// Produces the same optimal objective as [`fox::solve`](super::fox::solve)
+/// (the weight vectors may differ when multiple optima exist).
+///
+/// # Errors
+///
+/// Returns [`SolveError::MultiplicityUnsupported`] if any multiplicity is
+/// not 1, or [`SolveError::Infeasible`] when the bounds cannot bracket `R`.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_core::solver::{bisect, fox, Problem};
+///
+/// let f0: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+/// let f1: Vec<f64> = (0..=10).map(|i| i as f64 * 0.3).collect();
+/// let p = Problem::new(vec![&f0, &f1], 10).unwrap();
+/// let (a, b) = (bisect::solve(&p).unwrap(), fox::solve(&p).unwrap());
+/// assert_eq!(a.objective, b.objective);
+/// ```
+pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
+    if problem.multiplicity().iter().any(|&m| m != 1) {
+        return Err(SolveError::MultiplicityUnsupported);
+    }
+    problem.check_feasible()?;
+
+    let functions = problem.functions();
+    let lower = problem.lower();
+    let upper = problem.upper();
+    let r = u64::from(problem.resolution());
+
+    // The objective can never fall below the value forced by lower bounds.
+    let t_min = functions
+        .iter()
+        .zip(lower)
+        .map(|(f, &l)| f[l as usize])
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    // Candidate thresholds: every distinct function value in range >= t_min.
+    let mut candidates: Vec<f64> = Vec::new();
+    candidates.push(t_min);
+    for (j, f) in functions.iter().enumerate() {
+        for w in lower[j]..=upper[j] {
+            let v = f[w as usize];
+            if v >= t_min {
+                candidates.push(v);
+            }
+        }
+    }
+    candidates.sort_by(f64::total_cmp);
+    candidates.dedup();
+
+    let feasible = |t: f64| -> bool {
+        let mut total: u64 = 0;
+        for (j, f) in functions.iter().enumerate() {
+            total += u64::from(max_weight_at(f, lower[j], upper[j], t));
+            if total >= r {
+                return true;
+            }
+        }
+        total >= r
+    };
+
+    // Binary search the smallest feasible candidate.
+    let mut lo = 0usize;
+    let mut hi = candidates.len() - 1;
+    debug_assert!(feasible(candidates[hi]), "upper-bound sum was checked feasible");
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(candidates[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let t_star = candidates[lo];
+
+    // Assign maximal weights at t*, then shed the surplus (any reduction
+    // keeps every value <= t*, so the objective is unaffected).
+    let mut weights: Vec<u32> = functions
+        .iter()
+        .enumerate()
+        .map(|(j, f)| max_weight_at(f, lower[j], upper[j], t_star))
+        .collect();
+    let mut total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    debug_assert!(total >= r);
+    // Shed from the items with the largest current value first so the
+    // realized maximum is as small as possible among optimal solutions.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        functions[b][weights[b] as usize].total_cmp(&functions[a][weights[a] as usize])
+    });
+    for &j in &order {
+        if total == r {
+            break;
+        }
+        let shed = (total - r).min(u64::from(weights[j] - lower[j])) as u32;
+        weights[j] -= shed;
+        total -= u64::from(shed);
+    }
+    debug_assert_eq!(total, r);
+
+    let objective = super::minimax_objective(functions, &weights);
+    Ok(Allocation {
+        weights,
+        objective,
+        assigned: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{fox, Problem};
+
+    #[test]
+    fn matches_fox_on_simple_instance() {
+        let f0: Vec<f64> = (0..=20).map(|i| (i as f64).powi(2)).collect();
+        let f1: Vec<f64> = (0..=20).map(|i| i as f64 * 3.0).collect();
+        let f2 = vec![0.0; 21];
+        let p = Problem::new(vec![&f0, &f1, &f2], 20).unwrap();
+        let a = solve(&p).unwrap();
+        let b = fox::solve(&p).unwrap();
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.weights.iter().sum::<u32>(), 20);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let steep: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let flat = vec![0.0; 11];
+        let p = Problem::new(vec![&steep, &flat], 10)
+            .unwrap()
+            .with_bounds(vec![2, 0], vec![10, 7])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert!(a.weights[0] >= 2 && a.weights[1] <= 7);
+        assert_eq!(a.weights.iter().sum::<u32>(), 10);
+        assert_eq!(a.objective, fox::solve(&p).unwrap().objective);
+    }
+
+    #[test]
+    fn rejects_multiplicity() {
+        let f = vec![0.0; 11];
+        let p = Problem::new(vec![&f], 10)
+            .unwrap()
+            .with_multiplicity(vec![2])
+            .unwrap();
+        assert_eq!(solve(&p).unwrap_err(), SolveError::MultiplicityUnsupported);
+    }
+
+    #[test]
+    fn max_weight_at_edges() {
+        let f = [0.0, 0.0, 1.0, 2.0, 3.0];
+        assert_eq!(max_weight_at(&f, 0, 4, -1.0), 0); // nothing fits -> lower
+        assert_eq!(max_weight_at(&f, 0, 4, 0.0), 1);
+        assert_eq!(max_weight_at(&f, 0, 4, 2.5), 3);
+        assert_eq!(max_weight_at(&f, 0, 4, 99.0), 4);
+        assert_eq!(max_weight_at(&f, 3, 4, 0.0), 3); // clamped to lower
+    }
+
+    #[test]
+    fn lower_bound_dominates_objective() {
+        let steep: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let flat = vec![0.0; 11];
+        let p = Problem::new(vec![&steep, &flat], 10)
+            .unwrap()
+            .with_bounds(vec![4, 0], vec![10, 10])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.objective, 4.0);
+        assert_eq!(a.weights, vec![4, 6]);
+    }
+}

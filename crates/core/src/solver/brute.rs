@@ -1,0 +1,98 @@
+//! Exhaustive reference solver for tiny instances.
+//!
+//! Enumerates every feasible weight composition and returns the best. Only
+//! usable for small `N` and `R`; exists as the test oracle for
+//! [`fox`](super::fox) and [`bisect`](super::bisect).
+
+use super::{Allocation, Problem, SolveError};
+
+/// Solves a multiplicity-1 problem by exhaustive enumeration.
+///
+/// Complexity is `O(binom(R + N - 1, N - 1))`; intended for `N <= 5`,
+/// `R <= ~30` in tests.
+///
+/// # Errors
+///
+/// Returns [`SolveError::MultiplicityUnsupported`] if any multiplicity is
+/// not 1, or [`SolveError::Infeasible`] when the bounds cannot bracket `R`.
+pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
+    if problem.multiplicity().iter().any(|&m| m != 1) {
+        return Err(SolveError::MultiplicityUnsupported);
+    }
+    problem.check_feasible()?;
+
+    let n = problem.len();
+    let r = problem.resolution();
+    let functions = problem.functions();
+    let lower = problem.lower();
+    let upper = problem.upper();
+
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    let mut current = vec![0u32; n];
+
+    fn recurse(
+        j: usize,
+        remaining: u32,
+        current: &mut Vec<u32>,
+        functions: &[&[f64]],
+        lower: &[u32],
+        upper: &[u32],
+        best: &mut Option<(f64, Vec<u32>)>,
+    ) {
+        let n = current.len();
+        if j == n - 1 {
+            if remaining < lower[j] || remaining > upper[j] {
+                return;
+            }
+            current[j] = remaining;
+            let obj = super::minimax_objective(functions, current);
+            match best {
+                Some((b, _)) if *b <= obj => {}
+                _ => *best = Some((obj, current.clone())),
+            }
+            return;
+        }
+        let hi = upper[j].min(remaining);
+        for w in lower[j]..=hi {
+            current[j] = w;
+            recurse(j + 1, remaining - w, current, functions, lower, upper, best);
+        }
+    }
+
+    recurse(0, r, &mut current, functions, lower, upper, &mut best);
+    let (objective, weights) = best.ok_or(SolveError::Infeasible)?;
+    Ok(Allocation {
+        assigned: weights.iter().map(|&w| u64::from(w)).sum(),
+        weights,
+        objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Problem;
+
+    #[test]
+    fn finds_obvious_optimum() {
+        let steep: Vec<f64> = (0..=6).map(|i| i as f64).collect();
+        let flat = vec![0.0; 7];
+        let p = Problem::new(vec![&steep, &flat], 6).unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.weights, vec![0, 6]);
+        assert_eq!(a.objective, 0.0);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let steep: Vec<f64> = (0..=6).map(|i| i as f64).collect();
+        let flat = vec![0.0; 7];
+        let p = Problem::new(vec![&steep, &flat], 6)
+            .unwrap()
+            .with_bounds(vec![2, 0], vec![6, 6])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.weights, vec![2, 4]);
+        assert_eq!(a.objective, 2.0);
+    }
+}

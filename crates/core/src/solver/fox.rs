@@ -1,0 +1,281 @@
+//! Fox's greedy marginal-allocation algorithm.
+//!
+//! For minimax discrete separable RAPs with monotone non-decreasing
+//! functions, the greedy scheme attributed to Fox (1966) is exact: start
+//! every item at its lower bound, then repeatedly grant one more unit to the
+//! item whose *next* value `F_j(w_j + 1)` is smallest. A simple interchange
+//! argument shows the result minimizes `max_j F_j(w_j)`. With a binary heap
+//! the complexity is `O(N + R log N)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use super::{Allocation, Problem, SolveError};
+
+/// Min-heap entry ordered by candidate value. Ties are broken by the item's
+/// priority (higher first — the controller passes each connection's clean
+/// frontier, so equal-value units land where the model shows headroom),
+/// then by the weight the step would reach (so remaining ties are dealt out
+/// evenly), then by item index for determinism.
+struct Entry {
+    value: f64,
+    priority: u64,
+    weight: u32,
+    item: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest value.
+        other
+            .value
+            .total_cmp(&self.value)
+            .then_with(|| self.priority.cmp(&other.priority))
+            .then_with(|| other.weight.cmp(&self.weight))
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+/// Solves the problem with Fox's greedy algorithm.
+///
+/// For multiplicity-1 problems the returned allocation is exact
+/// (`assigned == R`) and optimal. With multiplicities (clustered items) the
+/// greedy may leave a remainder smaller than the largest multiplicity
+/// unassigned; [`Allocation::assigned`] reports how much was placed and the
+/// caller distributes the rest (see
+/// [`LoadBalancer`](crate::controller::LoadBalancer)).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] when the bounds cannot bracket `R`.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_core::solver::{fox, Problem};
+///
+/// let flat = vec![0.0, 0.0, 0.0, 0.0, 0.0];
+/// let steep = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+/// let p = Problem::new(vec![&flat, &steep], 4).unwrap();
+/// let a = fox::solve(&p).unwrap();
+/// assert_eq!(a.weights, vec![4, 0]);
+/// assert_eq!(a.objective, 0.0);
+/// ```
+pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
+    problem.check_feasible()?;
+    let functions = problem.functions();
+    let lower = problem.lower();
+    let upper = problem.upper();
+    let mult = problem.multiplicity();
+    let r = u64::from(problem.resolution());
+
+    let mut weights: Vec<u32> = lower.to_vec();
+    let mut assigned: u64 = weights
+        .iter()
+        .zip(mult)
+        .map(|(&w, &m)| u64::from(w) * u64::from(m))
+        .sum();
+
+    let priority = problem.tie_priority();
+    let mut heap = BinaryHeap::with_capacity(functions.len());
+    for (j, &w) in weights.iter().enumerate() {
+        if w < upper[j] {
+            heap.push(Entry {
+                value: functions[j][w as usize + 1],
+                priority: priority[j],
+                weight: w + 1,
+                item: j,
+            });
+        }
+    }
+
+    while assigned < r {
+        // Find the cheapest next step that still fits in the remainder.
+        let mut skipped: Vec<Entry> = Vec::new();
+        let step = loop {
+            match heap.pop() {
+                None => break None,
+                Some(e) => {
+                    if assigned + u64::from(mult[e.item]) <= r {
+                        break Some(e);
+                    }
+                    // Too big for the remainder; set aside, try the next.
+                    skipped.push(e);
+                }
+            }
+        };
+        for e in skipped {
+            heap.push(e);
+        }
+        let Some(e) = step else { break };
+        let j = e.item;
+        weights[j] += 1;
+        assigned += u64::from(mult[j]);
+        if weights[j] < upper[j] {
+            heap.push(Entry {
+                value: functions[j][weights[j] as usize + 1],
+                priority: priority[j],
+                weight: weights[j] + 1,
+                item: j,
+            });
+        }
+    }
+
+    let objective = super::minimax_objective(functions, &weights);
+    Ok(Allocation {
+        weights,
+        objective,
+        assigned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Problem;
+
+    #[test]
+    fn exact_assignment_with_unit_multiplicity() {
+        let f0: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+        let f1: Vec<f64> = (0..=10).map(|i| i as f64 * 0.2).collect();
+        let p = Problem::new(vec![&f0, &f1], 10).unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.assigned, 10);
+        assert_eq!(a.weights.iter().sum::<u32>(), 10);
+        // Steeper function gets less.
+        assert!(a.weights[0] > a.weights[1]);
+    }
+
+    #[test]
+    fn balanced_when_identical() {
+        let f: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let p = Problem::new(vec![&f, &f], 10).unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.weights, vec![5, 5]);
+        assert_eq!(a.objective, 5.0);
+    }
+
+    #[test]
+    fn respects_lower_bounds() {
+        let flat = vec![0.0; 11];
+        let steep: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let p = Problem::new(vec![&flat, &steep], 10)
+            .unwrap()
+            .with_bounds(vec![0, 3], vec![10, 10])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.weights[1], 3, "steep item pinned at its lower bound");
+        assert_eq!(a.weights[0], 7);
+        assert_eq!(a.objective, 3.0);
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        let flat = vec![0.0; 11];
+        let steep: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let p = Problem::new(vec![&flat, &steep], 10)
+            .unwrap()
+            .with_bounds(vec![0, 0], vec![6, 10])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.weights, vec![6, 4]);
+    }
+
+    #[test]
+    fn overloaded_connection_gets_zero() {
+        // Mirrors the paper's 100x-load case: one connection predicts severe
+        // blocking at any weight, the rest predict none.
+        let severe: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+        let free = vec![0.0; 11];
+        let p = Problem::new(vec![&severe, &free, &free], 10).unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.weights[0], 0);
+        assert_eq!(a.weights[1] + a.weights[2], 10);
+        assert_eq!(a.objective, 0.0);
+    }
+
+    #[test]
+    fn multiplicity_consumes_group_resource() {
+        // Two clusters: 3 identical cheap members, 1 expensive member.
+        let cheap = vec![0.0; 11];
+        let dear: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let p = Problem::new(vec![&cheap, &dear], 10)
+            .unwrap()
+            .with_multiplicity(vec![3, 1])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        // Greedy grants the cheap cluster 3 per-connection units (9 total),
+        // then one unit to the expensive one.
+        assert_eq!(a.weights, vec![3, 1]);
+        assert_eq!(a.assigned, 10);
+    }
+
+    #[test]
+    fn multiplicity_remainder_reported() {
+        // Two clusters of 3 identical members each, R = 10: only 9 units fit
+        // in whole per-connection steps; the last unit is left to the caller.
+        let cheap = vec![0.0; 11];
+        let p = Problem::new(vec![&cheap, &cheap], 10)
+            .unwrap()
+            .with_multiplicity(vec![3, 3])
+            .unwrap()
+            .with_bounds(vec![0, 0], vec![2, 2])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.assigned, 9);
+        assert_eq!(
+            a.weights.iter().zip([3u64, 3]).map(|(&w, m)| u64::from(w) * m).sum::<u64>(),
+            9
+        );
+    }
+
+    #[test]
+    fn ties_are_dealt_out_evenly() {
+        let f = vec![0.0; 11];
+        let p = Problem::new(vec![&f, &f, &f], 10).unwrap();
+        let a = solve(&p).unwrap();
+        // All marginals equal; units are dealt round-robin, lowest current
+        // weight first, so the split is as even as possible.
+        assert_eq!(a.weights, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn tie_priority_steers_equal_marginals() {
+        // Both functions are zero up to their knees; item 1 has far more
+        // headroom (knee at 8 vs 2). With priorities equal to the knees,
+        // the zero-valued units go to item 1 first.
+        let f0 = vec![0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let f1 = vec![0.0; 11];
+        let p = Problem::new(vec![&f0, &f1], 10)
+            .unwrap()
+            .with_tie_priority(vec![2, 8])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.weights, vec![0, 10]);
+        assert_eq!(a.objective, 0.0);
+    }
+
+    #[test]
+    fn infeasible_bounds_error() {
+        let f = vec![0.0; 11];
+        let p = Problem::new(vec![&f], 10)
+            .unwrap()
+            .with_bounds(vec![0], vec![5])
+            .unwrap();
+        assert!(solve(&p).is_err());
+    }
+}

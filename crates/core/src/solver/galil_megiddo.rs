@@ -1,0 +1,263 @@
+//! Galil–Megiddo-style selection solver: `O(N log² R)` without
+//! materializing candidates.
+//!
+//! The paper cites Galil & Megiddo's fast selection scheme as an exact
+//! alternative to Fox's greedy. Where [`bisect`](super::bisect) first
+//! *collects and sorts* every candidate value (`O(NR log NR)` setup), this
+//! solver keeps, per function, the index range that could still contain the
+//! optimal threshold and repeatedly probes the **weighted median of the
+//! ranges' middle values**: each probe either raises every too-small range
+//! or shrinks some range by half, so `O(log R)` rounds of `O(N log R)`
+//! feasibility checks suffice.
+
+use super::{Allocation, Problem, SolveError};
+
+/// Largest weight in `[lower, upper]` whose value is `≤ t`, or `lower`.
+fn max_weight_at(f: &[f64], lower: u32, upper: u32, t: f64) -> u32 {
+    let mut a = lower as usize;
+    let mut b = upper as usize + 1;
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if f[mid] <= t {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    (a.saturating_sub(1).max(lower as usize)) as u32
+}
+
+/// Solves a multiplicity-1 problem by median-of-medians threshold search.
+///
+/// Produces the same optimal minimax objective as
+/// [`fox::solve`](super::fox::solve) and [`bisect::solve`](super::bisect::solve).
+///
+/// # Errors
+///
+/// Returns [`SolveError::MultiplicityUnsupported`] if any multiplicity is
+/// not 1, or [`SolveError::Infeasible`] when the bounds cannot bracket `R`.
+pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
+    if problem.multiplicity().iter().any(|&m| m != 1) {
+        return Err(SolveError::MultiplicityUnsupported);
+    }
+    problem.check_feasible()?;
+
+    let functions = problem.functions();
+    let lower = problem.lower();
+    let upper = problem.upper();
+    let n = functions.len();
+    let r = u64::from(problem.resolution());
+
+    // The objective can never drop below what the lower bounds force.
+    let t_min = functions
+        .iter()
+        .zip(lower)
+        .map(|(f, &l)| f[l as usize])
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let feasible = |t: f64| -> bool {
+        let mut total: u64 = 0;
+        for (j, f) in functions.iter().enumerate() {
+            total += u64::from(max_weight_at(f, lower[j], upper[j], t));
+            if total >= r {
+                return true;
+            }
+        }
+        false
+    };
+
+    // Per-function candidate index ranges [lo_j, hi_j] (inclusive). The
+    // optimum threshold is some F_j(i) with i in its function's range, or
+    // t_min itself.
+    let mut lo: Vec<u32> = lower.to_vec();
+    let mut hi: Vec<u32> = upper.to_vec();
+    // `best` is the smallest feasible value seen so far.
+    let mut best = f64::INFINITY;
+    if feasible(t_min) {
+        best = t_min;
+    }
+
+    loop {
+        // Gather the middle value of every non-empty range.
+        let mut mids: Vec<(f64, usize)> = Vec::new();
+        for j in 0..n {
+            if lo[j] <= hi[j] {
+                let mid = lo[j] + (hi[j] - lo[j]) / 2;
+                mids.push((functions[j][mid as usize], j));
+            }
+        }
+        if mids.is_empty() {
+            break;
+        }
+        // Probe the median of the middle values.
+        mids.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (t, _) = mids[mids.len() / 2];
+
+        if feasible(t) {
+            if t < best {
+                best = t;
+            }
+            // The optimum is <= t: indices whose value is >= t can be cut
+            // from above.
+            for j in 0..n {
+                if lo[j] <= hi[j] {
+                    // Shrink hi_j to the last index with value < t (but not
+                    // below lo_j - 1, which empties the range).
+                    let mut a = lo[j] as usize;
+                    let mut b = hi[j] as usize + 1;
+                    while a < b {
+                        let m = a + (b - a) / 2;
+                        if functions[j][m] < t {
+                            a = m + 1;
+                        } else {
+                            b = m;
+                        }
+                    }
+                    if a == lo[j] as usize {
+                        // Range exhausted below t.
+                        if lo[j] == 0 {
+                            hi[j] = 0;
+                            lo[j] = 1; // mark empty
+                        } else {
+                            hi[j] = lo[j] - 1;
+                        }
+                    } else {
+                        hi[j] = (a - 1) as u32;
+                    }
+                }
+            }
+        } else {
+            // The optimum is > t: indices whose value is <= t are out.
+            for j in 0..n {
+                if lo[j] <= hi[j] {
+                    let cut = max_weight_at(functions[j], lo[j], hi[j], t);
+                    // Everything at or below `cut` has value <= t (or the
+                    // range had nothing <= t, in which case cut == lo and we
+                    // must check it).
+                    if functions[j][cut as usize] <= t {
+                        lo[j] = cut + 1;
+                    }
+                }
+            }
+        }
+    }
+    if !best.is_finite() {
+        return Err(SolveError::Infeasible);
+    }
+
+    // Materialize weights at the optimal threshold, shedding surplus (every
+    // reduction keeps values <= best, so the objective is unaffected).
+    let mut weights: Vec<u32> = functions
+        .iter()
+        .enumerate()
+        .map(|(j, f)| max_weight_at(f, lower[j], upper[j], best))
+        .collect();
+    let mut total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    debug_assert!(total >= r, "best threshold must be feasible");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        functions[b][weights[b] as usize].total_cmp(&functions[a][weights[a] as usize])
+    });
+    for &j in &order {
+        if total == r {
+            break;
+        }
+        let shed = (total - r).min(u64::from(weights[j] - lower[j])) as u32;
+        weights[j] -= shed;
+        total -= u64::from(shed);
+    }
+    debug_assert_eq!(total, r);
+
+    let objective = super::minimax_objective(functions, &weights);
+    Ok(Allocation {
+        weights,
+        objective,
+        assigned: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{bisect, fox, Problem};
+
+    fn monotone(r: u32, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut f = vec![0.0];
+        let mut acc = 0.0;
+        for _ in 0..r {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            acc += (state % 997) as f64 / 1e5;
+            f.push(acc);
+        }
+        f
+    }
+
+    #[test]
+    fn matches_fox_on_random_instances() {
+        for n in [2usize, 3, 7, 16] {
+            let funcs: Vec<Vec<f64>> = (0..n).map(|j| monotone(200, j as u64 + 1)).collect();
+            let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+            let p = Problem::new(slices, 200).unwrap();
+            let a = solve(&p).unwrap();
+            let b = fox::solve(&p).unwrap();
+            assert!(
+                (a.objective - b.objective).abs() < 1e-9,
+                "n={n}: gm {} vs fox {}",
+                a.objective,
+                b.objective
+            );
+            assert_eq!(a.weights.iter().sum::<u32>(), 200);
+        }
+    }
+
+    #[test]
+    fn matches_bisect_with_bounds() {
+        let funcs: Vec<Vec<f64>> = (0..5).map(|j| monotone(100, j + 11)).collect();
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let p = Problem::new(slices, 100)
+            .unwrap()
+            .with_bounds(vec![5, 0, 3, 0, 10], vec![60, 90, 100, 40, 100])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        let b = bisect::solve(&p).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+        for (j, &w) in a.weights.iter().enumerate() {
+            assert!(w >= p.lower()[j] && w <= p.upper()[j]);
+        }
+    }
+
+    #[test]
+    fn flat_zero_functions() {
+        let f = vec![0.0; 101];
+        let p = Problem::new(vec![&f, &f, &f], 100).unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.objective, 0.0);
+        assert_eq!(a.weights.iter().sum::<u32>(), 100);
+    }
+
+    #[test]
+    fn lower_bounds_pin_objective() {
+        let steep: Vec<f64> = (0..=10).map(|i| f64::from(i)).collect();
+        let flat = vec![0.0; 11];
+        let p = Problem::new(vec![&steep, &flat], 10)
+            .unwrap()
+            .with_bounds(vec![4, 0], vec![10, 10])
+            .unwrap();
+        let a = solve(&p).unwrap();
+        assert_eq!(a.objective, 4.0);
+        assert_eq!(a.weights, vec![4, 6]);
+    }
+
+    #[test]
+    fn rejects_multiplicity() {
+        let f = vec![0.0; 11];
+        let p = Problem::new(vec![&f], 10)
+            .unwrap()
+            .with_multiplicity(vec![2])
+            .unwrap();
+        assert_eq!(solve(&p).unwrap_err(), SolveError::MultiplicityUnsupported);
+    }
+}

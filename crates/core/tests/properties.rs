@@ -1,0 +1,244 @@
+//! Property-based tests for the core invariants listed in DESIGN.md §6.
+
+use proptest::prelude::*;
+
+use streambal_core::controller::{BalancerConfig, LoadBalancer};
+use streambal_core::function::BlockingRateFunction;
+use streambal_core::pava::isotonic_non_decreasing;
+use streambal_core::rate::ConnectionSample;
+use streambal_core::solver::{bisect, brute, fox, galil_megiddo, Problem};
+use streambal_core::weights::{WeightVector, WrrScheduler};
+use streambal_core::cluster;
+
+fn is_non_decreasing(v: &[f64]) -> bool {
+    v.windows(2).all(|w| w[0] <= w[1] + 1e-9)
+}
+
+/// A random non-decreasing function over `0..=r` starting at 0.
+fn monotone_function(r: u32) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..0.25, r as usize).prop_map(|increments| {
+        let mut f = Vec::with_capacity(increments.len() + 1);
+        let mut acc = 0.0;
+        f.push(0.0);
+        for inc in increments {
+            acc += inc;
+            f.push(acc);
+        }
+        f
+    })
+}
+
+proptest! {
+    #[test]
+    fn pava_output_is_monotone_and_mean_preserving(
+        y in proptest::collection::vec(-10.0f64..10.0, 1..40),
+        w in proptest::collection::vec(0.1f64..5.0, 40),
+    ) {
+        let w = &w[..y.len()];
+        let fit = isotonic_non_decreasing(&y, w);
+        prop_assert!(is_non_decreasing(&fit));
+        let m0: f64 = y.iter().zip(w).map(|(a, b)| a * b).sum();
+        let m1: f64 = fit.iter().zip(w).map(|(a, b)| a * b).sum();
+        prop_assert!((m0 - m1).abs() < 1e-6 * (1.0 + m0.abs()));
+    }
+
+    #[test]
+    fn pava_beats_any_sorted_candidate(
+        y in proptest::collection::vec(-10.0f64..10.0, 1..30),
+    ) {
+        // The fit must have no larger squared error than the (monotone)
+        // candidate obtained by sorting the input.
+        let fit = isotonic_non_decreasing(&y, &vec![1.0; y.len()]);
+        let mut candidate = y.clone();
+        candidate.sort_by(f64::total_cmp);
+        let sse = |v: &[f64]| -> f64 {
+            v.iter().zip(&y).map(|(a, b)| (a - b).powi(2)).sum()
+        };
+        prop_assert!(sse(&fit) <= sse(&candidate) + 1e-9);
+    }
+
+    #[test]
+    fn pava_is_idempotent(
+        y in proptest::collection::vec(-10.0f64..10.0, 1..40),
+    ) {
+        let fit = isotonic_non_decreasing(&y, &vec![1.0; y.len()]);
+        let fit2 = isotonic_non_decreasing(&fit, &vec![1.0; y.len()]);
+        for (a, b) in fit.iter().zip(&fit2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weight_vector_from_fractions_sums_to_resolution(
+        fracs in proptest::collection::vec(0.0f64..100.0, 1..64),
+        resolution in 1u32..5000,
+    ) {
+        let w = WeightVector::from_fractions(&fracs, resolution);
+        prop_assert_eq!(w.units().iter().map(|&u| u64::from(u)).sum::<u64>(),
+                        u64::from(resolution));
+        prop_assert_eq!(w.len(), fracs.len());
+    }
+
+    #[test]
+    fn wrr_long_run_frequencies_are_exact(
+        units in proptest::collection::vec(0u32..50, 2..10),
+    ) {
+        prop_assume!(units.iter().sum::<u32>() > 0);
+        let total: u32 = units.iter().sum();
+        let w = WeightVector::from_units(units.clone(), total).unwrap();
+        let mut wrr = WrrScheduler::new(&w);
+        let mut counts = vec![0u32; units.len()];
+        for _ in 0..total {
+            counts[wrr.pick()] += 1;
+        }
+        prop_assert_eq!(counts, units);
+    }
+
+    #[test]
+    fn fox_matches_brute_force(
+        funcs in proptest::collection::vec(monotone_function(12), 2..4),
+    ) {
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let p = Problem::new(slices, 12).unwrap();
+        let a = fox::solve(&p).unwrap();
+        let b = brute::solve(&p).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-9,
+            "fox {} vs brute {}", a.objective, b.objective);
+        prop_assert_eq!(a.weights.iter().sum::<u32>(), 12);
+    }
+
+    #[test]
+    fn fox_matches_brute_force_with_bounds(
+        funcs in proptest::collection::vec(monotone_function(10), 2..4),
+        lowers in proptest::collection::vec(0u32..3, 4),
+        uppers in proptest::collection::vec(5u32..10, 4),
+    ) {
+        let n = funcs.len();
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let lower = lowers[..n].to_vec();
+        let upper = uppers[..n].to_vec();
+        let p = Problem::new(slices, 10).unwrap()
+            .with_bounds(lower.clone(), upper.clone()).unwrap();
+        prop_assume!(p.check_feasible().is_ok());
+        let a = fox::solve(&p).unwrap();
+        let b = brute::solve(&p).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-9);
+        for (j, &w) in a.weights.iter().enumerate() {
+            prop_assert!(w >= lower[j] && w <= upper[j]);
+        }
+    }
+
+    #[test]
+    fn bisect_matches_fox(
+        funcs in proptest::collection::vec(monotone_function(60), 2..8),
+    ) {
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let p = Problem::new(slices, 60).unwrap();
+        let a = fox::solve(&p).unwrap();
+        let b = bisect::solve(&p).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-9,
+            "fox {} vs bisect {}", a.objective, b.objective);
+        prop_assert_eq!(b.weights.iter().sum::<u32>(), 60);
+    }
+
+    #[test]
+    fn galil_megiddo_matches_fox(
+        funcs in proptest::collection::vec(monotone_function(60), 2..8),
+    ) {
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let p = Problem::new(slices, 60).unwrap();
+        let a = fox::solve(&p).unwrap();
+        let b = galil_megiddo::solve(&p).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-9,
+            "fox {} vs gm {}", a.objective, b.objective);
+        prop_assert_eq!(b.weights.iter().sum::<u32>(), 60);
+    }
+
+    #[test]
+    fn wrr_is_maximally_smooth(
+        units in proptest::collection::vec(1u32..40, 2..8),
+    ) {
+        // Smoothness guarantee: a connection with share w_j/total is never
+        // starved for much longer than its ideal inter-pick distance — we
+        // assert a 2x bound, comfortably met by interleaved smooth WRR (the
+        // exact worst case exceeds ceil(total/w_j) by a small constant).
+        let total: u32 = units.iter().sum();
+        let w = WeightVector::from_units(units.clone(), total).unwrap();
+        let mut wrr = WrrScheduler::new(&w);
+        let picks: Vec<usize> = (0..(3 * total) as usize).map(|_| wrr.pick()).collect();
+        for (j, &u) in units.iter().enumerate() {
+            let max_gap = 2 * (total as usize).div_ceil(u as usize);
+            let mut last = None;
+            for (i, &p) in picks.iter().enumerate() {
+                if p == j {
+                    if let Some(prev) = last {
+                        prop_assert!(
+                            i - prev <= max_gap,
+                            "connection {j} starved for {} picks (bound {max_gap})",
+                            i - prev
+                        );
+                    }
+                    last = Some(i);
+                }
+            }
+            prop_assert!(last.is_some(), "connection {j} never picked");
+        }
+    }
+
+    #[test]
+    fn function_predictions_stay_monotone(
+        observations in proptest::collection::vec((1u32..=100, 0.0f64..5.0), 0..40),
+        decays in proptest::collection::vec((0u32..=100,), 0..10),
+    ) {
+        let mut f = BlockingRateFunction::new(100, 0.5);
+        for (w, v) in observations {
+            f.observe(w, v);
+        }
+        for (w,) in decays {
+            f.decay_above(w, 0.9);
+        }
+        let p = f.predicted();
+        prop_assert!(is_non_decreasing(p));
+        prop_assert_eq!(p[0], 0.0);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn clustering_is_a_valid_partition(
+        n in 2usize..20,
+        seed in proptest::collection::vec(0.0f64..10.0, 400),
+        threshold in 0.0f64..5.0,
+    ) {
+        // Build a symmetric matrix with zero diagonal from the seed.
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let v = seed[i * 20 + j];
+                d[i * n + j] = v;
+                d[j * n + i] = v;
+            }
+        }
+        let c = cluster::cluster(n, &d, threshold);
+        prop_assert_eq!(c.assignment.len(), n);
+        let mut seen = vec![false; n];
+        for members in &c.members {
+            for &m in members {
+                prop_assert!(!seen[m], "item in two clusters");
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every item clustered");
+    }
+
+    #[test]
+    fn balancer_weights_always_sum_to_resolution(
+        rounds in proptest::collection::vec((0usize..6, 0.0f64..2.0), 0..60),
+    ) {
+        let mut lb = LoadBalancer::new(BalancerConfig::builder(6).build().unwrap());
+        for (conn, rate) in rounds {
+            lb.observe(&[ConnectionSample::new(conn, rate)]);
+            lb.rebalance();
+            prop_assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Keyed (partitioned-stateful) parallel regions — the contrast case to the
+//! paper's load-balanced stateless regions.
+//!
+//! The paper "assume[s] that all copies of F are stateless"; its cited
+//! auto-parallelization work handles *partitioned stateful* operators by
+//! hashing a key so every tuple of one key meets the same replica (and its
+//! state). The price is exactly what motivates the paper's restriction:
+//! routing is pinned by the hash, so the splitter **cannot rebalance** —
+//! skewed keys or a slow host simply gate the region. A keyed region here
+//! still preserves sequential semantics via the same sequence-numbered
+//! merge.
+
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+
+use crate::flow::Flow;
+
+/// FNV-1a, fixed so partitioning is stable across platforms and runs.
+fn stable_hash<K: Hash>(key: &K) -> u64 {
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<T: Send + 'static> Flow<T> {
+    /// A **partitioned stateful** parallel region: `replicas` copies of the
+    /// operator produced by `factory`, with every tuple routed by the hash
+    /// of `key(t)` so all tuples of a key share one replica (and its
+    /// state). Output leaves in exact input order.
+    ///
+    /// Unlike [`parallel`](Flow::parallel), there is no load balancing —
+    /// the hash pins the routing, which is precisely why the paper restricts
+    /// its balancer to stateless regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streambal_dataflow::{source, RangeSource};
+    ///
+    /// // Per-key running counts, partitioned across 4 replicas.
+    /// let (counts, _) = source(RangeSource::new(0..1_000))
+    ///     .parallel_keyed(4, |x| x % 10, || {
+    ///         let mut seen = std::collections::HashMap::new();
+    ///         move |x: u64| {
+    ///             let c = seen.entry(x % 10).or_insert(0u64);
+    ///             *c += 1;
+    ///             (x, *c)
+    ///         }
+    ///     })
+    ///     .collect()
+    ///     .unwrap();
+    /// assert_eq!(counts.len(), 1_000);
+    /// assert_eq!(counts[0], (0, 1));
+    /// ```
+    pub fn parallel_keyed<K, U, KF, F, Op>(
+        self,
+        replicas: usize,
+        mut key: KF,
+        factory: F,
+    ) -> Flow<U>
+    where
+        K: Hash,
+        U: Send + 'static,
+        KF: FnMut(&T) -> K + Send + 'static,
+        F: Fn() -> Op,
+        Op: FnMut(T) -> U + Send + 'static,
+    {
+        assert!(replicas > 0, "region needs at least one replica");
+        let capacity = self.capacity;
+        let mut ops: Vec<Option<Op>> = (0..replicas).map(|_| Some(factory())).collect();
+
+        self.add_stage("parallel_keyed", move |rx, tx, consumed, emitted| {
+            // Partition channels and replica threads.
+            let mut part_tx = Vec::with_capacity(replicas);
+            let (out_tx, out_rx) = crossbeam::channel::unbounded::<(u64, U)>();
+            let mut handles = Vec::with_capacity(replicas);
+            for op_slot in ops.iter_mut() {
+                let (ptx, prx) = streambal_transport::bounded::<(u64, T)>(capacity);
+                part_tx.push(ptx);
+                let out_tx = out_tx.clone();
+                let mut op = op_slot.take().expect("each operator taken once");
+                handles.push(
+                    std::thread::Builder::new()
+                        .name("streambal-df-keyed".to_owned())
+                        .spawn(move || {
+                            while let Ok((seq, t)) = prx.recv() {
+                                if out_tx.send((seq, op(t))).is_err() {
+                                    return;
+                                }
+                            }
+                        })
+                        .expect("spawning a keyed replica succeeds"),
+                );
+            }
+            drop(out_tx);
+
+            // Router + in-order merger, interleaved on this stage's thread:
+            // route a tuple, then drain whatever is releasable.
+            let mut reorder: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+            let mut pending: Vec<Option<U>> = Vec::new();
+            let mut next = 0u64;
+            let mut seq = 0u64;
+            let mut route = |t: T,
+                             seq: &mut u64,
+                             consumed: &std::sync::Arc<std::sync::atomic::AtomicU64>|
+             -> bool {
+                consumed.fetch_add(1, Ordering::Relaxed);
+                let j = (stable_hash(&key(&t)) % replicas as u64) as usize;
+                let ok = part_tx[j].send_recording((*seq, t)).is_ok();
+                *seq += 1;
+                ok
+            };
+            // Drain loop: route everything, collecting outputs as they
+            // arrive; then drain the tail.
+            loop {
+                match rx.try_recv() {
+                    Ok(t) => {
+                        if !route(t, &mut seq, &consumed) {
+                            return;
+                        }
+                    }
+                    Err(streambal_transport::TryRecvError::Empty) => {
+                        // Nothing to route right now: move an output along
+                        // (blocking briefly keeps the stage from spinning).
+                        match out_rx.recv_timeout(std::time::Duration::from_micros(200)) {
+                            Ok((s, u)) => stash(&mut pending, s, u, &mut reorder),
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    Err(streambal_transport::TryRecvError::Disconnected) => break,
+                }
+                while let Ok((s, u)) = out_rx.try_recv() {
+                    stash(&mut pending, s, u, &mut reorder);
+                }
+                if !release(&mut pending, &mut reorder, &mut next, &tx, &emitted) {
+                    return;
+                }
+            }
+            // Input exhausted: close partitions, drain replicas fully.
+            drop(part_tx);
+            for h in handles {
+                let _ = h.join();
+            }
+            while let Ok((s, u)) = out_rx.recv() {
+                stash(&mut pending, s, u, &mut reorder);
+            }
+            let _ = release(&mut pending, &mut reorder, &mut next, &tx, &emitted);
+        })
+    }
+}
+
+fn stash<U>(
+    pending: &mut Vec<Option<U>>,
+    seq: u64,
+    value: U,
+    reorder: &mut BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+) {
+    let slot = pending.iter().position(|v| v.is_none()).unwrap_or_else(|| {
+        pending.push(None);
+        pending.len() - 1
+    });
+    pending[slot] = Some(value);
+    reorder.push(std::cmp::Reverse((seq, slot)));
+}
+
+fn release<U: Send + 'static>(
+    pending: &mut [Option<U>],
+    reorder: &mut BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    next: &mut u64,
+    tx: &streambal_transport::Sender<U>,
+    emitted: &std::sync::Arc<std::sync::atomic::AtomicU64>,
+) -> bool {
+    while reorder
+        .peek()
+        .map(|std::cmp::Reverse((s, _))| *s == *next)
+        .unwrap_or(false)
+    {
+        let std::cmp::Reverse((_, slot)) = reorder.pop().expect("peeked");
+        let value = pending[slot].take().expect("stashed value present");
+        if tx.send_recording(value).is_err() {
+            return false;
+        }
+        emitted.fetch_add(1, Ordering::Relaxed);
+        *next += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flow::source;
+    use crate::source::RangeSource;
+    use std::collections::HashMap;
+
+    #[test]
+    fn keyed_region_preserves_order() {
+        let (items, _) = source(RangeSource::new(0..20_000))
+            .parallel_keyed(4, |x| x % 7, || |x: u64| x * 2)
+            .collect()
+            .unwrap();
+        assert_eq!(items.len(), 20_000);
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i as u64 * 2, "order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn per_key_state_is_consistent() {
+        // Each key's running count must be exact: all tuples of a key meet
+        // the same replica's state.
+        let keys = 13u64;
+        let (counts, _) = source(RangeSource::new(0..13_000))
+            .parallel_keyed(5, move |x| x % keys, move || {
+                let mut seen: HashMap<u64, u64> = HashMap::new();
+                move |x: u64| {
+                    let c = seen.entry(x % keys).or_insert(0);
+                    *c += 1;
+                    (x % keys, *c)
+                }
+            })
+            .collect()
+            .unwrap();
+        // The final count for each key must equal its total occurrences.
+        let mut finals: HashMap<u64, u64> = HashMap::new();
+        for (k, c) in counts {
+            let e = finals.entry(k).or_insert(0);
+            *e = (*e).max(c);
+        }
+        for k in 0..keys {
+            assert_eq!(finals[&k], 1_000, "key {k} lost state");
+        }
+    }
+
+    #[test]
+    fn single_replica_keyed_is_a_pipeline() {
+        let (items, _) = source(RangeSource::new(0..100))
+            .parallel_keyed(1, |x| *x, || |x: u64| x + 1)
+            .collect()
+            .unwrap();
+        let expected: Vec<u64> = (1..=100).collect();
+        assert_eq!(items, expected);
+    }
+
+    #[test]
+    fn skewed_keys_still_complete() {
+        // Every tuple has the same key: one replica does all the work, the
+        // others idle — no balancing possible, but correctness holds.
+        let (n, _) = source(RangeSource::new(0..5_000))
+            .parallel_keyed(4, |_| 42u64, || |x: u64| x)
+            .count()
+            .unwrap();
+        assert_eq!(n, 5_000);
+    }
+}

@@ -1,0 +1,337 @@
+//! The ordered data-parallel region: splitter → replicas → in-order merger,
+//! with a balancing controller — the dataflow-level counterpart of the
+//! paper's Figure 3.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel as xchan;
+use parking_lot::Mutex;
+
+use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
+use streambal_core::rate::ConnectionSample;
+use streambal_core::weights::{WeightVector, WrrScheduler};
+use streambal_transport::{bounded, BlockingSampler, Receiver, Sender};
+
+use crate::report::RegionTrace;
+
+/// Configuration of an ordered data-parallel region.
+///
+/// By default the region runs the paper's *LB-adaptive* balancer; switch to
+/// plain round-robin with [`round_robin`](Self::round_robin) for baselines.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    replicas: usize,
+    balanced: bool,
+    mode: BalancerMode,
+    channel_capacity: usize,
+    sample_interval: Duration,
+}
+
+impl ParallelConfig {
+    /// A region with `replicas` replicas, adaptive balancing, 64-tuple
+    /// connection buffers and a 50 ms control interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0, "region needs at least one replica");
+        ParallelConfig {
+            replicas,
+            balanced: true,
+            mode: BalancerMode::default(),
+            channel_capacity: 64,
+            sample_interval: Duration::from_millis(50),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Disables balancing (even, never-changing weights).
+    pub fn round_robin(mut self) -> Self {
+        self.balanced = false;
+        self
+    }
+
+    /// Sets the balancer mode (default adaptive with 10% decay).
+    pub fn mode(mut self, mode: BalancerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the per-replica connection buffer capacity in tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Sets the control-loop sampling interval.
+    pub fn sample_interval(mut self, interval: Duration) -> Self {
+        self.sample_interval = Duration::from_millis(interval.as_millis().max(1) as u64);
+        self
+    }
+}
+
+/// Aggregated stage counters shared by the region's threads.
+pub(crate) struct RegionCounters {
+    pub split_in: AtomicU64,
+    pub worked: AtomicU64,
+    pub merged_out: AtomicU64,
+}
+
+/// Everything `Flow::parallel` spawns; joined by the terminal stage.
+pub(crate) struct SpawnedRegion {
+    pub splitter: thread::JoinHandle<()>,
+    pub workers: Vec<thread::JoinHandle<()>>,
+    pub merger: thread::JoinHandle<()>,
+    pub controller: thread::JoinHandle<Vec<RegionTrace>>,
+    pub counters: Arc<RegionCounters>,
+}
+
+/// Spawns an ordered parallel region reading `T` from `input`, applying a
+/// per-replica operator produced by `factory`, and writing `U` in input
+/// order into `output`.
+pub(crate) fn spawn<T, U, F, Op>(
+    cfg: &ParallelConfig,
+    input: Receiver<T>,
+    output: Sender<U>,
+    factory: F,
+) -> SpawnedRegion
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: Fn() -> Op,
+    Op: FnMut(T) -> U + Send + 'static,
+{
+    let n = cfg.replicas;
+    let counters = Arc::new(RegionCounters {
+        split_in: AtomicU64::new(0),
+        worked: AtomicU64::new(0),
+        merged_out: AtomicU64::new(0),
+    });
+
+    // Replica connections (instrumented: the balancer reads their blocking
+    // counters) and the shared worker -> merger channel (memory-bounded at
+    // the merger, per the paper's design).
+    let mut conn_tx: Vec<Sender<(u64, T)>> = Vec::with_capacity(n);
+    let mut conn_rx: Vec<Option<Receiver<(u64, T)>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded(cfg.channel_capacity);
+        conn_tx.push(tx);
+        conn_rx.push(Some(rx));
+    }
+    let (merge_tx, merge_rx) = xchan::unbounded::<(u64, U)>();
+
+    let weights = Arc::new(Mutex::new(WeightVector::even(
+        n,
+        streambal_core::DEFAULT_RESOLUTION,
+    )));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Workers.
+    let mut workers = Vec::with_capacity(n);
+    for rx_slot in conn_rx.iter_mut() {
+        let rx = rx_slot.take().expect("each receiver taken once");
+        let merge_tx = merge_tx.clone();
+        let mut op = factory();
+        let counters = Arc::clone(&counters);
+        workers.push(
+            thread::Builder::new()
+                .name("streambal-df-worker".to_owned())
+                .spawn(move || {
+                    while let Ok((seq, t)) = rx.recv() {
+                        let u = op(t);
+                        counters.worked.fetch_add(1, Ordering::Relaxed);
+                        if merge_tx.send((seq, u)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawning a worker thread succeeds"),
+        );
+    }
+    drop(merge_tx);
+
+    // Splitter.
+    let splitter = {
+        let weights = Arc::clone(&weights);
+        let senders = conn_tx.clone();
+        let counters = Arc::clone(&counters);
+        thread::Builder::new()
+            .name("streambal-df-splitter".to_owned())
+            .spawn(move || {
+                let mut current = weights.lock().clone();
+                let mut wrr = WrrScheduler::new(&current);
+                let mut seq = 0u64;
+                while let Ok(t) = input.recv() {
+                    {
+                        let w = weights.lock();
+                        if *w != current {
+                            current = w.clone();
+                            wrr.set_weights(&current);
+                        }
+                    }
+                    let j = wrr.pick();
+                    counters.split_in.fetch_add(1, Ordering::Relaxed);
+                    if senders[j].send_recording((seq, t)).is_err() {
+                        return;
+                    }
+                    seq += 1;
+                }
+            })
+            .expect("spawning the splitter thread succeeds")
+    };
+
+    // Controller.
+    let controller = {
+        let blocking: Vec<_> = conn_tx.iter().map(Sender::blocking_counter).collect();
+        let weights = Arc::clone(&weights);
+        let stop = Arc::clone(&stop);
+        let interval = cfg.sample_interval;
+        let balanced = cfg.balanced;
+        let mode = cfg.mode;
+        let started = Instant::now();
+        thread::Builder::new()
+            .name("streambal-df-controller".to_owned())
+            .spawn(move || {
+                let lb_cfg = BalancerConfig::builder(blocking.len())
+                    .mode(mode)
+                    .build()
+                    .expect("region-sized balancer config is valid");
+                let mut lb = LoadBalancer::new(lb_cfg);
+                let mut samplers = vec![BlockingSampler::new(); blocking.len()];
+                let mut trace = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    thread::sleep(interval);
+                    let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+                    let mut rates = Vec::with_capacity(blocking.len());
+                    let mut samples = Vec::with_capacity(blocking.len());
+                    for (j, (c, s)) in blocking.iter().zip(&mut samplers).enumerate() {
+                        let rate = s.sample(c, interval_ns);
+                        rates.push(rate);
+                        samples.push(ConnectionSample::new(j, rate.min(10.0)));
+                    }
+                    if balanced {
+                        lb.observe(&samples);
+                        lb.rebalance();
+                        *weights.lock() = lb.weights().clone();
+                    }
+                    trace.push(RegionTrace {
+                        elapsed_ms: u64::try_from(started.elapsed().as_millis())
+                            .unwrap_or(u64::MAX),
+                        weights: weights.lock().units().to_vec(),
+                        rates,
+                    });
+                }
+                trace
+            })
+            .expect("spawning the controller thread succeeds")
+    };
+    drop(conn_tx);
+
+    // Merger: strict in-order release into the downstream channel.
+    let merger = {
+        let counters = Arc::clone(&counters);
+        let stop = Arc::clone(&stop);
+        thread::Builder::new()
+            .name("streambal-df-merger".to_owned())
+            .spawn(move || {
+                let mut reorder: BinaryHeap<std::cmp::Reverse<SeqItem<U>>> = BinaryHeap::new();
+                let mut next = 0u64;
+                while let Ok((seq, u)) = merge_rx.recv() {
+                    reorder.push(std::cmp::Reverse(SeqItem { seq, item: u }));
+                    while reorder
+                        .peek()
+                        .map(|std::cmp::Reverse(it)| it.seq == next)
+                        .unwrap_or(false)
+                    {
+                        let std::cmp::Reverse(it) = reorder.pop().expect("peeked");
+                        next += 1;
+                        counters.merged_out.fetch_add(1, Ordering::Relaxed);
+                        if output.send_recording(it.item).is_err() {
+                            stop.store(true, Ordering::Release);
+                            return;
+                        }
+                    }
+                }
+                debug_assert!(reorder.is_empty(), "merger must drain completely");
+                stop.store(true, Ordering::Release);
+            })
+            .expect("spawning the merger thread succeeds")
+    };
+
+    SpawnedRegion {
+        splitter,
+        workers,
+        merger,
+        controller,
+        counters,
+    }
+}
+
+/// A sequence-keyed item; ordered by sequence number only.
+#[derive(Debug)]
+struct SeqItem<U> {
+    seq: u64,
+    item: U,
+}
+
+impl<U> PartialEq for SeqItem<U> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<U> Eq for SeqItem<U> {}
+
+impl<U> PartialOrd for SeqItem<U> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<U> Ord for SeqItem<U> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let c = ParallelConfig::new(4);
+        assert_eq!(c.replicas(), 4);
+        let c = c.round_robin().channel_capacity(8);
+        assert_eq!(c.channel_capacity, 8);
+        assert!(!c.balanced);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _ = ParallelConfig::new(0);
+    }
+
+    #[test]
+    fn seq_item_orders_by_seq() {
+        let a = SeqItem { seq: 1, item: "b" };
+        let b = SeqItem { seq: 2, item: "a" };
+        assert!(a < b);
+        assert!(a == SeqItem { seq: 1, item: "z" });
+    }
+}

@@ -1,0 +1,95 @@
+//! Tuple sources: where streams begin.
+
+use std::ops::Range;
+
+/// A producer of tuples. Implement this for custom ingestion; adapters for
+/// iterators and ranges are provided.
+pub trait Source: Send + 'static {
+    /// The tuple type this source emits.
+    type Item: Send + 'static;
+
+    /// Produces the next tuple, or `None` when the stream ends.
+    fn next_tuple(&mut self) -> Option<Self::Item>;
+}
+
+/// Adapts any iterator into a [`Source`].
+///
+/// # Examples
+///
+/// ```
+/// use streambal_dataflow::{IterSource, Source};
+///
+/// let mut s = IterSource::new(vec!["a", "b"].into_iter());
+/// assert_eq!(s.next_tuple(), Some("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I> IterSource<I>
+where
+    I: Iterator + Send + 'static,
+    I::Item: Send + 'static,
+{
+    /// Wraps an iterator.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I> Source for IterSource<I>
+where
+    I: Iterator + Send + 'static,
+    I::Item: Send + 'static,
+{
+    type Item = I::Item;
+
+    fn next_tuple(&mut self) -> Option<Self::Item> {
+        self.iter.next()
+    }
+}
+
+/// A source of consecutive integers — the workhorse of tests and examples.
+#[derive(Debug, Clone)]
+pub struct RangeSource {
+    range: Range<u64>,
+}
+
+impl RangeSource {
+    /// Emits every value of `range` in order, then ends.
+    pub fn new(range: Range<u64>) -> Self {
+        RangeSource { range }
+    }
+}
+
+impl Source for RangeSource {
+    type Item = u64;
+
+    fn next_tuple(&mut self) -> Option<u64> {
+        self.range.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_source_is_ordered_and_finite() {
+        let mut s = RangeSource::new(3..6);
+        assert_eq!(s.next_tuple(), Some(3));
+        assert_eq!(s.next_tuple(), Some(4));
+        assert_eq!(s.next_tuple(), Some(5));
+        assert_eq!(s.next_tuple(), None);
+        assert_eq!(s.next_tuple(), None);
+    }
+
+    #[test]
+    fn iter_source_passes_items_through() {
+        let mut s = IterSource::new([10u32, 20].into_iter());
+        assert_eq!(s.next_tuple(), Some(10));
+        assert_eq!(s.next_tuple(), Some(20));
+        assert_eq!(s.next_tuple(), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Count-based windowing operators — the SPL-style aggregations a Streams
+//! application builds on (tumbling and sliding windows over tuple counts).
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+
+use crate::flow::Flow;
+
+impl<T: Send + 'static> Flow<T> {
+    /// Groups the stream into consecutive, non-overlapping windows of
+    /// `size` tuples. A final partial window is emitted when the stream
+    /// ends (unless empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streambal_dataflow::{source, RangeSource};
+    ///
+    /// let (windows, _) = source(RangeSource::new(0..7)).tumbling(3).collect().unwrap();
+    /// assert_eq!(windows, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    /// ```
+    pub fn tumbling(self, size: usize) -> Flow<Vec<T>> {
+        assert!(size > 0, "window size must be positive");
+        self.add_stage("tumbling", move |rx, tx, consumed, emitted| {
+            let mut window = Vec::with_capacity(size);
+            while let Ok(t) = rx.recv() {
+                consumed.fetch_add(1, Ordering::Relaxed);
+                window.push(t);
+                if window.len() == size {
+                    if tx
+                        .send_recording(std::mem::replace(&mut window, Vec::with_capacity(size)))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    emitted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if !window.is_empty() && tx.send_recording(window).is_ok() {
+                emitted.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    }
+
+    /// Folds consecutive, non-overlapping windows of `size` tuples into a
+    /// single value each, without materializing the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streambal_dataflow::{source, RangeSource};
+    ///
+    /// // Per-window sums.
+    /// let (sums, _) = source(RangeSource::new(0..6))
+    ///     .tumbling_fold(3, 0u64, |acc, x| acc + x)
+    ///     .collect()
+    ///     .unwrap();
+    /// assert_eq!(sums, vec![3, 12]);
+    /// ```
+    pub fn tumbling_fold<A, F>(self, size: usize, init: A, mut fold: F) -> Flow<A>
+    where
+        A: Clone + Send + 'static,
+        F: FnMut(A, T) -> A + Send + 'static,
+    {
+        assert!(size > 0, "window size must be positive");
+        self.add_stage("tumbling_fold", move |rx, tx, consumed, emitted| {
+            let mut acc = init.clone();
+            let mut filled = 0usize;
+            while let Ok(t) = rx.recv() {
+                consumed.fetch_add(1, Ordering::Relaxed);
+                acc = fold(std::mem::replace(&mut acc, init.clone()), t);
+                filled += 1;
+                if filled == size {
+                    if tx
+                        .send_recording(std::mem::replace(&mut acc, init.clone()))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    emitted.fetch_add(1, Ordering::Relaxed);
+                    filled = 0;
+                }
+            }
+            if filled > 0 && tx.send_recording(acc).is_ok() {
+                emitted.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    }
+
+    /// Emits an overlapping window of the last `size` tuples every `step`
+    /// tuples (once the first full window has accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `step == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streambal_dataflow::{source, RangeSource};
+    ///
+    /// let (w, _) = source(RangeSource::new(0..5)).sliding(3, 1).collect().unwrap();
+    /// assert_eq!(w, vec![vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4]]);
+    /// ```
+    pub fn sliding(self, size: usize, step: usize) -> Flow<Vec<T>>
+    where
+        T: Clone,
+    {
+        assert!(size > 0, "window size must be positive");
+        assert!(step > 0, "window step must be positive");
+        self.add_stage("sliding", move |rx, tx, consumed, emitted| {
+            let mut window: VecDeque<T> = VecDeque::with_capacity(size);
+            // Start at `step` so the first full window emits immediately.
+            let mut since_emit = step;
+            while let Ok(t) = rx.recv() {
+                consumed.fetch_add(1, Ordering::Relaxed);
+                if window.len() == size {
+                    window.pop_front();
+                }
+                window.push_back(t);
+                if window.len() == size {
+                    since_emit += 1;
+                    if since_emit >= step {
+                        since_emit = 0;
+                        let snapshot: Vec<T> = window.iter().cloned().collect();
+                        if tx.send_recording(snapshot).is_err() {
+                            return;
+                        }
+                        emitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flow::source;
+    use crate::source::RangeSource;
+
+    #[test]
+    fn tumbling_partial_tail() {
+        let (w, report) = source(RangeSource::new(0..10)).tumbling(4).collect().unwrap();
+        assert_eq!(w, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        assert_eq!(report.delivered(), 3);
+    }
+
+    #[test]
+    fn tumbling_exact_multiple_has_no_tail() {
+        let (w, _) = source(RangeSource::new(0..6)).tumbling(3).collect().unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn tumbling_fold_sums() {
+        let (sums, _) = source(RangeSource::new(1..10))
+            .tumbling_fold(3, 0u64, |a, x| a + x)
+            .collect()
+            .unwrap();
+        assert_eq!(sums, vec![6, 15, 24]);
+    }
+
+    #[test]
+    fn tumbling_fold_partial_tail() {
+        let (sums, _) = source(RangeSource::new(0..4))
+            .tumbling_fold(3, 0u64, |a, x| a + x)
+            .collect()
+            .unwrap();
+        assert_eq!(sums, vec![3, 3]);
+    }
+
+    #[test]
+    fn sliding_with_step() {
+        let (w, _) = source(RangeSource::new(0..8)).sliding(3, 2).collect().unwrap();
+        assert_eq!(w, vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6]]);
+    }
+
+    #[test]
+    fn sliding_shorter_than_window_emits_nothing() {
+        let (w, _) = source(RangeSource::new(0..2)).sliding(3, 1).collect().unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn windows_compose_with_parallel_regions() {
+        use crate::region::ParallelConfig;
+        // Per-window maxima computed by a parallel region, in order.
+        let (maxima, _) = source(RangeSource::new(0..1_000))
+            .tumbling(10)
+            .parallel(ParallelConfig::new(3), || {
+                |w: Vec<u64>| w.into_iter().max().unwrap_or(0)
+            })
+            .collect()
+            .unwrap();
+        let expected: Vec<u64> = (0..100).map(|i| i * 10 + 9).collect();
+        assert_eq!(maxima, expected);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the dataflow layer: ordering and equivalence
+//! with the corresponding iterator pipelines, over randomized inputs.
+
+use proptest::prelude::*;
+
+use streambal_dataflow::{source, IterSource, ParallelConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A map-filter pipeline equals its iterator counterpart, in order.
+    #[test]
+    fn map_filter_matches_iterator(
+        items in proptest::collection::vec(0u64..10_000, 0..2_000),
+        modulus in 1u64..7,
+    ) {
+        let expected: Vec<u64> = items
+            .iter()
+            .map(|&x| x.wrapping_mul(3))
+            .filter(|x| x % modulus != 0)
+            .collect();
+        let (got, _) = source(IterSource::new(items.into_iter()))
+            .map(|x| x.wrapping_mul(3))
+            .filter(move |x| x % modulus != 0)
+            .collect()
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Tumbling windows equal `chunks` (including the partial tail).
+    #[test]
+    fn tumbling_matches_chunks(
+        items in proptest::collection::vec(0u64..100, 0..500),
+        size in 1usize..9,
+    ) {
+        let expected: Vec<Vec<u64>> = items.chunks(size).map(<[u64]>::to_vec).collect();
+        let (got, _) = source(IterSource::new(items.into_iter()))
+            .tumbling(size)
+            .collect()
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// An ordered parallel region is a transparent map, whatever the
+    /// replica count and buffer size.
+    #[test]
+    fn parallel_region_is_a_transparent_map(
+        items in proptest::collection::vec(0u64..1_000_000, 0..3_000),
+        replicas in 1usize..6,
+        capacity in 1usize..48,
+    ) {
+        let expected: Vec<u64> = items.iter().map(|&x| x ^ 0xABCD).collect();
+        let (got, _) = source(IterSource::new(items.into_iter()))
+            .parallel(
+                ParallelConfig::new(replicas).channel_capacity(capacity),
+                || |x: u64| x ^ 0xABCD,
+            )
+            .collect()
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A keyed region is also a transparent map, and per-key sequences stay
+    /// internally ordered.
+    #[test]
+    fn keyed_region_is_a_transparent_map(
+        items in proptest::collection::vec(0u64..50, 0..2_000),
+        replicas in 1usize..5,
+    ) {
+        let expected: Vec<u64> = items.iter().map(|&x| x + 7).collect();
+        let (got, _) = source(IterSource::new(items.into_iter()))
+            .parallel_keyed(replicas, |x| *x, || |x: u64| x + 7)
+            .collect()
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `flat_map` equals the iterator `flat_map`, preserving order.
+    #[test]
+    fn flat_map_matches_iterator(
+        items in proptest::collection::vec(0u64..50, 0..400),
+        copies in 0usize..4,
+    ) {
+        let expected: Vec<u64> = items
+            .iter()
+            .flat_map(|&x| std::iter::repeat(x).take(copies))
+            .collect();
+        let (got, _) = source(IterSource::new(items.into_iter()))
+            .flat_map(move |x| std::iter::repeat(x).take(copies).collect::<Vec<_>>())
+            .collect()
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+}

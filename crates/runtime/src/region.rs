@@ -1,0 +1,498 @@
+//! The threaded parallel region: splitter → workers → in-order merger, with
+//! a balancing control thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel as xchan;
+use parking_lot::Mutex;
+
+use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
+use streambal_core::rate::ConnectionSample;
+use streambal_core::weights::{WeightVector, WrrScheduler};
+use streambal_transport::{bounded, BlockingSampler, Receiver, Sender};
+
+use crate::workload::spin_multiplies;
+
+/// Load multipliers are stored as fixed-point thousandths in an atomic so
+/// they can change mid-run.
+const LOAD_SCALE: f64 = 1_000.0;
+
+/// Error starting or finishing a region run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// The builder was configured with zero workers.
+    NoWorkers,
+    /// A worker thread panicked.
+    WorkerPanicked,
+    /// The merger observed a sequence gap (should be impossible).
+    OutOfOrder,
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::NoWorkers => write!(f, "region needs at least one worker"),
+            RegionError::WorkerPanicked => write!(f, "a region thread panicked"),
+            RegionError::OutOfOrder => write!(f, "merger released tuples out of order"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// One snapshot of the controller's state during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlSnapshot {
+    /// Wall-clock milliseconds since the run started.
+    pub elapsed_ms: u64,
+    /// The allocation weights installed after this round.
+    pub weights: Vec<u32>,
+    /// Per-connection blocking rates observed over the interval.
+    pub rates: Vec<f64>,
+}
+
+/// The outcome of a threaded region run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReport {
+    /// Tuples delivered downstream by the merger.
+    pub delivered: u64,
+    /// Whether every tuple left the region in exact sequence order.
+    pub in_order: bool,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// One entry per control round.
+    pub snapshots: Vec<ControlSnapshot>,
+    /// Final cumulative blocking time per connection, ns.
+    pub blocked_ns: Vec<u64>,
+    /// Tuples rerouted at the transport level (reroute mode only).
+    pub rerouted: u64,
+}
+
+impl RegionReport {
+    /// Mean throughput in tuples per wall second.
+    pub fn throughput(&self) -> f64 {
+        self.delivered as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+
+    /// The last installed weights, if the controller ever ran.
+    pub fn final_weights(&self) -> Option<&[u32]> {
+        self.snapshots.last().map(|s| s.weights.as_slice())
+    }
+}
+
+/// A scheduled external-load change: at `after` into the run, worker
+/// `worker`'s cost multiplier becomes `factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadChange {
+    /// When the change applies, relative to run start.
+    pub after: Duration,
+    /// The worker whose load changes.
+    pub worker: usize,
+    /// The new cost multiplier.
+    pub factor: f64,
+}
+
+/// Builder for a threaded parallel region run.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct RegionBuilder {
+    workers: usize,
+    tuple_cost: u64,
+    channel_capacity: usize,
+    sample_interval: Duration,
+    initial_loads: Vec<f64>,
+    load_changes: Vec<LoadChange>,
+    balancer_mode: BalancerMode,
+    balancing: bool,
+    reroute: bool,
+}
+
+impl RegionBuilder {
+    /// Starts a builder for a region with `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        RegionBuilder {
+            workers,
+            tuple_cost: 1_000,
+            channel_capacity: 64,
+            sample_interval: Duration::from_millis(100),
+            initial_loads: vec![1.0; workers],
+            load_changes: Vec::new(),
+            balancer_mode: BalancerMode::default(),
+            balancing: true,
+            reroute: false,
+        }
+    }
+
+    /// Sets the per-tuple base cost in integer multiplies (default 1,000).
+    pub fn tuple_cost(&mut self, multiplies: u64) -> &mut Self {
+        self.tuple_cost = multiplies;
+        self
+    }
+
+    /// Sets the per-connection channel capacity in tuples (default 64).
+    pub fn channel_capacity(&mut self, tuples: usize) -> &mut Self {
+        self.channel_capacity = tuples;
+        self
+    }
+
+    /// Sets the control-loop sampling interval (default 100 ms; the paper
+    /// samples every second on much longer runs).
+    pub fn sample_interval_ms(&mut self, ms: u64) -> &mut Self {
+        self.sample_interval = Duration::from_millis(ms.max(1));
+        self
+    }
+
+    /// Gives worker `j` an initial external-load cost multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or `factor` is not positive.
+    pub fn initial_load(&mut self, j: usize, factor: f64) -> &mut Self {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        self.initial_loads[j] = factor;
+        self
+    }
+
+    /// Schedules an external-load change during the run.
+    pub fn load_change(&mut self, change: LoadChange) -> &mut Self {
+        self.load_changes.push(change);
+        self
+    }
+
+    /// Sets the balancer mode (default adaptive with 10% decay).
+    pub fn balancer_mode(&mut self, mode: BalancerMode) -> &mut Self {
+        self.balancer_mode = mode;
+        self
+    }
+
+    /// Disables balancing entirely (naive round-robin), for baselines.
+    pub fn round_robin(&mut self) -> &mut Self {
+        self.balancing = false;
+        self
+    }
+
+    /// §4.4's transport-level rerouting baseline: round-robin, but when a
+    /// send would block, the tuple is diverted to the next connection with
+    /// buffer space (blocking on the original only when all are full).
+    pub fn reroute(&mut self) -> &mut Self {
+        self.balancing = false;
+        self.reroute = true;
+        self
+    }
+
+    /// Runs the region until `total_tuples` have been merged, blocking the
+    /// calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegionError::NoWorkers`] for an empty region or
+    /// [`RegionError::WorkerPanicked`] if any thread dies.
+    pub fn run(&self, total_tuples: u64) -> Result<RegionReport, RegionError> {
+        if self.workers == 0 {
+            return Err(RegionError::NoWorkers);
+        }
+        let n = self.workers;
+
+        // Connections: splitter -> worker (instrumented) and a shared
+        // worker -> merger channel (the merger reorders in memory, so its
+        // input does not need per-connection flow control — see the sim
+        // crate's merge-capacity discussion).
+        let mut senders: Vec<Sender<u64>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<u64>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded(self.channel_capacity);
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let (merge_tx, merge_rx) = xchan::unbounded::<u64>();
+
+        let loads: Vec<Arc<AtomicU32>> = self
+            .initial_loads
+            .iter()
+            .map(|&f| Arc::new(AtomicU32::new((f * LOAD_SCALE) as u32)))
+            .collect();
+        let weights = Arc::new(Mutex::new(WeightVector::even(
+            n,
+            streambal_core::DEFAULT_RESOLUTION,
+        )));
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+
+        // Worker threads.
+        let mut worker_handles = Vec::with_capacity(n);
+        for (j, rx_slot) in receivers.iter_mut().enumerate() {
+            let rx = rx_slot.take().expect("receiver taken once");
+            let merge_tx = merge_tx.clone();
+            let load = Arc::clone(&loads[j]);
+            let cost = self.tuple_cost;
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("streambal-worker-{j}"))
+                    .spawn(move || {
+                        while let Ok(seq) = rx.recv() {
+                            let factor =
+                                f64::from(load.load(Ordering::Relaxed)) / LOAD_SCALE;
+                            spin_multiplies((cost as f64 * factor) as u64);
+                            if merge_tx.send(seq).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawning a worker thread succeeds"),
+            );
+        }
+        drop(merge_tx);
+
+        // Splitter thread.
+        let splitter_weights = Arc::clone(&weights);
+        let splitter_senders = senders.clone();
+        let reroute = self.reroute;
+        let rerouted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let rerouted_in = Arc::clone(&rerouted);
+        let splitter = thread::Builder::new()
+            .name("streambal-splitter".to_owned())
+            .spawn(move || {
+                let mut wrr = WrrScheduler::new(&splitter_weights.lock().clone());
+                let mut current = splitter_weights.lock().clone();
+                'tuples: for seq in 0..total_tuples {
+                    // Pick up new weights between tuples.
+                    {
+                        let w = splitter_weights.lock();
+                        if *w != current {
+                            current = w.clone();
+                            wrr.set_weights(&current);
+                        }
+                    }
+                    let j = wrr.pick();
+                    if reroute {
+                        // MSG_DONTWAIT-style attempt, then siblings, then
+                        // block on the original (the paper's §4.4 baseline).
+                        let mut seq_val = seq;
+                        match splitter_senders[j].try_send(seq_val) {
+                            Ok(()) => continue 'tuples,
+                            Err(streambal_transport::TrySendError::Disconnected(_)) => return,
+                            Err(streambal_transport::TrySendError::Full(v)) => seq_val = v,
+                        }
+                        for k in 1..splitter_senders.len() {
+                            let c = (j + k) % splitter_senders.len();
+                            match splitter_senders[c].try_send(seq_val) {
+                                Ok(()) => {
+                                    rerouted_in.fetch_add(1, Ordering::Relaxed);
+                                    continue 'tuples;
+                                }
+                                Err(streambal_transport::TrySendError::Disconnected(_)) => {
+                                    return
+                                }
+                                Err(streambal_transport::TrySendError::Full(v)) => seq_val = v,
+                            }
+                        }
+                        if splitter_senders[j].send_recording(seq_val).is_err() {
+                            return;
+                        }
+                    } else if splitter_senders[j].send_recording(seq).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawning the splitter thread succeeds");
+
+        // Controller thread: sample blocking rates, rebalance, apply
+        // scheduled load changes.
+        let controller = {
+            let counters: Vec<_> = senders.iter().map(Sender::blocking_counter).collect();
+            let weights = Arc::clone(&weights);
+            let stop = Arc::clone(&stop);
+            let interval = self.sample_interval;
+            let balancing = self.balancing;
+            let mode = self.balancer_mode;
+            let loads: Vec<Arc<AtomicU32>> = loads.iter().map(Arc::clone).collect();
+            let mut changes = self.load_changes.clone();
+            changes.sort_by_key(|c| c.after);
+            thread::Builder::new()
+                .name("streambal-controller".to_owned())
+                .spawn(move || {
+                    let cfg = BalancerConfig::builder(counters.len())
+                        .mode(mode)
+                        .build()
+                        .expect("region-sized balancer config is valid");
+                    let mut lb = LoadBalancer::new(cfg);
+                    let mut samplers = vec![BlockingSampler::new(); counters.len()];
+                    let mut snapshots = Vec::new();
+                    let mut next_change = 0usize;
+                    while !stop.load(Ordering::Acquire) {
+                        thread::sleep(interval);
+                        let elapsed = started.elapsed();
+                        while next_change < changes.len()
+                            && changes[next_change].after <= elapsed
+                        {
+                            let c = changes[next_change];
+                            loads[c.worker]
+                                .store((c.factor * LOAD_SCALE) as u32, Ordering::Relaxed);
+                            next_change += 1;
+                        }
+                        let interval_ns =
+                            u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+                        let mut rates = Vec::with_capacity(counters.len());
+                        let mut samples = Vec::with_capacity(counters.len());
+                        for (j, (c, s)) in counters.iter().zip(&mut samplers).enumerate() {
+                            let rate = s.sample(c, interval_ns);
+                            rates.push(rate);
+                            samples.push(ConnectionSample::new(j, rate.min(10.0)));
+                        }
+                        if balancing {
+                            lb.observe(&samples);
+                            lb.rebalance();
+                            *weights.lock() = lb.weights().clone();
+                        }
+                        snapshots.push(ControlSnapshot {
+                            elapsed_ms: u64::try_from(elapsed.as_millis())
+                                .unwrap_or(u64::MAX),
+                            weights: weights.lock().units().to_vec(),
+                            rates,
+                        });
+                    }
+                    snapshots
+                })
+                .expect("spawning the controller thread succeeds")
+        };
+
+        // Merger (on this thread): strict in-order release.
+        let mut reorder = std::collections::BinaryHeap::new();
+        let mut next_expected = 0u64;
+        let mut delivered = 0u64;
+        let mut in_order = true;
+        while delivered < total_tuples {
+            let Ok(seq) = merge_rx.recv() else { break };
+            reorder.push(std::cmp::Reverse(seq));
+            while reorder.peek() == Some(&std::cmp::Reverse(next_expected)) {
+                reorder.pop();
+                next_expected += 1;
+                delivered += 1;
+            }
+            if reorder.len() > total_tuples as usize {
+                in_order = false; // duplicate or gap: bail out of the check
+                break;
+            }
+        }
+        let duration = started.elapsed();
+
+        // Shutdown: splitter is done (or failed); workers drain and exit
+        // when the splitter's senders drop.
+        splitter.join().map_err(|_| RegionError::WorkerPanicked)?;
+        let blocked_ns: Vec<u64> = senders
+            .iter()
+            .map(|s| s.blocking_counter().cumulative_ns())
+            .collect();
+        drop(senders);
+        for h in worker_handles {
+            h.join().map_err(|_| RegionError::WorkerPanicked)?;
+        }
+        stop.store(true, Ordering::Release);
+        let snapshots = controller.join().map_err(|_| RegionError::WorkerPanicked)?;
+
+        in_order &= delivered == total_tuples && next_expected == total_tuples;
+        Ok(RegionReport {
+            delivered,
+            in_order,
+            duration,
+            snapshots,
+            blocked_ns,
+            rerouted: rerouted.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_everything_in_order() {
+        let report = RegionBuilder::new(3)
+            .tuple_cost(500)
+            .sample_interval_ms(20)
+            .run(30_000)
+            .unwrap();
+        assert_eq!(report.delivered, 30_000);
+        assert!(report.in_order);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert_eq!(
+            RegionBuilder::new(0).run(10).unwrap_err(),
+            RegionError::NoWorkers
+        );
+    }
+
+    #[test]
+    fn round_robin_keeps_even_weights() {
+        let report = RegionBuilder::new(2)
+            .tuple_cost(200)
+            .round_robin()
+            .sample_interval_ms(10)
+            .run(20_000)
+            .unwrap();
+        if let Some(w) = report.final_weights() {
+            assert_eq!(w, &[500, 500]);
+        }
+        assert!(report.in_order);
+    }
+
+    #[test]
+    fn balancer_shifts_weight_off_slow_worker() {
+        // Worker 0 is 50x slower; after enough control rounds its weight
+        // must fall well below an even share. Thresholds are generous: this
+        // runs on real, noisy threads.
+        let report = RegionBuilder::new(2)
+            .tuple_cost(5_000)
+            .initial_load(0, 50.0)
+            .sample_interval_ms(25)
+            .run(60_000)
+            .unwrap();
+        assert!(report.in_order);
+        let w = report.final_weights().expect("controller ran");
+        assert!(
+            w[0] < 300,
+            "slow worker should be throttled, weights = {w:?}"
+        );
+    }
+
+    #[test]
+    fn reroute_mode_reroutes_and_stays_ordered() {
+        let report = RegionBuilder::new(2)
+            .tuple_cost(4_000)
+            .initial_load(0, 40.0)
+            .reroute()
+            .channel_capacity(8)
+            .sample_interval_ms(20)
+            .run(30_000)
+            .unwrap();
+        assert!(report.in_order, "rerouting must not break ordering");
+        assert_eq!(report.delivered, 30_000);
+        assert!(report.rerouted > 0, "an overloaded worker must cause reroutes");
+    }
+
+    #[test]
+    fn load_change_is_applied() {
+        let report = RegionBuilder::new(2)
+            .tuple_cost(1_000)
+            .initial_load(0, 30.0)
+            .load_change(LoadChange {
+                after: Duration::from_millis(100),
+                worker: 0,
+                factor: 1.0,
+            })
+            .sample_interval_ms(20)
+            .run(50_000)
+            .unwrap();
+        assert!(report.in_order);
+        assert!(!report.snapshots.is_empty());
+    }
+}

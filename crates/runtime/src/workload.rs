@@ -1,0 +1,61 @@
+//! The paper's synthetic workload: a chain of integer multiplies per tuple.
+
+use std::hint::black_box;
+
+/// Performs `n` dependent integer multiplies and returns the accumulated
+/// value (so the optimizer cannot elide the work).
+///
+/// On the paper's hardware one multiply in a dependency chain retires
+/// roughly every few cycles; the absolute rate does not matter for the
+/// balancer, only the *relative* cost between workers.
+pub fn spin_multiplies(n: u64) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in 0..n {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+    }
+    black_box(acc)
+}
+
+/// Estimates the wall-clock nanoseconds one multiply costs on this machine
+/// (used by examples to pick sensible tuple costs).
+pub fn calibrate_ns_per_multiply() -> f64 {
+    let n = 2_000_000u64;
+    let start = std::time::Instant::now();
+    black_box(spin_multiplies(n));
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_scales_roughly_linearly() {
+        // 16x the multiplies should take clearly more time than 1x; we
+        // assert a loose 4x to stay robust on noisy CI machines.
+        let timed = |n: u64| {
+            let start = std::time::Instant::now();
+            for _ in 0..50 {
+                spin_multiplies(n);
+            }
+            start.elapsed()
+        };
+        let small = timed(10_000);
+        let large = timed(160_000);
+        assert!(
+            large > small * 4,
+            "expected ~16x scaling, got {small:?} vs {large:?}"
+        );
+    }
+
+    #[test]
+    fn calibration_is_positive() {
+        let ns = calibrate_ns_per_multiply();
+        assert!(ns > 0.0 && ns < 1_000.0, "implausible calibration: {ns}");
+    }
+
+    #[test]
+    fn deterministic_result() {
+        assert_eq!(spin_multiplies(1_000), spin_multiplies(1_000));
+    }
+}

@@ -1,0 +1,711 @@
+//! The discrete-event engine simulating one ordered parallel region.
+//!
+//! Three event types drive the simulation:
+//!
+//! - `SendNext` — the splitter routes its next tuple (or blocks on a full
+//!   connection buffer, to be woken by that worker's next dequeue);
+//! - `WorkerDone(j)` — worker `j` finishes a tuple and hands it to the
+//!   merger's reorder queue (stalling if the queue is full);
+//! - `Sample` — the control loop samples per-connection blocking rates and
+//!   lets the [`Policy`] install new weights.
+//!
+//! All state transitions that free a resource (worker dequeues a tuple,
+//! merger pops a reorder slot) eagerly wake whoever was waiting on it, so
+//! the simulation is work-conserving exactly like the real runtime.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use streambal_core::weights::WrrScheduler;
+
+use crate::config::{ConfigError, RegionConfig, StopCondition};
+use crate::metrics::{RunResult, SampleTrace};
+use crate::policy::{Policy, PolicySample, SampleContext};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    SendNext,
+    WorkerDone(usize),
+    Sample,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    t: u64,
+    tie: u64,
+    ev: Ev,
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t.cmp(&other.t).then_with(|| self.tie.cmp(&other.tie))
+    }
+}
+
+/// Runs one simulation of `cfg` under the given balancing policy.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_sim::config::{RegionConfig, StopCondition};
+/// use streambal_sim::policy::RoundRobinPolicy;
+///
+/// let cfg = RegionConfig::builder(2)
+///     .stop(StopCondition::Tuples(1_000))
+///     .build()
+///     .unwrap();
+/// let result = streambal_sim::run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+/// assert_eq!(result.delivered, 1_000);
+/// ```
+pub fn run(cfg: &RegionConfig, policy: &mut dyn Policy) -> Result<RunResult, ConfigError> {
+    cfg.validate()?;
+    Ok(Engine::new(cfg, policy).run())
+}
+
+struct Engine<'c> {
+    cfg: &'c RegionConfig,
+    policy: &'c mut dyn Policy,
+    eff_speed: Vec<f64>,
+    now: u64,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    tie: u64,
+    rng: SmallRng,
+
+    // Splitter.
+    wrr: WrrScheduler,
+    weights: Vec<u32>,
+    next_seq: u64,
+    sent: u64,
+    rerouted: u64,
+    splitter_done: bool,
+    /// `(connection, blocked-since, pending tuple seq)` while blocked.
+    blocked_on: Option<(usize, u64, u64)>,
+    blocked_ns: Vec<u64>,
+    blocked_ns_at_sample: Vec<u64>,
+
+    // Connections and workers.
+    conn_q: Vec<VecDeque<u64>>,
+    worker_busy: Vec<bool>,
+    worker_seq: Vec<u64>,
+    worker_stalled: Vec<Option<u64>>,
+
+    // Merger.
+    merge_q: Vec<VecDeque<u64>>,
+    heads: BinaryHeap<Reverse<(u64, usize)>>,
+    next_expected: u64,
+
+    // Workload-progress-triggered load changes.
+    load_override: Vec<Option<f64>>,
+    fraction_thresholds: Vec<(u64, usize, f64)>,
+    next_fraction: usize,
+
+    // Sink.
+    delivered: u64,
+    delivered_at_sample: u64,
+    samples: Vec<SampleTrace>,
+
+    // Latency accounting: splitter entry times, drained in order by the
+    // merger; every 16th tuple's latency is recorded.
+    entry_times: VecDeque<u64>,
+    latencies_ns: Vec<u64>,
+    worker_busy_ns: Vec<u64>,
+}
+
+impl<'c> Engine<'c> {
+    fn new(cfg: &'c RegionConfig, policy: &'c mut dyn Policy) -> Self {
+        let n = cfg.num_workers();
+        let initial = policy.initial_weights(n);
+        let wrr = WrrScheduler::new(&initial);
+        Engine {
+            eff_speed: cfg.effective_speeds(),
+            policy,
+            now: 0,
+            events: BinaryHeap::new(),
+            tie: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            weights: initial.units().to_vec(),
+            wrr,
+            next_seq: 0,
+            sent: 0,
+            rerouted: 0,
+            splitter_done: false,
+            blocked_on: None,
+            blocked_ns: vec![0; n],
+            blocked_ns_at_sample: vec![0; n],
+            conn_q: (0..n).map(|_| VecDeque::new()).collect(),
+            worker_busy: vec![false; n],
+            worker_seq: vec![0; n],
+            worker_stalled: vec![None; n],
+            merge_q: (0..n).map(|_| VecDeque::new()).collect(),
+            heads: BinaryHeap::new(),
+            next_expected: 0,
+            load_override: vec![None; n],
+            fraction_thresholds: {
+                let mut t: Vec<(u64, usize, f64)> = cfg
+                    .fraction_events
+                    .iter()
+                    .map(|e| {
+                        let total = match cfg.stop {
+                            StopCondition::Tuples(n) => n,
+                            StopCondition::Duration(_) => 0,
+                        };
+                        ((e.fraction * total as f64) as u64, e.worker, e.factor)
+                    })
+                    .collect();
+                t.sort_by_key(|&(at, _, _)| at);
+                t
+            },
+            next_fraction: 0,
+            delivered: 0,
+            delivered_at_sample: 0,
+            samples: Vec::new(),
+            entry_times: VecDeque::new(),
+            latencies_ns: Vec::new(),
+            worker_busy_ns: vec![0; n],
+            cfg,
+        }
+    }
+
+    fn schedule(&mut self, t: u64, ev: Ev) {
+        self.tie += 1;
+        self.events.push(Reverse(Scheduled {
+            t,
+            tie: self.tie,
+            ev,
+        }));
+    }
+
+    fn run(mut self) -> RunResult {
+        self.schedule(0, Ev::SendNext);
+        self.schedule(self.cfg.sample_interval_ns, Ev::Sample);
+
+        let duration_limit = match self.cfg.stop {
+            StopCondition::Duration(d) => Some(d),
+            StopCondition::Tuples(_) => None,
+        };
+
+        while let Some(Reverse(s)) = self.events.pop() {
+            if let Some(limit) = duration_limit {
+                if s.t > limit {
+                    self.now = limit;
+                    break;
+                }
+            }
+            self.now = s.t;
+            match s.ev {
+                Ev::SendNext => self.on_send_next(),
+                Ev::WorkerDone(j) => self.on_worker_done(j),
+                Ev::Sample => self.on_sample(),
+            }
+            while self.next_fraction < self.fraction_thresholds.len()
+                && self.fraction_thresholds[self.next_fraction].0 <= self.delivered
+            {
+                let (_, worker, factor) = self.fraction_thresholds[self.next_fraction];
+                self.load_override[worker] = Some(factor);
+                self.next_fraction += 1;
+            }
+            if let StopCondition::Tuples(n) = self.cfg.stop {
+                if self.delivered >= n {
+                    break;
+                }
+            }
+        }
+
+        // Fold any in-progress blocked span into the totals.
+        if let Some((conn, since, _)) = self.blocked_on.take() {
+            self.blocked_ns[conn] += self.now.saturating_sub(since);
+        }
+
+        RunResult {
+            policy: self.policy.name().to_owned(),
+            duration_ns: self.now,
+            delivered: self.delivered,
+            sent: self.sent,
+            rerouted: self.rerouted,
+            blocked_ns: self.blocked_ns,
+            samples: self.samples,
+            latencies_ns: self.latencies_ns,
+            worker_busy_ns: self.worker_busy_ns,
+        }
+    }
+
+    /// Service time of one tuple started now by worker `j`.
+    fn service_ns(&mut self, j: usize) -> u64 {
+        let factor = self.load_override[j]
+            .unwrap_or_else(|| self.cfg.workers[j].load.factor_at(self.now));
+        let base = self.cfg.base_cost as f64 * self.cfg.mult_ns * factor / self.eff_speed[j];
+        let jitter = self.cfg.jitter;
+        let mult = if jitter > 0.0 {
+            1.0 + self.rng.gen_range(-jitter..=jitter)
+        } else {
+            1.0
+        };
+        let hiccup = if self.cfg.hiccup_prob > 0.0
+            && self.rng.gen_range(0.0..1.0) < self.cfg.hiccup_prob
+        {
+            self.cfg.hiccup_ns
+        } else {
+            0
+        };
+        (base * mult).max(1.0) as u64 + hiccup
+    }
+
+    fn workload_exhausted(&self) -> bool {
+        match self.cfg.stop {
+            StopCondition::Tuples(n) => self.sent >= n,
+            StopCondition::Duration(_) => false,
+        }
+    }
+
+    fn on_send_next(&mut self) {
+        if self.splitter_done || self.blocked_on.is_some() {
+            return;
+        }
+        if self.workload_exhausted() {
+            self.splitter_done = true;
+            return;
+        }
+        let j = self.wrr.pick();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent += 1;
+        self.entry_times.push_back(self.now);
+
+        if self.conn_q[j].len() < self.cfg.conn_capacity {
+            self.enqueue(j, seq);
+            self.schedule(self.now + self.cfg.send_overhead_ns, Ev::SendNext);
+            return;
+        }
+
+        if self.policy.reroute_on_block() {
+            // §4.4: try the sibling connections instead of blocking.
+            let n = self.conn_q.len();
+            for k in 1..n {
+                let c = (j + k) % n;
+                if self.conn_q[c].len() < self.cfg.conn_capacity {
+                    self.rerouted += 1;
+                    self.enqueue(c, seq);
+                    self.schedule(self.now + self.cfg.send_overhead_ns, Ev::SendNext);
+                    return;
+                }
+            }
+        }
+
+        // Elect to block on the originally chosen connection; the pending
+        // tuple is delivered when that worker frees a buffer slot.
+        self.blocked_on = Some((j, self.now, seq));
+    }
+
+    fn enqueue(&mut self, j: usize, seq: u64) {
+        debug_assert!(self.conn_q[j].len() < self.cfg.conn_capacity);
+        self.conn_q[j].push_back(seq);
+        self.maybe_start_worker(j);
+    }
+
+    fn maybe_start_worker(&mut self, j: usize) {
+        if self.worker_busy[j] || self.worker_stalled[j].is_some() {
+            return;
+        }
+        let Some(seq) = self.conn_q[j].pop_front() else {
+            return;
+        };
+        self.worker_seq[j] = seq;
+        self.worker_busy[j] = true;
+        let service = self.service_ns(j);
+        self.worker_busy_ns[j] += service;
+        self.schedule(self.now + service, Ev::WorkerDone(j));
+        self.wake_splitter(j);
+    }
+
+    /// Delivers the splitter's pending tuple once connection `j` has buffer
+    /// space again, charging the blocked span to `j`'s counter.
+    fn wake_splitter(&mut self, j: usize) {
+        let Some((conn, since, seq)) = self.blocked_on else {
+            return;
+        };
+        if conn != j || self.conn_q[j].len() >= self.cfg.conn_capacity {
+            return;
+        }
+        self.blocked_on = None;
+        self.blocked_ns[j] += self.now - since;
+        // The freed slot takes the pending tuple; the worker may be idle if
+        // the queue had drained completely while we were blocked.
+        self.conn_q[j].push_back(seq);
+        self.maybe_start_worker(j);
+        self.schedule(self.now + self.cfg.send_overhead_ns, Ev::SendNext);
+    }
+
+    fn on_worker_done(&mut self, j: usize) {
+        debug_assert!(self.worker_busy[j]);
+        self.worker_busy[j] = false;
+        let seq = self.worker_seq[j];
+        if self.merge_q[j].len() < self.cfg.merge_capacity {
+            self.push_merge(j, seq);
+            self.try_release();
+            self.maybe_start_worker(j);
+        } else {
+            // Reorder queue full: the worker holds its output and stalls
+            // until the merger drains a slot (Figure 3's gating).
+            self.worker_stalled[j] = Some(seq);
+        }
+    }
+
+    fn push_merge(&mut self, j: usize, seq: u64) {
+        if self.merge_q[j].is_empty() {
+            self.heads.push(Reverse((seq, j)));
+        }
+        self.merge_q[j].push_back(seq);
+    }
+
+    fn try_release(&mut self) {
+        while let Some(&Reverse((seq, k))) = self.heads.peek() {
+            if seq != self.next_expected {
+                break;
+            }
+            self.heads.pop();
+            let released = self.merge_q[k].pop_front();
+            debug_assert_eq!(released, Some(seq), "merger must release in order");
+            let entered = self
+                .entry_times
+                .pop_front()
+                .expect("every delivered tuple was sent");
+            if seq % 16 == 0 {
+                self.latencies_ns.push(self.now - entered);
+            }
+            self.delivered += 1;
+            self.next_expected += 1;
+
+            // A freed reorder slot un-stalls the worker.
+            if let Some(held) = self.worker_stalled[k].take() {
+                self.merge_q[k].push_back(held);
+                self.maybe_start_worker(k);
+            }
+            if let Some(&head) = self.merge_q[k].front() {
+                self.heads.push(Reverse((head, k)));
+            }
+        }
+    }
+
+    fn on_sample(&mut self) {
+        let interval = self.cfg.sample_interval_ns;
+        // Attribute any in-progress blocked span up to now, so long blocks
+        // show up smoothly across intervals (like the paper's select
+        // timeouts).
+        if let Some((conn, since, seq)) = self.blocked_on {
+            self.blocked_ns[conn] += self.now - since;
+            self.blocked_on = Some((conn, self.now, seq));
+        }
+
+        let n = self.conn_q.len();
+        let mut policy_samples = Vec::with_capacity(n);
+        let mut rates = Vec::with_capacity(n);
+        for j in 0..n {
+            let delta = self.blocked_ns[j] - self.blocked_ns_at_sample[j];
+            let rate = delta as f64 / interval as f64;
+            rates.push(rate);
+            policy_samples.push(PolicySample {
+                connection: j,
+                rate,
+                weight: self.weights[j],
+            });
+            self.blocked_ns_at_sample[j] = self.blocked_ns[j];
+        }
+
+        let ctx = SampleContext {
+            now_ns: self.now,
+            delivered: self.delivered,
+            workload: match self.cfg.stop {
+                StopCondition::Tuples(n) => Some(n),
+                StopCondition::Duration(_) => None,
+            },
+        };
+        if let Some(new_weights) = self.policy.on_sample(&ctx, &policy_samples) {
+            assert_eq!(new_weights.len(), n, "policy changed the region width");
+            self.weights.clear();
+            self.weights.extend_from_slice(new_weights.units());
+            self.wrr.set_weights(&new_weights);
+        }
+
+        self.samples.push(SampleTrace {
+            t_ns: self.now,
+            weights: self.weights.clone(),
+            rates,
+            delivered: self.delivered - self.delivered_at_sample,
+            clusters: self.policy.cluster_assignment(),
+        });
+        self.delivered_at_sample = self.delivered;
+        self.schedule(self.now + interval, Ev::Sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RegionConfig, StopCondition};
+    use crate::load::LoadSchedule;
+    use crate::policy::{BalancerPolicy, RoundRobinPolicy};
+    use crate::SECOND_NS;
+    use streambal_core::controller::BalancerConfig;
+
+    /// A small, quick default: 2 k tuples/s per worker.
+    fn quick(workers: usize) -> crate::config::RegionConfigBuilder {
+        let mut b = RegionConfig::builder(workers);
+        b.base_cost(1_000).mult_ns(500.0);
+        b
+    }
+
+    #[test]
+    fn conservation_all_sent_tuples_delivered() {
+        let cfg = quick(3).stop(StopCondition::Tuples(5_000)).build().unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        assert_eq!(r.delivered, 5_000);
+        assert_eq!(r.sent, 5_000);
+        assert!(r.duration_ns > 0);
+    }
+
+    #[test]
+    fn equal_workers_scale_throughput() {
+        // 3 equal workers at 2 k/s each -> ~6 k/s through the region.
+        let cfg = quick(3)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let tput = r.mean_throughput();
+        assert!(
+            (5_000.0..7_000.0).contains(&tput),
+            "expected ~6 k/s, got {tput}"
+        );
+    }
+
+    #[test]
+    fn merge_gates_on_slowest_worker_under_rr() {
+        // One worker 10x slower: even split forces the whole region to
+        // 3 x the slow rate (~600/s), not the sum of capacities.
+        let cfg = quick(3)
+            .worker_load(1, 10.0)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let tput = r.mean_throughput();
+        assert!(
+            (400.0..900.0).contains(&tput),
+            "expected ~600/s gated by slow worker, got {tput}"
+        );
+    }
+
+    #[test]
+    fn blocking_concentrates_on_slow_connection() {
+        let cfg = quick(3)
+            .worker_load(1, 10.0)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let total: u64 = r.blocked_ns.iter().sum();
+        assert!(total > 0, "splitter must block at all");
+        assert!(
+            r.blocked_ns[1] as f64 / total as f64 > 0.9,
+            "slow connection should absorb nearly all blocking: {:?}",
+            r.blocked_ns
+        );
+    }
+
+    #[test]
+    fn drafting_emerges_with_equal_capacity() {
+        // All workers equal but the region is saturated: the splitter
+        // blocks, and drafting makes one connection the dominant blocker.
+        let cfg = quick(3)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let total: u64 = r.blocked_ns.iter().sum();
+        assert!(total > SECOND_NS, "saturated region must block the splitter");
+        let max = *r.blocked_ns.iter().max().unwrap();
+        assert!(
+            max as f64 / total as f64 > 0.5,
+            "draft leader should dominate: {:?}",
+            r.blocked_ns
+        );
+    }
+
+    #[test]
+    fn balancer_beats_round_robin_with_imbalance() {
+        let build = || {
+            quick(3)
+                .worker_load(0, 10.0)
+                .stop(StopCondition::Duration(30 * SECOND_NS))
+                .build()
+                .unwrap()
+        };
+        let rr = run(&build(), &mut RoundRobinPolicy::new()).unwrap();
+        let lb = run(
+            &build(),
+            &mut BalancerPolicy::new(BalancerConfig::builder(3).build().unwrap()),
+        )
+        .unwrap();
+        assert!(
+            lb.final_throughput(5) > 1.5 * rr.final_throughput(5),
+            "LB {} vs RR {}",
+            lb.final_throughput(5),
+            rr.final_throughput(5)
+        );
+    }
+
+    #[test]
+    fn balancer_weights_move_away_from_loaded_worker() {
+        let cfg = quick(3)
+            .worker_load(0, 100.0)
+            .stop(StopCondition::Duration(20 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(
+            &cfg,
+            &mut BalancerPolicy::new(BalancerConfig::builder(3).build().unwrap()),
+        )
+        .unwrap();
+        let last = r.samples.last().unwrap();
+        assert!(
+            last.weights[0] <= 50,
+            "100x-loaded connection should end near zero weight: {:?}",
+            last.weights
+        );
+    }
+
+    #[test]
+    fn reroute_policy_reroutes_some_tuples() {
+        let cfg = quick(2)
+            .worker_load(0, 100.0)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::with_reroute()).unwrap();
+        assert!(r.rerouted > 0, "rerouting baseline must reroute");
+        assert!(
+            (r.rerouted as f64) < 0.5 * r.sent as f64,
+            "rerouting is a rare event: {} of {}",
+            r.rerouted,
+            r.sent
+        );
+    }
+
+    #[test]
+    fn hiccups_slow_the_region_down() {
+        let smooth = quick(2)
+            .stop(StopCondition::Tuples(20_000))
+            .build()
+            .unwrap();
+        let hiccupy = quick(2)
+            .stop(StopCondition::Tuples(20_000))
+            .hiccups(0.01, 5_000_000)
+            .build()
+            .unwrap();
+        let a = run(&smooth, &mut RoundRobinPolicy::new()).unwrap();
+        let b = run(&hiccupy, &mut RoundRobinPolicy::new()).unwrap();
+        assert!(
+            b.duration_ns > a.duration_ns,
+            "1% x 5ms hiccups must slow the run: {} vs {}",
+            b.duration_ns,
+            a.duration_ns
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            quick(4)
+                .worker_load(2, 5.0)
+                .stop(StopCondition::Duration(5 * SECOND_NS))
+                .seed(7)
+                .build()
+                .unwrap()
+        };
+        let a = run(&build(), &mut RoundRobinPolicy::new()).unwrap();
+        let b = run(&build(), &mut RoundRobinPolicy::new()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_removal_recovers_throughput() {
+        let cfg = quick(2)
+            .worker_load_schedule(0, LoadSchedule::step(10.0, 5 * SECOND_NS, 1.0))
+            .stop(StopCondition::Duration(20 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        // After removal the region should approach 2 x 2k/s even under RR.
+        let final_tput = r.final_throughput(5);
+        assert!(
+            final_tput > 3_000.0,
+            "post-removal throughput {final_tput} too low"
+        );
+    }
+
+    #[test]
+    fn fraction_event_changes_service_mid_run() {
+        use crate::config::FractionEvent;
+        // Worker 0 is 50x slow until half the workload is delivered; the
+        // run must finish much faster than a fully-loaded one.
+        let loaded = quick(2)
+            .worker_load(0, 50.0)
+            .stop(StopCondition::Tuples(10_000))
+            .build()
+            .unwrap();
+        let relieved = quick(2)
+            .worker_load(0, 50.0)
+            .stop(StopCondition::Tuples(10_000))
+            .fraction_event(FractionEvent {
+                fraction: 0.5,
+                worker: 0,
+                factor: 1.0,
+            })
+            .build()
+            .unwrap();
+        let a = run(&loaded, &mut RoundRobinPolicy::new()).unwrap();
+        let b = run(&relieved, &mut RoundRobinPolicy::new()).unwrap();
+        assert!(
+            b.duration_ns * 3 < a.duration_ns * 2,
+            "relieved {} vs loaded {}",
+            b.duration_ns,
+            a.duration_ns
+        );
+        assert_eq!(b.delivered, 10_000);
+    }
+
+    #[test]
+    fn single_worker_region_works() {
+        let cfg = quick(1).stop(StopCondition::Tuples(1_000)).build().unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        assert_eq!(r.delivered, 1_000);
+    }
+
+    #[test]
+    fn sample_traces_have_region_width() {
+        let cfg = quick(3)
+            .stop(StopCondition::Duration(5 * SECOND_NS))
+            .build()
+            .unwrap();
+        let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        assert!(!r.samples.is_empty());
+        for s in &r.samples {
+            assert_eq!(s.weights.len(), 3);
+            assert_eq!(s.rates.len(), 3);
+            assert!(s.rates.iter().all(|&x| x >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Host (compute node) model: speed, hardware threads, oversubscription.
+//!
+//! The paper's testbed has "slow" hosts (2× Xeon X5365, 8 cores, 3.0 GHz)
+//! and "fast" hosts (2× Xeon X5687, 8 cores × 2 SMT = 16 hardware threads,
+//! 3.6 GHz). A host executes each of its PEs at full speed while it has a
+//! hardware thread per PE; once oversubscribed, the threads time-share and
+//! every PE on the host slows down proportionally — the knee the paper
+//! observes when *All-Slow* exceeds 8 PEs and *All-Fast* exceeds 16.
+
+/// A compute node hosting worker PEs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Host {
+    /// Number of hardware threads (cores × SMT ways).
+    pub threads: u32,
+    /// Relative clock speed (1.0 = the paper's "slow" 3.0 GHz host).
+    pub speed: f64,
+}
+
+impl Host {
+    /// Creates a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `speed <= 0`.
+    pub fn new(threads: u32, speed: f64) -> Self {
+        assert!(threads > 0, "host needs at least one hardware thread");
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        Host { threads, speed }
+    }
+
+    /// The paper's "slow" host: 8 hardware threads at relative speed 1.0.
+    pub fn slow() -> Self {
+        Host::new(8, 1.0)
+    }
+
+    /// The paper's "fast" host: 16 hardware threads (2-way SMT).
+    ///
+    /// The relative speed of 1.8 is calibrated to the paper's observed
+    /// behaviour rather than raw clocks: the X5687 runs a 1.2× clock *and* a
+    /// two-generations-newer microarchitecture, and the paper's in-depth
+    /// two-PE experiment settles at a 65%/35% split — implying the fast
+    /// host processes a single PE's tuples ≈1.8× faster.
+    pub fn fast() -> Self {
+        Host::new(16, 1.8)
+    }
+
+    /// Effective per-PE speed when `assigned` PEs run on this host: full
+    /// speed while not oversubscribed, then degraded by time-sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assigned == 0`.
+    pub fn effective_speed(&self, assigned: u32) -> f64 {
+        assert!(assigned > 0, "no PEs assigned");
+        if assigned <= self.threads {
+            self.speed
+        } else {
+            self.speed * f64::from(self.threads) / f64::from(assigned)
+        }
+    }
+}
+
+impl Default for Host {
+    fn default() -> Self {
+        Host::slow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_speed_until_oversubscribed() {
+        let h = Host::slow();
+        assert_eq!(h.effective_speed(1), 1.0);
+        assert_eq!(h.effective_speed(8), 1.0);
+    }
+
+    #[test]
+    fn oversubscription_time_shares() {
+        let h = Host::slow();
+        assert!((h.effective_speed(16) - 0.5).abs() < 1e-12);
+        assert!((h.effective_speed(12) - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_host_supports_sixteen_threads() {
+        let h = Host::fast();
+        assert!((h.effective_speed(16) - 1.8).abs() < 1e-12);
+        assert!((h.effective_speed(24) - 1.8 * 16.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hardware thread")]
+    fn zero_threads_rejected() {
+        let _ = Host::new(0, 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Time-varying external load on worker PEs.
+//!
+//! The paper simulates external load by multiplying a PE's per-tuple cost
+//! (e.g. "one PE has a simulated external load causing it to take 100×
+//! longer to process tuples", removed "an eighth through the experiment").
+//! A [`LoadSchedule`] is a piecewise-constant cost multiplier over simulated
+//! time.
+
+/// A piecewise-constant cost multiplier over time.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_sim::load::LoadSchedule;
+///
+/// // 100x load removed at t = 60 s.
+/// let s = LoadSchedule::step(100.0, 60_000_000_000, 1.0);
+/// assert_eq!(s.factor_at(0), 100.0);
+/// assert_eq!(s.factor_at(60_000_000_000), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSchedule {
+    /// `(from_ns, factor)` steps, sorted by time; the first step starts at 0.
+    steps: Vec<(u64, f64)>,
+}
+
+impl LoadSchedule {
+    /// A constant multiplier for the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn constant(factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        LoadSchedule {
+            steps: vec![(0, factor)],
+        }
+    }
+
+    /// No external load (multiplier 1.0).
+    pub fn unloaded() -> Self {
+        LoadSchedule::constant(1.0)
+    }
+
+    /// `initial` until `change_at_ns`, `after` from then on — the paper's
+    /// "load removed an eighth through the experiment" pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is not finite and positive.
+    pub fn step(initial: f64, change_at_ns: u64, after: f64) -> Self {
+        assert!(initial.is_finite() && initial > 0.0, "factor must be positive");
+        assert!(after.is_finite() && after > 0.0, "factor must be positive");
+        LoadSchedule {
+            steps: vec![(0, initial), (change_at_ns, after)],
+        }
+    }
+
+    /// Builds a schedule from arbitrary `(from_ns, factor)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, not sorted by time, does not start at 0,
+    /// or contains a non-positive factor.
+    pub fn from_steps(steps: Vec<(u64, f64)>) -> Self {
+        assert!(!steps.is_empty(), "schedule needs at least one step");
+        assert_eq!(steps[0].0, 0, "first step must start at time 0");
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "steps must be strictly increasing in time");
+        }
+        for &(_, f) in &steps {
+            assert!(f.is_finite() && f > 0.0, "factor must be positive");
+        }
+        LoadSchedule { steps }
+    }
+
+    /// The multiplier in effect at time `t_ns`.
+    pub fn factor_at(&self, t_ns: u64) -> f64 {
+        match self.steps.binary_search_by(|&(from, _)| from.cmp(&t_ns)) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => self.steps[0].1,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Whether the schedule ever changes.
+    pub fn is_constant(&self) -> bool {
+        self.steps.len() == 1
+    }
+
+    /// The times (ns) at which the multiplier changes.
+    pub fn change_times(&self) -> impl Iterator<Item = u64> + '_ {
+        self.steps.iter().skip(1).map(|&(t, _)| t)
+    }
+}
+
+impl Default for LoadSchedule {
+    fn default() -> Self {
+        LoadSchedule::unloaded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_everywhere() {
+        let s = LoadSchedule::constant(10.0);
+        assert_eq!(s.factor_at(0), 10.0);
+        assert_eq!(s.factor_at(u64::MAX), 10.0);
+        assert!(s.is_constant());
+    }
+
+    #[test]
+    fn step_transitions_exactly_at_boundary() {
+        let s = LoadSchedule::step(100.0, 50, 1.0);
+        assert_eq!(s.factor_at(49), 100.0);
+        assert_eq!(s.factor_at(50), 1.0);
+        assert_eq!(s.factor_at(51), 1.0);
+        assert!(!s.is_constant());
+    }
+
+    #[test]
+    fn multi_step_lookup() {
+        let s = LoadSchedule::from_steps(vec![(0, 1.0), (10, 5.0), (20, 2.0)]);
+        assert_eq!(s.factor_at(5), 1.0);
+        assert_eq!(s.factor_at(15), 5.0);
+        assert_eq!(s.factor_at(25), 2.0);
+        assert_eq!(s.change_times().collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_steps_rejected() {
+        let _ = LoadSchedule::from_steps(vec![(0, 1.0), (20, 5.0), (10, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at time 0")]
+    fn missing_origin_rejected() {
+        let _ = LoadSchedule::from_steps(vec![(5, 1.0)]);
+    }
+}

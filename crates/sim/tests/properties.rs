@@ -1,0 +1,150 @@
+//! Property-based tests of the discrete-event engine: the invariants of
+//! DESIGN.md §6 over randomized configurations.
+
+use proptest::prelude::*;
+
+use streambal_core::controller::BalancerConfig;
+use streambal_core::weights::WeightVector;
+use streambal_sim::config::{RegionConfig, StopCondition};
+use streambal_sim::policy::{BalancerPolicy, FixedPolicy, RoundRobinPolicy};
+use streambal_sim::SECOND_NS;
+
+/// Strategy: a small random region (2-6 workers, random loads and buffer
+/// sizes) with a fixed tuple workload.
+fn region_strategy() -> impl Strategy<Value = RegionConfig> {
+    (
+        2usize..=6,
+        proptest::collection::vec(1u32..=40, 6),
+        4usize..=64,
+        1u64..=u64::MAX,
+        1_000u64..=20_000,
+    )
+        .prop_map(|(n, loads, capacity, seed, tuples)| {
+            let mut b = RegionConfig::builder(n);
+            b.base_cost(1_000)
+                .mult_ns(500.0)
+                .conn_capacity(capacity)
+                .seed(seed)
+                .stop(StopCondition::Tuples(tuples));
+            for j in 0..n {
+                b.worker_load(j, f64::from(loads[j]));
+            }
+            b.build().expect("randomized region configurations are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every tuple sent is delivered exactly once, in order (the engine
+    /// debug-asserts exact sequence), under round-robin.
+    #[test]
+    fn conservation_under_round_robin(cfg in region_strategy()) {
+        let r = streambal_sim::run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let StopCondition::Tuples(t) = cfg.stop else { unreachable!() };
+        prop_assert_eq!(r.delivered, t);
+        prop_assert_eq!(r.sent, t);
+        prop_assert!(r.duration_ns > 0);
+    }
+
+    /// Same under the adaptive balancer, with valid weight traces.
+    #[test]
+    fn conservation_under_balancer(cfg in region_strategy()) {
+        let n = cfg.num_workers();
+        let mut p = BalancerPolicy::adaptive(
+            BalancerConfig::builder(n).build().unwrap());
+        let r = streambal_sim::run(&cfg, &mut p).unwrap();
+        let StopCondition::Tuples(t) = cfg.stop else { unreachable!() };
+        prop_assert_eq!(r.delivered, t);
+        for s in &r.samples {
+            prop_assert_eq!(s.weights.iter().sum::<u32>(), 1000);
+            prop_assert!(s.rates.iter().all(|&x| (0.0..=2.0).contains(&x)));
+        }
+    }
+
+    /// Determinism: identical configurations produce identical results.
+    #[test]
+    fn identical_configs_reproduce(cfg in region_strategy()) {
+        let a = streambal_sim::run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let b = streambal_sim::run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Throughput never exceeds the physical bound: the sum of worker
+    /// service rates (with slack for jitter), nor the splitter's rate.
+    #[test]
+    fn throughput_respects_capacity(cfg in region_strategy()) {
+        let r = streambal_sim::run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let speeds = cfg.effective_speeds();
+        let capacity: f64 = cfg
+            .workers
+            .iter()
+            .zip(&speeds)
+            .map(|(w, &s)| {
+                s * SECOND_NS as f64
+                    / (cfg.base_cost as f64 * cfg.mult_ns * w.load.factor_at(0))
+            })
+            .sum();
+        let splitter = SECOND_NS as f64 / cfg.send_overhead_ns as f64;
+        let bound = capacity.min(splitter) * 1.15; // jitter + startup slack
+        prop_assert!(
+            r.mean_throughput() <= bound,
+            "throughput {} exceeds bound {}",
+            r.mean_throughput(),
+            bound
+        );
+    }
+
+    /// Under a fixed split, the merge gates throughput at
+    /// `min_j rate_j / fraction_j` (within jitter slack).
+    #[test]
+    fn merge_gating_formula_holds(
+        cfg in region_strategy(),
+        raw_units in proptest::collection::vec(1u32..=50, 6),
+    ) {
+        let n = cfg.num_workers();
+        let mut cfg = cfg;
+        cfg.stop = StopCondition::Duration(20 * SECOND_NS);
+        let weights = WeightVector::from_fractions(
+            &raw_units[..n].iter().map(|&u| f64::from(u)).collect::<Vec<_>>(),
+            1000,
+        );
+        let speeds = cfg.effective_speeds();
+        let gated = cfg
+            .workers
+            .iter()
+            .zip(&speeds)
+            .zip(weights.units())
+            .filter(|&(_, &u)| u > 0)
+            .map(|((w, &s), &u)| {
+                let rate = s * SECOND_NS as f64
+                    / (cfg.base_cost as f64 * cfg.mult_ns * w.load.factor_at(0));
+                rate / (f64::from(u) / 1000.0)
+            })
+            .fold(f64::INFINITY, f64::min);
+        let splitter = SECOND_NS as f64 / cfg.send_overhead_ns as f64;
+        let bound = gated.min(splitter);
+        let mut p = FixedPolicy::new(weights);
+        let r = streambal_sim::run(&cfg, &mut p).unwrap();
+        prop_assert!(
+            r.mean_throughput() <= bound * 1.15,
+            "throughput {} exceeds merge-gated bound {}",
+            r.mean_throughput(),
+            bound
+        );
+    }
+
+    /// The splitter's total blocked time never exceeds the run duration
+    /// (it is a single thread).
+    #[test]
+    fn blocked_time_bounded_by_duration(cfg in region_strategy()) {
+        let r = streambal_sim::run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let blocked: u64 = r.blocked_ns.iter().sum();
+        prop_assert!(
+            blocked <= r.duration_ns,
+            "blocked {} > duration {}",
+            blocked,
+            r.duration_ns
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # streambal-transport
+//!
+//! The data-transport substrate for streambal: bounded point-to-point
+//! channels instrumented with per-connection **cumulative blocking time**.
+//!
+//! The paper's splitter measures blocking with a two-step protocol on TCP
+//! sockets: a `send` with `MSG_DONTWAIT` that returns immediately when the
+//! socket buffer is full, followed by an *elective* blocking `select` whose
+//! duration is recorded. This crate reproduces that protocol over in-process
+//! bounded channels:
+//!
+//! - [`chan::Sender::try_send`] is the `MSG_DONTWAIT` analogue — it never
+//!   blocks and reports a full buffer.
+//! - [`chan::Sender::send_recording`] elects to block when the buffer is
+//!   full and adds the blocked duration to the connection's
+//!   [`counters::BlockingCounter`].
+//!
+//! A [`counters::BlockingSampler`] turns the cumulative counter into
+//! per-interval blocking rates exactly as the paper does: periodic samples,
+//! first differences, divided by the interval.
+//!
+//! For full fidelity, [`tcp`] runs the same protocol over *real* loopback
+//! TCP sockets — the kernel's socket buffers provide the back-pressure and
+//! the blocking signal, exactly as in the paper's deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chan;
+pub mod counters;
+pub mod tcp;
+
+pub use chan::{bounded, Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+pub use counters::{BlockingCounter, BlockingSampler};

@@ -1,0 +1,32 @@
+//! # streambal-workloads
+//!
+//! The paper's experiment catalog: one [`scenarios`] constructor per figure
+//! or table of the evaluation (§6), the [`oracle`] that computes the best
+//! attainable weight schedule from ground-truth capacities (the paper's
+//! *Oracle\**), the [`policies::PolicyKind`] roster of alternatives compared
+//! in every sweep, and plain-text/CSV [`report`] formatting for the bench
+//! harness.
+//!
+//! Time scales: the paper's testbed executes roughly one integer multiply
+//! per nanosecond, giving millions of tuples per second. Scenario
+//! constructors scale `mult_ns` up so each worker runs at a few thousand
+//! tuples per simulated second — all the dynamics (control rounds, buffer
+//! drain times, blocking behaviour) are preserved relative to the 1 s
+//! sampling interval, while simulated event counts stay tractable. Reported
+//! throughputs are therefore in *tuples per simulated second*; the paper's
+//! Figures report millions per wall second. Shapes, ratios and crossovers
+//! are comparable; absolute magnitudes differ by the documented scale
+//! factor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod oracle;
+pub mod policies;
+pub mod report;
+pub mod scenarios;
+
+pub use policies::PolicyKind;
+pub use report::Table;
+pub use scenarios::Scenario;

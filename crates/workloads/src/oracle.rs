@@ -1,0 +1,183 @@
+//! The paper's *Oracle\**: "the best distribution for the configuration,
+//! determined offline and by-hand".
+//!
+//! With ground-truth knowledge of every worker's service rate, the optimal
+//! allocation under an in-order merge gives each connection weight
+//! proportional to its rate: steady-state region throughput is
+//! `min_j rate_j / w_j` (the slowest-relative-to-its-share worker gates
+//! everything through the merge), which is maximized at `w_j ∝ rate_j`,
+//! achieving `min(splitter rate, Σ_j rate_j)`.
+//!
+//! For dynamic experiments the oracle switches weights exactly when the
+//! external load changes — which, as the paper notes, is "earlier than is
+//! optimal" because queued tuples still carry the old cost; hence the star
+//! in *Oracle\**.
+
+use streambal_core::weights::{WeightVector, DEFAULT_RESOLUTION};
+use streambal_sim::config::RegionConfig;
+use streambal_sim::load::LoadSchedule;
+use streambal_sim::policy::{SchedulePolicy, SwitchAt};
+use streambal_sim::SECOND_NS;
+
+/// Ground-truth service rate of every worker at time `t_ns`, in tuples per
+/// simulated second.
+pub fn service_rates_at(cfg: &RegionConfig, t_ns: u64) -> Vec<f64> {
+    let speeds = cfg.effective_speeds();
+    cfg.workers
+        .iter()
+        .zip(&speeds)
+        .map(|(w, &speed)| {
+            let service_ns = cfg.base_cost as f64 * cfg.mult_ns * w.load.factor_at(t_ns) / speed;
+            SECOND_NS as f64 / service_ns
+        })
+        .collect()
+}
+
+/// The optimal weight vector at time `t_ns`: proportional to service rates.
+pub fn weights_at(cfg: &RegionConfig, t_ns: u64) -> WeightVector {
+    WeightVector::from_fractions(&service_rates_at(cfg, t_ns), DEFAULT_RESOLUTION)
+}
+
+/// The region's ideal steady-state throughput at time `t_ns` (tuples per
+/// simulated second): the sum of worker rates, capped by the splitter.
+pub fn ideal_throughput_at(cfg: &RegionConfig, t_ns: u64) -> f64 {
+    let workers: f64 = service_rates_at(cfg, t_ns).iter().sum();
+    let splitter = SECOND_NS as f64 / cfg.send_overhead_ns.max(1) as f64;
+    workers.min(splitter)
+}
+
+/// Builds the *Oracle\** policy for a configuration: optimal weights at
+/// t = 0, switched to the new optimum at every external-load change —
+/// whether the change is keyed to simulated time (load schedules) or to
+/// workload progress (fraction events).
+pub fn policy(cfg: &RegionConfig) -> SchedulePolicy {
+    let mut change_times: Vec<u64> = cfg
+        .workers
+        .iter()
+        .flat_map(|w| w.load.change_times())
+        .collect();
+    change_times.sort_unstable();
+    change_times.dedup();
+    let mut switches: Vec<(SwitchAt, WeightVector)> = change_times
+        .into_iter()
+        .map(|t| (SwitchAt::Time(t), weights_at(cfg, t)))
+        .collect();
+
+    // Fraction events override the schedules cumulatively, in fraction
+    // order; one switch per distinct fraction.
+    let mut events = cfg.fraction_events.clone();
+    events.sort_by(|a, b| a.fraction.total_cmp(&b.fraction));
+    let mut overlay = cfg.clone();
+    let mut i = 0;
+    while i < events.len() {
+        let fraction = events[i].fraction;
+        while i < events.len() && events[i].fraction == fraction {
+            overlay.workers[events[i].worker].load =
+                LoadSchedule::constant(events[i].factor);
+            i += 1;
+        }
+        switches.push((
+            SwitchAt::DeliveredFraction(fraction),
+            weights_at(&overlay, u64::MAX),
+        ));
+    }
+    SchedulePolicy::with_triggers(weights_at(cfg, 0), switches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streambal_sim::config::RegionConfig;
+    use streambal_sim::load::LoadSchedule;
+    use streambal_sim::policy::Policy;
+
+    #[test]
+    fn rates_reflect_load_factors() {
+        let cfg = RegionConfig::builder(2)
+            .base_cost(1_000)
+            .mult_ns(500.0)
+            .worker_load(0, 10.0)
+            .build()
+            .unwrap();
+        let rates = service_rates_at(&cfg, 0);
+        assert!((rates[1] - 2_000.0).abs() < 1e-6);
+        assert!((rates[0] - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_proportional_to_rates() {
+        let cfg = RegionConfig::builder(2)
+            .base_cost(1_000)
+            .mult_ns(500.0)
+            .worker_load(0, 10.0)
+            .build()
+            .unwrap();
+        let w = weights_at(&cfg, 0);
+        // Rates 200 vs 2000 -> weights ~ 91 vs 909.
+        assert_eq!(w.units()[0], 91);
+        assert_eq!(w.units()[1], 909);
+    }
+
+    #[test]
+    fn oracle_switches_at_load_change() {
+        use streambal_sim::policy::SampleContext;
+        let cfg = RegionConfig::builder(2)
+            .base_cost(1_000)
+            .mult_ns(500.0)
+            .worker_load_schedule(0, LoadSchedule::step(10.0, 5_000_000_000, 1.0))
+            .build()
+            .unwrap();
+        let mut p = policy(&cfg);
+        assert_eq!(p.initial_weights(2).units(), &[91, 909]);
+        let ctx = |now_ns| SampleContext {
+            now_ns,
+            delivered: 0,
+            workload: None,
+        };
+        assert!(p.on_sample(&ctx(4_000_000_000), &[]).is_none());
+        let switched = p
+            .on_sample(&ctx(5_000_000_000), &[])
+            .expect("switch at change");
+        assert_eq!(switched.units(), &[500, 500]);
+    }
+
+    #[test]
+    fn oracle_switches_at_fraction_event() {
+        use streambal_sim::config::{FractionEvent, StopCondition};
+        use streambal_sim::policy::SampleContext;
+        let cfg = RegionConfig::builder(2)
+            .base_cost(1_000)
+            .mult_ns(500.0)
+            .worker_load(0, 10.0)
+            .stop(StopCondition::Tuples(8_000))
+            .fraction_event(FractionEvent {
+                fraction: 0.125,
+                worker: 0,
+                factor: 1.0,
+            })
+            .build()
+            .unwrap();
+        let mut p = policy(&cfg);
+        assert_eq!(p.initial_weights(2).units(), &[91, 909]);
+        let ctx = |delivered| SampleContext {
+            now_ns: 1,
+            delivered,
+            workload: Some(8_000),
+        };
+        assert!(p.on_sample(&ctx(500), &[]).is_none());
+        let switched = p.on_sample(&ctx(1_000), &[]).expect("switch at fraction");
+        assert_eq!(switched.units(), &[500, 500]);
+    }
+
+    #[test]
+    fn ideal_throughput_caps_at_splitter() {
+        let cfg = RegionConfig::builder(4)
+            .base_cost(1_000)
+            .mult_ns(500.0)
+            .send_overhead_ns(200_000) // 5k tuples/s splitter
+            .build()
+            .unwrap();
+        // Workers could do 8k/s but the splitter caps at 5k/s.
+        assert!((ideal_throughput_at(&cfg, 0) - 5_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,157 @@
+//! The roster of balancing alternatives compared throughout §6.
+
+use streambal_core::controller::{BalancerConfig, BalancerMode, ClusteringConfig};
+use streambal_core::weights::WeightVector;
+use streambal_sim::config::RegionConfig;
+use streambal_sim::policy::{BalancerPolicy, FixedPolicy, Policy, RoundRobinPolicy};
+
+use crate::oracle;
+
+/// A nameable, re-buildable policy choice for sweep experiments.
+///
+/// Policies themselves are stateful and consumed by a run; `PolicyKind`
+/// rebuilds a fresh instance per run from the region configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Naive round-robin (*RR*).
+    RoundRobin,
+    /// Round-robin with §4.4 transport-level rerouting.
+    Reroute,
+    /// The model without exploration decay (*LB-static*).
+    LbStatic,
+    /// The full model with 10% decay (*LB-adaptive*).
+    LbAdaptive,
+    /// *LB-static* with clustering enabled.
+    LbStaticClustered,
+    /// *LB-adaptive* with clustering enabled.
+    LbAdaptiveClustered,
+    /// Ground-truth weight schedule (*Oracle\**).
+    Oracle,
+    /// A fixed split (Figure 5's 80/20 etc.).
+    Fixed(WeightVector),
+}
+
+impl PolicyKind {
+    /// The display name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "RR",
+            PolicyKind::Reroute => "RR-reroute",
+            PolicyKind::LbStatic => "LB-static",
+            PolicyKind::LbAdaptive => "LB-adaptive",
+            PolicyKind::LbStaticClustered => "LB-static+cluster",
+            PolicyKind::LbAdaptiveClustered => "LB-adaptive+cluster",
+            PolicyKind::Oracle => "Oracle*",
+            PolicyKind::Fixed(_) => "Fixed",
+        }
+    }
+
+    /// Builds a fresh policy instance for one run of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region configuration is internally inconsistent (e.g.
+    /// zero workers) — configurations from
+    /// [`RegionConfig::builder`] are always consistent.
+    pub fn build(&self, cfg: &RegionConfig) -> Box<dyn Policy> {
+        let n = cfg.num_workers();
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobinPolicy::new()),
+            PolicyKind::Reroute => Box::new(RoundRobinPolicy::with_reroute()),
+            PolicyKind::LbStatic => Box::new(BalancerPolicy::new(
+                balancer_config(n, BalancerMode::Static, false),
+            )),
+            PolicyKind::LbAdaptive => Box::new(BalancerPolicy::new(balancer_config(
+                n,
+                BalancerMode::default(),
+                false,
+            ))),
+            PolicyKind::LbStaticClustered => Box::new(BalancerPolicy::new(balancer_config(
+                n,
+                BalancerMode::Static,
+                true,
+            ))),
+            PolicyKind::LbAdaptiveClustered => Box::new(BalancerPolicy::new(balancer_config(
+                n,
+                BalancerMode::default(),
+                true,
+            ))),
+            PolicyKind::Oracle => Box::new(oracle::policy(cfg)),
+            PolicyKind::Fixed(w) => Box::new(FixedPolicy::new(w.clone())),
+        }
+    }
+
+    /// The four alternatives of the paper's sweep figures (9, 10, 13).
+    pub fn sweep_set(clustered: bool) -> Vec<PolicyKind> {
+        if clustered {
+            vec![
+                PolicyKind::Oracle,
+                PolicyKind::LbStaticClustered,
+                PolicyKind::LbAdaptiveClustered,
+                PolicyKind::RoundRobin,
+            ]
+        } else {
+            vec![
+                PolicyKind::Oracle,
+                PolicyKind::LbStatic,
+                PolicyKind::LbAdaptive,
+                PolicyKind::RoundRobin,
+            ]
+        }
+    }
+}
+
+fn balancer_config(n: usize, mode: BalancerMode, clustered: bool) -> BalancerConfig {
+    let mut b = BalancerConfig::builder(n);
+    b.mode(mode);
+    if clustered {
+        b.clustering(ClusteringConfig::default());
+    }
+    b.build().expect("balancer config for a valid region")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streambal_sim::config::RegionConfig;
+
+    #[test]
+    fn every_kind_builds() {
+        let cfg = RegionConfig::builder(4).build().unwrap();
+        let kinds = [
+            PolicyKind::RoundRobin,
+            PolicyKind::Reroute,
+            PolicyKind::LbStatic,
+            PolicyKind::LbAdaptive,
+            PolicyKind::LbStaticClustered,
+            PolicyKind::LbAdaptiveClustered,
+            PolicyKind::Oracle,
+            PolicyKind::Fixed(WeightVector::even(4, 1000)),
+        ];
+        for k in kinds {
+            let p = k.build(&cfg);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PolicyKind::LbAdaptive.name(), "LB-adaptive");
+        assert_eq!(PolicyKind::Oracle.name(), "Oracle*");
+    }
+
+    #[test]
+    fn sweep_set_has_four_alternatives() {
+        assert_eq!(PolicyKind::sweep_set(false).len(), 4);
+        assert_eq!(PolicyKind::sweep_set(true).len(), 4);
+    }
+
+    #[test]
+    fn built_policy_names_are_consistent() {
+        let cfg = RegionConfig::builder(2).build().unwrap();
+        for k in PolicyKind::sweep_set(false) {
+            let p = k.build(&cfg);
+            assert_eq!(p.name(), k.name());
+        }
+    }
+}

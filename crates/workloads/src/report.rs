@@ -1,0 +1,210 @@
+//! Plain-text tables and CSV emission for the bench harness.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table that can also serialize itself as CSV.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_workloads::report::Table;
+///
+/// let mut t = Table::new("demo", vec!["n".into(), "speedup".into()]);
+/// t.push_row(vec!["2".into(), "1.53".into()]);
+/// assert!(t.to_string().contains("speedup"));
+/// assert_eq!(t.to_csv(), "n,speedup\n2,1.53\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header line plus one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a compact unicode sparkline of a series (8 block levels),
+/// useful for printing weight/rate trajectories in terminal reports.
+///
+/// Returns an empty string for an empty series; a constant series renders
+/// at the lowest level.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_workloads::report::sparkline;
+///
+/// let s = sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats a float with three significant decimals for table cells.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a throughput (tuples/s) with thousands grouping for table cells.
+pub fn fmt_tput(x: f64) -> String {
+    format!("{:.0}", x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("x", vec!["policy".into(), "time".into()]);
+        t.push_row(vec!["RR".into(), "10.0".into()]);
+        t.push_row(vec!["LB-adaptive".into(), "1.0".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== x =="));
+        assert!(s.contains("LB-adaptive"));
+        // Both value cells right-aligned in the same column.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new("x", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s, "▁█");
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(flat, "▁▁▁");
+        assert_eq!(sparkline(&[0.0, 0.5, 1.0]).chars().count(), 3);
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("streambal_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("x", vec!["a".into()]);
+        t.push_row(vec!["1".into()]);
+        let path = dir.join("nested/out.csv");
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

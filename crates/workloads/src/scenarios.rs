@@ -1,0 +1,498 @@
+//! One constructor per experiment in the paper's evaluation (§6).
+//!
+//! Each scenario documents the paper's parameters and how they were scaled
+//! (see the crate docs for the time-scaling rationale). Figure numbers refer
+//! to the paper.
+
+use streambal_core::weights::{WeightVector, DEFAULT_RESOLUTION};
+use streambal_sim::config::{FractionEvent, RegionConfig, StopCondition};
+use streambal_sim::host::Host;
+use streambal_sim::load::LoadSchedule;
+use streambal_sim::SECOND_NS;
+
+use crate::oracle;
+
+/// A fully-specified experiment: the region configuration plus the metadata
+/// the harness needs to run and report it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable identifier (e.g. `"fig09/n=8/dynamic"`).
+    pub name: String,
+    /// The region to simulate.
+    pub config: RegionConfig,
+    /// When the external load changes, if the scenario is dynamic.
+    pub load_change_ns: Option<u64>,
+    /// Whether balancer variants should run with clustering enabled.
+    pub clustered: bool,
+}
+
+/// PE placement across the heterogeneous hosts of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// All PEs on the fast host (*All-Fast*).
+    AllFast,
+    /// All PEs on the slow host (*All-Slow*).
+    AllSlow,
+    /// Half the PEs on each host (*Even-RR* / *Even-LB*).
+    Even,
+}
+
+impl Placement {
+    /// The paper's label for this placement.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::AllFast => "All-Fast",
+            Placement::AllSlow => "All-Slow",
+            Placement::Even => "Even",
+        }
+    }
+}
+
+/// The PE counts swept in Figures 9 and 10.
+pub const SWEEP_SIZES: [usize; 4] = [2, 4, 8, 16];
+/// The PE counts swept in Figure 11 (bottom).
+pub const HETERO_SIZES: [usize; 5] = [2, 4, 8, 16, 24];
+/// The PE counts swept in Figure 13.
+pub const CLUSTER_SIZES: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// Figure 5: two homogeneous PEs under a *fixed* split, showing stable,
+/// monotone blocking rates (and the draft-leader swap at 50/50).
+///
+/// `split_permille` is connection 0's share in 0.1% units (800 = 80/20).
+///
+/// # Panics
+///
+/// Panics if `split_permille > 1000`.
+pub fn fig05_fixed_split(split_permille: u32) -> (Scenario, WeightVector) {
+    assert!(split_permille <= DEFAULT_RESOLUTION);
+    let config = RegionConfig::builder(2)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .stop(StopCondition::Duration(120 * SECOND_NS))
+        .seed(u64::from(split_permille))
+        // Rare scheduler hiccups, as on any real host: they are what lets
+        // the 50/50 split's draft leadership swap "at some arbitrary point
+        // in time" (the paper's Figure 5d).
+        .hiccups(2e-4, 5_000_000)
+        .build()
+        .expect("static fig05 configuration is valid");
+    let weights = WeightVector::from_units(
+        vec![split_permille, DEFAULT_RESOLUTION - split_permille],
+        DEFAULT_RESOLUTION,
+    )
+    .expect("two-way split sums to R");
+    (
+        Scenario {
+            name: format!("fig05/{}-{}", split_permille / 10, 100 - split_permille / 10),
+            config,
+            load_change_ns: None,
+            clustered: false,
+        },
+        weights,
+    )
+}
+
+/// Figure 8 (top): 3 PEs, 1,000-multiply tuples, one PE under 100× external
+/// load that is removed an eighth (75 s) into the 600 s experiment.
+pub fn fig08_top() -> Scenario {
+    let change = 75 * SECOND_NS;
+    let config = RegionConfig::builder(3)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .worker_load_schedule(0, LoadSchedule::step(100.0, change, 1.0))
+        .stop(StopCondition::Duration(600 * SECOND_NS))
+        .build()
+        .expect("static fig08 configuration is valid");
+    Scenario {
+        name: "fig08_top".to_owned(),
+        config,
+        load_change_ns: Some(change),
+        clustered: false,
+    }
+}
+
+/// Figure 8 (bottom): 3 equal PEs, 10,000-multiply tuples, no external load
+/// — drafting with unavoidable blocking.
+pub fn fig08_bottom() -> Scenario {
+    let config = RegionConfig::builder(3)
+        .base_cost(10_000)
+        .mult_ns(50.0)
+        .stop(StopCondition::Duration(600 * SECOND_NS))
+        .build()
+        .expect("static fig08 configuration is valid");
+    Scenario {
+        name: "fig08_bottom".to_owned(),
+        config,
+        load_change_ns: None,
+        clustered: false,
+    }
+}
+
+/// Figures 9 (medium-cost tuples: 1,000 multiplies, 10× load on half the
+/// PEs) — `dynamic` removes the load an eighth through the experiment.
+///
+/// The splitter overhead is set so the workload "stops scaling at 8 PEs",
+/// as the paper observes for this tuple cost.
+pub fn fig09(n: usize, dynamic: bool) -> Scenario {
+    sweep_scenario("fig09", n, dynamic, 1_000, 200.0, 10.0, Some(25_000), 120)
+}
+
+/// Figure 10 (heavy-cost tuples: 10,000 multiplies, 100× load on half the
+/// PEs) — `dynamic` removes the load an eighth through the experiment.
+pub fn fig10(n: usize, dynamic: bool) -> Scenario {
+    sweep_scenario("fig10", n, dynamic, 10_000, 50.0, 100.0, None, 100)
+}
+
+fn sweep_scenario(
+    fig: &str,
+    n: usize,
+    dynamic: bool,
+    base_cost: u64,
+    mult_ns: f64,
+    load: f64,
+    send_overhead_ns: Option<u64>,
+    oracle_seconds: u64,
+) -> Scenario {
+    assert!(n >= 2, "sweeps need at least two PEs");
+    let mut b = RegionConfig::builder(n);
+    b.base_cost(base_cost).mult_ns(mult_ns).seed(n as u64);
+    if let Some(o) = send_overhead_ns {
+        b.send_overhead_ns(o);
+    }
+    // Probe configuration to size the workload from the oracle throughput.
+    let probe = b.build().expect("sweep probe configuration is valid");
+    let mut loaded_probe = probe.clone();
+    for j in 0..n / 2 {
+        loaded_probe.workers[j].load = LoadSchedule::constant(load);
+    }
+    let oracle_tput = oracle::ideal_throughput_at(&loaded_probe, 0);
+    let total_tuples = (oracle_seconds as f64 * oracle_tput) as u64;
+
+    // The paper removes the load "an eighth through the experiment" — an
+    // eighth of each policy's *own* execution, expressed here as a
+    // workload-fraction event so a slow policy suffers the load for
+    // proportionally longer wall time.
+    for j in 0..n / 2 {
+        b.worker_load(j, load);
+        if dynamic {
+            b.fraction_event(FractionEvent {
+                fraction: 0.125,
+                worker: j,
+                factor: 1.0,
+            });
+        }
+    }
+    b.stop(StopCondition::Tuples(total_tuples));
+    Scenario {
+        name: format!(
+            "{fig}/n={n}/{}",
+            if dynamic { "dynamic" } else { "static" }
+        ),
+        config: b.build().expect("sweep configuration is valid"),
+        load_change_ns: None,
+        clustered: false,
+    }
+}
+
+/// Figure 11 (top): two PEs, one per host, on heterogeneous "fast"/"slow"
+/// hosts with 20,000-multiply tuples — the balancer must discover the
+/// ≈65/35 capacity split with no external load at all.
+pub fn fig11_indepth() -> Scenario {
+    let config = RegionConfig::builder(2)
+        .hosts(vec![Host::fast(), Host::slow()])
+        .worker_host(0, 0)
+        .worker_host(1, 1)
+        .base_cost(20_000)
+        .mult_ns(25.0)
+        .stop(StopCondition::Duration(300 * SECOND_NS))
+        .build()
+        .expect("static fig11 configuration is valid");
+    Scenario {
+        name: "fig11_top".to_owned(),
+        config,
+        load_change_ns: None,
+        clustered: false,
+    }
+}
+
+/// Figure 11 (bottom): `n` PEs placed across a fast and a slow host.
+///
+/// *All-Slow* oversubscribes past 8 PEs and *All-Fast* past 16, producing
+/// the paper's crossovers; *Even* with load balancing wins at 24 PEs.
+pub fn fig11_sweep(n: usize, placement: Placement) -> Scenario {
+    assert!(n >= 2, "sweep needs at least two PEs");
+    let mut b = RegionConfig::builder(n);
+    b.hosts(vec![Host::fast(), Host::slow()])
+        .base_cost(20_000)
+        .mult_ns(25.0)
+        .seed(n as u64);
+    // The paper distributes "one PE per core": the Even placement splits
+    // half/half until a host runs out of hardware threads, so 24 PEs land
+    // as 16 on the fast host and 8 on the slow one.
+    let slow_share = (n / 2).min(Host::slow().threads as usize);
+    for j in 0..n {
+        let host = match placement {
+            Placement::AllFast => 0,
+            Placement::AllSlow => 1,
+            Placement::Even => usize::from(j >= n - slow_share),
+        };
+        b.worker_host(j, host);
+    }
+    // Size the workload from the even placement so every alternative runs
+    // the same tuple count (execution times are normalized to Even-RR).
+    let probe = {
+        let mut pb = RegionConfig::builder(n);
+        pb.hosts(vec![Host::fast(), Host::slow()])
+            .base_cost(20_000)
+            .mult_ns(25.0);
+        for j in 0..n {
+            pb.worker_host(j, usize::from(j >= n - slow_share));
+        }
+        pb.build().expect("even probe configuration is valid")
+    };
+    let total = (100.0 * oracle::ideal_throughput_at(&probe, 0)) as u64;
+    b.stop(StopCondition::Tuples(total));
+    Scenario {
+        name: format!("fig11/n={n}/{}", placement.label()),
+        config: b.build().expect("fig11 sweep configuration is valid"),
+        load_change_ns: None,
+        clustered: false,
+    }
+}
+
+/// Figure 12: 64 PEs with 60,000-multiply tuples and three load classes —
+/// 20 PEs at 100×, 20 PEs at 5×, 24 PEs unloaded — under the clustered
+/// adaptive balancer. Produces the per-channel weight trajectories and the
+/// clustering heatmap.
+pub fn fig12() -> Scenario {
+    let n = 64;
+    let mut b = RegionConfig::builder(n);
+    b.hosts(vec![Host::new(64, 1.0)])
+        .base_cost(60_000)
+        .mult_ns(50.0)
+        .stop(StopCondition::Duration(400 * SECOND_NS));
+    for j in 0..20 {
+        b.worker_load(j, 100.0);
+    }
+    for j in 20..40 {
+        b.worker_load(j, 5.0);
+    }
+    Scenario {
+        name: "fig12".to_owned(),
+        config: b.build().expect("static fig12 configuration is valid"),
+        load_change_ns: None,
+        clustered: true,
+    }
+}
+
+/// Figure 13: clustering on, 60,000-multiply tuples, half the PEs start at
+/// 100× load which is removed an eighth through the experiment.
+pub fn fig13(n: usize) -> Scenario {
+    assert!(n >= 2, "sweep needs at least two PEs");
+    let oracle_seconds = 80u64;
+    let mut b = RegionConfig::builder(n);
+    b.hosts(vec![Host::new(n as u32, 1.0)])
+        .base_cost(60_000)
+        .mult_ns(50.0)
+        .seed(n as u64);
+    let probe = {
+        let mut pb = b.clone();
+        let built = pb.stop(StopCondition::Duration(SECOND_NS)).build();
+        let mut cfg = built.expect("fig13 probe configuration is valid");
+        for j in 0..n / 2 {
+            cfg.workers[j].load = LoadSchedule::constant(100.0);
+        }
+        cfg
+    };
+    let total = (oracle_seconds as f64 * oracle::ideal_throughput_at(&probe, 0)) as u64;
+    for j in 0..n / 2 {
+        b.worker_load(j, 100.0);
+        b.fraction_event(FractionEvent {
+            fraction: 0.125,
+            worker: j,
+            factor: 1.0,
+        });
+    }
+    b.stop(StopCondition::Tuples(total));
+    Scenario {
+        name: format!("fig13/n={n}"),
+        config: b.build().expect("fig13 configuration is valid"),
+        load_change_ns: None,
+        clustered: true,
+    }
+}
+
+/// §4.4's transport-level rerouting experiment: 2 PEs, one 100× more
+/// expensive, at a given base tuple cost (the paper contrasts 1,000 and
+/// 10,000 multiplies — rerouting only helps when tuples are expensive).
+///
+/// Both costs share one `mult_ns` so the splitter-to-worker speed ratio
+/// scales with the tuple cost exactly as on real hardware.
+pub fn reroute_experiment(base_cost: u64) -> Scenario {
+    let mult_ns = 50.0;
+    let worker_rate = SECOND_NS as f64 / (base_cost as f64 * mult_ns);
+    // ~60 s of work for the loaded region (throughput gated by the merge:
+    // twice the slow worker's rate under an even split).
+    let gated = 2.0 * worker_rate / 100.0;
+    let total = (60.0 * gated) as u64;
+    // Unlike the balancer experiments, the rerouting baseline exercises the
+    // regime where the merger's bounded reorder buffers fill: the fast
+    // worker races ahead, stalls on the merger, and its connection
+    // backpressures too — which is exactly why blocking (and hence
+    // rerouting) is such a rare, late signal in the paper. The reroute
+    // volume is set by the buffer geometry (reorder slots per connection
+    // buffer), not by the tuple cost: a scale-free simulation cannot
+    // reproduce the paper's cost-dependent 0.5%-vs-7.5% contrast, which
+    // stems from fixed-time-scale OS effects (see EXPERIMENTS.md), but it
+    // reproduces the conclusion — rerouting is rare and helps marginally.
+    let config = RegionConfig::builder(2)
+        .base_cost(base_cost)
+        .mult_ns(mult_ns)
+        .send_overhead_ns(3_000)
+        .merge_capacity(8)
+        .worker_load(0, 100.0)
+        .stop(StopCondition::Tuples(total.max(1_000)))
+        .build()
+        .expect("static reroute configuration is valid");
+    Scenario {
+        name: format!("reroute/base={base_cost}"),
+        config,
+        load_change_ns: None,
+        clustered: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig05_splits_are_fixed_and_valid() {
+        for split in [800, 700, 600, 500] {
+            let (s, w) = fig05_fixed_split(split);
+            assert_eq!(w.units()[0], split);
+            assert_eq!(s.config.num_workers(), 2);
+            s.config.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fig08_top_removes_load_at_an_eighth() {
+        let s = fig08_top();
+        assert_eq!(s.load_change_ns, Some(75 * SECOND_NS));
+        assert_eq!(s.config.workers[0].load.factor_at(0), 100.0);
+        assert_eq!(s.config.workers[0].load.factor_at(75 * SECOND_NS), 1.0);
+        assert_eq!(s.config.workers[1].load.factor_at(0), 1.0);
+    }
+
+    #[test]
+    fn fig09_loads_half_the_pes() {
+        for n in SWEEP_SIZES {
+            let s = fig09(n, false);
+            let loaded = s
+                .config
+                .workers
+                .iter()
+                .filter(|w| w.load.factor_at(0) > 1.0)
+                .count();
+            assert_eq!(loaded, n / 2, "n={n}");
+            assert!(matches!(s.config.stop, StopCondition::Tuples(t) if t > 0));
+        }
+    }
+
+    #[test]
+    fn fig09_dynamic_removes_load_by_fraction() {
+        let s = fig09(4, true);
+        assert_eq!(s.config.fraction_events.len(), 2);
+        for e in &s.config.fraction_events {
+            assert_eq!(e.fraction, 0.125);
+            assert_eq!(e.factor, 1.0);
+        }
+        assert_eq!(s.config.workers[0].load.factor_at(0), 10.0);
+        assert!(fig09(4, false).config.fraction_events.is_empty());
+    }
+
+    #[test]
+    fn fig11_placements() {
+        let s = fig11_sweep(8, Placement::AllFast);
+        assert!(s.config.workers.iter().all(|w| w.host == 0));
+        let s = fig11_sweep(8, Placement::AllSlow);
+        assert!(s.config.workers.iter().all(|w| w.host == 1));
+        let s = fig11_sweep(8, Placement::Even);
+        assert_eq!(s.config.workers.iter().filter(|w| w.host == 0).count(), 4);
+        // One PE per hardware thread: at 24 PEs the even placement is
+        // 16 fast / 8 slow, the paper's best configuration.
+        let s = fig11_sweep(24, Placement::Even);
+        assert_eq!(s.config.workers.iter().filter(|w| w.host == 0).count(), 16);
+        assert_eq!(s.config.workers.iter().filter(|w| w.host == 1).count(), 8);
+    }
+
+    #[test]
+    fn fig11_same_workload_across_placements() {
+        let a = fig11_sweep(8, Placement::AllFast);
+        let b = fig11_sweep(8, Placement::AllSlow);
+        assert_eq!(a.config.stop, b.config.stop);
+    }
+
+    #[test]
+    fn fig12_has_three_load_classes() {
+        let s = fig12();
+        assert!(s.clustered);
+        assert_eq!(s.config.num_workers(), 64);
+        let f = |j: usize| s.config.workers[j].load.factor_at(0);
+        assert_eq!(f(0), 100.0);
+        assert_eq!(f(20), 5.0);
+        assert_eq!(f(40), 1.0);
+    }
+
+    #[test]
+    fn fig13_scales_workload_with_n() {
+        let small = match fig13(4).config.stop {
+            StopCondition::Tuples(t) => t,
+            _ => unreachable!(),
+        };
+        let large = match fig13(64).config.stop {
+            StopCondition::Tuples(t) => t,
+            _ => unreachable!(),
+        };
+        assert!(large > 8 * small);
+    }
+
+    #[test]
+    fn reroute_costs_share_time_scale() {
+        let cheap = reroute_experiment(1_000);
+        let dear = reroute_experiment(10_000);
+        assert_eq!(cheap.config.mult_ns, dear.config.mult_ns);
+        assert_eq!(cheap.config.send_overhead_ns, dear.config.send_overhead_ns);
+    }
+
+    #[test]
+    fn all_scenarios_validate() {
+        let mut all = vec![
+            fig05_fixed_split(800).0,
+            fig08_top(),
+            fig08_bottom(),
+            fig11_indepth(),
+            fig12(),
+        ];
+        for n in SWEEP_SIZES {
+            all.push(fig09(n, false));
+            all.push(fig09(n, true));
+            all.push(fig10(n, false));
+            all.push(fig10(n, true));
+        }
+        for n in HETERO_SIZES {
+            for p in [Placement::AllFast, Placement::AllSlow, Placement::Even] {
+                all.push(fig11_sweep(n, p));
+            }
+        }
+        for n in CLUSTER_SIZES {
+            all.push(fig13(n));
+        }
+        all.push(reroute_experiment(1_000));
+        all.push(reroute_experiment(10_000));
+        for s in &all {
+            s.config.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+}

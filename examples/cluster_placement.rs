@@ -1,0 +1,55 @@
+//! Cluster-wide load balancing (the paper's §8 future work): place two
+//! parallel regions across a heterogeneous cluster, compare a naive
+//! round-robin scheduler against capacity-aware placement, and validate the
+//! analytic predictions by simulating each region with the local balancer.
+//!
+//! Run with: `cargo run --release --example cluster_placement`
+
+use streambal::cluster::model::{ClusterSpec, RegionSpec};
+use streambal::cluster::placement::{place, Strategy};
+use streambal::cluster::verify::simulate_region;
+use streambal::sim::host::Host;
+
+fn main() {
+    // 2 fast hosts, 2 slow hosts; a heavy region and a light one.
+    let spec = ClusterSpec::new(
+        vec![Host::fast(), Host::fast(), Host::slow(), Host::slow()],
+        vec![
+            RegionSpec::new(16, 20_000, 50.0), // heavy: 1 ms tuples
+            RegionSpec::new(16, 5_000, 50.0),  // light: 250 us tuples
+        ],
+    )
+    .expect("valid cluster");
+
+    println!(
+        "{:<15} {:>12} {:>12} {:>14}",
+        "strategy", "min region", "total", "PEs per host"
+    );
+    for strategy in [
+        Strategy::RoundRobin,
+        Strategy::CapacityAware,
+        Strategy::LocalSearch,
+    ] {
+        let p = place(&spec, strategy);
+        println!(
+            "{:<15} {:>12.0} {:>12.0} {:>14}",
+            format!("{strategy:?}"),
+            spec.min_region_throughput(&p),
+            spec.total_throughput(&p),
+            format!("{:?}", spec.pes_per_host(&p)),
+        );
+    }
+
+    // Validate the winner against the simulator (local LB running).
+    let p = place(&spec, Strategy::LocalSearch);
+    println!("\nvalidating LocalSearch against the simulator (60 sim-seconds/region):");
+    for r in 0..spec.regions().len() {
+        let predicted = spec.region_throughput(&p, r);
+        let run = simulate_region(&spec, &p, r, 60).expect("simulation runs");
+        println!(
+            "region {r}: predicted {:>8.0} tup/s, simulated {:>8.0} tup/s",
+            predicted,
+            run.final_throughput(10)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Clustering on a wide region (the paper's §5.3 / Figure 12, scaled to 32
+//! channels): with many connections the per-connection blocking data is too
+//! sparse, so the balancer groups connections with similar predictive
+//! functions and pools their data.
+//!
+//! Run with: `cargo run --release --example clustering_wide_region`
+
+use streambal::core::BalancerConfig;
+use streambal::core::controller::ClusteringConfig;
+use streambal::sim::config::{RegionConfig, StopCondition};
+use streambal::sim::host::Host;
+use streambal::sim::policy::{BalancerPolicy, Policy};
+use streambal::sim::SECOND_NS;
+
+fn main() {
+    let n = 32;
+    // Two capacity classes: channels 0-15 carry 20x external load.
+    let mut b = RegionConfig::builder(n);
+    b.hosts(vec![Host::new(n as u32, 1.0)])
+        .base_cost(20_000)
+        .mult_ns(50.0)
+        .stop(StopCondition::Duration(180 * SECOND_NS));
+    for j in 0..n / 2 {
+        b.worker_load(j, 20.0);
+    }
+    let cfg = b.build().expect("valid region");
+
+    let mut policy = BalancerPolicy::new(
+        BalancerConfig::builder(n)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .expect("valid balancer"),
+    );
+    let result = streambal::sim::run(&cfg, &mut policy).expect("simulation runs");
+
+    println!("cluster assignment over time (channels 0..31, '.' = no clusters yet):");
+    for s in result.samples.iter().step_by(20) {
+        let line: String = match &s.clusters {
+            Some(c) => c
+                .iter()
+                .map(|&id| char::from_digit((id % 36) as u32, 36).unwrap_or('?'))
+                .collect(),
+            None => ".".repeat(n),
+        };
+        println!("t={:>4}s  {line}", s.t_ns / SECOND_NS);
+    }
+
+    if let Some(assignment) = policy.cluster_assignment() {
+        let loaded: Vec<usize> = assignment[..n / 2].to_vec();
+        let unloaded: Vec<usize> = assignment[n / 2..].to_vec();
+        println!("\nfinal clusters — loaded channels: {loaded:?}");
+        println!("               unloaded channels: {unloaded:?}");
+    }
+    let last = result.samples.last().expect("samples recorded");
+    let mean = |range: std::ops::Range<usize>| {
+        range.clone().map(|j| last.weights[j]).sum::<u32>() as f64 / range.len() as f64
+    };
+    println!(
+        "\nmean final weight — loaded: {:.1} units, unloaded: {:.1} units",
+        mean(0..n / 2),
+        mean(n / 2..n)
+    );
+}

@@ -1,0 +1,50 @@
+//! Dynamic adaptation (the paper's Figure 8, top): one worker starts with
+//! 100x external load which vanishes mid-run. *LB-adaptive* re-explores and
+//! recovers; *LB-static* never notices.
+//!
+//! Run with: `cargo run --release --example dynamic_load`
+
+use streambal::core::controller::{BalancerConfig, BalancerMode};
+use streambal::sim::config::{RegionConfig, StopCondition};
+use streambal::sim::load::LoadSchedule;
+use streambal::sim::policy::BalancerPolicy;
+use streambal::sim::SECOND_NS;
+
+fn run_mode(mode: BalancerMode) -> (String, f64, Vec<u32>) {
+    let change = 30 * SECOND_NS;
+    let cfg = RegionConfig::builder(3)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .worker_load_schedule(0, LoadSchedule::step(100.0, change, 1.0))
+        .stop(StopCondition::Duration(240 * SECOND_NS))
+        .build()
+        .expect("valid region");
+    let mut policy = BalancerPolicy::new(
+        BalancerConfig::builder(3)
+            .mode(mode)
+            .build()
+            .expect("valid balancer"),
+    );
+    let result = streambal::sim::run(&cfg, &mut policy).expect("simulation runs");
+    let last = result.samples.last().expect("samples recorded");
+    (
+        result.policy.clone(),
+        result.final_throughput(10),
+        last.weights.clone(),
+    )
+}
+
+fn main() {
+    println!("3 workers, worker 0 at 100x load until t=30s, run ends at t=240s\n");
+    for mode in [BalancerMode::Static, BalancerMode::default()] {
+        let (name, tput, weights) = run_mode(mode);
+        println!(
+            "{name:<12} final throughput {tput:>8.0} tuples/s, final weights {weights:?}"
+        );
+    }
+    println!(
+        "\nLB-static keeps worker 0 throttled forever; LB-adaptive's 10% decay\n\
+         re-explores, discovers the load is gone, and climbs worker 0 back\n\
+         toward an even share — the paper's Figure 8 (top) behaviour."
+    );
+}

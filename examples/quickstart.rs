@@ -1,0 +1,49 @@
+//! Quickstart: watch the blocking-rate balancer discover a 10x-overloaded
+//! worker in a simulated 3-way parallel region.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use streambal::core::BalancerConfig;
+use streambal::sim::config::{RegionConfig, StopCondition};
+use streambal::sim::policy::BalancerPolicy;
+use streambal::sim::SECOND_NS;
+
+fn main() {
+    // A region with 3 worker PEs; worker 0 carries 10x external load.
+    let cfg = RegionConfig::builder(3)
+        .base_cost(1_000) // integer multiplies per tuple
+        .mult_ns(500.0) // time scale: ~2k tuples/s per unloaded worker
+        .worker_load(0, 10.0)
+        .stop(StopCondition::Duration(30 * SECOND_NS))
+        .build()
+        .expect("valid region");
+
+    // The paper's LB-adaptive: blocking-rate model + minimax optimization
+    // + 10% exploration decay.
+    let mut policy = BalancerPolicy::adaptive(
+        BalancerConfig::builder(3).build().expect("valid balancer"),
+    );
+
+    let result = streambal::sim::run(&cfg, &mut policy).expect("simulation runs");
+
+    println!("t(s)  weights(units of 0.1%)        blocking rates");
+    for s in result.samples.iter().step_by(2) {
+        println!(
+            "{:>3}   [{:>3}, {:>3}, {:>3}]               [{:.2}, {:.2}, {:.2}]",
+            s.t_ns / SECOND_NS,
+            s.weights[0],
+            s.weights[1],
+            s.weights[2],
+            s.rates[0],
+            s.rates[1],
+            s.rates[2],
+        );
+    }
+    let last = result.samples.last().expect("samples recorded");
+    println!(
+        "\nfinal weights: {:?} — the 10x-loaded worker 0 ended near its \
+         capacity share (~5%).",
+        last.weights
+    );
+    println!("mean throughput: {:.0} tuples/s", result.mean_throughput());
+}

@@ -1,0 +1,66 @@
+//! The optimization layer in isolation: build predictive functions by hand,
+//! solve the minimax allocation with all three exact solvers, and print the
+//! allocation each produces — a worked §5.2 example.
+//!
+//! Run with: `cargo run --release --example solver_playground`
+
+use streambal::core::function::BlockingRateFunction;
+use streambal::core::solver::{bisect, fox, galil_megiddo, Problem};
+
+fn main() {
+    // Three connections with the paper's Figure 7 shapes:
+    //  - "light":  no blocking until ~55% of the load, then gentle;
+    //  - "medium": no blocking until ~30%, then moderate;
+    //  - "severe": blocking from the very first permille.
+    let mut light = BlockingRateFunction::new(1000, 0.5);
+    light.observe(550, 0.01);
+    light.observe(700, 0.12);
+    light.observe(900, 0.55);
+
+    let mut medium = BlockingRateFunction::new(1000, 0.5);
+    medium.observe(300, 0.02);
+    medium.observe(500, 0.30);
+    medium.observe(800, 0.90);
+
+    let mut severe = BlockingRateFunction::new(1000, 0.5);
+    severe.observe(10, 0.40);
+    severe.observe(50, 0.95);
+
+    println!("predicted blocking rates (weight: light / medium / severe):");
+    for w in [0u32, 100, 300, 550, 800, 1000] {
+        println!(
+            "  {w:>4}:  {:.3} / {:.3} / {:.3}",
+            light.value(w),
+            medium.value(w),
+            severe.value(w)
+        );
+    }
+
+    let functions = vec![
+        light.predicted().to_vec(),
+        medium.predicted().to_vec(),
+        severe.predicted().to_vec(),
+    ];
+    let slices: Vec<&[f64]> = functions.iter().map(Vec::as_slice).collect();
+    let problem = Problem::new(slices, 1000).expect("valid problem");
+
+    println!("\nminimax allocations (light / medium / severe -> objective):");
+    for (name, allocation) in [
+        ("fox greedy    ", fox::solve(&problem).expect("feasible")),
+        ("bisection     ", bisect::solve(&problem).expect("feasible")),
+        ("galil-megiddo ", galil_megiddo::solve(&problem).expect("feasible")),
+    ] {
+        println!(
+            "  {name} {:>4} / {:>4} / {:>4}  ->  {:.4}",
+            allocation.weights[0],
+            allocation.weights[1],
+            allocation.weights[2],
+            allocation.objective
+        );
+    }
+    println!(
+        "\nall three agree on the objective; the severe connection is pushed\n\
+         to a token allocation while light absorbs the bulk — the paper's\n\
+         'minimize the blocking of the weakest link' in action."
+    );
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the streambal workspace.
+#![forbid(unsafe_code)]
+pub use streambal_cluster as cluster;
+pub use streambal_core as core;
+pub use streambal_dataflow as dataflow;
+pub use streambal_runtime as runtime;
+pub use streambal_sim as sim;
+pub use streambal_transport as transport;
+pub use streambal_workloads as workloads;

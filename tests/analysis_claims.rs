@@ -1,0 +1,103 @@
+//! The paper's §6 prose claims, asserted quantitatively via the
+//! workloads::analysis metrics.
+
+use streambal::core::controller::{BalancerConfig, BalancerMode};
+use streambal::sim::config::{RegionConfig, StopCondition};
+use streambal::sim::load::LoadSchedule;
+use streambal::sim::policy::BalancerPolicy;
+use streambal::sim::SECOND_NS;
+use streambal::workloads::analysis;
+
+fn fig08_like(mode: BalancerMode, seconds: u64) -> streambal::sim::metrics::RunResult {
+    let cfg = RegionConfig::builder(3)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .worker_load_schedule(0, LoadSchedule::step(100.0, seconds / 8 * SECOND_NS, 1.0))
+        .stop(StopCondition::Duration(seconds * SECOND_NS))
+        .build()
+        .unwrap();
+    let mut policy =
+        BalancerPolicy::new(BalancerConfig::builder(3).mode(mode).build().unwrap());
+    streambal::sim::run(&cfg, &mut policy).unwrap()
+}
+
+/// "Just 15 seconds into the experiment, we settle on a sustainable load
+/// distribution": within the first 15 rounds the loaded connection's weight
+/// must be sustainable (tiny) and stay there until the load is removed.
+#[test]
+fn sustainable_distribution_within_15_rounds() {
+    let r = fig08_like(BalancerMode::default(), 320);
+    let removal_round = 40;
+    for s in r.samples.iter().take(removal_round) {
+        let t = s.t_ns / SECOND_NS;
+        if t >= 15 {
+            assert!(
+                s.weights[0] <= 30,
+                "round {t}: loaded connection not sustainable: {:?}",
+                s.weights
+            );
+        }
+    }
+}
+
+/// The adaptive mode produces periodic re-exploration spikes on the
+/// throttled connection; the static mode produces (almost) none.
+#[test]
+fn adaptive_re_explores_static_does_not() {
+    let adaptive = fig08_like(BalancerMode::default(), 320);
+    let static_ = fig08_like(BalancerMode::Static, 320);
+    let spikes_adaptive = analysis::exploration_spikes(&adaptive, 0, 8);
+    let spikes_static = analysis::exploration_spikes(&static_, 0, 8);
+    assert!(
+        spikes_adaptive >= 3,
+        "adaptive should spike repeatedly, got {spikes_adaptive}"
+    );
+    assert!(
+        spikes_adaptive > spikes_static,
+        "adaptive ({spikes_adaptive}) must out-explore static ({spikes_static})"
+    );
+}
+
+/// After the load disappears, the adaptive run's mean final weights return
+/// near the even split; the static run's stay skewed.
+#[test]
+fn adaptive_recovers_to_even_static_stays_skewed() {
+    let adaptive = fig08_like(BalancerMode::default(), 320);
+    let static_ = fig08_like(BalancerMode::Static, 320);
+    let even = [334u32, 333, 333];
+    let d_adaptive =
+        analysis::allocation_distance(&analysis::mean_final_weights(&adaptive, 20), &even);
+    let d_static =
+        analysis::allocation_distance(&analysis::mean_final_weights(&static_, 20), &even);
+    assert!(
+        d_adaptive < 250.0,
+        "adaptive should end near even, distance {d_adaptive}"
+    );
+    assert!(
+        d_static > 2.0 * d_adaptive,
+        "static ({d_static}) must stay far more skewed than adaptive ({d_adaptive})"
+    );
+}
+
+/// "The oscillations stabilize by 30 seconds": the heterogeneous two-host
+/// run settles (within 5% tolerance) early and churns little afterwards.
+#[test]
+fn heterogeneous_run_settles_early_with_low_churn() {
+    use streambal::sim::host::Host;
+    let cfg = RegionConfig::builder(2)
+        .hosts(vec![Host::fast(), Host::slow()])
+        .worker_host(0, 0)
+        .worker_host(1, 1)
+        .base_cost(20_000)
+        .mult_ns(25.0)
+        .stop(StopCondition::Duration(120 * SECOND_NS))
+        .build()
+        .unwrap();
+    let mut policy =
+        BalancerPolicy::adaptive(BalancerConfig::builder(2).build().unwrap());
+    let r = streambal::sim::run(&cfg, &mut policy).unwrap();
+    let settle = analysis::settle_seconds(&r, 50).expect("run must settle");
+    assert!(settle <= 60, "expected settling within 60 s, got {settle}");
+    let churn = analysis::weight_churn(&r, 0, 30);
+    assert!(churn < 25.0, "settled run should churn little, got {churn}");
+}

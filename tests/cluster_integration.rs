@@ -1,0 +1,66 @@
+//! Cluster-wide placement (§8 future work): analytic strategies validated
+//! against the simulator with the local balancer running.
+
+use streambal::cluster::model::{ClusterSpec, RegionSpec};
+use streambal::cluster::placement::{place, Placement, Strategy};
+use streambal::cluster::verify::simulate_region;
+use streambal::sim::host::Host;
+
+fn heterogeneous_spec() -> ClusterSpec {
+    ClusterSpec::new(
+        vec![Host::fast(), Host::slow(), Host::slow()],
+        vec![
+            RegionSpec::new(8, 20_000, 50.0),
+            RegionSpec::new(8, 10_000, 50.0),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn strategies_are_monotonically_better() {
+    let spec = heterogeneous_spec();
+    let rr = place(&spec, Strategy::RoundRobin);
+    let greedy = place(&spec, Strategy::CapacityAware);
+    let refined = place(&spec, Strategy::LocalSearch);
+    let m = |p: &Placement| spec.min_region_throughput(p);
+    assert!(m(&greedy) >= m(&rr) - 1e-6);
+    assert!(m(&refined) >= m(&greedy) - 1e-6);
+}
+
+#[test]
+fn capacity_aware_placement_survives_simulation() {
+    let spec = heterogeneous_spec();
+    let p = place(&spec, Strategy::CapacityAware);
+    for r in 0..spec.regions().len() {
+        let predicted = spec.region_throughput(&p, r);
+        let run = simulate_region(&spec, &p, r, 45).unwrap();
+        let measured = run.final_throughput(8);
+        assert!(
+            measured > 0.55 * predicted,
+            "region {r}: predicted {predicted}, measured {measured}"
+        );
+        assert!(
+            measured < 1.35 * predicted,
+            "region {r}: model should not underestimate wildly: {measured} vs {predicted}"
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_cluster_still_places_everything() {
+    // 48 PEs onto 12 hardware threads.
+    let spec = ClusterSpec::new(
+        vec![Host::new(8, 1.0), Host::new(4, 1.0)],
+        vec![
+            RegionSpec::new(24, 5_000, 50.0),
+            RegionSpec::new(24, 5_000, 50.0),
+        ],
+    )
+    .unwrap();
+    for strategy in [Strategy::RoundRobin, Strategy::CapacityAware, Strategy::LocalSearch] {
+        let p = place(&spec, strategy);
+        assert_eq!(spec.pes_per_host(&p).iter().sum::<u32>(), 48);
+        assert!(spec.min_region_throughput(&p) > 0.0);
+    }
+}

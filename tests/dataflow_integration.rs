@@ -1,0 +1,107 @@
+//! End-to-end tests of the dataflow layer: sequential semantics and live
+//! balancing inside operator pipelines on real threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use streambal::dataflow::{source, ParallelConfig, RangeSource};
+use streambal::runtime::workload::spin_multiplies;
+
+#[test]
+fn full_application_preserves_order_through_everything() {
+    // Pipeline + task parallelism + an ordered parallel region, verified
+    // tuple-by-tuple.
+    let (items, report) = source(RangeSource::new(0..30_000))
+        .map(|x| x + 1)
+        .fork_join(|x| x, |x| x * 2)
+        .parallel(ParallelConfig::new(3), || |(a, b): (u64, u64)| a + b)
+        .collect()
+        .unwrap();
+    assert_eq!(items.len(), 30_000);
+    for (i, &v) in items.iter().enumerate() {
+        let x = i as u64 + 1;
+        assert_eq!(v, x + x * 2, "order or value broken at {i}");
+    }
+    assert_eq!(report.delivered(), 30_000);
+}
+
+#[test]
+fn region_balancer_throttles_a_slow_replica() {
+    // Replica 0 burns 40x the work. After the run, the region trace must
+    // show its weight well below the even share. Generous thresholds:
+    // real threads, noisy scheduler.
+    let first = Arc::new(AtomicBool::new(true));
+    let (n, report) = source(RangeSource::new(0..60_000))
+        .parallel(
+            ParallelConfig::new(2).sample_interval(std::time::Duration::from_millis(20)),
+            || {
+                let slow = first.swap(false, Ordering::SeqCst);
+                let cost = if slow { 80_000 } else { 2_000 };
+                move |x: u64| {
+                    spin_multiplies(cost);
+                    x
+                }
+            },
+        )
+        .count()
+        .unwrap();
+    assert_eq!(n, 60_000);
+    let weights = report
+        .final_region_weights(0)
+        .expect("controller produced at least one round");
+    assert!(
+        weights[0] < 350,
+        "slow replica should be throttled: {weights:?}"
+    );
+}
+
+#[test]
+fn round_robin_region_keeps_even_weights() {
+    let (_, report) = source(RangeSource::new(0..20_000))
+        .parallel(
+            ParallelConfig::new(2)
+                .round_robin()
+                .sample_interval(std::time::Duration::from_millis(10)),
+            || |x: u64| x,
+        )
+        .count()
+        .unwrap();
+    if let Some(w) = report.final_region_weights(0) {
+        assert_eq!(w, &[500, 500]);
+    }
+}
+
+#[test]
+fn empty_source_completes_cleanly() {
+    let (items, report) = source(RangeSource::new(0..0))
+        .map(|x| x)
+        .parallel(ParallelConfig::new(2), || |x: u64| x)
+        .collect()
+        .unwrap();
+    assert!(items.is_empty());
+    assert_eq!(report.delivered(), 0);
+}
+
+#[test]
+fn region_blocking_counters_feed_the_balancer() {
+    // With a saturating workload, at least one control round must observe a
+    // nonzero blocking rate somewhere.
+    let (_, report) = source(RangeSource::new(0..40_000))
+        .parallel(
+            ParallelConfig::new(2)
+                .channel_capacity(8)
+                .sample_interval(std::time::Duration::from_millis(10)),
+            || {
+                |x: u64| {
+                    spin_multiplies(20_000);
+                    x
+                }
+            },
+        )
+        .count()
+        .unwrap();
+    let any_blocking = report.regions[0]
+        .iter()
+        .any(|t| t.rates.iter().any(|&r| r > 0.0));
+    assert!(any_blocking, "saturated region must observe blocking");
+}

@@ -1,0 +1,106 @@
+//! Failure injection: dead operators, dropped peers, poisoned stages. The
+//! system must fail *loudly* (errors surfaced) rather than hang or deliver
+//! silently-wrong output.
+
+use streambal::dataflow::{source, ParallelConfig, RangeSource};
+use streambal::transport::{bounded, SendError, TrySendError};
+
+#[test]
+fn panicking_map_stage_is_reported() {
+    let result = source(RangeSource::new(0..10_000))
+        .map(|x: u64| {
+            assert!(x < 5_000, "injected failure");
+            x
+        })
+        .count();
+    let err = result.expect_err("a dead stage must surface as an error");
+    let msg = err.to_string();
+    assert!(msg.contains("panicked"), "unexpected error: {msg}");
+}
+
+#[test]
+fn panicking_replica_in_parallel_region_is_reported() {
+    let result = source(RangeSource::new(0..50_000))
+        .parallel(ParallelConfig::new(3), || {
+            |x: u64| {
+                assert!(x != 20_000, "injected replica failure");
+                x
+            }
+        })
+        .count();
+    assert!(
+        result.is_err(),
+        "a dead replica must not produce a silently-short stream"
+    );
+}
+
+#[test]
+fn panicking_source_is_reported() {
+    struct Exploding(u64);
+    impl streambal::dataflow::Source for Exploding {
+        type Item = u64;
+        fn next_tuple(&mut self) -> Option<u64> {
+            self.0 += 1;
+            assert!(self.0 < 100, "injected source failure");
+            Some(self.0)
+        }
+    }
+    let result = source(Exploding(0)).map(|x| x).count();
+    assert!(result.is_err(), "a dead source must surface as an error");
+}
+
+#[test]
+fn transport_surfaces_dead_peers() {
+    let (tx, rx) = bounded::<u32>(4);
+    drop(rx);
+    assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+    assert_eq!(tx.send_recording(2), Err(SendError(2)));
+}
+
+#[test]
+fn downstream_cancellation_stops_the_pipeline() {
+    // Dropping the receiving half mid-run must wind the stages down rather
+    // than deadlock; the transport reports disconnection to each sender.
+    let (tx, rx) = bounded::<u64>(2);
+    let producer = std::thread::spawn(move || {
+        let mut sent = 0u64;
+        for i in 0..1_000_000 {
+            if tx.send_recording(i).is_err() {
+                break;
+            }
+            sent += 1;
+        }
+        sent
+    });
+    // Consume a few then walk away.
+    for _ in 0..10 {
+        let _ = rx.recv();
+    }
+    drop(rx);
+    let sent = producer.join().unwrap();
+    assert!(
+        sent < 1_000_000,
+        "producer must observe the cancellation, sent {sent}"
+    );
+}
+
+#[test]
+fn tcp_peer_death_is_an_error_not_a_hang() {
+    use streambal::transport::tcp::{connect, listen};
+    let (addr, incoming) = listen().unwrap();
+    let acceptor = std::thread::spawn(move || incoming.accept().unwrap());
+    let mut tx = connect(addr).unwrap();
+    let rx = acceptor.join().unwrap();
+    drop(rx); // peer dies
+    // The kernel may accept a few frames into its buffers, but sending must
+    // eventually fail rather than block forever.
+    let payload = vec![0u8; 16 * 1024];
+    let mut failed = false;
+    for _ in 0..10_000 {
+        if tx.send_recording(&payload).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "writes to a dead peer must error");
+}

@@ -1,0 +1,86 @@
+//! Integration tests of the real threaded runtime. Thresholds are generous:
+//! these run on genuinely noisy OS threads.
+
+use std::time::Duration;
+
+use streambal::runtime::region::{LoadChange, RegionBuilder};
+
+#[test]
+fn ordering_and_conservation_hold() {
+    let report = RegionBuilder::new(4)
+        .tuple_cost(300)
+        .sample_interval_ms(20)
+        .run(40_000)
+        .unwrap();
+    assert_eq!(report.delivered, 40_000);
+    assert!(report.in_order, "sequential semantics must hold");
+}
+
+#[test]
+fn round_robin_baseline_works() {
+    let report = RegionBuilder::new(2)
+        .tuple_cost(300)
+        .round_robin()
+        .sample_interval_ms(20)
+        .run(20_000)
+        .unwrap();
+    assert!(report.in_order);
+    assert_eq!(report.delivered, 20_000);
+}
+
+#[test]
+fn real_blocking_shifts_weight_from_slow_worker() {
+    let report = RegionBuilder::new(2)
+        .tuple_cost(5_000)
+        .initial_load(1, 40.0)
+        .sample_interval_ms(25)
+        .run(60_000)
+        .unwrap();
+    assert!(report.in_order);
+    let w = report.final_weights().expect("controller ran");
+    assert!(
+        w[1] < w[0],
+        "slow worker must end with less weight: {w:?}"
+    );
+    assert!(w[1] < 350, "slow worker should be clearly throttled: {w:?}");
+}
+
+#[test]
+fn blocking_counters_accumulate_on_saturated_region() {
+    let report = RegionBuilder::new(2)
+        .tuple_cost(8_000)
+        .round_robin()
+        .sample_interval_ms(20)
+        .run(30_000)
+        .unwrap();
+    // An infinite source saturates two workers: the splitter must have
+    // blocked somewhere.
+    assert!(
+        report.blocked_ns.iter().sum::<u64>() > 0,
+        "saturated splitter must record blocking: {:?}",
+        report.blocked_ns
+    );
+}
+
+#[test]
+fn load_change_recovers_weight() {
+    // Worker 0 is slow only for the first ~200 ms; with adaptive balancing
+    // it should regain weight by the end of a longer run.
+    let report = RegionBuilder::new(2)
+        .tuple_cost(2_000)
+        .initial_load(0, 30.0)
+        .load_change(LoadChange {
+            after: Duration::from_millis(200),
+            worker: 0,
+            factor: 1.0,
+        })
+        .sample_interval_ms(20)
+        .run(400_000)
+        .unwrap();
+    assert!(report.in_order);
+    let w = report.final_weights().expect("controller ran");
+    assert!(
+        w[0] > 100,
+        "worker 0 should recover weight after the load vanishes: {w:?}"
+    );
+}

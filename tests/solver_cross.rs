@@ -1,0 +1,68 @@
+//! Solver cross-validation at realistic scale, including on functions
+//! actually learned during simulation runs.
+
+use streambal::core::controller::BalancerConfig;
+use streambal::core::solver::{bisect, fox, Problem};
+use streambal::sim::config::{RegionConfig, StopCondition};
+use streambal::sim::policy::BalancerPolicy;
+use streambal::sim::SECOND_NS;
+
+/// Fox and bisection agree on the minimax objective for functions learned
+/// in a real (simulated) run, not just synthetic ones.
+#[test]
+fn solvers_agree_on_learned_functions() {
+    let cfg = RegionConfig::builder(6)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .worker_load(0, 20.0)
+        .worker_load(1, 5.0)
+        .stop(StopCondition::Duration(60 * SECOND_NS))
+        .build()
+        .unwrap();
+    let mut policy = BalancerPolicy::adaptive(BalancerConfig::builder(6).build().unwrap());
+    let _ = streambal::sim::run(&cfg, &mut policy).unwrap();
+
+    let mut lb = policy.balancer().clone();
+    let predicted: Vec<Vec<f64>> = (0..6)
+        .map(|j| lb.function_mut(j).predicted().to_vec())
+        .collect();
+    let slices: Vec<&[f64]> = predicted.iter().map(Vec::as_slice).collect();
+    let problem = Problem::new(slices, 1000).unwrap();
+    let a = fox::solve(&problem).unwrap();
+    let b = bisect::solve(&problem).unwrap();
+    assert!(
+        (a.objective - b.objective).abs() <= 1e-9 * (1.0 + a.objective.abs()),
+        "fox {} vs bisect {}",
+        a.objective,
+        b.objective
+    );
+    assert_eq!(a.weights.iter().sum::<u32>(), 1000);
+    assert_eq!(b.weights.iter().sum::<u32>(), 1000);
+}
+
+/// At the paper's full width (64 connections x 1001 weights), both exact
+/// solvers still agree.
+#[test]
+fn solvers_agree_at_full_width() {
+    let n = 64;
+    let r = 1000u32;
+    let funcs: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let knee = 5 + (j * 13) % 400;
+            (0..=r as usize)
+                .map(|w| {
+                    if w <= knee {
+                        0.0
+                    } else {
+                        (w - knee) as f64 * (0.0005 + j as f64 * 1e-5)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+    let problem = Problem::new(slices, r).unwrap();
+    let a = fox::solve(&problem).unwrap();
+    let b = bisect::solve(&problem).unwrap();
+    assert!((a.objective - b.objective).abs() < 1e-12);
+}
