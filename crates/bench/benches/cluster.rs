@@ -1,7 +1,9 @@
 //! Clustering cost at the paper's 64-channel scale: knees, distance matrix
 //! and agglomeration.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use streambal_bench::Micro;
 use streambal_core::cluster::{cluster, distance, knee_of};
 
 /// Functions from three capacity classes, like Figure 12.
@@ -26,29 +28,22 @@ fn class_functions(n: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn bench_cluster(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let m = Micro::new().measure_ms(500);
+    println!("== cluster ==");
     for n in [16usize, 64, 128] {
         let funcs = class_functions(n);
-        group.bench_with_input(BenchmarkId::new("full_round", n), &n, |b, &n| {
-            b.iter(|| {
-                let knees: Vec<_> = funcs.iter().map(|f| knee_of(f)).collect();
-                let mut d = vec![0.0; n * n];
-                for i in 0..n {
-                    for j in i + 1..n {
-                        let v = distance(&knees[i], &knees[j], 1000);
-                        d[i * n + j] = v;
-                        d[j * n + i] = v;
-                    }
+        m.run(&format!("cluster/full_round/{n}"), || {
+            let knees: Vec<_> = funcs.iter().map(|f| knee_of(f)).collect();
+            let mut d = vec![0.0; n * n];
+            for i in 0..n {
+                for j in i + 1..n {
+                    let v = distance(&knees[i], &knees[j], 1000);
+                    d[i * n + j] = v;
+                    d[j * n + i] = v;
                 }
-                black_box(cluster(n, &d, 0.7).num_clusters())
-            })
+            }
+            black_box(cluster(n, &d, 0.7).num_clusters())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cluster);
-criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! harming performance while trying to improve it", measured end to end:
 //! observe samples, decay, (optionally cluster,) rebuild functions, solve.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use streambal_bench::Micro;
 use streambal_core::controller::{BalancerConfig, ClusteringConfig, LoadBalancer};
 use streambal_core::rate::ConnectionSample;
 
@@ -22,36 +24,27 @@ fn warmed_balancer(n: usize, clustered: bool) -> LoadBalancer {
     lb
 }
 
-fn bench_controller(c: &mut Criterion) {
-    let mut group = c.benchmark_group("controller_round");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let m = Micro::new().measure_ms(500);
+    println!("== controller_round ==");
     for &n in &[4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, &n| {
-            let mut lb = warmed_balancer(n, false);
-            let mut round = 0u64;
-            b.iter(|| {
-                round += 1;
-                let conn = (round as usize * 13) % n;
-                lb.observe(&[ConnectionSample::new(conn, 0.42)]);
-                black_box(lb.rebalance().units()[0])
-            })
+        let mut lb = warmed_balancer(n, false);
+        let mut round = 0u64;
+        m.run(&format!("controller_round/plain/{n}"), || {
+            round += 1;
+            let conn = (round as usize * 13) % n;
+            lb.observe(&[ConnectionSample::new(conn, 0.42)]);
+            black_box(lb.rebalance().units()[0])
         });
     }
     for &n in &[32usize, 64, 128] {
-        group.bench_with_input(BenchmarkId::new("clustered", n), &n, |b, &n| {
-            let mut lb = warmed_balancer(n, true);
-            let mut round = 0u64;
-            b.iter(|| {
-                round += 1;
-                let conn = (round as usize * 13) % n;
-                lb.observe(&[ConnectionSample::new(conn, 0.42)]);
-                black_box(lb.rebalance().units()[0])
-            })
+        let mut lb = warmed_balancer(n, true);
+        let mut round = 0u64;
+        m.run(&format!("controller_round/clustered/{n}"), || {
+            round += 1;
+            let conn = (round as usize * 13) % n;
+            lb.observe(&[ConnectionSample::new(conn, 0.42)]);
+            black_box(lb.rebalance().units()[0])
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_controller);
-criterion_main!(benches);

@@ -1,46 +1,32 @@
 //! Throughput of the threaded dataflow layer: plain stage chains and
 //! ordered parallel regions at several widths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streambal_bench::Micro;
 use streambal_dataflow::{source, ParallelConfig, RangeSource};
 
-fn bench_dataflow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dataflow");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.sample_size(10);
+fn main() {
+    let m = Micro::new();
+    println!("== dataflow ==");
     let tuples = 100_000u64;
 
-    group.throughput(Throughput::Elements(tuples));
-    group.bench_function("chain_map_filter", |b| {
-        b.iter(|| {
+    let stats = m.run("dataflow/chain_map_filter", || {
+        let (n, _) = source(RangeSource::new(0..tuples))
+            .map(|x| x.wrapping_mul(31))
+            .filter(|&x| x % 5 != 0)
+            .count()
+            .unwrap();
+        n
+    });
+    stats.report_throughput(tuples);
+
+    for replicas in [1usize, 2, 4] {
+        let stats = m.run(&format!("dataflow/ordered_region/{replicas}"), || {
             let (n, _) = source(RangeSource::new(0..tuples))
-                .map(|x| x.wrapping_mul(31))
-                .filter(|&x| x % 5 != 0)
+                .parallel(ParallelConfig::new(replicas), || |x: u64| x.wrapping_mul(7))
                 .count()
                 .unwrap();
             n
-        })
-    });
-
-    for replicas in [1usize, 2, 4] {
-        group.throughput(Throughput::Elements(tuples));
-        group.bench_with_input(
-            BenchmarkId::new("ordered_region", replicas),
-            &replicas,
-            |b, &replicas| {
-                b.iter(|| {
-                    let (n, _) = source(RangeSource::new(0..tuples))
-                        .parallel(ParallelConfig::new(replicas), || |x: u64| x.wrapping_mul(7))
-                        .count()
-                        .unwrap();
-                    n
-                })
-            },
-        );
+        });
+        stats.report_throughput(tuples);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dataflow);
-criterion_main!(benches);

@@ -2,48 +2,39 @@
 //! headline shapes (who wins, by what factor) quickly: a Figure 9-style row
 //! (n = 4, half PEs 10x) under each policy, and the decay on/off ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use streambal_bench::scale_scenario;
+use streambal_bench::{scale_scenario, Micro};
 use streambal_workloads::policies::PolicyKind;
 use streambal_workloads::scenarios;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.sample_size(10);
+fn main() {
+    let m = Micro::new();
+    println!("== experiments ==");
     for kind in PolicyKind::sweep_set(false) {
-        group.bench_with_input(
-            BenchmarkId::new("fig09_n4_static", kind.name()),
-            &kind,
-            |b, kind| {
-                b.iter(|| {
-                    let mut s = scenarios::fig09(4, false);
-                    scale_scenario(&mut s, 8);
-                    let mut p = kind.build(&s.config);
-                    streambal_sim::run(&s.config, p.as_mut()).unwrap().duration_ns
-                })
+        m.run(
+            &format!("experiments/fig09_n4_static/{}", kind.name()),
+            || {
+                let mut s = scenarios::fig09(4, false);
+                scale_scenario(&mut s, 8);
+                let mut p = kind.build(&s.config);
+                streambal_sim::run(&s.config, p.as_mut())
+                    .unwrap()
+                    .duration_ns
             },
         );
     }
     // Decay ablation on the dynamic workload: LB-static vs LB-adaptive is
     // the paper's own ablation of the exploration mechanism.
     for kind in [PolicyKind::LbStatic, PolicyKind::LbAdaptive] {
-        group.bench_with_input(
-            BenchmarkId::new("fig09_n4_dynamic", kind.name()),
-            &kind,
-            |b, kind| {
-                b.iter(|| {
-                    let mut s = scenarios::fig09(4, true);
-                    scale_scenario(&mut s, 4);
-                    let mut p = kind.build(&s.config);
-                    streambal_sim::run(&s.config, p.as_mut()).unwrap().duration_ns
-                })
+        m.run(
+            &format!("experiments/fig09_n4_dynamic/{}", kind.name()),
+            || {
+                let mut s = scenarios::fig09(4, true);
+                scale_scenario(&mut s, 4);
+                let mut p = kind.build(&s.config);
+                streambal_sim::run(&s.config, p.as_mut())
+                    .unwrap()
+                    .duration_ns
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! The per-round cost of the model: fold a sample in, rebuild the
 //! prediction (smooth -> monotone regression -> interpolation), decay.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use streambal_bench::Micro;
 use streambal_core::function::BlockingRateFunction;
 
 fn populated_function(points: usize) -> BlockingRateFunction {
@@ -13,38 +15,21 @@ fn populated_function(points: usize) -> BlockingRateFunction {
     f
 }
 
-fn bench_function(c: &mut Criterion) {
-    let mut group = c.benchmark_group("function");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let m = Micro::new().measure_ms(500);
+    println!("== function ==");
     for points in [4usize, 32, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("observe_and_predict", points),
-            &points,
-            |b, &points| {
-                let mut f = populated_function(points);
-                let mut w = 1u32;
-                b.iter(|| {
-                    w = w % 1000 + 1;
-                    f.observe(w, 0.25);
-                    black_box(f.predicted().len())
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decay_and_predict", points),
-            &points,
-            |b, &points| {
-                let mut f = populated_function(points);
-                b.iter(|| {
-                    f.decay_above(500, 0.9);
-                    black_box(f.predicted()[750])
-                })
-            },
-        );
+        let mut f = populated_function(points);
+        let mut w = 1u32;
+        m.run(&format!("function/observe_and_predict/{points}"), || {
+            w = w % 1000 + 1;
+            f.observe(w, 0.25);
+            black_box(f.predicted().len())
+        });
+        let mut f = populated_function(points);
+        m.run(&format!("function/decay_and_predict/{points}"), || {
+            f.decay_above(500, 0.9);
+            black_box(f.predicted()[750])
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_function);
-criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! Monotone-regression (PAVA) throughput at the sizes the controller uses.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use streambal_bench::Micro;
 use streambal_core::pava::isotonic_non_decreasing;
 
 fn noisy_series(len: usize) -> Vec<f64> {
@@ -13,19 +15,14 @@ fn noisy_series(len: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_pava(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pava");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let m = Micro::new().measure_ms(500);
+    println!("== pava ==");
     for len in [8usize, 64, 1001] {
         let y = noisy_series(len);
         let w = vec![1.0; len];
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| isotonic_non_decreasing(black_box(&y), black_box(&w)))
+        m.run(&format!("pava/{len}"), || {
+            isotonic_non_decreasing(black_box(&y), black_box(&w))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pava);
-criterion_main!(benches);

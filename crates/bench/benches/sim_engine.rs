@@ -1,32 +1,51 @@
-//! Raw discrete-event engine throughput (simulated tuples per wall second).
+//! Raw discrete-event engine throughput (simulated tuples per wall second),
+//! plus the telemetry overhead check: instrumenting the splitter/merger hot
+//! path must cost < 5% (the observability budget).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streambal_bench::Micro;
 use streambal_sim::config::{RegionConfig, StopCondition};
 use streambal_sim::policy::RoundRobinPolicy;
+use streambal_telemetry::Telemetry;
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.sample_size(10);
-    for n in [2usize, 16, 64] {
-        let tuples = 50_000u64;
-        let cfg = RegionConfig::builder(n)
-            .base_cost(1_000)
-            .mult_ns(200.0)
-            .stop(StopCondition::Tuples(tuples))
-            .build()
-            .unwrap();
-        group.throughput(Throughput::Elements(tuples));
-        group.bench_with_input(BenchmarkId::new("tuples", n), &cfg, |b, cfg| {
-            b.iter(|| {
-                let mut p = RoundRobinPolicy::new();
-                streambal_sim::run(cfg, &mut p).unwrap().delivered
-            })
-        });
-    }
-    group.finish();
+fn region(n: usize, tuples: u64) -> RegionConfig {
+    RegionConfig::builder(n)
+        .base_cost(1_000)
+        .mult_ns(200.0)
+        .stop(StopCondition::Tuples(tuples))
+        .build()
+        .unwrap()
 }
 
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);
+fn main() {
+    let m = Micro::new();
+    println!("== sim_engine ==");
+    let tuples = 50_000u64;
+    for n in [2usize, 16, 64] {
+        let cfg = region(n, tuples);
+        let stats = m.run(&format!("sim_engine/tuples/{n}"), || {
+            let mut p = RoundRobinPolicy::new();
+            streambal_sim::run(&cfg, &mut p).unwrap().delivered
+        });
+        stats.report_throughput(tuples);
+    }
+
+    // Telemetry overhead: same run, with the registry + trace instrumented.
+    // The hub is reused across iterations so only the per-event atomic cost
+    // is measured, not construction.
+    println!("== sim_engine telemetry overhead ==");
+    let cfg = region(16, tuples);
+    let plain = m.run("sim_engine/telemetry_off/16", || {
+        let mut p = RoundRobinPolicy::new();
+        streambal_sim::run(&cfg, &mut p).unwrap().delivered
+    });
+    let telemetry = Telemetry::new();
+    let instrumented = m.run("sim_engine/telemetry_on/16", || {
+        let mut p = RoundRobinPolicy::new();
+        streambal_sim::run_with_telemetry(&cfg, &mut p, &telemetry)
+            .unwrap()
+            .delivered
+    });
+    let overhead =
+        (instrumented.median_ns as f64 - plain.median_ns as f64) / plain.median_ns as f64 * 100.0;
+    println!("telemetry overhead: {overhead:+.2}% (budget < 5%)");
+}

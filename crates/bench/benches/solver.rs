@@ -4,7 +4,9 @@
 //! alternatives it cites because N and R are modest; this bench quantifies
 //! that choice.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use streambal_bench::Micro;
 use streambal_core::solver::{bisect, brute, fox, galil_megiddo, Problem};
 
 /// Deterministic pseudo-random monotone function over `0..=r`.
@@ -23,39 +25,28 @@ fn monotone_function(r: u32, seed: u64) -> Vec<f64> {
     f
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let m = Micro::new().measure_ms(500);
+    println!("== solver ==");
     for &(n, r) in &[(4usize, 1000u32), (16, 1000), (64, 1000), (16, 100)] {
         let funcs: Vec<Vec<f64>> = (0..n).map(|j| monotone_function(r, j as u64)).collect();
         let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
         let problem = Problem::new(slices, r).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("fox", format!("n{n}_r{r}")),
-            &problem,
-            |b, p| b.iter(|| fox::solve(black_box(p)).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("bisect", format!("n{n}_r{r}")),
-            &problem,
-            |b, p| b.iter(|| bisect::solve(black_box(p)).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("galil_megiddo", format!("n{n}_r{r}")),
-            &problem,
-            |b, p| b.iter(|| galil_megiddo::solve(black_box(p)).unwrap()),
-        );
+        m.run(&format!("solver/fox/n{n}_r{r}"), || {
+            fox::solve(black_box(&problem)).unwrap()
+        });
+        m.run(&format!("solver/bisect/n{n}_r{r}"), || {
+            bisect::solve(black_box(&problem)).unwrap()
+        });
+        m.run(&format!("solver/galil_megiddo/n{n}_r{r}"), || {
+            galil_megiddo::solve(black_box(&problem)).unwrap()
+        });
     }
     // Brute force only at toy sizes — it is the test oracle, not a solver.
     let funcs: Vec<Vec<f64>> = (0..3).map(|j| monotone_function(16, j as u64)).collect();
     let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
     let problem = Problem::new(slices, 16).unwrap();
-    group.bench_function("brute/n3_r16", |b| {
-        b.iter(|| brute::solve(black_box(&problem)).unwrap())
+    m.run("solver/brute/n3_r16", || {
+        brute::solve(black_box(&problem)).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

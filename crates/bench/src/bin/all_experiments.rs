@@ -1,7 +1,9 @@
 //! Runs every reproduced experiment in sequence, writing CSVs to the
 //! results directory. Pass --quick for a scaled-down smoke run.
 
-use streambal_bench::experiments::{ablations, indepth, latency, placement, reroute, sweeps, threaded};
+use streambal_bench::experiments::{
+    ablations, indepth, latency, placement, reroute, sweeps, threaded,
+};
 
 fn main() {
     let out = streambal_bench::results_dir();
@@ -25,5 +27,8 @@ fn main() {
     latency::run(&out);
     placement::run(&out);
     threaded::fig08_threaded(&out);
-    eprintln!("all experiments done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "all experiments done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

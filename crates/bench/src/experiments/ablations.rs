@@ -64,7 +64,10 @@ pub fn decay(out: &Path) -> Vec<Table> {
         let cfg = dynamic_region(seconds);
         let mode = BalancerMode::Adaptive { decay };
         let mut policy = BalancerPolicy::new(
-            BalancerConfig::builder(3).mode(mode).build().expect("valid"),
+            BalancerConfig::builder(3)
+                .mode(mode)
+                .build()
+                .expect("valid"),
         );
         let r = streambal_sim::run(&cfg, &mut policy).expect("ablation region runs");
         let rec = recovery_seconds(&r.samples, seconds / 8, 200);
@@ -72,7 +75,11 @@ pub fn decay(out: &Path) -> Vec<Table> {
             fmt3(decay),
             rec.map(|s| s.to_string()).unwrap_or_else(|| "never".into()),
             fmt_tput(r.final_throughput(10)),
-            r.samples.last().map(|s| s.weights[0]).unwrap_or(0).to_string(),
+            r.samples
+                .last()
+                .map(|s| s.weights[0])
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     // Static mode as the no-decay endpoint.
@@ -91,7 +98,11 @@ pub fn decay(out: &Path) -> Vec<Table> {
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| "never".into()),
             fmt_tput(r.final_throughput(10)),
-            r.samples.last().map(|s| s.weights[0]).unwrap_or(0).to_string(),
+            r.samples
+                .last()
+                .map(|s| s.weights[0])
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     table

@@ -175,7 +175,9 @@ pub fn fig07(out: &Path) -> Vec<Table> {
             .mult_ns(50.0)
             .worker_load(0, 100.0)
             .worker_load(1, 5.0)
-            .stop(streambal_sim::config::StopCondition::Duration(120 * SECOND_NS));
+            .stop(streambal_sim::config::StopCondition::Duration(
+                120 * SECOND_NS,
+            ));
         Scenario {
             name: "fig07".into(),
             config: b.build().expect("fig07 configuration is valid"),
@@ -242,10 +244,7 @@ pub fn fig11_top(out: &Path) -> Vec<Table> {
     let result = run_kind(&scenario, &PolicyKind::LbAdaptive);
     write_series(&result, out, "fig11_top");
     let table = print_series(&result, "fig11 top (every 10 s)", 10);
-    let last = result
-        .samples
-        .last()
-        .expect("in-depth runs record samples");
+    let last = result.samples.last().expect("in-depth runs record samples");
     println!(
         "final split: {:.0}% fast / {:.0}% slow (paper: ~65/35)\n",
         last.weights[0] as f64 / 10.0,
@@ -316,7 +315,12 @@ pub fn fig12(out: &Path) -> Vec<Table> {
         }
         pure_channels as f64 / n as f64
     };
-    if let Some(assignment) = result.samples.iter().rev().find_map(|s| s.clusters.as_ref()) {
+    if let Some(assignment) = result
+        .samples
+        .iter()
+        .rev()
+        .find_map(|s| s.clusters.as_ref())
+    {
         println!(
             "final cluster purity: {:.1}% of channels sit in class-pure clusters
 ",
@@ -325,10 +329,7 @@ pub fn fig12(out: &Path) -> Vec<Table> {
     }
 
     // Summary: mean final weight per load class.
-    let last = result
-        .samples
-        .last()
-        .expect("fig12 records samples");
+    let last = result.samples.last().expect("fig12 records samples");
     let class_mean = |range: std::ops::Range<usize>| -> f64 {
         let w: u32 = range.clone().map(|j| last.weights[j]).sum();
         w as f64 / range.len() as f64

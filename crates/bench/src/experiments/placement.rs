@@ -42,8 +42,7 @@ pub fn run(out: &Path) -> Vec<Table> {
     ] {
         let p = place(&spec, strategy);
         let fixed = co_simulate(&spec, &p, seconds, 2).expect("co-simulation runs");
-        let coupled =
-            co_simulate_coupled(&spec, &p, seconds).expect("coupled simulation runs");
+        let coupled = co_simulate_coupled(&spec, &p, seconds).expect("coupled simulation runs");
         let total = |runs: &[streambal_sim::metrics::RunResult]| -> f64 {
             runs.iter().map(|r| r.final_throughput(8)).sum()
         };

@@ -84,30 +84,22 @@ fn sweep_figure(
         .iter()
         .map(|&n| (n.to_string(), maybe_quick(scenario_fn(n, false))))
         .collect();
-    let (exec_static, _) = sweep(
-        &format!("{fig} static"),
-        static_runs,
-        &kinds,
-        "Oracle*",
-    );
+    let (exec_static, _) = sweep(&format!("{fig} static"), static_runs, &kinds, "Oracle*");
 
     let dynamic_runs: Vec<(String, Scenario)> = sizes
         .iter()
         .map(|&n| (n.to_string(), maybe_quick(scenario_fn(n, true))))
         .collect();
-    let (exec_dynamic, tput_dynamic) = sweep(
-        &format!("{fig} dynamic"),
-        dynamic_runs,
-        &kinds,
-        "Oracle*",
-    );
+    let (exec_dynamic, tput_dynamic) =
+        sweep(&format!("{fig} dynamic"), dynamic_runs, &kinds, "Oracle*");
 
     for (t, name) in [
         (&exec_static, format!("{fig}_static_exec.csv")),
         (&exec_dynamic, format!("{fig}_dynamic_exec.csv")),
         (&tput_dynamic, format!("{fig}_dynamic_tput.csv")),
     ] {
-        t.write_csv(out.join(name)).expect("results directory is writable");
+        t.write_csv(out.join(name))
+            .expect("results directory is writable");
     }
     println!("{exec_static}");
     println!("{exec_dynamic}");

@@ -19,7 +19,9 @@ pub fn results_dir() -> PathBuf {
 /// command line or `STREAMBAL_QUICK=1` in the environment.
 pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var("STREAMBAL_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("STREAMBAL_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Scales a scenario's workload down by `divisor` (durations, tuple counts

@@ -9,14 +9,16 @@
 //! Pass `--quick` (or set `STREAMBAL_QUICK=1`) to any binary to scale the
 //! workloads down ~8× for a fast smoke run; shapes persist, noise grows.
 //!
-//! Criterion micro-benchmarks for the algorithmic components (solvers,
-//! monotone regression, function updates, clustering, the event engine)
-//! live in `benches/`.
+//! Micro-benchmarks for the algorithmic components (solvers, monotone
+//! regression, function updates, clustering, the event engine) live in
+//! `benches/`, driven by the dependency-free [`micro`] harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod micro;
 
 pub use harness::{quick_requested, results_dir, run_kind, scale_scenario};
+pub use micro::{BenchStats, Micro};

@@ -1,0 +1,212 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Replaces the criterion dev-dependency so `cargo bench` works offline:
+//! each `benches/*.rs` file is a `harness = false` binary that drives
+//! [`Micro::run`] directly. The harness warms the benchmark up for a fixed
+//! wall-clock budget, then times individual iterations (through
+//! [`std::hint::black_box`]) for the measurement budget and reports
+//! mean/median/min per-iteration times plus optional element throughput.
+//!
+//! Honours `--quick` / `STREAMBAL_QUICK=1` (see
+//! [`quick_requested`](crate::quick_requested)) by shrinking both budgets
+//! ~5x.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark budgets: how long to warm up and how long to measure.
+#[derive(Debug, Clone, Copy)]
+pub struct Micro {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Micro {
+    /// Default budgets (300 ms warmup, 1 s measurement; ~5x less under
+    /// `--quick`).
+    pub fn new() -> Self {
+        if crate::quick_requested() {
+            Micro {
+                warmup: Duration::from_millis(60),
+                measure: Duration::from_millis(200),
+            }
+        } else {
+            Micro {
+                warmup: Duration::from_millis(300),
+                measure: Duration::from_secs(1),
+            }
+        }
+    }
+
+    /// Overrides the warmup budget, ms.
+    #[must_use]
+    pub fn warmup_ms(mut self, ms: u64) -> Self {
+        self.warmup = Duration::from_millis(ms);
+        self
+    }
+
+    /// Overrides the measurement budget, ms.
+    #[must_use]
+    pub fn measure_ms(mut self, ms: u64) -> Self {
+        self.measure = Duration::from_millis(ms);
+        self
+    }
+
+    /// Runs `f` repeatedly — warmup first, then timed iterations until the
+    /// measurement budget elapses — prints one report line and returns the
+    /// statistics. At least one iteration is always timed.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchStats {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+        }
+        let mut times_ns: Vec<u64> = Vec::new();
+        let measure_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            times_ns.push(t0.elapsed().as_nanos().try_into().unwrap_or(u64::MAX));
+            if measure_start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        let stats = BenchStats::from_times(name, &mut times_ns);
+        println!("{stats}");
+        stats
+    }
+}
+
+/// Per-iteration timing statistics for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Benchmark name as reported.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Mean time per iteration, ns.
+    pub mean_ns: f64,
+    /// Median time per iteration, ns.
+    pub median_ns: u64,
+    /// Fastest iteration, ns.
+    pub min_ns: u64,
+    /// Slowest iteration, ns.
+    pub max_ns: u64,
+}
+
+impl BenchStats {
+    /// Computes statistics from raw per-iteration times (sorts in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times_ns` is empty.
+    pub fn from_times(name: &str, times_ns: &mut [u64]) -> BenchStats {
+        assert!(!times_ns.is_empty(), "no timed iterations");
+        times_ns.sort_unstable();
+        let total: u128 = times_ns.iter().map(|&t| u128::from(t)).sum();
+        BenchStats {
+            name: name.to_owned(),
+            iters: times_ns.len() as u64,
+            mean_ns: total as f64 / times_ns.len() as f64,
+            median_ns: times_ns[times_ns.len() / 2],
+            min_ns: times_ns[0],
+            max_ns: times_ns[times_ns.len() - 1],
+        }
+    }
+
+    /// Elements processed per second, given elements per iteration (based
+    /// on the median iteration time).
+    pub fn throughput(&self, elements_per_iter: u64) -> f64 {
+        if self.median_ns == 0 {
+            return f64::INFINITY;
+        }
+        elements_per_iter as f64 * 1e9 / self.median_ns as f64
+    }
+
+    /// Prints a supplementary `elements/s` line under the standard report.
+    pub fn report_throughput(&self, elements_per_iter: u64) {
+        println!(
+            "{:<44}   {:>14.0} elements/s",
+            format!("  ({} elements/iter)", elements_per_iter),
+            self.throughput(elements_per_iter)
+        );
+    }
+}
+
+impl std::fmt::Display for BenchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} {:>8} iters  mean {:>10}  median {:>10}  min {:>10}",
+            self.name,
+            self.iters,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.median_ns as f64),
+            fmt_ns(self.min_ns as f64),
+        )
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (ns / µs / ms / s).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_known_times() {
+        let mut times = vec![30, 10, 20, 40, 100];
+        let s = BenchStats::from_times("t", &mut times);
+        assert_eq!(s.iters, 5);
+        assert!((s.mean_ns - 40.0).abs() < 1e-9);
+        assert_eq!(s.median_ns, 30);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no timed iterations")]
+    fn empty_times_panics() {
+        BenchStats::from_times("t", &mut []);
+    }
+
+    #[test]
+    fn throughput_uses_median() {
+        let mut times = vec![1_000, 1_000, 1_000];
+        let s = BenchStats::from_times("t", &mut times);
+        assert!((s.throughput(100) - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_times_at_least_once() {
+        let m = Micro::new().warmup_ms(0).measure_ms(1);
+        let mut calls = 0u64;
+        let s = m.run("noop", || calls += 1);
+        assert!(s.iters >= 1);
+        assert!(calls >= s.iters);
+    }
+
+    #[test]
+    fn ns_formatting_units() {
+        assert_eq!(fmt_ns(500.0), "500.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -26,6 +26,10 @@ SIMULATE OPTIONS:
     --tuples T             ...or until T tuples are delivered
     --seed N               simulation seed (default 42)
     --csv PATH             write the per-second trace as CSV
+    --metrics PATH         export the telemetry metric snapshot
+                           (.prom Prometheus text, .csv CSV, else JSONL)
+    --trace PATH           export the telemetry trace events
+                           (.csv CSV, else JSONL)
 
 PLACEMENT OPTIONS:
     --hosts LIST           as above (default fast,slow)
@@ -87,6 +91,8 @@ pub struct SimulateArgs {
     pub tuples: Option<u64>,
     pub seed: u64,
     pub csv: Option<String>,
+    pub metrics: Option<String>,
+    pub trace: Option<String>,
 }
 
 /// The `placement` subcommand.
@@ -210,6 +216,8 @@ fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
         tuples: None,
         seed: 42,
         csv: None,
+        metrics: None,
+        trace: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -260,6 +268,8 @@ fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
                     .map_err(|_| err("bad --seed"))?
             }
             "--csv" => a.csv = Some(take_value(flag, &mut it)?.to_owned()),
+            "--metrics" => a.metrics = Some(take_value(flag, &mut it)?.to_owned()),
+            "--trace" => a.trace = Some(take_value(flag, &mut it)?.to_owned()),
             other => return Err(err(format!("unknown flag '{other}'"))),
         }
     }
@@ -355,7 +365,8 @@ mod tests {
     fn simulate_full_flags() {
         let cmd = parse(&args(
             "simulate --workers 4 --base-cost 2000 --load 0=100@30 --load 1=5 \
-             --policy rr --seconds 120 --seed 7 --csv out.csv",
+             --policy rr --seconds 120 --seed 7 --csv out.csv \
+             --metrics metrics.jsonl --trace trace.jsonl",
         ))
         .unwrap();
         let Command::Simulate(a) = cmd else { panic!() };
@@ -364,12 +375,28 @@ mod tests {
         assert_eq!(
             a.loads,
             vec![
-                LoadArg { worker: 0, factor: 100.0, until_s: Some(30) },
-                LoadArg { worker: 1, factor: 5.0, until_s: None },
+                LoadArg {
+                    worker: 0,
+                    factor: 100.0,
+                    until_s: Some(30)
+                },
+                LoadArg {
+                    worker: 1,
+                    factor: 5.0,
+                    until_s: None
+                },
             ]
         );
         assert_eq!(a.policy, PolicyArg::Rr);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.metrics.as_deref(), Some("metrics.jsonl"));
+        assert_eq!(a.trace.as_deref(), Some("trace.jsonl"));
+    }
+
+    #[test]
+    fn metrics_and_trace_need_values() {
+        assert!(parse(&args("simulate --metrics")).is_err());
+        assert!(parse(&args("simulate --trace")).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use streambal_sim::host::Host;
 use streambal_sim::load::LoadSchedule;
 use streambal_sim::policy::{BalancerPolicy, Policy, RoundRobinPolicy};
 use streambal_sim::SECOND_NS;
+use streambal_telemetry::{export, Telemetry};
 use streambal_workloads::oracle;
 use streambal_workloads::report::Table;
 
@@ -51,10 +52,7 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
     for l in &a.loads {
         match l.until_s {
             Some(s) => {
-                b.worker_load_schedule(
-                    l.worker,
-                    LoadSchedule::step(l.factor, s * SECOND_NS, 1.0),
-                );
+                b.worker_load_schedule(l.worker, LoadSchedule::step(l.factor, s * SECOND_NS, 1.0));
             }
             None => {
                 b.worker_load(l.worker, l.factor);
@@ -83,7 +81,11 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
         }
     };
 
-    let result = streambal_sim::run(&cfg, policy.as_mut())?;
+    let telemetry = (a.metrics.is_some() || a.trace.is_some()).then(Telemetry::new);
+    let result = match &telemetry {
+        Some(t) => streambal_sim::run_with_telemetry(&cfg, policy.as_mut(), t)?,
+        None => streambal_sim::run(&cfg, policy.as_mut())?,
+    };
     println!(
         "policy {} delivered {} tuples in {:.1} simulated seconds \
          ({:.0} tuples/s mean, {:.0} tuples/s final)",
@@ -123,6 +125,32 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
         }
         table.write_csv(path)?;
         println!("trace written to {path}");
+    }
+
+    if let Some(t) = &telemetry {
+        result.publish(t.registry());
+        if let Some(path) = &a.metrics {
+            let snapshot = t.registry().snapshot();
+            let rendered = if path.ends_with(".prom") {
+                export::metrics_to_prometheus(&snapshot)
+            } else if path.ends_with(".csv") {
+                export::metrics_to_csv(&snapshot)
+            } else {
+                export::metrics_to_jsonl(&snapshot)
+            };
+            export::write_file(path, &rendered)?;
+            println!("metrics written to {path}");
+        }
+        if let Some(path) = &a.trace {
+            let records = t.trace().records();
+            let rendered = if path.ends_with(".csv") {
+                export::trace_to_csv(&records)
+            } else {
+                export::trace_to_jsonl(&records)
+            };
+            export::write_file(path, &rendered)?;
+            println!("telemetry trace written to {path}");
+        }
     }
     Ok(())
 }

@@ -36,10 +36,21 @@ fn unknown_flag_fails_with_usage() {
 #[test]
 fn simulate_runs_and_reports() {
     let out = streambal(&[
-        "simulate", "--workers", "2", "--load", "0=20", "--seconds", "10",
-        "--mult-ns", "500",
+        "simulate",
+        "--workers",
+        "2",
+        "--load",
+        "0=20",
+        "--seconds",
+        "10",
+        "--mult-ns",
+        "500",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("LB-adaptive"), "{text}");
     assert!(text.contains("final weights"));
@@ -51,8 +62,15 @@ fn simulate_writes_csv() {
     let path = dir.join("trace.csv");
     let path_str = path.to_str().unwrap();
     let out = streambal(&[
-        "simulate", "--workers", "2", "--seconds", "5", "--mult-ns", "500",
-        "--csv", path_str,
+        "simulate",
+        "--workers",
+        "2",
+        "--seconds",
+        "5",
+        "--mult-ns",
+        "500",
+        "--csv",
+        path_str,
     ]);
     assert!(out.status.success());
     let csv = std::fs::read_to_string(&path).expect("CSV written");
@@ -62,10 +80,83 @@ fn simulate_writes_csv() {
 }
 
 #[test]
+fn simulate_exports_metrics_and_trace() {
+    let dir = std::env::temp_dir().join(format!("streambal_cli_tel_{}", std::process::id()));
+    let metrics = dir.join("out.jsonl");
+    let trace = dir.join("trace.jsonl");
+    let out = streambal(&[
+        "simulate",
+        "--workers",
+        "2",
+        "--seconds",
+        "5",
+        "--mult-ns",
+        "500",
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics written to"), "{text}");
+    assert!(text.contains("telemetry trace written to"), "{text}");
+
+    let metrics_body = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        metrics_body.contains("\"sim.merger.delivered\""),
+        "{metrics_body}"
+    );
+    assert!(metrics_body.contains("\"sim.result.mean_throughput\""));
+
+    let trace_body = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(trace_body.contains("\"sample\""), "{trace_body}");
+    assert!(trace_body.contains("\"controller_round\""), "{trace_body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_exports_prometheus_metrics() {
+    let dir = std::env::temp_dir().join(format!("streambal_cli_prom_{}", std::process::id()));
+    let metrics = dir.join("metrics.prom");
+    let out = streambal(&[
+        "simulate",
+        "--workers",
+        "2",
+        "--tuples",
+        "2000",
+        "--mult-ns",
+        "500",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(body.contains("# TYPE"), "{body}");
+    assert!(body.contains("sim_merger_delivered"), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn simulate_rr_policy() {
     let out = streambal(&[
-        "simulate", "--workers", "3", "--policy", "rr", "--tuples", "5000",
-        "--mult-ns", "500",
+        "simulate",
+        "--workers",
+        "3",
+        "--policy",
+        "rr",
+        "--tuples",
+        "5000",
+        "--mult-ns",
+        "500",
     ]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("policy RR delivered 5000"));
@@ -74,10 +165,19 @@ fn simulate_rr_policy() {
 #[test]
 fn placement_reports_strategies() {
     let out = streambal(&[
-        "placement", "--hosts", "fast,slow", "--region", "pes=4,cost=10000",
-        "--strategy", "local-search",
+        "placement",
+        "--hosts",
+        "fast,slow",
+        "--region",
+        "pes=4,cost=10000",
+        "--strategy",
+        "local-search",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("PEs per host"));
     assert!(text.contains("min region"));
@@ -86,7 +186,11 @@ fn placement_reports_strategies() {
 #[test]
 fn placement_rejects_bad_strategy() {
     let out = streambal(&[
-        "placement", "--region", "pes=4,cost=10000", "--strategy", "magic",
+        "placement",
+        "--region",
+        "pes=4,cost=10000",
+        "--strategy",
+        "magic",
     ]);
     assert!(!out.status.success());
 }

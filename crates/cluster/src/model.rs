@@ -240,8 +240,7 @@ mod tests {
         let balanced = Placement::from_assignment(vec![vec![0, 1], vec![0, 1]]);
         assert!(s.min_region_throughput(&balanced) > 0.0);
         assert!(
-            (s.min_region_throughput(&balanced) - s.total_throughput(&balanced) / 2.0).abs()
-                < 1.0
+            (s.min_region_throughput(&balanced) - s.total_throughput(&balanced) / 2.0).abs() < 1.0
         );
     }
 }

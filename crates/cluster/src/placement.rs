@@ -231,10 +231,7 @@ mod tests {
         let spec = two_host_spec();
         let greedy = place(&spec, Strategy::CapacityAware);
         let refined = place(&spec, Strategy::LocalSearch);
-        assert!(
-            spec.min_region_throughput(&refined)
-                >= spec.min_region_throughput(&greedy) - 1e-6
-        );
+        assert!(spec.min_region_throughput(&refined) >= spec.min_region_throughput(&greedy) - 1e-6);
     }
 
     #[test]
@@ -265,6 +262,9 @@ mod tests {
         .unwrap();
         let p = place(&spec, Strategy::CapacityAware);
         let counts = spec.pes_per_host(&p);
-        assert!(counts[0] >= 7, "fast host should take nearly all PEs: {counts:?}");
+        assert!(
+            counts[0] >= 7,
+            "fast host should take nearly all PEs: {counts:?}"
+        );
     }
 }

@@ -129,12 +129,7 @@ pub fn co_simulate(
     iterations: usize,
 ) -> Result<Vec<RunResult>, ConfigError> {
     assert!(iterations > 0, "need at least one iteration");
-    let regions = spec.regions().len();
-    let mut utilizations: Vec<Vec<f64>> = spec
-        .regions()
-        .iter()
-        .map(|r| vec![1.0; r.pes])
-        .collect();
+    let mut utilizations: Vec<Vec<f64>> = spec.regions().iter().map(|r| vec![1.0; r.pes]).collect();
     let mut results = Vec::new();
     for _ in 0..iterations {
         // Demanded hardware threads per host under current utilizations.
@@ -145,7 +140,7 @@ pub fn co_simulate(
             }
         }
         results.clear();
-        for r in 0..regions {
+        for (r, utilization) in utilizations.iter_mut().enumerate() {
             let speeds: Vec<f64> = placement.assignment()[r]
                 .iter()
                 .map(|&h| {
@@ -161,7 +156,7 @@ pub fn co_simulate(
                     .expect("region-sized balancer config is valid"),
             );
             let run = streambal_sim::run(&cfg, &mut policy)?;
-            utilizations[r] = (0..spec.regions()[r].pes)
+            *utilization = (0..spec.regions()[r].pes)
                 .map(|j| run.worker_utilization(j))
                 .collect();
             results.push(run);

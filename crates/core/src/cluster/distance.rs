@@ -51,6 +51,9 @@ pub fn distance(a: &Knee, b: &Knee, resolution: u32) -> f64 {
 }
 
 #[cfg(test)]
+// Blocking-rate functions below are built point-by-point with explicit
+// indices, mirroring the weight axis they model.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::cluster::knee_of;
@@ -62,8 +65,12 @@ mod tests {
 
     #[test]
     fn distance_is_symmetric() {
-        let f: Vec<f64> = (0..=100).map(|i| if i < 40 { 0.0 } else { (i - 40) as f64 * 0.01 }).collect();
-        let g: Vec<f64> = (0..=100).map(|i| if i < 10 { 0.0 } else { (i - 10) as f64 * 0.1 }).collect();
+        let f: Vec<f64> = (0..=100)
+            .map(|i| if i < 40 { 0.0 } else { (i - 40) as f64 * 0.01 })
+            .collect();
+        let g: Vec<f64> = (0..=100)
+            .map(|i| if i < 10 { 0.0 } else { (i - 10) as f64 * 0.1 })
+            .collect();
         let (kf, kg) = (knee_of(&f), knee_of(&g));
         let d1 = distance(&kf, &kg, 100);
         let d2 = distance(&kg, &kf, 100);

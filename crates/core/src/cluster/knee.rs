@@ -40,7 +40,10 @@ pub struct Knee {
 /// assert_eq!(k.rate_at_max, 0.2);
 /// ```
 pub fn knee_of(predicted: &[f64]) -> Knee {
-    assert!(predicted.len() >= 2, "function domain must have at least two points");
+    assert!(
+        predicted.len() >= 2,
+        "function domain must have at least two points"
+    );
     let r = predicted.len() - 1;
     let service_weight = predicted
         .iter()

@@ -53,7 +53,10 @@ mod tests {
         b.observe(50, 0.4);
         b.observe(80, 1.0);
         let mut g = aggregate_functions(&[&a, &b], 1.0);
-        assert!((g.value(50) - 0.3).abs() < 1e-12, "averaged at shared weight");
+        assert!(
+            (g.value(50) - 0.3).abs() < 1e-12,
+            "averaged at shared weight"
+        );
         assert!((g.value(80) - 1.0).abs() < 1e-12, "kept unique point");
     }
 

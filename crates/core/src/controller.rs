@@ -21,6 +21,8 @@
 
 use std::fmt;
 
+use streambal_telemetry::{TraceBuffer, TraceEvent};
+
 use crate::cluster::{self, Clustering};
 use crate::function::BlockingRateFunction;
 use crate::rate::ConnectionSample;
@@ -284,6 +286,8 @@ pub struct LoadBalancer {
     weights: WeightVector,
     round: u64,
     last_clusters: Option<Clustering>,
+    trace: Option<TraceBuffer>,
+    pending_rates: Vec<f64>,
 }
 
 impl LoadBalancer {
@@ -293,13 +297,30 @@ impl LoadBalancer {
             .map(|_| BlockingRateFunction::new(cfg.resolution, cfg.smoothing))
             .collect();
         let weights = WeightVector::even(cfg.connections, cfg.resolution);
+        let pending_rates = vec![0.0; cfg.connections];
         LoadBalancer {
             cfg,
             functions,
             weights,
             round: 0,
             last_clusters: None,
+            trace: None,
+            pending_rates,
         }
+    }
+
+    /// Attaches a telemetry trace buffer: from now on every rebalance
+    /// round emits [`TraceEvent::ControllerRound`] (observed rates, input
+    /// and output weights), plus [`TraceEvent::Decay`],
+    /// [`TraceEvent::Exploration`] and [`TraceEvent::ClusterUpdate`]
+    /// events as those decisions occur.
+    pub fn attach_trace(&mut self, trace: TraceBuffer) {
+        self.trace = Some(trace);
+    }
+
+    /// The attached trace buffer, if any.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
     }
 
     /// The current allocation weights.
@@ -369,6 +390,7 @@ impl LoadBalancer {
             }
             let w = self.weights.units()[s.connection];
             self.functions[s.connection].observe(w, rate);
+            self.pending_rates[s.connection] = rate;
         }
     }
 
@@ -379,28 +401,44 @@ impl LoadBalancer {
     /// split is the only defensible prior).
     pub fn rebalance(&mut self) -> &WeightVector {
         self.round += 1;
+        let weights_before: Vec<u32> = self.weights.units().to_vec();
 
         if let BalancerMode::Adaptive { decay } = self.cfg.mode {
             for (j, f) in self.functions.iter_mut().enumerate() {
                 f.decay_above(self.weights.units()[j], decay);
             }
+            if let Some(trace) = &self.trace {
+                trace.push(TraceEvent::Decay {
+                    round: self.round,
+                    decay,
+                });
+            }
         }
 
         let has_data = self.functions.iter().any(|f| f.raw_len() > 1);
-        if !has_data {
-            return &self.weights;
+        if has_data {
+            let clustering_active = self
+                .cfg
+                .clustering
+                .map(|c| self.cfg.connections >= c.min_connections)
+                .unwrap_or(false);
+
+            if clustering_active {
+                self.rebalance_clustered();
+            } else {
+                self.rebalance_plain();
+            }
         }
 
-        let clustering_active = self
-            .cfg
-            .clustering
-            .map(|c| self.cfg.connections >= c.min_connections)
-            .unwrap_or(false);
-
-        if clustering_active {
-            self.rebalance_clustered();
+        if let Some(trace) = &self.trace {
+            trace.push(TraceEvent::ControllerRound {
+                round: self.round,
+                rates: std::mem::replace(&mut self.pending_rates, vec![0.0; self.cfg.connections]),
+                weights_before,
+                weights_after: self.weights.units().to_vec(),
+            });
         } else {
-            self.rebalance_plain();
+            self.pending_rates.iter_mut().for_each(|r| *r = 0.0);
         }
         &self.weights
     }
@@ -452,6 +490,7 @@ impl LoadBalancer {
     }
 
     fn rebalance_plain(&mut self) {
+        let old_units: Vec<u32> = self.weights.units().to_vec();
         let (lower, upper) = self.step_bounds();
         let predicted: Vec<Vec<f64>> = self
             .functions
@@ -469,13 +508,29 @@ impl LoadBalancer {
             .expect("function domains are consistent by construction")
             .with_bounds(lower, upper)
             .expect("bounds derived from current weights are valid")
-            .with_tie_priority(priority)
+            .with_tie_priority(priority.clone())
             .expect("priority vector matches the connection count");
         let allocation = fox::solve(&problem)
             .expect("bounds bracketing the current weights are always feasible");
         self.weights = WeightVector::from_units(allocation.weights, self.cfg.resolution)
             .expect("fox assigns exactly R units for multiplicity-1 problems");
         self.last_clusters = None;
+
+        if let Some(trace) = &self.trace {
+            // An exploration step is a weight increase past the clean
+            // frontier — the controller probing predicted-blocking
+            // territory.
+            for (j, (&old, &new)) in old_units.iter().zip(self.weights.units()).enumerate() {
+                if new > old && u64::from(new) > priority[j] {
+                    trace.push(TraceEvent::Exploration {
+                        round: self.round,
+                        connection: j,
+                        from: old,
+                        to: new,
+                    });
+                }
+            }
+        }
     }
 
     fn rebalance_clustered(&mut self) {
@@ -549,8 +604,8 @@ impl LoadBalancer {
             .expect("cluster sizes are positive")
             .with_tie_priority(cluster_frontiers.clone())
             .expect("priority vector matches the cluster count");
-        let allocation = fox::solve(&problem)
-            .expect("keep-current upper bounds always cover R units");
+        let allocation =
+            fox::solve(&problem).expect("keep-current upper bounds always cover R units");
 
         // 4. Expand per-cluster weights to members and hand out the
         //    remainder (< max cluster size) unit-by-unit, cheapest marginal
@@ -589,6 +644,18 @@ impl LoadBalancer {
 
         self.weights = WeightVector::from_units(units, r)
             .expect("cluster expansion plus remainder distribution totals R");
+        if let Some(trace) = &self.trace {
+            let changed = self
+                .last_clusters
+                .as_ref()
+                .is_none_or(|prev| prev.assignment != clustering.assignment);
+            if changed {
+                trace.push(TraceEvent::ClusterUpdate {
+                    round: self.round,
+                    assignment: clustering.assignment.clone(),
+                });
+            }
+        }
         self.last_clusters = Some(clustering);
     }
 }
@@ -776,17 +843,91 @@ mod tests {
     }
 
     #[test]
+    fn trace_records_rounds_decay_and_rates() {
+        use streambal_telemetry::{TraceBuffer, TraceEvent};
+        let mut lb = balancer(2);
+        let trace = TraceBuffer::with_capacity(64);
+        lb.attach_trace(trace.clone());
+        lb.observe(&[ConnectionSample::new(0, 0.9)]);
+        lb.rebalance();
+        let events = trace.events();
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::Decay { round: 1, decay } if (decay - 0.9).abs() < 1e-12)
+        ));
+        let round = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::ControllerRound {
+                    round,
+                    rates,
+                    weights_before,
+                    weights_after,
+                } => Some((
+                    round,
+                    rates.clone(),
+                    weights_before.clone(),
+                    weights_after.clone(),
+                )),
+                _ => None,
+            })
+            .expect("controller round recorded");
+        assert_eq!(*round.0, 1);
+        assert_eq!(round.1, vec![0.9, 0.0]);
+        assert_eq!(round.2, vec![500, 500]);
+        assert_eq!(round.3, lb.weights().units());
+        // Pending rates reset between rounds.
+        lb.rebalance();
+        let last = trace.events().into_iter().last().unwrap();
+        assert!(matches!(
+            last,
+            TraceEvent::ControllerRound { ref rates, .. } if rates == &vec![0.0, 0.0]
+        ));
+    }
+
+    #[test]
+    fn trace_records_cluster_updates_once_per_change() {
+        use streambal_telemetry::{TraceBuffer, TraceEvent};
+        let cfg = BalancerConfig::builder(32)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        let trace = TraceBuffer::with_capacity(1024);
+        lb.attach_trace(trace.clone());
+        for j in 0..16 {
+            lb.observe(&[ConnectionSample::new(j, 0.8)]);
+        }
+        lb.rebalance();
+        lb.rebalance(); // same assignment: no second ClusterUpdate
+        let updates: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::ClusterUpdate { .. }))
+            .collect();
+        assert_eq!(updates.len(), 1);
+        if let TraceEvent::ClusterUpdate { assignment, .. } = &updates[0] {
+            assert_eq!(assignment.len(), 32);
+        }
+    }
+
+    #[test]
     fn config_validation() {
         assert_eq!(
             BalancerConfig::builder(0).build().unwrap_err(),
             ConfigError::NoConnections
         );
         assert_eq!(
-            BalancerConfig::builder(10).resolution(5).build().unwrap_err(),
+            BalancerConfig::builder(10)
+                .resolution(5)
+                .build()
+                .unwrap_err(),
             ConfigError::BadResolution
         );
         assert_eq!(
-            BalancerConfig::builder(2).smoothing(0.0).build().unwrap_err(),
+            BalancerConfig::builder(2)
+                .smoothing(0.0)
+                .build()
+                .unwrap_err(),
             ConfigError::BadFactor
         );
         assert_eq!(

@@ -88,7 +88,10 @@ impl BlockingRateFunction {
     /// Panics if `weight > resolution` or `rate` is negative/non-finite.
     pub fn observe(&mut self, weight: u32, rate: f64) {
         assert!(weight <= self.resolution, "weight out of domain");
-        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and >= 0");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and >= 0"
+        );
         if weight == 0 {
             return;
         }
@@ -235,8 +238,8 @@ impl BlockingRateFunction {
                 0.0
             };
             let base = fit[xs.len() - 1];
-            for x in last + 1..=r {
-                out[x] = base + slope * (x - last) as f64;
+            for (i, o) in out[last + 1..=r].iter_mut().enumerate() {
+                *o = base + slope * (i + 1) as f64;
             }
         }
     }
@@ -244,7 +247,12 @@ impl BlockingRateFunction {
 
 impl fmt::Display for BlockingRateFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "F({} raw points over 0..={})", self.raw.len(), self.resolution)
+        write!(
+            f,
+            "F({} raw points over 0..={})",
+            self.raw.len(),
+            self.resolution
+        )
     }
 }
 
@@ -368,8 +376,7 @@ mod tests {
 
     #[test]
     fn from_raw_points_averages_duplicates() {
-        let mut f =
-            BlockingRateFunction::from_raw_points(1000, 0.5, vec![(500, 0.2), (500, 0.4)]);
+        let mut f = BlockingRateFunction::from_raw_points(1000, 0.5, vec![(500, 0.2), (500, 0.4)]);
         assert!((f.value(500) - 0.3).abs() < 1e-12);
     }
 

@@ -49,12 +49,14 @@ pub mod controller;
 pub mod function;
 pub mod pava;
 pub mod rate;
+pub mod rng;
 pub mod solver;
 pub mod weights;
 
 pub use controller::{BalancerConfig, BalancerMode, LoadBalancer};
 pub use function::BlockingRateFunction;
 pub use rate::{BlockingRate, ConnectionSample};
+pub use rng::SplitMix64;
 pub use weights::{WeightVector, WrrScheduler, DEFAULT_RESOLUTION};
 
 /// The smallest blocking-rate value distinguishable from zero.

@@ -27,7 +27,11 @@
 /// assert_eq!(fit, vec![1.0, 2.5, 2.5]);
 /// ```
 pub fn isotonic_non_decreasing(y: &[f64], weights: &[f64]) -> Vec<f64> {
-    assert_eq!(y.len(), weights.len(), "y and weights must have equal length");
+    assert_eq!(
+        y.len(),
+        weights.len(),
+        "y and weights must have equal length"
+    );
     for (&v, &w) in y.iter().zip(weights) {
         assert!(v.is_finite(), "values must be finite");
         assert!(w.is_finite() && w > 0.0, "weights must be finite and > 0");
@@ -58,7 +62,7 @@ pub fn isotonic_non_decreasing(y: &[f64], weights: &[f64]) -> Vec<f64> {
 
     let mut fit = Vec::with_capacity(y.len());
     for (mean, _, count) in blocks {
-        fit.extend(std::iter::repeat(mean).take(count));
+        fit.extend(std::iter::repeat_n(mean, count));
     }
     fit
 }

@@ -25,7 +25,10 @@ impl BlockingRate {
     ///
     /// Panics if `rate` is negative or not finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate >= 0.0, "blocking rate must be finite and >= 0");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "blocking rate must be finite and >= 0"
+        );
         BlockingRate(rate)
     }
 

@@ -101,7 +101,10 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
     // Binary search the smallest feasible candidate.
     let mut lo = 0usize;
     let mut hi = candidates.len() - 1;
-    debug_assert!(feasible(candidates[hi]), "upper-bound sum was checked feasible");
+    debug_assert!(
+        feasible(candidates[hi]),
+        "upper-bound sum was checked feasible"
+    );
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if feasible(candidates[mid]) {

@@ -238,7 +238,11 @@ mod tests {
         let a = solve(&p).unwrap();
         assert_eq!(a.assigned, 9);
         assert_eq!(
-            a.weights.iter().zip([3u64, 3]).map(|(&w, m)| u64::from(w) * m).sum::<u64>(),
+            a.weights
+                .iter()
+                .zip([3u64, 3])
+                .map(|(&w, m)| u64::from(w) * m)
+                .sum::<u64>(),
             9
         );
     }

@@ -240,7 +240,7 @@ mod tests {
 
     #[test]
     fn lower_bounds_pin_objective() {
-        let steep: Vec<f64> = (0..=10).map(|i| f64::from(i)).collect();
+        let steep: Vec<f64> = (0..=10).map(f64::from).collect();
         let flat = vec![0.0; 11];
         let p = Problem::new(vec![&steep, &flat], 10)
             .unwrap()

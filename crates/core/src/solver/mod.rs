@@ -65,12 +65,16 @@ impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveError::Empty => write!(f, "problem has no functions"),
-            SolveError::BadFunctionLength { index, len, expected } => write!(
-                f,
-                "function {index} has length {len}, expected {expected}"
-            ),
+            SolveError::BadFunctionLength {
+                index,
+                len,
+                expected,
+            } => write!(f, "function {index} has length {len}, expected {expected}"),
             SolveError::BadVectorLength => {
-                write!(f, "bounds/multiplicity length does not match function count")
+                write!(
+                    f,
+                    "bounds/multiplicity length does not match function count"
+                )
             }
             SolveError::BadBounds { index } => write!(f, "invalid bounds for item {index}"),
             SolveError::ZeroMultiplicity { index } => {
@@ -303,7 +307,10 @@ mod tests {
     fn problem_validates_function_length() {
         let f0 = vec![0.0; 10];
         let err = Problem::new(vec![&f0], 10).unwrap_err();
-        assert!(matches!(err, SolveError::BadFunctionLength { expected: 11, .. }));
+        assert!(matches!(
+            err,
+            SolveError::BadFunctionLength { expected: 11, .. }
+        ));
     }
 
     #[test]

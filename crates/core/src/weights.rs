@@ -71,9 +71,7 @@ impl WeightVector {
         assert!(resolution > 0, "resolution must be positive");
         let base = resolution / n as u32;
         let extra = (resolution % n as u32) as usize;
-        let units = (0..n)
-            .map(|j| base + u32::from(j < extra))
-            .collect();
+        let units = (0..n).map(|j| base + u32::from(j < extra)).collect();
         WeightVector { units, resolution }
     }
 
@@ -111,7 +109,10 @@ impl WeightVector {
         assert!(!fractions.is_empty(), "need at least one connection");
         assert!(resolution > 0, "resolution must be positive");
         for &f in fractions {
-            assert!(f.is_finite() && f >= 0.0, "fractions must be finite and >= 0");
+            assert!(
+                f.is_finite() && f >= 0.0,
+                "fractions must be finite and >= 0"
+            );
         }
         let total: f64 = fractions.iter().sum();
         if total <= 0.0 {
@@ -137,10 +138,7 @@ impl WeightVector {
             units[j] += 1;
             leftover -= 1;
         }
-        WeightVector {
-            units,
-            resolution,
-        }
+        WeightVector { units, resolution }
     }
 
     /// The per-connection units. Sums to [`resolution`](Self::resolution).
@@ -185,7 +183,11 @@ impl fmt::Display for WeightVector {
             if j > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{:.1}%", f64::from(u) * 100.0 / f64::from(self.resolution))?;
+            write!(
+                f,
+                "{:.1}%",
+                f64::from(u) * 100.0 / f64::from(self.resolution)
+            )?;
         }
         write!(f, "]")
     }

@@ -1,163 +1,217 @@
-//! Property-based tests for the core invariants listed in DESIGN.md §6.
+//! Randomized tests for the core invariants listed in DESIGN.md §6.
+//!
+//! These were originally proptest properties; they now run on the in-repo
+//! seeded [`SplitMix64`] generator so the default test suite needs no
+//! external crates (and every failure is reproducible from the fixed
+//! seeds below).
 
-use proptest::prelude::*;
-
+use streambal_core::cluster;
 use streambal_core::controller::{BalancerConfig, LoadBalancer};
 use streambal_core::function::BlockingRateFunction;
 use streambal_core::pava::isotonic_non_decreasing;
 use streambal_core::rate::ConnectionSample;
+use streambal_core::rng::SplitMix64;
 use streambal_core::solver::{bisect, brute, fox, galil_megiddo, Problem};
 use streambal_core::weights::{WeightVector, WrrScheduler};
-use streambal_core::cluster;
+
+const CASES: u64 = 64;
 
 fn is_non_decreasing(v: &[f64]) -> bool {
     v.windows(2).all(|w| w[0] <= w[1] + 1e-9)
 }
 
 /// A random non-decreasing function over `0..=r` starting at 0.
-fn monotone_function(r: u32) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..0.25, r as usize).prop_map(|increments| {
-        let mut f = Vec::with_capacity(increments.len() + 1);
-        let mut acc = 0.0;
-        f.push(0.0);
-        for inc in increments {
-            acc += inc;
-            f.push(acc);
-        }
-        f
-    })
+fn monotone_function(r: u32, rng: &mut SplitMix64) -> Vec<f64> {
+    let mut f = Vec::with_capacity(r as usize + 1);
+    let mut acc = 0.0;
+    f.push(0.0);
+    for _ in 0..r {
+        acc += rng.frange(0.0, 0.25);
+        f.push(acc);
+    }
+    f
 }
 
-proptest! {
-    #[test]
-    fn pava_output_is_monotone_and_mean_preserving(
-        y in proptest::collection::vec(-10.0f64..10.0, 1..40),
-        w in proptest::collection::vec(0.1f64..5.0, 40),
-    ) {
-        let w = &w[..y.len()];
-        let fit = isotonic_non_decreasing(&y, w);
-        prop_assert!(is_non_decreasing(&fit));
-        let m0: f64 = y.iter().zip(w).map(|(a, b)| a * b).sum();
-        let m1: f64 = fit.iter().zip(w).map(|(a, b)| a * b).sum();
-        prop_assert!((m0 - m1).abs() < 1e-6 * (1.0 + m0.abs()));
-    }
+fn f64_vec(rng: &mut SplitMix64, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.frange(lo, hi)).collect()
+}
 
-    #[test]
-    fn pava_beats_any_sorted_candidate(
-        y in proptest::collection::vec(-10.0f64..10.0, 1..30),
-    ) {
+#[test]
+fn pava_output_is_monotone_and_mean_preserving() {
+    let mut rng = SplitMix64::new(0xC0DE_0001);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 39);
+        let y = f64_vec(&mut rng, len, -10.0, 10.0);
+        let w = f64_vec(&mut rng, len, 0.1, 5.0);
+        let fit = isotonic_non_decreasing(&y, &w);
+        assert!(is_non_decreasing(&fit));
+        let m0: f64 = y.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let m1: f64 = fit.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert!((m0 - m1).abs() < 1e-6 * (1.0 + m0.abs()));
+    }
+}
+
+#[test]
+fn pava_beats_any_sorted_candidate() {
+    let mut rng = SplitMix64::new(0xC0DE_0002);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 29);
+        let y = f64_vec(&mut rng, len, -10.0, 10.0);
         // The fit must have no larger squared error than the (monotone)
         // candidate obtained by sorting the input.
         let fit = isotonic_non_decreasing(&y, &vec![1.0; y.len()]);
         let mut candidate = y.clone();
         candidate.sort_by(f64::total_cmp);
-        let sse = |v: &[f64]| -> f64 {
-            v.iter().zip(&y).map(|(a, b)| (a - b).powi(2)).sum()
-        };
-        prop_assert!(sse(&fit) <= sse(&candidate) + 1e-9);
+        let sse = |v: &[f64]| -> f64 { v.iter().zip(&y).map(|(a, b)| (a - b).powi(2)).sum() };
+        assert!(sse(&fit) <= sse(&candidate) + 1e-9);
     }
+}
 
-    #[test]
-    fn pava_is_idempotent(
-        y in proptest::collection::vec(-10.0f64..10.0, 1..40),
-    ) {
+#[test]
+fn pava_is_idempotent() {
+    let mut rng = SplitMix64::new(0xC0DE_0003);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 39);
+        let y = f64_vec(&mut rng, len, -10.0, 10.0);
         let fit = isotonic_non_decreasing(&y, &vec![1.0; y.len()]);
         let fit2 = isotonic_non_decreasing(&fit, &vec![1.0; y.len()]);
         for (a, b) in fit.iter().zip(&fit2) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn weight_vector_from_fractions_sums_to_resolution(
-        fracs in proptest::collection::vec(0.0f64..100.0, 1..64),
-        resolution in 1u32..5000,
-    ) {
+#[test]
+fn weight_vector_from_fractions_sums_to_resolution() {
+    let mut rng = SplitMix64::new(0xC0DE_0004);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 63);
+        let fracs = f64_vec(&mut rng, len, 0.0, 100.0);
+        let resolution = rng.range_u32(1, 4_999);
         let w = WeightVector::from_fractions(&fracs, resolution);
-        prop_assert_eq!(w.units().iter().map(|&u| u64::from(u)).sum::<u64>(),
-                        u64::from(resolution));
-        prop_assert_eq!(w.len(), fracs.len());
+        assert_eq!(
+            w.units().iter().map(|&u| u64::from(u)).sum::<u64>(),
+            u64::from(resolution)
+        );
+        assert_eq!(w.len(), fracs.len());
     }
+}
 
-    #[test]
-    fn wrr_long_run_frequencies_are_exact(
-        units in proptest::collection::vec(0u32..50, 2..10),
-    ) {
-        prop_assume!(units.iter().sum::<u32>() > 0);
+#[test]
+fn wrr_long_run_frequencies_are_exact() {
+    let mut rng = SplitMix64::new(0xC0DE_0005);
+    let mut cases = 0;
+    while cases < CASES {
+        let len = rng.range_usize(2, 9);
+        let units: Vec<u32> = (0..len).map(|_| rng.range_u32(0, 49)).collect();
         let total: u32 = units.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        cases += 1;
         let w = WeightVector::from_units(units.clone(), total).unwrap();
         let mut wrr = WrrScheduler::new(&w);
         let mut counts = vec![0u32; units.len()];
         for _ in 0..total {
             counts[wrr.pick()] += 1;
         }
-        prop_assert_eq!(counts, units);
+        assert_eq!(counts, units);
     }
+}
 
-    #[test]
-    fn fox_matches_brute_force(
-        funcs in proptest::collection::vec(monotone_function(12), 2..4),
-    ) {
+#[test]
+fn fox_matches_brute_force() {
+    let mut rng = SplitMix64::new(0xC0DE_0006);
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 3);
+        let funcs: Vec<Vec<f64>> = (0..n).map(|_| monotone_function(12, &mut rng)).collect();
         let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
         let p = Problem::new(slices, 12).unwrap();
         let a = fox::solve(&p).unwrap();
         let b = brute::solve(&p).unwrap();
-        prop_assert!((a.objective - b.objective).abs() < 1e-9,
-            "fox {} vs brute {}", a.objective, b.objective);
-        prop_assert_eq!(a.weights.iter().sum::<u32>(), 12);
+        assert!(
+            (a.objective - b.objective).abs() < 1e-9,
+            "fox {} vs brute {}",
+            a.objective,
+            b.objective
+        );
+        assert_eq!(a.weights.iter().sum::<u32>(), 12);
     }
+}
 
-    #[test]
-    fn fox_matches_brute_force_with_bounds(
-        funcs in proptest::collection::vec(monotone_function(10), 2..4),
-        lowers in proptest::collection::vec(0u32..3, 4),
-        uppers in proptest::collection::vec(5u32..10, 4),
-    ) {
-        let n = funcs.len();
+#[test]
+fn fox_matches_brute_force_with_bounds() {
+    let mut rng = SplitMix64::new(0xC0DE_0007);
+    let mut cases = 0;
+    while cases < CASES {
+        let n = rng.range_usize(2, 3);
+        let funcs: Vec<Vec<f64>> = (0..n).map(|_| monotone_function(10, &mut rng)).collect();
+        let lower: Vec<u32> = (0..n).map(|_| rng.range_u32(0, 2)).collect();
+        let upper: Vec<u32> = (0..n).map(|_| rng.range_u32(5, 9)).collect();
         let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
-        let lower = lowers[..n].to_vec();
-        let upper = uppers[..n].to_vec();
-        let p = Problem::new(slices, 10).unwrap()
-            .with_bounds(lower.clone(), upper.clone()).unwrap();
-        prop_assume!(p.check_feasible().is_ok());
+        let p = Problem::new(slices, 10)
+            .unwrap()
+            .with_bounds(lower.clone(), upper.clone())
+            .unwrap();
+        if p.check_feasible().is_err() {
+            continue;
+        }
+        cases += 1;
         let a = fox::solve(&p).unwrap();
         let b = brute::solve(&p).unwrap();
-        prop_assert!((a.objective - b.objective).abs() < 1e-9);
+        assert!((a.objective - b.objective).abs() < 1e-9);
         for (j, &w) in a.weights.iter().enumerate() {
-            prop_assert!(w >= lower[j] && w <= upper[j]);
+            assert!(w >= lower[j] && w <= upper[j]);
         }
     }
+}
 
-    #[test]
-    fn bisect_matches_fox(
-        funcs in proptest::collection::vec(monotone_function(60), 2..8),
-    ) {
+#[test]
+fn bisect_matches_fox() {
+    let mut rng = SplitMix64::new(0xC0DE_0008);
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 7);
+        let funcs: Vec<Vec<f64>> = (0..n).map(|_| monotone_function(60, &mut rng)).collect();
         let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
         let p = Problem::new(slices, 60).unwrap();
         let a = fox::solve(&p).unwrap();
         let b = bisect::solve(&p).unwrap();
-        prop_assert!((a.objective - b.objective).abs() < 1e-9,
-            "fox {} vs bisect {}", a.objective, b.objective);
-        prop_assert_eq!(b.weights.iter().sum::<u32>(), 60);
+        assert!(
+            (a.objective - b.objective).abs() < 1e-9,
+            "fox {} vs bisect {}",
+            a.objective,
+            b.objective
+        );
+        assert_eq!(b.weights.iter().sum::<u32>(), 60);
     }
+}
 
-    #[test]
-    fn galil_megiddo_matches_fox(
-        funcs in proptest::collection::vec(monotone_function(60), 2..8),
-    ) {
+#[test]
+fn galil_megiddo_matches_fox() {
+    let mut rng = SplitMix64::new(0xC0DE_0009);
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 7);
+        let funcs: Vec<Vec<f64>> = (0..n).map(|_| monotone_function(60, &mut rng)).collect();
         let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
         let p = Problem::new(slices, 60).unwrap();
         let a = fox::solve(&p).unwrap();
         let b = galil_megiddo::solve(&p).unwrap();
-        prop_assert!((a.objective - b.objective).abs() < 1e-9,
-            "fox {} vs gm {}", a.objective, b.objective);
-        prop_assert_eq!(b.weights.iter().sum::<u32>(), 60);
+        assert!(
+            (a.objective - b.objective).abs() < 1e-9,
+            "fox {} vs gm {}",
+            a.objective,
+            b.objective
+        );
+        assert_eq!(b.weights.iter().sum::<u32>(), 60);
     }
+}
 
-    #[test]
-    fn wrr_is_maximally_smooth(
-        units in proptest::collection::vec(1u32..40, 2..8),
-    ) {
+#[test]
+fn wrr_is_maximally_smooth() {
+    let mut rng = SplitMix64::new(0xC0DE_000A);
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 7);
+        let units: Vec<u32> = (0..n).map(|_| rng.range_u32(1, 39)).collect();
         // Smoothness guarantee: a connection with share w_j/total is never
         // starved for much longer than its ideal inter-pick distance — we
         // assert a 2x bound, comfortably met by interleaved smooth WRR (the
@@ -172,7 +226,7 @@ proptest! {
             for (i, &p) in picks.iter().enumerate() {
                 if p == j {
                     if let Some(prev) = last {
-                        prop_assert!(
+                        assert!(
                             i - prev <= max_gap,
                             "connection {j} starved for {} picks (bound {max_gap})",
                             i - prev
@@ -181,64 +235,71 @@ proptest! {
                     last = Some(i);
                 }
             }
-            prop_assert!(last.is_some(), "connection {j} never picked");
+            assert!(last.is_some(), "connection {j} never picked");
         }
     }
+}
 
-    #[test]
-    fn function_predictions_stay_monotone(
-        observations in proptest::collection::vec((1u32..=100, 0.0f64..5.0), 0..40),
-        decays in proptest::collection::vec((0u32..=100,), 0..10),
-    ) {
+#[test]
+fn function_predictions_stay_monotone() {
+    let mut rng = SplitMix64::new(0xC0DE_000B);
+    for _ in 0..CASES {
         let mut f = BlockingRateFunction::new(100, 0.5);
-        for (w, v) in observations {
+        for _ in 0..rng.range_usize(0, 39) {
+            let w = rng.range_u32(1, 100);
+            let v = rng.frange(0.0, 5.0);
             f.observe(w, v);
         }
-        for (w,) in decays {
+        for _ in 0..rng.range_usize(0, 9) {
+            let w = rng.range_u32(0, 100);
             f.decay_above(w, 0.9);
         }
         let p = f.predicted();
-        prop_assert!(is_non_decreasing(p));
-        prop_assert_eq!(p[0], 0.0);
-        prop_assert!(p.iter().all(|&v| v >= 0.0));
+        assert!(is_non_decreasing(p));
+        assert_eq!(p[0], 0.0);
+        assert!(p.iter().all(|&v| v >= 0.0));
     }
+}
 
-    #[test]
-    fn clustering_is_a_valid_partition(
-        n in 2usize..20,
-        seed in proptest::collection::vec(0.0f64..10.0, 400),
-        threshold in 0.0f64..5.0,
-    ) {
-        // Build a symmetric matrix with zero diagonal from the seed.
+#[test]
+fn clustering_is_a_valid_partition() {
+    let mut rng = SplitMix64::new(0xC0DE_000C);
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 19);
+        let threshold = rng.frange(0.0, 5.0);
+        // Build a symmetric matrix with zero diagonal.
         let mut d = vec![0.0; n * n];
         for i in 0..n {
             for j in i + 1..n {
-                let v = seed[i * 20 + j];
+                let v = rng.frange(0.0, 10.0);
                 d[i * n + j] = v;
                 d[j * n + i] = v;
             }
         }
         let c = cluster::cluster(n, &d, threshold);
-        prop_assert_eq!(c.assignment.len(), n);
+        assert_eq!(c.assignment.len(), n);
         let mut seen = vec![false; n];
         for members in &c.members {
             for &m in members {
-                prop_assert!(!seen[m], "item in two clusters");
+                assert!(!seen[m], "item in two clusters");
                 seen[m] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "every item clustered");
+        assert!(seen.iter().all(|&s| s), "every item clustered");
     }
+}
 
-    #[test]
-    fn balancer_weights_always_sum_to_resolution(
-        rounds in proptest::collection::vec((0usize..6, 0.0f64..2.0), 0..60),
-    ) {
+#[test]
+fn balancer_weights_always_sum_to_resolution() {
+    let mut rng = SplitMix64::new(0xC0DE_000D);
+    for _ in 0..CASES {
         let mut lb = LoadBalancer::new(BalancerConfig::builder(6).build().unwrap());
-        for (conn, rate) in rounds {
+        for _ in 0..rng.range_usize(0, 59) {
+            let conn = rng.range_usize(0, 5);
+            let rate = rng.frange(0.0, 2.0);
             lb.observe(&[ConnectionSample::new(conn, rate)]);
             lb.rebalance();
-            prop_assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+            assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
         }
     }
 }

@@ -240,7 +240,7 @@ impl<T: Send + 'static> Flow<T> {
         let capacity = self.capacity;
         // Broadcast to two branch PEs, then zip their (1:1, hence aligned)
         // outputs back together.
-        let with_branches = self.add_stage("fork", move |rx, tx, consumed, emitted| {
+        self.add_stage("fork", move |rx, tx, consumed, emitted| {
             let (btx, brx) = bounded::<T>(capacity);
             let (ctx_, crx) = bounded::<T>(capacity);
             let (bout_tx, bout_rx) = bounded::<B>(capacity);
@@ -284,8 +284,7 @@ impl<T: Send + 'static> Flow<T> {
             drop(ctx_);
             let _ = hb.join();
             let _ = hc.join();
-        });
-        with_branches
+        })
     }
 
     /// An **ordered data-parallel region**: `cfg.replicas()` copies of the
@@ -353,20 +352,20 @@ impl<T: Send + 'static> Flow<T> {
                 }
                 Link::Region(r) => {
                     let sp = r.spawned;
-                    sp.splitter
-                        .join()
-                        .map_err(|_| FlowError::StagePanicked { stage: "splitter".into() })?;
+                    sp.splitter.join().map_err(|_| FlowError::StagePanicked {
+                        stage: "splitter".into(),
+                    })?;
                     for w in sp.workers {
-                        w.join()
-                            .map_err(|_| FlowError::StagePanicked { stage: "worker".into() })?;
+                        w.join().map_err(|_| FlowError::StagePanicked {
+                            stage: "worker".into(),
+                        })?;
                     }
-                    sp.merger
-                        .join()
-                        .map_err(|_| FlowError::StagePanicked { stage: "merger".into() })?;
-                    let trace = sp
-                        .controller
-                        .join()
-                        .map_err(|_| FlowError::StagePanicked { stage: "controller".into() })?;
+                    sp.merger.join().map_err(|_| FlowError::StagePanicked {
+                        stage: "merger".into(),
+                    })?;
+                    let trace = sp.controller.join().map_err(|_| FlowError::StagePanicked {
+                        stage: "controller".into(),
+                    })?;
                     stages.push(StageStats {
                         name: format!(
                             "parallel[{}]",

@@ -89,7 +89,7 @@ impl<T: Send + 'static> Flow<T> {
         self.add_stage("parallel_keyed", move |rx, tx, consumed, emitted| {
             // Partition channels and replica threads.
             let mut part_tx = Vec::with_capacity(replicas);
-            let (out_tx, out_rx) = crossbeam::channel::unbounded::<(u64, U)>();
+            let (out_tx, out_rx) = std::sync::mpsc::channel::<(u64, U)>();
             let mut handles = Vec::with_capacity(replicas);
             for op_slot in ops.iter_mut() {
                 let (ptx, prx) = streambal_transport::bounded::<(u64, T)>(capacity);
@@ -141,8 +141,8 @@ impl<T: Send + 'static> Flow<T> {
                         // (blocking briefly keeps the stage from spinning).
                         match out_rx.recv_timeout(std::time::Duration::from_micros(200)) {
                             Ok((s, u)) => stash(&mut pending, s, u, &mut reorder),
-                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
                         }
                     }
                     Err(streambal_transport::TryRecvError::Disconnected) => break,
@@ -228,14 +228,18 @@ mod tests {
         // the same replica's state.
         let keys = 13u64;
         let (counts, _) = source(RangeSource::new(0..13_000))
-            .parallel_keyed(5, move |x| x % keys, move || {
-                let mut seen: HashMap<u64, u64> = HashMap::new();
-                move |x: u64| {
-                    let c = seen.entry(x % keys).or_insert(0);
-                    *c += 1;
-                    (x % keys, *c)
-                }
-            })
+            .parallel_keyed(
+                5,
+                move |x| x % keys,
+                move || {
+                    let mut seen: HashMap<u64, u64> = HashMap::new();
+                    move |x: u64| {
+                        let c = seen.entry(x % keys).or_insert(0);
+                        *c += 1;
+                        (x % keys, *c)
+                    }
+                },
+            )
             .collect()
             .unwrap();
         // The final count for each key must equal its total occurrences.

@@ -4,19 +4,21 @@
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel as xchan;
-use parking_lot::Mutex;
 
 use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
 use streambal_core::rate::ConnectionSample;
 use streambal_core::weights::{WeightVector, WrrScheduler};
+use streambal_telemetry::{Telemetry, TraceEvent};
 use streambal_transport::{bounded, BlockingSampler, Receiver, Sender};
 
 use crate::report::RegionTrace;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of an ordered data-parallel region.
 ///
@@ -29,6 +31,7 @@ pub struct ParallelConfig {
     mode: BalancerMode,
     channel_capacity: usize,
     sample_interval: Duration,
+    telemetry: Option<Telemetry>,
 }
 
 impl ParallelConfig {
@@ -46,6 +49,7 @@ impl ParallelConfig {
             mode: BalancerMode::default(),
             channel_capacity: 64,
             sample_interval: Duration::from_millis(50),
+            telemetry: None,
         }
     }
 
@@ -80,6 +84,15 @@ impl ParallelConfig {
     /// Sets the control-loop sampling interval.
     pub fn sample_interval(mut self, interval: Duration) -> Self {
         self.sample_interval = Duration::from_millis(interval.as_millis().max(1) as u64);
+        self
+    }
+
+    /// Attaches a telemetry hub: replica connections publish blocking
+    /// metrics under `transport.replica<j>.*`, stage counters appear under
+    /// `dataflow.*`, and the controller's decision trace goes to the hub's
+    /// trace buffer.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = Some(telemetry.clone());
         self
     }
 }
@@ -132,7 +145,12 @@ where
         conn_tx.push(tx);
         conn_rx.push(Some(rx));
     }
-    let (merge_tx, merge_rx) = xchan::unbounded::<(u64, U)>();
+    let (merge_tx, merge_rx) = mpsc::channel::<(u64, U)>();
+    if let Some(t) = &cfg.telemetry {
+        for (j, s) in conn_tx.iter().enumerate() {
+            s.instrument(t.registry(), &format!("replica{j}"));
+        }
+    }
 
     let weights = Arc::new(Mutex::new(WeightVector::even(
         n,
@@ -172,12 +190,12 @@ where
         thread::Builder::new()
             .name("streambal-df-splitter".to_owned())
             .spawn(move || {
-                let mut current = weights.lock().clone();
+                let mut current = lock(&weights).clone();
                 let mut wrr = WrrScheduler::new(&current);
                 let mut seq = 0u64;
                 while let Ok(t) = input.recv() {
                     {
-                        let w = weights.lock();
+                        let w = lock(&weights);
                         if *w != current {
                             current = w.clone();
                             wrr.set_weights(&current);
@@ -202,6 +220,8 @@ where
         let interval = cfg.sample_interval;
         let balanced = cfg.balanced;
         let mode = cfg.mode;
+        let telemetry = cfg.telemetry.clone();
+        let counters = Arc::clone(&counters);
         let started = Instant::now();
         thread::Builder::new()
             .name("streambal-df-controller".to_owned())
@@ -211,6 +231,9 @@ where
                     .build()
                     .expect("region-sized balancer config is valid");
                 let mut lb = LoadBalancer::new(lb_cfg);
+                if let Some(t) = &telemetry {
+                    lb.attach_trace(t.trace().clone());
+                }
                 let mut samplers = vec![BlockingSampler::new(); blocking.len()];
                 let mut trace = Vec::new();
                 while !stop.load(Ordering::Acquire) {
@@ -226,14 +249,34 @@ where
                     if balanced {
                         lb.observe(&samples);
                         lb.rebalance();
-                        *weights.lock() = lb.weights().clone();
+                        *lock(&weights) = lb.weights().clone();
+                    }
+                    let installed = lock(&weights).units().to_vec();
+                    if let Some(t) = &telemetry {
+                        t.trace().push(TraceEvent::Sample {
+                            region: 0,
+                            t_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            weights: installed.clone(),
+                            rates: rates.clone(),
+                            delivered: counters.merged_out.load(Ordering::Relaxed),
+                            clusters: None,
+                        });
                     }
                     trace.push(RegionTrace {
                         elapsed_ms: u64::try_from(started.elapsed().as_millis())
                             .unwrap_or(u64::MAX),
-                        weights: weights.lock().units().to_vec(),
+                        weights: installed,
                         rates,
                     });
+                }
+                if let Some(t) = &telemetry {
+                    let reg = t.registry();
+                    reg.counter("dataflow.split_in")
+                        .add(counters.split_in.load(Ordering::Relaxed));
+                    reg.counter("dataflow.worked")
+                        .add(counters.worked.load(Ordering::Relaxed));
+                    reg.counter("dataflow.merged_out")
+                        .add(counters.merged_out.load(Ordering::Relaxed));
                 }
                 trace
             })

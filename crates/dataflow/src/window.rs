@@ -149,14 +149,20 @@ mod tests {
 
     #[test]
     fn tumbling_partial_tail() {
-        let (w, report) = source(RangeSource::new(0..10)).tumbling(4).collect().unwrap();
+        let (w, report) = source(RangeSource::new(0..10))
+            .tumbling(4)
+            .collect()
+            .unwrap();
         assert_eq!(w, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
         assert_eq!(report.delivered(), 3);
     }
 
     #[test]
     fn tumbling_exact_multiple_has_no_tail() {
-        let (w, _) = source(RangeSource::new(0..6)).tumbling(3).collect().unwrap();
+        let (w, _) = source(RangeSource::new(0..6))
+            .tumbling(3)
+            .collect()
+            .unwrap();
         assert_eq!(w.len(), 2);
     }
 
@@ -180,13 +186,19 @@ mod tests {
 
     #[test]
     fn sliding_with_step() {
-        let (w, _) = source(RangeSource::new(0..8)).sliding(3, 2).collect().unwrap();
+        let (w, _) = source(RangeSource::new(0..8))
+            .sliding(3, 2)
+            .collect()
+            .unwrap();
         assert_eq!(w, vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6]]);
     }
 
     #[test]
     fn sliding_shorter_than_window_emits_nothing() {
-        let (w, _) = source(RangeSource::new(0..2)).sliding(3, 1).collect().unwrap();
+        let (w, _) = source(RangeSource::new(0..2))
+            .sliding(3, 1)
+            .collect()
+            .unwrap();
         assert!(w.is_empty());
     }
 

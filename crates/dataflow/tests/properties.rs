@@ -1,19 +1,27 @@
-//! Property-based tests of the dataflow layer: ordering and equivalence
-//! with the corresponding iterator pipelines, over randomized inputs.
+//! Randomized tests of the dataflow layer: ordering and equivalence with
+//! the corresponding iterator pipelines.
+//!
+//! Originally proptest properties; now driven by the in-repo seeded
+//! [`SplitMix64`] generator so the default test suite needs no external
+//! crates, with every case reproducible from the fixed seeds below.
 
-use proptest::prelude::*;
-
+use streambal_core::rng::SplitMix64;
 use streambal_dataflow::{source, IterSource, ParallelConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const CASES: u64 = 16;
 
-    /// A map-filter pipeline equals its iterator counterpart, in order.
-    #[test]
-    fn map_filter_matches_iterator(
-        items in proptest::collection::vec(0u64..10_000, 0..2_000),
-        modulus in 1u64..7,
-    ) {
+fn u64_vec(rng: &mut SplitMix64, max_len: usize, max_val: u64) -> Vec<u64> {
+    let len = rng.range_usize(0, max_len);
+    (0..len).map(|_| rng.below(max_val)).collect()
+}
+
+/// A map-filter pipeline equals its iterator counterpart, in order.
+#[test]
+fn map_filter_matches_iterator() {
+    let mut rng = SplitMix64::new(0xDF_0001);
+    for _ in 0..CASES {
+        let items = u64_vec(&mut rng, 1_999, 10_000);
+        let modulus = rng.range_u64(1, 6);
         let expected: Vec<u64> = items
             .iter()
             .map(|&x| x.wrapping_mul(3))
@@ -24,31 +32,35 @@ proptest! {
             .filter(move |x| x % modulus != 0)
             .collect()
             .unwrap();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// Tumbling windows equal `chunks` (including the partial tail).
-    #[test]
-    fn tumbling_matches_chunks(
-        items in proptest::collection::vec(0u64..100, 0..500),
-        size in 1usize..9,
-    ) {
+/// Tumbling windows equal `chunks` (including the partial tail).
+#[test]
+fn tumbling_matches_chunks() {
+    let mut rng = SplitMix64::new(0xDF_0002);
+    for _ in 0..CASES {
+        let items = u64_vec(&mut rng, 499, 100);
+        let size = rng.range_usize(1, 8);
         let expected: Vec<Vec<u64>> = items.chunks(size).map(<[u64]>::to_vec).collect();
         let (got, _) = source(IterSource::new(items.into_iter()))
             .tumbling(size)
             .collect()
             .unwrap();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// An ordered parallel region is a transparent map, whatever the
-    /// replica count and buffer size.
-    #[test]
-    fn parallel_region_is_a_transparent_map(
-        items in proptest::collection::vec(0u64..1_000_000, 0..3_000),
-        replicas in 1usize..6,
-        capacity in 1usize..48,
-    ) {
+/// An ordered parallel region is a transparent map, whatever the replica
+/// count and buffer size.
+#[test]
+fn parallel_region_is_a_transparent_map() {
+    let mut rng = SplitMix64::new(0xDF_0003);
+    for _ in 0..CASES {
+        let items = u64_vec(&mut rng, 2_999, 1_000_000);
+        let replicas = rng.range_usize(1, 5);
+        let capacity = rng.range_usize(1, 47);
         let expected: Vec<u64> = items.iter().map(|&x| x ^ 0xABCD).collect();
         let (got, _) = source(IterSource::new(items.into_iter()))
             .parallel(
@@ -57,38 +69,42 @@ proptest! {
             )
             .collect()
             .unwrap();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// A keyed region is also a transparent map, and per-key sequences stay
-    /// internally ordered.
-    #[test]
-    fn keyed_region_is_a_transparent_map(
-        items in proptest::collection::vec(0u64..50, 0..2_000),
-        replicas in 1usize..5,
-    ) {
+/// A keyed region is also a transparent map, and per-key sequences stay
+/// internally ordered.
+#[test]
+fn keyed_region_is_a_transparent_map() {
+    let mut rng = SplitMix64::new(0xDF_0004);
+    for _ in 0..CASES {
+        let items = u64_vec(&mut rng, 1_999, 50);
+        let replicas = rng.range_usize(1, 4);
         let expected: Vec<u64> = items.iter().map(|&x| x + 7).collect();
         let (got, _) = source(IterSource::new(items.into_iter()))
             .parallel_keyed(replicas, |x| *x, || |x: u64| x + 7)
             .collect()
             .unwrap();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// `flat_map` equals the iterator `flat_map`, preserving order.
-    #[test]
-    fn flat_map_matches_iterator(
-        items in proptest::collection::vec(0u64..50, 0..400),
-        copies in 0usize..4,
-    ) {
+/// `flat_map` equals the iterator `flat_map`, preserving order.
+#[test]
+fn flat_map_matches_iterator() {
+    let mut rng = SplitMix64::new(0xDF_0005);
+    for _ in 0..CASES {
+        let items = u64_vec(&mut rng, 399, 50);
+        let copies = rng.range_usize(0, 3);
         let expected: Vec<u64> = items
             .iter()
-            .flat_map(|&x| std::iter::repeat(x).take(copies))
+            .flat_map(|&x| std::iter::repeat_n(x, copies))
             .collect();
         let (got, _) = source(IterSource::new(items.into_iter()))
-            .flat_map(move |x| std::iter::repeat(x).take(copies).collect::<Vec<_>>())
+            .flat_map(move |x| std::iter::repeat_n(x, copies).collect::<Vec<_>>())
             .collect()
             .unwrap();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }

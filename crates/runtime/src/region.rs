@@ -3,19 +3,23 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel as xchan;
-use parking_lot::Mutex;
 
 use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
 use streambal_core::rate::ConnectionSample;
 use streambal_core::weights::{WeightVector, WrrScheduler};
+use streambal_telemetry::{Telemetry, TraceEvent};
 use streambal_transport::{bounded, BlockingSampler, Receiver, Sender};
 
 use crate::workload::spin_multiplies;
+
+/// Locks a mutex, ignoring poisoning (a panicked peer thread is surfaced
+/// as [`RegionError::WorkerPanicked`] at join time instead).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Load multipliers are stored as fixed-point thousandths in an atomic so
 /// they can change mid-run.
@@ -110,6 +114,7 @@ pub struct RegionBuilder {
     balancer_mode: BalancerMode,
     balancing: bool,
     reroute: bool,
+    telemetry: Option<Telemetry>,
 }
 
 impl RegionBuilder {
@@ -125,6 +130,7 @@ impl RegionBuilder {
             balancer_mode: BalancerMode::default(),
             balancing: true,
             reroute: false,
+            telemetry: None,
         }
     }
 
@@ -153,7 +159,10 @@ impl RegionBuilder {
     ///
     /// Panics if `j` is out of range or `factor` is not positive.
     pub fn initial_load(&mut self, j: usize, factor: f64) -> &mut Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         self.initial_loads[j] = factor;
         self
     }
@@ -173,6 +182,16 @@ impl RegionBuilder {
     /// Disables balancing entirely (naive round-robin), for baselines.
     pub fn round_robin(&mut self) -> &mut Self {
         self.balancing = false;
+        self
+    }
+
+    /// Attaches a telemetry hub: per-connection blocking metrics are
+    /// published under `transport.conn<j>.*`, the controller reports
+    /// per-round gauges under `runtime.*` and its decision trace (including
+    /// a [`TraceEvent::Sample`] per control round) goes to the hub's trace
+    /// buffer.
+    pub fn telemetry(&mut self, telemetry: &Telemetry) -> &mut Self {
+        self.telemetry = Some(telemetry.clone());
         self
     }
 
@@ -209,7 +228,12 @@ impl RegionBuilder {
             senders.push(tx);
             receivers.push(Some(rx));
         }
-        let (merge_tx, merge_rx) = xchan::unbounded::<u64>();
+        let (merge_tx, merge_rx) = mpsc::channel::<u64>();
+        if let Some(t) = &self.telemetry {
+            for (j, s) in senders.iter().enumerate() {
+                s.instrument(t.registry(), &format!("conn{j}"));
+            }
+        }
 
         let loads: Vec<Arc<AtomicU32>> = self
             .initial_loads
@@ -235,8 +259,7 @@ impl RegionBuilder {
                     .name(format!("streambal-worker-{j}"))
                     .spawn(move || {
                         while let Ok(seq) = rx.recv() {
-                            let factor =
-                                f64::from(load.load(Ordering::Relaxed)) / LOAD_SCALE;
+                            let factor = f64::from(load.load(Ordering::Relaxed)) / LOAD_SCALE;
                             spin_multiplies((cost as f64 * factor) as u64);
                             if merge_tx.send(seq).is_err() {
                                 break;
@@ -257,12 +280,12 @@ impl RegionBuilder {
         let splitter = thread::Builder::new()
             .name("streambal-splitter".to_owned())
             .spawn(move || {
-                let mut wrr = WrrScheduler::new(&splitter_weights.lock().clone());
-                let mut current = splitter_weights.lock().clone();
+                let mut current = lock(&splitter_weights).clone();
+                let mut wrr = WrrScheduler::new(&current);
                 'tuples: for seq in 0..total_tuples {
                     // Pick up new weights between tuples.
                     {
-                        let w = splitter_weights.lock();
+                        let w = lock(&splitter_weights);
                         if *w != current {
                             current = w.clone();
                             wrr.set_weights(&current);
@@ -285,9 +308,7 @@ impl RegionBuilder {
                                     rerouted_in.fetch_add(1, Ordering::Relaxed);
                                     continue 'tuples;
                                 }
-                                Err(streambal_transport::TrySendError::Disconnected(_)) => {
-                                    return
-                                }
+                                Err(streambal_transport::TrySendError::Disconnected(_)) => return,
                                 Err(streambal_transport::TrySendError::Full(v)) => seq_val = v,
                             }
                         }
@@ -313,6 +334,7 @@ impl RegionBuilder {
             let loads: Vec<Arc<AtomicU32>> = loads.iter().map(Arc::clone).collect();
             let mut changes = self.load_changes.clone();
             changes.sort_by_key(|c| c.after);
+            let telemetry = self.telemetry.clone();
             thread::Builder::new()
                 .name("streambal-controller".to_owned())
                 .spawn(move || {
@@ -321,22 +343,35 @@ impl RegionBuilder {
                         .build()
                         .expect("region-sized balancer config is valid");
                     let mut lb = LoadBalancer::new(cfg);
+                    if let Some(t) = &telemetry {
+                        lb.attach_trace(t.trace().clone());
+                    }
+                    let instruments = telemetry.as_ref().map(|t| {
+                        let reg = t.registry();
+                        let rounds = reg.counter("runtime.controller.rounds");
+                        let per_conn: Vec<_> = (0..counters.len())
+                            .map(|j| {
+                                (
+                                    reg.gauge(&format!("runtime.conn{j}.blocking_rate")),
+                                    reg.gauge(&format!("runtime.conn{j}.weight")),
+                                )
+                            })
+                            .collect();
+                        (rounds, per_conn)
+                    });
                     let mut samplers = vec![BlockingSampler::new(); counters.len()];
                     let mut snapshots = Vec::new();
                     let mut next_change = 0usize;
                     while !stop.load(Ordering::Acquire) {
                         thread::sleep(interval);
                         let elapsed = started.elapsed();
-                        while next_change < changes.len()
-                            && changes[next_change].after <= elapsed
-                        {
+                        while next_change < changes.len() && changes[next_change].after <= elapsed {
                             let c = changes[next_change];
                             loads[c.worker]
                                 .store((c.factor * LOAD_SCALE) as u32, Ordering::Relaxed);
                             next_change += 1;
                         }
-                        let interval_ns =
-                            u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+                        let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
                         let mut rates = Vec::with_capacity(counters.len());
                         let mut samples = Vec::with_capacity(counters.len());
                         for (j, (c, s)) in counters.iter().zip(&mut samplers).enumerate() {
@@ -347,12 +382,29 @@ impl RegionBuilder {
                         if balancing {
                             lb.observe(&samples);
                             lb.rebalance();
-                            *weights.lock() = lb.weights().clone();
+                            *lock(&weights) = lb.weights().clone();
+                        }
+                        let installed = lock(&weights).units().to_vec();
+                        if let Some(t) = &telemetry {
+                            if let Some((rounds, per_conn)) = &instruments {
+                                rounds.incr();
+                                for (j, (rate_g, weight_g)) in per_conn.iter().enumerate() {
+                                    rate_g.set(rates[j]);
+                                    weight_g.set(f64::from(installed[j]));
+                                }
+                            }
+                            t.trace().push(TraceEvent::Sample {
+                                region: 0,
+                                t_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                                weights: installed.clone(),
+                                rates: rates.clone(),
+                                delivered: 0,
+                                clusters: None,
+                            });
                         }
                         snapshots.push(ControlSnapshot {
-                            elapsed_ms: u64::try_from(elapsed.as_millis())
-                                .unwrap_or(u64::MAX),
-                            weights: weights.lock().units().to_vec(),
+                            elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+                            weights: installed,
                             rates,
                         });
                     }
@@ -396,6 +448,12 @@ impl RegionBuilder {
         let snapshots = controller.join().map_err(|_| RegionError::WorkerPanicked)?;
 
         in_order &= delivered == total_tuples && next_expected == total_tuples;
+        if let Some(t) = &self.telemetry {
+            t.registry().counter("runtime.delivered").add(delivered);
+            t.registry()
+                .gauge("runtime.duration_s")
+                .set(duration.as_secs_f64());
+        }
         Ok(RegionReport {
             delivered,
             in_order,
@@ -476,7 +534,34 @@ mod tests {
             .unwrap();
         assert!(report.in_order, "rerouting must not break ordering");
         assert_eq!(report.delivered, 30_000);
-        assert!(report.rerouted > 0, "an overloaded worker must cause reroutes");
+        assert!(
+            report.rerouted > 0,
+            "an overloaded worker must cause reroutes"
+        );
+    }
+
+    #[test]
+    fn telemetry_publishes_metrics_and_trace() {
+        let telemetry = Telemetry::new();
+        let report = RegionBuilder::new(2)
+            .tuple_cost(500)
+            .sample_interval_ms(10)
+            .telemetry(&telemetry)
+            .run(20_000)
+            .unwrap();
+        assert!(report.in_order);
+        let reg = telemetry.registry();
+        assert_eq!(reg.counter("runtime.delivered").get(), 20_000);
+        assert!(reg.counter("runtime.controller.rounds").get() >= 1);
+        // Every control round leaves a Sample event plus the balancer's own
+        // ControllerRound trace.
+        let events = telemetry.trace().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sample { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ControllerRound { .. })));
     }
 
     #[test]

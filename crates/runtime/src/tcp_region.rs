@@ -6,12 +6,9 @@
 //! splitter's sending side).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel as xchan;
-use parking_lot::Mutex;
 
 use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
 use streambal_core::rate::ConnectionSample;
@@ -21,6 +18,10 @@ use streambal_transport::BlockingSampler;
 
 use crate::region::{ControlSnapshot, RegionError, RegionReport};
 use crate::workload::spin_multiplies;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Builder for a TCP-backed parallel region run.
 ///
@@ -73,7 +74,10 @@ impl TcpRegionBuilder {
     ///
     /// Panics if `j` is out of range or `factor` is not positive.
     pub fn worker_load(&mut self, j: usize, factor: f64) -> &mut Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         self.loads[j] = factor;
         self
     }
@@ -123,7 +127,7 @@ impl TcpRegionBuilder {
 
         // Real TCP connections, one per worker.
         let mut senders: Vec<TcpSender> = Vec::with_capacity(n);
-        let (merge_tx, merge_rx) = xchan::unbounded::<u64>();
+        let (merge_tx, merge_rx) = mpsc::channel::<u64>();
         let mut worker_handles = Vec::with_capacity(n);
         for j in 0..n {
             let (addr, incoming) = listen().map_err(|_| RegionError::OutOfOrder)?;
@@ -133,7 +137,9 @@ impl TcpRegionBuilder {
                 thread::Builder::new()
                     .name(format!("streambal-tcp-worker-{j}"))
                     .spawn(move || {
-                        let Ok(mut rx) = incoming.accept() else { return };
+                        let Ok(mut rx) = incoming.accept() else {
+                            return;
+                        };
                         while let Ok(Some(frame)) = rx.recv_frame() {
                             if frame.len() < 8 {
                                 return;
@@ -180,8 +186,7 @@ impl TcpRegionBuilder {
                     let mut snapshots = Vec::new();
                     while !stop.load(Ordering::Acquire) {
                         thread::sleep(interval);
-                        let interval_ns =
-                            u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+                        let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
                         let mut rates = Vec::with_capacity(counters.len());
                         let mut samples = Vec::with_capacity(counters.len());
                         for (j, (c, s)) in counters.iter().zip(&mut samplers).enumerate() {
@@ -192,12 +197,12 @@ impl TcpRegionBuilder {
                         if balancing {
                             lb.observe(&samples);
                             lb.rebalance();
-                            *weights.lock() = lb.weights().clone();
+                            *lock(&weights) = lb.weights().clone();
                         }
                         snapshots.push(ControlSnapshot {
                             elapsed_ms: u64::try_from(started.elapsed().as_millis())
                                 .unwrap_or(u64::MAX),
-                            weights: weights.lock().units().to_vec(),
+                            weights: lock(&weights).units().to_vec(),
                             rates,
                         });
                     }
@@ -215,11 +220,11 @@ impl TcpRegionBuilder {
                 .name("streambal-tcp-splitter".to_owned())
                 .spawn(move || {
                     let mut frame = vec![0u8; 8 + padding];
-                    let mut current = weights.lock().clone();
+                    let mut current = lock(&weights).clone();
                     let mut wrr = WrrScheduler::new(&current);
                     for seq in 0..total_tuples {
                         {
-                            let w = weights.lock();
+                            let w = lock(&weights);
                             if *w != current {
                                 current = w.clone();
                                 wrr.set_weights(&current);

@@ -188,7 +188,7 @@ impl RegionConfig {
         if self.base_cost == 0 {
             return Err(ConfigError::ZeroParameter("base_cost"));
         }
-        if !(self.mult_ns > 0.0) {
+        if self.mult_ns.is_nan() || self.mult_ns <= 0.0 {
             return Err(ConfigError::ZeroParameter("mult_ns"));
         }
         if self.conn_capacity == 0 {
@@ -202,9 +202,7 @@ impl RegionConfig {
         }
         match self.stop {
             StopCondition::Tuples(0) => return Err(ConfigError::ZeroParameter("stop tuples")),
-            StopCondition::Duration(0) => {
-                return Err(ConfigError::ZeroParameter("stop duration"))
-            }
+            StopCondition::Duration(0) => return Err(ConfigError::ZeroParameter("stop duration")),
             _ => {}
         }
         if !(0.0..=1.0).contains(&self.hiccup_prob) {

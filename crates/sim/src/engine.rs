@@ -16,10 +16,9 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use streambal_core::rng::SplitMix64;
 use streambal_core::weights::WrrScheduler;
+use streambal_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceEvent};
 
 use crate::config::{ConfigError, RegionConfig, StopCondition};
 use crate::metrics::{RunResult, SampleTrace};
@@ -72,17 +71,92 @@ impl Ord for Scheduled {
 /// ```
 pub fn run(cfg: &RegionConfig, policy: &mut dyn Policy) -> Result<RunResult, ConfigError> {
     cfg.validate()?;
-    Ok(Engine::new(cfg, policy).run())
+    Ok(Engine::new(cfg, policy, None).run())
+}
+
+/// Runs one simulation with a telemetry hub attached: splitter/merger hot
+/// paths publish counters under `sim.*`, every control round leaves a
+/// [`TraceEvent::Sample`] in the hub's trace buffer (mirroring the returned
+/// [`SampleTrace`]s exactly), and the policy gets a chance to attach its own
+/// decision trace via [`Policy::attach_telemetry`].
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use streambal_sim::config::{RegionConfig, StopCondition};
+/// use streambal_sim::policy::RoundRobinPolicy;
+/// use streambal_telemetry::Telemetry;
+///
+/// let cfg = RegionConfig::builder(2)
+///     .stop(StopCondition::Tuples(1_000))
+///     .build()
+///     .unwrap();
+/// let telemetry = Telemetry::new();
+/// let result =
+///     streambal_sim::run_with_telemetry(&cfg, &mut RoundRobinPolicy::new(), &telemetry)
+///         .unwrap();
+/// assert_eq!(result.delivered, 1_000);
+/// assert_eq!(telemetry.registry().counter("sim.merger.delivered").get(), 1_000);
+/// ```
+pub fn run_with_telemetry(
+    cfg: &RegionConfig,
+    policy: &mut dyn Policy,
+    telemetry: &Telemetry,
+) -> Result<RunResult, ConfigError> {
+    cfg.validate()?;
+    policy.attach_telemetry(telemetry);
+    Ok(Engine::new(cfg, policy, Some(telemetry.clone())).run())
+}
+
+/// Pre-resolved metric handles for the engine's hot paths, looked up once
+/// at start-of-run so per-tuple work is a single atomic op.
+struct Instruments {
+    sent: Counter,
+    delivered: Counter,
+    rerouted: Counter,
+    blocked_ns: Counter,
+    block_events: Counter,
+    latency_ns: Histogram,
+    rounds: Counter,
+    per_conn: Vec<(Gauge, Gauge)>,
+}
+
+impl Instruments {
+    fn new(telemetry: &Telemetry, n: usize) -> Self {
+        let reg = telemetry.registry();
+        Instruments {
+            sent: reg.counter("sim.splitter.sent"),
+            delivered: reg.counter("sim.merger.delivered"),
+            rerouted: reg.counter("sim.splitter.rerouted"),
+            blocked_ns: reg.counter("sim.splitter.blocked_ns"),
+            block_events: reg.counter("sim.splitter.block_events"),
+            latency_ns: reg.histogram("sim.latency_ns"),
+            rounds: reg.counter("sim.controller.rounds"),
+            per_conn: (0..n)
+                .map(|j| {
+                    (
+                        reg.gauge(&format!("sim.conn{j}.blocking_rate")),
+                        reg.gauge(&format!("sim.conn{j}.weight")),
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 struct Engine<'c> {
     cfg: &'c RegionConfig,
     policy: &'c mut dyn Policy,
+    telemetry: Option<(Telemetry, Instruments)>,
     eff_speed: Vec<f64>,
     now: u64,
     events: BinaryHeap<Reverse<Scheduled>>,
     tie: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
 
     // Splitter.
     wrr: WrrScheduler,
@@ -125,17 +199,25 @@ struct Engine<'c> {
 }
 
 impl<'c> Engine<'c> {
-    fn new(cfg: &'c RegionConfig, policy: &'c mut dyn Policy) -> Self {
+    fn new(
+        cfg: &'c RegionConfig,
+        policy: &'c mut dyn Policy,
+        telemetry: Option<Telemetry>,
+    ) -> Self {
         let n = cfg.num_workers();
         let initial = policy.initial_weights(n);
         let wrr = WrrScheduler::new(&initial);
         Engine {
             eff_speed: cfg.effective_speeds(),
             policy,
+            telemetry: telemetry.map(|t| {
+                let inst = Instruments::new(&t, n);
+                (t, inst)
+            }),
             now: 0,
             events: BinaryHeap::new(),
             tie: 0,
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rng: SplitMix64::new(cfg.seed),
             weights: initial.units().to_vec(),
             wrr,
             next_seq: 0,
@@ -227,6 +309,9 @@ impl<'c> Engine<'c> {
         // Fold any in-progress blocked span into the totals.
         if let Some((conn, since, _)) = self.blocked_on.take() {
             self.blocked_ns[conn] += self.now.saturating_sub(since);
+            if let Some((_, inst)) = &self.telemetry {
+                inst.blocked_ns.add(self.now.saturating_sub(since));
+            }
         }
 
         RunResult {
@@ -244,18 +329,16 @@ impl<'c> Engine<'c> {
 
     /// Service time of one tuple started now by worker `j`.
     fn service_ns(&mut self, j: usize) -> u64 {
-        let factor = self.load_override[j]
-            .unwrap_or_else(|| self.cfg.workers[j].load.factor_at(self.now));
+        let factor =
+            self.load_override[j].unwrap_or_else(|| self.cfg.workers[j].load.factor_at(self.now));
         let base = self.cfg.base_cost as f64 * self.cfg.mult_ns * factor / self.eff_speed[j];
         let jitter = self.cfg.jitter;
         let mult = if jitter > 0.0 {
-            1.0 + self.rng.gen_range(-jitter..=jitter)
+            1.0 + self.rng.frange(-jitter, jitter)
         } else {
             1.0
         };
-        let hiccup = if self.cfg.hiccup_prob > 0.0
-            && self.rng.gen_range(0.0..1.0) < self.cfg.hiccup_prob
-        {
+        let hiccup = if self.cfg.hiccup_prob > 0.0 && self.rng.chance(self.cfg.hiccup_prob) {
             self.cfg.hiccup_ns
         } else {
             0
@@ -282,6 +365,9 @@ impl<'c> Engine<'c> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.sent += 1;
+        if let Some((_, inst)) = &self.telemetry {
+            inst.sent.incr();
+        }
         self.entry_times.push_back(self.now);
 
         if self.conn_q[j].len() < self.cfg.conn_capacity {
@@ -297,6 +383,9 @@ impl<'c> Engine<'c> {
                 let c = (j + k) % n;
                 if self.conn_q[c].len() < self.cfg.conn_capacity {
                     self.rerouted += 1;
+                    if let Some((_, inst)) = &self.telemetry {
+                        inst.rerouted.incr();
+                    }
                     self.enqueue(c, seq);
                     self.schedule(self.now + self.cfg.send_overhead_ns, Ev::SendNext);
                     return;
@@ -307,6 +396,9 @@ impl<'c> Engine<'c> {
         // Elect to block on the originally chosen connection; the pending
         // tuple is delivered when that worker frees a buffer slot.
         self.blocked_on = Some((j, self.now, seq));
+        if let Some((_, inst)) = &self.telemetry {
+            inst.block_events.incr();
+        }
     }
 
     fn enqueue(&mut self, j: usize, seq: u64) {
@@ -341,6 +433,9 @@ impl<'c> Engine<'c> {
         }
         self.blocked_on = None;
         self.blocked_ns[j] += self.now - since;
+        if let Some((_, inst)) = &self.telemetry {
+            inst.blocked_ns.add(self.now - since);
+        }
         // The freed slot takes the pending tuple; the worker may be idle if
         // the queue had drained completely while we were blocked.
         self.conn_q[j].push_back(seq);
@@ -384,8 +479,14 @@ impl<'c> Engine<'c> {
                 .expect("every delivered tuple was sent");
             if seq % 16 == 0 {
                 self.latencies_ns.push(self.now - entered);
+                if let Some((_, inst)) = &self.telemetry {
+                    inst.latency_ns.record(self.now - entered);
+                }
             }
             self.delivered += 1;
+            if let Some((_, inst)) = &self.telemetry {
+                inst.delivered.incr();
+            }
             self.next_expected += 1;
 
             // A freed reorder slot un-stalls the worker.
@@ -406,6 +507,9 @@ impl<'c> Engine<'c> {
         // timeouts).
         if let Some((conn, since, seq)) = self.blocked_on {
             self.blocked_ns[conn] += self.now - since;
+            if let Some((_, inst)) = &self.telemetry {
+                inst.blocked_ns.add(self.now - since);
+            }
             self.blocked_on = Some((conn, self.now, seq));
         }
 
@@ -439,13 +543,31 @@ impl<'c> Engine<'c> {
             self.wrr.set_weights(&new_weights);
         }
 
-        self.samples.push(SampleTrace {
+        let sample = SampleTrace {
             t_ns: self.now,
             weights: self.weights.clone(),
             rates,
             delivered: self.delivered - self.delivered_at_sample,
             clusters: self.policy.cluster_assignment(),
-        });
+        };
+        if let Some((t, inst)) = &self.telemetry {
+            inst.rounds.incr();
+            for (j, (rate_g, weight_g)) in inst.per_conn.iter().enumerate() {
+                rate_g.set(sample.rates[j]);
+                weight_g.set(f64::from(sample.weights[j]));
+            }
+            // Mirror the in-memory SampleTrace exactly, so a run can be
+            // reconstructed from the exported trace alone.
+            t.trace().push(TraceEvent::Sample {
+                region: 0,
+                t_ns: sample.t_ns,
+                weights: sample.weights.clone(),
+                rates: sample.rates.clone(),
+                delivered: sample.delivered,
+                clusters: sample.clusters.clone(),
+            });
+        }
+        self.samples.push(sample);
         self.delivered_at_sample = self.delivered;
         self.schedule(self.now + interval, Ev::Sample);
     }
@@ -535,7 +657,10 @@ mod tests {
             .unwrap();
         let r = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
         let total: u64 = r.blocked_ns.iter().sum();
-        assert!(total > SECOND_NS, "saturated region must block the splitter");
+        assert!(
+            total > SECOND_NS,
+            "saturated region must block the splitter"
+        );
         let max = *r.blocked_ns.iter().max().unwrap();
         assert!(
             max as f64 / total as f64 > 0.5,

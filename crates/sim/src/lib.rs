@@ -64,7 +64,7 @@ pub mod multi;
 pub mod policy;
 
 pub use config::{RegionConfig, StopCondition};
-pub use engine::run;
+pub use engine::{run, run_with_telemetry};
 pub use host::Host;
 pub use load::LoadSchedule;
 pub use metrics::{RunResult, SampleTrace};

@@ -31,7 +31,10 @@ impl LoadSchedule {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn constant(factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         LoadSchedule {
             steps: vec![(0, factor)],
         }
@@ -49,7 +52,10 @@ impl LoadSchedule {
     ///
     /// Panics if either factor is not finite and positive.
     pub fn step(initial: f64, change_at_ns: u64, after: f64) -> Self {
-        assert!(initial.is_finite() && initial > 0.0, "factor must be positive");
+        assert!(
+            initial.is_finite() && initial > 0.0,
+            "factor must be positive"
+        );
         assert!(after.is_finite() && after > 0.0, "factor must be positive");
         LoadSchedule {
             steps: vec![(0, initial), (change_at_ns, after)],

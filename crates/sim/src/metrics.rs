@@ -1,4 +1,12 @@
 //! Run results and per-interval traces.
+//!
+//! This module sits on top of [`streambal_telemetry`]: a [`SampleTrace`]
+//! converts losslessly to and from a [`TraceEvent::Sample`], and a
+//! [`RunResult`] can publish its summary into a [`MetricsRegistry`] — so a
+//! run recorded through the telemetry subsystem (exported to JSONL/CSV and
+//! parsed back) reconstructs the exact in-memory sample series.
+
+use streambal_telemetry::{MetricsRegistry, TraceEvent};
 
 use crate::SECOND_NS;
 
@@ -15,6 +23,49 @@ pub struct SampleTrace {
     pub delivered: u64,
     /// Cluster id per connection, when the policy clusters.
     pub clusters: Option<Vec<usize>>,
+}
+
+impl SampleTrace {
+    /// The equivalent telemetry event (what
+    /// [`run_with_telemetry`](crate::run_with_telemetry) pushes each round).
+    pub fn to_trace_event(&self) -> TraceEvent {
+        TraceEvent::Sample {
+            region: 0,
+            t_ns: self.t_ns,
+            weights: self.weights.clone(),
+            rates: self.rates.clone(),
+            delivered: self.delivered,
+            clusters: self.clusters.clone(),
+        }
+    }
+
+    /// Reconstructs a sample from a telemetry event; `None` for non-sample
+    /// events.
+    pub fn from_trace_event(event: &TraceEvent) -> Option<SampleTrace> {
+        match event {
+            TraceEvent::Sample {
+                t_ns,
+                weights,
+                rates,
+                delivered,
+                clusters,
+                ..
+            } => Some(SampleTrace {
+                t_ns: *t_ns,
+                weights: weights.clone(),
+                rates: rates.clone(),
+                delivered: *delivered,
+                clusters: clusters.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs the ordered sample series from a recorded event stream,
+    /// skipping non-sample events.
+    pub fn series_from_events(events: &[TraceEvent]) -> Vec<SampleTrace> {
+        events.iter().filter_map(Self::from_trace_event).collect()
+    }
 }
 
 /// The outcome of one simulation run.
@@ -131,6 +182,27 @@ impl RunResult {
             .iter()
             .map(|s| (s.t_ns as f64 / SECOND_NS as f64, s.rates[j]))
             .collect()
+    }
+
+    /// Publishes this run's summary into a telemetry registry under
+    /// `sim.result.*` (for export alongside live counters).
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        registry.counter("sim.result.delivered").add(self.delivered);
+        registry.counter("sim.result.sent").add(self.sent);
+        registry.counter("sim.result.rerouted").add(self.rerouted);
+        registry
+            .gauge("sim.result.duration_s")
+            .set(self.duration_ns as f64 / SECOND_NS as f64);
+        registry
+            .gauge("sim.result.mean_throughput")
+            .set(self.mean_throughput());
+        registry
+            .gauge("sim.result.blocked_fraction")
+            .set(self.blocked_fraction());
+        let latency = registry.histogram("sim.result.latency_ns");
+        for &l in &self.latencies_ns {
+            latency.record(l);
+        }
     }
 }
 

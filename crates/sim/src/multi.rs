@@ -18,6 +18,7 @@ use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
 use streambal_core::weights::WrrScheduler;
+use streambal_telemetry::{Telemetry, TraceEvent};
 
 use crate::config::ConfigError;
 use crate::host::Host;
@@ -88,13 +89,16 @@ impl MultiConfig {
             }
             for (&h, &f) in r.workers.iter().zip(&r.load) {
                 if h >= self.hosts.len() {
-                    return Err(ConfigError::UnknownHost { worker: ri, host: h });
+                    return Err(ConfigError::UnknownHost {
+                        worker: ri,
+                        host: h,
+                    });
                 }
-                if !(f.is_finite() && f > 0.0) {
+                if !f.is_finite() || f <= 0.0 {
                     return Err(ConfigError::ZeroParameter("load factor"));
                 }
             }
-            if r.base_cost == 0 || !(r.mult_ns > 0.0) || r.conn_capacity == 0 {
+            if r.base_cost == 0 || r.mult_ns.is_nan() || r.mult_ns <= 0.0 || r.conn_capacity == 0 {
                 return Err(ConfigError::ZeroParameter("region parameters"));
             }
         }
@@ -108,10 +112,7 @@ impl MultiConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     SendNext(usize),
-    WorkerDone {
-        worker: usize,
-        version: u64,
-    },
+    WorkerDone { worker: usize, version: u64 },
     Sample,
 }
 
@@ -190,11 +191,36 @@ pub fn run_multi(
     if policies.len() != cfg.regions.len() {
         return Err(ConfigError::NoWorkers);
     }
-    Ok(MultiEngine::new(cfg, policies).run())
+    Ok(MultiEngine::new(cfg, policies, None).run())
+}
+
+/// Like [`run_multi`], with a telemetry hub attached: each region's control
+/// rounds leave [`TraceEvent::Sample`] records tagged with the region index,
+/// per-region totals are published under `sim.region<r>.*`, and each policy
+/// gets [`Policy::attach_telemetry`].
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the configuration is invalid or the
+/// policy count does not match the region count.
+pub fn run_multi_with_telemetry(
+    cfg: &MultiConfig,
+    mut policies: Vec<Box<dyn Policy>>,
+    telemetry: &Telemetry,
+) -> Result<Vec<RunResult>, ConfigError> {
+    cfg.validate()?;
+    if policies.len() != cfg.regions.len() {
+        return Err(ConfigError::NoWorkers);
+    }
+    for p in &mut policies {
+        p.attach_telemetry(telemetry);
+    }
+    Ok(MultiEngine::new(cfg, policies, Some(telemetry.clone())).run())
 }
 
 struct MultiEngine<'c> {
     cfg: &'c MultiConfig,
+    telemetry: Option<Telemetry>,
     now: u64,
     events: BinaryHeap<Reverse<Scheduled>>,
     tie: u64,
@@ -205,7 +231,11 @@ struct MultiEngine<'c> {
 }
 
 impl<'c> MultiEngine<'c> {
-    fn new(cfg: &'c MultiConfig, policies: Vec<Box<dyn Policy>>) -> Self {
+    fn new(
+        cfg: &'c MultiConfig,
+        policies: Vec<Box<dyn Policy>>,
+        telemetry: Option<Telemetry>,
+    ) -> Self {
         let mut workers = Vec::new();
         let mut regions = Vec::new();
         for (ri, (spec, policy)) in cfg.regions.iter().zip(policies).enumerate() {
@@ -247,6 +277,7 @@ impl<'c> MultiEngine<'c> {
         }
         MultiEngine {
             cfg,
+            telemetry,
             now: 0,
             events: BinaryHeap::new(),
             tie: 0,
@@ -258,7 +289,11 @@ impl<'c> MultiEngine<'c> {
 
     fn schedule(&mut self, t: u64, ev: Ev) {
         self.tie += 1;
-        self.events.push(Reverse(Scheduled { t, tie: self.tie, ev }));
+        self.events.push(Reverse(Scheduled {
+            t,
+            tie: self.tie,
+            ev,
+        }));
     }
 
     fn host_rate(&self, host: usize) -> f64 {
@@ -287,7 +322,10 @@ impl<'c> MultiEngine<'c> {
             self.workers[w].version += 1;
             let finish = self.now + (self.workers[w].remaining / new_rate).ceil() as u64;
             let version = self.workers[w].version;
-            self.schedule(finish.max(self.now + 1), Ev::WorkerDone { worker: w, version });
+            self.schedule(
+                finish.max(self.now + 1),
+                Ev::WorkerDone { worker: w, version },
+            );
         }
     }
 
@@ -311,11 +349,21 @@ impl<'c> MultiEngine<'c> {
         }
 
         let now = self.now;
+        let telemetry = self.telemetry.take();
         self.regions
             .iter_mut()
-            .map(|r| {
+            .enumerate()
+            .map(|(ri, r)| {
                 if let Some((conn, since, _)) = r.blocked_on.take() {
                     r.blocked_ns[conn] += now.saturating_sub(since);
+                }
+                if let Some(t) = &telemetry {
+                    let reg = t.registry();
+                    reg.counter(&format!("sim.region{ri}.delivered"))
+                        .add(r.delivered);
+                    reg.counter(&format!("sim.region{ri}.sent")).add(r.sent);
+                    reg.counter(&format!("sim.region{ri}.blocked_ns"))
+                        .add(r.blocked_ns.iter().sum());
                 }
                 RunResult {
                     policy: r.policy.name().to_owned(),
@@ -398,7 +446,10 @@ impl<'c> MultiEngine<'c> {
             self.workers[w].version += 1;
             let finish = self.now + (self.workers[w].remaining / old_rate).ceil() as u64;
             let version = self.workers[w].version;
-            self.schedule(finish.max(self.now + 1), Ev::WorkerDone { worker: w, version });
+            self.schedule(
+                finish.max(self.now + 1),
+                Ev::WorkerDone { worker: w, version },
+            );
             return;
         }
         let seq = self.workers[w].current.take().expect("checked busy");
@@ -445,8 +496,7 @@ impl<'c> MultiEngine<'c> {
             let mut rates = Vec::with_capacity(n);
             let mut samples = Vec::with_capacity(n);
             for j in 0..n {
-                let delta =
-                    self.regions[r].blocked_ns[j] - self.regions[r].blocked_at_sample[j];
+                let delta = self.regions[r].blocked_ns[j] - self.regions[r].blocked_at_sample[j];
                 let rate = delta as f64 / interval as f64;
                 rates.push(rate);
                 samples.push(PolicySample {
@@ -470,13 +520,24 @@ impl<'c> MultiEngine<'c> {
             let delivered_delta = region.delivered - region.delivered_at_sample;
             region.delivered_at_sample = region.delivered;
             let clusters = region.policy.cluster_assignment();
-            region.samples.push(SampleTrace {
+            let sample = SampleTrace {
                 t_ns: now,
                 weights: region.weights.clone(),
                 rates,
                 delivered: delivered_delta,
                 clusters,
-            });
+            };
+            if let Some(t) = &self.telemetry {
+                t.trace().push(TraceEvent::Sample {
+                    region: r,
+                    t_ns: sample.t_ns,
+                    weights: sample.weights.clone(),
+                    rates: sample.rates.clone(),
+                    delivered: sample.delivered,
+                    clusters: sample.clusters.clone(),
+                });
+            }
+            region.samples.push(sample);
         }
         self.schedule(now + interval, Ev::Sample);
     }

@@ -11,6 +11,7 @@
 use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
 use streambal_core::rate::ConnectionSample;
 use streambal_core::weights::{WeightVector, DEFAULT_RESOLUTION};
+use streambal_telemetry::Telemetry;
 
 /// Run-level context handed to [`Policy::on_sample`] each control round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,8 +48,7 @@ pub trait Policy {
 
     /// Called once per sampling interval; returns new weights to install,
     /// or `None` to keep the current ones.
-    fn on_sample(&mut self, ctx: &SampleContext, samples: &[PolicySample])
-        -> Option<WeightVector>;
+    fn on_sample(&mut self, ctx: &SampleContext, samples: &[PolicySample]) -> Option<WeightVector>;
 
     /// Whether the splitter should reroute tuples to a sibling connection
     /// instead of blocking when a buffer is full (§4.4's transport-level
@@ -61,6 +61,12 @@ pub trait Policy {
     fn cluster_assignment(&self) -> Option<Vec<usize>> {
         None
     }
+
+    /// Called by [`run_with_telemetry`](crate::run_with_telemetry) before
+    /// the run starts; policies with internal decision state (e.g. the
+    /// balancer's controller trace) hook it into the hub here. The default
+    /// does nothing.
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
 }
 
 /// Naive round-robin (*RR*), optionally with §4.4 transport-level
@@ -203,10 +209,7 @@ impl SchedulePolicy {
 
     /// Creates a schedule with arbitrary triggers, applied in list order as
     /// each becomes satisfied.
-    pub fn with_triggers(
-        initial: WeightVector,
-        switches: Vec<(SwitchAt, WeightVector)>,
-    ) -> Self {
+    pub fn with_triggers(initial: WeightVector, switches: Vec<(SwitchAt, WeightVector)>) -> Self {
         SchedulePolicy {
             initial,
             switches,
@@ -309,9 +312,11 @@ impl Policy for BalancerPolicy {
     }
 
     fn cluster_assignment(&self) -> Option<Vec<usize>> {
-        self.lb
-            .last_clusters()
-            .map(|c| c.assignment.clone())
+        self.lb.last_clusters().map(|c| c.assignment.clone())
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.lb.attach_trace(telemetry.trace().clone());
     }
 }
 

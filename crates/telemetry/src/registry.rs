@@ -1,0 +1,469 @@
+//! Hot-path-safe metric primitives and the registry that names them.
+//!
+//! All three metric kinds are thin `Arc`s over atomics: incrementing a
+//! [`Counter`], setting a [`Gauge`] or recording into a [`Histogram`] is
+//! a handful of relaxed atomic operations with no locking, so they can
+//! sit on the splitter's per-tuple path. Only registration (name lookup)
+//! and snapshotting take a lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter (e.g. tuples sent, blocked ns).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh unregistered counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge (e.g. a connection's current
+/// weight or sampled blocking rate).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh unregistered gauge starting at 0.0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `v`.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-bucket resolution: 16 linear sub-buckets per power of two, giving
+/// a worst-case relative quantile error of 1/32 (~3.1%).
+const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+/// Bucket count covering all of `u64`: 16 exact small values plus
+/// 16 sub-buckets for each octave 4..=63.
+const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log-linear histogram of `u64` observations (latencies in
+/// ns, queue depths, ...). Values up to 15 are exact; larger values land
+/// in one of 16 linear sub-buckets per power of two, bounding relative
+/// error at ~3.1%. Recording is a few relaxed atomics.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(HistogramInner {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (exp - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+        SUB_BUCKETS + (exp - SUB_BITS) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// The representative (midpoint) value of a bucket, used when answering
+/// quantile queries.
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let exp = SUB_BITS + ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+        let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+        let lower = (1u64 << exp) | (sub << (exp - SUB_BITS));
+        let width = 1u64 << (exp - SUB_BITS);
+        lower + width / 2
+    }
+}
+
+impl Histogram {
+    /// A fresh unregistered histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum observation, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        match self.0.min.load(Ordering::Relaxed) {
+            u64::MAX if self.count() == 0 => None,
+            v => Some(v),
+        }
+    }
+
+    /// Exact maximum observation, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.0.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Mean observation, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum() as f64 / n as f64)
+        }
+    }
+
+    /// The approximate `q`-quantile (`0.0..=1.0`): the representative
+    /// value of the bucket containing the `ceil(q*count)`-th observation,
+    /// clamped to the exact observed min/max. `None` if empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                let v = bucket_value(i);
+                return Some(v.clamp(self.min().unwrap_or(v), self.max().unwrap_or(v)));
+            }
+        }
+        self.max()
+    }
+
+    /// A fixed summary for exporters: count/sum/min/max and the p50, p90
+    /// and p99 quantiles (zeros when empty).
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// The exported view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The value part of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram's summary.
+    Histogram(HistogramSummary),
+}
+
+/// One named metric captured by [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric's registered name.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A named collection of metrics. Handles returned by
+/// [`counter`](Self::counter) / [`gauge`](Self::gauge) /
+/// [`histogram`](Self::histogram) are cheap clones sharing the
+/// registered atomic, so callers cache them once and update lock-free
+/// afterwards.
+///
+/// # Panics
+/// Re-registering a name as a different metric kind panics: that is a
+/// programming error, not a runtime condition.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Gets or registers the counter called `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers the gauge called `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers the histogram called `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Captures every registered metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.lock()
+            .iter()
+            .map(|(name, m)| MetricSnapshot {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.count");
+        c.incr();
+        c.add(9);
+        assert_eq!(r.counter("a.count").get(), 10);
+        let g = r.gauge("a.level");
+        g.set(-2.5);
+        assert!((r.gauge("a.level").get() + 2.5).abs() < 1e-12);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        // 16 observations: the 8th smallest is value 7.
+        assert_eq!(h.quantile(0.5), Some(7));
+        assert_eq!(h.max(), Some(15));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.sum(), (0..16).sum());
+    }
+
+    #[test]
+    fn bucket_index_monotone_and_in_range() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 3]
+                    .into_iter()
+                    .map(move |off| (1u64 << shift).saturating_add(off << shift.saturating_sub(3)))
+            })
+            .chain([u64::MAX])
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "bucket index not monotone at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let h = Histogram::new();
+        // Values spanning several octaves.
+        for i in 1..=10_000u64 {
+            h.record(i * 37);
+        }
+        for (q, exact) in [(0.5, 5_000 * 37), (0.9, 9_000 * 37), (0.99, 9_900 * 37)] {
+            let est = h.quantile(q).unwrap() as f64;
+            let rel = (est - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.04, "q={q}: est {est} vs exact {exact} (rel {rel})");
+        }
+        assert_eq!(h.max(), Some(370_000));
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn quantiles_clamped_to_observed_extremes() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile(0.0), Some(1_000_003));
+        assert_eq!(h.quantile(1.0), Some(1_000_003));
+        assert_eq!(h.summary().p99, 1_000_003);
+    }
+
+    #[test]
+    fn empty_histogram_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("z").incr();
+        r.gauge("a").set(1.0);
+        r.histogram("m").record(5);
+        let names: Vec<_> = r.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+}

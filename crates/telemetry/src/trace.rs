@@ -1,0 +1,265 @@
+//! Typed controller/run trace records in a bounded ring buffer.
+//!
+//! Every consequential control decision — a sampled blocking-rate vector,
+//! the solver's input and output weights, a decay application, an
+//! exploration step, a cluster merge/split — is recorded as a
+//! [`TraceEvent`]. The buffer is bounded: long runs evict the oldest
+//! records and count them in [`TraceBuffer::dropped`] instead of growing
+//! without limit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity: enough for ~18 hours of 1 s control rounds.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A periodic engine sample: the state visible at one sampling
+    /// instant (mirrors `sim::metrics::SampleTrace`).
+    Sample {
+        /// Region index (0 for single-region runs).
+        region: usize,
+        /// Simulated/wall time of the sample, ns since run start.
+        t_ns: u64,
+        /// Per-connection weights in effect, in units of 1/resolution.
+        weights: Vec<u32>,
+        /// Per-connection blocking rates observed over the last interval.
+        rates: Vec<f64>,
+        /// Cumulative tuples delivered in order.
+        delivered: u64,
+        /// Cluster assignment per connection, when clustering is active.
+        clusters: Option<Vec<usize>>,
+    },
+    /// One controller round: solver input (observed rates), the weights
+    /// it started from and the weights it produced.
+    ControllerRound {
+        /// The balancer's round counter.
+        round: u64,
+        /// Blocking rates observed for this round, per connection.
+        rates: Vec<f64>,
+        /// Weights before rebalancing.
+        weights_before: Vec<u32>,
+        /// Weights after rebalancing (solver output + exploration).
+        weights_after: Vec<u32>,
+    },
+    /// An adaptive-mode decay application over stale observations.
+    Decay {
+        /// The balancer's round counter.
+        round: u64,
+        /// The multiplicative decay factor applied (e.g. 0.9).
+        decay: f64,
+    },
+    /// An exploration step: a connection's weight was nudged beyond the
+    /// observation frontier to probe unexplored allocations.
+    Exploration {
+        /// The balancer's round counter.
+        round: u64,
+        /// The connection being explored.
+        connection: usize,
+        /// Weight before the nudge.
+        from: u32,
+        /// Weight after the nudge.
+        to: u32,
+    },
+    /// The clustering of connections changed (merge/split/recompute).
+    ClusterUpdate {
+        /// The balancer's round counter.
+        round: u64,
+        /// Cluster index per connection.
+        assignment: Vec<usize>,
+    },
+    /// An escape hatch for layer-specific numeric annotations.
+    Custom {
+        /// Event name (lower-snake dotted, like metric names).
+        name: String,
+        /// Named numeric payload fields.
+        fields: Vec<(String, f64)>,
+    },
+}
+
+impl TraceEvent {
+    /// The event's type tag as exported (`"sample"`, `"controller_round"`,
+    /// `"decay"`, `"exploration"`, `"cluster_update"`, `"custom"`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Sample { .. } => "sample",
+            TraceEvent::ControllerRound { .. } => "controller_round",
+            TraceEvent::Decay { .. } => "decay",
+            TraceEvent::Exploration { .. } => "exploration",
+            TraceEvent::ClusterUpdate { .. } => "cluster_update",
+            TraceEvent::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// A trace event plus its global sequence number (assigned at push,
+/// never reused — gaps after eviction are visible to consumers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// 0-based position of this event in the full (pre-eviction) stream.
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct Ring {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe ring buffer of [`TraceRecord`]s.
+///
+/// Cloning shares the underlying ring. Pushes are O(1); when full, the
+/// oldest record is evicted and counted.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    ring: Arc<Mutex<Ring>>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` records (minimum 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Arc::new(Mutex::new(Ring {
+                records: VecDeque::new(),
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends an event, evicting the oldest record if full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut r = self.lock();
+        if r.records.len() == r.capacity {
+            r.records.pop_front();
+            r.dropped += 1;
+        }
+        let seq = r.next_seq;
+        r.next_seq += 1;
+        r.records.push_back(TraceRecord { seq, event });
+    }
+
+    /// Number of records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().records.len()
+    }
+
+    /// True when no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().records.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// How many records have been evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Copies out the retained records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.lock().records.iter().cloned().collect()
+    }
+
+    /// Copies out just the events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock()
+            .records
+            .iter()
+            .map(|r| r.event.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decay(round: u64) -> TraceEvent {
+        TraceEvent::Decay { round, decay: 0.9 }
+    }
+
+    #[test]
+    fn push_and_read_back_in_order() {
+        let b = TraceBuffer::with_capacity(8);
+        for r in 0..5 {
+            b.push(decay(r));
+        }
+        let recs = b.records();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(b.dropped(), 0);
+        for (i, rec) in recs.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.event, decay(i as u64));
+        }
+    }
+
+    #[test]
+    fn eviction_drops_oldest_and_counts() {
+        let b = TraceBuffer::with_capacity(3);
+        for r in 0..10 {
+            b.push(decay(r));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dropped(), 7);
+        let recs = b.records();
+        // Oldest retained is seq 7: sequence numbers survive eviction.
+        assert_eq!(recs[0].seq, 7);
+        assert_eq!(recs[2].seq, 9);
+        assert_eq!(recs[2].event, decay(9));
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let b = TraceBuffer::with_capacity(0);
+        b.push(decay(0));
+        b.push(decay(1));
+        assert_eq!(b.capacity(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.records()[0].seq, 1);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(decay(0).kind(), "decay");
+        let s = TraceEvent::Sample {
+            region: 0,
+            t_ns: 0,
+            weights: vec![],
+            rates: vec![],
+            delivered: 0,
+            clusters: None,
+        };
+        assert_eq!(s.kind(), "sample");
+    }
+}

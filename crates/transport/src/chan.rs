@@ -8,16 +8,33 @@
 //! 2. [`Sender::send_recording`] — on a full buffer it *elects to block*
 //!    (like the paper's `select` with a timeout object) and charges the
 //!    blocked wall-clock duration to the connection's [`BlockingCounter`].
+//!
+//! A sender can additionally be [instrumented](Sender::instrument) with a
+//! telemetry registry, publishing the same blocking signal as a named
+//! counter plus a wait-duration histogram.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use streambal_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::counters::BlockingCounter;
+
+/// Locks a mutex, ignoring poisoning (the queues hold plain data; a
+/// panicked peer cannot leave them logically inconsistent).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Telemetry handles published by [`Sender::instrument`].
+struct Instrument {
+    blocked_ns: Counter,
+    block_waits: Counter,
+    wait_ns: Histogram,
+}
 
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
@@ -27,6 +44,7 @@ struct Shared<T> {
     senders: AtomicUsize,
     receivers: AtomicUsize,
     counter: Arc<BlockingCounter>,
+    instrument: OnceLock<Instrument>,
 }
 
 /// Error returned by [`Sender::try_send`].
@@ -128,6 +146,7 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
         counter: Arc::new(BlockingCounter::new()),
+        instrument: OnceLock::new(),
     });
     (
         Sender {
@@ -154,7 +173,7 @@ impl<T> Sender<T> {
         if self.shared.receivers.load(Ordering::Acquire) == 0 {
             return Err(TrySendError::Disconnected(value));
         }
-        let mut q = self.shared.queue.lock();
+        let mut q = lock(&self.shared.queue);
         if q.len() >= self.shared.capacity {
             return Err(TrySendError::Full(value));
         }
@@ -182,7 +201,7 @@ impl<T> Sender<T> {
         };
         // Slow path: elect to block and record for how long.
         let start = Instant::now();
-        let mut q = self.shared.queue.lock();
+        let mut q = lock(&self.shared.queue);
         loop {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 self.record_elapsed(start);
@@ -195,13 +214,38 @@ impl<T> Sender<T> {
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
-            self.shared.not_full.wait(&mut q);
+            q = self
+                .shared
+                .not_full
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn record_elapsed(&self, start: Instant) {
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.shared.counter.add_ns(ns);
+        if let Some(inst) = self.shared.instrument.get() {
+            inst.blocked_ns.add(ns);
+            inst.block_waits.incr();
+            inst.wait_ns.record(ns);
+        }
+    }
+
+    /// Publishes this connection's blocking signal into `registry` under
+    /// `transport.<name>.blocked_ns` (cumulative counter, mirrors the
+    /// [`BlockingCounter`]), `transport.<name>.block_waits` (number of
+    /// recorded waits) and `transport.<name>.block_wait_ns` (per-wait
+    /// duration histogram).
+    ///
+    /// Instrumentation can be attached once per channel; later calls are
+    /// ignored. All clones of this sender share it.
+    pub fn instrument(&self, registry: &MetricsRegistry, name: &str) {
+        let _ = self.shared.instrument.set(Instrument {
+            blocked_ns: registry.counter(&format!("transport.{name}.blocked_ns")),
+            block_waits: registry.counter(&format!("transport.{name}.block_waits")),
+            wait_ns: registry.histogram(&format!("transport.{name}.block_wait_ns")),
+        });
     }
 
     /// The connection's cumulative blocking-time counter, shared with any
@@ -212,7 +256,7 @@ impl<T> Sender<T> {
 
     /// Number of messages currently buffered.
     pub fn len(&self) -> usize {
-        self.shared.queue.lock().len()
+        lock(&self.shared.queue).len()
     }
 
     /// Whether the buffer is currently empty.
@@ -266,7 +310,7 @@ impl<T> Receiver<T> {
     /// [`TryRecvError::Disconnected`] once all senders are gone *and* the
     /// buffer is drained.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut q = self.shared.queue.lock();
+        let mut q = lock(&self.shared.queue);
         match q.pop_front() {
             Some(v) => {
                 drop(q);
@@ -290,7 +334,7 @@ impl<T> Receiver<T> {
     /// Returns [`RecvError`] once all senders are gone and the buffer is
     /// drained.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut q = self.shared.queue.lock();
+        let mut q = lock(&self.shared.queue);
         loop {
             if let Some(v) = q.pop_front() {
                 drop(q);
@@ -300,13 +344,17 @@ impl<T> Receiver<T> {
             if self.shared.senders.load(Ordering::Acquire) == 0 {
                 return Err(RecvError);
             }
-            self.shared.not_empty.wait(&mut q);
+            q = self
+                .shared
+                .not_empty
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Number of messages currently buffered.
     pub fn len(&self) -> usize {
-        self.shared.queue.lock().len()
+        lock(&self.shared.queue).len()
     }
 
     /// Whether the buffer is currently empty.
@@ -447,5 +495,25 @@ mod tests {
         tx.try_send(1).unwrap();
         assert_eq!(tx.len(), 1);
         assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn instrumented_sender_publishes_blocking_metrics() {
+        let registry = MetricsRegistry::new();
+        let (tx, rx) = bounded(1);
+        tx.instrument(&registry, "conn0");
+        tx.try_send(0u32).unwrap();
+        let handle = thread::spawn(move || {
+            tx.send_recording(1).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 0);
+        handle.join().unwrap();
+        assert!(registry.counter("transport.conn0.blocked_ns").get() >= 5_000_000);
+        assert_eq!(registry.counter("transport.conn0.block_waits").get(), 1);
+        assert_eq!(
+            registry.histogram("transport.conn0.block_wait_ns").count(),
+            1
+        );
     }
 }

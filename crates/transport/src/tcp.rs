@@ -201,8 +201,7 @@ impl TcpReceiver {
                 };
             }
         }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-            as usize;
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > MAX_FRAME {
             return Err(io::Error::new(ErrorKind::InvalidData, "frame too large"));
         }

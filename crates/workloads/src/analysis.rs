@@ -76,9 +76,7 @@ pub fn mean_final_weights(result: &RunResult, tail: usize) -> Vec<f64> {
     let start = result.samples.len().saturating_sub(tail.max(1));
     let window = &result.samples[start..];
     (0..n)
-        .map(|j| {
-            window.iter().map(|s| f64::from(s.weights[j])).sum::<f64>() / window.len() as f64
-        })
+        .map(|j| window.iter().map(|s| f64::from(s.weights[j])).sum::<f64>() / window.len() as f64)
         .collect()
 }
 

@@ -72,8 +72,7 @@ pub fn policy(cfg: &RegionConfig) -> SchedulePolicy {
     while i < events.len() {
         let fraction = events[i].fraction;
         while i < events.len() && events[i].fraction == fraction {
-            overlay.workers[events[i].worker].load =
-                LoadSchedule::constant(events[i].factor);
+            overlay.workers[events[i].worker].load = LoadSchedule::constant(events[i].factor);
             i += 1;
         }
         switches.push((

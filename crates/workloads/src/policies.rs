@@ -58,9 +58,11 @@ impl PolicyKind {
         match self {
             PolicyKind::RoundRobin => Box::new(RoundRobinPolicy::new()),
             PolicyKind::Reroute => Box::new(RoundRobinPolicy::with_reroute()),
-            PolicyKind::LbStatic => Box::new(BalancerPolicy::new(
-                balancer_config(n, BalancerMode::Static, false),
-            )),
+            PolicyKind::LbStatic => Box::new(BalancerPolicy::new(balancer_config(
+                n,
+                BalancerMode::Static,
+                false,
+            ))),
             PolicyKind::LbAdaptive => Box::new(BalancerPolicy::new(balancer_config(
                 n,
                 BalancerMode::default(),

@@ -1,9 +1,14 @@
 //! Plain-text tables and CSV emission for the bench harness.
+//!
+//! CSV serialization and file output delegate to
+//! [`streambal_telemetry::export`], so tables and telemetry exports share
+//! one RFC 4180 escaping implementation.
 
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::Path;
+
+use streambal_telemetry::export;
 
 /// A simple aligned text table that can also serialize itself as CSV.
 ///
@@ -59,16 +64,10 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders as CSV (header line plus one line per row).
+    /// Renders as CSV (header line plus one line per row), escaping fields
+    /// per RFC 4180.
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        out
+        export::csv_table(&self.headers, &self.rows)
     }
 
     /// Writes the CSV rendering to a file, creating parent directories.
@@ -77,11 +76,7 @@ impl Table {
     ///
     /// Propagates any I/O error.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        fs::write(path, self.to_csv())
+        export::write_file(path, &self.to_csv())
     }
 }
 
@@ -184,6 +179,16 @@ mod tests {
         let mut t = Table::new("x", vec!["a".into(), "b".into()]);
         t.push_row(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_escapes_special_fields() {
+        let mut t = Table::new("x", vec!["policy".into(), "note".into()]);
+        t.push_row(vec!["LB, adaptive".into(), "say \"hi\"".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "policy,note\n\"LB, adaptive\",\"say \"\"hi\"\"\"\n"
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ pub fn fig05_fixed_split(split_permille: u32) -> (Scenario, WeightVector) {
     .expect("two-way split sums to R");
     (
         Scenario {
-            name: format!("fig05/{}-{}", split_permille / 10, 100 - split_permille / 10),
+            name: format!(
+                "fig05/{}-{}",
+                split_permille / 10,
+                100 - split_permille / 10
+            ),
             config,
             load_change_ns: None,
             clustered: false,
@@ -143,6 +147,7 @@ pub fn fig10(n: usize, dynamic: bool) -> Scenario {
     sweep_scenario("fig10", n, dynamic, 10_000, 50.0, 100.0, None, 100)
 }
 
+#[allow(clippy::too_many_arguments)] // one knob per figure parameter
 fn sweep_scenario(
     fig: &str,
     n: usize,
@@ -184,10 +189,7 @@ fn sweep_scenario(
     }
     b.stop(StopCondition::Tuples(total_tuples));
     Scenario {
-        name: format!(
-            "{fig}/n={n}/{}",
-            if dynamic { "dynamic" } else { "static" }
-        ),
+        name: format!("{fig}/n={n}/{}", if dynamic { "dynamic" } else { "static" }),
         config: b.build().expect("sweep configuration is valid"),
         load_change_ns: None,
         clustered: false,
@@ -492,7 +494,9 @@ mod tests {
         all.push(reroute_experiment(1_000));
         all.push(reroute_experiment(10_000));
         for s in &all {
-            s.config.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            s.config
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
         }
     }
 }

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example clustering_wide_region`
 
-use streambal::core::BalancerConfig;
 use streambal::core::controller::ClusteringConfig;
+use streambal::core::BalancerConfig;
 use streambal::sim::config::{RegionConfig, StopCondition};
 use streambal::sim::host::Host;
 use streambal::sim::policy::{BalancerPolicy, Policy};

@@ -24,6 +24,7 @@ fn main() {
                 // here is only a local counter (the operator is logically
                 // stateless per tuple).
                 processed += 1;
+                std::hint::black_box(processed);
                 spin_multiplies(2_000) ^ u64::from(b + c)
             }
         })

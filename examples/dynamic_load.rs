@@ -38,9 +38,7 @@ fn main() {
     println!("3 workers, worker 0 at 100x load until t=30s, run ends at t=240s\n");
     for mode in [BalancerMode::Static, BalancerMode::default()] {
         let (name, tput, weights) = run_mode(mode);
-        println!(
-            "{name:<12} final throughput {tput:>8.0} tuples/s, final weights {weights:?}"
-        );
+        println!("{name:<12} final throughput {tput:>8.0} tuples/s, final weights {weights:?}");
     }
     println!(
         "\nLB-static keeps worker 0 throttled forever; LB-adaptive's 10% decay\n\

@@ -21,9 +21,8 @@ fn main() {
         .build()
         .expect("valid region");
 
-    let mut policy = BalancerPolicy::adaptive(
-        BalancerConfig::builder(2).build().expect("valid balancer"),
-    );
+    let mut policy =
+        BalancerPolicy::adaptive(BalancerConfig::builder(2).build().expect("valid balancer"));
     let result = streambal::sim::run(&cfg, &mut policy).expect("simulation runs");
 
     println!("t(s)  fast-host weight  slow-host weight");

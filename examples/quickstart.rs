@@ -20,9 +20,8 @@ fn main() {
 
     // The paper's LB-adaptive: blocking-rate model + minimax optimization
     // + 10% exploration decay.
-    let mut policy = BalancerPolicy::adaptive(
-        BalancerConfig::builder(3).build().expect("valid balancer"),
-    );
+    let mut policy =
+        BalancerPolicy::adaptive(BalancerConfig::builder(3).build().expect("valid balancer"));
 
     let result = streambal::sim::run(&cfg, &mut policy).expect("simulation runs");
 

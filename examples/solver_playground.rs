@@ -36,7 +36,7 @@ fn main() {
         );
     }
 
-    let functions = vec![
+    let functions = [
         light.predicted().to_vec(),
         medium.predicted().to_vec(),
         severe.predicted().to_vec(),
@@ -48,7 +48,10 @@ fn main() {
     for (name, allocation) in [
         ("fox greedy    ", fox::solve(&problem).expect("feasible")),
         ("bisection     ", bisect::solve(&problem).expect("feasible")),
-        ("galil-megiddo ", galil_megiddo::solve(&problem).expect("feasible")),
+        (
+            "galil-megiddo ",
+            galil_megiddo::solve(&problem).expect("feasible"),
+        ),
     ] {
         println!(
             "  {name} {:>4} / {:>4} / {:>4}  ->  {:.4}",

@@ -13,7 +13,11 @@ fn main() {
     // A synthetic sensor stream: a noisy baseline with a burst anomaly.
     let readings = (0..100_000u64).map(|i| {
         let noise = (i.wrapping_mul(2_654_435_761) >> 24) % 10;
-        let burst = if (40_000..40_500).contains(&i) { 400 } else { 0 };
+        let burst = if (40_000..40_500).contains(&i) {
+            400
+        } else {
+            0
+        };
         100 + noise + burst
     });
 
@@ -50,5 +54,12 @@ fn main() {
         !alerts.is_empty(),
         "the injected burst must raise at least one alert"
     );
-    println!("\nstages: {:?}", report.stages.iter().map(|s| s.name.as_str()).collect::<Vec<_>>());
+    println!(
+        "\nstages: {:?}",
+        report
+            .stages
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+    );
 }

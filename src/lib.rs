@@ -5,5 +5,6 @@ pub use streambal_core as core;
 pub use streambal_dataflow as dataflow;
 pub use streambal_runtime as runtime;
 pub use streambal_sim as sim;
+pub use streambal_telemetry as telemetry;
 pub use streambal_transport as transport;
 pub use streambal_workloads as workloads;

@@ -16,8 +16,7 @@ fn fig08_like(mode: BalancerMode, seconds: u64) -> streambal::sim::metrics::RunR
         .stop(StopCondition::Duration(seconds * SECOND_NS))
         .build()
         .unwrap();
-    let mut policy =
-        BalancerPolicy::new(BalancerConfig::builder(3).mode(mode).build().unwrap());
+    let mut policy = BalancerPolicy::new(BalancerConfig::builder(3).mode(mode).build().unwrap());
     streambal::sim::run(&cfg, &mut policy).unwrap()
 }
 
@@ -93,8 +92,7 @@ fn heterogeneous_run_settles_early_with_low_churn() {
         .stop(StopCondition::Duration(120 * SECOND_NS))
         .build()
         .unwrap();
-    let mut policy =
-        BalancerPolicy::adaptive(BalancerConfig::builder(2).build().unwrap());
+    let mut policy = BalancerPolicy::adaptive(BalancerConfig::builder(2).build().unwrap());
     let r = streambal::sim::run(&cfg, &mut policy).unwrap();
     let settle = analysis::settle_seconds(&r, 50).expect("run must settle");
     assert!(settle <= 60, "expected settling within 60 s, got {settle}");

@@ -58,7 +58,11 @@ fn oversubscribed_cluster_still_places_everything() {
         ],
     )
     .unwrap();
-    for strategy in [Strategy::RoundRobin, Strategy::CapacityAware, Strategy::LocalSearch] {
+    for strategy in [
+        Strategy::RoundRobin,
+        Strategy::CapacityAware,
+        Strategy::LocalSearch,
+    ] {
         let p = place(&spec, strategy);
         assert_eq!(spec.pes_per_host(&p).iter().sum::<u32>(), 48);
         assert!(spec.min_region_throughput(&p) > 0.0);

@@ -92,8 +92,8 @@ fn tcp_peer_death_is_an_error_not_a_hang() {
     let mut tx = connect(addr).unwrap();
     let rx = acceptor.join().unwrap();
     drop(rx); // peer dies
-    // The kernel may accept a few frames into its buffers, but sending must
-    // eventually fail rather than block forever.
+              // The kernel may accept a few frames into its buffers, but sending must
+              // eventually fail rather than block forever.
     let payload = vec![0u8; 16 * 1024];
     let mut failed = false;
     for _ in 0..10_000 {

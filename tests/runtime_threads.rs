@@ -38,10 +38,7 @@ fn real_blocking_shifts_weight_from_slow_worker() {
         .unwrap();
     assert!(report.in_order);
     let w = report.final_weights().expect("controller ran");
-    assert!(
-        w[1] < w[0],
-        "slow worker must end with less weight: {w:?}"
-    );
+    assert!(w[1] < w[0], "slow worker must end with less weight: {w:?}");
     assert!(w[1] < 350, "slow worker should be clearly throttled: {w:?}");
 }
 

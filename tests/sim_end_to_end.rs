@@ -4,7 +4,7 @@
 use streambal::core::controller::{BalancerConfig, BalancerMode};
 use streambal::sim::config::{RegionConfig, StopCondition};
 use streambal::sim::load::LoadSchedule;
-use streambal::sim::policy::{BalancerPolicy, FixedPolicy, RoundRobinPolicy};
+use streambal::sim::policy::{BalancerPolicy, FixedPolicy};
 use streambal::sim::SECOND_NS;
 use streambal::workloads::{oracle, scenarios, PolicyKind};
 use streambal_core::weights::WeightVector;
@@ -21,8 +21,7 @@ fn severe_imbalance_detected_within_15_rounds() {
         .stop(StopCondition::Duration(15 * SECOND_NS))
         .build()
         .unwrap();
-    let mut policy =
-        BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+    let mut policy = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
     let result = streambal::sim::run(&cfg, &mut policy).unwrap();
     let last = result.samples.last().unwrap();
     assert!(
@@ -44,8 +43,7 @@ fn equal_capacity_settles_near_even() {
         .stop(StopCondition::Duration(400 * SECOND_NS))
         .build()
         .unwrap();
-    let mut policy =
-        BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+    let mut policy = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
     let result = streambal::sim::run(&cfg, &mut policy).unwrap();
     // Average the weights over the last quarter of the run (the paper's
     // trace oscillates around the even split).
@@ -72,13 +70,11 @@ fn blocking_rate_monotone_in_fixed_share() {
             .stop(StopCondition::Duration(60 * SECOND_NS))
             .build()
             .unwrap();
-        let weights =
-            WeightVector::from_units(vec![split, 1000 - split], 1000).unwrap();
+        let weights = WeightVector::from_units(vec![split, 1000 - split], 1000).unwrap();
         let mut policy = FixedPolicy::new(weights);
         let result = streambal::sim::run(&cfg, &mut policy).unwrap();
         let tail = &result.samples[result.samples.len() / 2..];
-        let mean: f64 =
-            tail.iter().map(|s| s.rates[0]).sum::<f64>() / tail.len() as f64;
+        let mean: f64 = tail.iter().map(|s| s.rates[0]).sum::<f64>() / tail.len() as f64;
         means.push(mean);
     }
     assert!(
@@ -151,10 +147,10 @@ fn adaptive_final_throughput_beats_static_after_load_removal() {
     };
     let run_mode = |mode: BalancerMode| {
         let cfg = build();
-        let mut p = BalancerPolicy::new(
-            BalancerConfig::builder(4).mode(mode).build().unwrap(),
-        );
-        streambal::sim::run(&cfg, &mut p).unwrap().final_throughput(10)
+        let mut p = BalancerPolicy::new(BalancerConfig::builder(4).mode(mode).build().unwrap());
+        streambal::sim::run(&cfg, &mut p)
+            .unwrap()
+            .final_throughput(10)
     };
     let adaptive = run_mode(BalancerMode::default());
     let static_ = run_mode(BalancerMode::Static);
@@ -164,7 +160,10 @@ fn adaptive_final_throughput_beats_static_after_load_removal() {
     );
     // And the recovered throughput is a solid fraction of the 4-worker
     // optimum (4 x 2k tuples/s).
-    assert!(adaptive > 6_000.0, "adaptive should recover most capacity: {adaptive}");
+    assert!(
+        adaptive > 6_000.0,
+        "adaptive should recover most capacity: {adaptive}"
+    );
 }
 
 /// §4.4: the transport-level rerouting baseline reroutes only a small
@@ -223,8 +222,7 @@ fn heterogeneous_hosts_split_discovered() {
     let scenario = scenarios::fig11_indepth();
     let mut cfg = scenario.config.clone();
     cfg.stop = StopCondition::Duration(150 * SECOND_NS);
-    let mut policy =
-        BalancerPolicy::adaptive(BalancerConfig::builder(2).build().unwrap());
+    let mut policy = BalancerPolicy::adaptive(BalancerConfig::builder(2).build().unwrap());
     let result = streambal::sim::run(&cfg, &mut policy).unwrap();
     let tail = &result.samples[result.samples.len() / 2..];
     let mean_fast: f64 =
@@ -249,7 +247,11 @@ fn oracle_is_best_or_close() {
             .duration_ns
     };
     let oracle_t = time(&PolicyKind::Oracle);
-    for kind in [PolicyKind::LbAdaptive, PolicyKind::LbStatic, PolicyKind::RoundRobin] {
+    for kind in [
+        PolicyKind::LbAdaptive,
+        PolicyKind::LbStatic,
+        PolicyKind::RoundRobin,
+    ] {
         assert!(
             time(&kind) as f64 >= 0.95 * oracle_t as f64,
             "{} beat the oracle by more than noise",
