@@ -9,8 +9,22 @@ use streambal_bench::Micro;
 use streambal_core::controller::{BalancerConfig, ClusteringConfig, LoadBalancer};
 use streambal_core::rate::ConnectionSample;
 
+/// Wall-clock budget for one steady-state round at N=1024 (median). The
+/// zero-allocation round path must keep large regions comfortably inside
+/// this; override with `STREAMBAL_ROUND_BUDGET_MS` on slow machines.
+fn round_budget_ms() -> u64 {
+    std::env::var("STREAMBAL_ROUND_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(100)
+}
+
 fn warmed_balancer(n: usize, clustered: bool) -> LoadBalancer {
     let mut b = BalancerConfig::builder(n);
+    if n > 1024 / 2 {
+        // The solver resolution must be >= the connection count.
+        b.resolution(2 * n as u32);
+    }
     if clustered {
         b.clustering(ClusteringConfig::default());
     }
@@ -47,4 +61,23 @@ fn main() {
             black_box(lb.rebalance().units()[0])
         });
     }
+
+    // Large-region budget check: one plain round at N=1024 (resolution
+    // 2048) must stay under the wall-clock budget at the median.
+    let n = 1024usize;
+    let mut lb = warmed_balancer(n, false);
+    let mut round = 0u64;
+    let stats = m.run(&format!("controller_round/plain/{n}"), || {
+        round += 1;
+        let conn = (round as usize * 13) % n;
+        lb.observe(&[ConnectionSample::new(conn, 0.42)]);
+        black_box(lb.rebalance().units()[0])
+    });
+    let budget_ms = round_budget_ms();
+    assert!(
+        stats.median_ns < budget_ms * 1_000_000,
+        "controller round at N={n} blew its budget: median {} ns >= {budget_ms} ms",
+        stats.median_ns
+    );
+    println!("  budget ok: median within {budget_ms} ms");
 }

@@ -1,0 +1,114 @@
+//! Compares a fresh bench JSON run against the committed `BENCH_core.json`
+//! baseline and fails on gross regressions.
+//!
+//! ```text
+//! bench_gate <current.jsonl> [baseline.jsonl] [factor]
+//! ```
+//!
+//! Both files are JSON lines as appended by
+//! [`BenchStats::emit_json`](streambal_bench::BenchStats::emit_json) via
+//! `STREAMBAL_BENCH_JSON`; when a benchmark name appears more than once
+//! (appended runs), the **last** line wins. The gate passes when every
+//! benchmark present in both files has
+//! `current.median_ns <= factor * baseline.median_ns`. The factor defaults
+//! to 3 — deliberately generous, so CI catches order-of-magnitude
+//! regressions (an accidental re-allocation per round, a dropped cache)
+//! without flaking on shared-runner noise. Benchmarks present in only one
+//! file are reported but never fail the gate, so baselines and bench sets
+//! can evolve independently.
+//!
+//! Exit status: 0 = pass, 1 = regression, 2 = usage/IO/parse error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use streambal_telemetry::json::{self, Json};
+
+/// `name -> median_ns`, last occurrence winning.
+fn medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let docs: Vec<Json> =
+        json::parse_lines(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (i, doc) in docs.iter().enumerate() {
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: record {i} has no \"name\""))?;
+        let median = doc
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: record {i} has no numeric \"median_ns\""))?;
+        out.insert(name.to_owned(), median);
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let current_path = args
+        .next()
+        .ok_or("usage: bench_gate <current.jsonl> [baseline.jsonl] [factor]")?;
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_core.json".to_owned());
+    let factor: f64 = match args.next() {
+        Some(f) => f.parse().map_err(|e| format!("bad factor '{f}': {e}"))?,
+        None => 3.0,
+    };
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err(format!("factor must be finite and positive, got {factor}"));
+    }
+
+    let current = medians(&current_path)?;
+    let baseline = medians(&baseline_path)?;
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, &cur) in &current {
+        let Some(&base) = baseline.get(name) else {
+            println!("  new      {name}: {cur:.0} ns (no baseline entry)");
+            continue;
+        };
+        compared += 1;
+        let ratio = if base > 0.0 {
+            cur / base
+        } else {
+            f64::INFINITY
+        };
+        if cur <= factor * base || cur == base {
+            println!("  ok       {name}: {cur:.0} ns vs baseline {base:.0} ns ({ratio:.2}x)");
+        } else {
+            println!(
+                "  REGRESSED {name}: {cur:.0} ns vs baseline {base:.0} ns \
+                 ({ratio:.2}x > {factor}x gate)"
+            );
+            regressions += 1;
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            println!("  missing  {name}: in baseline but not in this run");
+        }
+    }
+
+    if compared == 0 {
+        return Err(format!(
+            "no benchmark names shared between {current_path} and {baseline_path}"
+        ));
+    }
+    println!(
+        "bench_gate: {compared} compared, {regressions} regressed (gate {factor}x, \
+         baseline {baseline_path})"
+    );
+    Ok(regressions == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

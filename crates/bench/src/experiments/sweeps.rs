@@ -2,6 +2,7 @@
 
 use std::path::Path;
 
+use streambal_sim::driver;
 use streambal_sim::metrics::RunResult;
 use streambal_workloads::policies::PolicyKind;
 use streambal_workloads::report::{fmt3, fmt_tput, Table};
@@ -40,17 +41,26 @@ fn sweep(
     );
     let mut tput = Table::new(format!("{title}: final throughput (tuples/s)"), headers);
 
-    for (label, scenario) in runs {
-        let results: Vec<RunResult> = kinds.iter().map(|k| run_kind(&scenario, k)).collect();
-        let reference = kinds
-            .iter()
-            .position(|k| k.name() == normalize_to)
-            .expect("normalization reference must be in the sweep set");
-        let ref_time = exec_seconds(&results[reference]);
+    // Every (scenario, policy) run is independent: fan the full cross
+    // product across cores. `par_map` returns results in input order, so
+    // the tables are byte-identical to a serial sweep.
+    let jobs: Vec<(Scenario, PolicyKind)> = runs
+        .iter()
+        .flat_map(|(_, s)| kinds.iter().map(|k| (s.clone(), k.clone())))
+        .collect();
+    let all: Vec<RunResult> = driver::par_map(jobs, driver::default_threads(), |_, (s, k)| {
+        run_kind(&s, &k)
+    });
 
+    let reference = kinds
+        .iter()
+        .position(|k| k.name() == normalize_to)
+        .expect("normalization reference must be in the sweep set");
+    for ((label, _), results) in runs.iter().zip(all.chunks(kinds.len())) {
+        let ref_time = exec_seconds(&results[reference]);
         let mut exec_row = vec![label.clone()];
-        let mut tput_row = vec![label];
-        for r in &results {
+        let mut tput_row = vec![label.clone()];
+        for r in results {
             exec_row.push(fmt3(exec_seconds(r) / ref_time));
             tput_row.push(fmt_tput(r.final_throughput(TAIL)));
         }
@@ -125,18 +135,29 @@ pub fn fig11_bottom(out: &Path) -> Vec<Table> {
     );
     let mut tput = Table::new("fig11 bottom: final throughput (tuples/s)", headers);
 
-    for &n in &scenarios::HETERO_SIZES {
-        let results: Vec<RunResult> = alternatives
-            .iter()
-            .map(|(_, placement, kind)| {
-                let scenario = maybe_quick(scenarios::fig11_sweep(n, *placement));
-                run_kind(&scenario, kind)
+    let jobs: Vec<(Scenario, PolicyKind)> = scenarios::HETERO_SIZES
+        .iter()
+        .flat_map(|&n| {
+            alternatives.iter().map(move |(_, placement, kind)| {
+                (
+                    maybe_quick(scenarios::fig11_sweep(n, *placement)),
+                    kind.clone(),
+                )
             })
-            .collect();
+        })
+        .collect();
+    let all: Vec<RunResult> = driver::par_map(jobs, driver::default_threads(), |_, (s, k)| {
+        run_kind(&s, &k)
+    });
+
+    for (&n, results) in scenarios::HETERO_SIZES
+        .iter()
+        .zip(all.chunks(alternatives.len()))
+    {
         let ref_time = exec_seconds(&results[2]); // Even-RR
         let mut exec_row = vec![n.to_string()];
         let mut tput_row = vec![n.to_string()];
-        for r in &results {
+        for r in results {
             exec_row.push(fmt3(exec_seconds(r) / ref_time));
             tput_row.push(fmt_tput(r.final_throughput(TAIL)));
         }

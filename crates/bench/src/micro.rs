@@ -10,8 +10,14 @@
 //! Honours `--quick` / `STREAMBAL_QUICK=1` (see
 //! [`quick_requested`](crate::quick_requested)) by shrinking both budgets
 //! ~5x.
+//!
+//! When `STREAMBAL_BENCH_JSON` names a file, every [`Micro::run`] also
+//! appends its statistics as one JSON line (see [`BenchStats::to_json`]) —
+//! the machine-readable trail behind the committed `BENCH_core.json`
+//! baseline and the CI regression gate (`bench_gate`).
 
 use std::hint::black_box;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Benchmark budgets: how long to warm up and how long to measure.
@@ -78,6 +84,7 @@ impl Micro {
         }
         let stats = BenchStats::from_times(name, &mut times_ns);
         println!("{stats}");
+        stats.emit_json();
         stats
     }
 }
@@ -116,6 +123,41 @@ impl BenchStats {
             median_ns: times_ns[times_ns.len() / 2],
             min_ns: times_ns[0],
             max_ns: times_ns[times_ns.len() - 1],
+        }
+    }
+
+    /// Serializes the statistics as one JSON object (a `BENCH_core.json` /
+    /// `bench_gate` record line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"iters\":{},\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            streambal_telemetry::json::escape(&self.name),
+            self.iters,
+            streambal_telemetry::json::num(self.mean_ns),
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+        )
+    }
+
+    /// Appends [`to_json`](Self::to_json) as one line to the file named by
+    /// `STREAMBAL_BENCH_JSON`, when set. Failures are reported on stderr
+    /// but never abort a benchmark run.
+    pub fn emit_json(&self) {
+        let Some(path) = std::env::var_os("STREAMBAL_BENCH_JSON") else {
+            return;
+        };
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{}", self.to_json()));
+        if let Err(e) = appended {
+            eprintln!(
+                "warning: could not append bench JSON to {}: {e}",
+                path.to_string_lossy()
+            );
         }
     }
 

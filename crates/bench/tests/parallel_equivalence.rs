@@ -1,0 +1,62 @@
+//! Serial vs parallel experiment drivers must be indistinguishable: the
+//! same runs, the same `RunResult`s, and byte-identical CSV output.
+
+use std::fs;
+
+use streambal_bench::{run_kind, scale_scenario};
+use streambal_sim::driver;
+use streambal_sim::metrics::RunResult;
+use streambal_workloads::policies::PolicyKind;
+use streambal_workloads::report::{fmt_tput, Table};
+use streambal_workloads::scenarios::{self, Scenario};
+
+/// A tiny two-scenario, two-policy sweep — the same cross-product shape the
+/// real sweep figures use, scaled far down so the test stays fast.
+fn jobs() -> Vec<(Scenario, PolicyKind)> {
+    let kinds = [PolicyKind::RoundRobin, PolicyKind::LbAdaptive];
+    [scenarios::fig09(2, true), scenarios::fig09(4, false)]
+        .into_iter()
+        .flat_map(|s| {
+            let mut s = s;
+            scale_scenario(&mut s, 64);
+            kinds.iter().map(move |k| (s.clone(), k.clone()))
+        })
+        .collect()
+}
+
+fn table_from(results: &[RunResult]) -> Table {
+    let mut t = Table::new(
+        "equivalence".to_owned(),
+        vec!["run".to_owned(), "tput".to_owned(), "delivered".to_owned()],
+    );
+    for (i, r) in results.iter().enumerate() {
+        t.push_row(vec![
+            i.to_string(),
+            fmt_tput(r.mean_throughput()),
+            r.delivered.to_string(),
+        ]);
+    }
+    t
+}
+
+#[test]
+fn serial_and_parallel_drivers_produce_identical_csvs() {
+    let serial: Vec<RunResult> = driver::par_map(jobs(), 1, |_, (s, k)| run_kind(&s, &k));
+    let parallel: Vec<RunResult> = driver::par_map(jobs(), 4, |_, (s, k)| run_kind(&s, &k));
+
+    assert_eq!(
+        serial, parallel,
+        "parallel runs must reproduce serial results exactly"
+    );
+
+    let dir = std::env::temp_dir().join("streambal_parallel_equivalence");
+    fs::create_dir_all(&dir).unwrap();
+    let serial_csv = dir.join("serial.csv");
+    let parallel_csv = dir.join("parallel.csv");
+    table_from(&serial).write_csv(&serial_csv).unwrap();
+    table_from(&parallel).write_csv(&parallel_csv).unwrap();
+    let a = fs::read(&serial_csv).unwrap();
+    let b = fs::read(&parallel_csv).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "CSV bytes must match between serial and parallel");
+}

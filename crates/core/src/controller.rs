@@ -23,9 +23,10 @@ use std::fmt;
 
 use streambal_telemetry::{TraceBuffer, TraceEvent};
 
-use crate::cluster::{self, Clustering};
+use crate::cluster::{self, Clustering, Knee};
 use crate::function::BlockingRateFunction;
 use crate::rate::ConnectionSample;
+use crate::solver::fox::FoxScratch;
 use crate::solver::{fox, Problem};
 use crate::weights::{WeightVector, DEFAULT_RESOLUTION};
 use crate::DELTA;
@@ -288,16 +289,109 @@ pub struct LoadBalancer {
     last_clusters: Option<Clustering>,
     trace: Option<TraceBuffer>,
     pending_rates: Vec<f64>,
+    scratch: RoundScratch,
+}
+
+/// Persistent per-round working memory.
+///
+/// Every buffer the control round needs lives here and is reused across
+/// rounds, so a steady-state round (no topology change) performs no heap
+/// allocation: predicted tables are mirrored into `flat` only when a
+/// function's [`generation`](BlockingRateFunction::generation) moved,
+/// bounds/priority vectors are refilled in place, the Fox solver recycles
+/// its heap, and the clustering distance matrix keeps rows whose knees are
+/// unchanged.
+#[derive(Debug, Clone)]
+struct RoundScratch {
+    /// Weight snapshot taken at the start of the round (for tracing and
+    /// exploration detection).
+    weights_before: Vec<u32>,
+    /// Per-connection lower weight bounds for this round.
+    lower: Vec<u32>,
+    /// Per-connection upper weight bounds for this round.
+    upper: Vec<u32>,
+    /// Per-connection clean frontiers, doubling as solver tie priorities.
+    /// Cached alongside `flat` under the same generation key.
+    priority: Vec<u64>,
+    /// All-ones multiplicity vector for the plain (unclustered) solve.
+    ones: Vec<u32>,
+    /// Row-major mirror of the predicted tables, `n × (R + 1)`; row `j` is
+    /// refreshed only when function `j`'s generation changes. Empty when
+    /// clustering is active (the clustered path solves over pooled
+    /// functions instead).
+    flat: Vec<f64>,
+    /// Generation of each mirrored row (`u64::MAX` = never filled).
+    flat_gen: Vec<u64>,
+    /// Fox solver state (result weights, heap pool).
+    fox: FoxScratch,
+    /// Per-connection knees for clustering (empty when clustering is off).
+    knees: Vec<Knee>,
+    /// Generation of each cached knee (`u64::MAX` = never computed).
+    knee_gen: Vec<u64>,
+    /// Which knees changed this round (their distance rows are recomputed).
+    knee_changed: Vec<bool>,
+    /// Cached `n × n` knee distance matrix (empty when clustering is off).
+    dist: Vec<f64>,
+    /// Expansion buffer for per-connection units in the clustered path.
+    units_tmp: Vec<u32>,
+    /// Recycled `rates` vectors reclaimed from evicted trace events.
+    spare_rates: Vec<Vec<f64>>,
+    /// Recycled weight vectors reclaimed from evicted trace events.
+    spare_units: Vec<Vec<u32>>,
+}
+
+impl RoundScratch {
+    fn new(cfg: &BalancerConfig, functions: &mut [BlockingRateFunction]) -> Self {
+        let n = cfg.connections;
+        let width = cfg.resolution as usize + 1;
+        let clustered = cfg
+            .clustering
+            .map(|c| n >= c.min_connections)
+            .unwrap_or(false);
+        RoundScratch {
+            weights_before: Vec::with_capacity(n),
+            lower: Vec::with_capacity(n),
+            upper: Vec::with_capacity(n),
+            priority: vec![0; n],
+            ones: vec![1; n],
+            flat: if clustered {
+                Vec::new()
+            } else {
+                vec![0.0; n * width]
+            },
+            flat_gen: vec![u64::MAX; n],
+            fox: FoxScratch::new(),
+            knees: if clustered {
+                functions
+                    .iter_mut()
+                    .map(|f| cluster::knee_of(f.predicted()))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            knee_gen: vec![u64::MAX; n],
+            knee_changed: vec![false; n],
+            dist: if clustered {
+                vec![0.0; n * n]
+            } else {
+                Vec::new()
+            },
+            units_tmp: vec![0; n],
+            spare_rates: Vec::new(),
+            spare_units: Vec::new(),
+        }
+    }
 }
 
 impl LoadBalancer {
     /// Creates a balancer starting from an even weight split.
     pub fn new(cfg: BalancerConfig) -> Self {
-        let functions = (0..cfg.connections)
+        let mut functions: Vec<BlockingRateFunction> = (0..cfg.connections)
             .map(|_| BlockingRateFunction::new(cfg.resolution, cfg.smoothing))
             .collect();
         let weights = WeightVector::even(cfg.connections, cfg.resolution);
         let pending_rates = vec![0.0; cfg.connections];
+        let scratch = RoundScratch::new(&cfg, &mut functions);
         LoadBalancer {
             cfg,
             functions,
@@ -306,6 +400,7 @@ impl LoadBalancer {
             last_clusters: None,
             trace: None,
             pending_rates,
+            scratch,
         }
     }
 
@@ -401,7 +496,10 @@ impl LoadBalancer {
     /// split is the only defensible prior).
     pub fn rebalance(&mut self) -> &WeightVector {
         self.round += 1;
-        let weights_before: Vec<u32> = self.weights.units().to_vec();
+        self.scratch.weights_before.clear();
+        self.scratch
+            .weights_before
+            .extend_from_slice(self.weights.units());
 
         if let BalancerMode::Adaptive { decay } = self.cfg.mode {
             for (j, f) in self.functions.iter_mut().enumerate() {
@@ -431,15 +529,35 @@ impl LoadBalancer {
         }
 
         if let Some(trace) = &self.trace {
-            trace.push(TraceEvent::ControllerRound {
+            // Assemble the round event from recycled vectors (reclaimed
+            // below from whatever the ring evicts) rather than fresh ones.
+            let scratch = &mut self.scratch;
+            let mut rates = scratch.spare_rates.pop().unwrap_or_default();
+            rates.clear();
+            rates.extend_from_slice(&self.pending_rates);
+            let mut weights_before = scratch.spare_units.pop().unwrap_or_default();
+            weights_before.clear();
+            weights_before.extend_from_slice(&scratch.weights_before);
+            let mut weights_after = scratch.spare_units.pop().unwrap_or_default();
+            weights_after.clear();
+            weights_after.extend_from_slice(self.weights.units());
+            if let Some(TraceEvent::ControllerRound {
+                rates: r,
+                weights_before: wb,
+                weights_after: wa,
+                ..
+            }) = trace.push_evicting(TraceEvent::ControllerRound {
                 round: self.round,
-                rates: std::mem::replace(&mut self.pending_rates, vec![0.0; self.cfg.connections]),
+                rates,
                 weights_before,
-                weights_after: self.weights.units().to_vec(),
-            });
-        } else {
-            self.pending_rates.iter_mut().for_each(|r| *r = 0.0);
+                weights_after,
+            }) {
+                scratch.spare_rates.push(r);
+                scratch.spare_units.push(wb);
+                scratch.spare_units.push(wa);
+            }
         }
+        self.pending_rates.fill(0.0);
         &self.weights
     }
 
@@ -452,67 +570,65 @@ impl LoadBalancer {
             .unwrap_or(0) as u32
     }
 
-    /// Per-connection weight bounds for this round.
-    ///
-    /// Decreases are unconstrained (a connection may always be throttled,
-    /// even straight to zero, as in the paper's Figure 8). Increases may go
-    /// anywhere the function predicts no blocking, plus at most
-    /// `exploration_step` units into predicted-blocking territory — and a
-    /// connection may always keep its current weight, which keeps the
-    /// problem feasible even when every function predicts blocking.
-    fn step_bounds(&mut self) -> (Vec<u32>, Vec<u32>) {
+    fn rebalance_plain(&mut self) {
+        let n = self.cfg.connections;
         let r = self.cfg.resolution;
+        let width = r as usize + 1;
+        let scratch = &mut self.scratch;
+
+        // Mirror predicted tables (and their clean frontiers, which double
+        // as tie priorities) into the flat matrix, touching only rows whose
+        // functions actually changed since the last round.
+        for (j, f) in self.functions.iter_mut().enumerate() {
+            let gen = f.generation();
+            if scratch.flat_gen[j] != gen {
+                let row = f.predicted();
+                scratch.flat[j * width..(j + 1) * width].copy_from_slice(row);
+                scratch.priority[j] = u64::from(Self::clean_frontier(row));
+                scratch.flat_gen[j] = gen;
+            }
+        }
+
+        // Per-connection weight bounds for this round. Decreases are
+        // unconstrained (a connection may always be throttled, even
+        // straight to zero, as in the paper's Figure 8). Increases may go
+        // anywhere the function predicts no blocking, plus at most
+        // `exploration_step` units into predicted-blocking territory — and
+        // a connection may always keep its current weight, which keeps the
+        // problem feasible even when every function predicts blocking.
         let step = self.cfg.exploration_step;
-        let units: Vec<u32> = self.weights.units().to_vec();
-        let lower: Vec<u32> = units
-            .iter()
-            .map(|&w| match self.cfg.max_step_down {
+        scratch.lower.clear();
+        scratch.upper.clear();
+        for (j, &w) in self.weights.units().iter().enumerate() {
+            scratch.lower.push(match self.cfg.max_step_down {
                 Some(d) => w.saturating_sub(d),
                 None => 0,
-            })
-            .collect();
-        let upper: Vec<u32> = units
-            .iter()
-            .enumerate()
-            .map(|(j, &w)| {
-                let frontier = Self::clean_frontier(self.functions[j].predicted());
-                let mut up = frontier
-                    .saturating_add(step)
-                    .max(w.saturating_add(step))
-                    .min(r);
-                if let Some(u) = self.cfg.max_step_up {
-                    up = up.min(w.saturating_add(u)).max(w);
-                }
-                up
-            })
-            .collect();
-        (lower, upper)
-    }
+            });
+            let frontier = scratch.priority[j] as u32;
+            let mut up = frontier
+                .saturating_add(step)
+                .max(w.saturating_add(step))
+                .min(r);
+            if let Some(u) = self.cfg.max_step_up {
+                up = up.min(w.saturating_add(u)).max(w);
+            }
+            scratch.upper.push(up);
+        }
 
-    fn rebalance_plain(&mut self) {
-        let old_units: Vec<u32> = self.weights.units().to_vec();
-        let (lower, upper) = self.step_bounds();
-        let predicted: Vec<Vec<f64>> = self
-            .functions
-            .iter_mut()
-            .map(|f| f.predicted().to_vec())
-            .collect();
-        // Tie-break equal (usually zero) marginals toward the connections
-        // with the most demonstrated headroom; see Problem::with_tie_priority.
-        let priority: Vec<u64> = predicted
-            .iter()
-            .map(|p| u64::from(Self::clean_frontier(p)))
-            .collect();
-        let slices: Vec<&[f64]> = predicted.iter().map(Vec::as_slice).collect();
-        let problem = Problem::new(slices, self.cfg.resolution)
-            .expect("function domains are consistent by construction")
-            .with_bounds(lower, upper)
-            .expect("bounds derived from current weights are valid")
-            .with_tie_priority(priority.clone())
-            .expect("priority vector matches the connection count");
-        let allocation = fox::solve(&problem)
+        let problem = Problem::from_flat_parts(
+            &scratch.flat,
+            n,
+            r,
+            &scratch.lower,
+            &scratch.upper,
+            &scratch.ones,
+            &scratch.priority,
+        )
+        .expect("scratch vectors are sized and bounded by construction");
+        fox::solve_with(&problem, &mut scratch.fox)
             .expect("bounds bracketing the current weights are always feasible");
-        self.weights = WeightVector::from_units(allocation.weights, self.cfg.resolution)
+        self.weights
+            .copy_from_units(&scratch.fox.weights)
             .expect("fox assigns exactly R units for multiplicity-1 problems");
         self.last_clusters = None;
 
@@ -520,8 +636,13 @@ impl LoadBalancer {
             // An exploration step is a weight increase past the clean
             // frontier — the controller probing predicted-blocking
             // territory.
-            for (j, (&old, &new)) in old_units.iter().zip(self.weights.units()).enumerate() {
-                if new > old && u64::from(new) > priority[j] {
+            for (j, (&old, &new)) in scratch
+                .weights_before
+                .iter()
+                .zip(self.weights.units())
+                .enumerate()
+            {
+                if new > old && u64::from(new) > scratch.priority[j] {
                     trace.push(TraceEvent::Exploration {
                         round: self.round,
                         connection: j,
@@ -542,20 +663,31 @@ impl LoadBalancer {
         let n = self.cfg.connections;
 
         // 1. Knees and pairwise distances on the per-connection functions.
-        let knees: Vec<_> = self
-            .functions
-            .iter_mut()
-            .map(|f| cluster::knee_of(f.predicted()))
-            .collect();
-        let mut dist = vec![0.0; n * n];
-        for i in 0..n {
-            for j in i + 1..n {
-                let d = cluster::distance(&knees[i], &knees[j], r);
-                dist[i * n + j] = d;
-                dist[j * n + i] = d;
+        //    Both are cached across rounds keyed on each function's
+        //    generation: only connections that saw new samples (or decay)
+        //    recompute their knee, and only distance rows touching a
+        //    changed knee are refilled.
+        let scratch = &mut self.scratch;
+        for (j, f) in self.functions.iter_mut().enumerate() {
+            let gen = f.generation();
+            if scratch.knee_gen[j] != gen {
+                scratch.knees[j] = cluster::knee_of(f.predicted());
+                scratch.knee_gen[j] = gen;
+                scratch.knee_changed[j] = true;
+            } else {
+                scratch.knee_changed[j] = false;
             }
         }
-        let clustering = cluster::cluster(n, &dist, cfg.distance_threshold);
+        for i in 0..n {
+            for j in i + 1..n {
+                if scratch.knee_changed[i] || scratch.knee_changed[j] {
+                    let d = cluster::distance(&scratch.knees[i], &scratch.knees[j], r);
+                    scratch.dist[i * n + j] = d;
+                    scratch.dist[j * n + i] = d;
+                }
+            }
+        }
+        let clustering = cluster::cluster(n, &scratch.dist, cfg.distance_threshold);
 
         // 2. Pool member data into one function per cluster.
         let mut pooled: Vec<BlockingRateFunction> = clustering
@@ -610,7 +742,8 @@ impl LoadBalancer {
         // 4. Expand per-cluster weights to members and hand out the
         //    remainder (< max cluster size) unit-by-unit, cheapest marginal
         //    cluster first.
-        let mut units = vec![0u32; n];
+        let units = &mut self.scratch.units_tmp;
+        units.fill(0);
         for (c, members) in clustering.members.iter().enumerate() {
             for &m in members {
                 units[m] = allocation.weights[c];
@@ -642,7 +775,8 @@ impl LoadBalancer {
             }
         }
 
-        self.weights = WeightVector::from_units(units, r)
+        self.weights
+            .copy_from_units(&self.scratch.units_tmp)
             .expect("cluster expansion plus remainder distribution totals R");
         if let Some(trace) = &self.trace {
             let changed = self

@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::pava::isotonic_non_decreasing;
+use crate::pava::PavaScratch;
 
 /// Predictive blocking-rate function for one connection.
 ///
@@ -46,7 +46,24 @@ pub struct BlockingRateFunction {
     /// pooled away by a single noisy neighbour). Always contains `(0, 0.0)`.
     raw: BTreeMap<u32, (f64, f64)>,
     predicted: Vec<f64>,
-    dirty: bool,
+    /// The monotone fit (`xs`/`fit`) is stale relative to `raw`.
+    fit_dirty: bool,
+    /// The 1001-point `predicted` table is stale relative to the fit.
+    /// Invariant: `fit_dirty` implies `table_dirty` (point queries refresh
+    /// the fit without paying for the table).
+    table_dirty: bool,
+    /// Bumped on every mutation that can change predictions; callers use it
+    /// to cache per-function derived state (predicted-table copies, knees,
+    /// clustering distance rows) across control rounds.
+    generation: u64,
+    /// Reusable rebuild scratch: raw points unzipped into parallel arrays
+    /// (`xs`/`ys`/`ws`), the monotone fit over them, and the PAVA block
+    /// stack. Contents are caches; only capacity persists meaningfully.
+    xs: Vec<u32>,
+    ys: Vec<f64>,
+    ws: Vec<f64>,
+    fit: Vec<f64>,
+    pava: PavaScratch,
 }
 
 impl BlockingRateFunction {
@@ -68,13 +85,31 @@ impl BlockingRateFunction {
             alpha,
             raw,
             predicted: vec![0.0; resolution as usize + 1],
-            dirty: false,
+            fit_dirty: false,
+            table_dirty: false,
+            generation: 0,
+            xs: vec![0],
+            ys: vec![0.0],
+            ws: vec![1.0],
+            fit: vec![0.0],
+            pava: PavaScratch::new(),
         }
     }
 
     /// The number of discrete units `R` in the weight domain.
     pub fn resolution(&self) -> u32 {
         self.resolution
+    }
+
+    /// A counter bumped on every mutation that can change predictions
+    /// ([`observe`](Self::observe), an effective
+    /// [`decay_above`](Self::decay_above), [`reset`](Self::reset)).
+    ///
+    /// Callers cache derived per-function state (predicted-table snapshots,
+    /// clustering knees and distance-matrix rows) keyed by this value and
+    /// skip recomputation while it is unchanged.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Records a blocking-rate observation at the given allocation weight.
@@ -103,7 +138,7 @@ impl BlockingRateFunction {
                 *count += 1.0;
             })
             .or_insert((rate, 1.0));
-        self.dirty = true;
+        self.mark_changed();
     }
 
     /// Applies one round of exploration decay: every raw value at a weight
@@ -123,28 +158,49 @@ impl BlockingRateFunction {
             *v *= factor;
             changed = true;
         }
-        self.dirty |= changed;
+        if changed {
+            self.mark_changed();
+        }
+    }
+
+    fn mark_changed(&mut self) {
+        self.fit_dirty = true;
+        self.table_dirty = true;
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// The predicted blocking rate at every weight in `0..=R`.
     ///
-    /// The returned slice has length `R + 1` and is non-decreasing.
+    /// The returned slice has length `R + 1` and is non-decreasing. Rebuilds
+    /// lazily: unchanged raw points skip both the monotone regression and
+    /// the table fill, and a stale table is refilled in place from reusable
+    /// scratch buffers (no allocation once capacities have warmed up).
     pub fn predicted(&mut self) -> &[f64] {
-        if self.dirty {
-            self.rebuild();
-            self.dirty = false;
+        if self.table_dirty {
+            self.ensure_fit();
+            self.fill_table();
+            self.table_dirty = false;
         }
         &self.predicted
     }
 
     /// The predicted blocking rate at a single weight.
     ///
+    /// When the full table is stale, the query is answered directly from the
+    /// monotone fit over the raw points (`O(raw_len)`) instead of forcing
+    /// the `R + 1`-point table rebuild; the result is bit-identical to
+    /// `predicted()[weight]`.
+    ///
     /// # Panics
     ///
     /// Panics if `weight > resolution`.
     pub fn value(&mut self, weight: u32) -> f64 {
         assert!(weight <= self.resolution, "weight out of domain");
-        self.predicted()[weight as usize]
+        if !self.table_dirty {
+            return self.predicted[weight as usize];
+        }
+        self.ensure_fit();
+        self.point_from_fit(weight)
     }
 
     /// Iterates over the raw (smoothed, pre-regression) data points.
@@ -168,7 +224,17 @@ impl BlockingRateFunction {
         self.raw.clear();
         self.raw.insert(0, (0.0, 1.0));
         self.predicted.iter_mut().for_each(|v| *v = 0.0);
-        self.dirty = false;
+        self.xs.clear();
+        self.xs.push(0);
+        self.ys.clear();
+        self.ys.push(0.0);
+        self.ws.clear();
+        self.ws.push(1.0);
+        self.fit.clear();
+        self.fit.push(0.0);
+        self.fit_dirty = false;
+        self.table_dirty = false;
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Builds a function directly from raw points (used when aggregating
@@ -198,16 +264,31 @@ impl BlockingRateFunction {
             }
             f.raw.insert(w, (sum / f64::from(n), f64::from(n)));
         }
-        f.dirty = true;
+        f.mark_changed();
         f
     }
 
-    fn rebuild(&mut self) {
-        let xs: Vec<u32> = self.raw.keys().copied().collect();
-        let ys: Vec<f64> = self.raw.values().map(|&(v, _)| v).collect();
-        let weights: Vec<f64> = self.raw.values().map(|&(_, c)| c).collect();
-        let fit = isotonic_non_decreasing(&ys, &weights);
+    /// Refreshes the monotone fit (`xs`/`fit` scratch) from the raw points.
+    fn ensure_fit(&mut self) {
+        if !self.fit_dirty {
+            return;
+        }
+        self.xs.clear();
+        self.ys.clear();
+        self.ws.clear();
+        for (&w, &(v, c)) in &self.raw {
+            self.xs.push(w);
+            self.ys.push(v);
+            self.ws.push(c);
+        }
+        self.pava.fit_into(&self.ys, &self.ws, &mut self.fit);
+        self.fit_dirty = false;
+    }
 
+    /// Fills the dense predicted table from the current fit.
+    fn fill_table(&mut self) {
+        let xs = &self.xs;
+        let fit = &self.fit;
         let r = self.resolution as usize;
         let out = &mut self.predicted;
         debug_assert_eq!(out.len(), r + 1);
@@ -240,6 +321,37 @@ impl BlockingRateFunction {
             let base = fit[xs.len() - 1];
             for (i, o) in out[last + 1..=r].iter_mut().enumerate() {
                 *o = base + slope * (i + 1) as f64;
+            }
+        }
+    }
+
+    /// Evaluates one weight from the fit, with arithmetic identical to
+    /// [`fill_table`](Self::fill_table) so point queries are bit-identical
+    /// to reading the dense table.
+    fn point_from_fit(&self, weight: u32) -> f64 {
+        let xs = &self.xs;
+        let fit = &self.fit;
+        match xs.binary_search(&weight) {
+            Ok(k) => fit[k],
+            Err(k) if k < xs.len() => {
+                // Interpolate inside the segment xs[k-1]..xs[k]. k >= 1
+                // because xs always starts at weight 0.
+                let x0 = xs[k - 1] as usize;
+                let x1 = xs[k] as usize;
+                let (y0, y1) = (fit[k - 1], fit[k]);
+                let span = (x1 - x0) as f64;
+                y0 + (y1 - y0) * (weight as usize - x0) as f64 / span
+            }
+            Err(_) => {
+                // Extrapolate past the last raw point.
+                let last = *xs.last().expect("raw always contains weight 0") as usize;
+                let slope = if xs.len() >= 2 {
+                    let x0 = xs[xs.len() - 2] as usize;
+                    (fit[xs.len() - 1] - fit[xs.len() - 2]) / (last - x0) as f64
+                } else {
+                    0.0
+                };
+                fit[xs.len() - 1] + slope * (weight as usize - last) as f64
             }
         }
     }
@@ -397,5 +509,45 @@ mod tests {
     fn observe_out_of_domain_panics() {
         let mut f = BlockingRateFunction::new(100, 0.5);
         f.observe(101, 0.1);
+    }
+
+    #[test]
+    fn dirty_point_query_matches_full_table_bitwise() {
+        let data = [(10u32, 0.9), (20, 0.1), (50, 0.5), (70, 0.2), (90, 2.0)];
+        let mut a = BlockingRateFunction::new(100, 0.7);
+        let mut b = BlockingRateFunction::new(100, 0.7);
+        for (w, v) in data {
+            a.observe(w, v);
+            b.observe(w, v);
+        }
+        // `a` is queried point-by-point while dirty; `b` rebuilds the table.
+        let table: Vec<f64> = b.predicted().to_vec();
+        for w in 0..=100u32 {
+            assert_eq!(
+                a.value(w).to_bits(),
+                table[w as usize].to_bits(),
+                "mismatch at weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_tracks_model_changes() {
+        let mut f = BlockingRateFunction::new(100, 0.5);
+        let g0 = f.generation();
+        f.observe(0, 0.5); // axiom weight: ignored, no change
+        assert_eq!(f.generation(), g0);
+        f.observe(40, 0.5);
+        let g1 = f.generation();
+        assert_ne!(g1, g0);
+        f.decay_above(90, 0.9); // nothing above 90: no change
+        assert_eq!(f.generation(), g1);
+        f.decay_above(10, 0.9);
+        assert_ne!(f.generation(), g1);
+        let g2 = f.generation();
+        let _ = f.predicted(); // reads never bump
+        assert_eq!(f.generation(), g2);
+        f.reset();
+        assert_ne!(f.generation(), g2);
     }
 }

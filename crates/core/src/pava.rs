@@ -7,11 +7,84 @@
 //! (pool-adjacent-violators), which computes the weighted least-squares
 //! non-decreasing fit in `O(n)`.
 
+/// Reusable scratch state for repeated isotonic fits.
+///
+/// The controller recomputes one fit per connection per round; pooling the
+/// block stack here makes steady-state fits allocation-free once the
+/// retained capacity covers the largest input seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct PavaScratch {
+    /// Stack of pooled blocks: (mean, total weight, count).
+    blocks: Vec<(f64, f64, usize)>,
+}
+
+impl PavaScratch {
+    /// Creates an empty scratch (no capacity reserved yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the weighted least-squares non-decreasing fit of `y` into
+    /// `fit` (cleared and refilled; `fit.len() == y.len()` on return).
+    ///
+    /// Identical output to [`isotonic_non_decreasing`], but reuses both this
+    /// scratch's block stack and the caller's output buffer: after warmup no
+    /// call allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != y.len()`, or any weight is not strictly
+    /// positive, or any value is not finite.
+    pub fn fit_into(&mut self, y: &[f64], weights: &[f64], fit: &mut Vec<f64>) {
+        assert_eq!(
+            y.len(),
+            weights.len(),
+            "y and weights must have equal length"
+        );
+        for (&v, &w) in y.iter().zip(weights) {
+            assert!(v.is_finite(), "values must be finite");
+            assert!(w.is_finite() && w > 0.0, "weights must be finite and > 0");
+        }
+        fit.clear();
+        if y.is_empty() {
+            return;
+        }
+
+        let blocks = &mut self.blocks;
+        blocks.clear();
+        for (&v, &w) in y.iter().zip(weights) {
+            let mut mean = v;
+            let mut weight = w;
+            let mut count = 1;
+            // Pool backwards while the monotonicity constraint is violated.
+            while let Some(&(pm, pw, pc)) = blocks.last() {
+                if pm <= mean {
+                    break;
+                }
+                blocks.pop();
+                let total = pw + weight;
+                mean = (pm * pw + mean * weight) / total;
+                weight = total;
+                count += pc;
+            }
+            blocks.push((mean, weight, count));
+        }
+
+        for &(mean, _, count) in blocks.iter() {
+            fit.extend(std::iter::repeat_n(mean, count));
+        }
+    }
+}
+
 /// Computes the weighted least-squares non-decreasing fit of `y`.
 ///
 /// Returns `fit` with `fit.len() == y.len()`, `fit` non-decreasing, and
 /// `Σ w_i (fit_i - y_i)²` minimal among all non-decreasing vectors.
 /// If `y` is already non-decreasing, it is returned unchanged.
+///
+/// Allocates a fresh output vector per call; hot paths that fit repeatedly
+/// should hold a [`PavaScratch`] and use [`PavaScratch::fit_into`].
 ///
 /// # Panics
 ///
@@ -27,43 +100,8 @@
 /// assert_eq!(fit, vec![1.0, 2.5, 2.5]);
 /// ```
 pub fn isotonic_non_decreasing(y: &[f64], weights: &[f64]) -> Vec<f64> {
-    assert_eq!(
-        y.len(),
-        weights.len(),
-        "y and weights must have equal length"
-    );
-    for (&v, &w) in y.iter().zip(weights) {
-        assert!(v.is_finite(), "values must be finite");
-        assert!(w.is_finite() && w > 0.0, "weights must be finite and > 0");
-    }
-    if y.is_empty() {
-        return Vec::new();
-    }
-
-    // Stack of pooled blocks: (mean, total weight, count).
-    let mut blocks: Vec<(f64, f64, usize)> = Vec::with_capacity(y.len());
-    for (&v, &w) in y.iter().zip(weights) {
-        let mut mean = v;
-        let mut weight = w;
-        let mut count = 1;
-        // Pool backwards while the monotonicity constraint is violated.
-        while let Some(&(pm, pw, pc)) = blocks.last() {
-            if pm <= mean {
-                break;
-            }
-            blocks.pop();
-            let total = pw + weight;
-            mean = (pm * pw + mean * weight) / total;
-            weight = total;
-            count += pc;
-        }
-        blocks.push((mean, weight, count));
-    }
-
     let mut fit = Vec::with_capacity(y.len());
-    for (mean, _, count) in blocks {
-        fit.extend(std::iter::repeat_n(mean, count));
-    }
+    PavaScratch::new().fit_into(y, weights, &mut fit);
     fit
 }
 
@@ -132,6 +170,24 @@ mod tests {
         let fit2 = isotonic_non_decreasing_unweighted(&fit);
         for (a, b) in fit.iter().zip(&fit2) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_fit() {
+        let mut scratch = PavaScratch::new();
+        let mut fit = Vec::new();
+        // Reuse the same scratch/output across differently-sized inputs.
+        for case in [
+            vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0],
+            vec![2.0, 1.0],
+            vec![0.0, 0.1, 0.1, 0.5, 2.0],
+            vec![],
+        ] {
+            let w = vec![1.0; case.len()];
+            scratch.fit_into(&case, &w, &mut fit);
+            let fresh = isotonic_non_decreasing(&case, &w);
+            assert_eq!(fit, fresh);
         }
     }
 

@@ -23,7 +23,8 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
 
     let n = problem.len();
     let r = problem.resolution();
-    let functions = problem.functions();
+    let functions = problem.functions_vec();
+    let functions: &[&[f64]] = &functions;
     let lower = problem.lower();
     let upper = problem.upper();
 

@@ -9,6 +9,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::mem;
 
 use super::{Allocation, Problem, SolveError};
 
@@ -17,6 +18,7 @@ use super::{Allocation, Problem, SolveError};
 /// frontier, so equal-value units land where the model shows headroom),
 /// then by the weight the step would reach (so remaining ties are dealt out
 /// evenly), then by item index for determinism.
+#[derive(Debug, Clone)]
 struct Entry {
     value: f64,
     priority: u64,
@@ -76,14 +78,67 @@ impl Ord for Entry {
 /// assert_eq!(a.objective, 0.0);
 /// ```
 pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
+    let mut scratch = FoxScratch::new();
+    let stats = solve_with(problem, &mut scratch)?;
+    Ok(Allocation {
+        weights: mem::take(&mut scratch.weights),
+        objective: stats.objective,
+        assigned: stats.assigned,
+    })
+}
+
+/// Reusable state for repeated Fox solves.
+///
+/// Holds the output weight vector plus the heap and skipped-entry pools; a
+/// controller solving every round keeps one of these so steady-state solves
+/// perform no heap allocation once capacities have warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct FoxScratch {
+    /// Per-item weights of the most recent [`solve_with`] call.
+    pub weights: Vec<u32>,
+    /// Recycled backing store for the candidate heap.
+    heap: Vec<Entry>,
+    /// Entries set aside mid-round because their multiplicity overshoots
+    /// the remainder.
+    skipped: Vec<Entry>,
+}
+
+impl FoxScratch {
+    /// Creates an empty scratch (no capacity reserved yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Summary of a [`solve_with`] run; the weights live in the scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoxStats {
+    /// The minimax objective `max_j F_j(w_j)`.
+    pub objective: f64,
+    /// Total resource consumed, `Σ mult_j · w_j` (see
+    /// [`Allocation::assigned`]).
+    pub assigned: u64,
+}
+
+/// Solves the problem with Fox's greedy algorithm into `scratch.weights`.
+///
+/// Identical results to [`solve`], but reuses the scratch's buffers so
+/// repeated solves of same-shaped problems are allocation-free.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] when the bounds cannot bracket `R`.
+pub fn solve_with(problem: &Problem<'_>, scratch: &mut FoxScratch) -> Result<FoxStats, SolveError> {
     problem.check_feasible()?;
-    let functions = problem.functions();
     let lower = problem.lower();
     let upper = problem.upper();
     let mult = problem.multiplicity();
     let r = u64::from(problem.resolution());
 
-    let mut weights: Vec<u32> = lower.to_vec();
+    let weights = &mut scratch.weights;
+    weights.clear();
+    weights.extend_from_slice(lower);
     let mut assigned: u64 = weights
         .iter()
         .zip(mult)
@@ -91,11 +146,15 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
         .sum();
 
     let priority = problem.tie_priority();
-    let mut heap = BinaryHeap::with_capacity(functions.len());
+    // Recycle the heap's backing vector across solves: take it out of the
+    // scratch, refill, and put it back (cleared) when done.
+    let mut heap_vec = mem::take(&mut scratch.heap);
+    heap_vec.clear();
+    let mut heap = BinaryHeap::from(heap_vec);
     for (j, &w) in weights.iter().enumerate() {
         if w < upper[j] {
             heap.push(Entry {
-                value: functions[j][w as usize + 1],
+                value: problem.function(j)[w as usize + 1],
                 priority: priority[j],
                 weight: w + 1,
                 item: j,
@@ -103,9 +162,10 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
         }
     }
 
+    let skipped = &mut scratch.skipped;
+    skipped.clear();
     while assigned < r {
         // Find the cheapest next step that still fits in the remainder.
-        let mut skipped: Vec<Entry> = Vec::new();
         let step = loop {
             match heap.pop() {
                 None => break None,
@@ -118,7 +178,7 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
                 }
             }
         };
-        for e in skipped {
+        for e in skipped.drain(..) {
             heap.push(e);
         }
         let Some(e) = step else { break };
@@ -127,7 +187,7 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
         assigned += u64::from(mult[j]);
         if weights[j] < upper[j] {
             heap.push(Entry {
-                value: functions[j][weights[j] as usize + 1],
+                value: problem.function(j)[weights[j] as usize + 1],
                 priority: priority[j],
                 weight: weights[j] + 1,
                 item: j,
@@ -135,9 +195,9 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
         }
     }
 
-    let objective = super::minimax_objective(functions, &weights);
-    Ok(Allocation {
-        weights,
+    let objective = problem.objective(weights);
+    scratch.heap = heap.into_vec();
+    Ok(FoxStats {
         objective,
         assigned,
     })
@@ -271,6 +331,23 @@ mod tests {
         let a = solve(&p).unwrap();
         assert_eq!(a.weights, vec![0, 10]);
         assert_eq!(a.objective, 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot() {
+        let mut scratch = FoxScratch::new();
+        for n in [2usize, 5, 3] {
+            let fns: Vec<Vec<f64>> = (0..n)
+                .map(|j| (0..=10).map(|i| i as f64 * (j + 1) as f64 * 0.1).collect())
+                .collect();
+            let refs: Vec<&[f64]> = fns.iter().map(Vec::as_slice).collect();
+            let p = Problem::new(refs, 10).unwrap();
+            let one_shot = solve(&p).unwrap();
+            let stats = solve_with(&p, &mut scratch).unwrap();
+            assert_eq!(scratch.weights, one_shot.weights);
+            assert_eq!(stats.objective, one_shot.objective);
+            assert_eq!(stats.assigned, one_shot.assigned);
+        }
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub fn solve(problem: &Problem<'_>) -> Result<Allocation, SolveError> {
     }
     problem.check_feasible()?;
 
-    let functions = problem.functions();
+    let functions = problem.functions_vec();
+    let functions: &[&[f64]] = &functions;
     let lower = problem.lower();
     let upper = problem.upper();
     let n = functions.len();

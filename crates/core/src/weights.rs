@@ -141,6 +141,31 @@ impl WeightVector {
         WeightVector { units, resolution }
     }
 
+    /// Overwrites the units in place from a slice, preserving the sum
+    /// invariant without reallocating (the existing capacity is reused when
+    /// the connection count is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightError::Empty`] for an empty slice and
+    /// [`WeightError::BadSum`] when the units do not sum to the vector's
+    /// resolution; the vector is left unchanged on error.
+    pub fn copy_from_units(&mut self, units: &[u32]) -> Result<(), WeightError> {
+        if units.is_empty() {
+            return Err(WeightError::Empty);
+        }
+        let got: u64 = units.iter().map(|&u| u64::from(u)).sum();
+        if got != u64::from(self.resolution) {
+            return Err(WeightError::BadSum {
+                got,
+                expected: self.resolution,
+            });
+        }
+        self.units.clear();
+        self.units.extend_from_slice(units);
+        Ok(())
+    }
+
     /// The per-connection units. Sums to [`resolution`](Self::resolution).
     pub fn units(&self) -> &[u32] {
         &self.units
@@ -308,6 +333,23 @@ mod tests {
             WeightVector::from_units(vec![], 1000).unwrap_err(),
             WeightError::Empty
         );
+    }
+
+    #[test]
+    fn copy_from_units_reuses_in_place() {
+        let mut w = WeightVector::even(2, 1000);
+        w.copy_from_units(&[650, 350]).unwrap();
+        assert_eq!(w.units(), &[650, 350]);
+        // Errors leave the vector untouched.
+        assert_eq!(
+            w.copy_from_units(&[1, 2]).unwrap_err(),
+            WeightError::BadSum {
+                got: 3,
+                expected: 1000
+            }
+        );
+        assert_eq!(w.copy_from_units(&[]).unwrap_err(), WeightError::Empty);
+        assert_eq!(w.units(), &[650, 350]);
     }
 
     #[test]

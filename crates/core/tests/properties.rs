@@ -262,6 +262,65 @@ fn function_predictions_stay_monotone() {
 }
 
 #[test]
+fn incremental_rebuild_is_bit_identical_to_from_scratch() {
+    // Two functions receive the identical randomized op sequence. `a` is
+    // additionally probed with point queries (`value`, which answers from
+    // the monotone fit while the dense table is dirty) and intermediate
+    // `predicted()` calls at random times, exercising every path of the
+    // incremental rebuild machinery; `b` only ever rebuilds from scratch at
+    // the comparison points. The tables must match bit for bit.
+    let mut rng = SplitMix64::new(0xC0DE_000E);
+    for _ in 0..CASES {
+        let r = 100;
+        let mut a = BlockingRateFunction::new(r, 0.5);
+        let mut b = BlockingRateFunction::new(r, 0.5);
+        for _ in 0..rng.range_usize(1, 79) {
+            match rng.range_u32(0, 9) {
+                0..=5 => {
+                    let w = rng.range_u32(1, r);
+                    let v = rng.frange(0.0, 5.0);
+                    a.observe(w, v);
+                    b.observe(w, v);
+                }
+                6..=7 => {
+                    let w = rng.range_u32(0, r);
+                    a.decay_above(w, 0.9);
+                    b.decay_above(w, 0.9);
+                }
+                8 => {
+                    // Point query on `a` only: refreshes its fit (not its
+                    // table) at a state `b` never materializes.
+                    let w = rng.range_u32(0, r);
+                    let _ = a.value(w);
+                }
+                _ => {
+                    a.reset();
+                    b.reset();
+                }
+            }
+            if rng.range_u32(0, 4) == 0 {
+                let _ = a.predicted();
+            }
+        }
+        let table_b: Vec<f64> = b.predicted().to_vec();
+        for (w, expect) in table_b.iter().enumerate() {
+            assert_eq!(
+                a.value(w as u32).to_bits(),
+                expect.to_bits(),
+                "point query diverged at weight {w}"
+            );
+        }
+        for (w, (got, expect)) in a.predicted().iter().zip(&table_b).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                expect.to_bits(),
+                "table diverged at weight {w}"
+            );
+        }
+    }
+}
+
+#[test]
 fn clustering_is_a_valid_partition() {
     let mut rng = SplitMix64::new(0xC0DE_000C);
     for _ in 0..CASES {

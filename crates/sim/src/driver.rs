@@ -1,0 +1,149 @@
+//! A dependency-free parallel driver for independent simulation runs.
+//!
+//! Experiment sweeps launch many fully independent seeded runs; this module
+//! fans them across OS threads with [`std::thread::scope`] — no external
+//! crates, matching the offline workspace constraint. Results are returned
+//! **in input order** regardless of scheduling, so a sweep produces
+//! byte-identical output whether it ran on 1 thread or 16 (each run is a
+//! deterministic function of its input; see the serial-vs-parallel
+//! equivalence test in `streambal-bench`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, PoisonError};
+
+/// The default worker count: `STREAMBAL_THREADS` when set (0 = serial),
+/// otherwise the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("STREAMBAL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `threads` worker threads, returning
+/// the results in input order.
+///
+/// `f` receives each item's input index alongside the item. With
+/// `threads <= 1` (or a single item) everything runs on the calling thread
+/// in input order — the parallel path differs only in wall-clock time, never
+/// in the returned vector.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (re-raised by the thread scope once all
+/// workers have stopped).
+pub fn par_map<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Work-stealing by atomic index: each slot holds one input item; a
+    // worker claims the next index, takes the item, and sends back
+    // `(index, result)` so the receiver can restore input order.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let result = f(i, item);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            out[i] = Some(result);
+        }
+    });
+
+    out.into_iter()
+        .map(|o| o.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(items.clone(), 1, |i, x| x * 2 + i as u64);
+        let parallel = par_map(items, 8, |i, x| x * 2 + i as u64);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 9);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(empty, 4, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(vec![7], 4, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(items, 4, |_, x| {
+            let spin = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_map(vec![1, 2, 3], 2, |_, x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod host;
 pub mod load;

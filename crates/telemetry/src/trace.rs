@@ -150,14 +150,25 @@ impl TraceBuffer {
 
     /// Appends an event, evicting the oldest record if full.
     pub fn push(&self, event: TraceEvent) {
+        let _ = self.push_evicting(event);
+    }
+
+    /// Appends an event, returning the evicted event when the buffer was
+    /// full. Producers that push heap-carrying events every round (e.g. the
+    /// controller's per-round weight snapshots) reclaim the evicted event's
+    /// buffers instead of letting them drop.
+    pub fn push_evicting(&self, event: TraceEvent) -> Option<TraceEvent> {
         let mut r = self.lock();
-        if r.records.len() == r.capacity {
-            r.records.pop_front();
+        let evicted = if r.records.len() == r.capacity {
             r.dropped += 1;
-        }
+            r.records.pop_front().map(|rec| rec.event)
+        } else {
+            None
+        };
         let seq = r.next_seq;
         r.next_seq += 1;
         r.records.push_back(TraceRecord { seq, event });
+        evicted
     }
 
     /// Number of records currently retained.
@@ -237,6 +248,16 @@ mod tests {
         assert_eq!(recs[0].seq, 7);
         assert_eq!(recs[2].seq, 9);
         assert_eq!(recs[2].event, decay(9));
+    }
+
+    #[test]
+    fn push_evicting_returns_displaced_event() {
+        let b = TraceBuffer::with_capacity(2);
+        assert_eq!(b.push_evicting(decay(0)), None);
+        assert_eq!(b.push_evicting(decay(1)), None);
+        assert_eq!(b.push_evicting(decay(2)), Some(decay(0)));
+        assert_eq!(b.push_evicting(decay(3)), Some(decay(1)));
+        assert_eq!(b.dropped(), 2);
     }
 
     #[test]
