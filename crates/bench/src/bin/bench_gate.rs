@@ -14,35 +14,15 @@
 //! to 3 — deliberately generous, so CI catches order-of-magnitude
 //! regressions (an accidental re-allocation per round, a dropped cache)
 //! without flaking on shared-runner noise. Benchmarks present in only one
-//! file are reported but never fail the gate, so baselines and bench sets
-//! can evolve independently.
+//! file — including a baseline that shares no names at all — are warned
+//! about and skipped, never failed, so baselines and bench sets can evolve
+//! independently. The comparison logic lives in [`streambal_bench::gate`].
 //!
 //! Exit status: 0 = pass, 1 = regression, 2 = usage/IO/parse error.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use streambal_telemetry::json::{self, Json};
-
-/// `name -> median_ns`, last occurrence winning.
-fn medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let docs: Vec<Json> =
-        json::parse_lines(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    let mut out = BTreeMap::new();
-    for (i, doc) in docs.iter().enumerate() {
-        let name = doc
-            .get("name")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("{path}: record {i} has no \"name\""))?;
-        let median = doc
-            .get("median_ns")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("{path}: record {i} has no numeric \"median_ns\""))?;
-        out.insert(name.to_owned(), median);
-    }
-    Ok(out)
-}
+use streambal_bench::gate::{compare, medians, DEFAULT_FACTOR};
 
 fn run() -> Result<bool, String> {
     let mut args = std::env::args().skip(1);
@@ -52,7 +32,7 @@ fn run() -> Result<bool, String> {
     let baseline_path = args.next().unwrap_or_else(|| "BENCH_core.json".to_owned());
     let factor: f64 = match args.next() {
         Some(f) => f.parse().map_err(|e| format!("bad factor '{f}': {e}"))?,
-        None => 3.0,
+        None => DEFAULT_FACTOR,
     };
     if !(factor.is_finite() && factor > 0.0) {
         return Err(format!("factor must be finite and positive, got {factor}"));
@@ -60,46 +40,16 @@ fn run() -> Result<bool, String> {
 
     let current = medians(&current_path)?;
     let baseline = medians(&baseline_path)?;
-
-    let mut regressions = 0usize;
-    let mut compared = 0usize;
-    for (name, &cur) in &current {
-        let Some(&base) = baseline.get(name) else {
-            println!("  new      {name}: {cur:.0} ns (no baseline entry)");
-            continue;
-        };
-        compared += 1;
-        let ratio = if base > 0.0 {
-            cur / base
-        } else {
-            f64::INFINITY
-        };
-        if cur <= factor * base || cur == base {
-            println!("  ok       {name}: {cur:.0} ns vs baseline {base:.0} ns ({ratio:.2}x)");
-        } else {
-            println!(
-                "  REGRESSED {name}: {cur:.0} ns vs baseline {base:.0} ns \
-                 ({ratio:.2}x > {factor}x gate)"
-            );
-            regressions += 1;
-        }
-    }
-    for name in baseline.keys() {
-        if !current.contains_key(name) {
-            println!("  missing  {name}: in baseline but not in this run");
-        }
-    }
-
-    if compared == 0 {
-        return Err(format!(
-            "no benchmark names shared between {current_path} and {baseline_path}"
-        ));
+    let outcome = compare(&current, &baseline, factor);
+    for line in &outcome.log {
+        println!("{line}");
     }
     println!(
-        "bench_gate: {compared} compared, {regressions} regressed (gate {factor}x, \
-         baseline {baseline_path})"
+        "bench_gate: {} compared, {} regressed (gate {factor}x, baseline {baseline_path})",
+        outcome.compared,
+        outcome.regressions.len(),
     );
-    Ok(regressions == 0)
+    Ok(outcome.passed())
 }
 
 fn main() -> ExitCode {

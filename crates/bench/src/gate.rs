@@ -1,0 +1,209 @@
+//! The bench regression gate as a library: JSONL median parsing and
+//! baseline comparison, separated from the `bench_gate` binary so both
+//! directions of the policy — regressions fail, missing baseline entries
+//! warn and skip — are unit-testable.
+
+use std::collections::BTreeMap;
+
+use streambal_telemetry::json::{self, Json};
+
+/// Default regression factor: deliberately generous so CI catches
+/// order-of-magnitude regressions without flaking on runner noise.
+pub const DEFAULT_FACTOR: f64 = 3.0;
+
+/// Parses bench JSONL text into `name -> median_ns`, last occurrence
+/// winning (appended runs overwrite earlier ones). `label` names the
+/// source in error messages.
+///
+/// # Errors
+///
+/// Returns a message when the text is not JSONL or a record lacks
+/// `name` / numeric `median_ns`.
+pub fn parse_medians(text: &str, label: &str) -> Result<BTreeMap<String, f64>, String> {
+    let docs: Vec<Json> =
+        json::parse_lines(text).map_err(|e| format!("cannot parse {label}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (i, doc) in docs.iter().enumerate() {
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: record {i} has no \"name\""))?;
+        let median = doc
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: record {i} has no numeric \"median_ns\""))?;
+        out.insert(name.to_owned(), median);
+    }
+    Ok(out)
+}
+
+/// Reads and parses a bench JSONL file.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read or parsed.
+pub fn medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_medians(&text, path)
+}
+
+/// The gate's verdict on one comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Benchmarks present in both files and compared against the factor.
+    pub compared: usize,
+    /// Names whose current median exceeded `factor ×` baseline.
+    pub regressions: Vec<String>,
+    /// Names present in the current run but absent from the baseline —
+    /// warned and skipped, never a failure (bench sets evolve before
+    /// baselines are refreshed).
+    pub new_entries: Vec<String>,
+    /// Names present in the baseline but absent from the current run —
+    /// likewise warned and skipped.
+    pub missing: Vec<String>,
+    /// Human-readable per-benchmark report lines, in output order.
+    pub log: Vec<String>,
+}
+
+impl GateOutcome {
+    /// The gate passes iff nothing regressed. Missing or new entries —
+    /// even a comparison with no shared names at all — only warn.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares a current run against a baseline. Every name present in both
+/// maps must satisfy `current <= factor * baseline`; names present in
+/// only one map are recorded as warnings and skipped.
+#[must_use]
+pub fn compare(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    factor: f64,
+) -> GateOutcome {
+    let mut out = GateOutcome {
+        compared: 0,
+        regressions: Vec::new(),
+        new_entries: Vec::new(),
+        missing: Vec::new(),
+        log: Vec::new(),
+    };
+    for (name, &cur) in current {
+        let Some(&base) = baseline.get(name) else {
+            out.log.push(format!(
+                "  new      {name}: {cur:.0} ns (no baseline entry; skipped)"
+            ));
+            out.new_entries.push(name.clone());
+            continue;
+        };
+        out.compared += 1;
+        let ratio = if base > 0.0 {
+            cur / base
+        } else {
+            f64::INFINITY
+        };
+        if cur <= factor * base || cur == base {
+            out.log.push(format!(
+                "  ok       {name}: {cur:.0} ns vs baseline {base:.0} ns ({ratio:.2}x)"
+            ));
+        } else {
+            out.log.push(format!(
+                "  REGRESSED {name}: {cur:.0} ns vs baseline {base:.0} ns \
+                 ({ratio:.2}x > {factor}x gate)"
+            ));
+            out.regressions.push(name.clone());
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            out.log.push(format!(
+                "  missing  {name}: in baseline but not in this run; skipped"
+            ));
+            out.missing.push(name.clone());
+        }
+    }
+    if out.compared == 0 {
+        out.log.push(
+            "  warning: no benchmark names shared with the baseline; nothing gated".to_owned(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|&(n, v)| (n.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn parses_jsonl_last_entry_wins() {
+        let text = "{\"name\":\"solver\",\"median_ns\":100}\n\
+                    {\"name\":\"pava\",\"median_ns\":50.5}\n\
+                    {\"name\":\"solver\",\"median_ns\":120}\n";
+        let m = parse_medians(text, "test").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["solver"], 120.0);
+        assert_eq!(m["pava"], 50.5);
+        assert!(parse_medians("{\"median_ns\":1}", "t").is_err());
+        assert!(parse_medians("{\"name\":\"x\"}", "t").is_err());
+    }
+
+    #[test]
+    fn regression_fails_the_gate() {
+        let current = map(&[("solver", 1_000.0), ("pava", 100.0)]);
+        let baseline = map(&[("solver", 100.0), ("pava", 100.0)]);
+        let out = compare(&current, &baseline, 3.0);
+        assert!(!out.passed());
+        assert_eq!(out.compared, 2);
+        assert_eq!(out.regressions, vec!["solver".to_owned()]);
+        assert!(out.log.iter().any(|l| l.contains("REGRESSED solver")));
+    }
+
+    #[test]
+    fn within_factor_passes() {
+        let current = map(&[("solver", 299.0)]);
+        let baseline = map(&[("solver", 100.0)]);
+        assert!(compare(&current, &baseline, 3.0).passed());
+    }
+
+    #[test]
+    fn missing_baseline_entries_warn_and_skip() {
+        // A benchmark added before the baseline was refreshed must not
+        // fail the gate — it is reported and skipped.
+        let current = map(&[("brand_new", 9_999.0), ("solver", 100.0)]);
+        let baseline = map(&[("solver", 100.0), ("retired", 50.0)]);
+        let out = compare(&current, &baseline, 3.0);
+        assert!(out.passed());
+        assert_eq!(out.compared, 1);
+        assert_eq!(out.new_entries, vec!["brand_new".to_owned()]);
+        assert_eq!(out.missing, vec!["retired".to_owned()]);
+        assert!(out.log.iter().any(|l| l.contains("new      brand_new")));
+        assert!(out.log.iter().any(|l| l.contains("missing  retired")));
+    }
+
+    #[test]
+    fn disjoint_name_sets_warn_but_pass() {
+        let current = map(&[("a", 1.0)]);
+        let baseline = map(&[("b", 1.0)]);
+        let out = compare(&current, &baseline, 3.0);
+        assert!(out.passed());
+        assert_eq!(out.compared, 0);
+        assert!(out
+            .log
+            .iter()
+            .any(|l| l.contains("no benchmark names shared")));
+    }
+
+    #[test]
+    fn zero_baseline_counts_as_regression_when_current_grew() {
+        let current = map(&[("x", 10.0)]);
+        let baseline = map(&[("x", 0.0)]);
+        let out = compare(&current, &baseline, 3.0);
+        assert!(!out.passed());
+    }
+}

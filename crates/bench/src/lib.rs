@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 pub mod micro;
 

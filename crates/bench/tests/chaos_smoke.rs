@@ -1,0 +1,44 @@
+//! Chaos smoke for the bench gate tier: a handful of pinned seeds through
+//! the full scenario → fault-injection → oracle pipeline. These are the
+//! same seeds CI's chaos-smoke job drives through `streambal-cli chaos`;
+//! if a balancer change breaks an invariant under disturbance, this fails
+//! with the seed needed to replay it.
+
+use streambal_sim::chaos::{fuzz_seed, run_scenario, Scenario};
+
+/// Seeds pinned in `.github/workflows/ci.yml` (chaos-smoke job).
+const PINNED_SEEDS: [u64; 3] = [1, 42, 1337];
+
+#[test]
+fn pinned_seeds_run_clean() {
+    for seed in PINNED_SEEDS {
+        let scenario = Scenario::generate(seed);
+        let outcome = run_scenario(&scenario).unwrap();
+        assert!(
+            outcome.violations.is_empty(),
+            "seed {seed} violated an invariant: {:#?}",
+            outcome.violations
+        );
+        assert!(
+            outcome.result.delivered > 0,
+            "seed {seed} delivered nothing"
+        );
+    }
+}
+
+#[test]
+fn pinned_seeds_are_byte_for_byte_reproducible() {
+    for seed in PINNED_SEEDS {
+        let scenario = Scenario::generate(seed);
+        let a = run_scenario(&scenario).unwrap();
+        let b = run_scenario(&scenario).unwrap();
+        assert_eq!(a, b, "seed {seed} did not replay identically");
+    }
+}
+
+#[test]
+fn fuzz_entry_point_reports_clean_seeds_as_none() {
+    for seed in PINNED_SEEDS {
+        assert_eq!(fuzz_seed(seed, false).unwrap(), None, "seed {seed}");
+    }
+}

@@ -9,6 +9,8 @@ streambal — blocking-rate load balancing for ordered parallel regions
 USAGE:
     streambal simulate [OPTIONS]     simulate one parallel region
     streambal placement [OPTIONS]    place regions across hosts (cluster-wide)
+    streambal chaos [OPTIONS]        fuzz seeded fault scenarios against the
+                                     invariant oracles
     streambal help                   show this text
 
 SIMULATE OPTIONS:
@@ -30,6 +32,14 @@ SIMULATE OPTIONS:
                            (.prom Prometheus text, .csv CSV, else JSONL)
     --trace PATH           export the telemetry trace events
                            (.csv CSV, else JSONL)
+
+CHAOS OPTIONS:
+    --seed N               first scenario seed (default 1)
+    --rounds R             fuzz R consecutive seeds (default 1)
+    --shrink               shrink the first failing scenario and print a
+                           ready-to-paste regression test
+    --sabotage skip-renorm deliberately skip weight renormalization after a
+                           worker death (oracle self-test; the run must fail)
 
 PLACEMENT OPTIONS:
     --hosts LIST           as above (default fast,slow)
@@ -95,6 +105,22 @@ pub struct SimulateArgs {
     pub trace: Option<String>,
 }
 
+/// A requested deliberate invariant break (oracle self-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabotageArg {
+    /// Skip weight renormalization after a worker death.
+    SkipRenorm,
+}
+
+/// The `chaos` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    pub seed: u64,
+    pub rounds: u64,
+    pub shrink: bool,
+    pub sabotage: Option<SabotageArg>,
+}
+
 /// The `placement` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacementArgs {
@@ -111,6 +137,7 @@ pub struct PlacementArgs {
 pub enum Command {
     Simulate(SimulateArgs),
     Placement(PlacementArgs),
+    Chaos(ChaosArgs),
     Help,
 }
 
@@ -139,6 +166,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "simulate" => parse_simulate(&argv[1..]),
         "placement" => parse_placement(&argv[1..]),
+        "chaos" => parse_chaos(&argv[1..]),
         other => Err(err(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -337,6 +365,42 @@ fn parse_placement(argv: &[String]) -> Result<Command, ParseError> {
     Ok(Command::Placement(a))
 }
 
+fn parse_chaos(argv: &[String]) -> Result<Command, ParseError> {
+    let mut a = ChaosArgs {
+        seed: 1,
+        rounds: 1,
+        shrink: false,
+        sabotage: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                a.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --seed"))?
+            }
+            "--rounds" => {
+                a.rounds = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --rounds"))?
+            }
+            "--shrink" => a.shrink = true,
+            "--sabotage" => {
+                a.sabotage = match take_value(flag, &mut it)? {
+                    "skip-renorm" => Some(SabotageArg::SkipRenorm),
+                    other => return Err(err(format!("unknown sabotage '{other}'"))),
+                }
+            }
+            other => return Err(err(format!("unknown flag '{other}'"))),
+        }
+    }
+    if a.rounds == 0 {
+        return Err(err("--rounds must be positive"));
+    }
+    Ok(Command::Chaos(a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +488,40 @@ mod tests {
         let Command::Placement(p) = cmd else { panic!() };
         assert_eq!(p.regions, vec![(8, 10_000)]);
         assert!(p.verify);
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags() {
+        let Command::Chaos(a) = parse(&args("chaos")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            a,
+            ChaosArgs {
+                seed: 1,
+                rounds: 1,
+                shrink: false,
+                sabotage: None
+            }
+        );
+        let Command::Chaos(a) = parse(&args(
+            "chaos --seed 99 --rounds 5 --shrink --sabotage skip-renorm",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.rounds, 5);
+        assert!(a.shrink);
+        assert_eq!(a.sabotage, Some(SabotageArg::SkipRenorm));
+    }
+
+    #[test]
+    fn chaos_bad_values_rejected() {
+        assert!(parse(&args("chaos --rounds 0")).is_err());
+        assert!(parse(&args("chaos --seed")).is_err());
+        assert!(parse(&args("chaos --sabotage frobnicate")).is_err());
+        assert!(parse(&args("chaos --frobnicate")).is_err());
     }
 
     #[test]

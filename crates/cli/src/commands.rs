@@ -7,6 +7,7 @@ use streambal_cluster::model::{ClusterSpec, RegionSpec};
 use streambal_cluster::placement::{place, Strategy};
 use streambal_cluster::verify::{co_simulate_coupled, simulate_region};
 use streambal_core::controller::{BalancerConfig, BalancerMode, ClusteringConfig};
+use streambal_sim::chaos::{run_scenario, shrink, FuzzFailure, Scenario, DEFAULT_SHRINK_RUNS};
 use streambal_sim::config::{RegionConfig, StopCondition};
 use streambal_sim::host::Host;
 use streambal_sim::load::LoadSchedule;
@@ -16,7 +17,9 @@ use streambal_telemetry::{export, Telemetry};
 use streambal_workloads::oracle;
 use streambal_workloads::report::Table;
 
-use crate::args::{Command, HostArg, PlacementArgs, PolicyArg, SimulateArgs};
+use crate::args::{
+    ChaosArgs, Command, HostArg, PlacementArgs, PolicyArg, SabotageArg, SimulateArgs,
+};
 
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
@@ -27,6 +30,7 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
         }
         Command::Simulate(a) => simulate(a),
         Command::Placement(a) => placement(a),
+        Command::Chaos(a) => chaos(a),
     }
 }
 
@@ -152,6 +156,74 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
             println!("telemetry trace written to {path}");
         }
     }
+    Ok(())
+}
+
+fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
+    let mut failures = 0u64;
+    let mut first_failure: Option<FuzzFailure> = None;
+    for i in 0..a.rounds {
+        let seed = a.seed.wrapping_add(i);
+        let mut scenario = Scenario::generate(seed);
+        if let Some(SabotageArg::SkipRenorm) = a.sabotage {
+            scenario.sabotage = Some(streambal_sim::Sabotage::SkipRenormalization);
+        }
+        let outcome = run_scenario(&scenario)?;
+        if outcome.violations.is_empty() {
+            println!(
+                "seed {seed}: {} workers, {} fault events, {} tuples delivered — clean",
+                scenario.workers,
+                scenario.events.len(),
+                outcome.result.delivered,
+            );
+            continue;
+        }
+        failures += 1;
+        println!(
+            "seed {seed}: {} workers, {} fault events — {} violation(s)",
+            scenario.workers,
+            scenario.events.len(),
+            outcome.violations.len(),
+        );
+        for v in &outcome.violations {
+            println!("  {v}");
+        }
+        if first_failure.is_none() {
+            first_failure = Some(if a.shrink {
+                shrink(&scenario, DEFAULT_SHRINK_RUNS)?
+                    .expect("a failing scenario survives shrinking")
+            } else {
+                FuzzFailure {
+                    original_events: scenario.events.len(),
+                    violations: outcome.violations,
+                    scenario,
+                    shrink_runs: 0,
+                }
+            });
+        }
+    }
+    if let Some(f) = &first_failure {
+        if a.shrink {
+            println!(
+                "\nshrunk first failure from {} to {} event(s) in {} re-runs; \
+                 minimal reproduction:\n",
+                f.original_events,
+                f.scenario.events.len(),
+                f.shrink_runs,
+            );
+            println!(
+                "{}",
+                f.scenario
+                    .to_regression_test(&format!("seed_{}", f.scenario.seed))
+            );
+        }
+        return Err(format!(
+            "{failures} of {} chaos seed(s) violated an invariant",
+            a.rounds
+        )
+        .into());
+    }
+    println!("{} chaos seed(s) clean", a.rounds);
     Ok(())
 }
 

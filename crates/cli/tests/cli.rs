@@ -163,6 +163,41 @@ fn simulate_rr_policy() {
 }
 
 #[test]
+fn chaos_pinned_seed_is_byte_for_byte_reproducible() {
+    let args = ["chaos", "--seed", "42", "--rounds", "3"];
+    let a = streambal(&args);
+    let b = streambal(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(
+        a.stdout, b.stdout,
+        "same seed must print the identical report"
+    );
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("seed 42"), "{text}");
+    assert!(text.contains("3 chaos seed(s) clean"), "{text}");
+}
+
+#[test]
+fn chaos_sabotage_fails_and_prints_shrunk_regression() {
+    let out = streambal(&[
+        "chaos",
+        "--seed",
+        "3",
+        "--sabotage",
+        "skip-renorm",
+        "--shrink",
+    ]);
+    assert!(
+        !out.status.success(),
+        "a sabotaged run must exit non-zero (the oracle self-test)"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[simplex]"), "{text}");
+    assert!(text.contains("fn chaos_regression_seed_3()"), "{text}");
+    assert!(text.contains("SkipRenormalization"), "{text}");
+}
+
+#[test]
 fn placement_reports_strategies() {
     let out = streambal(&[
         "placement",

@@ -99,6 +99,89 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// A structural invariant of the balancer found broken by
+/// [`LoadBalancer::check_invariants`].
+///
+/// These are the controller-level facts the chaos harness's oracles assert
+/// every round; in a correct build none of them can occur, so any instance
+/// is a bug (or a deliberately sabotaged run validating the oracles).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// The installed weights do not sum to the resolution (the allocation
+    /// left the simplex).
+    WeightSum {
+        /// Sum of the installed units.
+        got: u64,
+        /// The configured resolution `R`.
+        expected: u32,
+    },
+    /// A rebuilt blocking-rate function decreased somewhere.
+    NonMonotoneFunction {
+        /// The offending connection.
+        connection: usize,
+        /// The first weight at which the prediction decreases.
+        weight: u32,
+    },
+    /// A rebuilt blocking-rate function produced a non-finite or negative
+    /// prediction.
+    NonFiniteFunction {
+        /// The offending connection.
+        connection: usize,
+        /// The weight at which the bad value sits.
+        weight: u32,
+        /// The bad predicted value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::WeightSum { got, expected } => {
+                write!(f, "weights sum to {got}, expected {expected}")
+            }
+            InvariantViolation::NonMonotoneFunction { connection, weight } => write!(
+                f,
+                "connection {connection}: predicted blocking rate decreases at weight {weight}"
+            ),
+            InvariantViolation::NonFiniteFunction {
+                connection,
+                weight,
+                value,
+            } => write!(
+                f,
+                "connection {connection}: predicted blocking rate at weight {weight} is {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Checks one connection's predicted curve for finiteness and
+/// monotonicity (the per-function half of
+/// [`LoadBalancer::check_invariants`]).
+fn check_predicted(connection: usize, predicted: &[f64]) -> Result<(), InvariantViolation> {
+    let mut prev = f64::NEG_INFINITY;
+    for (w, &v) in predicted.iter().enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(InvariantViolation::NonFiniteFunction {
+                connection,
+                weight: w as u32,
+                value: v,
+            });
+        }
+        if v < prev {
+            return Err(InvariantViolation::NonMonotoneFunction {
+                connection,
+                weight: w as u32,
+            });
+        }
+        prev = v;
+    }
+    Ok(())
+}
+
 /// Configuration of a [`LoadBalancer`]. Build with
 /// [`BalancerConfig::builder`].
 #[derive(Debug, Clone, PartialEq)]
@@ -431,6 +514,33 @@ impl LoadBalancer {
     /// Number of completed rebalance rounds.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Checks the balancer's structural invariants, as an oracle hook for
+    /// chaos/fault-injection harnesses: the installed weights sum exactly
+    /// to the resolution (the simplex the solver must never leave), and
+    /// every rebuilt [`BlockingRateFunction`] is finite, non-negative and
+    /// non-decreasing in the weight (PAVA's contract).
+    ///
+    /// Cheap enough to call every control round; takes `&mut self` because
+    /// checking a function's prediction may rebuild its interpolation
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] found.
+    pub fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        let got: u64 = self.weights.units().iter().map(|&u| u64::from(u)).sum();
+        if got != u64::from(self.cfg.resolution) {
+            return Err(InvariantViolation::WeightSum {
+                got,
+                expected: self.cfg.resolution,
+            });
+        }
+        for (j, f) in self.functions.iter_mut().enumerate() {
+            check_predicted(j, f.predicted())?;
+        }
+        Ok(())
     }
 
     /// The predictive function of connection `j` (for introspection and
@@ -1042,6 +1152,67 @@ mod tests {
         if let TraceEvent::ClusterUpdate { assignment, .. } = &updates[0] {
             assert_eq!(assignment.len(), 32);
         }
+    }
+
+    #[test]
+    fn check_invariants_holds_across_noisy_rounds() {
+        let mut lb = LoadBalancer::new(BalancerConfig::builder(4).build().unwrap());
+        let mut rng = crate::rng::SplitMix64::new(0xC0DE_0C1A);
+        for _ in 0..200 {
+            let samples: Vec<ConnectionSample> = (0..4)
+                .map(|j| ConnectionSample::new(j, rng.frange(0.0, 1.0)))
+                .collect();
+            lb.observe(&samples);
+            lb.rebalance();
+            lb.check_invariants().expect("healthy balancer");
+        }
+    }
+
+    #[test]
+    fn check_predicted_reports_bad_curves() {
+        // A decreasing or non-finite curve cannot come out of PAVA; drive
+        // the checker directly to prove it would be seen if one did.
+        assert_eq!(
+            check_predicted(1, &[0.1, 0.3, 0.2]),
+            Err(InvariantViolation::NonMonotoneFunction {
+                connection: 1,
+                weight: 2
+            })
+        );
+        assert!(matches!(
+            check_predicted(0, &[0.0, f64::NAN]),
+            Err(InvariantViolation::NonFiniteFunction {
+                connection: 0,
+                weight: 1,
+                ..
+            })
+        ));
+        assert!(check_predicted(0, &[0.0, 0.0, 0.5, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn trace_smaller_than_one_round_keeps_newest_events() {
+        // Satellite: a trace buffer smaller than one round's event volume
+        // must evict oldest-first and account for every drop.
+        let mut lb = LoadBalancer::new(BalancerConfig::builder(3).build().unwrap());
+        let trace = TraceBuffer::with_capacity(2);
+        lb.attach_trace(trace.clone());
+        for _ in 0..5 {
+            lb.observe(&[
+                ConnectionSample::new(0, 0.6),
+                ConnectionSample::new(1, 0.2),
+                ConnectionSample::new(2, 0.1),
+            ]);
+            lb.rebalance();
+        }
+        let records = trace.records();
+        assert_eq!(records.len(), 2, "capacity bounds the ring");
+        assert!(trace.dropped() > 0, "smaller-than-round buffer must drop");
+        // The survivors are the newest events: sequence numbers keep
+        // counting across evictions and end at the last pushed event.
+        let total_pushed = trace.dropped() + records.len() as u64;
+        assert_eq!(records.last().unwrap().seq, total_pushed - 1);
+        assert_eq!(records[0].seq + 1, records[1].seq);
     }
 
     #[test]

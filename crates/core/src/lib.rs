@@ -53,7 +53,7 @@ pub mod rng;
 pub mod solver;
 pub mod weights;
 
-pub use controller::{BalancerConfig, BalancerMode, LoadBalancer};
+pub use controller::{BalancerConfig, BalancerMode, InvariantViolation, LoadBalancer};
 pub use function::BlockingRateFunction;
 pub use rate::{BlockingRate, ConnectionSample};
 pub use rng::SplitMix64;

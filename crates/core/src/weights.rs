@@ -274,6 +274,35 @@ impl WrrScheduler {
         self.credit.iter_mut().for_each(|c| *c = 0);
     }
 
+    /// Replaces the weights from raw units, resetting accumulated credit.
+    ///
+    /// Unlike [`set_weights`](Self::set_weights) this does **not** require
+    /// the units to sum to a resolution — the WRR scheme itself only needs
+    /// relative weights. It exists for harnesses that must drive the
+    /// scheduler with deliberately non-simplex allocations (e.g. the chaos
+    /// harness's sabotage mode, which mutation-tests the invariant
+    /// oracles); production callers go through [`WeightVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the connection count or if
+    /// every unit is zero (the scheduler would have nothing to pick).
+    pub fn set_units(&mut self, units: &[u32]) {
+        assert_eq!(
+            units.len(),
+            self.weights.len(),
+            "connection count must not change"
+        );
+        assert!(
+            units.iter().any(|&u| u > 0),
+            "at least one unit must be positive"
+        );
+        self.weights.clear();
+        self.weights.extend(units.iter().map(|&u| i64::from(u)));
+        self.total = self.weights.iter().sum();
+        self.credit.iter_mut().for_each(|c| *c = 0);
+    }
+
     /// Picks the next connection to route a tuple to.
     ///
     /// Connections with zero weight are never picked.
@@ -412,6 +441,27 @@ mod tests {
         for window in picks.windows(3) {
             assert_ne!(window, &[0, 0, 0], "smooth WRR must interleave");
         }
+    }
+
+    #[test]
+    fn wrr_set_units_accepts_non_simplex_weights() {
+        let w = WeightVector::even(3, 1000);
+        let mut wrr = WrrScheduler::new(&w);
+        // Sums to 700, not 1000 — legal at this layer.
+        wrr.set_units(&[0, 500, 200]);
+        let mut counts = [0u32; 3];
+        for _ in 0..700 {
+            counts[wrr.pick()] += 1;
+        }
+        assert_eq!(counts, [0, 500, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn wrr_set_units_rejects_all_zero() {
+        let w = WeightVector::even(2, 1000);
+        let mut wrr = WrrScheduler::new(&w);
+        wrr.set_units(&[0, 0]);
     }
 
     #[test]

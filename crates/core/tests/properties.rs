@@ -349,6 +349,91 @@ fn clustering_is_a_valid_partition() {
 }
 
 #[test]
+fn single_connection_balancer_is_a_fixed_point() {
+    // N = 1 is the degenerate simplex: the whole resolution belongs to the
+    // only connection, whatever the observed rates do.
+    let mut rng = SplitMix64::new(0xC0DE_000F);
+    let mut lb = LoadBalancer::new(BalancerConfig::builder(1).build().unwrap());
+    for _ in 0..200 {
+        let rate = rng.frange(0.0, 5.0);
+        lb.observe(&[ConnectionSample::new(0, rate)]);
+        lb.rebalance();
+        assert_eq!(lb.weights().units(), &[1000]);
+    }
+}
+
+#[test]
+fn all_equal_rates_keep_the_allocation_near_even() {
+    // Identical blocking everywhere gives the solver no gradient; the
+    // allocation must stay on the simplex and not collapse onto a few
+    // connections.
+    let mut rng = SplitMix64::new(0xC0DE_0010);
+    for _ in 0..16 {
+        let n = rng.range_usize(2, 8);
+        let rate = rng.frange(0.0, 2.0);
+        let mut lb = LoadBalancer::new(BalancerConfig::builder(n).build().unwrap());
+        for _ in 0..50 {
+            let samples: Vec<ConnectionSample> =
+                (0..n).map(|j| ConnectionSample::new(j, rate)).collect();
+            lb.observe(&samples);
+            lb.rebalance();
+            assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        }
+        let units = lb.weights().units();
+        let min = *units.iter().min().unwrap();
+        let max = *units.iter().max().unwrap();
+        assert!(
+            max - min <= 100,
+            "equal rates must keep weights near even, got {units:?}"
+        );
+    }
+}
+
+#[test]
+fn solver_bounds_with_tight_lower_sums_force_the_allocation() {
+    // When the per-connection lower bounds already consume the whole
+    // resolution (Σ m_j = R), the bound vector is the only feasible point;
+    // with one unit of slack (Σ m_j = R - 1) the solver places exactly one
+    // unit above the bounds.
+    let mut rng = SplitMix64::new(0xC0DE_0011);
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 5);
+        let r = 12u32;
+        let funcs: Vec<Vec<f64>> = (0..n).map(|_| monotone_function(r, &mut rng)).collect();
+        let mut lower = vec![0u32; n];
+        for _ in 0..r {
+            lower[rng.range_usize(0, n - 1)] += 1;
+        }
+
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let p = Problem::new(slices, r)
+            .unwrap()
+            .with_bounds(lower.clone(), vec![r; n])
+            .unwrap();
+        p.check_feasible().expect("Σ lower == R is feasible");
+        assert_eq!(fox::solve(&p).unwrap().weights, lower);
+
+        let j = lower.iter().position(|&u| u > 0).expect("r > 0");
+        let mut slack_lower = lower.clone();
+        slack_lower[j] -= 1;
+        let slices: Vec<&[f64]> = funcs.iter().map(Vec::as_slice).collect();
+        let p = Problem::new(slices, r)
+            .unwrap()
+            .with_bounds(slack_lower.clone(), vec![r; n])
+            .unwrap();
+        let sol = fox::solve(&p).unwrap();
+        assert_eq!(sol.weights.iter().sum::<u32>(), r);
+        let slack: u32 = sol
+            .weights
+            .iter()
+            .zip(&slack_lower)
+            .map(|(w, l)| w - l)
+            .sum();
+        assert_eq!(slack, 1, "exactly one free unit above the bounds");
+    }
+}
+
+#[test]
 fn balancer_weights_always_sum_to_resolution() {
     let mut rng = SplitMix64::new(0xC0DE_000D);
     for _ in 0..CASES {

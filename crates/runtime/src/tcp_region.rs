@@ -46,6 +46,7 @@ pub struct TcpRegionBuilder {
     sample_interval: Duration,
     balancing: bool,
     mode: BalancerMode,
+    stall: Option<(usize, u64, Duration)>,
 }
 
 impl TcpRegionBuilder {
@@ -59,6 +60,7 @@ impl TcpRegionBuilder {
             sample_interval: Duration::from_millis(50),
             balancing: true,
             mode: BalancerMode::default(),
+            stall: None,
         }
     }
 
@@ -94,6 +96,21 @@ impl TcpRegionBuilder {
     /// Sets the control-loop sampling interval.
     pub fn sample_interval_ms(&mut self, ms: u64) -> &mut Self {
         self.sample_interval = Duration::from_millis(ms.max(1));
+        self
+    }
+
+    /// Injects a mid-run socket stall: after processing `after_tuples`
+    /// frames, worker `j` stops reading its connection for `stall`. The
+    /// kernel buffer fills and the splitter's sends to that connection
+    /// block — the region must surface this as measured blocking (and a
+    /// rebalance under an adaptive mode), never as a hang.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn worker_stall(&mut self, j: usize, after_tuples: u64, stall: Duration) -> &mut Self {
+        assert!(j < self.workers, "worker index out of range");
+        self.stall = Some((j, after_tuples, stall));
         self
     }
 
@@ -133,6 +150,9 @@ impl TcpRegionBuilder {
             let (addr, incoming) = listen().map_err(|_| RegionError::OutOfOrder)?;
             let merge_tx = merge_tx.clone();
             let cost = (self.tuple_cost as f64 * self.loads[j]) as u64;
+            let stall = self
+                .stall
+                .and_then(|(w, after, d)| (w == j).then_some((after, d)));
             worker_handles.push(
                 thread::Builder::new()
                     .name(format!("streambal-tcp-worker-{j}"))
@@ -140,6 +160,7 @@ impl TcpRegionBuilder {
                         let Ok(mut rx) = incoming.accept() else {
                             return;
                         };
+                        let mut processed = 0u64;
                         while let Ok(Some(frame)) = rx.recv_frame() {
                             if frame.len() < 8 {
                                 return;
@@ -150,6 +171,12 @@ impl TcpRegionBuilder {
                             spin_multiplies(cost);
                             if merge_tx.send(seq).is_err() {
                                 return;
+                            }
+                            processed += 1;
+                            if let Some((after, d)) = stall {
+                                if processed == after {
+                                    thread::sleep(d);
+                                }
                             }
                         }
                     })

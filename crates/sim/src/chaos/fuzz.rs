@@ -1,0 +1,288 @@
+//! Scenario fuzzing and shrinking.
+//!
+//! [`fuzz_seed`] generates and runs one seeded [`Scenario`]; when the
+//! oracles object, [`shrink`] reduces the failing fault schedule to a
+//! minimal reproduction — greedy event removal to a fixpoint, then
+//! per-event simplification (factors toward 1, durations halved, times
+//! rounded) — so the regression test that comes out of a fuzzing session
+//! is as small as the failure allows.
+
+use crate::chaos::oracle::Violation;
+use crate::chaos::scenario::{run_scenario, Scenario};
+use crate::chaos::{FaultKind, TimedFault};
+use crate::config::ConfigError;
+use crate::SECOND_NS;
+
+/// Default shrink budget (total scenario re-runs) used by [`fuzz_seed`].
+pub const DEFAULT_SHRINK_RUNS: usize = 200;
+
+/// A failing scenario, after optional shrinking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzFailure {
+    /// The (possibly shrunk) still-failing scenario.
+    pub scenario: Scenario,
+    /// How many fault events the scenario had before shrinking.
+    pub original_events: usize,
+    /// The violations the shrunk scenario produces.
+    pub violations: Vec<Violation>,
+    /// How many scenario re-runs shrinking spent (0 when not shrunk).
+    pub shrink_runs: usize,
+}
+
+/// Runs the scenario derived from `seed`; on violation, optionally
+/// shrinks it. Returns `None` when the run is clean.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the generated scenario is invalid
+/// (which would be a generator bug, not a balancer bug).
+pub fn fuzz_seed(seed: u64, do_shrink: bool) -> Result<Option<FuzzFailure>, ConfigError> {
+    let scenario = Scenario::generate(seed);
+    let outcome = run_scenario(&scenario)?;
+    if outcome.violations.is_empty() {
+        return Ok(None);
+    }
+    if do_shrink {
+        shrink(&scenario, DEFAULT_SHRINK_RUNS)
+    } else {
+        Ok(Some(FuzzFailure {
+            original_events: scenario.events.len(),
+            violations: outcome.violations,
+            scenario,
+            shrink_runs: 0,
+        }))
+    }
+}
+
+/// Re-runs the scenario, counting the run; `Some(violations)` iff it
+/// still fails.
+fn check(s: &Scenario, runs: &mut usize) -> Result<Option<Vec<Violation>>, ConfigError> {
+    *runs += 1;
+    let outcome = run_scenario(s)?;
+    Ok(if outcome.violations.is_empty() {
+        None
+    } else {
+        Some(outcome.violations)
+    })
+}
+
+/// Simpler variants of one event, most aggressive first. The caller
+/// keeps the first variant that still fails.
+fn simpler_variants(ev: &TimedFault) -> Vec<TimedFault> {
+    let mut out = Vec::new();
+    // Simplify the fault itself.
+    match ev.fault {
+        FaultKind::Slowdown { worker, factor } if (factor - 1.0).abs() > 1e-6 => {
+            out.push(TimedFault {
+                t_ns: ev.t_ns,
+                fault: FaultKind::Slowdown {
+                    worker,
+                    factor: 1.0 + (factor - 1.0) / 2.0,
+                },
+            });
+        }
+        FaultKind::LoadSpike { worker, factor } if (factor - 1.0).abs() > 1e-6 => {
+            out.push(TimedFault {
+                t_ns: ev.t_ns,
+                fault: FaultKind::LoadSpike {
+                    worker,
+                    factor: 1.0 + (factor - 1.0) / 2.0,
+                },
+            });
+        }
+        FaultKind::ConnectionStall { conn, duration_ns } if duration_ns > 1 => {
+            out.push(TimedFault {
+                t_ns: ev.t_ns,
+                fault: FaultKind::ConnectionStall {
+                    conn,
+                    duration_ns: duration_ns / 2,
+                },
+            });
+        }
+        FaultKind::SampleJitter { amplitude_ns } if amplitude_ns > 0 => {
+            out.push(TimedFault {
+                t_ns: ev.t_ns,
+                fault: FaultKind::SampleJitter {
+                    amplitude_ns: amplitude_ns / 2,
+                },
+            });
+        }
+        _ => {}
+    }
+    // Round the firing time down to a whole second.
+    let rounded = (ev.t_ns / SECOND_NS) * SECOND_NS;
+    if rounded != ev.t_ns {
+        out.push(TimedFault {
+            t_ns: rounded,
+            fault: ev.fault,
+        });
+    }
+    out
+}
+
+/// Shrinks a failing scenario to a minimal still-failing reproduction,
+/// spending at most `max_runs` scenario re-runs.
+///
+/// Phase 1 greedily deletes events until no single deletion keeps the
+/// failure; phase 2 simplifies the survivors in place (halve factors
+/// toward 1.0, halve durations, round firing times to whole seconds).
+/// Returns `None` when the input scenario does not fail at all.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the scenario describes an invalid
+/// region or fault plan.
+pub fn shrink(failing: &Scenario, max_runs: usize) -> Result<Option<FuzzFailure>, ConfigError> {
+    let mut runs = 0usize;
+    let Some(mut violations) = check(failing, &mut runs)? else {
+        return Ok(None);
+    };
+    let mut current = failing.clone();
+
+    // Phase 1: greedy event removal to a fixpoint.
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < current.events.len() && runs < max_runs {
+            let mut cand = current.clone();
+            cand.events.remove(i);
+            if let Some(v) = check(&cand, &mut runs)? {
+                current = cand;
+                violations = v;
+                improved = true;
+                // The next event slid into slot `i`; retry the slot.
+            } else {
+                i += 1;
+            }
+        }
+        if !improved || runs >= max_runs {
+            break;
+        }
+    }
+
+    // Phase 2: simplify each surviving event in place.
+    'simplify: loop {
+        let mut improved = false;
+        for i in 0..current.events.len() {
+            for variant in simpler_variants(&current.events[i]) {
+                if runs >= max_runs {
+                    break 'simplify;
+                }
+                let mut cand = current.clone();
+                cand.events[i] = variant;
+                if let Some(v) = check(&cand, &mut runs)? {
+                    current = cand;
+                    violations = v;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(Some(FuzzFailure {
+        scenario: current,
+        original_events: failing.events.len(),
+        violations,
+        shrink_runs: runs,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::Sabotage;
+
+    /// A short sabotaged scenario padded with noise events the shrinker
+    /// should strip away: only the worker death is needed to trip the
+    /// simplex oracle once renormalization is skipped.
+    fn sabotaged() -> Scenario {
+        Scenario {
+            seed: 0xBAD_5EED,
+            workers: 3,
+            duration_ns: 8 * SECOND_NS,
+            events: vec![
+                TimedFault {
+                    t_ns: 2 * SECOND_NS + 500_000_000,
+                    fault: FaultKind::SampleJitter {
+                        amplitude_ns: 40_000_000,
+                    },
+                },
+                TimedFault {
+                    t_ns: 3 * SECOND_NS,
+                    fault: FaultKind::Slowdown {
+                        worker: 0,
+                        factor: 3.0,
+                    },
+                },
+                TimedFault {
+                    t_ns: 3 * SECOND_NS + 500_000_000,
+                    fault: FaultKind::LoadSpike {
+                        worker: 2,
+                        factor: 2.5,
+                    },
+                },
+                TimedFault {
+                    t_ns: 4 * SECOND_NS,
+                    fault: FaultKind::WorkerDeath { worker: 1 },
+                },
+                TimedFault {
+                    t_ns: 6 * SECOND_NS,
+                    fault: FaultKind::WorkerRestart { worker: 1 },
+                },
+            ],
+            sabotage: Some(Sabotage::SkipRenormalization),
+        }
+    }
+
+    #[test]
+    fn sabotage_is_caught_and_shrinks_small() {
+        let scenario = sabotaged();
+        let failure = shrink(&scenario, 80)
+            .unwrap()
+            .expect("sabotaged run must violate an oracle");
+        assert_eq!(failure.original_events, 5);
+        assert!(
+            failure.scenario.events.len() <= 2,
+            "expected a tiny reproduction, got {:#?}",
+            failure.scenario.events
+        );
+        assert!(
+            failure
+                .scenario
+                .events
+                .iter()
+                .any(|e| matches!(e.fault, FaultKind::WorkerDeath { worker: 1 })),
+            "the death that trips the sabotage must survive shrinking"
+        );
+        assert!(failure.violations.iter().any(|v| v.oracle == "simplex"));
+        // The shrunk scenario replays to the same violations.
+        let replay = run_scenario(&failure.scenario).unwrap();
+        assert_eq!(replay.violations, failure.violations);
+    }
+
+    #[test]
+    fn shrink_on_clean_scenario_returns_none() {
+        let clean = Scenario {
+            seed: 7,
+            workers: 2,
+            duration_ns: 8 * SECOND_NS,
+            events: vec![TimedFault {
+                t_ns: 3 * SECOND_NS,
+                fault: FaultKind::SampleJitter {
+                    amplitude_ns: 10_000_000,
+                },
+            }],
+            sabotage: None,
+        };
+        assert_eq!(shrink(&clean, 10).unwrap(), None);
+    }
+
+    #[test]
+    fn fuzz_seed_is_deterministic() {
+        assert_eq!(fuzz_seed(11, false).unwrap(), fuzz_seed(11, false).unwrap());
+    }
+}

@@ -1,0 +1,218 @@
+//! Deterministic chaos harness: seeded fault injection, invariant oracles
+//! and a shrinking scenario fuzzer.
+//!
+//! The paper's evaluation is all about behaviour *under disturbance* —
+//! slow hosts, hiccups, draft-leader swaps, load that appears and
+//! disappears. This module turns those disturbances into a first-class,
+//! reproducible scenario DSL:
+//!
+//! - [`FaultKind`]/[`TimedFault`]/[`ChaosPlan`] describe timed fault events
+//!   (worker death and restart, host slowdown and recovery, connection
+//!   stalls, load spikes and skew shifts, sampling-clock jitter) injected
+//!   into the [`engine`](crate::engine) run loop by
+//!   [`run_chaos`](crate::run_chaos).
+//! - [`Oracle`]s ([`oracle`]) are invariant checks run after every control
+//!   round: weight simplex, in-order merge delivery, monotonicity of the
+//!   rebuilt blocking-rate functions, bounded reorder-queue occupancy, and
+//!   post-disturbance reconvergence within a budgeted number of rounds.
+//!   Violations carry the tail of the telemetry
+//!   [`TraceBuffer`](streambal_telemetry::TraceBuffer) so every failure
+//!   comes with the controller's decision trace.
+//! - [`Scenario`] generates whole scenarios from a
+//!   single [`SplitMix64`](streambal_core::rng::SplitMix64) seed, so any
+//!   failure is replayable from one `u64`; [`fuzz`] shrinks a failing
+//!   scenario's event list to a minimal reproduction and renders it as a
+//!   ready-to-paste regression test.
+//! - [`Sabotage`] deliberately breaks an invariant mid-run (e.g. skipping
+//!   weight renormalization after a worker death). It exists to
+//!   mutation-test the oracles themselves: a harness whose checks cannot
+//!   fail proves nothing.
+//!
+//! ```
+//! use streambal_sim::chaos::{run_scenario, Scenario};
+//!
+//! let scenario = Scenario::generate(42);
+//! let outcome = run_scenario(&scenario).unwrap();
+//! assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+//! ```
+
+pub mod fuzz;
+pub mod oracle;
+pub mod scenario;
+
+pub use fuzz::{fuzz_seed, shrink, FuzzFailure, DEFAULT_SHRINK_RUNS};
+pub use oracle::{Oracle, OracleSuite, RoundObserver, RoundView, Violation};
+pub use scenario::{run_scenario, Scenario, ScenarioOutcome};
+
+use crate::config::ConfigError;
+
+/// One kind of injected disturbance.
+///
+/// Worker and connection indices refer to the region's connection order
+/// (the same indexing as [`RegionConfig::workers`](crate::RegionConfig)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The worker crashes: its in-flight tuple is requeued at the head of
+    /// its connection (crash-restart with state recovery, preserving
+    /// exactly-once in-order delivery) and it processes nothing until a
+    /// matching [`FaultKind::WorkerRestart`].
+    WorkerDeath {
+        /// The dying worker.
+        worker: usize,
+    },
+    /// The worker comes back and resumes draining its connection queue.
+    WorkerRestart {
+        /// The restarting worker.
+        worker: usize,
+    },
+    /// The worker's host slows down: service times are multiplied by
+    /// `factor` from now on. `factor = 1.0` is recovery.
+    Slowdown {
+        /// The affected worker.
+        worker: usize,
+        /// Service-time multiplier (`> 0`; `1.0` restores full speed).
+        factor: f64,
+    },
+    /// The splitter→worker connection stalls for a duration: enqueued
+    /// tuples cannot reach the worker (it finishes its current tuple and
+    /// idles), exactly like a TCP connection retransmitting. Queued and
+    /// pending tuples are preserved in order.
+    ConnectionStall {
+        /// The stalled connection.
+        conn: usize,
+        /// How long the stall lasts, ns.
+        duration_ns: u64,
+    },
+    /// External load appears on the worker: its cost multiplier becomes
+    /// `factor`, overriding the configured load schedule from now on.
+    /// Issue spikes against different workers over time to shift skew.
+    LoadSpike {
+        /// The loaded worker.
+        worker: usize,
+        /// The new cost multiplier (`> 0`; `1.0` removes the spike).
+        factor: f64,
+    },
+    /// The control loop's sampling clock becomes jittery: every later
+    /// sample fires `interval ± U(0, amplitude_ns)` after the previous
+    /// one instead of exactly `interval`. `amplitude_ns = 0` restores the
+    /// exact clock.
+    SampleJitter {
+        /// Maximum deviation from the nominal interval, ns.
+        amplitude_ns: u64,
+    },
+}
+
+/// A fault scheduled at an absolute simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedFault {
+    /// When the fault fires, ns.
+    pub t_ns: u64,
+    /// What happens.
+    pub fault: FaultKind,
+}
+
+/// A deliberate invariant break, used to mutation-test the oracles.
+///
+/// A sabotaged run *must* produce violations; a harness that stays green
+/// under sabotage has a dead oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// After a [`FaultKind::WorkerDeath`], zero the dead connection's
+    /// weight *without redistributing its units* — the classic forgotten
+    /// renormalization, leaving the allocation summing below the
+    /// resolution. Caught by the weight-simplex oracle.
+    SkipRenormalization,
+}
+
+/// A full fault-injection plan for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// The fault events, in any order (the engine schedules each at its
+    /// own time).
+    pub events: Vec<TimedFault>,
+    /// Optional deliberate invariant break (oracle mutation testing).
+    pub sabotage: Option<Sabotage>,
+}
+
+impl ChaosPlan {
+    /// A plan with the given events and no sabotage.
+    pub fn new(events: Vec<TimedFault>) -> Self {
+        ChaosPlan {
+            events,
+            sabotage: None,
+        }
+    }
+
+    /// Checks every event against a region of `workers` connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadChaosEvent`] with the index of the first
+    /// event that references an out-of-range worker/connection or carries
+    /// a non-positive factor or zero duration.
+    pub fn validate(&self, workers: usize) -> Result<(), ConfigError> {
+        for (i, ev) in self.events.iter().enumerate() {
+            let ok = match ev.fault {
+                FaultKind::WorkerDeath { worker } | FaultKind::WorkerRestart { worker } => {
+                    worker < workers
+                }
+                FaultKind::Slowdown { worker, factor }
+                | FaultKind::LoadSpike { worker, factor } => {
+                    worker < workers && factor.is_finite() && factor > 0.0
+                }
+                FaultKind::ConnectionStall { conn, duration_ns } => {
+                    conn < workers && duration_ns > 0
+                }
+                FaultKind::SampleJitter { .. } => true,
+            };
+            if !ok {
+                return Err(ConfigError::BadChaosEvent(i));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_bad_events() {
+        let plan = ChaosPlan::new(vec![
+            TimedFault {
+                t_ns: 0,
+                fault: FaultKind::WorkerDeath { worker: 1 },
+            },
+            TimedFault {
+                t_ns: 5,
+                fault: FaultKind::Slowdown {
+                    worker: 0,
+                    factor: -2.0,
+                },
+            },
+        ]);
+        assert_eq!(plan.validate(2), Err(ConfigError::BadChaosEvent(1)));
+        assert_eq!(plan.validate(1), Err(ConfigError::BadChaosEvent(0)));
+
+        let ok = ChaosPlan::new(vec![TimedFault {
+            t_ns: 9,
+            fault: FaultKind::ConnectionStall {
+                conn: 0,
+                duration_ns: 1,
+            },
+        }]);
+        assert_eq!(ok.validate(1), Ok(()));
+        assert_eq!(
+            ChaosPlan::new(vec![TimedFault {
+                t_ns: 9,
+                fault: FaultKind::ConnectionStall {
+                    conn: 0,
+                    duration_ns: 0,
+                },
+            }])
+            .validate(1),
+            Err(ConfigError::BadChaosEvent(0))
+        );
+    }
+}

@@ -1,0 +1,499 @@
+//! Invariant oracles checked after every control round of a chaos run.
+//!
+//! An [`Oracle`] looks at a [`RoundView`] — a read-mostly snapshot of the
+//! engine and controller state at the end of a sampling round — and either
+//! accepts it or describes a violation. The [`OracleSuite`] bundles the
+//! standard oracles, implements the engine's [`RoundObserver`] hook, and
+//! attaches the telemetry trace so every [`Violation`] carries the
+//! controller's recent decision history.
+
+use std::fmt;
+
+use streambal_core::controller::LoadBalancer;
+use streambal_telemetry::{TraceBuffer, TraceEvent};
+
+/// End-of-round snapshot handed to the oracles.
+///
+/// Slices borrow directly from the engine; `balancer` reborrows the
+/// policy's controller when it has one (see
+/// [`Policy::balancer_mut`](crate::policy::Policy::balancer_mut)).
+pub struct RoundView<'a> {
+    /// 1-based control-round counter.
+    pub round: u64,
+    /// Simulated time of the sample, ns.
+    pub t_ns: u64,
+    /// The weight resolution `R` the run started with.
+    pub resolution: u32,
+    /// Installed per-connection weights, raw units.
+    pub weights: &'a [u32],
+    /// Per-connection blocking rates observed this round.
+    pub rates: &'a [f64],
+    /// Tuples delivered by the merger so far.
+    pub delivered: u64,
+    /// The merger's in-order frontier (next sequence number it will
+    /// release).
+    pub next_expected: u64,
+    /// Current per-connection reorder-queue occupancy at the merger.
+    pub merge_occupancy: &'a [usize],
+    /// The configured reorder-queue capacity.
+    pub merge_capacity: usize,
+    /// Which workers are currently alive (false between a
+    /// `WorkerDeath` and its `WorkerRestart`).
+    pub worker_alive: &'a [bool],
+    /// When the most recent fault fired, if any has.
+    pub last_fault_ns: Option<u64>,
+    /// The policy's controller, when it has one.
+    pub balancer: Option<&'a mut LoadBalancer>,
+}
+
+/// The engine's per-round callback in chaos runs.
+pub trait RoundObserver {
+    /// Called once after every control round, after the policy installed
+    /// its weights (and after any sabotage mutated them).
+    fn on_round(&mut self, view: &mut RoundView<'_>);
+}
+
+/// An invariant checked every control round.
+pub trait Oracle {
+    /// Stable name used in reports (`"simplex"`, `"in-order"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Checks the round; returns a human-readable description of the
+    /// violation, if any. Oracles may keep state across rounds (e.g. the
+    /// reconvergence oracle tracks weight history).
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String>;
+}
+
+/// One oracle failure, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The failing oracle's name.
+    pub oracle: &'static str,
+    /// The control round at which it fired.
+    pub round: u64,
+    /// Simulated time of the round, ns.
+    pub t_ns: u64,
+    /// What was violated.
+    pub detail: String,
+    /// The tail of the telemetry trace at the moment of the violation —
+    /// the controller's recent decisions (rounds, decays, explorations,
+    /// injected faults). Empty when no trace was attached.
+    pub trace_tail: Vec<TraceEvent>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] round {} at t={:.3}s: {}",
+            self.oracle,
+            self.round,
+            self.t_ns as f64 / 1e9,
+            self.detail
+        )
+    }
+}
+
+/// Weight simplex: the installed units always sum exactly to the
+/// resolution, whatever connections come and go.
+#[derive(Debug, Default)]
+pub struct SimplexOracle;
+
+impl Oracle for SimplexOracle {
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        let sum: u64 = view.weights.iter().map(|&u| u64::from(u)).sum();
+        if sum != u64::from(view.resolution) {
+            return Err(format!(
+                "weights {:?} sum to {sum}, expected {}",
+                view.weights, view.resolution
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// In-order merge delivery: the delivered count only grows, and every
+/// sequence number below the merger's frontier has been delivered exactly
+/// once (no gaps, no duplicates).
+#[derive(Debug, Default)]
+pub struct InOrderOracle {
+    last_delivered: u64,
+}
+
+impl Oracle for InOrderOracle {
+    fn name(&self) -> &'static str {
+        "in-order"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        if view.delivered < self.last_delivered {
+            return Err(format!(
+                "delivered count went backwards: {} after {}",
+                view.delivered, self.last_delivered
+            ));
+        }
+        self.last_delivered = view.delivered;
+        if view.delivered != view.next_expected {
+            return Err(format!(
+                "delivered {} tuples but the in-order frontier is {} \
+                 (a gap or duplicate release)",
+                view.delivered, view.next_expected
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Monotonicity (and finiteness) of every rebuilt blocking-rate function,
+/// plus the controller's own weight-sum check — delegates to
+/// [`LoadBalancer::check_invariants`]. A no-op for model-free policies.
+#[derive(Debug, Default)]
+pub struct MonotoneFunctionOracle;
+
+impl Oracle for MonotoneFunctionOracle {
+    fn name(&self) -> &'static str {
+        "monotone-functions"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        match view.balancer.as_mut() {
+            Some(lb) => lb.check_invariants().map_err(|v| v.to_string()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Bounded reorder-queue occupancy: no merger queue ever exceeds the
+/// configured capacity (a full queue must stall its worker instead).
+#[derive(Debug, Default)]
+pub struct ReorderBoundOracle;
+
+impl Oracle for ReorderBoundOracle {
+    fn name(&self) -> &'static str {
+        "reorder-bound"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        for (j, &occ) in view.merge_occupancy.iter().enumerate() {
+            if occ > view.merge_capacity {
+                return Err(format!(
+                    "reorder queue {j} holds {occ} tuples, capacity {}",
+                    view.merge_capacity
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Post-disturbance reconvergence: within `budget_rounds` control rounds
+/// of the last fault, the weight vector must go quiet — at most
+/// `tolerance` units of per-connection movement for `stable_rounds`
+/// consecutive rounds. The tolerance leaves room for the adaptive
+/// balancer's deliberate exploration nudges.
+#[derive(Debug)]
+pub struct ReconvergenceOracle {
+    budget_rounds: u64,
+    stable_rounds: u64,
+    tolerance: u32,
+    prev_weights: Vec<u32>,
+    streak: u64,
+    last_fault: Option<u64>,
+    fault_round: u64,
+    converged: bool,
+    fired: bool,
+}
+
+impl ReconvergenceOracle {
+    /// Creates the oracle with an explicit budget.
+    pub fn new(budget_rounds: u64, stable_rounds: u64, tolerance: u32) -> Self {
+        ReconvergenceOracle {
+            budget_rounds,
+            stable_rounds,
+            tolerance,
+            prev_weights: Vec::new(),
+            streak: 0,
+            last_fault: None,
+            fault_round: 0,
+            converged: true,
+            fired: false,
+        }
+    }
+}
+
+impl Default for ReconvergenceOracle {
+    /// 40 rounds of budget, 5 quiet rounds to call it converged, 60 units
+    /// (6% at the default resolution) of movement still counting as quiet.
+    fn default() -> Self {
+        ReconvergenceOracle::new(40, 5, 60)
+    }
+}
+
+impl Oracle for ReconvergenceOracle {
+    fn name(&self) -> &'static str {
+        "reconvergence"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        if view.last_fault_ns != self.last_fault {
+            // A new disturbance restarts the clock.
+            self.last_fault = view.last_fault_ns;
+            self.fault_round = view.round;
+            self.converged = false;
+            self.streak = 0;
+            self.fired = false;
+        }
+        let quiet = self.prev_weights.len() == view.weights.len()
+            && self
+                .prev_weights
+                .iter()
+                .zip(view.weights)
+                .all(|(&a, &b)| a.abs_diff(b) <= self.tolerance);
+        self.prev_weights.clear();
+        self.prev_weights.extend_from_slice(view.weights);
+        self.streak = if quiet { self.streak + 1 } else { 0 };
+        if self.streak >= self.stable_rounds {
+            self.converged = true;
+        }
+        if !self.converged
+            && !self.fired
+            && self.last_fault.is_some()
+            && view.round.saturating_sub(self.fault_round) > self.budget_rounds
+        {
+            self.fired = true;
+            return Err(format!(
+                "weights still moving more than {} units {} rounds after the \
+                 last fault (budget {})",
+                self.tolerance,
+                view.round - self.fault_round,
+                self.budget_rounds
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The standard oracle set plus violation collection; this is what
+/// [`run_scenario`](crate::chaos::run_scenario) wires into the engine.
+pub struct OracleSuite {
+    oracles: Vec<Box<dyn Oracle>>,
+    trace: Option<TraceBuffer>,
+    trace_tail: usize,
+    violations: Vec<Violation>,
+    max_violations: usize,
+}
+
+impl Default for OracleSuite {
+    fn default() -> Self {
+        OracleSuite::standard()
+    }
+}
+
+impl OracleSuite {
+    /// An empty suite (add oracles with [`OracleSuite::with_oracle`]).
+    pub fn empty() -> Self {
+        OracleSuite {
+            oracles: Vec::new(),
+            trace: None,
+            trace_tail: 32,
+            violations: Vec::new(),
+            max_violations: 16,
+        }
+    }
+
+    /// The full standard set: simplex, in-order, monotone functions,
+    /// reorder bound and reconvergence (default budget).
+    pub fn standard() -> Self {
+        OracleSuite::empty()
+            .with_oracle(Box::new(SimplexOracle))
+            .with_oracle(Box::new(InOrderOracle::default()))
+            .with_oracle(Box::new(MonotoneFunctionOracle))
+            .with_oracle(Box::new(ReorderBoundOracle))
+            .with_oracle(Box::new(ReconvergenceOracle::default()))
+    }
+
+    /// Adds an oracle.
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: Box<dyn Oracle>) -> Self {
+        self.oracles.push(oracle);
+        self
+    }
+
+    /// Attaches a trace buffer whose tail (last `trace_tail` events) is
+    /// copied into every violation.
+    pub fn attach_trace(&mut self, trace: TraceBuffer) {
+        self.trace = Some(trace);
+    }
+
+    /// The violations collected so far, in firing order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consumes the suite, returning its violations.
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    /// True when no oracle has fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl RoundObserver for OracleSuite {
+    fn on_round(&mut self, view: &mut RoundView<'_>) {
+        for oracle in &mut self.oracles {
+            if self.violations.len() >= self.max_violations {
+                return;
+            }
+            if let Err(detail) = oracle.check(view) {
+                let trace_tail = self
+                    .trace
+                    .as_ref()
+                    .map(|t| {
+                        let events = t.events();
+                        let skip = events.len().saturating_sub(self.trace_tail);
+                        events[skip..].to_vec()
+                    })
+                    .unwrap_or_default();
+                self.violations.push(Violation {
+                    oracle: oracle.name(),
+                    round: view.round,
+                    t_ns: view.t_ns,
+                    detail,
+                    trace_tail,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        weights: &'a [u32],
+        rates: &'a [f64],
+        occupancy: &'a [usize],
+        alive: &'a [bool],
+    ) -> RoundView<'a> {
+        RoundView {
+            round: 1,
+            t_ns: 1_000_000_000,
+            resolution: 1000,
+            weights,
+            rates,
+            delivered: 10,
+            next_expected: 10,
+            merge_occupancy: occupancy,
+            merge_capacity: 4,
+            worker_alive: alive,
+            last_fault_ns: None,
+            balancer: None,
+        }
+    }
+
+    #[test]
+    fn simplex_oracle_accepts_and_rejects() {
+        let mut o = SimplexOracle;
+        let occ = [0usize; 2];
+        let alive = [true; 2];
+        assert!(o
+            .check(&mut view(&[600, 400], &[0.0, 0.0], &occ, &alive))
+            .is_ok());
+        let err = o
+            .check(&mut view(&[600, 300], &[0.0, 0.0], &occ, &alive))
+            .unwrap_err();
+        assert!(err.contains("sum to 900"), "{err}");
+    }
+
+    #[test]
+    fn in_order_oracle_requires_frontier_match() {
+        let mut o = InOrderOracle::default();
+        let occ = [0usize; 2];
+        let alive = [true; 2];
+        let mut v = view(&[500, 500], &[0.0, 0.0], &occ, &alive);
+        assert!(o.check(&mut v).is_ok());
+        v.next_expected = 12; // frontier ahead of delivered => a gap
+        assert!(o.check(&mut v).is_err());
+        v.next_expected = 10;
+        v.delivered = 5; // went backwards
+        assert!(o.check(&mut v).is_err());
+    }
+
+    #[test]
+    fn reorder_bound_oracle_flags_overflow() {
+        let mut o = ReorderBoundOracle;
+        let alive = [true; 2];
+        let occ_ok = [4usize, 0];
+        assert!(o
+            .check(&mut view(&[500, 500], &[0.0, 0.0], &occ_ok, &alive))
+            .is_ok());
+        let occ_bad = [5usize, 0];
+        assert!(o
+            .check(&mut view(&[500, 500], &[0.0, 0.0], &occ_bad, &alive))
+            .is_err());
+    }
+
+    #[test]
+    fn reconvergence_oracle_fires_once_after_budget() {
+        let mut o = ReconvergenceOracle::new(3, 2, 10);
+        let occ = [0usize; 2];
+        let alive = [true; 2];
+        // Weights keep swinging by 200 units after a fault at t=0.
+        let mut violations = 0;
+        for round in 1..=10 {
+            let w: [u32; 2] = if round % 2 == 0 {
+                [700, 300]
+            } else {
+                [300, 700]
+            };
+            let mut v = view(&w, &[0.0, 0.0], &occ, &alive);
+            v.round = round;
+            v.last_fault_ns = Some(0);
+            if o.check(&mut v).is_err() {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 1, "fires exactly once per disturbance");
+    }
+
+    #[test]
+    fn reconvergence_oracle_accepts_settling_weights() {
+        let mut o = ReconvergenceOracle::new(3, 2, 10);
+        let occ = [0usize; 2];
+        let alive = [true; 2];
+        for round in 1..=10 {
+            let mut v = view(&[650, 350], &[0.0, 0.0], &occ, &alive);
+            v.round = round;
+            v.last_fault_ns = Some(0);
+            assert!(o.check(&mut v).is_ok(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn suite_collects_violations_with_trace_tail() {
+        let trace = TraceBuffer::with_capacity(8);
+        trace.push(TraceEvent::Custom {
+            name: "chaos.fault".to_owned(),
+            fields: vec![("t_ns".to_owned(), 1.0)],
+        });
+        let mut suite = OracleSuite::empty().with_oracle(Box::new(SimplexOracle));
+        suite.attach_trace(trace);
+        let occ = [0usize; 2];
+        let alive = [true; 2];
+        let mut v = view(&[1, 2], &[0.0, 0.0], &occ, &alive);
+        suite.on_round(&mut v);
+        assert_eq!(suite.violations().len(), 1);
+        let violation = &suite.violations()[0];
+        assert_eq!(violation.oracle, "simplex");
+        assert_eq!(violation.trace_tail.len(), 1);
+        assert!(violation.to_string().contains("simplex"));
+    }
+}

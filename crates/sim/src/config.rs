@@ -61,6 +61,10 @@ pub enum ConfigError {
     ZeroParameter(&'static str),
     /// A fraction event was malformed or used without a tuple-count stop.
     BadFractionEvent,
+    /// A chaos fault event (see [`crate::chaos`]) referenced an unknown
+    /// worker/connection or carried a non-positive parameter. The payload
+    /// is the offending event's index in the plan.
+    BadChaosEvent(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -74,6 +78,10 @@ impl fmt::Display for ConfigError {
             ConfigError::BadFractionEvent => write!(
                 f,
                 "fraction events need a fraction in (0,1), a known worker and a Tuples stop"
+            ),
+            ConfigError::BadChaosEvent(i) => write!(
+                f,
+                "chaos event {i} references an unknown worker/connection or has a bad parameter"
             ),
         }
     }

@@ -20,6 +20,7 @@ use streambal_core::rng::SplitMix64;
 use streambal_core::weights::WrrScheduler;
 use streambal_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceEvent};
 
+use crate::chaos::{ChaosPlan, FaultKind, RoundObserver, RoundView, Sabotage};
 use crate::config::{ConfigError, RegionConfig, StopCondition};
 use crate::metrics::{RunResult, SampleTrace};
 use crate::policy::{Policy, PolicySample, SampleContext};
@@ -27,8 +28,14 @@ use crate::policy::{Policy, PolicySample, SampleContext};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     SendNext,
-    WorkerDone(usize),
+    /// Worker `j` finishes the tuple it started in lifetime `epoch`; stale
+    /// completions (the worker died and restarted since) are ignored.
+    WorkerDone(usize, u64),
     Sample,
+    /// The chaos plan's `events[i]` fires.
+    Fault(usize),
+    /// A stalled connection becomes usable again.
+    ConnResume(usize),
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -112,6 +119,41 @@ pub fn run_with_telemetry(
     Ok(Engine::new(cfg, policy, Some(telemetry.clone())).run())
 }
 
+/// Runs one simulation with a chaos [`ChaosPlan`] injected into the event
+/// loop and an optional [`RoundObserver`] (usually an
+/// [`OracleSuite`](crate::chaos::OracleSuite)) called after every control
+/// round.
+///
+/// Fault events are scheduled at their absolute times and perturb the
+/// engine exactly like the organic mechanisms they model (deaths pause a
+/// worker and requeue its in-flight tuple, slowdowns and load spikes scale
+/// service times, stalls gate a connection, sampling jitter perturbs the
+/// control clock using the run's seeded RNG). The whole run stays
+/// deterministic: the same config, plan and seed replay the same trace
+/// byte for byte.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the configuration is invalid or the plan
+/// references unknown workers ([`ConfigError::BadChaosEvent`]).
+pub fn run_chaos<'c>(
+    cfg: &'c RegionConfig,
+    policy: &'c mut dyn Policy,
+    plan: &'c ChaosPlan,
+    telemetry: Option<&Telemetry>,
+    observer: Option<&'c mut dyn RoundObserver>,
+) -> Result<RunResult, ConfigError> {
+    cfg.validate()?;
+    plan.validate(cfg.num_workers())?;
+    if let Some(t) = telemetry {
+        policy.attach_telemetry(t);
+    }
+    let mut engine = Engine::new(cfg, policy, telemetry.cloned());
+    engine.chaos = Some(plan);
+    engine.observer = observer;
+    Ok(engine.run())
+}
+
 /// Pre-resolved metric handles for the engine's hot paths, looked up once
 /// at start-of-run so per-tuple work is a single atomic op.
 struct Instruments {
@@ -186,6 +228,23 @@ struct Engine<'c> {
     fraction_thresholds: Vec<(u64, usize, f64)>,
     next_fraction: usize,
 
+    // Chaos (all inert unless a plan is attached; see crate::chaos).
+    chaos: Option<&'c ChaosPlan>,
+    observer: Option<&'c mut dyn RoundObserver>,
+    worker_alive: Vec<bool>,
+    /// Bumped on every death; cancels the in-flight `WorkerDone`.
+    worker_epoch: Vec<u64>,
+    /// Connection `j` passes no tuples to its worker before this time.
+    conn_resume_at: Vec<u64>,
+    /// Host-slowdown service-time multiplier (1.0 = healthy).
+    chaos_slowdown: Vec<f64>,
+    /// Sampling-clock jitter amplitude (0 = exact clock).
+    sample_jitter_ns: u64,
+    last_sample_ns: u64,
+    round: u64,
+    last_fault_ns: Option<u64>,
+    resolution: u32,
+
     // Sink.
     delivered: u64,
     delivered_at_sample: u64,
@@ -234,6 +293,17 @@ impl<'c> Engine<'c> {
             merge_q: (0..n).map(|_| VecDeque::new()).collect(),
             heads: BinaryHeap::new(),
             next_expected: 0,
+            chaos: None,
+            observer: None,
+            worker_alive: vec![true; n],
+            worker_epoch: vec![0; n],
+            conn_resume_at: vec![0; n],
+            chaos_slowdown: vec![1.0; n],
+            sample_jitter_ns: 0,
+            last_sample_ns: 0,
+            round: 0,
+            last_fault_ns: None,
+            resolution: initial.resolution(),
             load_override: vec![None; n],
             fraction_thresholds: {
                 let mut t: Vec<(u64, usize, f64)> = cfg
@@ -273,6 +343,11 @@ impl<'c> Engine<'c> {
     fn run(mut self) -> RunResult {
         self.schedule(0, Ev::SendNext);
         self.schedule(self.cfg.sample_interval_ns, Ev::Sample);
+        if let Some(plan) = self.chaos {
+            for (i, ev) in plan.events.iter().enumerate() {
+                self.schedule(ev.t_ns, Ev::Fault(i));
+            }
+        }
 
         let duration_limit = match self.cfg.stop {
             StopCondition::Duration(d) => Some(d),
@@ -289,8 +364,10 @@ impl<'c> Engine<'c> {
             self.now = s.t;
             match s.ev {
                 Ev::SendNext => self.on_send_next(),
-                Ev::WorkerDone(j) => self.on_worker_done(j),
+                Ev::WorkerDone(j, epoch) => self.on_worker_done(j, epoch),
                 Ev::Sample => self.on_sample(),
+                Ev::Fault(i) => self.on_fault(i),
+                Ev::ConnResume(j) => self.maybe_start_worker(j),
             }
             while self.next_fraction < self.fraction_thresholds.len()
                 && self.fraction_thresholds[self.next_fraction].0 <= self.delivered
@@ -331,7 +408,8 @@ impl<'c> Engine<'c> {
     fn service_ns(&mut self, j: usize) -> u64 {
         let factor =
             self.load_override[j].unwrap_or_else(|| self.cfg.workers[j].load.factor_at(self.now));
-        let base = self.cfg.base_cost as f64 * self.cfg.mult_ns * factor / self.eff_speed[j];
+        let base = self.cfg.base_cost as f64 * self.cfg.mult_ns * factor * self.chaos_slowdown[j]
+            / self.eff_speed[j];
         let jitter = self.cfg.jitter;
         let mult = if jitter > 0.0 {
             1.0 + self.rng.frange(-jitter, jitter)
@@ -411,6 +489,11 @@ impl<'c> Engine<'c> {
         if self.worker_busy[j] || self.worker_stalled[j].is_some() {
             return;
         }
+        if !self.worker_alive[j] || self.now < self.conn_resume_at[j] {
+            // Dead workers and stalled connections pass nothing on; a
+            // scheduled restart/resume event retries this exact call.
+            return;
+        }
         let Some(seq) = self.conn_q[j].pop_front() else {
             return;
         };
@@ -418,7 +501,7 @@ impl<'c> Engine<'c> {
         self.worker_busy[j] = true;
         let service = self.service_ns(j);
         self.worker_busy_ns[j] += service;
-        self.schedule(self.now + service, Ev::WorkerDone(j));
+        self.schedule(self.now + service, Ev::WorkerDone(j, self.worker_epoch[j]));
         self.wake_splitter(j);
     }
 
@@ -443,7 +526,12 @@ impl<'c> Engine<'c> {
         self.schedule(self.now + self.cfg.send_overhead_ns, Ev::SendNext);
     }
 
-    fn on_worker_done(&mut self, j: usize) {
+    fn on_worker_done(&mut self, j: usize, epoch: u64) {
+        if epoch != self.worker_epoch[j] {
+            // The worker died after starting this tuple; the tuple went
+            // back to the connection queue and this completion is void.
+            return;
+        }
         debug_assert!(self.worker_busy[j]);
         self.worker_busy[j] = false;
         let seq = self.worker_seq[j];
@@ -500,6 +588,87 @@ impl<'c> Engine<'c> {
         }
     }
 
+    /// Applies the chaos plan's `events[i]`.
+    fn on_fault(&mut self, i: usize) {
+        let fault = self
+            .chaos
+            .expect("fault events only exist with a plan")
+            .events[i]
+            .fault;
+        self.last_fault_ns = Some(self.now);
+        if let Some((t, _)) = &self.telemetry {
+            // Leave the fault in the decision trace so violations show
+            // what disturbed the controller and when.
+            let mut fields = vec![("t_ns".to_owned(), self.now as f64)];
+            match fault {
+                FaultKind::WorkerDeath { worker } => {
+                    fields.push(("death".to_owned(), worker as f64));
+                }
+                FaultKind::WorkerRestart { worker } => {
+                    fields.push(("restart".to_owned(), worker as f64));
+                }
+                FaultKind::Slowdown { worker, factor } => {
+                    fields.push(("slowdown".to_owned(), worker as f64));
+                    fields.push(("factor".to_owned(), factor));
+                }
+                FaultKind::ConnectionStall { conn, duration_ns } => {
+                    fields.push(("stall".to_owned(), conn as f64));
+                    fields.push(("duration_ns".to_owned(), duration_ns as f64));
+                }
+                FaultKind::LoadSpike { worker, factor } => {
+                    fields.push(("spike".to_owned(), worker as f64));
+                    fields.push(("factor".to_owned(), factor));
+                }
+                FaultKind::SampleJitter { amplitude_ns } => {
+                    fields.push(("jitter_ns".to_owned(), amplitude_ns as f64));
+                }
+            }
+            t.trace().push(TraceEvent::Custom {
+                name: "chaos.fault".to_owned(),
+                fields,
+            });
+        }
+        match fault {
+            FaultKind::WorkerDeath { worker } => {
+                if self.worker_alive[worker] {
+                    self.worker_alive[worker] = false;
+                    if self.worker_busy[worker] {
+                        // Crash-restart semantics: the in-flight tuple is
+                        // lost from the worker but not from the stream —
+                        // it goes back to the head of the connection
+                        // queue, and the scheduled completion is voided
+                        // via the epoch counter.
+                        self.worker_busy[worker] = false;
+                        self.worker_epoch[worker] += 1;
+                        self.conn_q[worker].push_front(self.worker_seq[worker]);
+                    }
+                }
+            }
+            FaultKind::WorkerRestart { worker } => {
+                if !self.worker_alive[worker] {
+                    self.worker_alive[worker] = true;
+                    self.maybe_start_worker(worker);
+                }
+            }
+            FaultKind::Slowdown { worker, factor } => {
+                self.chaos_slowdown[worker] = factor;
+            }
+            FaultKind::ConnectionStall { conn, duration_ns } => {
+                let until = self.now + duration_ns;
+                if until > self.conn_resume_at[conn] {
+                    self.conn_resume_at[conn] = until;
+                    self.schedule(until, Ev::ConnResume(conn));
+                }
+            }
+            FaultKind::LoadSpike { worker, factor } => {
+                self.load_override[worker] = Some(factor);
+            }
+            FaultKind::SampleJitter { amplitude_ns } => {
+                self.sample_jitter_ns = amplitude_ns;
+            }
+        }
+    }
+
     fn on_sample(&mut self) {
         let interval = self.cfg.sample_interval_ns;
         // Attribute any in-progress blocked span up to now, so long blocks
@@ -514,11 +683,15 @@ impl<'c> Engine<'c> {
         }
 
         let n = self.conn_q.len();
+        // With a jittered sampling clock the interval actually elapsed can
+        // differ from the nominal one; rates are always per elapsed time.
+        // Without jitter this is exactly `interval`, bit for bit.
+        let elapsed = (self.now - self.last_sample_ns).max(1);
         let mut policy_samples = Vec::with_capacity(n);
         let mut rates = Vec::with_capacity(n);
         for j in 0..n {
             let delta = self.blocked_ns[j] - self.blocked_ns_at_sample[j];
-            let rate = delta as f64 / interval as f64;
+            let rate = delta as f64 / elapsed as f64;
             rates.push(rate);
             policy_samples.push(PolicySample {
                 connection: j,
@@ -541,6 +714,22 @@ impl<'c> Engine<'c> {
             self.weights.clear();
             self.weights.extend_from_slice(new_weights.units());
             self.wrr.set_weights(&new_weights);
+        }
+
+        if let Some(Sabotage::SkipRenormalization) = self.chaos.and_then(|p| p.sabotage) {
+            // Deliberate bug for oracle mutation testing: dead connections
+            // lose their weight with no redistribution, so the installed
+            // allocation sums below the resolution.
+            let mut mutated = false;
+            for j in 0..n {
+                if !self.worker_alive[j] && self.weights[j] > 0 {
+                    self.weights[j] = 0;
+                    mutated = true;
+                }
+            }
+            if mutated && self.weights.iter().any(|&u| u > 0) {
+                self.wrr.set_units(&self.weights);
+            }
         }
 
         let sample = SampleTrace {
@@ -569,7 +758,41 @@ impl<'c> Engine<'c> {
         }
         self.samples.push(sample);
         self.delivered_at_sample = self.delivered;
-        self.schedule(self.now + interval, Ev::Sample);
+        self.round += 1;
+
+        if self.observer.is_some() {
+            let occupancy: Vec<usize> = self.merge_q.iter().map(VecDeque::len).collect();
+            let last = self.samples.last().expect("sample pushed above");
+            let mut view = RoundView {
+                round: self.round,
+                t_ns: self.now,
+                resolution: self.resolution,
+                weights: &self.weights,
+                rates: &last.rates,
+                delivered: self.delivered,
+                next_expected: self.next_expected,
+                merge_occupancy: &occupancy,
+                merge_capacity: self.cfg.merge_capacity,
+                worker_alive: &self.worker_alive,
+                last_fault_ns: self.last_fault_ns,
+                balancer: self.policy.balancer_mut(),
+            };
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_round(&mut view);
+            }
+        }
+
+        self.last_sample_ns = self.now;
+        let next = if self.sample_jitter_ns > 0 {
+            // Jitter draws come from the run's seeded RNG, so jittered
+            // runs replay exactly; runs without jitter draw nothing and
+            // keep their original stream.
+            let amp = self.sample_jitter_ns.min(interval.saturating_sub(1));
+            interval - amp + self.rng.range_u64(0, 2 * amp)
+        } else {
+            interval
+        };
+        self.schedule(self.now + next, Ev::Sample);
     }
 }
 
@@ -810,6 +1033,207 @@ mod tests {
             a.duration_ns
         );
         assert_eq!(b.delivered, 10_000);
+    }
+
+    fn fault(t_s: u64, fault: crate::chaos::FaultKind) -> crate::chaos::TimedFault {
+        crate::chaos::TimedFault {
+            t_ns: t_s * SECOND_NS,
+            fault,
+        }
+    }
+
+    #[test]
+    fn chaos_with_empty_plan_matches_plain_run() {
+        // The chaos machinery must cost nothing when unused: an empty plan
+        // replays the exact run (weights, rates, every sample) bit for bit.
+        let cfg = quick(3)
+            .stop(StopCondition::Duration(8 * SECOND_NS))
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut a = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+        let mut b = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+        let plain = run(&cfg, &mut a).unwrap();
+        let chaos = run_chaos(&cfg, &mut b, &ChaosPlan::default(), None, None).unwrap();
+        assert_eq!(plain, chaos);
+    }
+
+    #[test]
+    fn chaos_runs_replay_identically() {
+        let cfg = quick(3)
+            .stop(StopCondition::Duration(12 * SECOND_NS))
+            .build()
+            .unwrap();
+        let plan = ChaosPlan::new(vec![
+            fault(2, FaultKind::WorkerDeath { worker: 1 }),
+            fault(
+                3,
+                FaultKind::SampleJitter {
+                    amplitude_ns: SECOND_NS / 8,
+                },
+            ),
+            fault(4, FaultKind::WorkerRestart { worker: 1 }),
+            fault(
+                5,
+                FaultKind::Slowdown {
+                    worker: 0,
+                    factor: 3.0,
+                },
+            ),
+            fault(
+                7,
+                FaultKind::Slowdown {
+                    worker: 0,
+                    factor: 1.0,
+                },
+            ),
+        ]);
+        let mut a = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+        let mut b = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+        let ra = run_chaos(&cfg, &mut a, &plan, None, None).unwrap();
+        let rb = run_chaos(&cfg, &mut b, &plan, None, None).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn worker_death_degrades_and_restart_recovers_delivery() {
+        let cfg = quick(2)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let baseline = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let plan = ChaosPlan::new(vec![
+            fault(2, FaultKind::WorkerDeath { worker: 1 }),
+            fault(5, FaultKind::WorkerRestart { worker: 1 }),
+        ]);
+        let r = run_chaos(&cfg, &mut RoundRobinPolicy::new(), &plan, None, None).unwrap();
+        assert!(
+            r.delivered < baseline.delivered,
+            "a 3 s outage must cost delivery: {} vs {}",
+            r.delivered,
+            baseline.delivered
+        );
+        // The restart drains the dead worker's queue and the frontier moves
+        // again: well over the pre-death portion of the run gets delivered.
+        assert!(
+            r.delivered > baseline.delivered / 2,
+            "the region must recover after the restart, delivered {}",
+            r.delivered
+        );
+    }
+
+    #[test]
+    fn death_without_restart_freezes_the_frontier_but_terminates() {
+        // In-order merge semantics: tuples queued on the dead connection
+        // gate the frontier forever, but the simulation still terminates at
+        // its stop condition rather than hanging.
+        let cfg = quick(2)
+            .stop(StopCondition::Duration(6 * SECOND_NS))
+            .build()
+            .unwrap();
+        let plan = ChaosPlan::new(vec![fault(2, FaultKind::WorkerDeath { worker: 0 })]);
+        let r = run_chaos(&cfg, &mut RoundRobinPolicy::new(), &plan, None, None).unwrap();
+        assert!(r.delivered > 0);
+        assert!(
+            r.delivered < r.sent,
+            "work must remain stuck behind the dead worker: {} of {}",
+            r.delivered,
+            r.sent
+        );
+    }
+
+    #[test]
+    fn connection_stall_costs_throughput_then_drains() {
+        let cfg = quick(2)
+            .stop(StopCondition::Duration(8 * SECOND_NS))
+            .build()
+            .unwrap();
+        let baseline = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let plan = ChaosPlan::new(vec![fault(
+            2,
+            FaultKind::ConnectionStall {
+                conn: 0,
+                duration_ns: 2 * SECOND_NS,
+            },
+        )]);
+        let r = run_chaos(&cfg, &mut RoundRobinPolicy::new(), &plan, None, None).unwrap();
+        assert!(r.delivered > 0);
+        assert!(
+            r.delivered < baseline.delivered,
+            "a 2 s stall must cost delivery: {} vs {}",
+            r.delivered,
+            baseline.delivered
+        );
+    }
+
+    #[test]
+    fn load_spike_overrides_the_schedule_until_recovery() {
+        let cfg = quick(2)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let baseline = run(&cfg, &mut RoundRobinPolicy::new()).unwrap();
+        let spike_only = ChaosPlan::new(vec![fault(
+            2,
+            FaultKind::LoadSpike {
+                worker: 0,
+                factor: 10.0,
+            },
+        )]);
+        let with_recovery = ChaosPlan::new(vec![
+            fault(
+                2,
+                FaultKind::LoadSpike {
+                    worker: 0,
+                    factor: 10.0,
+                },
+            ),
+            fault(
+                4,
+                FaultKind::LoadSpike {
+                    worker: 0,
+                    factor: 1.0,
+                },
+            ),
+        ]);
+        let r_spike =
+            run_chaos(&cfg, &mut RoundRobinPolicy::new(), &spike_only, None, None).unwrap();
+        let r_recovered = run_chaos(
+            &cfg,
+            &mut RoundRobinPolicy::new(),
+            &with_recovery,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(r_spike.delivered < r_recovered.delivered);
+        assert!(r_recovered.delivered < baseline.delivered);
+    }
+
+    #[test]
+    fn sample_jitter_perturbs_the_control_clock_deterministically() {
+        let cfg = quick(2)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let plan = ChaosPlan::new(vec![fault(
+            2,
+            FaultKind::SampleJitter {
+                amplitude_ns: SECOND_NS / 4,
+            },
+        )]);
+        let a = run_chaos(&cfg, &mut RoundRobinPolicy::new(), &plan, None, None).unwrap();
+        let b = run_chaos(&cfg, &mut RoundRobinPolicy::new(), &plan, None, None).unwrap();
+        assert_eq!(a, b, "jittered sampling must still replay from the seed");
+        let gaps: Vec<u64> = a
+            .samples
+            .windows(2)
+            .map(|w| w[1].t_ns - w[0].t_ns)
+            .collect();
+        assert!(
+            gaps.iter().any(|&g| g != gaps[0]),
+            "jitter must move the sample instants: {gaps:?}"
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod driver;
 pub mod engine;
@@ -64,8 +65,9 @@ pub mod metrics;
 pub mod multi;
 pub mod policy;
 
+pub use chaos::{ChaosPlan, FaultKind, Sabotage, TimedFault};
 pub use config::{RegionConfig, StopCondition};
-pub use engine::{run, run_with_telemetry};
+pub use engine::{run, run_chaos, run_with_telemetry};
 pub use host::Host;
 pub use load::LoadSchedule;
 pub use metrics::{RunResult, SampleTrace};

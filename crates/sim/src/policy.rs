@@ -67,6 +67,15 @@ pub trait Policy {
     /// balancer's controller trace) hook it into the hub here. The default
     /// does nothing.
     fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
+
+    /// Mutable access to the wrapped [`LoadBalancer`], when the policy has
+    /// one. The chaos harness's oracles use this to run the controller's
+    /// own invariant checks (function monotonicity, weight simplex) every
+    /// round; policies without a model return `None` and those oracles
+    /// become no-ops.
+    fn balancer_mut(&mut self) -> Option<&mut LoadBalancer> {
+        None
+    }
 }
 
 /// Naive round-robin (*RR*), optionally with §4.4 transport-level
@@ -317,6 +326,10 @@ impl Policy for BalancerPolicy {
 
     fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.lb.attach_trace(telemetry.trace().clone());
+    }
+
+    fn balancer_mut(&mut self) -> Option<&mut LoadBalancer> {
+        Some(&mut self.lb)
     }
 }
 

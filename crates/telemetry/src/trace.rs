@@ -261,6 +261,50 @@ mod tests {
     }
 
     #[test]
+    fn buffer_smaller_than_one_round_keeps_newest() {
+        // A controller round emits several events; with a ring smaller than
+        // one round, wrap-around must retain the newest tail of the newest
+        // round and account for everything else in `dropped`.
+        let b = TraceBuffer::with_capacity(2);
+        let events_per_round = 4;
+        let rounds = 5u64;
+        for round in 0..rounds {
+            b.push(TraceEvent::ControllerRound {
+                round,
+                rates: vec![0.5, 0.5],
+                weights_before: vec![500, 500],
+                weights_after: vec![500, 500],
+            });
+            b.push(decay(round));
+            b.push(TraceEvent::Exploration {
+                round,
+                connection: 0,
+                from: 500,
+                to: 510,
+            });
+            b.push(TraceEvent::ClusterUpdate {
+                round,
+                assignment: vec![0, 0],
+            });
+        }
+        let total = rounds * events_per_round;
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), total - 2);
+        let recs = b.records();
+        // The two survivors are the newest two events, with the original
+        // (pre-eviction) sequence numbers, consecutive.
+        assert_eq!(recs[0].seq, total - 2);
+        assert_eq!(recs[1].seq, total - 1);
+        assert_eq!(
+            recs[1].event,
+            TraceEvent::ClusterUpdate {
+                round: rounds - 1,
+                assignment: vec![0, 0],
+            }
+        );
+    }
+
+    #[test]
     fn zero_capacity_clamped_to_one() {
         let b = TraceBuffer::with_capacity(0);
         b.push(decay(0));

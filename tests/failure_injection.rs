@@ -85,6 +85,45 @@ fn downstream_cancellation_stops_the_pipeline() {
 }
 
 #[test]
+fn tcp_worker_socket_stall_rebalances_and_never_hangs() {
+    use std::sync::mpsc;
+    use std::time::Duration;
+    use streambal::runtime::tcp_region::TcpRegionBuilder;
+
+    // Worker 0 stops reading its socket for 400 ms mid-run: the kernel
+    // buffer fills and the splitter's sends to connection 0 block. The run
+    // must finish (watchdog below), surfacing the stall as measured
+    // blocking and a rebalance — or as an error — never as a hang.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = TcpRegionBuilder::new(2)
+            .tuple_cost(500)
+            .frame_padding(8 * 1024)
+            .sample_interval_ms(20)
+            .worker_stall(0, 2_000, Duration::from_millis(400))
+            .run(40_000);
+        let _ = tx.send(result);
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("stalled region must finish or error, not hang (watchdog)");
+    if let Ok(report) = result {
+        assert_eq!(report.delivered, 40_000);
+        assert!(report.in_order);
+        assert!(
+            report.blocked_ns[0] > 0,
+            "the stall must surface as recorded blocking: {:?}",
+            report.blocked_ns
+        );
+        assert!(
+            report.snapshots.iter().any(|s| s.weights[0] < s.weights[1]),
+            "the controller must shift weight away from the stalled worker"
+        );
+    }
+    // An Err(..) is also acceptable: the failure was surfaced, not hidden.
+}
+
+#[test]
 fn tcp_peer_death_is_an_error_not_a_hang() {
     use streambal::transport::tcp::{connect, listen};
     let (addr, incoming) = listen().unwrap();
