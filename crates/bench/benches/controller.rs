@@ -1,13 +1,14 @@
 //! The per-round cost of the whole control loop — the paper's claim that
 //! "calculating the blocking rate is cheap, which means that we are not
-//! harming performance while trying to improve it", measured end to end:
-//! observe samples, decay, (optionally cluster,) rebuild functions, solve.
+//! harming performance while trying to improve it", measured end to end
+//! through the shared control plane: ingest one interval's rates, observe,
+//! decay, (optionally cluster,) rebuild functions, solve.
 
 use std::hint::black_box;
 
 use streambal_bench::Micro;
-use streambal_core::controller::{BalancerConfig, ClusteringConfig, LoadBalancer};
-use streambal_core::rate::ConnectionSample;
+use streambal_control::ControlPlane;
+use streambal_core::controller::{BalancerConfig, ClusteringConfig};
 
 /// Wall-clock budget for one steady-state round at N=1024 (median). The
 /// zero-allocation round path must keep large regions comfortably inside
@@ -19,7 +20,7 @@ fn round_budget_ms() -> u64 {
         .unwrap_or(100)
 }
 
-fn warmed_balancer(n: usize, clustered: bool) -> LoadBalancer {
+fn warmed_plane(n: usize, clustered: bool) -> (ControlPlane, Vec<f64>) {
     let mut b = BalancerConfig::builder(n);
     if n > 1024 / 2 {
         // The solver resolution must be >= the connection count.
@@ -28,51 +29,44 @@ fn warmed_balancer(n: usize, clustered: bool) -> LoadBalancer {
     if clustered {
         b.clustering(ClusteringConfig::default());
     }
-    let mut lb = LoadBalancer::new(b.build().unwrap());
+    let mut plane = ControlPlane::builder(b.build().unwrap()).build();
+    let mut rates = vec![0.0; n];
     // Accumulate realistic history: 100 rounds of rotating observations.
     for round in 0..100u64 {
         let conn = (round as usize * 7) % n;
-        lb.observe(&[ConnectionSample::new(conn, 0.1 + (round % 9) as f64 * 0.1)]);
-        lb.rebalance();
+        rates.fill(0.0);
+        rates[conn] = 0.1 + (round % 9) as f64 * 0.1;
+        plane.round(round, &rates);
     }
-    lb
+    (plane, rates)
+}
+
+fn bench_round(m: &Micro, name: &str, n: usize, clustered: bool) -> streambal_bench::BenchStats {
+    let (mut plane, mut rates) = warmed_plane(n, clustered);
+    let mut round = 100u64;
+    m.run(name, || {
+        round += 1;
+        let conn = (round as usize * 13) % n;
+        rates.fill(0.0);
+        rates[conn] = 0.42;
+        black_box(plane.round(round, &rates).units()[0])
+    })
 }
 
 fn main() {
     let m = Micro::new().measure_ms(500);
     println!("== controller_round ==");
     for &n in &[4usize, 16, 64] {
-        let mut lb = warmed_balancer(n, false);
-        let mut round = 0u64;
-        m.run(&format!("controller_round/plain/{n}"), || {
-            round += 1;
-            let conn = (round as usize * 13) % n;
-            lb.observe(&[ConnectionSample::new(conn, 0.42)]);
-            black_box(lb.rebalance().units()[0])
-        });
+        bench_round(&m, &format!("controller_round/plain/{n}"), n, false);
     }
     for &n in &[32usize, 64, 128] {
-        let mut lb = warmed_balancer(n, true);
-        let mut round = 0u64;
-        m.run(&format!("controller_round/clustered/{n}"), || {
-            round += 1;
-            let conn = (round as usize * 13) % n;
-            lb.observe(&[ConnectionSample::new(conn, 0.42)]);
-            black_box(lb.rebalance().units()[0])
-        });
+        bench_round(&m, &format!("controller_round/clustered/{n}"), n, true);
     }
 
     // Large-region budget check: one plain round at N=1024 (resolution
     // 2048) must stay under the wall-clock budget at the median.
     let n = 1024usize;
-    let mut lb = warmed_balancer(n, false);
-    let mut round = 0u64;
-    let stats = m.run(&format!("controller_round/plain/{n}"), || {
-        round += 1;
-        let conn = (round as usize * 13) % n;
-        lb.observe(&[ConnectionSample::new(conn, 0.42)]);
-        black_box(lb.rebalance().units()[0])
-    });
+    let stats = bench_round(&m, &format!("controller_round/plain/{n}"), n, false);
     let budget_ms = round_budget_ms();
     assert!(
         stats.median_ns < budget_ms * 1_000_000,

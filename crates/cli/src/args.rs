@@ -40,6 +40,9 @@ CHAOS OPTIONS:
                            ready-to-paste regression test
     --sabotage skip-renorm deliberately skip weight renormalization after a
                            worker death (oracle self-test; the run must fail)
+    --require-death        fail unless at least one scenario contained a
+                           worker death (proves the detach/attach membership
+                           path was exercised)
 
 PLACEMENT OPTIONS:
     --hosts LIST           as above (default fast,slow)
@@ -119,6 +122,10 @@ pub struct ChaosArgs {
     pub rounds: u64,
     pub shrink: bool,
     pub sabotage: Option<SabotageArg>,
+    /// Fail unless at least one generated scenario contains a worker
+    /// death — CI uses this to prove a pinned seed really exercises the
+    /// detach/re-attach membership path.
+    pub require_death: bool,
 }
 
 /// The `placement` subcommand.
@@ -371,6 +378,7 @@ fn parse_chaos(argv: &[String]) -> Result<Command, ParseError> {
         rounds: 1,
         shrink: false,
         sabotage: None,
+        require_death: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -386,6 +394,7 @@ fn parse_chaos(argv: &[String]) -> Result<Command, ParseError> {
                     .map_err(|_| err("bad --rounds"))?
             }
             "--shrink" => a.shrink = true,
+            "--require-death" => a.require_death = true,
             "--sabotage" => {
                 a.sabotage = match take_value(flag, &mut it)? {
                     "skip-renorm" => Some(SabotageArg::SkipRenorm),
@@ -501,11 +510,12 @@ mod tests {
                 seed: 1,
                 rounds: 1,
                 shrink: false,
-                sabotage: None
+                sabotage: None,
+                require_death: false
             }
         );
         let Command::Chaos(a) = parse(&args(
-            "chaos --seed 99 --rounds 5 --shrink --sabotage skip-renorm",
+            "chaos --seed 99 --rounds 5 --shrink --sabotage skip-renorm --require-death",
         ))
         .unwrap() else {
             panic!()
@@ -514,6 +524,7 @@ mod tests {
         assert_eq!(a.rounds, 5);
         assert!(a.shrink);
         assert_eq!(a.sabotage, Some(SabotageArg::SkipRenorm));
+        assert!(a.require_death);
     }
 
     #[test]

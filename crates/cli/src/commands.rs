@@ -7,7 +7,9 @@ use streambal_cluster::model::{ClusterSpec, RegionSpec};
 use streambal_cluster::placement::{place, Strategy};
 use streambal_cluster::verify::{co_simulate_coupled, simulate_region};
 use streambal_core::controller::{BalancerConfig, BalancerMode, ClusteringConfig};
-use streambal_sim::chaos::{run_scenario, shrink, FuzzFailure, Scenario, DEFAULT_SHRINK_RUNS};
+use streambal_sim::chaos::{
+    run_scenario, shrink, FaultKind, FuzzFailure, Scenario, DEFAULT_SHRINK_RUNS,
+};
 use streambal_sim::config::{RegionConfig, StopCondition};
 use streambal_sim::host::Host;
 use streambal_sim::load::LoadSchedule;
@@ -161,6 +163,7 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
 
 fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
     let mut failures = 0u64;
+    let mut deaths = 0usize;
     let mut first_failure: Option<FuzzFailure> = None;
     for i in 0..a.rounds {
         let seed = a.seed.wrapping_add(i);
@@ -168,6 +171,11 @@ fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
         if let Some(SabotageArg::SkipRenorm) = a.sabotage {
             scenario.sabotage = Some(streambal_sim::Sabotage::SkipRenormalization);
         }
+        deaths += scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.fault, FaultKind::WorkerDeath { .. }))
+            .count();
         let outcome = run_scenario(&scenario)?;
         if outcome.violations.is_empty() {
             println!(
@@ -219,6 +227,15 @@ fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
         }
         return Err(format!(
             "{failures} of {} chaos seed(s) violated an invariant",
+            a.rounds
+        )
+        .into());
+    }
+    if a.require_death && deaths == 0 {
+        return Err(format!(
+            "--require-death: none of the {} seed(s) generated a worker death, \
+             so the membership (detach/re-attach) path was never exercised; \
+             pick a different --seed",
             a.rounds
         )
         .into());

@@ -1,0 +1,504 @@
+//! The shared control plane for ordered data-parallel regions.
+//!
+//! The paper's controller is one algorithm — sample per-connection blocking
+//! rates, fold them into the predictive functions, solve the minimax
+//! resource-allocation problem, install the weights — but a system has many
+//! places that need to run it: a discrete-event simulator, a threaded
+//! runtime, a TCP runtime, a dataflow pipeline. [`ControlPlane`] owns that
+//! round lifecycle exactly once:
+//!
+//! 1. ingest one interval's blocking rates (optionally capped),
+//! 2. [`LoadBalancer::observe`] + [`LoadBalancer::rebalance`],
+//! 3. install the weights into the routing fabric (via [`DataPlane`]),
+//! 4. emit metrics and trace events to [`streambal_telemetry`], and
+//! 5. record a [`RoundSnapshot`] per round for post-run reports.
+//!
+//! Data planes that drive their own cadence (the simulators, where time is
+//! virtual) call [`ControlPlane::round`] directly; wall-clock planes hand a
+//! [`DataPlane`] implementation to [`ControlPlane::run_threaded`], which
+//! owns the sleep/sample/round loop until told to stop.
+//!
+//! Dynamic membership ([`ControlPlane::attach_connection`] /
+//! [`ControlPlane::detach_connection`]) passes through to the balancer: a
+//! detached slot is pinned at weight 0 (a weighted-round-robin scheduler
+//! never picks it) and its units are renormalized over the survivors in the
+//! same call, so the installed allocation never leaves the `Σw = R`
+//! simplex. The steady-state round performs no heap allocation when
+//! snapshot retention is off (membership changes may allocate).
+//!
+//! ```
+//! use streambal_control::ControlPlane;
+//! use streambal_core::controller::BalancerConfig;
+//!
+//! let cfg = BalancerConfig::builder(2).build().unwrap();
+//! let mut plane = ControlPlane::builder(cfg).build();
+//! let weights = plane.round(0, &[0.9, 0.0]); // connection 0 overloaded
+//! assert!(weights.units()[0] < weights.units()[1]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use streambal_core::controller::{BalancerConfig, LoadBalancer};
+use streambal_core::rate::ConnectionSample;
+use streambal_core::weights::WeightVector;
+use streambal_telemetry::{Counter, Gauge, Telemetry, TraceEvent};
+
+/// One control round's outcome, shared by every data plane's report type
+/// (`runtime`'s snapshots and `dataflow`'s region traces are aliases of
+/// this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSnapshot {
+    /// Milliseconds since the run started (wall clock or virtual).
+    pub elapsed_ms: u64,
+    /// The allocation weights installed after this round.
+    pub weights: Vec<u32>,
+    /// Per-connection blocking rates observed over the interval (uncapped).
+    pub rates: Vec<f64>,
+}
+
+/// What the control plane needs from a routing fabric: a way to sample
+/// blocking, a place to install weights, and stable connection identities.
+///
+/// Implementations wrap whatever the plane actually is — per-connection
+/// blocking counters and a weights mutex for the threaded runtimes, for
+/// example. Used with [`ControlPlane::run_threaded`]; planes with virtual
+/// time (the simulators) skip this trait and call [`ControlPlane::round`]
+/// directly.
+pub trait DataPlane {
+    /// Number of connections (the region's fixed width; membership changes
+    /// detach/attach slots within it).
+    fn connections(&self) -> usize;
+
+    /// Stable per-slot identifiers, used to label per-connection metrics.
+    /// Defaults to `0..connections()`.
+    fn connection_ids(&self) -> Vec<usize> {
+        (0..self.connections()).collect()
+    }
+
+    /// Called at the top of each round, before sampling (apply scheduled
+    /// load changes, etc.). Defaults to a no-op.
+    fn begin_round(&mut self, elapsed: Duration) {
+        let _ = elapsed;
+    }
+
+    /// Fills `rates` (length [`connections`](Self::connections)) with the
+    /// blocking rates observed over the last `interval_ns` nanoseconds.
+    fn sample(&mut self, interval_ns: u64, rates: &mut [f64]);
+
+    /// Installs freshly computed weights into the routing fabric.
+    fn install_weights(&mut self, weights: &WeightVector);
+
+    /// Tuples delivered downstream so far, for trace events. Defaults to 0.
+    fn delivered(&self) -> u64 {
+        0
+    }
+}
+
+/// Builder for a [`ControlPlane`].
+#[derive(Debug, Clone)]
+pub struct ControlPlaneBuilder {
+    cfg: BalancerConfig,
+    balancing: bool,
+    rate_cap: Option<f64>,
+    keep_snapshots: bool,
+    telemetry: Option<Telemetry>,
+    metrics_prefix: Option<String>,
+}
+
+impl ControlPlaneBuilder {
+    /// Disables balancing: the plane keeps the initial even split and never
+    /// observes or rebalances (round-robin baselines).
+    pub fn round_robin(mut self) -> Self {
+        self.balancing = false;
+        self
+    }
+
+    /// Caps observed blocking rates before they reach the model (the
+    /// wall-clock runtimes clamp noisy spikes at 10.0). Snapshots, gauges
+    /// and trace events still carry the raw rates.
+    pub fn rate_cap(mut self, cap: f64) -> Self {
+        self.rate_cap = Some(cap);
+        self
+    }
+
+    /// Retains a [`RoundSnapshot`] per round (for post-run reports). Off by
+    /// default — and note a retained round allocates its snapshot, so
+    /// zero-allocation steady state requires this off.
+    pub fn keep_snapshots(mut self, keep: bool) -> Self {
+        self.keep_snapshots = keep;
+        self
+    }
+
+    /// Attaches a telemetry hub: the balancer's decision trace goes to the
+    /// hub's trace buffer, and [`run_threaded`](ControlPlane::run_threaded)
+    /// pushes a [`TraceEvent::Sample`] per round.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = Some(telemetry.clone());
+        self
+    }
+
+    /// Additionally publishes per-round metrics under
+    /// `<prefix>.controller.rounds` and
+    /// `<prefix>.conn<id>.{blocking_rate,weight}` (requires
+    /// [`telemetry`](Self::telemetry)).
+    pub fn metrics(mut self, prefix: &str) -> Self {
+        self.metrics_prefix = Some(prefix.to_owned());
+        self
+    }
+
+    /// Builds the plane, starting from an even weight split.
+    pub fn build(self) -> ControlPlane {
+        let n = self.cfg.connections();
+        let mut lb = LoadBalancer::new(self.cfg);
+        if let Some(t) = &self.telemetry {
+            lb.attach_trace(t.trace().clone());
+        }
+        ControlPlane {
+            lb,
+            balancing: self.balancing,
+            rate_cap: self.rate_cap,
+            keep_snapshots: self.keep_snapshots,
+            snapshots: Vec::new(),
+            telemetry: self.telemetry,
+            metrics_prefix: self.metrics_prefix,
+            metrics: None,
+            samples_buf: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// The control plane: owns the [`LoadBalancer`] and the full round
+/// lifecycle for one parallel region. See the [crate docs](crate).
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    lb: LoadBalancer,
+    balancing: bool,
+    rate_cap: Option<f64>,
+    keep_snapshots: bool,
+    snapshots: Vec<RoundSnapshot>,
+    telemetry: Option<Telemetry>,
+    metrics_prefix: Option<String>,
+    metrics: Option<(Counter, Vec<(Gauge, Gauge)>)>,
+    samples_buf: Vec<ConnectionSample>,
+}
+
+impl ControlPlane {
+    /// Starts a builder for a plane over `cfg.connections()` connections.
+    pub fn builder(cfg: BalancerConfig) -> ControlPlaneBuilder {
+        ControlPlaneBuilder {
+            cfg,
+            balancing: true,
+            rate_cap: None,
+            keep_snapshots: false,
+            telemetry: None,
+            metrics_prefix: None,
+        }
+    }
+
+    /// The owned balancer (weights, functions, membership).
+    pub fn balancer(&self) -> &LoadBalancer {
+        &self.lb
+    }
+
+    /// Mutable access to the owned balancer (oracles, scenario seeding).
+    pub fn balancer_mut(&mut self) -> &mut LoadBalancer {
+        &mut self.lb
+    }
+
+    /// The current allocation weights.
+    pub fn weights(&self) -> &WeightVector {
+        self.lb.weights()
+    }
+
+    /// Whether this plane actively balances (false for round-robin
+    /// baselines).
+    pub fn balancing(&self) -> bool {
+        self.balancing
+    }
+
+    /// Attaches a telemetry hub after construction (the simulator hands the
+    /// hub to its policies once the run starts). Equivalent to
+    /// [`ControlPlaneBuilder::telemetry`].
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.lb.attach_trace(telemetry.trace().clone());
+        self.telemetry = Some(telemetry.clone());
+        self.metrics = None;
+    }
+
+    /// Snapshots retained so far (empty unless
+    /// [`keep_snapshots`](ControlPlaneBuilder::keep_snapshots) is on).
+    pub fn snapshots(&self) -> &[RoundSnapshot] {
+        &self.snapshots
+    }
+
+    /// Consumes the plane, returning its retained snapshots.
+    pub fn into_snapshots(self) -> Vec<RoundSnapshot> {
+        self.snapshots
+    }
+
+    /// Detaches connection slot `j` (see
+    /// [`LoadBalancer::detach_connection`]). Returns `false` if already
+    /// detached.
+    pub fn detach_connection(&mut self, j: usize) -> bool {
+        self.lb.detach_connection(j)
+    }
+
+    /// Re-attaches connection slot `j` (see
+    /// [`LoadBalancer::attach_connection`]). Returns `false` if already
+    /// attached.
+    pub fn attach_connection(&mut self, j: usize) -> bool {
+        self.lb.attach_connection(j)
+    }
+
+    /// Runs one control round on the given per-connection blocking rates
+    /// (`rates.len()` must equal the connection count) and returns the
+    /// weights to install. Detached slots' rates are ignored; with
+    /// balancing off the initial split is returned unchanged.
+    ///
+    /// Steady-state rounds (no membership change, snapshots off) perform
+    /// no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len()` differs from the connection count.
+    pub fn round(&mut self, elapsed_ms: u64, rates: &[f64]) -> &WeightVector {
+        let n = self.lb.config().connections();
+        assert_eq!(rates.len(), n, "one rate per connection slot");
+        if self.balancing {
+            self.samples_buf.clear();
+            for (j, &rate) in rates.iter().enumerate() {
+                if !self.lb.is_attached(j) {
+                    continue;
+                }
+                let rate = match self.rate_cap {
+                    Some(cap) => rate.min(cap),
+                    None => rate,
+                };
+                self.samples_buf.push(ConnectionSample::new(j, rate));
+            }
+            self.lb.observe(&self.samples_buf);
+            self.lb.rebalance();
+        }
+        self.emit(elapsed_ms, rates);
+        self.lb.weights()
+    }
+
+    /// Emits metrics and retains the snapshot for one completed round.
+    fn emit(&mut self, elapsed_ms: u64, rates: &[f64]) {
+        if self.metrics.is_none() && self.metrics_prefix.is_some() {
+            let ids: Vec<usize> = (0..self.lb.config().connections()).collect();
+            self.bind_metrics(&ids);
+        }
+        if let Some((rounds, per_conn)) = &self.metrics {
+            rounds.incr();
+            let units = self.lb.weights().units();
+            for (j, (rate_g, weight_g)) in per_conn.iter().enumerate() {
+                rate_g.set(rates[j]);
+                weight_g.set(f64::from(units[j]));
+            }
+        }
+        if self.keep_snapshots {
+            self.snapshots.push(RoundSnapshot {
+                elapsed_ms,
+                weights: self.lb.weights().units().to_vec(),
+                rates: rates.to_vec(),
+            });
+        }
+    }
+
+    /// Resolves the per-connection metric handles against the given stable
+    /// ids (no-op without a telemetry hub and a metrics prefix).
+    fn bind_metrics(&mut self, ids: &[usize]) {
+        if self.metrics.is_some() {
+            return;
+        }
+        let (Some(t), Some(prefix)) = (&self.telemetry, &self.metrics_prefix) else {
+            return;
+        };
+        let reg = t.registry();
+        let rounds = reg.counter(&format!("{prefix}.controller.rounds"));
+        let per_conn = ids
+            .iter()
+            .map(|id| {
+                (
+                    reg.gauge(&format!("{prefix}.conn{id}.blocking_rate")),
+                    reg.gauge(&format!("{prefix}.conn{id}.weight")),
+                )
+            })
+            .collect();
+        self.metrics = Some((rounds, per_conn));
+    }
+
+    /// Owns a wall-clock control loop: every `interval`, apply the plane's
+    /// round prelude ([`DataPlane::begin_round`]), sample blocking rates,
+    /// run [`round`](Self::round), install the weights, and push a
+    /// [`TraceEvent::Sample`] mirroring the round. Returns when `stop` is
+    /// set.
+    pub fn run_threaded<P: DataPlane + ?Sized>(
+        &mut self,
+        plane: &mut P,
+        interval: Duration,
+        stop: &AtomicBool,
+        started: Instant,
+    ) {
+        let n = plane.connections();
+        assert_eq!(
+            n,
+            self.lb.config().connections(),
+            "plane width must match the balancer"
+        );
+        self.bind_metrics(&plane.connection_ids());
+        let mut rates = vec![0.0; n];
+        let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+        while !stop.load(Ordering::Acquire) {
+            thread::sleep(interval);
+            let elapsed = started.elapsed();
+            plane.begin_round(elapsed);
+            plane.sample(interval_ns, &mut rates);
+            let elapsed_ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+            self.round(elapsed_ms, &rates);
+            if self.balancing {
+                plane.install_weights(self.lb.weights());
+            }
+            if let Some(t) = &self.telemetry {
+                t.trace().push(TraceEvent::Sample {
+                    region: 0,
+                    t_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                    weights: self.lb.weights().units().to_vec(),
+                    rates: rates.clone(),
+                    delivered: plane.delivered(),
+                    clusters: self.lb.last_clusters().map(|c| c.assignment.clone()),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn plane(n: usize) -> ControlPlane {
+        ControlPlane::builder(BalancerConfig::builder(n).build().unwrap()).build()
+    }
+
+    #[test]
+    fn round_throttles_an_overloaded_connection() {
+        let mut p = plane(3);
+        let w = p.round(0, &[0.9, 0.0, 0.0]).clone();
+        assert_eq!(w.units()[0], 0);
+        assert_eq!(w.units().iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn round_robin_plane_never_moves() {
+        let mut p = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap())
+            .round_robin()
+            .build();
+        for _ in 0..5 {
+            let w = p.round(0, &[0.9, 0.0]).clone();
+            assert_eq!(w.units(), &[500, 500]);
+        }
+        assert_eq!(p.balancer().round(), 0, "no rebalance rounds consumed");
+    }
+
+    #[test]
+    fn rate_cap_applies_to_the_model_but_not_the_snapshot() {
+        let mut p = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap())
+            .rate_cap(10.0)
+            .keep_snapshots(true)
+            .build();
+        p.round(7, &[25.0, 0.0]);
+        assert_eq!(p.snapshots().len(), 1);
+        assert_eq!(p.snapshots()[0].elapsed_ms, 7);
+        assert_eq!(p.snapshots()[0].rates, vec![25.0, 0.0], "snapshot uncapped");
+        let pts: Vec<(u32, f64)> = p.balancer().function(0).raw_points().collect();
+        assert!(
+            pts.iter().all(|&(_, r)| r <= 10.0),
+            "model sees capped rates: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn membership_passthrough_keeps_the_simplex() {
+        let mut p = plane(3);
+        p.round(0, &[0.4, 0.1, 0.0]);
+        assert!(p.detach_connection(1));
+        assert_eq!(p.weights().units()[1], 0);
+        assert_eq!(p.weights().units().iter().sum::<u32>(), 1000);
+        // Detached slots' rates are ignored on later rounds.
+        p.round(1, &[0.1, 9.9, 0.1]);
+        assert_eq!(p.balancer().function(1).raw_len(), 1);
+        assert!(p.attach_connection(1));
+        assert!(p.weights().units()[1] <= 10, "exploration-bounded attach");
+        assert_eq!(p.weights().units().iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn metrics_and_trace_are_emitted() {
+        let telemetry = Telemetry::new();
+        let mut p = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap())
+            .telemetry(&telemetry)
+            .metrics("test")
+            .build();
+        p.round(0, &[0.5, 0.0]);
+        p.round(1, &[0.5, 0.0]);
+        let reg = telemetry.registry();
+        assert_eq!(reg.counter("test.controller.rounds").get(), 2);
+        assert!((reg.gauge("test.conn0.blocking_rate").get() - 0.5).abs() < 1e-12);
+        let units = p.weights().units().to_vec();
+        assert_eq!(reg.gauge("test.conn1.weight").get(), f64::from(units[1]));
+        assert!(telemetry
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ControllerRound { .. })));
+    }
+
+    #[test]
+    fn run_threaded_drives_a_data_plane() {
+        struct MutexPlane {
+            rates: Vec<f64>,
+            installed: Arc<std::sync::Mutex<Vec<u32>>>,
+        }
+        impl DataPlane for MutexPlane {
+            fn connections(&self) -> usize {
+                self.rates.len()
+            }
+            fn sample(&mut self, _interval_ns: u64, rates: &mut [f64]) {
+                rates.copy_from_slice(&self.rates);
+            }
+            fn install_weights(&mut self, weights: &WeightVector) {
+                *self.installed.lock().unwrap() = weights.units().to_vec();
+            }
+        }
+        let installed = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut dp = MutexPlane {
+            rates: vec![0.8, 0.0],
+            installed: Arc::clone(&installed),
+        };
+        let mut p = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap())
+            .keep_snapshots(true)
+            .build();
+        let stop = AtomicBool::new(false);
+        let started = Instant::now();
+        // Drive a few rounds on this thread, then stop.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                p.run_threaded(&mut dp, Duration::from_millis(5), &stop, started);
+            });
+            thread::sleep(Duration::from_millis(60));
+            stop.store(true, Ordering::Release);
+            handle.join().unwrap();
+        });
+        let w = installed.lock().unwrap().clone();
+        assert_eq!(w.iter().map(|&u| u64::from(u)).sum::<u64>(), 1000);
+        assert!(w[0] < w[1], "overloaded connection throttled: {w:?}");
+        assert!(!p.snapshots().is_empty());
+    }
+}

@@ -132,6 +132,14 @@ pub enum InvariantViolation {
         /// The bad predicted value.
         value: f64,
     },
+    /// A detached connection still holds weight (its units were not
+    /// renormalized away on [`LoadBalancer::detach_connection`]).
+    DetachedConnectionWeight {
+        /// The detached connection.
+        connection: usize,
+        /// The weight it still holds.
+        weight: u32,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -151,6 +159,10 @@ impl fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "connection {connection}: predicted blocking rate at weight {weight} is {value}"
+            ),
+            InvariantViolation::DetachedConnectionWeight { connection, weight } => write!(
+                f,
+                "detached connection {connection} still holds weight {weight}"
             ),
         }
     }
@@ -372,6 +384,11 @@ pub struct LoadBalancer {
     last_clusters: Option<Clustering>,
     trace: Option<TraceBuffer>,
     pending_rates: Vec<f64>,
+    /// Which connection slots are currently members of the region.
+    /// Detached slots keep their index (the routing fabric's connection
+    /// array does not shrink) but are pinned at weight 0 and excluded from
+    /// sampling, clustering and the solve.
+    attached: Vec<bool>,
     scratch: RoundScratch,
 }
 
@@ -475,6 +492,7 @@ impl LoadBalancer {
         let weights = WeightVector::even(cfg.connections, cfg.resolution);
         let pending_rates = vec![0.0; cfg.connections];
         let scratch = RoundScratch::new(&cfg, &mut functions);
+        let attached = vec![true; cfg.connections];
         LoadBalancer {
             cfg,
             functions,
@@ -483,6 +501,7 @@ impl LoadBalancer {
             last_clusters: None,
             trace: None,
             pending_rates,
+            attached,
             scratch,
         }
     }
@@ -537,6 +556,14 @@ impl LoadBalancer {
                 expected: self.cfg.resolution,
             });
         }
+        for (j, &w) in self.weights.units().iter().enumerate() {
+            if !self.attached[j] && w > 0 {
+                return Err(InvariantViolation::DetachedConnectionWeight {
+                    connection: j,
+                    weight: w,
+                });
+            }
+        }
         for (j, f) in self.functions.iter_mut().enumerate() {
             check_predicted(j, f.predicted())?;
         }
@@ -569,6 +596,200 @@ impl LoadBalancer {
         self.last_clusters.as_ref()
     }
 
+    /// Whether connection slot `j` is currently attached to the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn is_attached(&self, j: usize) -> bool {
+        self.attached[j]
+    }
+
+    /// Per-slot membership flags (`attached()[j]` mirrors
+    /// [`is_attached`](Self::is_attached)).
+    pub fn attached(&self) -> &[bool] {
+        &self.attached
+    }
+
+    /// Number of currently attached connections.
+    pub fn live_connections(&self) -> usize {
+        self.attached.iter().filter(|&&a| a).count()
+    }
+
+    /// Detaches connection slot `j` from the region: its blocking-rate
+    /// function is retired (replaced by a fresh one — knowledge about a
+    /// departed worker does not transfer to whatever reuses the slot), its
+    /// weight is pinned to 0, and its units are immediately renormalized
+    /// across the remaining attached connections through the solver, so
+    /// the installed allocation never leaves the `Σw = R` simplex.
+    ///
+    /// The slot itself is preserved: the routing fabric's connection array
+    /// keeps its width, and a weighted-round-robin scheduler never picks a
+    /// zero-weight slot, so a detached connection receives no traffic.
+    /// Re-admit the slot later with
+    /// [`attach_connection`](Self::attach_connection).
+    ///
+    /// Returns `false` (and changes nothing) if the slot was already
+    /// detached. Membership changes may allocate; only the steady-state
+    /// round is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds or if `j` is the last attached
+    /// connection (an ordered region cannot run with zero members).
+    pub fn detach_connection(&mut self, j: usize) -> bool {
+        assert!(j < self.cfg.connections, "detach of unknown connection {j}");
+        if !self.attached[j] {
+            return false;
+        }
+        assert!(
+            self.live_connections() > 1,
+            "cannot detach the last attached connection"
+        );
+        self.attached[j] = false;
+        self.retire_slot(j);
+        self.renormalize_membership(None);
+        if let Some(trace) = &self.trace {
+            trace.push(TraceEvent::Custom {
+                name: "membership.detach".to_owned(),
+                fields: vec![
+                    ("connection".to_owned(), j as f64),
+                    ("round".to_owned(), self.round as f64),
+                ],
+            });
+        }
+        true
+    }
+
+    /// Re-attaches a previously detached connection slot `j` with a fresh
+    /// blocking-rate function and an *exploration-bounded* initial weight:
+    /// the newcomer starts with at most
+    /// [`exploration_step`](BalancerConfigBuilder::exploration_step) units
+    /// (it has no evidence it can sustain more) and earns its full share
+    /// through the regular per-round exploration, which keeps the
+    /// re-admission quiet under the reconvergence oracle's tolerance.
+    ///
+    /// Returns `false` (and changes nothing) if the slot is already
+    /// attached. Membership changes may allocate; only the steady-state
+    /// round is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn attach_connection(&mut self, j: usize) -> bool {
+        assert!(j < self.cfg.connections, "attach of unknown connection {j}");
+        if self.attached[j] {
+            return false;
+        }
+        self.attached[j] = true;
+        self.retire_slot(j);
+        self.renormalize_membership(Some(j));
+        if let Some(trace) = &self.trace {
+            trace.push(TraceEvent::Custom {
+                name: "membership.attach".to_owned(),
+                fields: vec![
+                    ("connection".to_owned(), j as f64),
+                    ("round".to_owned(), self.round as f64),
+                ],
+            });
+        }
+        true
+    }
+
+    /// Replaces slot `j`'s function with a fresh one and invalidates every
+    /// per-slot cache keyed on its generation.
+    fn retire_slot(&mut self, j: usize) {
+        self.functions[j] = BlockingRateFunction::new(self.cfg.resolution, self.cfg.smoothing);
+        self.scratch.flat_gen[j] = u64::MAX;
+        self.scratch.knee_gen[j] = u64::MAX;
+        self.pending_rates[j] = 0.0;
+    }
+
+    /// Re-solves the allocation right after a membership change: detached
+    /// slots are pinned at `[0, 0]`, attached slots may take anything up to
+    /// `R` (the freed capacity has to go *somewhere*, so the per-round
+    /// step limits do not apply here), and a just-attached slot `a` is
+    /// capped at the exploration step. With no observations yet the even
+    /// split over the attached slots is installed instead, mirroring
+    /// [`rebalance`](Self::rebalance)'s no-data behaviour.
+    fn renormalize_membership(&mut self, attach: Option<usize>) {
+        let n = self.cfg.connections;
+        let r = self.cfg.resolution;
+        let step = self.cfg.exploration_step;
+        let has_data = self
+            .functions
+            .iter()
+            .zip(&self.attached)
+            .any(|(f, &a)| a && f.raw_len() > 1);
+
+        let units: Vec<u32> = if has_data {
+            let predicted: Vec<Vec<f64>> = self
+                .functions
+                .iter_mut()
+                .map(|f| f.predicted().to_vec())
+                .collect();
+            let slices: Vec<&[f64]> = predicted.iter().map(Vec::as_slice).collect();
+            let priority: Vec<u64> = predicted
+                .iter()
+                .map(|p| u64::from(Self::clean_frontier(p)))
+                .collect();
+            let lower = vec![0; n];
+            let upper: Vec<u32> = (0..n)
+                .map(|j| {
+                    if !self.attached[j] {
+                        0
+                    } else if attach == Some(j) {
+                        step.min(r)
+                    } else {
+                        r
+                    }
+                })
+                .collect();
+            let problem = Problem::new(slices, r)
+                .expect("function domains share the balancer's resolution")
+                .with_bounds(lower, upper)
+                .expect("membership bounds are within the resolution")
+                .with_tie_priority(priority)
+                .expect("priority vector matches the connection count");
+            fox::solve(&problem)
+                .expect("at least one attached slot is unbounded, so R units always fit")
+                .weights
+        } else {
+            let live = self.live_connections() as u32;
+            let (base, rem) = (r / live, r % live);
+            let mut units = vec![0u32; n];
+            let mut idx = 0u32;
+            for (j, u) in units.iter_mut().enumerate() {
+                if self.attached[j] {
+                    *u = base + u32::from(idx < rem);
+                    idx += 1;
+                }
+            }
+            if let Some(a) = attach {
+                // Exploration-bounded admission: trim the newcomer to the
+                // step and hand the trimmed units back to the incumbents.
+                let cap = step.min(units[a]);
+                let excess = units[a] - cap;
+                units[a] = cap;
+                let others = live - 1;
+                if others > 0 && excess > 0 {
+                    let (per, mut extra) = (excess / others, excess % others);
+                    for (j, u) in units.iter_mut().enumerate() {
+                        if self.attached[j] && j != a {
+                            *u += per + u32::from(extra > 0);
+                            extra = extra.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            units
+        };
+        self.weights
+            .copy_from_units(&units)
+            .expect("membership renormalization assigns exactly R units");
+        self.last_clusters = None;
+    }
+
     /// Folds one sampling interval's blocking-rate measurements into the
     /// model at the connections' current weights.
     ///
@@ -589,6 +810,12 @@ impl LoadBalancer {
                 "sample for unknown connection {}",
                 s.connection
             );
+            if !self.attached[s.connection] {
+                // A detached slot receives no traffic; any residual sample
+                // (e.g. a blocked span straddling the detach) would poison
+                // the fresh function the slot gets on re-attach.
+                continue;
+            }
             let rate = s.rate.value();
             if rate <= DELTA && !self.cfg.record_zero_rates {
                 continue;
@@ -625,10 +852,14 @@ impl LoadBalancer {
 
         let has_data = self.functions.iter().any(|f| f.raw_len() > 1);
         if has_data {
+            // Clustering activates on the *live* membership, not the
+            // configured width: detaches can drop a wide region below the
+            // threshold (back to the plain per-connection solve) and
+            // attaches can push it over again.
             let clustering_active = self
                 .cfg
                 .clustering
-                .map(|c| self.cfg.connections >= c.min_connections)
+                .map(|c| self.live_connections() >= c.min_connections)
                 .unwrap_or(false);
 
             if clustering_active {
@@ -686,6 +917,16 @@ impl LoadBalancer {
         let width = r as usize + 1;
         let scratch = &mut self.scratch;
 
+        // A region built wide enough for clustering starts with no flat
+        // mirror; detaches can still drop its live membership below the
+        // threshold, so allocate the mirror on the first plain round after
+        // such a crossing (a membership-induced, hence permitted,
+        // allocation — every later plain round reuses it).
+        if scratch.flat.is_empty() {
+            scratch.flat = vec![0.0; n * width];
+            scratch.flat_gen.fill(u64::MAX);
+        }
+
         // Mirror predicted tables (and their clean frontiers, which double
         // as tie priorities) into the flat matrix, touching only rows whose
         // functions actually changed since the last round.
@@ -710,6 +951,13 @@ impl LoadBalancer {
         scratch.lower.clear();
         scratch.upper.clear();
         for (j, &w) in self.weights.units().iter().enumerate() {
+            if !self.attached[j] {
+                // Detached slots are pinned: they hold no units and the
+                // solver may not grant them any.
+                scratch.lower.push(0);
+                scratch.upper.push(0);
+                continue;
+            }
             scratch.lower.push(match self.cfg.max_step_down {
                 Some(d) => w.saturating_sub(d),
                 None => 0,
@@ -778,7 +1026,12 @@ impl LoadBalancer {
         //    recompute their knee, and only distance rows touching a
         //    changed knee are refilled.
         let scratch = &mut self.scratch;
+        let live: Vec<usize> = (0..n).filter(|&j| self.attached[j]).collect();
         for (j, f) in self.functions.iter_mut().enumerate() {
+            if !self.attached[j] {
+                scratch.knee_changed[j] = false;
+                continue;
+            }
             let gen = f.generation();
             if scratch.knee_gen[j] != gen {
                 scratch.knees[j] = cluster::knee_of(f.predicted());
@@ -788,8 +1041,8 @@ impl LoadBalancer {
                 scratch.knee_changed[j] = false;
             }
         }
-        for i in 0..n {
-            for j in i + 1..n {
+        for (pi, &i) in live.iter().enumerate() {
+            for &j in &live[pi + 1..] {
                 if scratch.knee_changed[i] || scratch.knee_changed[j] {
                     let d = cluster::distance(&scratch.knees[i], &scratch.knees[j], r);
                     scratch.dist[i * n + j] = d;
@@ -797,7 +1050,36 @@ impl LoadBalancer {
                 }
             }
         }
-        let clustering = cluster::cluster(n, &scratch.dist, cfg.distance_threshold);
+        // Cluster the attached slots only. With full membership this is
+        // exactly the cached distance matrix; otherwise the live rows are
+        // packed into a sub-matrix and the result is remapped to absolute
+        // slot indices, with detached slots assigned the `usize::MAX`
+        // sentinel (they belong to no cluster and hold no weight).
+        let clustering = if live.len() == n {
+            cluster::cluster(n, &scratch.dist, cfg.distance_threshold)
+        } else {
+            let m = live.len();
+            let mut sub = vec![0.0; m * m];
+            for (pi, &i) in live.iter().enumerate() {
+                for (pj, &j) in live.iter().enumerate() {
+                    sub[pi * m + pj] = scratch.dist[i * n + j];
+                }
+            }
+            let packed = cluster::cluster(m, &sub, cfg.distance_threshold);
+            let mut assignment = vec![usize::MAX; n];
+            for (p, &j) in live.iter().enumerate() {
+                assignment[j] = packed.assignment[p];
+            }
+            let members = packed
+                .members
+                .iter()
+                .map(|ms| ms.iter().map(|&p| live[p]).collect())
+                .collect();
+            Clustering {
+                assignment,
+                members,
+            }
+        };
 
         // 2. Pool member data into one function per cluster.
         let mut pooled: Vec<BlockingRateFunction> = clustering
@@ -1213,6 +1495,184 @@ mod tests {
         let total_pushed = trace.dropped() + records.len() as u64;
         assert_eq!(records.last().unwrap().seq, total_pushed - 1);
         assert_eq!(records[0].seq + 1, records[1].seq);
+    }
+
+    #[test]
+    fn detach_renormalizes_the_highest_weight_connection_away() {
+        // Throttle connections 0 and 1 so connection 2 carries the most
+        // weight, then detach the heaviest slot: its units must be handed
+        // back to the survivors in the same call, never leaving the
+        // simplex, and its retired function must not leak knowledge.
+        let mut lb = balancer(3);
+        for _ in 0..5 {
+            lb.observe(&[
+                ConnectionSample::new(0, 0.6),
+                ConnectionSample::new(1, 0.4),
+                ConnectionSample::new(2, 0.0),
+            ]);
+            lb.rebalance();
+        }
+        let heaviest = (0..3)
+            .max_by_key(|&j| lb.weights().units()[j])
+            .expect("non-empty");
+        assert!(lb.detach_connection(heaviest));
+        assert!(!lb.is_attached(heaviest));
+        assert_eq!(lb.weights().units()[heaviest], 0);
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        assert_eq!(lb.function(heaviest).raw_len(), 1, "function retired");
+        lb.check_invariants().expect("simplex holds after detach");
+        // Re-detaching is a no-op; later rounds keep the slot pinned.
+        assert!(!lb.detach_connection(heaviest));
+        for _ in 0..10 {
+            lb.observe(&[ConnectionSample::new(heaviest, 0.5)]); // ignored
+            lb.rebalance();
+            assert_eq!(lb.weights().units()[heaviest], 0);
+            lb.check_invariants().expect("pinned slot stays at zero");
+        }
+    }
+
+    #[test]
+    fn detach_down_to_a_single_connection() {
+        let mut lb = balancer(4);
+        lb.observe(&[ConnectionSample::new(0, 0.3)]);
+        lb.rebalance();
+        for j in [0, 1, 2] {
+            assert!(lb.detach_connection(j));
+        }
+        assert_eq!(lb.live_connections(), 1);
+        assert_eq!(lb.weights().units(), &[0, 0, 0, 1000]);
+        lb.rebalance();
+        assert_eq!(lb.weights().units(), &[0, 0, 0, 1000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last attached connection")]
+    fn detaching_the_last_connection_panics() {
+        let mut lb = balancer(2);
+        lb.detach_connection(0);
+        lb.detach_connection(1);
+    }
+
+    #[test]
+    fn attach_starts_exploration_bounded_and_earns_its_share() {
+        let mut lb = balancer(3);
+        for _ in 0..3 {
+            lb.observe(&[
+                ConnectionSample::new(0, 0.0),
+                ConnectionSample::new(1, 0.0),
+                ConnectionSample::new(2, 0.0),
+            ]);
+            lb.rebalance();
+        }
+        lb.detach_connection(0);
+        assert_eq!(lb.weights().units()[0], 0);
+        assert!(lb.attach_connection(0));
+        assert!(!lb.attach_connection(0), "double attach is a no-op");
+        // The newcomer re-enters with at most the exploration step (10
+        // units by default), not a full share.
+        assert!(
+            lb.weights().units()[0] <= 10,
+            "attach weight {} must be exploration-bounded",
+            lb.weights().units()[0]
+        );
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        // With every slot reporting clean rounds it climbs back to a
+        // meaningful share instead of staying token.
+        for _ in 0..100 {
+            lb.observe(&[
+                ConnectionSample::new(0, 0.0),
+                ConnectionSample::new(1, 0.0),
+                ConnectionSample::new(2, 0.0),
+            ]);
+            lb.rebalance();
+            lb.check_invariants().expect("healthy during the climb");
+        }
+        assert!(
+            lb.weights().units()[0] > 100,
+            "reattached connection stuck at {}",
+            lb.weights().units()[0]
+        );
+    }
+
+    #[test]
+    fn attach_and_detach_in_the_same_round() {
+        let mut lb = balancer(4);
+        for _ in 0..3 {
+            lb.observe(&[
+                ConnectionSample::new(0, 0.5),
+                ConnectionSample::new(1, 0.1),
+                ConnectionSample::new(2, 0.0),
+                ConnectionSample::new(3, 0.0),
+            ]);
+            lb.rebalance();
+        }
+        lb.detach_connection(2);
+        // Same control round: one member leaves, another (previously
+        // detached) returns, with no rebalance in between.
+        lb.detach_connection(3);
+        lb.attach_connection(2);
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        assert_eq!(lb.weights().units()[3], 0);
+        assert!(lb.weights().units()[2] <= 10);
+        lb.check_invariants().expect("simplex after paired change");
+        lb.observe(&[
+            ConnectionSample::new(0, 0.5),
+            ConnectionSample::new(1, 0.1),
+            ConnectionSample::new(2, 0.0),
+        ]);
+        lb.rebalance();
+        assert_eq!(lb.weights().units()[3], 0);
+        lb.check_invariants().expect("simplex on the next round");
+    }
+
+    #[test]
+    fn membership_crosses_the_clustering_threshold_both_ways() {
+        // 33 connections with the default >=32 threshold: detaching two
+        // drops the live membership to 31 (plain solve, no clusters);
+        // re-attaching one crosses back up to 32 (clustered again, with
+        // the still-detached slot excluded and pinned at zero).
+        let cfg = BalancerConfig::builder(33)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        let feed = |lb: &mut LoadBalancer| {
+            for j in 0..33 {
+                if lb.is_attached(j) {
+                    let rate = if j < 16 { 0.8 } else { 0.0 };
+                    lb.observe(&[ConnectionSample::new(j, rate)]);
+                }
+            }
+        };
+        feed(&mut lb);
+        lb.rebalance();
+        let clusters = lb.last_clusters().expect("33 live: clustering active");
+        assert!(clusters.assignment.iter().all(|&c| c != usize::MAX));
+
+        lb.detach_connection(0);
+        lb.detach_connection(32);
+        feed(&mut lb);
+        lb.rebalance();
+        assert!(
+            lb.last_clusters().is_none(),
+            "31 live connections must fall back to the plain solve"
+        );
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+
+        lb.attach_connection(0);
+        feed(&mut lb);
+        lb.rebalance();
+        let clusters = lb.last_clusters().expect("32 live: clustered again");
+        assert_eq!(
+            clusters.assignment[32],
+            usize::MAX,
+            "detached slot unclustered"
+        );
+        assert_eq!(lb.weights().units()[32], 0);
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        assert!(clusters.members.iter().flatten().all(|&m| m != 32));
+        lb.check_invariants()
+            .expect("clustered round with a detached slot stays on the simplex");
     }
 
     #[test]

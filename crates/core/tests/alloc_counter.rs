@@ -7,6 +7,10 @@
 //!
 //! This file deliberately holds exactly one `#[test]`: the counter is
 //! process-global, so any concurrently running test would pollute it.
+//! The end-to-end variant — the same guarantee driven through
+//! `ControlPlane::round`, including across detach/attach membership
+//! changes — lives in `crates/control/tests/alloc_counter.rs` (its own
+//! process, for the same reason).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

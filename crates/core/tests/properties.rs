@@ -447,3 +447,40 @@ fn balancer_weights_always_sum_to_resolution() {
         }
     }
 }
+
+#[test]
+fn random_membership_churn_preserves_every_invariant() {
+    // A seeded storm of attach/detach/observe/rebalance: after *every*
+    // operation the simplex holds (weights sum to R), detached slots carry
+    // zero weight, and the full invariant check passes.
+    let mut rng = SplitMix64::new(0xDE7A_C4ED);
+    for case in 0..CASES {
+        let n = rng.range_usize(2, 40);
+        let mut lb = LoadBalancer::new(BalancerConfig::builder(n).build().unwrap());
+        for _ in 0..rng.range_usize(10, 80) {
+            let j = rng.range_usize(0, n - 1);
+            if rng.chance(0.2) && lb.is_attached(j) && lb.live_connections() > 1 {
+                assert!(lb.detach_connection(j));
+            } else if rng.chance(0.25) && !lb.is_attached(j) {
+                assert!(lb.attach_connection(j));
+            } else if lb.is_attached(j) {
+                lb.observe(&[ConnectionSample::new(j, rng.frange(0.0, 1.5))]);
+                lb.rebalance();
+            }
+            assert_eq!(
+                lb.weights().units().iter().sum::<u32>(),
+                1000,
+                "case {case}: weights left the simplex"
+            );
+            for (slot, &w) in lb.weights().units().iter().enumerate() {
+                assert!(
+                    lb.is_attached(slot) || w == 0,
+                    "case {case}: detached slot {slot} holds weight {w}"
+                );
+            }
+            lb.check_invariants().expect("churn broke an invariant");
+        }
+        let live = lb.live_connections();
+        assert!(live >= 1, "case {case}: region lost all members");
+    }
+}

@@ -10,7 +10,7 @@ use std::time::Instant;
 use streambal_transport::{bounded, BlockingCounter, Receiver, Sender};
 
 use crate::region::{self, ParallelConfig};
-use crate::report::{FlowReport, RegionTrace, StageStats};
+use crate::report::{FlowReport, RoundSnapshot, StageStats};
 use crate::source::Source;
 
 /// Default inter-stage channel capacity in tuples.
@@ -332,7 +332,7 @@ impl<T: Send + 'static> Flow<T> {
             delivered += 1;
         }
         let mut stages = Vec::new();
-        let mut regions: Vec<Vec<RegionTrace>> = Vec::new();
+        let mut regions: Vec<Vec<RoundSnapshot>> = Vec::new();
         for link in self.links {
             match link {
                 Link::Stage(s) => {

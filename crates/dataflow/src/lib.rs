@@ -49,5 +49,7 @@ mod window;
 
 pub use flow::{source, Flow, FlowError};
 pub use region::ParallelConfig;
-pub use report::{FlowReport, RegionTrace, StageStats};
+#[allow(deprecated)]
+pub use report::RegionTrace;
+pub use report::{FlowReport, RoundSnapshot, StageStats};
 pub use source::{IterSource, RangeSource, Source};

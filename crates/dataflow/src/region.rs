@@ -8,13 +8,13 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
-use streambal_core::rate::ConnectionSample;
+use streambal_control::{ControlPlane, DataPlane};
+use streambal_core::controller::{BalancerConfig, BalancerMode};
 use streambal_core::weights::{WeightVector, WrrScheduler};
-use streambal_telemetry::{Telemetry, TraceEvent};
-use streambal_transport::{bounded, BlockingSampler, Receiver, Sender};
+use streambal_telemetry::Telemetry;
+use streambal_transport::{bounded, BlockingCounter, BlockingSampler, Receiver, Sender};
 
-use crate::report::RegionTrace;
+use crate::report::RoundSnapshot;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -109,8 +109,38 @@ pub(crate) struct SpawnedRegion {
     pub splitter: thread::JoinHandle<()>,
     pub workers: Vec<thread::JoinHandle<()>>,
     pub merger: thread::JoinHandle<()>,
-    pub controller: thread::JoinHandle<Vec<RegionTrace>>,
+    pub controller: thread::JoinHandle<Vec<RoundSnapshot>>,
     pub counters: Arc<RegionCounters>,
+}
+
+/// The region's [`DataPlane`]: blocking rates from the replica
+/// connections' counters, weights into the splitter's mutex, delivered
+/// counts from the merger's stage counter.
+struct ReplicaPlane {
+    blocking: Vec<Arc<BlockingCounter>>,
+    samplers: Vec<BlockingSampler>,
+    weights: Arc<Mutex<WeightVector>>,
+    counters: Arc<RegionCounters>,
+}
+
+impl DataPlane for ReplicaPlane {
+    fn connections(&self) -> usize {
+        self.blocking.len()
+    }
+
+    fn sample(&mut self, interval_ns: u64, rates: &mut [f64]) {
+        for ((c, s), rate) in self.blocking.iter().zip(&mut self.samplers).zip(rates) {
+            *rate = s.sample(c, interval_ns);
+        }
+    }
+
+    fn install_weights(&mut self, weights: &WeightVector) {
+        *lock(&self.weights) = weights.clone();
+    }
+
+    fn delivered(&self) -> u64 {
+        self.counters.merged_out.load(Ordering::Relaxed)
+    }
 }
 
 /// Spawns an ordered parallel region reading `T` from `input`, applying a
@@ -230,45 +260,24 @@ where
                     .mode(mode)
                     .build()
                     .expect("region-sized balancer config is valid");
-                let mut lb = LoadBalancer::new(lb_cfg);
+                let mut builder = ControlPlane::builder(lb_cfg)
+                    .rate_cap(10.0)
+                    .keep_snapshots(true);
                 if let Some(t) = &telemetry {
-                    lb.attach_trace(t.trace().clone());
+                    builder = builder.telemetry(t);
                 }
-                let mut samplers = vec![BlockingSampler::new(); blocking.len()];
-                let mut trace = Vec::new();
-                while !stop.load(Ordering::Acquire) {
-                    thread::sleep(interval);
-                    let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
-                    let mut rates = Vec::with_capacity(blocking.len());
-                    let mut samples = Vec::with_capacity(blocking.len());
-                    for (j, (c, s)) in blocking.iter().zip(&mut samplers).enumerate() {
-                        let rate = s.sample(c, interval_ns);
-                        rates.push(rate);
-                        samples.push(ConnectionSample::new(j, rate.min(10.0)));
-                    }
-                    if balanced {
-                        lb.observe(&samples);
-                        lb.rebalance();
-                        *lock(&weights) = lb.weights().clone();
-                    }
-                    let installed = lock(&weights).units().to_vec();
-                    if let Some(t) = &telemetry {
-                        t.trace().push(TraceEvent::Sample {
-                            region: 0,
-                            t_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                            weights: installed.clone(),
-                            rates: rates.clone(),
-                            delivered: counters.merged_out.load(Ordering::Relaxed),
-                            clusters: None,
-                        });
-                    }
-                    trace.push(RegionTrace {
-                        elapsed_ms: u64::try_from(started.elapsed().as_millis())
-                            .unwrap_or(u64::MAX),
-                        weights: installed,
-                        rates,
-                    });
+                if !balanced {
+                    builder = builder.round_robin();
                 }
+                let mut plane = builder.build();
+                let n = blocking.len();
+                let mut dp = ReplicaPlane {
+                    blocking,
+                    samplers: vec![BlockingSampler::new(); n],
+                    weights,
+                    counters: Arc::clone(&counters),
+                };
+                plane.run_threaded(&mut dp, interval, &stop, started);
                 if let Some(t) = &telemetry {
                     let reg = t.registry();
                     reg.counter("dataflow.split_in")
@@ -278,7 +287,7 @@ where
                     reg.counter("dataflow.merged_out")
                         .add(counters.merged_out.load(Ordering::Relaxed));
                 }
-                trace
+                plane.into_snapshots()
             })
             .expect("spawning the controller thread succeeds")
     };

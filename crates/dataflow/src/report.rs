@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+pub use streambal_control::RoundSnapshot;
+
 /// Statistics for one pipeline stage (one PE).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageStats {
@@ -17,16 +19,10 @@ pub struct StageStats {
     pub upstream_blocked_ns: u64,
 }
 
-/// One control-round snapshot from a parallel region's balancer.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RegionTrace {
-    /// Wall-clock milliseconds since the region started.
-    pub elapsed_ms: u64,
-    /// Allocation weights after the round.
-    pub weights: Vec<u32>,
-    /// Per-replica blocking rates observed over the round.
-    pub rates: Vec<f64>,
-}
+/// Former name of the per-round snapshot, now the shared
+/// [`RoundSnapshot`] from `streambal-control`.
+#[deprecated(note = "use `RoundSnapshot` (re-exported from `streambal-control`)")]
+pub type RegionTrace = RoundSnapshot;
 
 /// The outcome of a completed flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +30,7 @@ pub struct FlowReport {
     /// Per-stage statistics, source first.
     pub stages: Vec<StageStats>,
     /// For each parallel region (in pipeline order), its control trace.
-    pub regions: Vec<Vec<RegionTrace>>,
+    pub regions: Vec<Vec<RoundSnapshot>>,
     /// Wall-clock duration from `run` to completion.
     pub duration: Duration,
 }

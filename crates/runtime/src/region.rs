@@ -7,11 +7,13 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
-use streambal_core::rate::ConnectionSample;
+use streambal_control::{ControlPlane, DataPlane};
+use streambal_core::controller::{BalancerConfig, BalancerMode};
 use streambal_core::weights::{WeightVector, WrrScheduler};
-use streambal_telemetry::{Telemetry, TraceEvent};
-use streambal_transport::{bounded, BlockingSampler, Receiver, Sender};
+use streambal_telemetry::Telemetry;
+use streambal_transport::{bounded, BlockingCounter, BlockingSampler, Receiver, Sender};
+
+pub use streambal_control::RoundSnapshot;
 
 use crate::workload::spin_multiplies;
 
@@ -48,15 +50,48 @@ impl fmt::Display for RegionError {
 
 impl std::error::Error for RegionError {}
 
-/// One snapshot of the controller's state during a run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ControlSnapshot {
-    /// Wall-clock milliseconds since the run started.
-    pub elapsed_ms: u64,
-    /// The allocation weights installed after this round.
-    pub weights: Vec<u32>,
-    /// Per-connection blocking rates observed over the interval.
-    pub rates: Vec<f64>,
+/// Former name of the per-round snapshot, now the shared
+/// [`RoundSnapshot`] from `streambal-control`.
+#[deprecated(note = "use `RoundSnapshot` (re-exported from `streambal-control`)")]
+pub type ControlSnapshot = RoundSnapshot;
+
+/// The [`DataPlane`] both threaded regions hand to [`ControlPlane`]:
+/// blocking rates come from the transport senders' counters, weights are
+/// installed into the mutex the splitter polls, and scheduled external
+/// load changes apply at the top of each round.
+pub(crate) struct CounterPlane {
+    pub(crate) counters: Vec<Arc<BlockingCounter>>,
+    pub(crate) samplers: Vec<BlockingSampler>,
+    pub(crate) weights: Arc<Mutex<WeightVector>>,
+    pub(crate) loads: Vec<Arc<AtomicU32>>,
+    pub(crate) changes: Vec<LoadChange>,
+    pub(crate) next_change: usize,
+}
+
+impl DataPlane for CounterPlane {
+    fn connections(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn begin_round(&mut self, elapsed: Duration) {
+        while self.next_change < self.changes.len()
+            && self.changes[self.next_change].after <= elapsed
+        {
+            let c = self.changes[self.next_change];
+            self.loads[c.worker].store((c.factor * LOAD_SCALE) as u32, Ordering::Relaxed);
+            self.next_change += 1;
+        }
+    }
+
+    fn sample(&mut self, interval_ns: u64, rates: &mut [f64]) {
+        for ((c, s), rate) in self.counters.iter().zip(&mut self.samplers).zip(rates) {
+            *rate = s.sample(c, interval_ns);
+        }
+    }
+
+    fn install_weights(&mut self, weights: &WeightVector) {
+        *lock(&self.weights) = weights.clone();
+    }
 }
 
 /// The outcome of a threaded region run.
@@ -69,7 +104,7 @@ pub struct RegionReport {
     /// Wall-clock duration of the run.
     pub duration: Duration,
     /// One entry per control round.
-    pub snapshots: Vec<ControlSnapshot>,
+    pub snapshots: Vec<RoundSnapshot>,
     /// Final cumulative blocking time per connection, ns.
     pub blocked_ns: Vec<u64>,
     /// Tuples rerouted at the transport level (reroute mode only).
@@ -188,7 +223,7 @@ impl RegionBuilder {
     /// Attaches a telemetry hub: per-connection blocking metrics are
     /// published under `transport.conn<j>.*`, the controller reports
     /// per-round gauges under `runtime.*` and its decision trace (including
-    /// a [`TraceEvent::Sample`] per control round) goes to the hub's trace
+    /// a [`streambal_telemetry::TraceEvent::Sample`] per control round) goes to the hub's trace
     /// buffer.
     pub fn telemetry(&mut self, telemetry: &Telemetry) -> &mut Self {
         self.telemetry = Some(telemetry.clone());
@@ -342,73 +377,27 @@ impl RegionBuilder {
                         .mode(mode)
                         .build()
                         .expect("region-sized balancer config is valid");
-                    let mut lb = LoadBalancer::new(cfg);
+                    let mut builder = ControlPlane::builder(cfg)
+                        .rate_cap(10.0)
+                        .keep_snapshots(true);
                     if let Some(t) = &telemetry {
-                        lb.attach_trace(t.trace().clone());
+                        builder = builder.telemetry(t).metrics("runtime");
                     }
-                    let instruments = telemetry.as_ref().map(|t| {
-                        let reg = t.registry();
-                        let rounds = reg.counter("runtime.controller.rounds");
-                        let per_conn: Vec<_> = (0..counters.len())
-                            .map(|j| {
-                                (
-                                    reg.gauge(&format!("runtime.conn{j}.blocking_rate")),
-                                    reg.gauge(&format!("runtime.conn{j}.weight")),
-                                )
-                            })
-                            .collect();
-                        (rounds, per_conn)
-                    });
-                    let mut samplers = vec![BlockingSampler::new(); counters.len()];
-                    let mut snapshots = Vec::new();
-                    let mut next_change = 0usize;
-                    while !stop.load(Ordering::Acquire) {
-                        thread::sleep(interval);
-                        let elapsed = started.elapsed();
-                        while next_change < changes.len() && changes[next_change].after <= elapsed {
-                            let c = changes[next_change];
-                            loads[c.worker]
-                                .store((c.factor * LOAD_SCALE) as u32, Ordering::Relaxed);
-                            next_change += 1;
-                        }
-                        let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
-                        let mut rates = Vec::with_capacity(counters.len());
-                        let mut samples = Vec::with_capacity(counters.len());
-                        for (j, (c, s)) in counters.iter().zip(&mut samplers).enumerate() {
-                            let rate = s.sample(c, interval_ns);
-                            rates.push(rate);
-                            samples.push(ConnectionSample::new(j, rate.min(10.0)));
-                        }
-                        if balancing {
-                            lb.observe(&samples);
-                            lb.rebalance();
-                            *lock(&weights) = lb.weights().clone();
-                        }
-                        let installed = lock(&weights).units().to_vec();
-                        if let Some(t) = &telemetry {
-                            if let Some((rounds, per_conn)) = &instruments {
-                                rounds.incr();
-                                for (j, (rate_g, weight_g)) in per_conn.iter().enumerate() {
-                                    rate_g.set(rates[j]);
-                                    weight_g.set(f64::from(installed[j]));
-                                }
-                            }
-                            t.trace().push(TraceEvent::Sample {
-                                region: 0,
-                                t_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
-                                weights: installed.clone(),
-                                rates: rates.clone(),
-                                delivered: 0,
-                                clusters: None,
-                            });
-                        }
-                        snapshots.push(ControlSnapshot {
-                            elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
-                            weights: installed,
-                            rates,
-                        });
+                    if !balancing {
+                        builder = builder.round_robin();
                     }
-                    snapshots
+                    let mut plane = builder.build();
+                    let n = counters.len();
+                    let mut dp = CounterPlane {
+                        counters,
+                        samplers: vec![BlockingSampler::new(); n],
+                        weights,
+                        loads,
+                        changes,
+                        next_change: 0,
+                    };
+                    plane.run_threaded(&mut dp, interval, &stop, started);
+                    plane.into_snapshots()
                 })
                 .expect("spawning the controller thread succeeds")
         };
@@ -468,6 +457,7 @@ impl RegionBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use streambal_telemetry::TraceEvent;
 
     #[test]
     fn delivers_everything_in_order() {

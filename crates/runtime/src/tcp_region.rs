@@ -10,13 +10,13 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
-use streambal_core::rate::ConnectionSample;
+use streambal_control::ControlPlane;
+use streambal_core::controller::{BalancerConfig, BalancerMode};
 use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_transport::tcp::{connect, listen, TcpSender};
 use streambal_transport::BlockingSampler;
 
-use crate::region::{ControlSnapshot, RegionError, RegionReport};
+use crate::region::{CounterPlane, RegionError, RegionReport};
 use crate::workload::spin_multiplies;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -208,32 +208,24 @@ impl TcpRegionBuilder {
                         .mode(mode)
                         .build()
                         .expect("region-sized balancer config is valid");
-                    let mut lb = LoadBalancer::new(cfg);
-                    let mut samplers = vec![BlockingSampler::new(); counters.len()];
-                    let mut snapshots = Vec::new();
-                    while !stop.load(Ordering::Acquire) {
-                        thread::sleep(interval);
-                        let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
-                        let mut rates = Vec::with_capacity(counters.len());
-                        let mut samples = Vec::with_capacity(counters.len());
-                        for (j, (c, s)) in counters.iter().zip(&mut samplers).enumerate() {
-                            let rate = s.sample(c, interval_ns);
-                            rates.push(rate);
-                            samples.push(ConnectionSample::new(j, rate.min(10.0)));
-                        }
-                        if balancing {
-                            lb.observe(&samples);
-                            lb.rebalance();
-                            *lock(&weights) = lb.weights().clone();
-                        }
-                        snapshots.push(ControlSnapshot {
-                            elapsed_ms: u64::try_from(started.elapsed().as_millis())
-                                .unwrap_or(u64::MAX),
-                            weights: lock(&weights).units().to_vec(),
-                            rates,
-                        });
+                    let mut builder = ControlPlane::builder(cfg)
+                        .rate_cap(10.0)
+                        .keep_snapshots(true);
+                    if !balancing {
+                        builder = builder.round_robin();
                     }
-                    snapshots
+                    let mut plane = builder.build();
+                    let n = counters.len();
+                    let mut dp = CounterPlane {
+                        counters,
+                        samplers: vec![BlockingSampler::new(); n],
+                        weights,
+                        loads: Vec::new(),
+                        changes: Vec::new(),
+                        next_change: 0,
+                    };
+                    plane.run_threaded(&mut dp, interval, &stop, started);
+                    plane.into_snapshots()
                 })
                 .expect("spawning the controller thread succeeds")
         };

@@ -277,6 +277,106 @@ impl Oracle for ReconvergenceOracle {
     }
 }
 
+/// Dynamic-membership invariants: a detached connection must hold weight
+/// 0 in the installed allocation every round, and after any membership
+/// change (detach or attach) the weight vector must reconverge — go quiet
+/// within `budget_rounds` — just like after a load disturbance. A no-op
+/// for model-free policies (no balancer, no membership).
+#[derive(Debug)]
+pub struct MembershipOracle {
+    budget_rounds: u64,
+    stable_rounds: u64,
+    tolerance: u32,
+    prev_attached: Vec<bool>,
+    prev_weights: Vec<u32>,
+    streak: u64,
+    change_round: u64,
+    converged: bool,
+    fired: bool,
+}
+
+impl MembershipOracle {
+    /// Creates the oracle with an explicit reconvergence budget.
+    pub fn new(budget_rounds: u64, stable_rounds: u64, tolerance: u32) -> Self {
+        MembershipOracle {
+            budget_rounds,
+            stable_rounds,
+            tolerance,
+            prev_attached: Vec::new(),
+            prev_weights: Vec::new(),
+            streak: 0,
+            change_round: 0,
+            converged: true,
+            fired: false,
+        }
+    }
+}
+
+impl Default for MembershipOracle {
+    /// The same budget as [`ReconvergenceOracle`]: 40 rounds, 5 quiet
+    /// rounds to call it converged, 60 units of movement still quiet.
+    fn default() -> Self {
+        MembershipOracle::new(40, 5, 60)
+    }
+}
+
+impl Oracle for MembershipOracle {
+    fn name(&self) -> &'static str {
+        "membership"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        let Some(lb) = view.balancer.as_deref() else {
+            return Ok(());
+        };
+        let attached = lb.attached();
+        for (j, (&att, &w)) in attached.iter().zip(view.weights).enumerate() {
+            if !att && w > 0 {
+                return Err(format!(
+                    "detached connection {j} still holds weight {w} in the \
+                     installed allocation {:?}",
+                    view.weights
+                ));
+            }
+        }
+        if !self.prev_attached.is_empty() && self.prev_attached != attached {
+            // A membership change restarts the reconvergence clock.
+            self.change_round = view.round;
+            self.converged = false;
+            self.streak = 0;
+            self.fired = false;
+        }
+        self.prev_attached.clear();
+        self.prev_attached.extend_from_slice(attached);
+        let quiet = self.prev_weights.len() == view.weights.len()
+            && self
+                .prev_weights
+                .iter()
+                .zip(view.weights)
+                .all(|(&a, &b)| a.abs_diff(b) <= self.tolerance);
+        self.prev_weights.clear();
+        self.prev_weights.extend_from_slice(view.weights);
+        self.streak = if quiet { self.streak + 1 } else { 0 };
+        if self.streak >= self.stable_rounds {
+            self.converged = true;
+        }
+        if !self.converged
+            && !self.fired
+            && view.round.saturating_sub(self.change_round) > self.budget_rounds
+        {
+            self.fired = true;
+            return Err(format!(
+                "weights still moving more than {} units {} rounds after the \
+                 last membership change (budget {})",
+                self.tolerance,
+                view.round - self.change_round,
+                self.budget_rounds
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The standard oracle set plus violation collection; this is what
 /// [`run_scenario`](crate::chaos::run_scenario) wires into the engine.
 pub struct OracleSuite {
@@ -306,7 +406,7 @@ impl OracleSuite {
     }
 
     /// The full standard set: simplex, in-order, monotone functions,
-    /// reorder bound and reconvergence (default budget).
+    /// reorder bound, reconvergence and membership (default budgets).
     pub fn standard() -> Self {
         OracleSuite::empty()
             .with_oracle(Box::new(SimplexOracle))
@@ -314,6 +414,7 @@ impl OracleSuite {
             .with_oracle(Box::new(MonotoneFunctionOracle))
             .with_oracle(Box::new(ReorderBoundOracle))
             .with_oracle(Box::new(ReconvergenceOracle::default()))
+            .with_oracle(Box::new(MembershipOracle::default()))
     }
 
     /// Adds an oracle.
@@ -475,6 +576,57 @@ mod tests {
             v.last_fault_ns = Some(0);
             assert!(o.check(&mut v).is_ok(), "round {round}");
         }
+    }
+
+    #[test]
+    fn membership_oracle_flags_a_detached_connection_with_weight() {
+        use streambal_control::ControlPlane;
+        use streambal_core::controller::BalancerConfig;
+        let mut plane = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap()).build();
+        plane.detach_connection(1);
+        let lb = plane.balancer_mut();
+        let mut o = MembershipOracle::default();
+        let occ = [0usize; 2];
+        let alive = [true, false];
+        // A consistent installation (detached slot at 0) passes...
+        let mut ok = view(&[1000, 0], &[0.0, 0.0], &occ, &alive);
+        ok.balancer = Some(lb);
+        assert!(o.check(&mut ok).is_ok());
+        // ...but the engine still routing to the detached slot fires.
+        let lb = plane.balancer_mut();
+        let mut bad = view(&[500, 500], &[0.0, 0.0], &occ, &alive);
+        bad.balancer = Some(lb);
+        let err = o.check(&mut bad).unwrap_err();
+        assert!(err.contains("detached connection 1"), "{err}");
+    }
+
+    #[test]
+    fn membership_oracle_requires_reconvergence_after_a_change() {
+        use streambal_control::ControlPlane;
+        use streambal_core::controller::BalancerConfig;
+        let mut plane = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap()).build();
+        let mut o = MembershipOracle::new(3, 2, 10);
+        let occ = [0usize; 2];
+        let alive = [true; 2];
+        // Round 1: stable membership, quiet weights.
+        let mut v = view(&[500, 500], &[0.0, 0.0], &occ, &alive);
+        v.balancer = Some(plane.balancer_mut());
+        assert!(o.check(&mut v).is_ok());
+        // Round 2: a detach changes membership; weights then keep
+        // swinging past the 3-round budget.
+        plane.detach_connection(1);
+        let mut violations = 0;
+        for round in 2..=10 {
+            let w: [u32; 2] = if round % 2 == 0 { [1000, 0] } else { [800, 0] };
+            let rates = [0.0, 0.0];
+            let mut v = view(&w, &rates, &occ, &alive);
+            v.round = round;
+            v.balancer = Some(plane.balancer_mut());
+            if o.check(&mut v).is_err() {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 1, "fires exactly once per membership change");
     }
 
     #[test]

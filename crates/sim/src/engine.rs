@@ -642,12 +642,34 @@ impl<'c> Engine<'c> {
                         self.worker_epoch[worker] += 1;
                         self.conn_q[worker].push_front(self.worker_seq[worker]);
                     }
+                    // Real membership: retire the dead connection and
+                    // renormalize the survivors immediately. The sabotage
+                    // keeps the legacy no-detach path so the simplex
+                    // oracle's mutation test still has a bug to catch.
+                    let sabotaged = matches!(
+                        self.chaos.and_then(|p| p.sabotage),
+                        Some(Sabotage::SkipRenormalization)
+                    );
+                    if !sabotaged {
+                        if let Some(lb) = self.policy.balancer_mut() {
+                            if lb.is_attached(worker) && lb.live_connections() > 1 {
+                                lb.detach_connection(worker);
+                                self.install_balancer_weights();
+                            }
+                        }
+                    }
                 }
             }
             FaultKind::WorkerRestart { worker } => {
                 if !self.worker_alive[worker] {
                     self.worker_alive[worker] = true;
                     self.maybe_start_worker(worker);
+                    if let Some(lb) = self.policy.balancer_mut() {
+                        if !lb.is_attached(worker) {
+                            lb.attach_connection(worker);
+                            self.install_balancer_weights();
+                        }
+                    }
                 }
             }
             FaultKind::Slowdown { worker, factor } => {
@@ -667,6 +689,17 @@ impl<'c> Engine<'c> {
                 self.sample_jitter_ns = amplitude_ns;
             }
         }
+    }
+
+    /// Mirrors the balancer's weights into the splitter outside the
+    /// normal sampling cadence (after a membership change).
+    fn install_balancer_weights(&mut self) {
+        if let Some(lb) = self.policy.balancer_mut() {
+            let units = lb.weights().units();
+            self.weights.clear();
+            self.weights.extend_from_slice(units);
+        }
+        self.wrr.set_units(&self.weights);
     }
 
     fn on_sample(&mut self) {

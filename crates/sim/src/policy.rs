@@ -8,8 +8,8 @@
 //! | [`SchedulePolicy`] | *Oracle\** | precomputed weight switches at known times |
 //! | [`BalancerPolicy`] | *LB-static* / *LB-adaptive* | the blocking-rate model of §5 |
 
+use streambal_control::ControlPlane;
 use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
-use streambal_core::rate::ConnectionSample;
 use streambal_core::weights::{WeightVector, DEFAULT_RESOLUTION};
 use streambal_telemetry::Telemetry;
 
@@ -256,26 +256,28 @@ impl Policy for SchedulePolicy {
 }
 
 /// The paper's blocking-rate model (*LB-static* or *LB-adaptive* depending
-/// on the wrapped balancer's mode).
+/// on the wrapped balancer's mode), driven through the shared
+/// [`ControlPlane`].
 #[derive(Debug, Clone)]
 pub struct BalancerPolicy {
     name: &'static str,
-    lb: LoadBalancer,
-    samples: Vec<ConnectionSample>,
+    plane: ControlPlane,
+    rates: Vec<f64>,
 }
 
 impl BalancerPolicy {
-    /// Wraps a balancer built from `cfg`; the display name follows the
+    /// Wraps a control plane built from `cfg`; the display name follows the
     /// configured mode.
     pub fn new(cfg: BalancerConfig) -> Self {
         let name = match cfg.mode() {
             BalancerMode::Static => "LB-static",
             BalancerMode::Adaptive { .. } => "LB-adaptive",
         };
+        let n = cfg.connections();
         BalancerPolicy {
             name,
-            lb: LoadBalancer::new(cfg),
-            samples: Vec::new(),
+            plane: ControlPlane::builder(cfg).build(),
+            rates: vec![0.0; n],
         }
     }
 
@@ -287,7 +289,12 @@ impl BalancerPolicy {
 
     /// The wrapped balancer (for introspecting its predictive functions).
     pub fn balancer(&self) -> &LoadBalancer {
-        &self.lb
+        self.plane.balancer()
+    }
+
+    /// The wrapped control plane (for membership changes).
+    pub fn plane_mut(&mut self) -> &mut ControlPlane {
+        &mut self.plane
     }
 }
 
@@ -298,38 +305,38 @@ impl Policy for BalancerPolicy {
 
     fn initial_weights(&self, connections: usize) -> WeightVector {
         assert_eq!(
-            self.lb.config().connections(),
+            self.plane.balancer().config().connections(),
             connections,
             "balancer sized for a different region"
         );
-        self.lb.weights().clone()
+        self.plane.weights().clone()
     }
 
-    fn on_sample(
-        &mut self,
-        _ctx: &SampleContext,
-        samples: &[PolicySample],
-    ) -> Option<WeightVector> {
-        self.samples.clear();
-        self.samples.extend(
-            samples
-                .iter()
-                .map(|s| ConnectionSample::new(s.connection, s.rate)),
-        );
-        self.lb.observe(&self.samples);
-        Some(self.lb.rebalance().clone())
+    fn on_sample(&mut self, ctx: &SampleContext, samples: &[PolicySample]) -> Option<WeightVector> {
+        self.rates.fill(0.0);
+        for s in samples {
+            self.rates[s.connection] = s.rate;
+        }
+        Some(
+            self.plane
+                .round(ctx.now_ns / 1_000_000, &self.rates)
+                .clone(),
+        )
     }
 
     fn cluster_assignment(&self) -> Option<Vec<usize>> {
-        self.lb.last_clusters().map(|c| c.assignment.clone())
+        self.plane
+            .balancer()
+            .last_clusters()
+            .map(|c| c.assignment.clone())
     }
 
     fn attach_telemetry(&mut self, telemetry: &Telemetry) {
-        self.lb.attach_trace(telemetry.trace().clone());
+        self.plane.attach_telemetry(telemetry);
     }
 
     fn balancer_mut(&mut self) -> Option<&mut LoadBalancer> {
-        Some(&mut self.lb)
+        Some(self.plane.balancer_mut())
     }
 }
 

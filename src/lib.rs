@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the streambal workspace.
 #![forbid(unsafe_code)]
 pub use streambal_cluster as cluster;
+pub use streambal_control as control;
 pub use streambal_core as core;
 pub use streambal_dataflow as dataflow;
 pub use streambal_runtime as runtime;

@@ -21,6 +21,47 @@ fn chaos_runs_are_byte_for_byte_reproducible() {
 }
 
 #[test]
+fn repeated_death_and_restart_keep_every_oracle_quiet() {
+    // Three full death/restart cycles — each death detaches the worker's
+    // connection from the balancer (weight pinned to 0, remainder
+    // renormalized through the solver) and each restart re-attaches it
+    // with an exploration-bounded share. The full oracle suite (simplex,
+    // detached-weight-zero membership, reconvergence, ordering, ...) must
+    // stay quiet, and the run must replay byte for byte.
+    let mut scenario = Scenario::generate(11);
+    scenario.workers = 4;
+    scenario.duration_ns = 48 * SECOND_NS;
+    scenario.events.clear();
+    for (i, worker) in [0usize, 2, 1].iter().enumerate() {
+        let base = (3 + 9 * i as u64) * SECOND_NS;
+        scenario.events.push(TimedFault {
+            t_ns: base,
+            fault: FaultKind::WorkerDeath { worker: *worker },
+        });
+        scenario.events.push(TimedFault {
+            t_ns: base + 3 * SECOND_NS,
+            fault: FaultKind::WorkerRestart { worker: *worker },
+        });
+    }
+
+    let deaths = scenario
+        .events
+        .iter()
+        .filter(|e| matches!(e.fault, FaultKind::WorkerDeath { .. }))
+        .count();
+    assert!(deaths >= 3, "scenario must carry at least 3 deaths");
+
+    let a = run_scenario(&scenario).unwrap();
+    let b = run_scenario(&scenario).unwrap();
+    assert_eq!(a, b, "membership churn broke replay identity");
+    assert!(
+        a.violations.is_empty(),
+        "death/restart churn must not violate any oracle: {:#?}",
+        a.violations
+    );
+}
+
+#[test]
 fn sabotaged_invariant_is_caught_and_shrunk_to_a_tiny_scenario() {
     // Break renormalization on purpose: after a worker death the dead
     // connection's units vanish without being redistributed. The simplex
