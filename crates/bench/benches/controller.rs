@@ -53,6 +53,38 @@ fn bench_round(m: &Micro, name: &str, n: usize, clustered: bool) -> streambal_be
     })
 }
 
+/// One round at a *post-growth* width: the plane is warmed at `start`
+/// connections, grown by `added` (newcomers enter exploration-bounded,
+/// exactly as a live `WorkerAdd` would), settled for a few rounds, then
+/// measured at the wider width. Growth must not leave the round path any
+/// slower than a plane born at that width.
+fn bench_grown_round(
+    m: &Micro,
+    name: &str,
+    start: usize,
+    added: usize,
+    clustered: bool,
+) -> streambal_bench::BenchStats {
+    let n = start + added;
+    let (mut plane, _) = warmed_plane(start, clustered);
+    plane.grow_width(added);
+    let mut rates = vec![0.0; n];
+    for round in 100..120u64 {
+        let conn = (round as usize * 7) % n;
+        rates.fill(0.0);
+        rates[conn] = 0.3;
+        plane.round(round, &rates);
+    }
+    let mut round = 120u64;
+    m.run(name, || {
+        round += 1;
+        let conn = (round as usize * 13) % n;
+        rates.fill(0.0);
+        rates[conn] = 0.42;
+        black_box(plane.round(round, &rates).units()[0])
+    })
+}
+
 fn main() {
     let m = Micro::new().measure_ms(500);
     println!("== controller_round ==");
@@ -62,6 +94,12 @@ fn main() {
     for &n in &[32usize, 64, 128] {
         bench_round(&m, &format!("controller_round/clustered/{n}"), n, true);
     }
+    // Post-growth widths: 4->8 and 32->64 plain, plus 30->34 clustered —
+    // the last one crosses the default 32-connection clustering knee, so
+    // the measured round includes the clustered solve the growth enabled.
+    bench_grown_round(&m, "controller_round/grown/4to8", 4, 4, false);
+    bench_grown_round(&m, "controller_round/grown/32to64", 32, 32, false);
+    bench_grown_round(&m, "controller_round/grown_clustered/30to34", 30, 4, true);
 
     // Large-region budget check: one plain round at N=1024 (resolution
     // 2048) must stay under the wall-clock budget at the median.

@@ -24,6 +24,8 @@ SIMULATE OPTIONS:
     --policy P             rr | reroute | lb-static | lb-adaptive | oracle
                            (default lb-adaptive)
     --clustering           enable connection clustering in the balancer
+    --grow-at R:N          grow the region by N workers at control round R
+                           (seconds at the default 1 s interval; repeatable)
     --seconds S            run for S simulated seconds (default 60)
     --tuples T             ...or until T tuples are delivered
     --seed N               simulation seed (default 42)
@@ -43,6 +45,9 @@ CHAOS OPTIONS:
     --require-death        fail unless at least one scenario contained a
                            worker death (proves the detach/attach membership
                            path was exercised)
+    --require-growth       fail unless at least one scenario contained a
+                           WorkerAdd (proves the elastic growth path was
+                           exercised)
 
 PLACEMENT OPTIONS:
     --hosts LIST           as above (default fast,slow)
@@ -100,6 +105,9 @@ pub struct SimulateArgs {
     pub hosts: Vec<HostArg>,
     pub policy: PolicyArg,
     pub clustering: bool,
+    /// `(round, count)` pairs: at control round `round` the region grows
+    /// by `count` workers (live, via the chaos `WorkerAdd` path).
+    pub grows: Vec<(u64, usize)>,
     pub seconds: u64,
     pub tuples: Option<u64>,
     pub seed: u64,
@@ -126,6 +134,10 @@ pub struct ChaosArgs {
     /// death — CI uses this to prove a pinned seed really exercises the
     /// detach/re-attach membership path.
     pub require_death: bool,
+    /// Fail unless at least one generated scenario contains a
+    /// `WorkerAdd` — CI uses this to prove a pinned seed really
+    /// exercises the elastic growth path.
+    pub require_growth: bool,
 }
 
 /// The `placement` subcommand.
@@ -247,6 +259,7 @@ fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
         hosts: Vec::new(),
         policy: PolicyArg::LbAdaptive,
         clustering: false,
+        grows: Vec::new(),
         seconds: 60,
         tuples: None,
         seed: 42,
@@ -285,6 +298,22 @@ fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
                 }
             }
             "--clustering" => a.clustering = true,
+            "--grow-at" => {
+                let spec = take_value(flag, &mut it)?;
+                let (round, count) = spec
+                    .split_once(':')
+                    .ok_or_else(|| err(format!("bad --grow-at '{spec}' (use R:N)")))?;
+                let round = round
+                    .parse()
+                    .map_err(|_| err(format!("bad round in '{spec}'")))?;
+                let count: usize = count
+                    .parse()
+                    .map_err(|_| err(format!("bad count in '{spec}'")))?;
+                if count == 0 {
+                    return Err(err("--grow-at count must be positive"));
+                }
+                a.grows.push((round, count));
+            }
             "--seconds" => {
                 a.seconds = take_value(flag, &mut it)?
                     .parse()
@@ -379,6 +408,7 @@ fn parse_chaos(argv: &[String]) -> Result<Command, ParseError> {
         shrink: false,
         sabotage: None,
         require_death: false,
+        require_growth: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -395,6 +425,7 @@ fn parse_chaos(argv: &[String]) -> Result<Command, ParseError> {
             }
             "--shrink" => a.shrink = true,
             "--require-death" => a.require_death = true,
+            "--require-growth" => a.require_growth = true,
             "--sabotage" => {
                 a.sabotage = match take_value(flag, &mut it)? {
                     "skip-renorm" => Some(SabotageArg::SkipRenorm),
@@ -511,11 +542,13 @@ mod tests {
                 rounds: 1,
                 shrink: false,
                 sabotage: None,
-                require_death: false
+                require_death: false,
+                require_growth: false
             }
         );
         let Command::Chaos(a) = parse(&args(
-            "chaos --seed 99 --rounds 5 --shrink --sabotage skip-renorm --require-death",
+            "chaos --seed 99 --rounds 5 --shrink --sabotage skip-renorm --require-death \
+             --require-growth",
         ))
         .unwrap() else {
             panic!()
@@ -525,6 +558,22 @@ mod tests {
         assert!(a.shrink);
         assert_eq!(a.sabotage, Some(SabotageArg::SkipRenorm));
         assert!(a.require_death);
+        assert!(a.require_growth);
+    }
+
+    #[test]
+    fn grow_at_parses_and_validates() {
+        let Command::Simulate(a) =
+            parse(&args("simulate --workers 4 --grow-at 5:2 --grow-at 20:4")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.grows, vec![(5, 2), (20, 4)]);
+        assert!(parse(&args("simulate --grow-at 5")).is_err());
+        assert!(parse(&args("simulate --grow-at five:2")).is_err());
+        assert!(parse(&args("simulate --grow-at 5:zero")).is_err());
+        assert!(parse(&args("simulate --grow-at 5:0")).is_err());
+        assert!(parse(&args("simulate --grow-at")).is_err());
     }
 
     #[test]

@@ -8,7 +8,8 @@ use streambal_cluster::placement::{place, Strategy};
 use streambal_cluster::verify::{co_simulate_coupled, simulate_region};
 use streambal_core::controller::{BalancerConfig, BalancerMode, ClusteringConfig};
 use streambal_sim::chaos::{
-    run_scenario, shrink, FaultKind, FuzzFailure, Scenario, DEFAULT_SHRINK_RUNS,
+    run_scenario, shrink, ChaosPlan, FaultKind, FuzzFailure, Scenario, TimedFault,
+    DEFAULT_SHRINK_RUNS,
 };
 use streambal_sim::config::{RegionConfig, StopCondition};
 use streambal_sim::host::Host;
@@ -88,9 +89,25 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
     };
 
     let telemetry = (a.metrics.is_some() || a.trace.is_some()).then(Telemetry::new);
-    let result = match &telemetry {
-        Some(t) => streambal_sim::run_with_telemetry(&cfg, policy.as_mut(), t)?,
-        None => streambal_sim::run(&cfg, policy.as_mut())?,
+    let result = if a.grows.is_empty() {
+        match &telemetry {
+            Some(t) => streambal_sim::run_with_telemetry(&cfg, policy.as_mut(), t)?,
+            None => streambal_sim::run(&cfg, policy.as_mut())?,
+        }
+    } else {
+        // Live growth rides the chaos WorkerAdd path: fresh connections and
+        // workers appear at the scheduled rounds and the balancer admits
+        // them exploration-bounded.
+        let events = a
+            .grows
+            .iter()
+            .map(|&(round, count)| TimedFault {
+                t_ns: round * cfg.sample_interval_ns,
+                fault: FaultKind::WorkerAdd { count },
+            })
+            .collect();
+        let plan = ChaosPlan::new(events);
+        streambal_sim::run_chaos(&cfg, policy.as_mut(), &plan, telemetry.as_ref(), None)?
     };
     println!(
         "policy {} delivered {} tuples in {:.1} simulated seconds \
@@ -113,11 +130,19 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
     }
 
     if let Some(path) = &a.csv {
+        // The region may have grown mid-run; size the columns to the
+        // widest round and zero-pad earlier (narrower) rows.
+        let width = result
+            .samples
+            .iter()
+            .map(|s| s.weights.len())
+            .max()
+            .unwrap_or(a.workers);
         let mut headers = vec!["t_s".to_owned()];
-        for j in 0..a.workers {
+        for j in 0..width {
             headers.push(format!("w{j}"));
         }
-        for j in 0..a.workers {
+        for j in 0..width {
             headers.push(format!("rate{j}"));
         }
         headers.push("delivered".to_owned());
@@ -125,7 +150,9 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
         for s in &result.samples {
             let mut row = vec![format!("{}", s.t_ns / SECOND_NS)];
             row.extend(s.weights.iter().map(u32::to_string));
+            row.extend((s.weights.len()..width).map(|_| "0".to_owned()));
             row.extend(s.rates.iter().map(|r| format!("{r:.4}")));
+            row.extend((s.rates.len()..width).map(|_| "0.0000".to_owned()));
             row.push(s.delivered.to_string());
             table.push_row(row);
         }
@@ -164,6 +191,7 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
 fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
     let mut failures = 0u64;
     let mut deaths = 0usize;
+    let mut growths = 0usize;
     let mut first_failure: Option<FuzzFailure> = None;
     for i in 0..a.rounds {
         let seed = a.seed.wrapping_add(i);
@@ -175,6 +203,11 @@ fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
             .events
             .iter()
             .filter(|e| matches!(e.fault, FaultKind::WorkerDeath { .. }))
+            .count();
+        growths += scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.fault, FaultKind::WorkerAdd { .. }))
             .count();
         let outcome = run_scenario(&scenario)?;
         if outcome.violations.is_empty() {
@@ -235,6 +268,15 @@ fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
         return Err(format!(
             "--require-death: none of the {} seed(s) generated a worker death, \
              so the membership (detach/re-attach) path was never exercised; \
+             pick a different --seed",
+            a.rounds
+        )
+        .into());
+    }
+    if a.require_growth && growths == 0 {
+        return Err(format!(
+            "--require-growth: none of the {} seed(s) generated a WorkerAdd, \
+             so the elastic growth path was never exercised; \
              pick a different --seed",
             a.rounds
         )

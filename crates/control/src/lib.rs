@@ -69,8 +69,10 @@ pub struct RoundSnapshot {
 /// time (the simulators) skip this trait and call [`ControlPlane::round`]
 /// directly.
 pub trait DataPlane {
-    /// Number of connections (the region's fixed width; membership changes
-    /// detach/attach slots within it).
+    /// Number of connections (the region's current width; membership
+    /// changes detach/attach slots within it, and
+    /// [`open_slot`](Self::open_slot) / [`close_slot`](Self::close_slot)
+    /// change the width itself).
     fn connections(&self) -> usize;
 
     /// Stable per-slot identifiers, used to label per-connection metrics.
@@ -89,12 +91,41 @@ pub trait DataPlane {
     /// blocking rates observed over the last `interval_ns` nanoseconds.
     fn sample(&mut self, interval_ns: u64, rates: &mut [f64]);
 
-    /// Installs freshly computed weights into the routing fabric.
+    /// Installs freshly computed weights into the routing fabric. The
+    /// vector's length is the balancer's current width; a growable fabric
+    /// must accept a length different from the one last installed (e.g. by
+    /// resizing its WRR scheduler in place).
     fn install_weights(&mut self, weights: &WeightVector);
 
     /// Tuples delivered downstream so far, for trace events. Defaults to 0.
     fn delivered(&self) -> u64 {
         0
+    }
+
+    /// The width this plane *wants* to have, polled once per round by
+    /// [`ControlPlane::run_threaded`]. When it exceeds
+    /// [`connections`](Self::connections) the loop opens the missing slots
+    /// and grows the balancer; when smaller, it closes tail slots and
+    /// shrinks. Defaults to the current width (fixed-size plane).
+    fn target_connections(&self) -> usize {
+        self.connections()
+    }
+
+    /// Opens one new connection slot at index
+    /// [`connections`](Self::connections) — spawn the channel, worker, and
+    /// whatever else the fabric needs — and returns `true` once the plane's
+    /// width includes it. The default returns `false`: the plane is
+    /// fixed-width and [`ControlPlane::grow`] fails cleanly.
+    fn open_slot(&mut self) -> bool {
+        false
+    }
+
+    /// Closes the highest-indexed connection slot (tear down its channel
+    /// and worker; the slot's weight is already zero when this is called)
+    /// and returns `true` once the plane's width excludes it. The default
+    /// returns `false`: the plane is fixed-width.
+    fn close_slot(&mut self) -> bool {
+        false
     }
 }
 
@@ -254,6 +285,75 @@ impl ControlPlane {
         self.lb.attach_connection(j)
     }
 
+    /// Grows the balancer by `added` slots (see [`LoadBalancer::grow`])
+    /// without touching any routing fabric — for planes with virtual time
+    /// that manage their own width and call [`round`](Self::round)
+    /// directly. Per-connection metric handles are rebound at the new
+    /// width on the next round. Returns the range of new slot indices.
+    pub fn grow_width(&mut self, added: usize) -> std::ops::Range<usize> {
+        let range = self.lb.grow(added);
+        self.metrics = None;
+        range
+    }
+
+    /// Shrinks the balancer by `removed` tail slots (see
+    /// [`LoadBalancer::shrink`]) without touching any routing fabric.
+    /// Returns the new width.
+    pub fn shrink_width(&mut self, removed: usize) -> usize {
+        let n = self.lb.shrink(removed);
+        self.metrics = None;
+        n
+    }
+
+    /// Grows the region by `added` slots end-to-end: opens each slot in the
+    /// routing fabric ([`DataPlane::open_slot`]), extends the balancer
+    /// ([`LoadBalancer::grow`] — new slots enter exploration-bounded), and
+    /// installs the extended weights. Returns how many slots were actually
+    /// opened (a fixed-width plane refuses and 0 is returned; a partial
+    /// refusal grows by the accepted prefix only).
+    pub fn grow<P: DataPlane + ?Sized>(&mut self, plane: &mut P, added: usize) -> usize {
+        let mut opened = 0;
+        for _ in 0..added {
+            if !plane.open_slot() {
+                break;
+            }
+            opened += 1;
+        }
+        if opened > 0 {
+            self.grow_width(opened);
+            self.bind_metrics(&plane.connection_ids());
+            plane.install_weights(self.lb.weights());
+        }
+        opened
+    }
+
+    /// Shrinks the region by `removed` tail slots end-to-end: shrinks the
+    /// balancer first (renormalizing any weight the tail held back over
+    /// the survivors), installs the truncated weights so the splitter
+    /// stops routing to the tail, then closes each fabric slot
+    /// ([`DataPlane::close_slot`]). Returns how many slots were closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `removed` is not below the current width, or if the tail
+    /// holds the only live connection (see [`LoadBalancer::shrink`]).
+    pub fn shrink<P: DataPlane + ?Sized>(&mut self, plane: &mut P, removed: usize) -> usize {
+        if removed == 0 {
+            return 0;
+        }
+        self.shrink_width(removed);
+        plane.install_weights(self.lb.weights());
+        let mut closed = 0;
+        for _ in 0..removed {
+            if !plane.close_slot() {
+                break;
+            }
+            closed += 1;
+        }
+        self.bind_metrics(&plane.connection_ids());
+        closed
+    }
+
     /// Runs one control round on the given per-connection blocking rates
     /// (`rates.len()` must equal the connection count) and returns the
     /// weights to install. Detached slots' rates are ignored; with
@@ -338,6 +438,12 @@ impl ControlPlane {
     /// run [`round`](Self::round), install the weights, and push a
     /// [`TraceEvent::Sample`] mirroring the round. Returns when `stop` is
     /// set.
+    ///
+    /// Once per round the loop reconciles the region width against
+    /// [`DataPlane::target_connections`]: a larger target opens the
+    /// missing slots ([`grow`](Self::grow)), a smaller one closes tail
+    /// slots ([`shrink`](Self::shrink)). Width changes allocate; the
+    /// steady state in between does not.
     pub fn run_threaded<P: DataPlane + ?Sized>(
         &mut self,
         plane: &mut P,
@@ -356,6 +462,17 @@ impl ControlPlane {
         let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
         while !stop.load(Ordering::Acquire) {
             thread::sleep(interval);
+            let target = plane.target_connections().max(1);
+            let current = self.lb.config().connections();
+            if target > current {
+                self.grow(plane, target - current);
+            } else if target < current {
+                self.shrink(plane, current - target);
+            }
+            let width = self.lb.config().connections();
+            if rates.len() != width {
+                rates.resize(width, 0.0);
+            }
             let elapsed = started.elapsed();
             plane.begin_round(elapsed);
             plane.sample(interval_ns, &mut rates);
@@ -458,6 +575,101 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, TraceEvent::ControllerRound { .. })));
+    }
+
+    #[test]
+    fn grow_width_extends_the_simplex_and_rounds_continue() {
+        let mut p = plane(2);
+        p.round(0, &[0.2, 0.1]);
+        let range = p.grow_width(2);
+        assert_eq!(range, 2..4);
+        let units = p.weights().units();
+        assert_eq!(units.len(), 4);
+        assert_eq!(units.iter().sum::<u32>(), 1000);
+        assert!(units[2] <= 10 && units[3] <= 10, "bounded entry: {units:?}");
+        // Rounds now take (and require) the wider rate slice.
+        p.round(1, &[0.1, 0.1, 0.0, 0.0]);
+        assert_eq!(p.weights().units().iter().sum::<u32>(), 1000);
+        assert_eq!(p.shrink_width(2), 2);
+        assert_eq!(p.weights().units().len(), 2);
+        assert_eq!(p.weights().units().iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn grow_against_a_fixed_width_plane_is_refused_cleanly() {
+        struct FixedPlane;
+        impl DataPlane for FixedPlane {
+            fn connections(&self) -> usize {
+                2
+            }
+            fn sample(&mut self, _interval_ns: u64, rates: &mut [f64]) {
+                rates.fill(0.0);
+            }
+            fn install_weights(&mut self, _weights: &WeightVector) {}
+        }
+        let mut p = plane(2);
+        assert_eq!(p.grow(&mut FixedPlane, 3), 0, "default open_slot refuses");
+        assert_eq!(p.weights().units().len(), 2, "balancer untouched");
+    }
+
+    #[test]
+    fn run_threaded_reconciles_width_with_the_planes_target() {
+        struct GrowingPlane {
+            rates: Vec<f64>,
+            target: Arc<std::sync::atomic::AtomicUsize>,
+            installed: Arc<std::sync::Mutex<Vec<u32>>>,
+        }
+        impl DataPlane for GrowingPlane {
+            fn connections(&self) -> usize {
+                self.rates.len()
+            }
+            fn target_connections(&self) -> usize {
+                self.target.load(Ordering::Acquire)
+            }
+            fn open_slot(&mut self) -> bool {
+                self.rates.push(0.0);
+                true
+            }
+            fn close_slot(&mut self) -> bool {
+                if self.rates.len() > 1 {
+                    self.rates.pop();
+                    true
+                } else {
+                    false
+                }
+            }
+            fn sample(&mut self, _interval_ns: u64, rates: &mut [f64]) {
+                rates.copy_from_slice(&self.rates);
+            }
+            fn install_weights(&mut self, weights: &WeightVector) {
+                *self.installed.lock().unwrap() = weights.units().to_vec();
+            }
+        }
+        let installed = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let target = Arc::new(std::sync::atomic::AtomicUsize::new(2));
+        let mut dp = GrowingPlane {
+            rates: vec![0.0, 0.0],
+            target: Arc::clone(&target),
+            installed: Arc::clone(&installed),
+        };
+        let mut p = plane(2);
+        let stop = AtomicBool::new(false);
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                p.run_threaded(&mut dp, Duration::from_millis(5), &stop, started);
+            });
+            thread::sleep(Duration::from_millis(30));
+            target.store(4, Ordering::Release);
+            thread::sleep(Duration::from_millis(60));
+            stop.store(true, Ordering::Release);
+            handle.join().unwrap();
+        });
+        let w = installed.lock().unwrap().clone();
+        assert_eq!(w.len(), 4, "region grew to the target width: {w:?}");
+        assert_eq!(w.iter().map(|&u| u64::from(u)).sum::<u64>(), 1000);
+        assert_eq!(p.balancer().config().connections(), 4);
+        assert!(p.balancer().is_attached(2) && p.balancer().is_attached(3));
     }
 
     #[test]

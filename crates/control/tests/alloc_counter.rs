@@ -51,8 +51,9 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 const N: usize = 64;
 
 fn warm(plane: &mut ControlPlane, rates: &mut [f64], rounds: u32, from: u32) {
+    let n = rates.len();
     for round in 0..rounds {
-        let j = (round as usize * 7) % N;
+        let j = (round as usize * 7) % n;
         rates.fill(0.0);
         if plane.balancer().is_attached(j) {
             rates[j] = 0.05 + 0.3 * f64::from(round % 10) / 10.0;
@@ -105,6 +106,23 @@ fn steady_state_rounds_allocate_nothing_through_the_control_plane() {
     warm(&mut plane, &mut rates, 200, 300);
     rates.fill(0.0);
     measure_zero(&mut plane, &rates, "after re-attach");
+
+    // Growth rebuilds the solver scratch wholesale and may allocate as much
+    // as it likes in the act — but the very next steady state, at the wider
+    // width, must be allocation-free again.
+    let range = plane.grow_width(8);
+    assert_eq!(range, N..N + 8);
+    rates.resize(N + 8, 0.0);
+    warm(&mut plane, &mut rates, 200, 500);
+    rates.fill(0.0);
+    measure_zero(&mut plane, &rates, "after grow");
+
+    // And the same after shrinking back to the original width.
+    plane.shrink_width(8);
+    rates.truncate(N);
+    warm(&mut plane, &mut rates, 200, 700);
+    rates.fill(0.0);
+    measure_zero(&mut plane, &rates, "after shrink");
 
     // The plane still functions after the measured windows.
     rates[0] = 0.9;

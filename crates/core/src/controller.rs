@@ -648,7 +648,7 @@ impl LoadBalancer {
         );
         self.attached[j] = false;
         self.retire_slot(j);
-        self.renormalize_membership(None);
+        self.renormalize_membership(&[]);
         if let Some(trace) = &self.trace {
             trace.push(TraceEvent::Custom {
                 name: "membership.detach".to_owned(),
@@ -683,7 +683,7 @@ impl LoadBalancer {
         }
         self.attached[j] = true;
         self.retire_slot(j);
-        self.renormalize_membership(Some(j));
+        self.renormalize_membership(&[j]);
         if let Some(trace) = &self.trace {
             trace.push(TraceEvent::Custom {
                 name: "membership.attach".to_owned(),
@@ -705,14 +705,165 @@ impl LoadBalancer {
         self.pending_rates[j] = 0.0;
     }
 
+    /// Grows the region by `added` fresh connection slots beyond its
+    /// current width, returning the index range of the new slots.
+    ///
+    /// Unlike [`attach_connection`](Self::attach_connection), which
+    /// re-admits a slot that existed at construction, this extends the
+    /// weight simplex, the blocking-rate function table, the solver bounds
+    /// and the clustering state to `N + added` slots. Each new slot then
+    /// enters through the same exploration-bounded attach path a returning
+    /// member uses: it starts with at most
+    /// [`exploration_step`](BalancerConfigBuilder::exploration_step) units
+    /// and earns its share round by round. Growing past the clustering
+    /// threshold (when configured) activates the clustered solve exactly as
+    /// if the region had been built that wide.
+    ///
+    /// Growth is a topology change and may allocate (the per-round scratch
+    /// is re-laid-out for the new width); the steady-state rounds that
+    /// follow are allocation-free again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `added == 0` or the configured resolution cannot cover the
+    /// new width (`R < N + added`).
+    pub fn grow(&mut self, added: usize) -> std::ops::Range<usize> {
+        assert!(added > 0, "grow needs at least one new slot");
+        let old_n = self.cfg.connections;
+        let new_n = old_n + added;
+        assert!(
+            self.cfg.resolution as usize >= new_n,
+            "resolution {} cannot cover {new_n} connections",
+            self.cfg.resolution
+        );
+        self.cfg.connections = new_n;
+        self.functions.resize_with(new_n, || {
+            BlockingRateFunction::new(self.cfg.resolution, self.cfg.smoothing)
+        });
+        self.pending_rates.resize(new_n, 0.0);
+        // New slots are born detached at weight 0: extending the unit
+        // vector with zeros preserves the Σw = R simplex exactly.
+        self.attached.resize(new_n, false);
+        let mut units = std::mem::take(&mut self.scratch.units_tmp);
+        units.clear();
+        units.extend_from_slice(self.weights.units());
+        units.resize(new_n, 0);
+        self.weights
+            .copy_from_units(&units)
+            .expect("zero-extending the units preserves the simplex");
+        self.scratch.units_tmp = units;
+        self.rebuild_scratch();
+        self.last_clusters = None;
+        if let Some(trace) = &self.trace {
+            trace.push(TraceEvent::Custom {
+                name: "membership.grow".to_owned(),
+                fields: vec![
+                    ("from".to_owned(), old_n as f64),
+                    ("to".to_owned(), new_n as f64),
+                    ("round".to_owned(), self.round as f64),
+                ],
+            });
+        }
+        // Batch admission through the attach path: every new slot becomes
+        // a member at once, and a single renormalization caps the whole
+        // batch at the exploration step (attaching one by one would let an
+        // earlier newcomer's clean fresh function soak up a full share when
+        // a later sibling's renormalization runs).
+        let newcomers: Vec<usize> = (old_n..new_n).collect();
+        for &j in &newcomers {
+            self.attached[j] = true;
+            self.retire_slot(j);
+        }
+        self.renormalize_membership(&newcomers);
+        if let Some(trace) = &self.trace {
+            for &j in &newcomers {
+                trace.push(TraceEvent::Custom {
+                    name: "membership.attach".to_owned(),
+                    fields: vec![
+                        ("connection".to_owned(), j as f64),
+                        ("round".to_owned(), self.round as f64),
+                    ],
+                });
+            }
+        }
+        old_n..new_n
+    }
+
+    /// Shrinks the region by removing its last `removed` connection slots,
+    /// returning the new width.
+    ///
+    /// Tail slots still attached are first detached (their weight is
+    /// renormalized back to the survivors through the solver), then the
+    /// function table, membership flags and weight simplex are truncated —
+    /// the truncated units are all zero, so Σw = R holds across the resize.
+    /// Only tail slots can be removed: interior slots keep their index for
+    /// the life of the region (detach them instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `removed == 0`, if `removed >= N`, or if the removal would
+    /// detach the last attached connection.
+    pub fn shrink(&mut self, removed: usize) -> usize {
+        assert!(removed > 0, "shrink needs at least one slot to remove");
+        let old_n = self.cfg.connections;
+        assert!(
+            removed < old_n,
+            "cannot shrink {old_n} connections by {removed}"
+        );
+        let new_n = old_n - removed;
+        for j in new_n..old_n {
+            if self.attached[j] {
+                self.detach_connection(j);
+            }
+        }
+        self.cfg.connections = new_n;
+        self.functions.truncate(new_n);
+        self.pending_rates.truncate(new_n);
+        self.attached.truncate(new_n);
+        let mut units = std::mem::take(&mut self.scratch.units_tmp);
+        units.clear();
+        units.extend_from_slice(&self.weights.units()[..new_n]);
+        self.weights
+            .copy_from_units(&units)
+            .expect("detached tail slots held zero units");
+        self.scratch.units_tmp = units;
+        self.rebuild_scratch();
+        self.last_clusters = None;
+        if let Some(trace) = &self.trace {
+            trace.push(TraceEvent::Custom {
+                name: "membership.shrink".to_owned(),
+                fields: vec![
+                    ("from".to_owned(), old_n as f64),
+                    ("to".to_owned(), new_n as f64),
+                    ("round".to_owned(), self.round as f64),
+                ],
+            });
+        }
+        new_n
+    }
+
+    /// Re-lays-out the per-round scratch for the current width, keeping the
+    /// recycled trace vectors (a topology change is the one place the
+    /// balancer is allowed to allocate).
+    fn rebuild_scratch(&mut self) {
+        let spare_rates = std::mem::take(&mut self.scratch.spare_rates);
+        let spare_units = std::mem::take(&mut self.scratch.spare_units);
+        self.scratch = RoundScratch::new(&self.cfg, &mut self.functions);
+        self.scratch.spare_rates = spare_rates;
+        self.scratch.spare_units = spare_units;
+    }
+
     /// Re-solves the allocation right after a membership change: detached
     /// slots are pinned at `[0, 0]`, attached slots may take anything up to
     /// `R` (the freed capacity has to go *somewhere*, so the per-round
-    /// step limits do not apply here), and a just-attached slot `a` is
-    /// capped at the exploration step. With no observations yet the even
-    /// split over the attached slots is installed instead, mirroring
-    /// [`rebalance`](Self::rebalance)'s no-data behaviour.
-    fn renormalize_membership(&mut self, attach: Option<usize>) {
+    /// step limits do not apply here), and just-attached newcomers are
+    /// capped at the exploration step — `capped` lists them; a single
+    /// attach passes one slot, a [`grow`](Self::grow) passes every new slot
+    /// so none of the batch can soak up a full share before earning it.
+    /// With no observations yet the even split over the attached slots is
+    /// installed instead, mirroring [`rebalance`](Self::rebalance)'s
+    /// no-data behaviour.
+    fn renormalize_membership(&mut self, capped: &[usize]) {
         let n = self.cfg.connections;
         let r = self.cfg.resolution;
         let step = self.cfg.exploration_step;
@@ -738,7 +889,7 @@ impl LoadBalancer {
                 .map(|j| {
                     if !self.attached[j] {
                         0
-                    } else if attach == Some(j) {
+                    } else if capped.contains(&j) {
                         step.min(r)
                     } else {
                         r
@@ -765,20 +916,21 @@ impl LoadBalancer {
                     idx += 1;
                 }
             }
-            if let Some(a) = attach {
-                // Exploration-bounded admission: trim the newcomer to the
-                // step and hand the trimmed units back to the incumbents.
+            // Exploration-bounded admission: trim each newcomer to the
+            // step and hand the trimmed units back to the incumbents.
+            let mut excess = 0u32;
+            for &a in capped {
                 let cap = step.min(units[a]);
-                let excess = units[a] - cap;
+                excess += units[a] - cap;
                 units[a] = cap;
-                let others = live - 1;
-                if others > 0 && excess > 0 {
-                    let (per, mut extra) = (excess / others, excess % others);
-                    for (j, u) in units.iter_mut().enumerate() {
-                        if self.attached[j] && j != a {
-                            *u += per + u32::from(extra > 0);
-                            extra = extra.saturating_sub(1);
-                        }
+            }
+            let others = live - capped.len() as u32;
+            if others > 0 && excess > 0 {
+                let (per, mut extra) = (excess / others, excess % others);
+                for (j, u) in units.iter_mut().enumerate() {
+                    if self.attached[j] && !capped.contains(&j) {
+                        *u += per + u32::from(extra > 0);
+                        extra = extra.saturating_sub(1);
                     }
                 }
             }
@@ -1673,6 +1825,129 @@ mod tests {
         assert!(clusters.members.iter().flatten().all(|&m| m != 32));
         lb.check_invariants()
             .expect("clustered round with a detached slot stays on the simplex");
+    }
+
+    #[test]
+    fn grow_extends_the_simplex_and_admits_bounded_newcomers() {
+        let mut lb = balancer(4);
+        for _ in 0..3 {
+            lb.observe(&[
+                ConnectionSample::new(0, 0.4),
+                ConnectionSample::new(1, 0.0),
+                ConnectionSample::new(2, 0.0),
+                ConnectionSample::new(3, 0.0),
+            ]);
+            lb.rebalance();
+        }
+        let range = lb.grow(2);
+        assert_eq!(range, 4..6);
+        assert_eq!(lb.config().connections(), 6);
+        assert_eq!(lb.weights().len(), 6);
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        assert_eq!(lb.live_connections(), 6);
+        for j in range {
+            assert!(lb.is_attached(j));
+            assert!(
+                lb.weights().units()[j] <= 10,
+                "new slot {j} must enter exploration-bounded, got {}",
+                lb.weights().units()[j]
+            );
+        }
+        lb.check_invariants().expect("healthy after grow");
+        // The grown region keeps balancing: new slots earn a real share.
+        for _ in 0..120 {
+            for j in 0..6 {
+                lb.observe(&[ConnectionSample::new(j, 0.0)]);
+            }
+            lb.rebalance();
+            lb.check_invariants().expect("healthy rounds after grow");
+        }
+        assert!(
+            lb.weights().units()[4] > 50,
+            "grown slot stuck at {}",
+            lb.weights().units()[4]
+        );
+    }
+
+    #[test]
+    fn shrink_truncates_detached_tail_slots() {
+        let mut lb = balancer(3);
+        lb.observe(&[ConnectionSample::new(0, 0.2)]);
+        lb.rebalance();
+        let range = lb.grow(3);
+        assert_eq!(range, 3..6);
+        // Shrink the two newest slots away again; one is still attached
+        // and must be detached (weight renormalized back) on the way out.
+        assert!(lb.detach_connection(5));
+        assert_eq!(lb.shrink(2), 4);
+        assert_eq!(lb.config().connections(), 4);
+        assert_eq!(lb.weights().len(), 4);
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        assert_eq!(lb.live_connections(), 4);
+        lb.check_invariants().expect("healthy after shrink");
+        lb.observe(&[ConnectionSample::new(3, 0.1)]);
+        lb.rebalance();
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn grow_crosses_the_clustering_threshold() {
+        // Built at 30 (below the >=32 knee) with clustering configured:
+        // the plain solve runs. Growing to 34 must activate the clustered
+        // path exactly as if the region had been built that wide.
+        let cfg = BalancerConfig::builder(30)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        let feed = |lb: &mut LoadBalancer| {
+            let n = lb.config().connections();
+            for j in 0..n {
+                if lb.is_attached(j) {
+                    let rate = if j < 8 { 0.8 } else { 0.0 };
+                    lb.observe(&[ConnectionSample::new(j, rate)]);
+                }
+            }
+        };
+        feed(&mut lb);
+        lb.rebalance();
+        assert!(lb.last_clusters().is_none(), "30 live: plain solve");
+
+        lb.grow(4);
+        assert_eq!(lb.live_connections(), 34);
+        feed(&mut lb);
+        lb.rebalance();
+        let clusters = lb.last_clusters().expect("34 live: clustering active");
+        assert_eq!(clusters.assignment.len(), 34);
+        assert!(clusters.assignment.iter().all(|&c| c != usize::MAX));
+        assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+        lb.check_invariants()
+            .expect("clustered grown region healthy");
+
+        // And shrinking back below the knee returns to the plain solve.
+        for j in 30..34 {
+            if lb.live_connections() > 1 {
+                lb.detach_connection(j);
+            }
+        }
+        lb.shrink(4);
+        feed(&mut lb);
+        lb.rebalance();
+        assert!(lb.last_clusters().is_none(), "30 live again: plain solve");
+        lb.check_invariants()
+            .expect("healthy after shrink below knee");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one new slot")]
+    fn grow_zero_rejected() {
+        balancer(2).grow(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn shrink_to_zero_rejected() {
+        balancer(2).shrink(2);
     }
 
     #[test]

@@ -303,6 +303,53 @@ impl WrrScheduler {
         self.credit.iter_mut().for_each(|c| *c = 0);
     }
 
+    /// Resizes the scheduler in place to match `weights`, preserving the
+    /// accumulated smooth-WRR credit of every surviving connection.
+    ///
+    /// Growing appends the new connections with zero credit — they start
+    /// from the same neutral position a freshly reset scheduler would give
+    /// them, while the existing connections keep their interleaving phase
+    /// (unlike [`set_weights`](Self::set_weights), which resets all credit).
+    /// Shrinking truncates the tail; use it only after the removed
+    /// connections' weights have already been drained to zero.
+    pub fn resize(&mut self, weights: &WeightVector) {
+        let old_len = self.weights.len();
+        let new_len = weights.len();
+        self.weights.clear();
+        self.weights
+            .extend(weights.units().iter().map(|&u| i64::from(u)));
+        self.total = self.weights.iter().sum();
+        if new_len < old_len {
+            self.credit.truncate(new_len);
+        } else {
+            self.credit.resize(new_len, 0);
+        }
+    }
+
+    /// [`resize`](Self::resize) from raw units (the harness-level
+    /// counterpart of [`set_units`](Self::set_units)); the units need not
+    /// sum to a resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every unit is zero.
+    pub fn resize_units(&mut self, units: &[u32]) {
+        assert!(
+            units.iter().any(|&u| u > 0),
+            "at least one unit must be positive"
+        );
+        let old_len = self.weights.len();
+        let new_len = units.len();
+        self.weights.clear();
+        self.weights.extend(units.iter().map(|&u| i64::from(u)));
+        self.total = self.weights.iter().sum();
+        if new_len < old_len {
+            self.credit.truncate(new_len);
+        } else {
+            self.credit.resize(new_len, 0);
+        }
+    }
+
     /// Picks the next connection to route a tuple to.
     ///
     /// Connections with zero weight are never picked.
@@ -462,6 +509,62 @@ mod tests {
         let w = WeightVector::even(2, 1000);
         let mut wrr = WrrScheduler::new(&w);
         wrr.set_units(&[0, 0]);
+    }
+
+    #[test]
+    fn wrr_resize_grows_and_shrinks() {
+        let w = WeightVector::from_units(vec![600, 400], 1000).unwrap();
+        let mut wrr = WrrScheduler::new(&w);
+        for _ in 0..7 {
+            wrr.pick();
+        }
+        let grown = WeightVector::from_units(vec![500, 300, 200], 1000).unwrap();
+        wrr.resize(&grown);
+        assert_eq!(wrr.len(), 3);
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            counts[wrr.pick()] += 1;
+        }
+        assert_eq!(counts, [1500, 900, 600], "exact frequencies after grow");
+
+        let shrunk = WeightVector::from_units(vec![700, 300], 1000).unwrap();
+        wrr.resize(&shrunk);
+        assert_eq!(wrr.len(), 2);
+        let mut counts = [0u32; 2];
+        for _ in 0..1000 {
+            counts[wrr.pick()] += 1;
+        }
+        assert_eq!(counts, [700, 300], "exact frequencies after shrink");
+    }
+
+    #[test]
+    fn wrr_resize_preserves_surviving_credit() {
+        // Same weights, one scheduler resized mid-stream with an identical
+        // tail weight appended at zero: the surviving connections keep their
+        // relative phase, so the next pick is not biased toward slot 0 the
+        // way a full reset would be.
+        let w = WeightVector::from_units(vec![500, 500], 1000).unwrap();
+        let mut a = WrrScheduler::new(&w);
+        let mut b = WrrScheduler::new(&w);
+        let mut prefix = Vec::new();
+        for _ in 0..5 {
+            prefix.push(a.pick());
+            b.pick();
+        }
+        // Grow `a` with a zero-weight extra slot: picks must continue the
+        // same sequence as the untouched scheduler.
+        a.resize_units(&[500, 500, 0]);
+        for _ in 0..10 {
+            assert_eq!(a.pick(), b.pick(), "resize must not disturb survivors");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn wrr_resize_units_rejects_all_zero() {
+        let w = WeightVector::even(2, 1000);
+        let mut wrr = WrrScheduler::new(&w);
+        wrr.resize_units(&[0, 0, 0]);
     }
 
     #[test]

@@ -449,6 +449,133 @@ fn balancer_weights_always_sum_to_resolution() {
 }
 
 #[test]
+fn random_growth_churn_preserves_every_invariant() {
+    // A seeded storm of grow/shrink interleaved with detach/attach,
+    // observe and rebalance: after *every* operation the simplex holds,
+    // detached slots carry zero weight, newly grown slots enter
+    // exploration-bounded, and the full invariant check passes.
+    let mut rng = SplitMix64::new(0x6120_57C4);
+    for case in 0..32 {
+        let n0 = rng.range_usize(2, 12);
+        let mut lb = LoadBalancer::new(BalancerConfig::builder(n0).build().unwrap());
+        for _ in 0..rng.range_usize(20, 60) {
+            let n = lb.config().connections();
+            let op = rng.below(6);
+            match op {
+                0 if n < 48 => {
+                    let added = rng.range_usize(1, 3);
+                    let range = lb.grow(added);
+                    assert_eq!(range.len(), added);
+                    for j in range {
+                        assert!(lb.is_attached(j));
+                        assert!(
+                            lb.weights().units()[j] <= 10,
+                            "case {case}: grown slot {j} over-admitted with {}",
+                            lb.weights().units()[j]
+                        );
+                    }
+                }
+                1 if n > 2 => {
+                    // Shrinking may only panic-free remove tail slots while
+                    // at least one live member survives; guard like a real
+                    // control plane would.
+                    let removed = rng.range_usize(1, (n - 1).min(3));
+                    let live_outside_tail = (0..n - removed).filter(|&j| lb.is_attached(j)).count();
+                    if live_outside_tail >= 1 {
+                        assert_eq!(lb.shrink(removed), n - removed);
+                    }
+                }
+                2 => {
+                    let j = rng.range_usize(0, n - 1);
+                    if lb.is_attached(j) && lb.live_connections() > 1 {
+                        assert!(lb.detach_connection(j));
+                    }
+                }
+                3 => {
+                    let j = rng.range_usize(0, n - 1);
+                    if !lb.is_attached(j) {
+                        assert!(lb.attach_connection(j));
+                    }
+                }
+                _ => {
+                    let j = rng.range_usize(0, n - 1);
+                    if lb.is_attached(j) {
+                        lb.observe(&[ConnectionSample::new(j, rng.frange(0.0, 1.5))]);
+                    }
+                    lb.rebalance();
+                }
+            }
+            assert_eq!(
+                lb.weights().units().iter().sum::<u32>(),
+                1000,
+                "case {case}: weights left the simplex after op {op}"
+            );
+            assert_eq!(lb.weights().len(), lb.config().connections());
+            for (slot, &w) in lb.weights().units().iter().enumerate() {
+                assert!(
+                    lb.is_attached(slot) || w == 0,
+                    "case {case}: detached slot {slot} holds weight {w}"
+                );
+            }
+            lb.check_invariants()
+                .expect("growth churn broke an invariant");
+        }
+        assert!(lb.live_connections() >= 1, "case {case}: region emptied");
+    }
+}
+
+#[test]
+fn wrr_resize_is_frequency_exact_vs_a_fresh_scheduler() {
+    // After any seeded sequence of picks and resizes, a resized scheduler
+    // must deliver the same exact long-run frequencies as a scheduler
+    // freshly built from the final weights: over any window of `total`
+    // picks, connection j is chosen exactly units[j] times.
+    let mut rng = SplitMix64::new(0x6120_57C5);
+    for _ in 0..CASES {
+        let n0 = rng.range_usize(2, 6);
+        let mut units: Vec<u32> = (0..n0).map(|_| rng.range_u32(1, 30)).collect();
+        let total: u32 = units.iter().sum();
+        let w = WeightVector::from_units(units.clone(), total).unwrap();
+        let mut wrr = WrrScheduler::new(&w);
+        for _ in 0..rng.range_usize(1, 5) {
+            // Random warm-up picks, then a resize (grow or shrink).
+            for _ in 0..rng.range_usize(0, 20) {
+                wrr.pick();
+            }
+            if rng.chance(0.6) || units.len() <= 2 {
+                for _ in 0..rng.range_usize(1, 3) {
+                    units.push(rng.range_u32(1, 30));
+                }
+            } else {
+                units.truncate(rng.range_usize(2, units.len() - 1).max(2));
+            }
+            wrr.resize_units(&units);
+            assert_eq!(wrr.len(), units.len());
+        }
+        let total: u32 = units.iter().sum();
+        let mut counts = vec![0u32; units.len()];
+        // Drain one full cycle to absorb residual credit phase, then
+        // measure a whole window.
+        for _ in 0..total {
+            wrr.pick();
+        }
+        for _ in 0..total {
+            counts[wrr.pick()] += 1;
+        }
+        let max_dev = counts
+            .iter()
+            .zip(&units)
+            .map(|(&c, &u)| c.abs_diff(u))
+            .max()
+            .unwrap();
+        assert!(
+            max_dev <= 1,
+            "resized scheduler drifted from exact frequencies: {counts:?} vs {units:?}"
+        );
+    }
+}
+
+#[test]
 fn random_membership_churn_preserves_every_invariant() {
     // A seeded storm of attach/detach/observe/rebalance: after *every*
     // operation the simplex holds (weights sum to R), detached slots carry

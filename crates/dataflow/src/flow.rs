@@ -294,7 +294,7 @@ impl<T: Send + 'static> Flow<T> {
     pub fn parallel<U, F, Op>(mut self, cfg: ParallelConfig, factory: F) -> Flow<U>
     where
         U: Send + 'static,
-        F: Fn() -> Op,
+        F: Fn() -> Op + Send + 'static,
         Op: FnMut(T) -> U + Send + 'static,
     {
         let (tx, rx_next) = bounded(self.capacity);
@@ -352,10 +352,22 @@ impl<T: Send + 'static> Flow<T> {
                 }
                 Link::Region(r) => {
                     let sp = r.spawned;
+                    // Elastic shutdown order: the controller's slot opener
+                    // holds sender/merge clones, so it must be stopped and
+                    // joined before the shared sender list is cleared —
+                    // only then can the workers drain out and the merger
+                    // see its channel close.
                     sp.splitter.join().map_err(|_| FlowError::StagePanicked {
                         stage: "splitter".into(),
                     })?;
-                    for w in sp.workers {
+                    sp.stop.store(true, Ordering::Release);
+                    let trace = sp.controller.join().map_err(|_| FlowError::StagePanicked {
+                        stage: "controller".into(),
+                    })?;
+                    (sp.disconnect)();
+                    let workers =
+                        std::mem::take(&mut *sp.workers.lock().unwrap_or_else(|e| e.into_inner()));
+                    for w in workers {
                         w.join().map_err(|_| FlowError::StagePanicked {
                             stage: "worker".into(),
                         })?;
@@ -363,13 +375,10 @@ impl<T: Send + 'static> Flow<T> {
                     sp.merger.join().map_err(|_| FlowError::StagePanicked {
                         stage: "merger".into(),
                     })?;
-                    let trace = sp.controller.join().map_err(|_| FlowError::StagePanicked {
-                        stage: "controller".into(),
-                    })?;
                     stages.push(StageStats {
                         name: format!(
                             "parallel[{}]",
-                            trace.first().map(|t| t.weights.len()).unwrap_or(0)
+                            trace.last().map(|t| t.weights.len()).unwrap_or(0)
                         ),
                         consumed: sp.counters.split_in.load(Ordering::Relaxed),
                         emitted: sp.counters.merged_out.load(Ordering::Relaxed),
@@ -470,6 +479,72 @@ mod tests {
             assert_eq!(v, i as u64 * 3, "sequential semantics violated at {i}");
         }
         assert_eq!(report.regions.len(), 1);
+    }
+
+    #[test]
+    fn parallel_region_grows_mid_run_in_order() {
+        // Start at 2 replicas, grow to 4 mid-run: fresh operator instances
+        // and channels come up live, yet sequential semantics must hold for
+        // every tuple and the final control round must cover all 4 slots.
+        let cfg = ParallelConfig::new(2)
+            .channel_capacity(16)
+            .sample_interval(std::time::Duration::from_millis(10))
+            .grow_after(std::time::Duration::from_millis(30), 2);
+        let (items, report) = source(RangeSource::new(0..40_000))
+            .parallel(cfg, || {
+                |x: u64| {
+                    let mut acc = x;
+                    for _ in 0..5_000u32 {
+                        acc = acc
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                    }
+                    std::hint::black_box(acc);
+                    x * 3
+                }
+            })
+            .collect()
+            .unwrap();
+        assert_eq!(items.len(), 40_000);
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i as u64 * 3, "sequential semantics violated at {i}");
+        }
+        let trace = &report.regions[0];
+        let last = trace.last().expect("controller recorded rounds");
+        assert_eq!(last.weights.len(), 4, "region should end at width 4");
+        assert_eq!(last.weights.iter().sum::<u32>(), 1_000);
+    }
+
+    #[test]
+    fn parallel_region_shrinks_mid_run_in_order() {
+        let cfg = ParallelConfig::new(4)
+            .channel_capacity(16)
+            .sample_interval(std::time::Duration::from_millis(10))
+            .shrink_after(std::time::Duration::from_millis(30), 2);
+        let (items, report) = source(RangeSource::new(0..30_000))
+            .parallel(cfg, || {
+                |x: u64| {
+                    let mut acc = x;
+                    for _ in 0..5_000u32 {
+                        acc = acc
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                    }
+                    std::hint::black_box(acc);
+                    x + 7
+                }
+            })
+            .collect()
+            .unwrap();
+        assert_eq!(items.len(), 30_000);
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i as u64 + 7, "sequential semantics violated at {i}");
+        }
+        let last = report.regions[0]
+            .last()
+            .expect("controller recorded rounds");
+        assert_eq!(last.weights.len(), 2, "region should end at width 2");
+        assert_eq!(last.weights.iter().sum::<u32>(), 1_000);
     }
 
     #[test]

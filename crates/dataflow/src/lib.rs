@@ -49,7 +49,5 @@ mod window;
 
 pub use flow::{source, Flow, FlowError};
 pub use region::ParallelConfig;
-#[allow(deprecated)]
-pub use report::RegionTrace;
 pub use report::{FlowReport, RoundSnapshot, StageStats};
 pub use source::{IterSource, RangeSource, Source};

@@ -32,6 +32,16 @@ pub struct ParallelConfig {
     channel_capacity: usize,
     sample_interval: Duration,
     telemetry: Option<Telemetry>,
+    width_steps: Vec<WidthStep>,
+}
+
+/// A scheduled width change: at `after` into the run the region's target
+/// width grows or shrinks by `count` replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WidthStep {
+    after: Duration,
+    grow: bool,
+    count: usize,
 }
 
 impl ParallelConfig {
@@ -50,6 +60,7 @@ impl ParallelConfig {
             channel_capacity: 64,
             sample_interval: Duration::from_millis(50),
             telemetry: None,
+            width_steps: Vec::new(),
         }
     }
 
@@ -95,6 +106,31 @@ impl ParallelConfig {
         self.telemetry = Some(telemetry.clone());
         self
     }
+
+    /// Schedules live growth: at `after` into the run, `count` fresh
+    /// replicas (operator instances on their own threads and channels)
+    /// join the region and the balancer re-solves at the wider width.
+    pub fn grow_after(mut self, after: Duration, count: usize) -> Self {
+        self.width_steps.push(WidthStep {
+            after,
+            grow: true,
+            count,
+        });
+        self
+    }
+
+    /// Schedules live shrink: at `after` into the run, the `count`
+    /// highest-numbered replicas are retired. Their queued tuples drain in
+    /// order before the threads exit; the region never drops below one
+    /// replica.
+    pub fn shrink_after(mut self, after: Duration, count: usize) -> Self {
+        self.width_steps.push(WidthStep {
+            after,
+            grow: false,
+            count,
+        });
+        self
+    }
 }
 
 /// Aggregated stage counters shared by the region's threads.
@@ -105,27 +141,93 @@ pub(crate) struct RegionCounters {
 }
 
 /// Everything `Flow::parallel` spawns; joined by the terminal stage.
+///
+/// Shutdown order matters for elastic regions: join `splitter`, set
+/// `stop`, join `controller` (it may hold sender clones through its slot
+/// opener), call `disconnect` to drop every replica sender, then join
+/// `workers` and finally `merger`.
 pub(crate) struct SpawnedRegion {
     pub splitter: thread::JoinHandle<()>,
-    pub workers: Vec<thread::JoinHandle<()>>,
+    pub workers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     pub merger: thread::JoinHandle<()>,
     pub controller: thread::JoinHandle<Vec<RoundSnapshot>>,
     pub counters: Arc<RegionCounters>,
+    pub stop: Arc<AtomicBool>,
+    /// Drops every splitter→replica sender so the workers drain and exit
+    /// (type-erased: the senders carry the region's tuple type).
+    pub disconnect: Box<dyn FnOnce() + Send>,
 }
 
 /// The region's [`DataPlane`]: blocking rates from the replica
 /// connections' counters, weights into the splitter's mutex, delivered
 /// counts from the merger's stage counter.
+///
+/// When `opener`/`closer` are set the plane is *elastic*: scheduled
+/// [`WidthStep`]s move `target` and the control loop reconciles by
+/// opening fresh replicas (operator instance + channel + thread) or
+/// retiring the highest slot, whose queued tuples drain in order.
 struct ReplicaPlane {
     blocking: Vec<Arc<BlockingCounter>>,
     samplers: Vec<BlockingSampler>,
     weights: Arc<Mutex<WeightVector>>,
     counters: Arc<RegionCounters>,
+    target: usize,
+    steps: Vec<WidthStep>,
+    next_step: usize,
+    #[allow(clippy::type_complexity)]
+    opener: Option<Box<dyn FnMut(usize) -> Option<Arc<BlockingCounter>> + Send>>,
+    #[allow(clippy::type_complexity)]
+    closer: Option<Box<dyn FnMut(usize) -> bool + Send>>,
 }
 
 impl DataPlane for ReplicaPlane {
     fn connections(&self) -> usize {
         self.blocking.len()
+    }
+
+    fn target_connections(&self) -> usize {
+        self.target
+    }
+
+    fn begin_round(&mut self, elapsed: Duration) {
+        while self.next_step < self.steps.len() && self.steps[self.next_step].after <= elapsed {
+            let s = self.steps[self.next_step];
+            if s.grow {
+                self.target += s.count;
+            } else {
+                self.target = self.target.saturating_sub(s.count).max(1);
+            }
+            self.next_step += 1;
+        }
+    }
+
+    fn open_slot(&mut self) -> bool {
+        let j = self.blocking.len();
+        let Some(open) = self.opener.as_mut() else {
+            return false;
+        };
+        let Some(counter) = open(j) else {
+            return false;
+        };
+        self.blocking.push(counter);
+        self.samplers.push(BlockingSampler::new());
+        true
+    }
+
+    fn close_slot(&mut self) -> bool {
+        let j = self.blocking.len();
+        if j <= 1 {
+            return false;
+        }
+        let Some(close) = self.closer.as_mut() else {
+            return false;
+        };
+        if !close(j - 1) {
+            return false;
+        }
+        self.blocking.pop();
+        self.samplers.pop();
+        true
     }
 
     fn sample(&mut self, interval_ns: u64, rates: &mut [f64]) {
@@ -143,6 +245,34 @@ impl DataPlane for ReplicaPlane {
     }
 }
 
+/// Spawns one replica: receives sequenced tuples, applies `op`, forwards
+/// the sequenced results to the merger. Used both at region start and by
+/// the controller's slot opener when the region grows mid-run.
+fn spawn_replica<T, U, Op>(
+    rx: Receiver<(u64, T)>,
+    merge_tx: mpsc::Sender<(u64, U)>,
+    mut op: Op,
+    counters: Arc<RegionCounters>,
+) -> thread::JoinHandle<()>
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    Op: FnMut(T) -> U + Send + 'static,
+{
+    thread::Builder::new()
+        .name("streambal-df-worker".to_owned())
+        .spawn(move || {
+            while let Ok((seq, t)) = rx.recv() {
+                let u = op(t);
+                counters.worked.fetch_add(1, Ordering::Relaxed);
+                if merge_tx.send((seq, u)).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawning a worker thread succeeds")
+}
+
 /// Spawns an ordered parallel region reading `T` from `input`, applying a
 /// per-replica operator produced by `factory`, and writing `U` in input
 /// order into `output`.
@@ -155,7 +285,7 @@ pub(crate) fn spawn<T, U, F, Op>(
 where
     T: Send + 'static,
     U: Send + 'static,
-    F: Fn() -> Op,
+    F: Fn() -> Op + Send + 'static,
     Op: FnMut(T) -> U + Send + 'static,
 {
     let n = cfg.replicas;
@@ -167,7 +297,8 @@ where
 
     // Replica connections (instrumented: the balancer reads their blocking
     // counters) and the shared worker -> merger channel (memory-bounded at
-    // the merger, per the paper's design).
+    // the merger, per the paper's design). The sender list is shared so the
+    // controller can open/close slots while the splitter routes.
     let mut conn_tx: Vec<Sender<(u64, T)>> = Vec::with_capacity(n);
     let mut conn_rx: Vec<Option<Receiver<(u64, T)>>> = Vec::with_capacity(n);
     for _ in 0..n {
@@ -181,6 +312,7 @@ where
             s.instrument(t.registry(), &format!("replica{j}"));
         }
     }
+    let blocking: Vec<_> = conn_tx.iter().map(Sender::blocking_counter).collect();
 
     let weights = Arc::new(Mutex::new(WeightVector::even(
         n,
@@ -189,62 +321,68 @@ where
     let stop = Arc::new(AtomicBool::new(false));
 
     // Workers.
-    let mut workers = Vec::with_capacity(n);
+    let workers = Arc::new(Mutex::new(Vec::with_capacity(n)));
     for rx_slot in conn_rx.iter_mut() {
         let rx = rx_slot.take().expect("each receiver taken once");
-        let merge_tx = merge_tx.clone();
-        let mut op = factory();
-        let counters = Arc::clone(&counters);
-        workers.push(
-            thread::Builder::new()
-                .name("streambal-df-worker".to_owned())
-                .spawn(move || {
-                    while let Ok((seq, t)) = rx.recv() {
-                        let u = op(t);
-                        counters.worked.fetch_add(1, Ordering::Relaxed);
-                        if merge_tx.send((seq, u)).is_err() {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawning a worker thread succeeds"),
-        );
+        lock(&workers).push(spawn_replica(
+            rx,
+            merge_tx.clone(),
+            factory(),
+            Arc::clone(&counters),
+        ));
     }
-    drop(merge_tx);
+    let senders = Arc::new(Mutex::new(conn_tx));
 
     // Splitter.
     let splitter = {
         let weights = Arc::clone(&weights);
-        let senders = conn_tx.clone();
+        let senders = Arc::clone(&senders);
         let counters = Arc::clone(&counters);
+        let stop = Arc::clone(&stop);
         thread::Builder::new()
             .name("streambal-df-splitter".to_owned())
             .spawn(move || {
                 let mut current = lock(&weights).clone();
                 let mut wrr = WrrScheduler::new(&current);
+                let mut txs: Vec<Sender<(u64, T)>> = lock(&senders).clone();
                 let mut seq = 0u64;
                 while let Ok(t) = input.recv() {
                     {
                         let w = lock(&weights);
                         if *w != current {
+                            if w.len() == current.len() {
+                                wrr.set_weights(&w);
+                            } else {
+                                wrr.resize(&w);
+                            }
                             current = w.clone();
-                            wrr.set_weights(&current);
                         }
+                    }
+                    // Grown slots are opened before the wider weights are
+                    // installed, so the shared list always covers `current`.
+                    if txs.len() != current.len() {
+                        txs = lock(&senders).clone();
                     }
                     let j = wrr.pick();
                     counters.split_in.fetch_add(1, Ordering::Relaxed);
-                    if senders[j].send_recording((seq, t)).is_err() {
-                        return;
+                    if txs[j].send_recording((seq, t)).is_err() {
+                        break;
                     }
                     seq += 1;
                 }
+                // Input is exhausted: begin the drain. Stopping under the
+                // senders lock keeps the controller's opener from racing a
+                // new slot past the clear; dropping the senders lets the
+                // replicas drain their queues in order and exit.
+                let mut shared = lock(&senders);
+                stop.store(true, Ordering::Release);
+                shared.clear();
             })
             .expect("spawning the splitter thread succeeds")
     };
 
     // Controller.
     let controller = {
-        let blocking: Vec<_> = conn_tx.iter().map(Sender::blocking_counter).collect();
         let weights = Arc::clone(&weights);
         let stop = Arc::clone(&stop);
         let interval = cfg.sample_interval;
@@ -252,7 +390,55 @@ where
         let mode = cfg.mode;
         let telemetry = cfg.telemetry.clone();
         let counters = Arc::clone(&counters);
+        let steps = cfg.width_steps.clone();
+        let capacity = cfg.channel_capacity;
         let started = Instant::now();
+
+        let opener: Box<dyn FnMut(usize) -> Option<Arc<BlockingCounter>> + Send> = {
+            let senders = Arc::clone(&senders);
+            let workers = Arc::clone(&workers);
+            let counters = Arc::clone(&counters);
+            let merge_tx = merge_tx.clone();
+            let telemetry = cfg.telemetry.clone();
+            let stop = Arc::clone(&stop);
+            Box::new(move |j| {
+                // Checked under the senders lock: once the splitter has
+                // started the drain (stop + clear), no new slot may open,
+                // or its replica would never see its channel close.
+                let mut txs = lock(&senders);
+                if stop.load(Ordering::Acquire) {
+                    return None;
+                }
+                let (tx, rx) = bounded(capacity);
+                if let Some(t) = &telemetry {
+                    tx.instrument(t.registry(), &format!("replica{j}"));
+                }
+                let counter = tx.blocking_counter();
+                lock(&workers).push(spawn_replica(
+                    rx,
+                    merge_tx.clone(),
+                    factory(),
+                    Arc::clone(&counters),
+                ));
+                txs.push(tx);
+                Some(counter)
+            })
+        };
+        let closer: Box<dyn FnMut(usize) -> bool + Send> = {
+            let senders = Arc::clone(&senders);
+            Box::new(move |_j| {
+                let mut txs = lock(&senders);
+                if txs.len() > 1 {
+                    // Dropping the sender lets the replica drain its queue
+                    // in order and exit; its handle is joined at shutdown.
+                    txs.pop();
+                    true
+                } else {
+                    false
+                }
+            })
+        };
+
         thread::Builder::new()
             .name("streambal-df-controller".to_owned())
             .spawn(move || {
@@ -276,6 +462,11 @@ where
                     samplers: vec![BlockingSampler::new(); n],
                     weights,
                     counters: Arc::clone(&counters),
+                    target: n,
+                    steps,
+                    next_step: 0,
+                    opener: Some(opener),
+                    closer: Some(closer),
                 };
                 plane.run_threaded(&mut dp, interval, &stop, started);
                 if let Some(t) = &telemetry {
@@ -291,7 +482,7 @@ where
             })
             .expect("spawning the controller thread succeeds")
     };
-    drop(conn_tx);
+    drop(merge_tx);
 
     // Merger: strict in-order release into the downstream channel.
     let merger = {
@@ -324,12 +515,19 @@ where
             .expect("spawning the merger thread succeeds")
     };
 
+    let disconnect: Box<dyn FnOnce() + Send> = {
+        let senders = Arc::clone(&senders);
+        Box::new(move || lock(&senders).clear())
+    };
+
     SpawnedRegion {
         splitter,
         workers,
         merger,
         controller,
         counters,
+        stop,
+        disconnect,
     }
 }
 

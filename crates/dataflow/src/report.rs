@@ -19,11 +19,6 @@ pub struct StageStats {
     pub upstream_blocked_ns: u64,
 }
 
-/// Former name of the per-round snapshot, now the shared
-/// [`RoundSnapshot`] from `streambal-control`.
-#[deprecated(note = "use `RoundSnapshot` (re-exported from `streambal-control`)")]
-pub type RegionTrace = RoundSnapshot;
-
 /// The outcome of a completed flow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowReport {

@@ -50,15 +50,26 @@ impl fmt::Display for RegionError {
 
 impl std::error::Error for RegionError {}
 
-/// Former name of the per-round snapshot, now the shared
-/// [`RoundSnapshot`] from `streambal-control`.
-#[deprecated(note = "use `RoundSnapshot` (re-exported from `streambal-control`)")]
-pub type ControlSnapshot = RoundSnapshot;
+/// A scheduled width change: at `after` into the run the region's target
+/// width grows or shrinks by `count` slots. Applied by the control loop's
+/// width reconciliation ([`streambal_control::ControlPlane::run_threaded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WidthStep {
+    pub(crate) after: Duration,
+    pub(crate) grow: bool,
+    pub(crate) count: usize,
+}
 
 /// The [`DataPlane`] both threaded regions hand to [`ControlPlane`]:
 /// blocking rates come from the transport senders' counters, weights are
 /// installed into the mutex the splitter polls, and scheduled external
 /// load changes apply at the top of each round.
+///
+/// When `opener`/`closer` are set the plane is *elastic*: scheduled
+/// [`WidthStep`]s move `target`, and the control loop reconciles by
+/// calling [`DataPlane::open_slot`] (spawn a real connection + worker
+/// thread) or [`DataPlane::close_slot`] (retire the highest slot; its
+/// queued tuples drain in order before the worker exits).
 pub(crate) struct CounterPlane {
     pub(crate) counters: Vec<Arc<BlockingCounter>>,
     pub(crate) samplers: Vec<BlockingSampler>,
@@ -66,11 +77,51 @@ pub(crate) struct CounterPlane {
     pub(crate) loads: Vec<Arc<AtomicU32>>,
     pub(crate) changes: Vec<LoadChange>,
     pub(crate) next_change: usize,
+    pub(crate) target: usize,
+    pub(crate) steps: Vec<WidthStep>,
+    pub(crate) next_step: usize,
+    /// Opens slot `j`: wire a fresh connection and worker, returning its
+    /// blocking counter. `None` on failure (growth is refused cleanly).
+    #[allow(clippy::type_complexity)]
+    pub(crate) opener: Option<Box<dyn FnMut(usize) -> Option<Arc<BlockingCounter>> + Send>>,
+    /// Closes slot `j` (always the current highest): drop its sender so
+    /// the worker drains and exits.
+    #[allow(clippy::type_complexity)]
+    pub(crate) closer: Option<Box<dyn FnMut(usize) -> bool + Send>>,
+}
+
+impl CounterPlane {
+    /// A fixed-width plane (no elasticity) over the given counters.
+    pub(crate) fn fixed(
+        counters: Vec<Arc<BlockingCounter>>,
+        weights: Arc<Mutex<WeightVector>>,
+        loads: Vec<Arc<AtomicU32>>,
+        changes: Vec<LoadChange>,
+    ) -> Self {
+        let n = counters.len();
+        CounterPlane {
+            samplers: vec![BlockingSampler::new(); n],
+            target: n,
+            counters,
+            weights,
+            loads,
+            changes,
+            next_change: 0,
+            steps: Vec::new(),
+            next_step: 0,
+            opener: None,
+            closer: None,
+        }
+    }
 }
 
 impl DataPlane for CounterPlane {
     fn connections(&self) -> usize {
         self.counters.len()
+    }
+
+    fn target_connections(&self) -> usize {
+        self.target
     }
 
     fn begin_round(&mut self, elapsed: Duration) {
@@ -81,6 +132,44 @@ impl DataPlane for CounterPlane {
             self.loads[c.worker].store((c.factor * LOAD_SCALE) as u32, Ordering::Relaxed);
             self.next_change += 1;
         }
+        while self.next_step < self.steps.len() && self.steps[self.next_step].after <= elapsed {
+            let s = self.steps[self.next_step];
+            if s.grow {
+                self.target += s.count;
+            } else {
+                self.target = self.target.saturating_sub(s.count).max(1);
+            }
+            self.next_step += 1;
+        }
+    }
+
+    fn open_slot(&mut self) -> bool {
+        let j = self.counters.len();
+        let Some(open) = self.opener.as_mut() else {
+            return false;
+        };
+        let Some(counter) = open(j) else {
+            return false;
+        };
+        self.counters.push(counter);
+        self.samplers.push(BlockingSampler::new());
+        true
+    }
+
+    fn close_slot(&mut self) -> bool {
+        let j = self.counters.len();
+        if j <= 1 {
+            return false;
+        }
+        let Some(close) = self.closer.as_mut() else {
+            return false;
+        };
+        if !close(j - 1) {
+            return false;
+        }
+        self.counters.pop();
+        self.samplers.pop();
+        true
     }
 
     fn sample(&mut self, interval_ns: u64, rates: &mut [f64]) {
@@ -92,6 +181,30 @@ impl DataPlane for CounterPlane {
     fn install_weights(&mut self, weights: &WeightVector) {
         *lock(&self.weights) = weights.clone();
     }
+}
+
+/// Spawns one worker thread: receive, spin the configured cost (scaled by
+/// the slot's live load factor), forward to the merger. Used both for the
+/// initial slots and for slots opened mid-run.
+fn spawn_channel_worker(
+    j: usize,
+    rx: Receiver<u64>,
+    merge_tx: mpsc::Sender<u64>,
+    load: Arc<AtomicU32>,
+    cost: u64,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("streambal-worker-{j}"))
+        .spawn(move || {
+            while let Ok(seq) = rx.recv() {
+                let factor = f64::from(load.load(Ordering::Relaxed)) / LOAD_SCALE;
+                spin_multiplies((cost as f64 * factor) as u64);
+                if merge_tx.send(seq).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawning a worker thread succeeds")
 }
 
 /// The outcome of a threaded region run.
@@ -146,6 +259,7 @@ pub struct RegionBuilder {
     sample_interval: Duration,
     initial_loads: Vec<f64>,
     load_changes: Vec<LoadChange>,
+    width_steps: Vec<WidthStep>,
     balancer_mode: BalancerMode,
     balancing: bool,
     reroute: bool,
@@ -162,6 +276,7 @@ impl RegionBuilder {
             sample_interval: Duration::from_millis(100),
             initial_loads: vec![1.0; workers],
             load_changes: Vec::new(),
+            width_steps: Vec::new(),
             balancer_mode: BalancerMode::default(),
             balancing: true,
             reroute: false,
@@ -205,6 +320,31 @@ impl RegionBuilder {
     /// Schedules an external-load change during the run.
     pub fn load_change(&mut self, change: LoadChange) -> &mut Self {
         self.load_changes.push(change);
+        self
+    }
+
+    /// Schedules live growth: at `after` into the run, `count` fresh
+    /// worker threads (with their own channels) join the region and the
+    /// balancer re-solves at the wider width.
+    pub fn grow_after(&mut self, after: Duration, count: usize) -> &mut Self {
+        self.width_steps.push(WidthStep {
+            after,
+            grow: true,
+            count,
+        });
+        self
+    }
+
+    /// Schedules live shrink: at `after` into the run, the `count`
+    /// highest-numbered slots are retired. Their queued tuples drain in
+    /// order before the workers exit; the region never drops below one
+    /// worker.
+    pub fn shrink_after(&mut self, after: Duration, count: usize) -> &mut Self {
+        self.width_steps.push(WidthStep {
+            after,
+            grow: false,
+            count,
+        });
         self
     }
 
@@ -255,17 +395,18 @@ impl RegionBuilder {
         // Connections: splitter -> worker (instrumented) and a shared
         // worker -> merger channel (the merger reorders in memory, so its
         // input does not need per-connection flow control — see the sim
-        // crate's merge-capacity discussion).
-        let mut senders: Vec<Sender<u64>> = Vec::with_capacity(n);
+        // crate's merge-capacity discussion). The sender list lives behind
+        // a mutex so the control loop can open and close slots mid-run.
+        let senders: Arc<Mutex<Vec<Sender<u64>>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
         let mut receivers: Vec<Option<Receiver<u64>>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = bounded(self.channel_capacity);
-            senders.push(tx);
+            lock(&senders).push(tx);
             receivers.push(Some(rx));
         }
         let (merge_tx, merge_rx) = mpsc::channel::<u64>();
         if let Some(t) = &self.telemetry {
-            for (j, s) in senders.iter().enumerate() {
+            for (j, s) in lock(&senders).iter().enumerate() {
                 s.instrument(t.registry(), &format!("conn{j}"));
             }
         }
@@ -282,33 +423,24 @@ impl RegionBuilder {
         let stop = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
 
-        // Worker threads.
-        let mut worker_handles = Vec::with_capacity(n);
+        // Worker threads. Slots opened mid-run push their handles here too.
+        let worker_handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(n)));
         for (j, rx_slot) in receivers.iter_mut().enumerate() {
             let rx = rx_slot.take().expect("receiver taken once");
-            let merge_tx = merge_tx.clone();
-            let load = Arc::clone(&loads[j]);
-            let cost = self.tuple_cost;
-            worker_handles.push(
-                thread::Builder::new()
-                    .name(format!("streambal-worker-{j}"))
-                    .spawn(move || {
-                        while let Ok(seq) = rx.recv() {
-                            let factor = f64::from(load.load(Ordering::Relaxed)) / LOAD_SCALE;
-                            spin_multiplies((cost as f64 * factor) as u64);
-                            if merge_tx.send(seq).is_err() {
-                                break;
-                            }
-                        }
-                    })
-                    .expect("spawning a worker thread succeeds"),
+            let handle = spawn_channel_worker(
+                j,
+                rx,
+                merge_tx.clone(),
+                Arc::clone(&loads[j]),
+                self.tuple_cost,
             );
+            lock(&worker_handles).push(handle);
         }
-        drop(merge_tx);
 
         // Splitter thread.
         let splitter_weights = Arc::clone(&weights);
-        let splitter_senders = senders.clone();
+        let shared_senders = Arc::clone(&senders);
         let reroute = self.reroute;
         let rerouted = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let rerouted_in = Arc::clone(&rerouted);
@@ -317,14 +449,25 @@ impl RegionBuilder {
             .spawn(move || {
                 let mut current = lock(&splitter_weights).clone();
                 let mut wrr = WrrScheduler::new(&current);
+                let mut splitter_senders: Vec<Sender<u64>> = lock(&shared_senders).clone();
                 'tuples: for seq in 0..total_tuples {
-                    // Pick up new weights between tuples.
+                    // Pick up new weights between tuples; a length change
+                    // means the region was resized, so refresh the sender
+                    // list too (slots are opened before the wider weights
+                    // land, and closed only after narrower ones did).
                     {
                         let w = lock(&splitter_weights);
                         if *w != current {
+                            if w.len() == current.len() {
+                                wrr.set_weights(&w);
+                            } else {
+                                wrr.resize(&w);
+                            }
                             current = w.clone();
-                            wrr.set_weights(&current);
                         }
+                    }
+                    if splitter_senders.len() != current.len() {
+                        splitter_senders = lock(&shared_senders).clone();
                     }
                     let j = wrr.pick();
                     if reroute {
@@ -358,9 +501,13 @@ impl RegionBuilder {
             .expect("spawning the splitter thread succeeds");
 
         // Controller thread: sample blocking rates, rebalance, apply
-        // scheduled load changes.
+        // scheduled load changes and width steps (opening/closing real
+        // slots through the plane's opener/closer).
         let controller = {
-            let counters: Vec<_> = senders.iter().map(Sender::blocking_counter).collect();
+            let counters: Vec<_> = lock(&senders)
+                .iter()
+                .map(Sender::blocking_counter)
+                .collect();
             let weights = Arc::clone(&weights);
             let stop = Arc::clone(&stop);
             let interval = self.sample_interval;
@@ -369,7 +516,42 @@ impl RegionBuilder {
             let loads: Vec<Arc<AtomicU32>> = loads.iter().map(Arc::clone).collect();
             let mut changes = self.load_changes.clone();
             changes.sort_by_key(|c| c.after);
+            let mut steps = self.width_steps.clone();
+            steps.sort_by_key(|s| s.after);
             let telemetry = self.telemetry.clone();
+            let opener = {
+                let senders = Arc::clone(&senders);
+                let handles = Arc::clone(&worker_handles);
+                let merge_tx = merge_tx.clone();
+                let capacity = self.channel_capacity;
+                let cost = self.tuple_cost;
+                let telemetry = self.telemetry.clone();
+                move |j: usize| {
+                    let (tx, rx) = bounded(capacity);
+                    if let Some(t) = &telemetry {
+                        tx.instrument(t.registry(), &format!("conn{j}"));
+                    }
+                    let load = Arc::new(AtomicU32::new(LOAD_SCALE as u32));
+                    let handle = spawn_channel_worker(j, rx, merge_tx.clone(), load, cost);
+                    let counter = tx.blocking_counter();
+                    lock(&handles).push(handle);
+                    lock(&senders).push(tx);
+                    Some(counter)
+                }
+            };
+            let closer = {
+                let senders = Arc::clone(&senders);
+                move |_j: usize| {
+                    let mut txs = lock(&senders);
+                    if txs.len() <= 1 {
+                        return false;
+                    }
+                    // Dropping the sender closes the channel; the worker
+                    // drains its queue in order and exits.
+                    txs.pop();
+                    true
+                }
+            };
             thread::Builder::new()
                 .name("streambal-controller".to_owned())
                 .spawn(move || {
@@ -387,20 +569,16 @@ impl RegionBuilder {
                         builder = builder.round_robin();
                     }
                     let mut plane = builder.build();
-                    let n = counters.len();
-                    let mut dp = CounterPlane {
-                        counters,
-                        samplers: vec![BlockingSampler::new(); n],
-                        weights,
-                        loads,
-                        changes,
-                        next_change: 0,
-                    };
+                    let mut dp = CounterPlane::fixed(counters, weights, loads, changes);
+                    dp.steps = steps;
+                    dp.opener = Some(Box::new(opener));
+                    dp.closer = Some(Box::new(closer));
                     plane.run_threaded(&mut dp, interval, &stop, started);
                     plane.into_snapshots()
                 })
                 .expect("spawning the controller thread succeeds")
         };
+        drop(merge_tx);
 
         // Merger (on this thread): strict in-order release.
         let mut reorder = std::collections::BinaryHeap::new();
@@ -422,19 +600,21 @@ impl RegionBuilder {
         }
         let duration = started.elapsed();
 
-        // Shutdown: splitter is done (or failed); workers drain and exit
-        // when the splitter's senders drop.
+        // Shutdown: splitter is done (or failed). Stop the controller
+        // first — it holds sender clones through its opener — then drop
+        // every sender so workers drain and exit.
         splitter.join().map_err(|_| RegionError::WorkerPanicked)?;
-        let blocked_ns: Vec<u64> = senders
+        let blocked_ns: Vec<u64> = lock(&senders)
             .iter()
             .map(|s| s.blocking_counter().cumulative_ns())
             .collect();
-        drop(senders);
-        for h in worker_handles {
-            h.join().map_err(|_| RegionError::WorkerPanicked)?;
-        }
         stop.store(true, Ordering::Release);
         let snapshots = controller.join().map_err(|_| RegionError::WorkerPanicked)?;
+        lock(&senders).clear();
+        let handles = std::mem::take(&mut *lock(&worker_handles));
+        for h in handles {
+            h.join().map_err(|_| RegionError::WorkerPanicked)?;
+        }
 
         in_order &= delivered == total_tuples && next_expected == total_tuples;
         if let Some(t) = &self.telemetry {
@@ -552,6 +732,54 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, TraceEvent::ControllerRound { .. })));
+    }
+
+    #[test]
+    fn region_grows_mid_run_and_keeps_order() {
+        // Start at 2 workers, open 2 more slots (real channels + threads)
+        // 50 ms in: the run must stay in exact order and the final split
+        // must cover — and actually use — all four slots.
+        let report = RegionBuilder::new(2)
+            .tuple_cost(5_000)
+            .sample_interval_ms(10)
+            .grow_after(Duration::from_millis(50), 2)
+            .run(80_000)
+            .unwrap();
+        assert_eq!(report.delivered, 80_000);
+        assert!(report.in_order, "growth must not break ordering");
+        let w = report.final_weights().expect("controller ran");
+        assert_eq!(w.len(), 4, "region should have grown: {w:?}");
+        assert_eq!(w.iter().sum::<u32>(), 1_000);
+        // Real threads are noisy — a single round may park a blocked slot
+        // at 0 — but every grown slot must be admitted with positive
+        // weight in at least one round.
+        for j in 2..4 {
+            assert!(
+                report
+                    .snapshots
+                    .iter()
+                    .any(|s| s.weights.len() == 4 && s.weights[j] > 0),
+                "grown slot {j} never carried weight"
+            );
+        }
+        assert_eq!(report.blocked_ns.len(), 4);
+    }
+
+    #[test]
+    fn region_shrinks_mid_run_and_keeps_order() {
+        // Start at 4, retire 2 slots 50 ms in: the retired workers drain
+        // their queues in order and the final split covers the survivors.
+        let report = RegionBuilder::new(4)
+            .tuple_cost(5_000)
+            .sample_interval_ms(10)
+            .shrink_after(Duration::from_millis(50), 2)
+            .run(80_000)
+            .unwrap();
+        assert_eq!(report.delivered, 80_000);
+        assert!(report.in_order, "shrink must not break ordering");
+        let w = report.final_weights().expect("controller ran");
+        assert_eq!(w.len(), 2, "region should have shrunk: {w:?}");
+        assert_eq!(w.iter().sum::<u32>(), 1_000);
     }
 
     #[test]

@@ -13,10 +13,9 @@ use std::time::{Duration, Instant};
 use streambal_control::ControlPlane;
 use streambal_core::controller::{BalancerConfig, BalancerMode};
 use streambal_core::weights::{WeightVector, WrrScheduler};
-use streambal_transport::tcp::{connect, listen, TcpSender};
-use streambal_transport::BlockingSampler;
+use streambal_transport::tcp::{connect, listen, Incoming, TcpSender};
 
-use crate::region::{CounterPlane, RegionError, RegionReport};
+use crate::region::{CounterPlane, RegionError, RegionReport, WidthStep};
 use crate::workload::spin_multiplies;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -47,6 +46,45 @@ pub struct TcpRegionBuilder {
     balancing: bool,
     mode: BalancerMode,
     stall: Option<(usize, u64, Duration)>,
+    width_steps: Vec<WidthStep>,
+}
+
+/// Spawns one TCP worker thread: accept the loopback connection, decode
+/// frames, spin the configured cost, forward sequence numbers to the
+/// merger. Used both for the initial slots and for slots opened mid-run.
+fn spawn_tcp_worker(
+    j: usize,
+    incoming: Incoming,
+    cost: u64,
+    stall: Option<(u64, Duration)>,
+    merge_tx: mpsc::Sender<u64>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("streambal-tcp-worker-{j}"))
+        .spawn(move || {
+            let Ok(mut rx) = incoming.accept() else {
+                return;
+            };
+            let mut processed = 0u64;
+            while let Ok(Some(frame)) = rx.recv_frame() {
+                if frame.len() < 8 {
+                    return;
+                }
+                let seq =
+                    u64::from_le_bytes(frame[..8].try_into().expect("frame has 8-byte header"));
+                spin_multiplies(cost);
+                if merge_tx.send(seq).is_err() {
+                    return;
+                }
+                processed += 1;
+                if let Some((after, d)) = stall {
+                    if processed == after {
+                        thread::sleep(d);
+                    }
+                }
+            }
+        })
+        .expect("spawning a worker thread succeeds")
 }
 
 impl TcpRegionBuilder {
@@ -61,6 +99,7 @@ impl TcpRegionBuilder {
             balancing: true,
             mode: BalancerMode::default(),
             stall: None,
+            width_steps: Vec::new(),
         }
     }
 
@@ -120,6 +159,31 @@ impl TcpRegionBuilder {
         self
     }
 
+    /// Schedules live growth: at `after` into the run, `count` fresh
+    /// workers — each with its own real loopback TCP connection — join the
+    /// region and the balancer re-solves at the wider width.
+    pub fn grow_after(&mut self, after: Duration, count: usize) -> &mut Self {
+        self.width_steps.push(WidthStep {
+            after,
+            grow: true,
+            count,
+        });
+        self
+    }
+
+    /// Schedules live shrink: at `after` into the run, the `count`
+    /// highest-numbered connections close. Their kernel buffers drain in
+    /// order before the workers exit; the region never drops below one
+    /// worker.
+    pub fn shrink_after(&mut self, after: Duration, count: usize) -> &mut Self {
+        self.width_steps.push(WidthStep {
+            after,
+            grow: false,
+            count,
+        });
+        self
+    }
+
     /// Sets the balancer mode (default adaptive).
     pub fn balancer_mode(&mut self, mode: BalancerMode) -> &mut Self {
         self.mode = mode;
@@ -142,49 +206,29 @@ impl TcpRegionBuilder {
         let n = self.workers;
         let started = Instant::now();
 
-        // Real TCP connections, one per worker.
-        let mut senders: Vec<TcpSender> = Vec::with_capacity(n);
+        // Real TCP connections, one per worker. The sender list lives
+        // behind a mutex so the control loop can open and close slots
+        // mid-run (the splitter locks it per tuple; a TCP send dwarfs the
+        // uncontended lock).
+        let senders: Arc<Mutex<Vec<TcpSender>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
         let (merge_tx, merge_rx) = mpsc::channel::<u64>();
-        let mut worker_handles = Vec::with_capacity(n);
+        let worker_handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(n)));
         for j in 0..n {
             let (addr, incoming) = listen().map_err(|_| RegionError::OutOfOrder)?;
-            let merge_tx = merge_tx.clone();
             let cost = (self.tuple_cost as f64 * self.loads[j]) as u64;
             let stall = self
                 .stall
                 .and_then(|(w, after, d)| (w == j).then_some((after, d)));
-            worker_handles.push(
-                thread::Builder::new()
-                    .name(format!("streambal-tcp-worker-{j}"))
-                    .spawn(move || {
-                        let Ok(mut rx) = incoming.accept() else {
-                            return;
-                        };
-                        let mut processed = 0u64;
-                        while let Ok(Some(frame)) = rx.recv_frame() {
-                            if frame.len() < 8 {
-                                return;
-                            }
-                            let seq = u64::from_le_bytes(
-                                frame[..8].try_into().expect("frame has 8-byte header"),
-                            );
-                            spin_multiplies(cost);
-                            if merge_tx.send(seq).is_err() {
-                                return;
-                            }
-                            processed += 1;
-                            if let Some((after, d)) = stall {
-                                if processed == after {
-                                    thread::sleep(d);
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawning a worker thread succeeds"),
-            );
-            senders.push(connect(addr).map_err(|_| RegionError::OutOfOrder)?);
+            lock(&worker_handles).push(spawn_tcp_worker(
+                j,
+                incoming,
+                cost,
+                stall,
+                merge_tx.clone(),
+            ));
+            lock(&senders).push(connect(addr).map_err(|_| RegionError::OutOfOrder)?);
         }
-        drop(merge_tx);
 
         let weights = Arc::new(Mutex::new(WeightVector::even(
             n,
@@ -192,15 +236,49 @@ impl TcpRegionBuilder {
         )));
         let stop = Arc::new(AtomicBool::new(false));
 
-        // Controller samples the TCP senders' counters.
-        let counters: Vec<_> = senders.iter().map(TcpSender::blocking_counter).collect();
+        // Controller samples the TCP senders' counters; width steps open
+        // real sockets (listen + connect + worker-thread spawn) or retire
+        // the highest connection.
         let controller = {
+            let counters: Vec<_> = lock(&senders)
+                .iter()
+                .map(TcpSender::blocking_counter)
+                .collect();
             let weights = Arc::clone(&weights);
             let stop = Arc::clone(&stop);
             let interval = self.sample_interval;
             let balancing = self.balancing;
             let mode = self.mode;
-            let counters = counters.clone();
+            let mut steps = self.width_steps.clone();
+            steps.sort_by_key(|s| s.after);
+            let opener = {
+                let senders = Arc::clone(&senders);
+                let handles = Arc::clone(&worker_handles);
+                let merge_tx = merge_tx.clone();
+                let cost = self.tuple_cost;
+                move |j: usize| {
+                    let (addr, incoming) = listen().ok()?;
+                    let handle = spawn_tcp_worker(j, incoming, cost, None, merge_tx.clone());
+                    let sender = connect(addr).ok()?;
+                    let counter = sender.blocking_counter();
+                    lock(&handles).push(handle);
+                    lock(&senders).push(sender);
+                    Some(counter)
+                }
+            };
+            let closer = {
+                let senders = Arc::clone(&senders);
+                move |_j: usize| {
+                    let mut txs = lock(&senders);
+                    if txs.len() <= 1 {
+                        return false;
+                    }
+                    // Dropping the sender closes the socket; the worker
+                    // drains the kernel buffer in order, sees EOF and exits.
+                    txs.pop();
+                    true
+                }
+            };
             thread::Builder::new()
                 .name("streambal-tcp-controller".to_owned())
                 .spawn(move || {
@@ -215,25 +293,22 @@ impl TcpRegionBuilder {
                         builder = builder.round_robin();
                     }
                     let mut plane = builder.build();
-                    let n = counters.len();
-                    let mut dp = CounterPlane {
-                        counters,
-                        samplers: vec![BlockingSampler::new(); n],
-                        weights,
-                        loads: Vec::new(),
-                        changes: Vec::new(),
-                        next_change: 0,
-                    };
+                    let mut dp = CounterPlane::fixed(counters, weights, Vec::new(), Vec::new());
+                    dp.steps = steps;
+                    dp.opener = Some(Box::new(opener));
+                    dp.closer = Some(Box::new(closer));
                     plane.run_threaded(&mut dp, interval, &stop, started);
                     plane.into_snapshots()
                 })
                 .expect("spawning the controller thread succeeds")
         };
+        drop(merge_tx);
 
         // Splitter: frame = 8-byte seq + padding; route by WRR over real
         // sockets, electing to block (and record) on a full kernel buffer.
         let splitter = {
             let weights = Arc::clone(&weights);
+            let senders = Arc::clone(&senders);
             let padding = self.frame_padding;
             thread::Builder::new()
                 .name("streambal-tcp-splitter".to_owned())
@@ -245,17 +320,43 @@ impl TcpRegionBuilder {
                         {
                             let w = lock(&weights);
                             if *w != current {
+                                if w.len() == current.len() {
+                                    wrr.set_weights(&w);
+                                } else {
+                                    wrr.resize(&w);
+                                }
                                 current = w.clone();
-                                wrr.set_weights(&current);
                             }
                         }
                         frame[..8].copy_from_slice(&seq.to_le_bytes());
-                        let j = wrr.pick();
-                        if senders[j].send_recording(&frame).is_err() {
-                            return senders;
+                        let mut j = wrr.pick();
+                        loop {
+                            {
+                                let mut txs = lock(&senders);
+                                if let Some(tx) = txs.get_mut(j) {
+                                    if tx.send_recording(&frame).is_err() {
+                                        return;
+                                    }
+                                    break;
+                                }
+                            }
+                            // The region shrank between pick and send:
+                            // pick up the narrower weights and re-pick.
+                            {
+                                let w = lock(&weights);
+                                if *w != current {
+                                    if w.len() == current.len() {
+                                        wrr.set_weights(&w);
+                                    } else {
+                                        wrr.resize(&w);
+                                    }
+                                    current = w.clone();
+                                }
+                            }
+                            j = wrr.pick();
+                            thread::yield_now();
                         }
                     }
-                    senders
                 })
                 .expect("spawning the splitter thread succeeds")
         };
@@ -275,14 +376,18 @@ impl TcpRegionBuilder {
         }
         let duration = started.elapsed();
 
-        let senders = splitter.join().map_err(|_| RegionError::WorkerPanicked)?;
-        let blocked_ns: Vec<u64> = counters.iter().map(|c| c.cumulative_ns()).collect();
-        drop(senders); // closes the sockets; workers see EOF and exit
-        for h in worker_handles {
-            h.join().map_err(|_| RegionError::WorkerPanicked)?;
-        }
+        splitter.join().map_err(|_| RegionError::WorkerPanicked)?;
+        let blocked_ns: Vec<u64> = lock(&senders)
+            .iter()
+            .map(|s| s.blocking_counter().cumulative_ns())
+            .collect();
         stop.store(true, Ordering::Release);
         let snapshots = controller.join().map_err(|_| RegionError::WorkerPanicked)?;
+        lock(&senders).clear(); // closes the sockets; workers see EOF and exit
+        let handles = std::mem::take(&mut *lock(&worker_handles));
+        for h in handles {
+            h.join().map_err(|_| RegionError::WorkerPanicked)?;
+        }
 
         Ok(RegionReport {
             delivered,
@@ -342,5 +447,52 @@ mod tests {
             TcpRegionBuilder::new(0).run(10).unwrap_err(),
             RegionError::NoWorkers
         );
+    }
+
+    #[test]
+    fn tcp_region_grows_four_to_eight_mid_run() {
+        // The issue's acceptance demo: start at width 4 over real loopback
+        // sockets, open four more connections (listen + connect + worker
+        // spawn) 60 ms in, and finish with zero merge-order violations and
+        // an 8-way split where every slot carries weight.
+        let report = TcpRegionBuilder::new(4)
+            .tuple_cost(4_000)
+            .sample_interval_ms(15)
+            .grow_after(Duration::from_millis(60), 4)
+            .run(80_000)
+            .unwrap();
+        assert_eq!(report.delivered, 80_000);
+        assert!(report.in_order, "growth must not break merge order");
+        let w = report.final_weights().expect("controller ran");
+        assert_eq!(w.len(), 8, "region should have grown to 8: {w:?}");
+        assert_eq!(w.iter().sum::<u32>(), 1_000);
+        // Real sockets are noisy — the minimax solve may park a blocked
+        // slot at 0 in any single round — but every grown slot must be
+        // admitted with positive weight in at least one round.
+        for j in 4..8 {
+            assert!(
+                report
+                    .snapshots
+                    .iter()
+                    .any(|s| s.weights.len() == 8 && s.weights[j] > 0),
+                "grown slot {j} never carried weight"
+            );
+        }
+        assert_eq!(report.blocked_ns.len(), 8);
+    }
+
+    #[test]
+    fn tcp_region_shrinks_mid_run_and_stays_ordered() {
+        let report = TcpRegionBuilder::new(4)
+            .tuple_cost(4_000)
+            .sample_interval_ms(15)
+            .shrink_after(Duration::from_millis(60), 2)
+            .run(60_000)
+            .unwrap();
+        assert_eq!(report.delivered, 60_000);
+        assert!(report.in_order, "shrink must not break merge order");
+        let w = report.final_weights().expect("controller ran");
+        assert_eq!(w.len(), 2, "region should have shrunk to 2: {w:?}");
+        assert_eq!(w.iter().sum::<u32>(), 1_000);
     }
 }

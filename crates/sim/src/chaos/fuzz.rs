@@ -66,6 +66,14 @@ fn check(s: &Scenario, runs: &mut usize) -> Result<Option<Vec<Violation>>, Confi
     })
 }
 
+/// Like [`check`], but for shrink candidates: a candidate the mutation
+/// made *invalid* (e.g. deleting a `WorkerAdd` strands its paired
+/// `WorkerRemove` out of range) simply doesn't reproduce the failure —
+/// it is skipped, not an error.
+fn check_candidate(s: &Scenario, runs: &mut usize) -> Option<Vec<Violation>> {
+    check(s, runs).ok().flatten()
+}
+
 /// Simpler variants of one event, most aggressive first. The caller
 /// keeps the first variant that still fails.
 fn simpler_variants(ev: &TimedFault) -> Vec<TimedFault> {
@@ -107,6 +115,18 @@ fn simpler_variants(ev: &TimedFault) -> Vec<TimedFault> {
                 },
             });
         }
+        FaultKind::WorkerAdd { count } if count > 1 => {
+            out.push(TimedFault {
+                t_ns: ev.t_ns,
+                fault: FaultKind::WorkerAdd { count: count / 2 },
+            });
+        }
+        FaultKind::WorkerRemove { count } if count > 1 => {
+            out.push(TimedFault {
+                t_ns: ev.t_ns,
+                fault: FaultKind::WorkerRemove { count: count / 2 },
+            });
+        }
         _ => {}
     }
     // Round the firing time down to a whole second.
@@ -146,7 +166,7 @@ pub fn shrink(failing: &Scenario, max_runs: usize) -> Result<Option<FuzzFailure>
         while i < current.events.len() && runs < max_runs {
             let mut cand = current.clone();
             cand.events.remove(i);
-            if let Some(v) = check(&cand, &mut runs)? {
+            if let Some(v) = check_candidate(&cand, &mut runs) {
                 current = cand;
                 violations = v;
                 improved = true;
@@ -170,7 +190,7 @@ pub fn shrink(failing: &Scenario, max_runs: usize) -> Result<Option<FuzzFailure>
                 }
                 let mut cand = current.clone();
                 cand.events[i] = variant;
-                if let Some(v) = check(&cand, &mut runs)? {
+                if let Some(v) = check_candidate(&cand, &mut runs) {
                     current = cand;
                     violations = v;
                     improved = true;

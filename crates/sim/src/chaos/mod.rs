@@ -41,7 +41,7 @@ pub mod oracle;
 pub mod scenario;
 
 pub use fuzz::{fuzz_seed, shrink, FuzzFailure, DEFAULT_SHRINK_RUNS};
-pub use oracle::{Oracle, OracleSuite, RoundObserver, RoundView, Violation};
+pub use oracle::{Oracle, OracleSuite, RoundObserver, RoundView, Violation, WidthOracle};
 pub use scenario::{run_scenario, Scenario, ScenarioOutcome};
 
 use crate::config::ConfigError;
@@ -100,6 +100,23 @@ pub enum FaultKind {
         /// Maximum deviation from the nominal interval, ns.
         amplitude_ns: u64,
     },
+    /// The region grows by `count` workers: fresh connections, queues and
+    /// workers appear at the tail and the balancer extends its simplex
+    /// ([`LoadBalancer::grow`](streambal_core::controller::LoadBalancer::grow)),
+    /// admitting the newcomers exploration-bounded.
+    WorkerAdd {
+        /// How many workers join (`> 0`).
+        count: usize,
+    },
+    /// The region shrinks by `count` tail workers: the balancer hands
+    /// their weight back to the survivors and the splitter stops routing
+    /// to them; already-queued tuples on the removed connections still
+    /// drain in order.
+    WorkerRemove {
+        /// How many tail workers leave (`> 0`, strictly below the width
+        /// in effect when the event fires).
+        count: usize,
+    },
 }
 
 /// A fault scheduled at an absolute simulated time.
@@ -122,6 +139,13 @@ pub enum Sabotage {
     /// renormalization, leaving the allocation summing below the
     /// resolution. Caught by the weight-simplex oracle.
     SkipRenormalization,
+    /// After a [`FaultKind::WorkerAdd`], keep routing as if the region
+    /// had never grown: the new slots' units are folded back onto
+    /// connection 0 every round, so the simplex stays intact but the
+    /// newcomers never receive a single tuple. Caught by the width
+    /// oracle's starvation check (and by nothing else — that is the
+    /// point).
+    StarveNewSlots,
 }
 
 /// A full fault-injection plan for one run.
@@ -143,27 +167,43 @@ impl ChaosPlan {
         }
     }
 
-    /// Checks every event against a region of `workers` connections.
+    /// Checks every event against a region that starts at `workers`
+    /// connections, tracking the width [`FaultKind::WorkerAdd`] /
+    /// [`FaultKind::WorkerRemove`] events give the region over time:
+    /// worker and connection indices must be in range *at the moment the
+    /// event fires* (events are replayed in firing order for this check;
+    /// ties fire in plan order, exactly like the engine's event heap).
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::BadChaosEvent`] with the index of the first
-    /// event that references an out-of-range worker/connection or carries
-    /// a non-positive factor or zero duration.
+    /// Returns [`ConfigError::BadChaosEvent`] with the plan index of the
+    /// first event (in firing order) that references an out-of-range
+    /// worker/connection, carries a non-positive factor or zero
+    /// duration/count, or would shrink the region to zero width.
     pub fn validate(&self, workers: usize) -> Result<(), ConfigError> {
-        for (i, ev) in self.events.iter().enumerate() {
-            let ok = match ev.fault {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| (self.events[i].t_ns, i));
+        let mut width = workers;
+        for i in order {
+            let ok = match self.events[i].fault {
                 FaultKind::WorkerDeath { worker } | FaultKind::WorkerRestart { worker } => {
-                    worker < workers
+                    worker < width
                 }
                 FaultKind::Slowdown { worker, factor }
                 | FaultKind::LoadSpike { worker, factor } => {
-                    worker < workers && factor.is_finite() && factor > 0.0
+                    worker < width && factor.is_finite() && factor > 0.0
                 }
-                FaultKind::ConnectionStall { conn, duration_ns } => {
-                    conn < workers && duration_ns > 0
-                }
+                FaultKind::ConnectionStall { conn, duration_ns } => conn < width && duration_ns > 0,
                 FaultKind::SampleJitter { .. } => true,
+                FaultKind::WorkerAdd { count } => {
+                    width += count;
+                    count > 0
+                }
+                FaultKind::WorkerRemove { count } => {
+                    let ok = count > 0 && count < width;
+                    width = width.saturating_sub(count).max(1);
+                    ok
+                }
             };
             if !ok {
                 return Err(ConfigError::BadChaosEvent(i));
@@ -214,5 +254,54 @@ mod tests {
             .validate(1),
             Err(ConfigError::BadChaosEvent(0))
         );
+    }
+
+    #[test]
+    fn validate_tracks_width_through_growth_events() {
+        // Worker 2 only exists after the add at t=1; the plan is valid
+        // because validation replays events in firing order.
+        let grown = ChaosPlan::new(vec![
+            TimedFault {
+                t_ns: 1,
+                fault: FaultKind::WorkerAdd { count: 1 },
+            },
+            TimedFault {
+                t_ns: 2,
+                fault: FaultKind::WorkerDeath { worker: 2 },
+            },
+            TimedFault {
+                t_ns: 3,
+                fault: FaultKind::WorkerRestart { worker: 2 },
+            },
+            TimedFault {
+                t_ns: 4,
+                fault: FaultKind::WorkerRemove { count: 1 },
+            },
+        ]);
+        assert_eq!(grown.validate(2), Ok(()));
+        // The same death before the add is out of range.
+        let early = ChaosPlan::new(vec![
+            TimedFault {
+                t_ns: 0,
+                fault: FaultKind::WorkerDeath { worker: 2 },
+            },
+            TimedFault {
+                t_ns: 1,
+                fault: FaultKind::WorkerAdd { count: 1 },
+            },
+        ]);
+        assert_eq!(early.validate(2), Err(ConfigError::BadChaosEvent(0)));
+        // Removing the whole region (or more) is rejected, as is a zero
+        // add.
+        let too_many = ChaosPlan::new(vec![TimedFault {
+            t_ns: 0,
+            fault: FaultKind::WorkerRemove { count: 2 },
+        }]);
+        assert_eq!(too_many.validate(2), Err(ConfigError::BadChaosEvent(0)));
+        let zero_add = ChaosPlan::new(vec![TimedFault {
+            t_ns: 0,
+            fault: FaultKind::WorkerAdd { count: 0 },
+        }]);
+        assert_eq!(zero_add.validate(2), Err(ConfigError::BadChaosEvent(0)));
     }
 }

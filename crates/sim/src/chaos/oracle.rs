@@ -377,6 +377,187 @@ impl Oracle for MembershipOracle {
     }
 }
 
+/// Elastic-width invariants, checked across every `WorkerAdd` /
+/// `WorkerRemove` resize:
+///
+/// - the installed units sum exactly to the resolution at *every* width,
+///   and the weights/rates/liveness views agree on what that width is;
+/// - no pick starvation: every slot added by growth must receive weight
+///   within `admission_budget` rounds (new slots enter
+///   exploration-bounded, but bounded is not zero);
+/// - after a width change the weight vector must reconverge within
+///   `budget_rounds`, exactly like after a fault or membership change;
+/// - when the balancer clusters (width crossed the clustering knee), the
+///   assignment must cover the current width, with every live slot
+///   assigned.
+///
+/// A no-op for runs whose width never changes.
+#[derive(Debug)]
+pub struct WidthOracle {
+    admission_budget: u64,
+    budget_rounds: u64,
+    stable_rounds: u64,
+    tolerance: u32,
+    prev_width: Option<usize>,
+    /// `(slot, grow round)` for grown slots still waiting for their first
+    /// non-zero weight.
+    pending: Vec<(usize, u64)>,
+    prev_weights: Vec<u32>,
+    streak: u64,
+    change_round: u64,
+    converged: bool,
+    fired: bool,
+    resized: bool,
+}
+
+impl WidthOracle {
+    /// Creates the oracle with explicit admission and reconvergence
+    /// budgets.
+    pub fn new(
+        admission_budget: u64,
+        budget_rounds: u64,
+        stable_rounds: u64,
+        tolerance: u32,
+    ) -> Self {
+        WidthOracle {
+            admission_budget,
+            budget_rounds,
+            stable_rounds,
+            tolerance,
+            prev_width: None,
+            pending: Vec::new(),
+            prev_weights: Vec::new(),
+            streak: 0,
+            change_round: 0,
+            converged: true,
+            fired: false,
+            resized: false,
+        }
+    }
+}
+
+impl Default for WidthOracle {
+    /// 20 rounds (5 simulated seconds at the scenario cadence) for a new
+    /// slot to receive its first weight; the membership oracle's budgets
+    /// (40 rounds, 5 quiet rounds, 60 units of tolerance) for
+    /// reconvergence.
+    fn default() -> Self {
+        WidthOracle::new(20, 40, 5, 60)
+    }
+}
+
+impl Oracle for WidthOracle {
+    fn name(&self) -> &'static str {
+        "width"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        let width = view.weights.len();
+        if view.rates.len() != width || view.worker_alive.len() != width {
+            return Err(format!(
+                "width skew: {width} weights but {} rates and {} liveness slots",
+                view.rates.len(),
+                view.worker_alive.len()
+            ));
+        }
+        if let Some(prev) = self.prev_width {
+            if prev != width {
+                self.resized = true;
+                self.change_round = view.round;
+                self.converged = false;
+                self.streak = 0;
+                self.fired = false;
+                if width > prev {
+                    for j in prev..width {
+                        self.pending.push((j, view.round));
+                    }
+                }
+                self.pending.retain(|&(j, _)| j < width);
+            }
+        }
+        self.prev_width = Some(width);
+        if !self.resized {
+            // Fixed-width run: nothing else to police.
+            return Ok(());
+        }
+        let sum: u64 = view.weights.iter().map(|&u| u64::from(u)).sum();
+        if sum != u64::from(view.resolution) {
+            return Err(format!(
+                "after a resize to width {width} the units sum to {sum}, expected {}",
+                view.resolution
+            ));
+        }
+        let attached: Option<Vec<bool>> = view.balancer.as_deref().map(|lb| lb.attached().to_vec());
+        let mut starved = None;
+        self.pending.retain(|&(j, since)| {
+            if view.weights[j] > 0 {
+                return false; // admitted
+            }
+            if let Some(att) = &attached {
+                if !att.get(j).copied().unwrap_or(false) {
+                    return false; // detached, not starved
+                }
+            }
+            if view.round.saturating_sub(since) > self.admission_budget {
+                starved = Some((j, since));
+                return false;
+            }
+            true
+        });
+        if let Some((j, since)) = starved {
+            return Err(format!(
+                "slot {j} added by growth at round {since} still has zero weight \
+                 {} rounds later (admission budget {})",
+                view.round - since,
+                self.admission_budget
+            ));
+        }
+        if let Some(lb) = view.balancer.as_deref() {
+            if let Some(clusters) = lb.last_clusters() {
+                if clusters.assignment.len() != width {
+                    return Err(format!(
+                        "cluster assignment covers {} slots but the region is {width} wide",
+                        clusters.assignment.len()
+                    ));
+                }
+                for (j, &c) in clusters.assignment.iter().enumerate() {
+                    if lb.is_attached(j) && c == usize::MAX {
+                        return Err(format!(
+                            "live slot {j} has no cluster after the resize to width {width}"
+                        ));
+                    }
+                }
+            }
+        }
+        let quiet = self.prev_weights.len() == width
+            && self
+                .prev_weights
+                .iter()
+                .zip(view.weights)
+                .all(|(&a, &b)| a.abs_diff(b) <= self.tolerance);
+        self.prev_weights.clear();
+        self.prev_weights.extend_from_slice(view.weights);
+        self.streak = if quiet { self.streak + 1 } else { 0 };
+        if self.streak >= self.stable_rounds {
+            self.converged = true;
+        }
+        if !self.converged
+            && !self.fired
+            && view.round.saturating_sub(self.change_round) > self.budget_rounds
+        {
+            self.fired = true;
+            return Err(format!(
+                "weights still moving more than {} units {} rounds after the \
+                 last width change (budget {})",
+                self.tolerance,
+                view.round - self.change_round,
+                self.budget_rounds
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The standard oracle set plus violation collection; this is what
 /// [`run_scenario`](crate::chaos::run_scenario) wires into the engine.
 pub struct OracleSuite {
@@ -406,7 +587,8 @@ impl OracleSuite {
     }
 
     /// The full standard set: simplex, in-order, monotone functions,
-    /// reorder bound, reconvergence and membership (default budgets).
+    /// reorder bound, reconvergence, membership and width (default
+    /// budgets).
     pub fn standard() -> Self {
         OracleSuite::empty()
             .with_oracle(Box::new(SimplexOracle))
@@ -415,6 +597,7 @@ impl OracleSuite {
             .with_oracle(Box::new(ReorderBoundOracle))
             .with_oracle(Box::new(ReconvergenceOracle::default()))
             .with_oracle(Box::new(MembershipOracle::default()))
+            .with_oracle(Box::new(WidthOracle::default()))
     }
 
     /// Adds an oracle.
@@ -627,6 +810,92 @@ mod tests {
             }
         }
         assert_eq!(violations, 1, "fires exactly once per membership change");
+    }
+
+    #[test]
+    fn width_oracle_is_silent_for_fixed_width_runs() {
+        let mut o = WidthOracle::default();
+        let occ = [0usize; 2];
+        let alive = [true; 2];
+        for round in 1..=100 {
+            // Wildly moving weights, but no resize ever happens.
+            let w: [u32; 2] = if round % 2 == 0 {
+                [900, 100]
+            } else {
+                [100, 900]
+            };
+            let mut v = view(&w, &[0.0, 0.0], &occ, &alive);
+            v.round = round;
+            assert!(o.check(&mut v).is_ok(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn width_oracle_flags_a_starved_new_slot() {
+        let mut o = WidthOracle::new(3, 100, 2, 10);
+        let occ2 = [0usize; 2];
+        let alive2 = [true; 2];
+        let mut v = view(&[500, 500], &[0.0, 0.0], &occ2, &alive2);
+        assert!(o.check(&mut v).is_ok());
+        // The region grows to 3 but the new slot never receives weight.
+        let occ3 = [0usize; 3];
+        let alive3 = [true; 3];
+        let mut violations = 0;
+        for round in 2..=10 {
+            let mut v = view(&[500, 500, 0], &[0.0; 3], &occ3, &alive3);
+            v.round = round;
+            if let Err(detail) = o.check(&mut v) {
+                assert!(detail.contains("zero weight"), "{detail}");
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 1, "starvation fires once per grown slot");
+    }
+
+    #[test]
+    fn width_oracle_accepts_prompt_admission_and_checks_the_simplex() {
+        let mut o = WidthOracle::new(3, 100, 2, 10);
+        let occ2 = [0usize; 2];
+        let alive2 = [true; 2];
+        assert!(o
+            .check(&mut view(&[500, 500], &[0.0, 0.0], &occ2, &alive2))
+            .is_ok());
+        let occ3 = [0usize; 3];
+        let alive3 = [true; 3];
+        // Admitted on the round after the grow: no starvation possible.
+        let mut v = view(&[495, 495, 10], &[0.0; 3], &occ3, &alive3);
+        v.round = 2;
+        assert!(o.check(&mut v).is_ok());
+        // A post-resize round whose units leak is flagged even though the
+        // slot count matches.
+        let mut bad = view(&[495, 400, 10], &[0.0; 3], &occ3, &alive3);
+        bad.round = 3;
+        let err = o.check(&mut bad).unwrap_err();
+        assert!(err.contains("sum to 905"), "{err}");
+    }
+
+    #[test]
+    fn width_oracle_flags_width_skew_between_views() {
+        let mut o = WidthOracle::default();
+        let occ = [0usize; 3];
+        let alive = [true; 2];
+        let rates = [0.0; 2];
+        let mut v = RoundView {
+            round: 1,
+            t_ns: 0,
+            resolution: 1000,
+            weights: &[500, 400, 100],
+            rates: &rates,
+            delivered: 0,
+            next_expected: 0,
+            merge_occupancy: &occ,
+            merge_capacity: 4,
+            worker_alive: &alive,
+            last_fault_ns: None,
+            balancer: None,
+        };
+        let err = o.check(&mut v).unwrap_err();
+        assert!(err.contains("width skew"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! and fault schedule — derived deterministically from one `u64` seed, so
 //! a failing run anywhere reproduces everywhere from just that number.
 
-use streambal_core::controller::BalancerConfig;
+use streambal_core::controller::{BalancerConfig, ClusteringConfig};
 use streambal_core::rng::SplitMix64;
 use streambal_telemetry::Telemetry;
 
@@ -41,7 +41,9 @@ impl Scenario {
     /// simulated seconds, and 1–4 disturbances in the first half of the
     /// run. Destructive faults (deaths, slowdowns, load spikes) always
     /// come with a recovery event, so a healthy balancer can reconverge
-    /// in the quiet tail.
+    /// in the quiet tail; growth events add 1–2 workers (sometimes with a
+    /// later matching removal), so elasticity is part of the normal fuzzed
+    /// disturbance mix.
     pub fn generate(seed: u64) -> Scenario {
         let mut rng = SplitMix64::new(seed);
         let workers = rng.range_usize(2, 6);
@@ -55,7 +57,7 @@ impl Scenario {
             let t_ns = rng.range_u64(2 * SECOND_NS, fault_window_end);
             let recover_ns = t_ns + rng.range_u64(SECOND_NS, 4 * SECOND_NS);
             let worker = rng.range_usize(0, workers - 1);
-            match rng.below(5) {
+            match rng.below(7) {
                 0 => {
                     events.push(TimedFault {
                         t_ns,
@@ -107,12 +109,36 @@ impl Scenario {
                         },
                     });
                 }
-                _ => {
+                4 => {
                     events.push(TimedFault {
                         t_ns,
                         fault: FaultKind::SampleJitter {
                             amplitude_ns: rng.range_u64(0, SAMPLE_INTERVAL_NS / 3),
                         },
+                    });
+                }
+                5 => {
+                    // Permanent growth: the region stays wider.
+                    events.push(TimedFault {
+                        t_ns,
+                        fault: FaultKind::WorkerAdd {
+                            count: rng.range_usize(1, 2),
+                        },
+                    });
+                }
+                _ => {
+                    // Burst capacity: grow, then hand the same slots back.
+                    // Every removal is preceded by its own addition, so the
+                    // width never dips below the starting `workers` and
+                    // removals stay valid wherever the pairs interleave.
+                    let count = rng.range_usize(1, 2);
+                    events.push(TimedFault {
+                        t_ns,
+                        fault: FaultKind::WorkerAdd { count },
+                    });
+                    events.push(TimedFault {
+                        t_ns: recover_ns,
+                        fault: FaultKind::WorkerRemove { count },
                     });
                 }
             }
@@ -201,7 +227,9 @@ pub struct ScenarioOutcome {
 
 /// Runs a scenario under the paper's adaptive balancer with the standard
 /// [`OracleSuite`] attached, collecting violations (each carrying the
-/// controller's recent decision trace).
+/// controller's recent decision trace). Clustering is configured at the
+/// default 32-connection knee, so scenarios that start or grow past it
+/// exercise the clustered solve.
 ///
 /// # Errors
 ///
@@ -213,6 +241,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome, ConfigError>
     let telemetry = Telemetry::with_trace_capacity(4096);
     let mut policy = BalancerPolicy::new(
         BalancerConfig::builder(scenario.workers)
+            .clustering(ClusteringConfig::default())
             .build()
             .expect("scenario-sized balancer config is valid"),
     );

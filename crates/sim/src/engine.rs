@@ -17,7 +17,7 @@ use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
 use streambal_core::rng::SplitMix64;
-use streambal_core::weights::WrrScheduler;
+use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceEvent};
 
 use crate::chaos::{ChaosPlan, FaultKind, RoundObserver, RoundView, Sabotage};
@@ -228,6 +228,15 @@ struct Engine<'c> {
     fraction_thresholds: Vec<(u64, usize, f64)>,
     next_fraction: usize,
 
+    /// Logical region width: the connections the splitter routes to and
+    /// the control loop samples. `WorkerAdd`/`WorkerRemove` move it; the
+    /// per-worker vectors only ever grow (a removed tail keeps its
+    /// dormant state so queued tuples drain in order).
+    width: usize,
+    /// The lowest slot index ever added by growth (for
+    /// [`Sabotage::StarveNewSlots`]).
+    starve_from: Option<usize>,
+
     // Chaos (all inert unless a plan is attached; see crate::chaos).
     chaos: Option<&'c ChaosPlan>,
     observer: Option<&'c mut dyn RoundObserver>,
@@ -293,6 +302,8 @@ impl<'c> Engine<'c> {
             merge_q: (0..n).map(|_| VecDeque::new()).collect(),
             heads: BinaryHeap::new(),
             next_expected: 0,
+            width: n,
+            starve_from: None,
             chaos: None,
             observer: None,
             worker_alive: vec![true; n],
@@ -404,10 +415,16 @@ impl<'c> Engine<'c> {
         }
     }
 
-    /// Service time of one tuple started now by worker `j`.
+    /// Service time of one tuple started now by worker `j`. Workers added
+    /// by growth have no config entry and run unloaded until a fault says
+    /// otherwise.
     fn service_ns(&mut self, j: usize) -> u64 {
-        let factor =
-            self.load_override[j].unwrap_or_else(|| self.cfg.workers[j].load.factor_at(self.now));
+        let factor = self.load_override[j].unwrap_or_else(|| {
+            self.cfg
+                .workers
+                .get(j)
+                .map_or(1.0, |w| w.load.factor_at(self.now))
+        });
         let base = self.cfg.base_cost as f64 * self.cfg.mult_ns * factor * self.chaos_slowdown[j]
             / self.eff_speed[j];
         let jitter = self.cfg.jitter;
@@ -456,7 +473,7 @@ impl<'c> Engine<'c> {
 
         if self.policy.reroute_on_block() {
             // §4.4: try the sibling connections instead of blocking.
-            let n = self.conn_q.len();
+            let n = self.width;
             for k in 1..n {
                 let c = (j + k) % n;
                 if self.conn_q[c].len() < self.cfg.conn_capacity {
@@ -622,6 +639,12 @@ impl<'c> Engine<'c> {
                 FaultKind::SampleJitter { amplitude_ns } => {
                     fields.push(("jitter_ns".to_owned(), amplitude_ns as f64));
                 }
+                FaultKind::WorkerAdd { count } => {
+                    fields.push(("add".to_owned(), count as f64));
+                }
+                FaultKind::WorkerRemove { count } => {
+                    fields.push(("remove".to_owned(), count as f64));
+                }
             }
             t.trace().push(TraceEvent::Custom {
                 name: "chaos.fault".to_owned(),
@@ -688,7 +711,87 @@ impl<'c> Engine<'c> {
             FaultKind::SampleJitter { amplitude_ns } => {
                 self.sample_jitter_ns = amplitude_ns;
             }
+            FaultKind::WorkerAdd { count } => self.grow_region(count),
+            FaultKind::WorkerRemove { count } => self.shrink_region(count),
         }
+    }
+
+    /// Grows the region by `count` workers: dormant tail slots (left by an
+    /// earlier `WorkerRemove`) are revived first, then every per-worker
+    /// vector is extended. New workers run at full speed on the default
+    /// host until a fault says otherwise.
+    fn grow_region(&mut self, count: usize) {
+        let new_width = self.width + count;
+        while self.conn_q.len() < new_width {
+            self.eff_speed.push(1.0);
+            self.conn_q.push(VecDeque::new());
+            self.worker_busy.push(false);
+            self.worker_seq.push(0);
+            self.worker_stalled.push(None);
+            self.merge_q.push(VecDeque::new());
+            self.blocked_ns.push(0);
+            self.blocked_ns_at_sample.push(0);
+            self.load_override.push(None);
+            self.worker_alive.push(true);
+            self.worker_epoch.push(0);
+            self.conn_resume_at.push(0);
+            self.chaos_slowdown.push(1.0);
+            self.worker_busy_ns.push(0);
+        }
+        for j in self.width..new_width {
+            // A revived slot comes back healthy and unloaded.
+            self.worker_alive[j] = true;
+            self.chaos_slowdown[j] = 1.0;
+            self.load_override[j] = None;
+        }
+        if let Some((t, inst)) = &mut self.telemetry {
+            let reg = t.registry();
+            for j in inst.per_conn.len()..new_width {
+                inst.per_conn.push((
+                    reg.gauge(&format!("sim.conn{j}.blocking_rate")),
+                    reg.gauge(&format!("sim.conn{j}.weight")),
+                ));
+            }
+        }
+        self.starve_from.get_or_insert(self.width);
+        self.width = new_width;
+        self.apply_resize();
+        for j in self.width - count..self.width {
+            self.maybe_start_worker(j);
+        }
+    }
+
+    /// Shrinks the region by `count` tail workers. The splitter stops
+    /// routing to the removed slots immediately (their weight returns to
+    /// the survivors); tuples already queued there drain in order through
+    /// the still-running dormant workers.
+    fn shrink_region(&mut self, count: usize) {
+        let new_width = self.width.saturating_sub(count).max(1);
+        if new_width == self.width {
+            return;
+        }
+        if let Some(lb) = self.policy.balancer_mut() {
+            let live_survivors = (0..new_width).filter(|&j| lb.is_attached(j)).count();
+            if live_survivors == 0 {
+                // Shrinking away the only live connections would leave the
+                // balancer with nothing to allocate to; skip the event.
+                return;
+            }
+        }
+        self.width = new_width;
+        self.apply_resize();
+    }
+
+    /// Resizes the policy and splitter to the current logical width,
+    /// preserving the WRR pick state of surviving slots.
+    fn apply_resize(&mut self) {
+        let weights = self
+            .policy
+            .on_resize(self.width)
+            .unwrap_or_else(|| WeightVector::even(self.width, self.resolution));
+        self.weights.clear();
+        self.weights.extend_from_slice(weights.units());
+        self.wrr.resize(&weights);
     }
 
     /// Mirrors the balancer's weights into the splitter outside the
@@ -715,7 +818,7 @@ impl<'c> Engine<'c> {
             self.blocked_on = Some((conn, self.now, seq));
         }
 
-        let n = self.conn_q.len();
+        let n = self.width;
         // With a jittered sampling clock the interval actually elapsed can
         // differ from the nominal one; rates are always per elapsed time.
         // Without jitter this is exactly `interval`, bit for bit.
@@ -749,20 +852,39 @@ impl<'c> Engine<'c> {
             self.wrr.set_weights(&new_weights);
         }
 
-        if let Some(Sabotage::SkipRenormalization) = self.chaos.and_then(|p| p.sabotage) {
-            // Deliberate bug for oracle mutation testing: dead connections
-            // lose their weight with no redistribution, so the installed
-            // allocation sums below the resolution.
-            let mut mutated = false;
-            for j in 0..n {
-                if !self.worker_alive[j] && self.weights[j] > 0 {
-                    self.weights[j] = 0;
-                    mutated = true;
+        match self.chaos.and_then(|p| p.sabotage) {
+            Some(Sabotage::SkipRenormalization) => {
+                // Deliberate bug for oracle mutation testing: dead
+                // connections lose their weight with no redistribution, so
+                // the installed allocation sums below the resolution.
+                let mut mutated = false;
+                for j in 0..n {
+                    if !self.worker_alive[j] && self.weights[j] > 0 {
+                        self.weights[j] = 0;
+                        mutated = true;
+                    }
+                }
+                if mutated && self.weights.iter().any(|&u| u > 0) {
+                    self.wrr.set_units(&self.weights);
                 }
             }
-            if mutated && self.weights.iter().any(|&u| u > 0) {
-                self.wrr.set_units(&self.weights);
+            Some(Sabotage::StarveNewSlots) => {
+                // Deliberate bug: the slots added by growth are folded back
+                // onto connection 0 every round. The simplex stays intact —
+                // only the width oracle's starvation check can see it.
+                if let Some(from) = self.starve_from {
+                    let mut moved = 0u32;
+                    for j in from..n {
+                        moved += self.weights[j];
+                        self.weights[j] = 0;
+                    }
+                    if moved > 0 {
+                        self.weights[0] += moved;
+                        self.wrr.set_units(&self.weights);
+                    }
+                }
             }
+            None => {}
         }
 
         let sample = SampleTrace {
@@ -774,7 +896,7 @@ impl<'c> Engine<'c> {
         };
         if let Some((t, inst)) = &self.telemetry {
             inst.rounds.incr();
-            for (j, (rate_g, weight_g)) in inst.per_conn.iter().enumerate() {
+            for (j, (rate_g, weight_g)) in inst.per_conn.iter().take(n).enumerate() {
                 rate_g.set(sample.rates[j]);
                 weight_g.set(f64::from(sample.weights[j]));
             }
@@ -794,7 +916,7 @@ impl<'c> Engine<'c> {
         self.round += 1;
 
         if self.observer.is_some() {
-            let occupancy: Vec<usize> = self.merge_q.iter().map(VecDeque::len).collect();
+            let occupancy: Vec<usize> = self.merge_q.iter().take(n).map(VecDeque::len).collect();
             let last = self.samples.last().expect("sample pushed above");
             let mut view = RoundView {
                 round: self.round,
@@ -806,7 +928,7 @@ impl<'c> Engine<'c> {
                 next_expected: self.next_expected,
                 merge_occupancy: &occupancy,
                 merge_capacity: self.cfg.merge_capacity,
-                worker_alive: &self.worker_alive,
+                worker_alive: &self.worker_alive[..n],
                 last_fault_ns: self.last_fault_ns,
                 balancer: self.policy.balancer_mut(),
             };
@@ -1267,6 +1389,106 @@ mod tests {
             gaps.iter().any(|&g| g != gaps[0]),
             "jitter must move the sample instants: {gaps:?}"
         );
+    }
+
+    #[test]
+    fn worker_add_grows_the_region_under_the_balancer() {
+        let cfg = quick(2)
+            .stop(StopCondition::Duration(16 * SECOND_NS))
+            .build()
+            .unwrap();
+        let plan = ChaosPlan::new(vec![fault(3, FaultKind::WorkerAdd { count: 2 })]);
+        let mut p = BalancerPolicy::adaptive(BalancerConfig::builder(2).build().unwrap());
+        let r = run_chaos(&cfg, &mut p, &plan, None, None).unwrap();
+        assert_eq!(r.samples.first().unwrap().weights.len(), 2);
+        let last = r.samples.last().unwrap();
+        assert_eq!(last.weights.len(), 4, "samples follow the grown width");
+        assert_eq!(last.rates.len(), 4);
+        assert_eq!(
+            last.weights.iter().map(|&u| u64::from(u)).sum::<u64>(),
+            1000
+        );
+        // The region is saturated, so the exploration-bounded newcomers
+        // must have earned real weight by the end of the run.
+        assert!(
+            last.weights[2] > 0 && last.weights[3] > 0,
+            "new slots must not starve: {:?}",
+            last.weights
+        );
+        assert_eq!(p.balancer().config().connections(), 4);
+        assert!(p.balancer().is_attached(2) && p.balancer().is_attached(3));
+    }
+
+    #[test]
+    fn worker_remove_shrinks_and_keeps_the_simplex() {
+        let cfg = quick(4)
+            .stop(StopCondition::Duration(12 * SECOND_NS))
+            .build()
+            .unwrap();
+        let plan = ChaosPlan::new(vec![fault(3, FaultKind::WorkerRemove { count: 2 })]);
+        let mut p = BalancerPolicy::adaptive(BalancerConfig::builder(4).build().unwrap());
+        let r = run_chaos(&cfg, &mut p, &plan, None, None).unwrap();
+        let last = r.samples.last().unwrap();
+        assert_eq!(last.weights.len(), 2, "samples follow the shrunk width");
+        assert_eq!(
+            last.weights.iter().map(|&u| u64::from(u)).sum::<u64>(),
+            1000
+        );
+        assert_eq!(p.balancer().config().connections(), 2);
+        assert!(r.delivered > 0);
+    }
+
+    #[test]
+    fn growth_under_round_robin_installs_an_even_wider_split() {
+        let cfg = quick(2)
+            .stop(StopCondition::Duration(10 * SECOND_NS))
+            .build()
+            .unwrap();
+        let plan = ChaosPlan::new(vec![fault(2, FaultKind::WorkerAdd { count: 1 })]);
+        let r = run_chaos(&cfg, &mut RoundRobinPolicy::new(), &plan, None, None).unwrap();
+        let last = r.samples.last().unwrap();
+        assert_eq!(last.weights.len(), 3);
+        assert_eq!(
+            last.weights.iter().map(|&u| u64::from(u)).sum::<u64>(),
+            1000
+        );
+        let spread = last.weights.iter().max().unwrap() - last.weights.iter().min().unwrap();
+        assert!(
+            spread <= 1,
+            "round-robin growth stays even: {:?}",
+            last.weights
+        );
+    }
+
+    #[test]
+    fn growth_chaos_runs_replay_identically() {
+        let cfg = quick(3)
+            .stop(StopCondition::Duration(14 * SECOND_NS))
+            .seed(21)
+            .build()
+            .unwrap();
+        let plan = ChaosPlan::new(vec![
+            fault(2, FaultKind::WorkerAdd { count: 2 }),
+            fault(4, FaultKind::WorkerDeath { worker: 4 }),
+            fault(5, FaultKind::WorkerRestart { worker: 4 }),
+            fault(6, FaultKind::WorkerRemove { count: 1 }),
+        ]);
+        let mut a = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+        let mut b = BalancerPolicy::adaptive(BalancerConfig::builder(3).build().unwrap());
+        let ra = run_chaos(&cfg, &mut a, &plan, None, None).unwrap();
+        let rb = run_chaos(&cfg, &mut b, &plan, None, None).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn removed_tail_still_drains_its_queue() {
+        // Shrink immediately after start: whatever was queued on the tail
+        // connections must still come out the merger in order (the run
+        // completes its tuple budget instead of freezing the frontier).
+        let cfg = quick(4).stop(StopCondition::Tuples(5_000)).build().unwrap();
+        let plan = ChaosPlan::new(vec![fault(1, FaultKind::WorkerRemove { count: 3 })]);
+        let r = run_chaos(&cfg, &mut RoundRobinPolicy::new(), &plan, None, None).unwrap();
+        assert_eq!(r.delivered, 5_000);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
-use streambal_core::weights::WrrScheduler;
+use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_telemetry::{Telemetry, TraceEvent};
 
 use crate::config::ConfigError;
@@ -56,7 +56,9 @@ impl MultiRegionSpec {
     }
 
     fn work_ns(&self, worker: usize) -> f64 {
-        self.base_cost as f64 * self.mult_ns * self.load[worker]
+        // Workers added by a mid-run grow have no load entry: unloaded.
+        let load = self.load.get(worker).copied().unwrap_or(1.0);
+        self.base_cost as f64 * self.mult_ns * load
     }
 }
 
@@ -109,11 +111,74 @@ impl MultiConfig {
     }
 }
 
+/// A scheduled live width change for one region of a multi-region run
+/// (see [`run_multi_elastic`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeEvent {
+    /// When the change takes effect (simulated ns).
+    pub t_ns: u64,
+    /// Index into [`MultiConfig::regions`].
+    pub region: usize,
+    /// What happens to the region's width.
+    pub change: WidthChange,
+}
+
+/// The direction of a [`ResizeEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WidthChange {
+    /// Open `count` fresh worker slots, all placed on `host`.
+    Grow {
+        /// Host index (into [`MultiConfig::hosts`]) for the new PEs.
+        host: usize,
+        /// How many slots to open (must be positive).
+        count: usize,
+    },
+    /// Hand the `count` highest-numbered slots back. Their queued tuples
+    /// still drain in order; the splitter just stops feeding them.
+    Shrink {
+        /// How many slots to close (must leave at least one).
+        count: usize,
+    },
+}
+
+/// Replays the resize schedule against the starting widths, rejecting
+/// events that reference an unknown region or host, carry a zero count,
+/// or would shrink a region below one worker.
+fn validate_resizes(cfg: &MultiConfig, resizes: &[ResizeEvent]) -> Result<(), ConfigError> {
+    let mut widths: Vec<usize> = cfg.regions.iter().map(|r| r.workers.len()).collect();
+    let mut order: Vec<usize> = (0..resizes.len()).collect();
+    order.sort_by_key(|&i| (resizes[i].t_ns, i));
+    for i in order {
+        let ev = &resizes[i];
+        let ok = match ev.change {
+            WidthChange::Grow { host, count } => {
+                let ok = count > 0 && host < cfg.hosts.len();
+                if let Some(w) = widths.get_mut(ev.region) {
+                    *w += count;
+                }
+                ok && ev.region < cfg.regions.len()
+            }
+            WidthChange::Shrink { count } => match widths.get_mut(ev.region) {
+                Some(w) if count > 0 && count < *w => {
+                    *w -= count;
+                    true
+                }
+                _ => false,
+            },
+        };
+        if !ok {
+            return Err(ConfigError::BadChaosEvent(i));
+        }
+    }
+    Ok(())
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     SendNext(usize),
     WorkerDone { worker: usize, version: u64 },
     Sample,
+    Resize(usize),
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -153,7 +218,14 @@ struct WorkerState {
 }
 
 /// Per-region plumbing.
+///
+/// `width` is the region's *logical* width — the slots the splitter feeds.
+/// The physical per-slot vectors only ever grow: a shrunk tail stays
+/// dormant (draining its queued tuples in order) and is revived before
+/// fresh slots are appended on a later grow.
 struct RegionState {
+    width: usize,
+    resolution: u32,
     wrr: WrrScheduler,
     weights: Vec<u32>,
     policy: Box<dyn Policy>,
@@ -191,7 +263,30 @@ pub fn run_multi(
     if policies.len() != cfg.regions.len() {
         return Err(ConfigError::NoWorkers);
     }
-    Ok(MultiEngine::new(cfg, policies, None).run())
+    Ok(MultiEngine::new(cfg, policies, None, Vec::new()).run())
+}
+
+/// Like [`run_multi`], with a schedule of live width changes: regions
+/// grow (fresh PEs on a chosen host) or shrink (tail slots drained and
+/// retired) mid-run, and each region's [`Policy`] is told via
+/// [`Policy::on_resize`] so balancers re-solve at the new width.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the configuration is invalid, the
+/// policy count does not match the region count, or a resize event is
+/// malformed ([`ConfigError::BadChaosEvent`] with the event's index).
+pub fn run_multi_elastic(
+    cfg: &MultiConfig,
+    policies: Vec<Box<dyn Policy>>,
+    resizes: &[ResizeEvent],
+) -> Result<Vec<RunResult>, ConfigError> {
+    cfg.validate()?;
+    if policies.len() != cfg.regions.len() {
+        return Err(ConfigError::NoWorkers);
+    }
+    validate_resizes(cfg, resizes)?;
+    Ok(MultiEngine::new(cfg, policies, None, resizes.to_vec()).run())
 }
 
 /// Like [`run_multi`], with a telemetry hub attached: each region's control
@@ -215,7 +310,7 @@ pub fn run_multi_with_telemetry(
     for p in &mut policies {
         p.attach_telemetry(telemetry);
     }
-    Ok(MultiEngine::new(cfg, policies, Some(telemetry.clone())).run())
+    Ok(MultiEngine::new(cfg, policies, Some(telemetry.clone()), Vec::new()).run())
 }
 
 struct MultiEngine<'c> {
@@ -228,6 +323,8 @@ struct MultiEngine<'c> {
     workers: Vec<WorkerState>,
     /// Busy-worker count per host.
     host_busy: Vec<u32>,
+    /// Scheduled live width changes, indexed by [`Ev::Resize`].
+    resizes: Vec<ResizeEvent>,
 }
 
 impl<'c> MultiEngine<'c> {
@@ -235,6 +332,7 @@ impl<'c> MultiEngine<'c> {
         cfg: &'c MultiConfig,
         policies: Vec<Box<dyn Policy>>,
         telemetry: Option<Telemetry>,
+        resizes: Vec<ResizeEvent>,
     ) -> Self {
         let mut workers = Vec::new();
         let mut regions = Vec::new();
@@ -256,6 +354,8 @@ impl<'c> MultiEngine<'c> {
                 });
             }
             regions.push(RegionState {
+                width: n,
+                resolution: initial.resolution(),
                 wrr: WrrScheduler::new(&initial),
                 weights: initial.units().to_vec(),
                 policy,
@@ -284,6 +384,7 @@ impl<'c> MultiEngine<'c> {
             regions,
             workers,
             host_busy: vec![0; cfg.hosts.len()],
+            resizes,
         }
     }
 
@@ -333,6 +434,9 @@ impl<'c> MultiEngine<'c> {
         for r in 0..self.regions.len() {
             self.schedule(0, Ev::SendNext(r));
         }
+        for i in 0..self.resizes.len() {
+            self.schedule(self.resizes[i].t_ns, Ev::Resize(i));
+        }
         self.schedule(self.cfg.sample_interval_ns, Ev::Sample);
 
         while let Some(Reverse(s)) = self.events.pop() {
@@ -345,6 +449,7 @@ impl<'c> MultiEngine<'c> {
                 Ev::SendNext(r) => self.on_send_next(r),
                 Ev::WorkerDone { worker, version } => self.on_worker_done(worker, version),
                 Ev::Sample => self.on_sample(),
+                Ev::Resize(i) => self.on_resize(i),
             }
         }
 
@@ -484,6 +589,71 @@ impl<'c> MultiEngine<'c> {
         }
     }
 
+    fn on_resize(&mut self, i: usize) {
+        let ev = self.resizes[i];
+        match ev.change {
+            WidthChange::Grow { host, count } => self.grow_region(ev.region, host, count),
+            WidthChange::Shrink { count } => self.shrink_region(ev.region, count),
+        }
+    }
+
+    fn grow_region(&mut self, r: usize, host: usize, count: usize) {
+        let old = self.regions[r].width;
+        let new_width = old + count;
+        // Physical slots only ever grow: revive any dormant (previously
+        // shrunk) tail first, then append fresh PEs on `host`.
+        while self.regions[r].conn_q.len() < new_width {
+            let j = self.regions[r].conn_q.len();
+            let id = self.workers.len();
+            self.regions[r].worker_ids.push(id);
+            self.workers.push(WorkerState {
+                region: r,
+                index_in_region: j,
+                host,
+                current: None,
+                remaining: 0.0,
+                updated_at: self.now,
+                started_at: self.now,
+                version: 0,
+            });
+            self.regions[r].blocked_ns.push(0);
+            self.regions[r].blocked_at_sample.push(0);
+            self.regions[r].conn_q.push(VecDeque::new());
+            self.regions[r].merge_q.push(VecDeque::new());
+            self.regions[r].worker_busy_ns.push(0);
+        }
+        self.regions[r].width = new_width;
+        self.apply_resize(r);
+        for j in old..new_width {
+            self.maybe_start_worker(r, j);
+        }
+    }
+
+    fn shrink_region(&mut self, r: usize, count: usize) {
+        let old = self.regions[r].width;
+        let new_width = old.saturating_sub(count).max(1);
+        if new_width == old {
+            return;
+        }
+        // The retired tail keeps draining whatever it already queued (the
+        // merger still releases those tuples in order); the splitter just
+        // stops feeding it.
+        self.regions[r].width = new_width;
+        self.apply_resize(r);
+    }
+
+    fn apply_resize(&mut self, r: usize) {
+        let region = &mut self.regions[r];
+        let width = region.width;
+        let weights = region
+            .policy
+            .on_resize(width)
+            .unwrap_or_else(|| WeightVector::even(width, region.resolution));
+        region.weights.clear();
+        region.weights.extend_from_slice(weights.units());
+        region.wrr.resize(&weights);
+    }
+
     fn on_sample(&mut self) {
         let interval = self.cfg.sample_interval_ns;
         let now = self.now;
@@ -492,7 +662,7 @@ impl<'c> MultiEngine<'c> {
                 self.regions[r].blocked_ns[conn] += now - since;
                 self.regions[r].blocked_on = Some((conn, now, seq));
             }
-            let n = self.regions[r].conn_q.len();
+            let n = self.regions[r].width;
             let mut rates = Vec::with_capacity(n);
             let mut samples = Vec::with_capacity(n);
             for j in 0..n {
@@ -653,6 +823,148 @@ mod tests {
             "loaded worker should be throttled: {:?}",
             last.weights
         );
+    }
+
+    #[test]
+    fn a_region_grows_mid_run_and_uses_the_new_slots() {
+        // 2 PEs on an 8-thread host, 2 more arrive at t=4s: the balancer
+        // re-solves at width 4 and the new slots carry real weight.
+        let cfg = MultiConfig {
+            hosts: vec![Host::slow()],
+            regions: vec![MultiRegionSpec::uniform(2, 0, 1_000, 500.0)],
+            sample_interval_ns: SECOND_NS,
+            duration_ns: 12 * SECOND_NS,
+        };
+        let resizes = vec![ResizeEvent {
+            t_ns: 4 * SECOND_NS,
+            region: 0,
+            change: WidthChange::Grow { host: 0, count: 2 },
+        }];
+        let lb: Box<dyn Policy> = Box::new(BalancerPolicy::adaptive(
+            BalancerConfig::builder(2).build().unwrap(),
+        ));
+        let results = run_multi_elastic(&cfg, vec![lb], &resizes).unwrap();
+        let last = results[0].samples.last().unwrap();
+        assert_eq!(last.weights.len(), 4);
+        assert_eq!(last.weights.iter().sum::<u32>(), 1000);
+        assert!(
+            last.weights[2] > 0 && last.weights[3] > 0,
+            "grown slots must not starve: {:?}",
+            last.weights
+        );
+        // Twice the PEs on an uncontended host ≈ twice the throughput.
+        let before = results[0].samples[2].delivered;
+        let after = last.delivered;
+        assert!(
+            after > before * 3 / 2,
+            "growth should raise throughput: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn a_region_hands_slots_back_and_stays_ordered() {
+        // 4 PEs shrink to 2 at t=4s; the retired tail drains in order
+        // (the merger's debug_assert enforces exact sequence) and the
+        // installed split covers only the surviving width.
+        let cfg = MultiConfig {
+            hosts: vec![Host::slow()],
+            regions: vec![MultiRegionSpec::uniform(4, 0, 1_000, 500.0)],
+            sample_interval_ns: SECOND_NS,
+            duration_ns: 12 * SECOND_NS,
+        };
+        let resizes = vec![ResizeEvent {
+            t_ns: 4 * SECOND_NS,
+            region: 0,
+            change: WidthChange::Shrink { count: 2 },
+        }];
+        let results = run_multi_elastic(&cfg, vec![rr()], &resizes).unwrap();
+        let r = &results[0];
+        let last = r.samples.last().unwrap();
+        assert_eq!(last.weights.len(), 2);
+        assert!(r.delivered > 0);
+        assert!(r.sent >= r.delivered && r.sent - r.delivered < 1_000);
+    }
+
+    #[test]
+    fn grow_then_shrink_revives_dormant_slots_cleanly() {
+        // Shrink retires slots 2..4; a later grow revives them before the
+        // run ends, and the final split spans the full width again.
+        let cfg = MultiConfig {
+            hosts: vec![Host::slow()],
+            regions: vec![MultiRegionSpec::uniform(4, 0, 1_000, 500.0)],
+            sample_interval_ns: SECOND_NS,
+            duration_ns: 14 * SECOND_NS,
+        };
+        let resizes = vec![
+            ResizeEvent {
+                t_ns: 3 * SECOND_NS,
+                region: 0,
+                change: WidthChange::Shrink { count: 2 },
+            },
+            ResizeEvent {
+                t_ns: 7 * SECOND_NS,
+                region: 0,
+                change: WidthChange::Grow { host: 0, count: 3 },
+            },
+        ];
+        let results = run_multi_elastic(&cfg, vec![rr()], &resizes).unwrap();
+        let last = results[0].samples.last().unwrap();
+        assert_eq!(last.weights.len(), 5);
+        assert!(last.weights.iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn invalid_resizes_rejected() {
+        let cfg = MultiConfig {
+            hosts: vec![Host::slow()],
+            regions: vec![MultiRegionSpec::uniform(2, 0, 1_000, 500.0)],
+            sample_interval_ns: SECOND_NS,
+            duration_ns: SECOND_NS,
+        };
+        let bad = [
+            // Unknown region.
+            ResizeEvent {
+                t_ns: 0,
+                region: 1,
+                change: WidthChange::Grow { host: 0, count: 1 },
+            },
+            // Unknown host.
+            ResizeEvent {
+                t_ns: 0,
+                region: 0,
+                change: WidthChange::Grow { host: 9, count: 1 },
+            },
+            // Zero count.
+            ResizeEvent {
+                t_ns: 0,
+                region: 0,
+                change: WidthChange::Grow { host: 0, count: 0 },
+            },
+            // Shrinking to nothing.
+            ResizeEvent {
+                t_ns: 0,
+                region: 0,
+                change: WidthChange::Shrink { count: 2 },
+            },
+        ];
+        for ev in bad {
+            let err = run_multi_elastic(&cfg, vec![rr()], &[ev]).unwrap_err();
+            assert_eq!(err, ConfigError::BadChaosEvent(0), "{ev:?}");
+        }
+        // A shrink covered by an earlier grow is fine.
+        let ok = [
+            ResizeEvent {
+                t_ns: 0,
+                region: 0,
+                change: WidthChange::Grow { host: 0, count: 2 },
+            },
+            ResizeEvent {
+                t_ns: SECOND_NS / 2,
+                region: 0,
+                change: WidthChange::Shrink { count: 3 },
+            },
+        ];
+        assert!(run_multi_elastic(&cfg, vec![rr()], &ok).is_ok());
     }
 
     #[test]

@@ -76,6 +76,17 @@ pub trait Policy {
     fn balancer_mut(&mut self) -> Option<&mut LoadBalancer> {
         None
     }
+
+    /// Called when the engine resizes the region to `new_width`
+    /// connections (a `WorkerAdd`/`WorkerRemove` chaos event or a
+    /// `--grow-at` schedule). Policies carrying per-connection state grow
+    /// or shrink it here and return the weights to install at the new
+    /// width; the default returns `None` and the engine installs an even
+    /// split.
+    fn on_resize(&mut self, new_width: usize) -> Option<WeightVector> {
+        let _ = new_width;
+        None
+    }
 }
 
 /// Naive round-robin (*RR*), optionally with §4.4 transport-level
@@ -324,6 +335,17 @@ impl Policy for BalancerPolicy {
         )
     }
 
+    fn on_resize(&mut self, new_width: usize) -> Option<WeightVector> {
+        let n = self.plane.balancer().config().connections();
+        if new_width > n {
+            self.plane.grow_width(new_width - n);
+        } else if new_width < n {
+            self.plane.shrink_width(n - new_width);
+        }
+        self.rates.resize(new_width, 0.0);
+        Some(self.plane.weights().clone())
+    }
+
     fn cluster_assignment(&self) -> Option<Vec<usize>> {
         self.plane
             .balancer()
@@ -432,6 +454,27 @@ mod tests {
                 .unwrap(),
         );
         assert_eq!(s.name(), "LB-static");
+    }
+
+    #[test]
+    fn balancer_policy_resizes_its_plane_and_rate_buffer() {
+        let mut p = BalancerPolicy::new(BalancerConfig::builder(2).build().unwrap());
+        let w = p.on_resize(4).expect("balancer returns grown weights");
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.units().iter().sum::<u32>(), 1000);
+        assert_eq!(p.balancer().config().connections(), 4);
+        // The next sample round runs at the new width without panicking.
+        let samples: Vec<PolicySample> = (0..4)
+            .map(|j| PolicySample {
+                connection: j,
+                rate: 0.1,
+                weight: w.units()[j],
+            })
+            .collect();
+        assert!(p.on_sample(&ctx(1_000_000_000), &samples).is_some());
+        let w = p.on_resize(3).expect("balancer returns shrunk weights");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.units().iter().sum::<u32>(), 1000);
     }
 
     #[test]

@@ -62,6 +62,109 @@ fn repeated_death_and_restart_keep_every_oracle_quiet() {
 }
 
 #[test]
+fn pinned_growth_seeds_stay_clean_and_replay() {
+    // Pinned seeds whose generated scenarios contain a WorkerAdd: the
+    // region grows mid-run, the balancer admits the newcomers
+    // exploration-bounded, and the whole oracle suite (including the
+    // width oracle's simplex/starvation/reconvergence checks) stays
+    // quiet — byte for byte on replay.
+    for seed in [7u64, 29] {
+        let scenario = Scenario::generate(seed);
+        let adds = scenario
+            .events
+            .iter()
+            .filter(|e| matches!(e.fault, FaultKind::WorkerAdd { .. }))
+            .count();
+        assert!(adds > 0, "seed {seed} must generate at least one WorkerAdd");
+        let a = run_scenario(&scenario).unwrap();
+        let b = run_scenario(&scenario).unwrap();
+        assert_eq!(a, b, "seed {seed} diverged between replays");
+        assert!(a.violations.is_empty(), "seed {seed}: {:#?}", a.violations);
+    }
+}
+
+#[test]
+fn growth_across_the_clustering_knee_stays_clean() {
+    // 30 connections is below the default 32-connection clustering knee;
+    // growing by 4 crosses it mid-run, so the balancer switches to the
+    // clustered solve at the new width. The width oracle checks the
+    // clustered assignment covers all 34 slots and that the 4 newcomers
+    // are admitted within budget.
+    let mut scenario = Scenario::generate(401);
+    scenario.workers = 30;
+    scenario.duration_ns = 26 * SECOND_NS;
+    scenario.events.clear();
+    scenario.events.push(TimedFault {
+        t_ns: 6 * SECOND_NS,
+        fault: FaultKind::WorkerAdd { count: 4 },
+    });
+
+    let a = run_scenario(&scenario).unwrap();
+    let b = run_scenario(&scenario).unwrap();
+    assert_eq!(a, b, "knee-crossing growth broke replay identity");
+    assert!(
+        a.violations.is_empty(),
+        "growth across the clustering knee must stay clean: {:#?}",
+        a.violations
+    );
+    let last = a.result.samples.last().expect("run recorded samples");
+    assert_eq!(last.weights.len(), 34, "region must end at width 34");
+    assert_eq!(
+        last.weights.iter().map(|&u| u64::from(u)).sum::<u64>(),
+        1_000
+    );
+}
+
+#[test]
+fn starved_new_slots_are_caught_by_the_width_oracle_and_shrunk() {
+    // Sabotage the growth path on purpose: the slots added by WorkerAdd
+    // have their units folded back onto connection 0 every round, so the
+    // simplex stays intact but the newcomers never receive a tuple. Only
+    // the width oracle's starvation check can see this — proving the
+    // oracle is alive — and the shrinker must reduce the reproduction to
+    // a handful of events.
+    // Seed 9 generates no growth of its own, so the pushed WorkerAdd is
+    // permanent — no later WorkerRemove can retire the starved slots
+    // before the admission budget expires.
+    let mut scenario = Scenario::generate(9);
+    assert!(
+        !scenario
+            .events
+            .iter()
+            .any(|e| matches!(e.fault, FaultKind::WorkerRemove { .. })),
+        "seed 9 must not generate removals"
+    );
+    scenario.events.push(TimedFault {
+        t_ns: 6 * SECOND_NS,
+        fault: FaultKind::WorkerAdd { count: 2 },
+    });
+    scenario.events.sort_by_key(|e| e.t_ns);
+    scenario.sabotage = Some(Sabotage::StarveNewSlots);
+
+    let failure = shrink(&scenario, 120)
+        .unwrap()
+        .expect("starving grown slots must violate the width oracle");
+    assert!(
+        failure.violations.iter().any(|v| v.oracle == "width"),
+        "expected the width oracle to fire: {:#?}",
+        failure.violations
+    );
+    assert!(
+        failure.scenario.events.len() <= 5,
+        "shrunk reproduction must have at most 5 events, got {:#?}",
+        failure.scenario.events
+    );
+
+    // The shrunk scenario is a self-contained regression: replaying it
+    // yields the identical violations, and it renders as a pasteable test.
+    let replay = run_scenario(&failure.scenario).unwrap();
+    assert_eq!(replay.violations, failure.violations);
+    let rendered = failure.scenario.to_regression_test("starved_growth");
+    assert!(rendered.contains("fn chaos_regression_starved_growth()"));
+    assert!(rendered.contains("StarveNewSlots"));
+}
+
+#[test]
 fn sabotaged_invariant_is_caught_and_shrunk_to_a_tiny_scenario() {
     // Break renormalization on purpose: after a worker death the dead
     // connection's units vanish without being redistributed. The simplex

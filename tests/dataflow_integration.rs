@@ -34,7 +34,7 @@ fn region_balancer_throttles_a_slow_replica() {
     let (n, report) = source(RangeSource::new(0..60_000))
         .parallel(
             ParallelConfig::new(2).sample_interval(std::time::Duration::from_millis(20)),
-            || {
+            move || {
                 let slow = first.swap(false, Ordering::SeqCst);
                 let cost = if slow { 80_000 } else { 2_000 };
                 move |x: u64| {
