@@ -1,0 +1,37 @@
+//! Proxy forwarding cost: one framed request through streambal-proxy to
+//! an echo backend and back, on loopback. This is the per-request price
+//! of the ingress path (frame parse, WRR pick, pooled backend round
+//! trip) — the blocking-rate controller itself runs off-path.
+
+use std::hint::black_box;
+
+use streambal_bench::Micro;
+use streambal_proxy::{EchoBackend, Proxy, ProxyConfig, ProxyOptions};
+
+fn main() {
+    let backends: Vec<EchoBackend> = (0..3)
+        .map(|_| EchoBackend::spawn("127.0.0.1:0".parse().unwrap()).expect("spawn echo"))
+        .collect();
+    let config = ProxyConfig::new(
+        "127.0.0.1:0".parse().unwrap(),
+        backends.iter().map(EchoBackend::addr).collect(),
+    );
+    let handle = Proxy::spawn(ProxyOptions::new(config)).expect("spawn proxy");
+
+    println!("== proxy ==");
+    let m = Micro::new().measure_ms(500);
+    let payload = vec![0xa5u8; 128];
+    let mut conn = streambal_proxy::BackendConn::connect(
+        handle.addr(),
+        std::time::Duration::from_secs(2),
+        std::sync::Arc::new(streambal_transport::BlockingCounter::new()),
+    )
+    .expect("connect to proxy");
+    m.run("proxy/forward_round_trip", || {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let echoed = conn.round_trip(&payload, deadline).expect("round trip");
+        black_box(echoed.len())
+    });
+
+    handle.shutdown();
+}

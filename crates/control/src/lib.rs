@@ -127,6 +127,19 @@ pub trait DataPlane {
     fn close_slot(&mut self) -> bool {
         false
     }
+
+    /// Whether slot `j` should currently be an attached member of the
+    /// region, polled once per round by [`ControlPlane::run_threaded`]: a
+    /// flip to `false` detaches the slot (its weight is pinned to 0 and
+    /// renormalized away — an ejected backend leaves the simplex), a flip
+    /// back to `true` re-attaches it exploration-bounded. The loop never
+    /// detaches the last live connection, so a plane reporting every slot
+    /// unhealthy keeps exactly one attached. Defaults to always healthy
+    /// (fixed-membership plane).
+    fn slot_healthy(&self, j: usize) -> bool {
+        let _ = j;
+        true
+    }
 }
 
 /// Builder for a [`ControlPlane`].
@@ -442,8 +455,11 @@ impl ControlPlane {
     /// Once per round the loop reconciles the region width against
     /// [`DataPlane::target_connections`]: a larger target opens the
     /// missing slots ([`grow`](Self::grow)), a smaller one closes tail
-    /// slots ([`shrink`](Self::shrink)). Width changes allocate; the
-    /// steady state in between does not.
+    /// slots ([`shrink`](Self::shrink)). It then reconciles per-slot
+    /// membership against [`DataPlane::slot_healthy`], detaching slots the
+    /// plane reports unhealthy (weight pinned to 0, never the last live
+    /// one) and re-attaching recovered ones exploration-bounded. Width and
+    /// membership changes allocate; the steady state in between does not.
     pub fn run_threaded<P: DataPlane + ?Sized>(
         &mut self,
         plane: &mut P,
@@ -472,6 +488,22 @@ impl ControlPlane {
             let width = self.lb.config().connections();
             if rates.len() != width {
                 rates.resize(width, 0.0);
+            }
+            // Health-state hook: reconcile per-slot membership with the
+            // plane's view before sampling, so an ejected backend's weight
+            // is renormalized away this round and a recovered one re-enters
+            // exploration-bounded.
+            let mut membership_changed = false;
+            for j in 0..width {
+                let healthy = plane.slot_healthy(j);
+                if healthy && !self.lb.is_attached(j) {
+                    membership_changed |= self.lb.attach_connection(j);
+                } else if !healthy && self.lb.is_attached(j) && self.lb.live_connections() > 1 {
+                    membership_changed |= self.lb.detach_connection(j);
+                }
+            }
+            if membership_changed && self.balancing {
+                plane.install_weights(self.lb.weights());
             }
             let elapsed = started.elapsed();
             plane.begin_round(elapsed);
@@ -670,6 +702,96 @@ mod tests {
         assert_eq!(w.iter().map(|&u| u64::from(u)).sum::<u64>(), 1000);
         assert_eq!(p.balancer().config().connections(), 4);
         assert!(p.balancer().is_attached(2) && p.balancer().is_attached(3));
+    }
+
+    #[test]
+    fn run_threaded_reconciles_membership_with_slot_health() {
+        struct HealthPlane {
+            healthy: Arc<[std::sync::atomic::AtomicBool; 3]>,
+            installed: Arc<std::sync::Mutex<Vec<u32>>>,
+        }
+        impl DataPlane for HealthPlane {
+            fn connections(&self) -> usize {
+                3
+            }
+            fn slot_healthy(&self, j: usize) -> bool {
+                self.healthy[j].load(Ordering::Acquire)
+            }
+            fn sample(&mut self, _interval_ns: u64, rates: &mut [f64]) {
+                rates.fill(0.0);
+            }
+            fn install_weights(&mut self, weights: &WeightVector) {
+                *self.installed.lock().unwrap() = weights.units().to_vec();
+            }
+        }
+        let healthy: Arc<[std::sync::atomic::AtomicBool; 3]> = Arc::new([
+            std::sync::atomic::AtomicBool::new(true),
+            std::sync::atomic::AtomicBool::new(true),
+            std::sync::atomic::AtomicBool::new(true),
+        ]);
+        let installed = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut dp = HealthPlane {
+            healthy: Arc::clone(&healthy),
+            installed: Arc::clone(&installed),
+        };
+        let mut p = plane(3);
+        let stop = AtomicBool::new(false);
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                p.run_threaded(&mut dp, Duration::from_millis(5), &stop, started);
+            });
+            thread::sleep(Duration::from_millis(30));
+            healthy[1].store(false, Ordering::Release);
+            thread::sleep(Duration::from_millis(40));
+            {
+                let w = installed.lock().unwrap().clone();
+                assert_eq!(w.len(), 3);
+                assert_eq!(w[1], 0, "unhealthy slot leaves the simplex: {w:?}");
+                assert_eq!(w.iter().map(|&u| u64::from(u)).sum::<u64>(), 1000);
+            }
+            healthy[1].store(true, Ordering::Release);
+            thread::sleep(Duration::from_millis(40));
+            stop.store(true, Ordering::Release);
+            handle.join().unwrap();
+        });
+        assert!(p.balancer().is_attached(1), "recovered slot re-attached");
+        let w = installed.lock().unwrap().clone();
+        assert_eq!(w.iter().map(|&u| u64::from(u)).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn slot_health_never_detaches_the_last_live_connection() {
+        struct AllSickPlane;
+        impl DataPlane for AllSickPlane {
+            fn connections(&self) -> usize {
+                2
+            }
+            fn slot_healthy(&self, _j: usize) -> bool {
+                false
+            }
+            fn sample(&mut self, _interval_ns: u64, rates: &mut [f64]) {
+                rates.fill(0.0);
+            }
+            fn install_weights(&mut self, _weights: &WeightVector) {}
+        }
+        let mut p = plane(2);
+        let stop = AtomicBool::new(false);
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                p.run_threaded(&mut AllSickPlane, Duration::from_millis(5), &stop, started);
+            });
+            thread::sleep(Duration::from_millis(40));
+            stop.store(true, Ordering::Release);
+            handle.join().unwrap();
+        });
+        assert_eq!(
+            p.balancer().live_connections(),
+            1,
+            "exactly one survivor when every slot reports unhealthy"
+        );
+        assert_eq!(p.weights().units().iter().sum::<u32>(), 1000);
     }
 
     #[test]

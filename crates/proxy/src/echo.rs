@@ -1,0 +1,285 @@
+//! Test kit: a framed echo backend, a client-fleet load driver and a
+//! `/metrics` scraper. Lives in the library (not `#[cfg(test)]`) because
+//! the e2e tests, the benches, the CI smoke job and the `streambal-proxy
+//! echo`/`load` subcommands all share it.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::frame::{write_frame_deadline, FrameReader, Poll, POLL_SLEEP};
+
+/// A backend that echoes every frame back, with switchable misbehaviour.
+#[derive(Debug)]
+pub struct EchoBackend {
+    addr: SocketAddr,
+    served: Arc<AtomicU64>,
+    stalled: Arc<AtomicBool>,
+    read_delay_ms: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl EchoBackend {
+    /// Spawns an echo backend on `addr` (use port 0 for an ephemeral
+    /// port; the bound address is [`addr`](Self::addr)).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot bind.
+    pub fn spawn(addr: SocketAddr) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let served = Arc::new(AtomicU64::new(0));
+        let stalled = Arc::new(AtomicBool::new(false));
+        let read_delay_ms = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let t = {
+            let served = Arc::clone(&served);
+            let stalled = Arc::clone(&stalled);
+            let read_delay_ms = Arc::clone(&read_delay_ms);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("echo-accept".into())
+                .spawn(move || {
+                    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let served = Arc::clone(&served);
+                                let stalled = Arc::clone(&stalled);
+                                let read_delay_ms = Arc::clone(&read_delay_ms);
+                                let stop = Arc::clone(&stop);
+                                if let Ok(h) = thread::Builder::new()
+                                    .name("echo-conn".into())
+                                    .spawn(move || {
+                                        serve_conn(
+                                            stream,
+                                            &served,
+                                            &stalled,
+                                            &read_delay_ms,
+                                            &stop,
+                                        );
+                                    })
+                                {
+                                    conns.push(h);
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => thread::sleep(Duration::from_millis(1)),
+                        }
+                    }
+                    // The listener drops here: further connects are refused.
+                    for h in conns {
+                        let _ = h.join();
+                    }
+                })?
+        };
+        Ok(EchoBackend {
+            addr,
+            served,
+            stalled,
+            read_delay_ms,
+            stop,
+            accept_thread: Some(t),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Acquire)
+    }
+
+    /// Makes every connection handler stop reading (and answering) —
+    /// the classic "accepts but wedged" failure the health checker must
+    /// catch via forward timeouts.
+    pub fn stall(&self) {
+        self.stalled.store(true, Ordering::Release);
+    }
+
+    /// Un-wedges a stalled backend.
+    pub fn unstall(&self) {
+        self.stalled.store(false, Ordering::Release);
+    }
+
+    /// Adds a fixed delay before each echo — a slow backend accumulates
+    /// blocked-write time on the proxy side once buffers fill, which is
+    /// exactly the signal the balancer shifts weight away from.
+    pub fn set_delay(&self, delay: Duration) {
+        self.read_delay_ms.store(
+            u64::try_from(delay.as_millis()).unwrap_or(u64::MAX),
+            Ordering::Release,
+        );
+    }
+
+    /// Kills the backend: the listener closes (new connects refused) and
+    /// every open connection drops mid-stream.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EchoBackend {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_conn(
+    mut stream: TcpStream,
+    served: &AtomicU64,
+    stalled: &AtomicBool,
+    read_delay_ms: &AtomicU64,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new();
+    while !stop.load(Ordering::Acquire) {
+        if stalled.load(Ordering::Acquire) {
+            // Wedged: keep the socket open but read and write nothing.
+            thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        match reader.poll_frame(&mut stream) {
+            Ok(Poll::Frame(frame)) => {
+                let delay = read_delay_ms.load(Ordering::Acquire);
+                if delay > 0 {
+                    thread::sleep(Duration::from_millis(delay));
+                }
+                let deadline = Instant::now() + Duration::from_secs(5);
+                if write_frame_deadline(&mut stream, &frame, deadline, None).is_err() {
+                    break;
+                }
+                served.fetch_add(1, Ordering::AcqRel);
+            }
+            Ok(Poll::Pending) => thread::sleep(POLL_SLEEP),
+            Ok(Poll::Eof) | Err(_) => break,
+        }
+    }
+}
+
+/// What a [`run_load`] fleet observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Requests answered with a byte-correct echo.
+    pub succeeded: u64,
+    /// Requests that failed (connect error, timeout, wrong payload,
+    /// connection closed). The e2e acceptance bar is zero.
+    pub failed: u64,
+}
+
+/// Drives `clients` concurrent connections through the proxy, each
+/// sending `requests` framed payloads and checking the echo. A client
+/// whose connection dies reconnects and **retries the same request** —
+/// exactly once per request — so a proxy-side failure only counts as
+/// `failed` when the retry fails too.
+#[must_use]
+pub fn run_load(
+    proxy: SocketAddr,
+    clients: usize,
+    requests: usize,
+    payload_len: usize,
+) -> LoadReport {
+    let handles: Vec<JoinHandle<LoadReport>> = (0..clients)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut report = LoadReport::default();
+                let mut conn: Option<(TcpStream, FrameReader)> = None;
+                for r in 0..requests {
+                    let mut payload = vec![0u8; payload_len.max(8)];
+                    payload[..8].copy_from_slice(&((c * 1_000_000 + r) as u64).to_le_bytes());
+                    let mut ok = false;
+                    for _attempt in 0..2 {
+                        if conn.is_none() {
+                            conn = connect_client(proxy);
+                        }
+                        let Some((stream, reader)) = conn.as_mut() else {
+                            continue;
+                        };
+                        let deadline = Instant::now() + Duration::from_secs(5);
+                        let sent = write_frame_deadline(stream, &payload, deadline, None);
+                        let echoed =
+                            sent.and_then(|()| reader.read_frame_deadline(stream, deadline));
+                        match echoed {
+                            Ok(Some(frame)) if frame == payload => {
+                                ok = true;
+                                break;
+                            }
+                            _ => conn = None,
+                        }
+                    }
+                    if ok {
+                        report.succeeded += 1;
+                    } else {
+                        report.failed += 1;
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+    let mut total = LoadReport::default();
+    for h in handles {
+        if let Ok(r) = h.join() {
+            total.succeeded += r.succeeded;
+            total.failed += r.failed;
+        }
+    }
+    total
+}
+
+fn connect_client(proxy: SocketAddr) -> Option<(TcpStream, FrameReader)> {
+    let stream = TcpStream::connect_timeout(&proxy, Duration::from_secs(2)).ok()?;
+    stream.set_nodelay(true).ok()?;
+    stream.set_nonblocking(true).ok()?;
+    Some((stream, FrameReader::new()))
+}
+
+/// Scrapes an HTTP endpoint (the proxy's `/metrics`) and returns the
+/// response body.
+///
+/// # Errors
+///
+/// Propagates connect/read failures; a non-200 status is an
+/// `InvalidData` error.
+pub fn scrape(metrics: SocketAddr, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&metrics, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let request = format!("GET {path} HTTP/1.0\r\nHost: streambal\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    if !response.starts_with("HTTP/1.0 200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape failed: {}", response.lines().next().unwrap_or("")),
+        ));
+    }
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok(body)
+}

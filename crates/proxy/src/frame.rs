@@ -1,0 +1,274 @@
+//! Deadline-bounded framed I/O over non-blocking TCP streams.
+//!
+//! Wire format is identical to [`streambal_transport::tcp`]: a 4-byte
+//! little-endian length prefix followed by the payload, 1 MiB max. Every
+//! operation here takes an explicit deadline — a proxy must never let a
+//! stalled peer (a backend that stops reading, a client that stops
+//! sending mid-frame) pin one of its threads indefinitely.
+//!
+//! Writes optionally charge their blocked time (the span spent waiting on
+//! `WouldBlock` for the kernel buffer to drain) to a
+//! [`BlockingCounter`] — that is the per-backend writability signal the
+//! blocking-rate balancer feeds on, sampled through the usual
+//! [`streambal_transport::BlockingSampler`] first-difference contract.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use streambal_transport::BlockingCounter;
+
+/// Maximum accepted frame length (1 MiB), matching the transport layer.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Sleep between non-blocking retries. Short enough that recorded
+/// blocking time tracks the real wait closely.
+pub(crate) const POLL_SLEEP: Duration = Duration::from_micros(200);
+
+/// Encodes `payload` as a length-prefixed frame into `scratch` (cleared
+/// first), so per-request forwarding reuses one buffer.
+pub fn encode_into(scratch: &mut Vec<u8>, payload: &[u8]) {
+    scratch.clear();
+    scratch.reserve(4 + payload.len());
+    scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    scratch.extend_from_slice(payload);
+}
+
+/// Writes one frame to a non-blocking stream, waiting (in short sleeps)
+/// while the kernel buffer is full, up to `deadline`. Time spent waiting
+/// is charged to `counter` when one is given.
+///
+/// # Errors
+///
+/// Returns `ErrorKind::TimedOut` when the deadline passes first — the
+/// stream may then be mid-frame and MUST be discarded, not reused — and
+/// propagates other socket errors.
+pub fn write_frame_deadline(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    deadline: Instant,
+    counter: Option<&BlockingCounter>,
+) -> io::Result<()> {
+    let mut frame = Vec::new();
+    encode_into(&mut frame, payload);
+    let mut rest = &frame[..];
+    let mut blocked_since: Option<Instant> = None;
+    let result = loop {
+        match stream.write(rest) {
+            Ok(0) => break Err(io::Error::new(ErrorKind::WriteZero, "peer closed")),
+            Ok(n) => {
+                rest = &rest[n..];
+                if rest.is_empty() {
+                    break Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                blocked_since.get_or_insert_with(Instant::now);
+                if Instant::now() >= deadline {
+                    break Err(io::Error::new(ErrorKind::TimedOut, "write deadline"));
+                }
+                std::thread::sleep(POLL_SLEEP);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => break Err(e),
+        }
+    };
+    if let (Some(t0), Some(c)) = (blocked_since, counter) {
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        c.add_ns(ns);
+    }
+    result
+}
+
+/// One non-blocking poll step of [`FrameReader::poll_frame`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Poll {
+    /// A complete frame arrived.
+    Frame(Vec<u8>),
+    /// No complete frame is available right now; try again later.
+    Pending,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+}
+
+/// Reassembles length-prefixed frames from a non-blocking stream.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    filled: usize,
+}
+
+impl FrameReader {
+    /// A reader with an empty reassembly buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader {
+            buf: vec![0; 16 * 1024],
+            filled: 0,
+        }
+    }
+
+    /// Whether a frame is partially buffered (bytes received, frame not
+    /// complete) — a drain decision should wait for the frame to finish.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.filled > 0
+    }
+
+    /// Attempts to produce the next frame without blocking: drains what
+    /// the kernel has, returns [`Poll::Frame`] if a full frame is
+    /// buffered, [`Poll::Pending`] when more bytes are needed but none
+    /// are available, [`Poll::Eof`] on clean close.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; rejects frames over [`MAX_FRAME`] and
+    /// mid-frame EOFs as `InvalidData`/`UnexpectedEof`.
+    pub fn poll_frame(&mut self, stream: &mut TcpStream) -> io::Result<Poll> {
+        loop {
+            if let Some(frame) = self.take_buffered()? {
+                return Ok(Poll::Frame(frame));
+            }
+            if self.filled == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+            match stream.read(&mut self.buf[self.filled..]) {
+                Ok(0) => {
+                    return if self.filled == 0 {
+                        Ok(Poll::Eof)
+                    } else {
+                        Err(io::Error::new(ErrorKind::UnexpectedEof, "truncated frame"))
+                    };
+                }
+                Ok(n) => self.filled += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(Poll::Pending),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocks (in short sleeps) until the next frame, EOF, or `deadline`.
+    /// Returns `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// `ErrorKind::TimedOut` when the deadline passes first; otherwise as
+    /// [`poll_frame`](Self::poll_frame).
+    pub fn read_frame_deadline(
+        &mut self,
+        stream: &mut TcpStream,
+        deadline: Instant,
+    ) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            match self.poll_frame(stream)? {
+                Poll::Frame(f) => return Ok(Some(f)),
+                Poll::Eof => return Ok(None),
+                Poll::Pending => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(ErrorKind::TimedOut, "read deadline"));
+                    }
+                    std::thread::sleep(POLL_SLEEP);
+                }
+            }
+        }
+    }
+
+    /// Extracts one complete frame from the reassembly buffer, if any.
+    fn take_buffered(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.filled < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(ErrorKind::InvalidData, "frame too large"));
+        }
+        if self.buf.len() < 4 + len {
+            self.buf.resize(4 + len, 0);
+        }
+        if self.filled < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.copy_within(4 + len..self.filled, 0);
+        self.filled -= 4 + len;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn nonblocking_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn frames_round_trip_through_reader() {
+        let (mut a, mut b) = nonblocking_pair();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for i in 0..50u32 {
+            write_frame_deadline(&mut a, &i.to_le_bytes(), deadline, None).unwrap();
+        }
+        let mut reader = FrameReader::new();
+        for i in 0..50u32 {
+            let f = reader
+                .read_frame_deadline(&mut b, deadline)
+                .unwrap()
+                .expect("frame");
+            assert_eq!(f, i.to_le_bytes());
+        }
+        drop(a);
+        assert_eq!(reader.read_frame_deadline(&mut b, deadline).unwrap(), None);
+    }
+
+    #[test]
+    fn read_deadline_fires_when_no_data_comes() {
+        let (_a, mut b) = nonblocking_pair();
+        let mut reader = FrameReader::new();
+        let start = Instant::now();
+        let err = reader
+            .read_frame_deadline(&mut b, start + Duration::from_millis(60))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(55));
+    }
+
+    #[test]
+    fn write_deadline_fires_against_a_stalled_reader_and_charges_blocking() {
+        let (mut a, _b) = nonblocking_pair();
+        let counter = BlockingCounter::new();
+        let payload = vec![0u8; 64 * 1024];
+        let deadline = Instant::now() + Duration::from_millis(150);
+        // Nobody reads `_b`: the kernel buffers fill and the deadline fires.
+        let mut result = Ok(());
+        for _ in 0..1024 {
+            result = write_frame_deadline(&mut a, &payload, deadline, Some(&counter));
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err().kind(), ErrorKind::TimedOut);
+        assert!(counter.cumulative_ns() > 0, "the wait was charged");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let (mut a, mut b) = nonblocking_pair();
+        a.set_nonblocking(false).unwrap();
+        use std::io::Write as _;
+        a.write_all(&(MAX_FRAME as u32 + 1).to_le_bytes()).unwrap();
+        let mut reader = FrameReader::new();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        let err = reader.read_frame_deadline(&mut b, deadline).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+}

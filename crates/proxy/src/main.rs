@@ -1,0 +1,166 @@
+//! `streambal-proxy` — run the blocking-rate-balanced TCP ingress proxy
+//! and its test harness from the command line.
+//!
+//! ```text
+//! streambal-proxy serve --config examples/proxy.conf
+//! streambal-proxy echo --listen 127.0.0.1:7101
+//! streambal-proxy load --connect 127.0.0.1:7100 --clients 8 --requests 200
+//! streambal-proxy scrape 127.0.0.1:7190 --prefix proxy.
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use streambal_proxy::{run_load, scrape, EchoBackend, Proxy, ProxyConfig, ProxyOptions};
+
+const USAGE: &str = "\
+usage: streambal-proxy <command> [options]
+
+commands:
+  serve  --config <path> [--max-seconds <n>]
+         Run the proxy; hot-reloads the config file on change. Type
+         'quit' on stdin (or wait out --max-seconds) for graceful drain.
+  echo   --listen <addr>
+         Run a framed echo backend (test harness).
+  load   --connect <addr> [--clients <n>] [--requests <n>] [--payload <bytes>]
+         Drive a client fleet through the proxy; exits non-zero if any
+         request fails after its retry.
+  scrape <addr> [--prefix <p>]
+         Fetch /metrics from a running proxy and print it.
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = argv.first() else {
+        return Err("a command is required".into());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "serve" => serve(rest),
+        "echo" => echo(rest),
+        "load" => load(rest),
+        "scrape" => scrape_cmd(rest),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn flag_value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_addr(s: &str) -> Result<SocketAddr, String> {
+    s.parse().map_err(|_| format!("bad address '{s}'"))
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+fn serve(argv: &[String]) -> Result<ExitCode, String> {
+    let path = PathBuf::from(flag_value(argv, "--config").ok_or("serve needs --config <path>")?);
+    let max_seconds = flag_value(argv, "--max-seconds")
+        .map(parse_num)
+        .transpose()?;
+    let config = ProxyConfig::load(&path).map_err(|e| e.to_string())?;
+    let handle = Proxy::spawn(ProxyOptions {
+        config,
+        config_path: Some(path),
+        telemetry: None,
+    })
+    .map_err(|e| format!("spawn: {e}"))?;
+    eprintln!("streambal-proxy: listening on {}", handle.addr());
+    if let Some(m) = handle.metrics_addr() {
+        eprintln!("streambal-proxy: metrics on http://{m}/metrics");
+    }
+
+    // Wait for 'quit' on stdin or the --max-seconds budget, whichever
+    // comes first; a closed stdin falls back to the budget (or forever).
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    // `tx` stays alive in this scope: if stdin hits EOF (e.g. `< /dev/null`)
+    // the reader thread exits and drops its clone, and the channel must NOT
+    // disconnect — recv would return immediately instead of waiting out the
+    // budget.
+    let stdin_tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if line.trim() == "quit" => {
+                    let _ = stdin_tx.send(());
+                    break;
+                }
+                Ok(_) => {}
+            }
+        }
+    });
+    match max_seconds {
+        Some(s) => {
+            let _ = rx.recv_timeout(Duration::from_secs(s));
+        }
+        None => {
+            let _ = rx.recv();
+        }
+    }
+    let report = handle.shutdown();
+    eprintln!(
+        "streambal-proxy: drained={} abandoned={}",
+        report.drained, report.abandoned
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn echo(argv: &[String]) -> Result<ExitCode, String> {
+    let addr = parse_addr(flag_value(argv, "--listen").ok_or("echo needs --listen <addr>")?)?;
+    let backend = EchoBackend::spawn(addr).map_err(|e| format!("bind: {e}"))?;
+    eprintln!("streambal-proxy: echo backend on {}", backend.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn load(argv: &[String]) -> Result<ExitCode, String> {
+    let addr = parse_addr(flag_value(argv, "--connect").ok_or("load needs --connect <addr>")?)?;
+    let clients = flag_value(argv, "--clients").map_or(Ok(4), parse_num)? as usize;
+    let requests = flag_value(argv, "--requests").map_or(Ok(100), parse_num)? as usize;
+    let payload = flag_value(argv, "--payload").map_or(Ok(128), parse_num)? as usize;
+    let report = run_load(addr, clients, requests, payload);
+    println!(
+        "load: {} succeeded, {} failed ({} clients x {} requests)",
+        report.succeeded, report.failed, clients, requests
+    );
+    Ok(if report.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn scrape_cmd(argv: &[String]) -> Result<ExitCode, String> {
+    let addr = parse_addr(argv.first().ok_or("scrape needs an address")?)?;
+    let path = match flag_value(argv, "--prefix") {
+        Some(p) => format!("/metrics?prefix={p}"),
+        None => "/metrics".to_owned(),
+    };
+    let body = scrape(addr, &path).map_err(|e| format!("scrape: {e}"))?;
+    print!("{body}");
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,564 @@
+//! The proxy server: accept loop, per-client forwarding with
+//! skip-and-retry, the `DataPlane` adapter that hands the round
+//! lifecycle to [`ControlPlane::run_threaded`], the re-admission prober,
+//! and graceful drain.
+//!
+//! Thread layout (all joined on shutdown except client threads, which
+//! exit on the stop flag):
+//!
+//! ```text
+//! accept ──spawns──▶ client×N ──pick/forward──▶ BackendPool ◀── controller
+//!                                                   ▲               (run_threaded:
+//!                                                   │                sample, round,
+//!                                               prober                install, reload,
+//!                                        (re-admission probes)        grow/shrink)
+//! ```
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use streambal_control::{ControlPlane, DataPlane};
+use streambal_core::{BalancerConfig, WeightVector};
+use streambal_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use streambal_transport::BlockingSampler;
+
+use crate::config::{ConfigWatcher, ProxyConfig};
+use crate::frame::{write_frame_deadline, FrameReader, Poll, POLL_SLEEP};
+use crate::metrics::serve_metrics;
+use crate::pool::{BackendConn, BackendPool};
+
+/// How the proxy is launched.
+#[derive(Debug)]
+pub struct ProxyOptions {
+    /// The (initial) configuration.
+    pub config: ProxyConfig,
+    /// When set, the file is polled every `reload_poll` for hot reload.
+    pub config_path: Option<PathBuf>,
+    /// Telemetry hub; a fresh one is created when absent.
+    pub telemetry: Option<Telemetry>,
+}
+
+impl ProxyOptions {
+    /// Options for a config with no reload file and fresh telemetry.
+    #[must_use]
+    pub fn new(config: ProxyConfig) -> Self {
+        ProxyOptions {
+            config,
+            config_path: None,
+            telemetry: None,
+        }
+    }
+}
+
+/// Cached handles for every proxy metric family (creation-on-use in the
+/// registry is lock-taking; the hot path must not pay that per request).
+#[derive(Debug, Clone)]
+pub(crate) struct ProxyMetrics {
+    pub accepted: Counter,
+    pub active: Gauge,
+    pub requests: Counter,
+    pub failed_requests: Counter,
+    pub forwarded_bytes: Counter,
+    pub retries: Counter,
+    pub ejections: Counter,
+    pub readmissions: Counter,
+    pub reload_generation: Gauge,
+    pub backends: Gauge,
+    pub latency_ns: Histogram,
+}
+
+impl ProxyMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let reg = telemetry.registry();
+        ProxyMetrics {
+            accepted: reg.counter("proxy.accepted_connections"),
+            active: reg.gauge("proxy.active_connections"),
+            requests: reg.counter("proxy.requests"),
+            failed_requests: reg.counter("proxy.failed_requests"),
+            forwarded_bytes: reg.counter("proxy.forwarded_bytes"),
+            retries: reg.counter("proxy.retries"),
+            ejections: reg.counter("proxy.ejections"),
+            readmissions: reg.counter("proxy.readmissions"),
+            reload_generation: reg.gauge("proxy.reload.generation"),
+            backends: reg.gauge("proxy.backends"),
+            latency_ns: reg.histogram("proxy.request_latency_ns"),
+        }
+    }
+}
+
+/// State shared by every proxy thread.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub stop: AtomicBool,
+    pub draining: AtomicBool,
+    pub active_clients: AtomicUsize,
+    pub pool: Arc<BackendPool>,
+    pub cfg: ProxyConfig,
+    pub metrics: ProxyMetrics,
+}
+
+/// The `DataPlane` adapter: the control plane owns the round lifecycle
+/// (sleep → reload/width/membership reconcile → sample → round →
+/// install) exactly as it does for in-process regions; the proxy only
+/// answers its hooks.
+struct ProxyPlane {
+    shared: Arc<Shared>,
+    watcher: Option<ConfigWatcher>,
+    samplers: Vec<BlockingSampler>,
+    reload_generation: u64,
+}
+
+impl ProxyPlane {
+    fn sync_samplers(&mut self) {
+        let width = self.shared.pool.width();
+        while self.samplers.len() < width {
+            let j = self.samplers.len();
+            let mut s = BlockingSampler::new();
+            if let Some(b) = self.shared.pool.backend(j) {
+                // Start from the counter's current value: a slot opened
+                // mid-run must not report its whole history as one round.
+                s.resync(b.counter());
+            }
+            self.samplers.push(s);
+        }
+        self.samplers.truncate(width);
+    }
+}
+
+impl DataPlane for ProxyPlane {
+    fn connections(&self) -> usize {
+        self.shared.pool.width()
+    }
+
+    fn begin_round(&mut self, _elapsed: Duration) {
+        if let Some(watcher) = &mut self.watcher {
+            if let Some(cfg) = watcher.poll() {
+                let diff = self.shared.pool.apply_backends(&cfg.backends);
+                self.reload_generation += 1;
+                self.shared
+                    .metrics
+                    .reload_generation
+                    .set(self.reload_generation as f64);
+                if diff.changed() {
+                    eprintln!(
+                        "streambal-proxy: reload #{}: +{} backends, -{} removed, {} resurrected",
+                        self.reload_generation, diff.added, diff.removed, diff.resurrected
+                    );
+                }
+            }
+        }
+        self.shared
+            .metrics
+            .backends
+            .set(self.shared.pool.width() as f64);
+    }
+
+    fn sample(&mut self, interval_ns: u64, rates: &mut [f64]) {
+        self.sync_samplers();
+        for (j, rate) in rates.iter_mut().enumerate() {
+            *rate = match (self.samplers.get_mut(j), self.shared.pool.backend(j)) {
+                (Some(s), Some(b)) => s.sample(b.counter(), interval_ns),
+                _ => 0.0,
+            };
+        }
+    }
+
+    fn install_weights(&mut self, weights: &WeightVector) {
+        self.shared.pool.install_weights(weights);
+    }
+
+    fn target_connections(&self) -> usize {
+        self.shared.pool.target()
+    }
+
+    fn open_slot(&mut self) -> bool {
+        self.shared.pool.open_pending();
+        self.sync_samplers();
+        true
+    }
+
+    fn close_slot(&mut self) -> bool {
+        let width = self.shared.pool.width();
+        if width <= 1 {
+            return false;
+        }
+        self.shared.pool.close_tail(width - 1);
+        self.sync_samplers();
+        true
+    }
+
+    fn slot_healthy(&self, j: usize) -> bool {
+        self.shared.pool.slot_healthy(j)
+    }
+}
+
+/// What [`ProxyHandle::shutdown`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every in-flight client finished within the drain budget.
+    pub drained: bool,
+    /// Clients still active when the budget expired (0 when drained).
+    pub abandoned: usize,
+}
+
+/// A running proxy. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) stops the threads abruptly (no drain).
+#[derive(Debug)]
+pub struct ProxyHandle {
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    telemetry: Telemetry,
+    pool: Arc<BackendPool>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ProxyHandle {
+    /// The bound client-facing address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound `/metrics` address, when enabled.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The telemetry hub backing `/metrics` and the controller trace.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The backend pool (tests inspect health state and weights here).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BackendPool> {
+        &self.pool
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight clients finish
+    /// (up to `drain_timeout`), then stop every thread and join them.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::Release);
+        let deadline = Instant::now() + self.shared.cfg.drain_timeout;
+        while self.shared.active_clients.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        let abandoned = self.shared.active_clients.load(Ordering::Acquire);
+        self.shared.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        DrainReport {
+            drained: abandoned == 0,
+            abandoned,
+        }
+    }
+}
+
+impl Drop for ProxyHandle {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A proxy and its worker threads.
+pub struct Proxy;
+
+impl Proxy {
+    /// Binds the listener(s) and spawns the accept, controller, prober
+    /// and (optionally) metrics threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a listener cannot bind or the initial config is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the balancer rejects the initial width (unreachable for
+    /// a non-empty backend list, which [`ProxyConfig`] guarantees).
+    pub fn spawn(options: ProxyOptions) -> io::Result<ProxyHandle> {
+        let cfg = options.config;
+        let telemetry = options.telemetry.unwrap_or_default();
+        let pool = Arc::new(BackendPool::new(&cfg.backends));
+        let metrics = ProxyMetrics::new(&telemetry);
+        metrics.backends.set(cfg.backends.len() as f64);
+
+        let listener = TcpListener::bind(cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics_listener = match cfg.metrics {
+            Some(m) => {
+                let l = TcpListener::bind(m)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = metrics_listener
+            .as_ref()
+            .map(TcpListener::local_addr)
+            .transpose()?;
+
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active_clients: AtomicUsize::new(0),
+            pool: Arc::clone(&pool),
+            cfg: cfg.clone(),
+            metrics,
+        });
+
+        let watcher = options.config_path.map(|path| {
+            let initial = std::fs::read_to_string(&path).unwrap_or_default();
+            ConfigWatcher::new(path, initial)
+        });
+
+        let mut threads = Vec::new();
+
+        // Controller: run_threaded owns the round lifecycle unchanged.
+        let controller_shared = Arc::clone(&shared);
+        let controller_telemetry = telemetry.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("proxy-controller".into())
+                .spawn(move || {
+                    let width = controller_shared.pool.width();
+                    let bcfg = BalancerConfig::builder(width)
+                        .build()
+                        .expect("a non-empty backend list yields a valid width");
+                    let mut cp = ControlPlane::builder(bcfg)
+                        .rate_cap(10.0)
+                        .telemetry(&controller_telemetry)
+                        .metrics("proxy")
+                        .build();
+                    let interval = controller_shared.cfg.sample_interval;
+                    let mut plane = ProxyPlane {
+                        shared: Arc::clone(&controller_shared),
+                        watcher,
+                        samplers: Vec::new(),
+                        reload_generation: 0,
+                    };
+                    plane.sync_samplers();
+                    cp.run_threaded(
+                        &mut plane,
+                        interval,
+                        &controller_shared.stop,
+                        Instant::now(),
+                    );
+                })?,
+        );
+
+        // Prober: re-admits ejected backends that accept a connect again.
+        let prober_shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("proxy-prober".into())
+                .spawn(move || run_prober(&prober_shared))?,
+        );
+
+        // Metrics endpoint.
+        if let Some(l) = metrics_listener {
+            let metrics_shared = Arc::clone(&shared);
+            let metrics_telemetry = telemetry.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("proxy-metrics".into())
+                    .spawn(move || serve_metrics(&l, &metrics_telemetry, &metrics_shared.stop))?,
+            );
+        }
+
+        // Accept loop.
+        let accept_shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("proxy-accept".into())
+                .spawn(move || run_accept(&listener, &accept_shared))?,
+        );
+
+        Ok(ProxyHandle {
+            addr,
+            metrics_addr,
+            telemetry,
+            pool,
+            shared,
+            threads,
+        })
+    }
+}
+
+fn run_accept(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        if shared.draining.load(Ordering::Acquire) {
+            thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.accepted.incr();
+                shared.active_clients.fetch_add(1, Ordering::AcqRel);
+                let client_shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name("proxy-client".into())
+                    .spawn(move || {
+                        run_client(stream, &client_shared);
+                        client_shared.active_clients.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    shared.active_clients.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn run_client(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    shared
+        .metrics
+        .active
+        .set(shared.active_clients.load(Ordering::Acquire) as f64);
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.poll_frame(&mut stream) {
+            Ok(Poll::Frame(request)) => {
+                let t0 = Instant::now();
+                shared.metrics.requests.incr();
+                match forward_with_retries(shared, &request) {
+                    Ok(response) => {
+                        shared
+                            .metrics
+                            .forwarded_bytes
+                            .add((request.len() + response.len()) as u64);
+                        let deadline = Instant::now() + shared.cfg.forward_timeout;
+                        if write_frame_deadline(&mut stream, &response, deadline, None).is_err() {
+                            break;
+                        }
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        shared.metrics.latency_ns.record(ns);
+                    }
+                    Err(_) => {
+                        // Every backend failed us: the client sees the
+                        // connection close and may retry elsewhere.
+                        shared.metrics.failed_requests.incr();
+                        break;
+                    }
+                }
+                if shared.draining.load(Ordering::Acquire) && !reader.mid_frame() {
+                    break;
+                }
+            }
+            Ok(Poll::Pending) => {
+                if shared.stop.load(Ordering::Acquire)
+                    || (shared.draining.load(Ordering::Acquire) && !reader.mid_frame())
+                {
+                    break;
+                }
+                thread::sleep(POLL_SLEEP);
+            }
+            Ok(Poll::Eof) | Err(_) => break,
+        }
+    }
+    shared.metrics.active.set(
+        shared
+            .active_clients
+            .load(Ordering::Acquire)
+            .saturating_sub(1) as f64,
+    );
+}
+
+/// Forwards one request, skipping over failed backends: each failed
+/// attempt puts the backend on the skip-list and picks another, up to
+/// `max(2 × width, 4)` attempts. A failure on a *reused* pooled
+/// connection gets one fresh-connection retry against the same backend
+/// before counting toward ejection — an idle socket the backend closed
+/// is not evidence of ill health.
+fn forward_with_retries(shared: &Arc<Shared>, request: &[u8]) -> io::Result<Vec<u8>> {
+    let mut tried: Vec<usize> = Vec::new();
+    let budget = (2 * shared.pool.width()).max(4);
+    let mut last_err = io::Error::other("no backend available");
+    for attempt in 0..budget {
+        let Some((j, backend)) = shared.pool.pick(&tried) else {
+            break;
+        };
+        if attempt > 0 {
+            shared.metrics.retries.incr();
+        }
+        let deadline = Instant::now() + shared.cfg.forward_timeout;
+        // Reused connection first; its failure only burns the socket.
+        if let Some(mut conn) = backend.take_idle() {
+            match conn.round_trip(request, deadline) {
+                Ok(response) => {
+                    backend.record_success();
+                    backend.park(conn);
+                    return Ok(response);
+                }
+                Err(_) => drop(conn),
+            }
+        }
+        let fresh = BackendConn::connect(
+            backend.addr,
+            shared.cfg.connect_timeout,
+            std::sync::Arc::clone(backend.counter()),
+        )
+        .and_then(|mut conn| {
+            let deadline = Instant::now() + shared.cfg.forward_timeout;
+            conn.round_trip(request, deadline).map(|r| (conn, r))
+        });
+        match fresh {
+            Ok((conn, response)) => {
+                backend.record_success();
+                backend.park(conn);
+                return Ok(response);
+            }
+            Err(e) => {
+                if backend.record_failure(
+                    shared.cfg.eject_after,
+                    shared.cfg.probe_interval,
+                    shared.pool.now_ms(),
+                ) {
+                    shared.metrics.ejections.incr();
+                }
+                tried.push(j);
+                last_err = e;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+fn run_prober(shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        let now_ms = shared.pool.now_ms();
+        for (_, backend) in shared.pool.slots() {
+            if !backend.probe_due(now_ms) {
+                continue;
+            }
+            match TcpStream::connect_timeout(&backend.addr, shared.cfg.connect_timeout) {
+                Ok(_) => {
+                    backend.readmit();
+                    shared.metrics.readmissions.incr();
+                }
+                Err(_) => backend.probe_failed(shared.cfg.probe_interval, now_ms),
+            }
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -347,8 +347,18 @@ impl MetricsRegistry {
     /// Captures every registered metric, sorted by name.
     #[must_use]
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.snapshot_matching("")
+    }
+
+    /// Captures the metrics whose names start with `prefix`, sorted by
+    /// name — the filter behind scrape endpoints that expose one
+    /// subsystem's families (e.g. `/metrics?prefix=proxy.`). An empty
+    /// prefix matches everything.
+    #[must_use]
+    pub fn snapshot_matching(&self, prefix: &str) -> Vec<MetricSnapshot> {
         self.lock()
             .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
             .map(|(name, m)| MetricSnapshot {
                 name: name.clone(),
                 value: match m {
@@ -376,6 +386,19 @@ mod tests {
         g.set(-2.5);
         assert!((r.gauge("a.level").get() + 2.5).abs() < 1e-12);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_matching_filters_by_prefix() {
+        let r = MetricsRegistry::new();
+        r.counter("proxy.requests").add(4);
+        r.gauge("proxy.backends").set(3.0);
+        r.counter("runtime.delivered").add(9);
+        let proxy = r.snapshot_matching("proxy.");
+        assert_eq!(proxy.len(), 2);
+        assert!(proxy.iter().all(|m| m.name.starts_with("proxy.")));
+        assert_eq!(r.snapshot_matching(""), r.snapshot());
+        assert!(r.snapshot_matching("nope.").is_empty());
     }
 
     #[test]

@@ -99,6 +99,27 @@ impl Incoming {
 /// Propagates socket errors.
 pub fn connect(addr: std::net::SocketAddr) -> io::Result<TcpSender> {
     let stream = TcpStream::connect(addr)?;
+    instrument_stream(stream)
+}
+
+/// Connects with a bound on how long connection setup may take. A plain
+/// [`connect`] can hang for minutes against a peer that drops SYNs (a dead
+/// or blackholed backend); this variant fails within `timeout` instead.
+/// The resulting socket has `TCP_NODELAY` set and is in non-blocking mode,
+/// like every instrumented sender.
+///
+/// # Errors
+///
+/// Returns `ErrorKind::TimedOut` when the peer does not complete the
+/// handshake in time; propagates other socket errors.
+pub fn connect_timeout(addr: std::net::SocketAddr, timeout: Duration) -> io::Result<TcpSender> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    instrument_stream(stream)
+}
+
+/// Applies the sender socket options (`TCP_NODELAY`, non-blocking) shared
+/// by both connect paths.
+fn instrument_stream(stream: TcpStream) -> io::Result<TcpSender> {
     stream.set_nodelay(true)?;
     stream.set_nonblocking(true)?;
     Ok(TcpSender {
@@ -111,6 +132,14 @@ impl TcpSender {
     /// The connection's cumulative blocking-time counter.
     pub fn blocking_counter(&self) -> Arc<BlockingCounter> {
         Arc::clone(&self.counter)
+    }
+
+    /// Unwraps the sender into its configured socket (non-blocking,
+    /// `TCP_NODELAY`) and counter, for callers that run their own framing
+    /// over the instrumented connection — e.g. a proxy that multiplexes
+    /// request/response traffic on the same stream.
+    pub fn into_inner(self) -> (TcpStream, Arc<BlockingCounter>) {
+        (self.stream, self.counter)
     }
 
     /// Attempts to send a frame without blocking (the `MSG_DONTWAIT`
@@ -305,6 +334,35 @@ mod tests {
             counter.cumulative_ns() > 1_000_000,
             "expected >1ms of real TCP blocking, got {} ns",
             counter.cumulative_ns()
+        );
+    }
+
+    #[test]
+    fn connect_timeout_to_live_listener_succeeds_quickly() {
+        // A bound listener completes the handshake in the kernel even if
+        // accept() never runs — setup must not depend on the application.
+        let (addr, _incoming) = listen().unwrap();
+        let start = Instant::now();
+        let tx = connect_timeout(addr, Duration::from_secs(2)).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(2));
+        assert!(tx.stream.nodelay().unwrap(), "backend sockets set nodelay");
+    }
+
+    #[test]
+    fn connect_timeout_to_unresponsive_address_returns_within_budget() {
+        // 240.0.0.1 is reserved address space: depending on the host's
+        // network stack the SYN is either dropped (the dead-backend hang
+        // this API exists to bound) or rejected immediately. Either way the
+        // call must come back within the timeout, never hang.
+        let addr: std::net::SocketAddr = "240.0.0.1:9".parse().unwrap();
+        let timeout = Duration::from_millis(250);
+        let start = Instant::now();
+        let result = connect_timeout(addr, timeout);
+        assert!(result.is_err(), "no one answers reserved address space");
+        assert!(
+            start.elapsed() < timeout + Duration::from_secs(5),
+            "connect_timeout must bound setup, took {:?}",
+            start.elapsed()
         );
     }
 

@@ -4,6 +4,7 @@ pub use streambal_cluster as cluster;
 pub use streambal_control as control;
 pub use streambal_core as core;
 pub use streambal_dataflow as dataflow;
+pub use streambal_proxy as proxy;
 pub use streambal_runtime as runtime;
 pub use streambal_sim as sim;
 pub use streambal_telemetry as telemetry;
