@@ -1,29 +1,34 @@
-//! Clustering cost at the paper's 64-channel scale: knees, distance matrix
-//! and agglomeration.
+//! Clustering cost from the paper's 64-channel scale up to the 10k+
+//! connection regime, measured over the exact bulk path a full recluster
+//! round runs: the fit-based knee refresh, per-item log-feature extraction,
+//! the condensed O(n²) distance fill and the nearest-neighbor-chain
+//! agglomeration — all out of retained scratch, as in the controller.
 
 use std::hint::black_box;
 
 use streambal_bench::Micro;
-use streambal_core::cluster::{cluster, distance, knee_of};
+use streambal_core::cluster::{
+    condensed_len, fill_condensed, knee_of_function, log_features, ClusterScratch, Clustering,
+};
+use streambal_core::function::BlockingRateFunction;
 
-/// Functions from three capacity classes, like Figure 12.
-fn class_functions(n: usize) -> Vec<Vec<f64>> {
+/// Functions from three capacity classes, like Figure 12, with small
+/// within-class spread so the distance structure is non-trivial. The
+/// resolution scales with the width (the controller keeps `R >= n`).
+fn class_functions(n: usize, resolution: u32) -> Vec<BlockingRateFunction> {
     (0..n)
         .map(|j| {
-            let knee = match j % 3 {
-                0 => 10,
-                1 => 150,
-                _ => 400,
+            let (knee_frac, peak) = match j % 3 {
+                0 => (0.01, 0.9),
+                1 => (0.15, 0.7),
+                _ => (0.40, 0.5),
             };
-            (0..=1000usize)
-                .map(|w| {
-                    if w <= knee {
-                        0.0
-                    } else {
-                        (w - knee) as f64 * 0.001
-                    }
-                })
-                .collect()
+            let knee = ((f64::from(resolution) * knee_frac) as u32).max(1);
+            let mut f = BlockingRateFunction::new(resolution, 0.5);
+            f.observe(knee, 0.0);
+            // Spread the full-load rate a little within each class.
+            f.observe(resolution, peak * (1.0 + 0.05 * ((j / 3 % 7) as f64) / 7.0));
+            f
         })
         .collect()
 }
@@ -31,19 +36,31 @@ fn class_functions(n: usize) -> Vec<Vec<f64>> {
 fn main() {
     let m = Micro::new().measure_ms(500);
     println!("== cluster ==");
-    for n in [16usize, 64, 128] {
-        let funcs = class_functions(n);
-        m.run(&format!("cluster/full_round/{n}"), || {
-            let knees: Vec<_> = funcs.iter().map(|f| knee_of(f)).collect();
-            let mut d = vec![0.0; n * n];
-            for i in 0..n {
-                for j in i + 1..n {
-                    let v = distance(&knees[i], &knees[j], 1000);
-                    d[i * n + j] = v;
-                    d[j * n + i] = v;
-                }
+    for n in [16usize, 64, 128, 1024, 4096, 16384] {
+        let resolution = (2 * n).max(1000) as u32;
+        let mut funcs = class_functions(n, resolution);
+        let mut feat = vec![[0.0f64; 3]; n];
+        let mut dist = vec![0.0f64; condensed_len(n)];
+        let mut scratch = ClusterScratch::new();
+        let mut out = Clustering::default();
+        let stats = m.run(&format!("cluster/full_round/{n}"), || {
+            for (j, f) in funcs.iter_mut().enumerate() {
+                let k = knee_of_function(f);
+                feat[j] = log_features(&k, resolution);
             }
-            black_box(cluster(n, &d, 0.7).num_clusters())
+            fill_condensed(&feat, &mut dist);
+            scratch.cluster_condensed(n, &dist, 0.7, &mut out);
+            black_box(out.num_clusters())
         });
+        assert_eq!(
+            out.num_clusters(),
+            3.min(n),
+            "the three capacity classes must come out as three clusters"
+        );
+        // The from-scratch recluster is a transient (growth, membership
+        // change); steady-state rounds ride the incremental path, whose 1 s
+        // cadence budget is asserted in the controller bench. Here we only
+        // require the bulk path to complete and report honestly.
+        black_box(stats);
     }
 }

@@ -1,0 +1,148 @@
+//! Proves the steady-state *clustered* control-plane round is
+//! allocation-free — the end-to-end companion of
+//! `core/tests/alloc_counter_clustered.rs`, driving a clustering-enabled
+//! balancer through [`ControlPlane::round`] and across every membership
+//! transition a region sees in production: detach, re-attach, growth and
+//! shrink. The transitions themselves may allocate (fresh functions,
+//! renormalization, scratch re-layout); the steady state before and after
+//! each one must not.
+//!
+//! This file deliberately holds exactly one `#[test]`: the counter is
+//! process-global, so any concurrently running test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use streambal_control::ControlPlane;
+use streambal_core::controller::{BalancerConfig, ClusteringConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn count() {
+    if ENABLED.load(Ordering::Relaxed) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const N: usize = 64;
+
+fn warm(plane: &mut ControlPlane, rates: &mut [f64], rounds: u32, from: u32) {
+    let n = rates.len();
+    for round in 0..rounds {
+        let j = (round as usize * 7) % n;
+        rates.fill(0.0);
+        if plane.balancer().is_attached(j) {
+            // Two load tiers keep several clusters alive through the warmup.
+            rates[j] = if j.is_multiple_of(2) {
+                0.05 + 0.3 * f64::from(round % 10) / 10.0
+            } else {
+                0.0
+            };
+        }
+        plane.round(u64::from(from + round), rates);
+    }
+}
+
+fn measure_zero(plane: &mut ControlPlane, rates: &[f64], label: &str) {
+    // Settle on the exact workload we are about to measure, so weight
+    // movement (and the raw-point inserts it causes) finishes first and
+    // the decaying knees converge. The clustered path needs a longer
+    // runway than the plain one: pooled predicted values keep decaying
+    // (and occasionally re-ordering the greedy solve) until every decayed
+    // point has sunk below every frozen below-weight point.
+    for round in 0..500u64 {
+        plane.round(round, rates);
+    }
+    assert!(
+        plane.balancer().last_clusters().is_some(),
+        "{label}: the live membership must stay above the clustering \
+         threshold for this proof to mean anything"
+    );
+    ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    for round in 0..20u64 {
+        plane.round(round, rates);
+    }
+    ENABLED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "steady-state clustered control-plane rounds must not allocate \
+         ({label}: got {allocs} over 20 rounds)"
+    );
+}
+
+#[test]
+fn steady_state_clustered_rounds_allocate_nothing_through_the_control_plane() {
+    let cfg = BalancerConfig::builder(N)
+        .clustering(ClusteringConfig::default())
+        .build()
+        .unwrap();
+    let mut plane = ControlPlane::builder(cfg).build();
+    let mut rates = vec![0.0; N];
+
+    warm(&mut plane, &mut rates, 200, 0);
+    rates.fill(0.0);
+    measure_zero(&mut plane, &rates, "initial clustered steady state");
+
+    // Detaching drops one member but stays above the threshold, so the
+    // steady state after the change is still the clustered round — now
+    // running over the cached live-index list for a sparse membership.
+    assert!(plane.detach_connection(3));
+    warm(&mut plane, &mut rates, 100, 200);
+    rates.fill(0.0);
+    measure_zero(&mut plane, &rates, "after detach");
+
+    assert!(plane.attach_connection(3));
+    warm(&mut plane, &mut rates, 200, 300);
+    rates.fill(0.0);
+    measure_zero(&mut plane, &rates, "after re-attach");
+
+    // Growth re-lays-out the whole scratch (condensed matrix included) and
+    // may allocate in the act; the steady state at the wider width must be
+    // allocation-free again.
+    let range = plane.grow_width(8);
+    assert_eq!(range, N..N + 8);
+    rates.resize(N + 8, 0.0);
+    warm(&mut plane, &mut rates, 200, 500);
+    rates.fill(0.0);
+    measure_zero(&mut plane, &rates, "after grow");
+
+    plane.shrink_width(8);
+    rates.truncate(N);
+    warm(&mut plane, &mut rates, 200, 700);
+    rates.fill(0.0);
+    measure_zero(&mut plane, &rates, "after shrink");
+
+    // The plane still functions after the measured windows.
+    rates[0] = 0.9;
+    let w = plane.round(1_000, &rates);
+    assert_eq!(w.units().iter().sum::<u32>(), 1000);
+}

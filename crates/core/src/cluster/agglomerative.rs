@@ -6,13 +6,46 @@
 //! distance between members) keeps clusters tight, which matters here: a
 //! cluster mixing a 100×-loaded channel with an unloaded one would starve or
 //! flood its members.
+//!
+//! The implementation is the nearest-neighbor-chain algorithm over a
+//! condensed (upper-triangular) distance array with Lance–Williams updates:
+//! O(n²) time and O(n²)/2 memory instead of the naive rescan-every-pair
+//! loop's O(n³)–O(n⁴). For complete linkage the Lance–Williams update is a
+//! pure `max`, so merge heights are bit-identical to the naive member-pair
+//! scan, and the nearest-neighbor scan breaks distance ties towards the
+//! smallest cluster label — the same total order the naive reference
+//! induces — so the resulting partition is *identical*, not merely
+//! equivalent (property-tested against the retained naive oracle below).
+//!
+//! All working memory lives in a [`ClusterScratch`] that callers retain
+//! across runs, so a steady-state controller round clusters without heap
+//! allocation.
+
+/// Number of entries in a condensed (strict upper-triangular, row-major)
+/// pairwise distance matrix over `n` items: `n · (n − 1) / 2`.
+#[inline]
+pub fn condensed_len(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+/// Index of the pair `(i, j)` with `i < j` in a condensed distance matrix
+/// over `n` items.
+///
+/// Row `i` of the condensed layout stores `(i, i+1) .. (i, n-1)`.
+#[inline]
+pub fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n, "need i < j < n, got i={i} j={j} n={n}");
+    // i rows before this one hold (n-1) + (n-2) + ... + (n-i) entries.
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
 
 /// A clustering result.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Clustering {
     /// For each item, the id of its cluster (`0..num_clusters`). Cluster ids
     /// are assigned in order of each cluster's smallest member index, so the
-    /// labelling is deterministic.
+    /// labelling is deterministic. Items outside the clustered set (possible
+    /// only via [`ClusterScratch::cluster_live`]) carry `usize::MAX`.
     pub assignment: Vec<usize>,
     /// The members of each cluster, sorted ascending.
     pub members: Vec<Vec<usize>>,
@@ -25,14 +58,280 @@ impl Clustering {
     }
 }
 
+/// Retained working memory for the nearest-neighbor-chain clustering.
+///
+/// Every buffer (the condensed working matrix, the chain, the dendrogram,
+/// the union-find for the threshold cut, and a pool of recycled member
+/// vectors) is reused across runs: after warm-up, re-clustering the same
+/// width performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterScratch {
+    /// Condensed working copy of the distance matrix, mutated in place by
+    /// the Lance–Williams merges.
+    work: Vec<f64>,
+    /// Which packed labels still denote active clusters.
+    active: Vec<bool>,
+    /// The nearest-neighbor chain (packed labels).
+    chain: Vec<u32>,
+    /// The full dendrogram: `(survivor, victim, height)` per merge. A
+    /// cluster's label is its smallest member, so `survivor < victim`.
+    merges: Vec<(u32, u32, f64)>,
+    /// Union-find parents for the threshold cut.
+    parent: Vec<u32>,
+    /// Packed item → cluster id, filled during the labelling pass.
+    cluster_of: Vec<usize>,
+    /// Recycled member vectors (returned via [`recycle`](Self::recycle)).
+    pool: Vec<Vec<usize>>,
+}
+
+impl ClusterScratch {
+    /// Creates an empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a retired clustering's member vectors to the internal pool so
+    /// the next run reuses their capacity instead of allocating.
+    pub fn recycle(&mut self, members: &mut Vec<Vec<usize>>) {
+        for mut m in members.drain(..) {
+            // Vectors whose allocation was moved elsewhere (capacity 0)
+            // would only pollute the pool with useless handles.
+            if m.capacity() == 0 {
+                continue;
+            }
+            m.clear();
+            self.pool.push(m);
+        }
+    }
+
+    fn grab(&mut self) -> Vec<usize> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Clusters `n` items from a condensed distance matrix (see
+    /// [`condensed_len`] / [`condensed_index`]), merging while the
+    /// complete-linkage distance is at most `threshold`. The result is
+    /// written into `out` (whose previous buffers are recycled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `condensed.len() != condensed_len(n)`. Debug
+    /// builds also panic on negative or non-finite distances.
+    pub fn cluster_condensed(
+        &mut self,
+        n: usize,
+        condensed: &[f64],
+        threshold: f64,
+        out: &mut Clustering,
+    ) {
+        assert!(n > 0, "need at least one item");
+        assert_eq!(
+            condensed.len(),
+            condensed_len(n),
+            "condensed matrix must hold n(n-1)/2 entries"
+        );
+        debug_assert!(
+            condensed.iter().all(|&d| d.is_finite() && d >= 0.0),
+            "distances must be finite and >= 0"
+        );
+        self.work.clear();
+        self.work.extend_from_slice(condensed);
+        self.run(n, threshold);
+        self.emit(n, None, n, out);
+    }
+
+    /// Clusters the subset `live` (strictly ascending slot indices) of
+    /// `n_slots` items, reading pair distances from a condensed matrix over
+    /// *all* `n_slots` slots. The result is expressed in slot indices:
+    /// `out.assignment` has length `n_slots` with `usize::MAX` for slots not
+    /// in `live`, and `out.members` holds slot indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `condensed.len() != condensed_len(n_slots)`. Debug builds
+    /// also check that `live` is strictly ascending, in bounds, and that the
+    /// gathered distances are finite and non-negative.
+    pub fn cluster_live(
+        &mut self,
+        live: &[usize],
+        n_slots: usize,
+        condensed: &[f64],
+        threshold: f64,
+        out: &mut Clustering,
+    ) {
+        assert_eq!(
+            condensed.len(),
+            condensed_len(n_slots),
+            "condensed matrix must hold n_slots(n_slots-1)/2 entries"
+        );
+        debug_assert!(
+            live.windows(2).all(|w| w[0] < w[1]) && live.last().is_none_or(|&j| j < n_slots),
+            "live must be strictly ascending slot indices below n_slots"
+        );
+        let m = live.len();
+        // Gathering the live pairs doubles as the sub-matrix packing; with
+        // full membership it degenerates to a straight copy.
+        self.work.clear();
+        for (a, &i) in live.iter().enumerate() {
+            for &j in &live[a + 1..] {
+                self.work.push(condensed[condensed_index(n_slots, i, j)]);
+            }
+        }
+        debug_assert!(
+            self.work.iter().all(|&d| d.is_finite() && d >= 0.0),
+            "distances must be finite and >= 0"
+        );
+        self.run(m, threshold);
+        self.emit(m, Some(live), n_slots, out);
+    }
+
+    /// Builds the full dendrogram for `m` packed items from `self.work`,
+    /// then cuts it at `threshold` into `self.parent`.
+    fn run(&mut self, m: usize, threshold: f64) {
+        debug_assert_eq!(self.work.len(), condensed_len(m));
+        self.active.clear();
+        self.active.resize(m, true);
+        self.chain.clear();
+        self.merges.clear();
+        if m > 1 {
+            self.chain_merges(m);
+        }
+        self.cut(m, threshold);
+    }
+
+    /// The nearest-neighbor-chain loop: follow nearest-neighbor links until
+    /// two clusters are mutual nearest neighbors, merge them with the
+    /// Lance–Williams complete-linkage update, repeat until one cluster
+    /// remains. Ties are broken towards the smaller label, which makes the
+    /// chain's pair order strictly decrease (no cycles) and reproduces the
+    /// naive reference's merge choices exactly.
+    fn chain_merges(&mut self, m: usize) {
+        // Labels never reactivate, so a monotone watermark finds the lowest
+        // active label whenever the chain empties.
+        let mut seed = 0usize;
+        while self.merges.len() < m - 1 {
+            if self.chain.is_empty() {
+                while !self.active[seed] {
+                    seed += 1;
+                }
+                self.chain.push(seed as u32);
+            }
+            let top = *self.chain.last().expect("chain seeded above") as usize;
+            // Nearest neighbor of `top`: ascending scan with strict `<`, so
+            // among equal distances the smallest label wins.
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for j in 0..m {
+                if j == top || !self.active[j] {
+                    continue;
+                }
+                let d = self.work[condensed_index(m, top.min(j), top.max(j))];
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            let len = self.chain.len();
+            if len >= 2 && best as u32 == self.chain[len - 2] {
+                // `top` and its predecessor are mutual nearest neighbors:
+                // merge into the smaller label (the union's smallest member)
+                // and pop both ends.
+                self.chain.truncate(len - 2);
+                let survivor = top.min(best);
+                let victim = top.max(best);
+                self.active[victim] = false;
+                for k in 0..m {
+                    if k == survivor || k == victim || !self.active[k] {
+                        continue;
+                    }
+                    let sk = condensed_index(m, survivor.min(k), survivor.max(k));
+                    let vk = condensed_index(m, victim.min(k), victim.max(k));
+                    // Lance–Williams for complete linkage: a pure max, so
+                    // merged linkages stay bit-identical to a member-pair
+                    // rescan.
+                    if self.work[vk] > self.work[sk] {
+                        self.work[sk] = self.work[vk];
+                    }
+                }
+                self.merges.push((survivor as u32, victim as u32, best_d));
+            } else {
+                self.chain.push(best as u32);
+            }
+        }
+    }
+
+    /// Cuts the dendrogram at `threshold`: applies every merge whose height
+    /// is within the threshold to a union-find over the packed labels.
+    ///
+    /// Complete-linkage merge heights are monotone along any root path, so
+    /// this flat cut equals stopping the naive loop at the threshold.
+    fn cut(&mut self, m: usize, threshold: f64) {
+        self.parent.clear();
+        self.parent.extend(0..m as u32);
+        for idx in 0..self.merges.len() {
+            let (a, b, h) = self.merges[idx];
+            if h <= threshold {
+                // Merge labels are union minima, so linking the larger root
+                // under the smaller keeps every root at its cluster's
+                // smallest member — which the labelling pass relies on.
+                let ra = self.find(a);
+                let rb = self.find(b);
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                self.parent[hi as usize] = lo;
+            }
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Writes the cut partition into `out`, mapping packed items through
+    /// `live` when clustering a subset. Roots are cluster minima and packed
+    /// items are visited ascending, so ids follow each cluster's smallest
+    /// member and member lists come out sorted — the naive labelling.
+    fn emit(&mut self, m: usize, live: Option<&[usize]>, n_out: usize, out: &mut Clustering) {
+        self.recycle(&mut out.members);
+        out.assignment.clear();
+        out.assignment.resize(n_out, usize::MAX);
+        self.cluster_of.clear();
+        self.cluster_of.resize(m, usize::MAX);
+        for p in 0..m {
+            let root = self.find(p as u32) as usize;
+            let id = if root == p {
+                let id = out.members.len();
+                let fresh = self.grab();
+                out.members.push(fresh);
+                id
+            } else {
+                self.cluster_of[root]
+            };
+            self.cluster_of[p] = id;
+            let slot = live.map_or(p, |l| l[p]);
+            out.assignment[slot] = id;
+            out.members[id].push(slot);
+        }
+    }
+}
+
 /// Clusters `n` items given a symmetric pairwise `distances` matrix
 /// (row-major `n × n`), merging while the complete-linkage distance is at
-/// most `threshold`.
+/// most `threshold`. Only the strict upper triangle is read.
+///
+/// This is the allocating convenience wrapper; hot paths keep a
+/// [`ClusterScratch`] and call
+/// [`cluster_condensed`](ClusterScratch::cluster_condensed) instead.
 ///
 /// # Panics
 ///
-/// Panics if `distances.len() != n * n`, if `n == 0`, or if any distance is
-/// negative or non-finite.
+/// Panics if `distances.len() != n * n` or `n == 0`. Debug builds also
+/// panic if any distance is negative or non-finite (release rounds skip
+/// that O(n²) scan).
 ///
 /// # Examples
 ///
@@ -51,59 +350,21 @@ impl Clustering {
 pub fn cluster(n: usize, distances: &[f64], threshold: f64) -> Clustering {
     assert!(n > 0, "need at least one item");
     assert_eq!(distances.len(), n * n, "distance matrix must be n x n");
-    for &d in distances {
-        assert!(
-            d.is_finite() && d >= 0.0,
-            "distances must be finite and >= 0"
-        );
+    debug_assert!(
+        distances.iter().all(|&d| d.is_finite() && d >= 0.0),
+        "distances must be finite and >= 0"
+    );
+    let mut condensed = Vec::with_capacity(condensed_len(n));
+    for i in 0..n {
+        condensed.extend_from_slice(&distances[i * n + i + 1..(i + 1) * n]);
     }
-
-    // Active clusters as member lists; complete-linkage distance cache.
-    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
-
-    let linkage = |a: &[usize], b: &[usize]| -> f64 {
-        let mut worst = 0.0f64;
-        for &i in a {
-            for &j in b {
-                worst = worst.max(distances[i * n + j]);
-            }
-        }
-        worst
+    let mut scratch = ClusterScratch::new();
+    let mut out = Clustering {
+        assignment: Vec::new(),
+        members: Vec::new(),
     };
-
-    loop {
-        let mut best: Option<(usize, usize, f64)> = None;
-        for a in 0..clusters.len() {
-            for b in a + 1..clusters.len() {
-                let d = linkage(&clusters[a], &clusters[b]);
-                match best {
-                    Some((_, _, bd)) if bd <= d => {}
-                    _ => best = Some((a, b, d)),
-                }
-            }
-        }
-        match best {
-            Some((a, b, d)) if d <= threshold => {
-                let merged = clusters.remove(b);
-                clusters[a].extend(merged);
-                clusters[a].sort_unstable();
-            }
-            _ => break,
-        }
-    }
-
-    // Deterministic labelling by smallest member.
-    clusters.sort_by_key(|c| c[0]);
-    let mut assignment = vec![0usize; n];
-    for (id, members) in clusters.iter().enumerate() {
-        for &m in members {
-            assignment[m] = id;
-        }
-    }
-    Clustering {
-        assignment,
-        members: clusters,
-    }
+    scratch.cluster_condensed(n, &condensed, threshold, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -113,6 +374,60 @@ pub fn cluster(n: usize, distances: &[f64], threshold: f64) -> Clustering {
 mod tests {
     use super::*;
 
+    /// The original rescan-every-pair implementation, retained verbatim as
+    /// the reference oracle for the nearest-neighbor-chain rewrite.
+    fn naive_cluster(n: usize, distances: &[f64], threshold: f64) -> Clustering {
+        assert!(n > 0, "need at least one item");
+        assert_eq!(distances.len(), n * n, "distance matrix must be n x n");
+
+        // Active clusters as member lists; complete-linkage from members.
+        let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+        let linkage = |a: &[usize], b: &[usize]| -> f64 {
+            let mut worst = 0.0f64;
+            for &i in a {
+                for &j in b {
+                    worst = worst.max(distances[i * n + j]);
+                }
+            }
+            worst
+        };
+
+        loop {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for a in 0..clusters.len() {
+                for b in a + 1..clusters.len() {
+                    let d = linkage(&clusters[a], &clusters[b]);
+                    match best {
+                        Some((_, _, bd)) if bd <= d => {}
+                        _ => best = Some((a, b, d)),
+                    }
+                }
+            }
+            match best {
+                Some((a, b, d)) if d <= threshold => {
+                    let merged = clusters.remove(b);
+                    clusters[a].extend(merged);
+                    clusters[a].sort_unstable();
+                }
+                _ => break,
+            }
+        }
+
+        // Deterministic labelling by smallest member.
+        clusters.sort_by_key(|c| c[0]);
+        let mut assignment = vec![0usize; n];
+        for (id, members) in clusters.iter().enumerate() {
+            for &m in members {
+                assignment[m] = id;
+            }
+        }
+        Clustering {
+            assignment,
+            members: clusters,
+        }
+    }
+
     fn matrix(n: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
         let mut m = vec![0.0; n * n];
         for i in 0..n {
@@ -121,6 +436,59 @@ mod tests {
             }
         }
         m
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn rand_unit(state: &mut u64) -> f64 {
+        (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A seeded symmetric matrix; `levels = Some(..)` quantizes every
+    /// distance onto the given values, which makes ties ubiquitous.
+    fn random_matrix(n: usize, seed: u64, levels: Option<&[f64]>) -> Vec<f64> {
+        let mut s = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x1234_5678);
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let v = match levels {
+                    Some(levels) => levels[(xorshift(&mut s) % levels.len() as u64) as usize],
+                    None => rand_unit(&mut s) * 2.0,
+                };
+                m[i * n + j] = v;
+                m[j * n + i] = v;
+            }
+        }
+        m
+    }
+
+    fn assert_matches_naive(n: usize, d: &[f64], threshold: f64, what: &str) {
+        let fast = cluster(n, d, threshold);
+        let naive = naive_cluster(n, d, threshold);
+        assert_eq!(fast, naive, "{what}: n={n} threshold={threshold}");
+    }
+
+    #[test]
+    fn condensed_index_round_trips() {
+        for n in 1..=12usize {
+            let mut next = 0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(condensed_index(n, i, j), next, "n={n} i={i} j={j}");
+                    next += 1;
+                }
+            }
+            assert_eq!(condensed_len(n), next);
+        }
     }
 
     #[test]
@@ -187,5 +555,108 @@ mod tests {
         let c = cluster(3, &d, 0.0);
         assert_eq!(c.num_clusters(), 2);
         assert_eq!(c.assignment[0], c.assignment[1]);
+    }
+
+    #[test]
+    fn nn_chain_matches_naive_on_random_matrices() {
+        let thresholds = [0.3, 0.7, 1.0, 1.6];
+        for n in 1..=64usize {
+            for (t, &threshold) in thresholds.iter().enumerate() {
+                let d = random_matrix(n, (n * 31 + t) as u64, None);
+                assert_matches_naive(n, &d, threshold, "continuous");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_chain_matches_naive_with_ties() {
+        // Quantized distances make equal-distance merge candidates the norm
+        // rather than the exception, exercising the tie-break path hard.
+        let levels = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5];
+        let thresholds = [0.25, 0.5, 0.75, 1.0];
+        for n in 2..=64usize {
+            for (t, &threshold) in thresholds.iter().enumerate() {
+                let d = random_matrix(n, (n * 77 + t) as u64, Some(&levels));
+                assert_matches_naive(n, &d, threshold, "quantized");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_chain_matches_naive_at_larger_widths() {
+        for seed in [1u64, 2] {
+            let d = random_matrix(128, seed, None);
+            assert_matches_naive(128, &d, 0.5, "continuous 128");
+        }
+        let levels = [0.1, 0.4, 0.9, 2.0];
+        let d = random_matrix(128, 3, Some(&levels));
+        assert_matches_naive(128, &d, 0.5, "quantized 128");
+
+        // At 512 keep the naive oracle affordable: a low threshold keeps
+        // merges sparse, so its O(k²) rescans stay on small member lists.
+        let d = random_matrix(512, 9, None);
+        assert_matches_naive(512, &d, 0.02, "continuous 512");
+    }
+
+    #[test]
+    fn cluster_live_matches_remapped_naive() {
+        let n_slots = 24usize;
+        let square = random_matrix(n_slots, 5, Some(&[0.1, 0.6, 1.3]));
+        let mut condensed = Vec::new();
+        for i in 0..n_slots {
+            condensed.extend_from_slice(&square[i * n_slots + i + 1..(i + 1) * n_slots]);
+        }
+        // Every third slot detached.
+        let live: Vec<usize> = (0..n_slots).filter(|j| j % 3 != 0).collect();
+        let m = live.len();
+        let mut sub = vec![0.0; m * m];
+        for (a, &i) in live.iter().enumerate() {
+            for (b, &j) in live.iter().enumerate() {
+                sub[a * m + b] = square[i * n_slots + j];
+            }
+        }
+        let packed = naive_cluster(m, &sub, 0.7);
+
+        let mut scratch = ClusterScratch::new();
+        let mut out = Clustering {
+            assignment: Vec::new(),
+            members: Vec::new(),
+        };
+        scratch.cluster_live(&live, n_slots, &condensed, 0.7, &mut out);
+
+        assert_eq!(out.assignment.len(), n_slots);
+        for (p, &j) in live.iter().enumerate() {
+            assert_eq!(out.assignment[j], packed.assignment[p], "slot {j}");
+        }
+        for j in (0..n_slots).filter(|j| j % 3 == 0) {
+            assert_eq!(out.assignment[j], usize::MAX, "detached slot {j}");
+        }
+        let expect_members: Vec<Vec<usize>> = packed
+            .members
+            .iter()
+            .map(|ms| ms.iter().map(|&p| live[p]).collect())
+            .collect();
+        assert_eq!(out.members, expect_members);
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_is_clean() {
+        // Re-running different widths and matrices through one scratch (with
+        // recycled output buffers) must match fresh single-use runs.
+        let mut scratch = ClusterScratch::new();
+        let mut out = Clustering {
+            assignment: Vec::new(),
+            members: Vec::new(),
+        };
+        for (round, &n) in [17usize, 40, 8, 40, 33].iter().enumerate() {
+            let square = random_matrix(n, round as u64 + 100, None);
+            let mut condensed = Vec::new();
+            for i in 0..n {
+                condensed.extend_from_slice(&square[i * n + i + 1..(i + 1) * n]);
+            }
+            scratch.cluster_condensed(n, &condensed, 0.6, &mut out);
+            let fresh = cluster(n, &square, 0.6);
+            assert_eq!(out, fresh, "round {round} n={n}");
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! distance compares three features: the knee position, the blocking at the
 //! knee, and the blocking at full load.
 
+use crate::function::BlockingRateFunction;
 use crate::DELTA;
 
 /// The characteristic features of a predictive function.
@@ -57,6 +58,56 @@ pub fn knee_of(predicted: &[f64]) -> Knee {
     }
 }
 
+/// Extracts the knee of a [`BlockingRateFunction`] without forcing its
+/// dense `R + 1`-point table rebuild.
+///
+/// The crossing segment is located on the function's monotone fit (one
+/// point per *raw observation*, typically a few dozen), then the exact
+/// crossing weight is binary-searched with
+/// [`value`](BlockingRateFunction::value) point queries, which are
+/// bit-identical to reading the dense table — so the result equals
+/// `knee_of(f.predicted())` while costing `O(raw · log R)` instead of
+/// `O(R)` per changed function. At 10k+ connections, where every
+/// function's decay moves its generation every round, this is what keeps
+/// the knee refresh off the round's critical path.
+pub fn knee_of_function(f: &mut BlockingRateFunction) -> Knee {
+    let r = f.resolution();
+    // The fit is non-decreasing and fit[0] == 0 (the (0, 0) axiom point is
+    // the global minimum, so PAVA can never pool block 0 upwards), hence
+    // the first fit point above DELTA — if any — ends the segment
+    // containing the first table crossing.
+    let (mut lo, mut hi) = {
+        let (xs, fit) = f.fit_points();
+        match fit.iter().position(|&v| v > DELTA) {
+            Some(k) => (xs[k - 1], xs[k]),
+            // All raw points predict no blocking: any crossing lies in the
+            // extrapolated tail (monotone as well).
+            None => (*xs.last().expect("fit holds the axiom point"), r),
+        }
+    };
+    let service_weight = if hi > lo && f.value(hi) > DELTA {
+        // First weight in (lo, hi] whose prediction exceeds DELTA; the
+        // invariant value(lo) <= DELTA < value(hi) holds throughout.
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if f.value(mid) > DELTA {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    } else {
+        r
+    }
+    .max(1);
+    Knee {
+        service_weight,
+        rate_at_knee: f.value(service_weight).max(DELTA),
+        rate_at_max: f.value(r).max(DELTA),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +137,51 @@ mod tests {
         f[10] = DELTA / 2.0;
         let k = knee_of(&f);
         assert_eq!(k.rate_at_max, DELTA);
+    }
+
+    #[test]
+    fn knee_of_function_matches_dense_table_knee() {
+        // Seeded random observe/decay histories: the fit-based fast path
+        // must agree with the dense-table knee bit for bit, including the
+        // never-blocks and extrapolated-crossing shapes.
+        let mut state = 0xBADC_0FFE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..300u32 {
+            let resolution = [100, 1000, 2048][(case % 3) as usize];
+            let mut f = BlockingRateFunction::new(resolution, 0.5);
+            for _ in 0..(next() % 12) {
+                let w = (next() % u64::from(resolution) + 1) as u32;
+                // Mix of zero, tiny (sub-DELTA) and substantial rates so
+                // crossings land on every side of the noise floor.
+                let rate = match next() % 4 {
+                    0 => 0.0,
+                    1 => DELTA * 0.4,
+                    2 => (next() % 1000) as f64 * 1e-5,
+                    _ => (next() % 1000) as f64 * 1e-2,
+                };
+                f.observe(w, rate);
+                if next() % 3 == 0 {
+                    f.decay_above((next() % u64::from(resolution)) as u32, 0.9);
+                }
+            }
+            let fast = knee_of_function(&mut f);
+            let dense = knee_of(f.predicted());
+            assert_eq!(fast.service_weight, dense.service_weight, "case {case}");
+            assert_eq!(
+                fast.rate_at_knee.to_bits(),
+                dense.rate_at_knee.to_bits(),
+                "case {case}"
+            );
+            assert_eq!(
+                fast.rate_at_max.to_bits(),
+                dense.rate_at_max.to_bits(),
+                "case {case}"
+            );
+        }
     }
 }

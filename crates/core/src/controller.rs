@@ -23,7 +23,7 @@ use std::fmt;
 
 use streambal_telemetry::{TraceBuffer, TraceEvent};
 
-use crate::cluster::{self, Clustering, Knee};
+use crate::cluster::{self, AggregateScratch, ClusterScratch, Clustering, Knee};
 use crate::function::BlockingRateFunction;
 use crate::rate::ConnectionSample;
 use crate::solver::fox::FoxScratch;
@@ -389,8 +389,21 @@ pub struct LoadBalancer {
     /// array does not shrink) but are pinned at weight 0 and excluded from
     /// sampling, clustering and the solve.
     attached: Vec<bool>,
+    /// Bumped on every membership change (attach, detach, grow, shrink);
+    /// keys the scratch's cached live-slot list so steady-state rounds —
+    /// including rounds with *detached* slots — rebuild nothing.
+    membership_gen: u64,
     scratch: RoundScratch,
 }
+
+/// The knee value stored for a slot whose function has never been looked
+/// at. Real knees have `service_weight >= 1`, so comparing against this
+/// placeholder always reads as "changed".
+const NO_KNEE: Knee = Knee {
+    service_weight: 0,
+    rate_at_knee: 0.0,
+    rate_at_max: 0.0,
+};
 
 /// Persistent per-round working memory.
 ///
@@ -428,10 +441,47 @@ struct RoundScratch {
     knees: Vec<Knee>,
     /// Generation of each cached knee (`u64::MAX` = never computed).
     knee_gen: Vec<u64>,
-    /// Which knees changed this round (their distance rows are recomputed).
-    knee_changed: Vec<bool>,
-    /// Cached `n × n` knee distance matrix (empty when clustering is off).
+    /// Per-connection log-feature vectors, updated alongside `knees`.
+    feat: Vec<[f64; 3]>,
+    /// Cached condensed upper-triangular knee distance matrix over all `n`
+    /// slots (see [`cluster::condensed_index`]); empty when clustering is
+    /// off. Rows are refreshed only for slots whose knee *value* moved.
     dist: Vec<f64>,
+    /// Live slots whose knee value changed this round.
+    dirty: Vec<usize>,
+    /// Cached ascending list of attached slots, keyed on `live_gen`.
+    live: Vec<usize>,
+    /// The [`LoadBalancer::membership_gen`] the `live` cache was built at
+    /// (`u64::MAX` = never built).
+    live_gen: u64,
+    /// The membership generation `last_clusters` was installed at
+    /// (`u64::MAX` = never installed), for debug cross-checks.
+    clusters_gen: u64,
+    /// Nearest-neighbor-chain agglomeration working memory.
+    cluster_scratch: ClusterScratch,
+    /// Recycled [`Clustering`] buffer, double-buffered against
+    /// `LoadBalancer::last_clusters` so a recluster allocates nothing.
+    spare_clusters: Clustering,
+    /// Output buffer for the dirty-closure partial recluster.
+    sub_clusters: Clustering,
+    /// Per-slot membership marks for the dirty-closure expansion.
+    in_s: Vec<bool>,
+    /// Slots in the dirty closure, in discovery order (doubles as the BFS
+    /// queue), sorted ascending before the partial recluster.
+    s_list: Vec<usize>,
+    /// Pooled-row aggregation working memory (per-cluster PAVA refit).
+    agg: AggregateScratch,
+    /// Row-major pooled predicted tables, `k × (R + 1)` for the current
+    /// cluster count `k` (grows monotonically to the largest `k` seen).
+    cflat: Vec<f64>,
+    /// Per-cluster solver vectors (the plain path's `lower`/`upper`/
+    /// `priority` are indexed by slot and cannot be reused here).
+    clower: Vec<u32>,
+    cupper: Vec<u32>,
+    csize: Vec<u32>,
+    cprio: Vec<u64>,
+    /// Cluster ordering for the remainder hand-out.
+    corder: Vec<usize>,
     /// Expansion buffer for per-connection units in the clustered path.
     units_tmp: Vec<u32>,
     /// Recycled `rates` vectors reclaimed from evicted trace events.
@@ -441,7 +491,7 @@ struct RoundScratch {
 }
 
 impl RoundScratch {
-    fn new(cfg: &BalancerConfig, functions: &mut [BlockingRateFunction]) -> Self {
+    fn new(cfg: &BalancerConfig) -> Self {
         let n = cfg.connections;
         let width = cfg.resolution as usize + 1;
         let clustered = cfg
@@ -462,20 +512,37 @@ impl RoundScratch {
             flat_gen: vec![u64::MAX; n],
             fox: FoxScratch::new(),
             knees: if clustered {
-                functions
-                    .iter_mut()
-                    .map(|f| cluster::knee_of(f.predicted()))
-                    .collect()
+                vec![NO_KNEE; n]
             } else {
                 Vec::new()
             },
             knee_gen: vec![u64::MAX; n],
-            knee_changed: vec![false; n],
-            dist: if clustered {
-                vec![0.0; n * n]
+            feat: if clustered {
+                vec![[0.0; 3]; n]
             } else {
                 Vec::new()
             },
+            dist: if clustered {
+                vec![0.0; cluster::condensed_len(n)]
+            } else {
+                Vec::new()
+            },
+            dirty: Vec::new(),
+            live: Vec::new(),
+            live_gen: u64::MAX,
+            clusters_gen: u64::MAX,
+            cluster_scratch: ClusterScratch::new(),
+            spare_clusters: Clustering::default(),
+            sub_clusters: Clustering::default(),
+            in_s: Vec::new(),
+            s_list: Vec::new(),
+            agg: AggregateScratch::new(),
+            cflat: Vec::new(),
+            clower: Vec::new(),
+            cupper: Vec::new(),
+            csize: Vec::new(),
+            cprio: Vec::new(),
+            corder: Vec::new(),
             units_tmp: vec![0; n],
             spare_rates: Vec::new(),
             spare_units: Vec::new(),
@@ -486,12 +553,12 @@ impl RoundScratch {
 impl LoadBalancer {
     /// Creates a balancer starting from an even weight split.
     pub fn new(cfg: BalancerConfig) -> Self {
-        let mut functions: Vec<BlockingRateFunction> = (0..cfg.connections)
+        let functions: Vec<BlockingRateFunction> = (0..cfg.connections)
             .map(|_| BlockingRateFunction::new(cfg.resolution, cfg.smoothing))
             .collect();
         let weights = WeightVector::even(cfg.connections, cfg.resolution);
         let pending_rates = vec![0.0; cfg.connections];
-        let scratch = RoundScratch::new(&cfg, &mut functions);
+        let scratch = RoundScratch::new(&cfg);
         let attached = vec![true; cfg.connections];
         LoadBalancer {
             cfg,
@@ -502,6 +569,7 @@ impl LoadBalancer {
             trace: None,
             pending_rates,
             attached,
+            membership_gen: 0,
             scratch,
         }
     }
@@ -647,6 +715,7 @@ impl LoadBalancer {
             "cannot detach the last attached connection"
         );
         self.attached[j] = false;
+        self.membership_gen += 1;
         self.retire_slot(j);
         self.renormalize_membership(&[]);
         if let Some(trace) = &self.trace {
@@ -682,6 +751,7 @@ impl LoadBalancer {
             return false;
         }
         self.attached[j] = true;
+        self.membership_gen += 1;
         self.retire_slot(j);
         self.renormalize_membership(&[j]);
         if let Some(trace) = &self.trace {
@@ -702,6 +772,12 @@ impl LoadBalancer {
         self.functions[j] = BlockingRateFunction::new(self.cfg.resolution, self.cfg.smoothing);
         self.scratch.flat_gen[j] = u64::MAX;
         self.scratch.knee_gen[j] = u64::MAX;
+        if let Some(k) = self.scratch.knees.get_mut(j) {
+            // The cached distance rows for this slot are stale; the
+            // placeholder makes the next clustered round treat the slot as
+            // dirty and refill them.
+            *k = NO_KNEE;
+        }
         self.pending_rates[j] = 0.0;
     }
 
@@ -752,6 +828,7 @@ impl LoadBalancer {
             .copy_from_units(&units)
             .expect("zero-extending the units preserves the simplex");
         self.scratch.units_tmp = units;
+        self.membership_gen += 1;
         self.rebuild_scratch();
         self.last_clusters = None;
         if let Some(trace) = &self.trace {
@@ -827,6 +904,7 @@ impl LoadBalancer {
             .copy_from_units(&units)
             .expect("detached tail slots held zero units");
         self.scratch.units_tmp = units;
+        self.membership_gen += 1;
         self.rebuild_scratch();
         self.last_clusters = None;
         if let Some(trace) = &self.trace {
@@ -848,7 +926,7 @@ impl LoadBalancer {
     fn rebuild_scratch(&mut self) {
         let spare_rates = std::mem::take(&mut self.scratch.spare_rates);
         let spare_units = std::mem::take(&mut self.scratch.spare_units);
-        self.scratch = RoundScratch::new(&self.cfg, &mut self.functions);
+        self.scratch = RoundScratch::new(&self.cfg);
         self.scratch.spare_rates = spare_rates;
         self.scratch.spare_units = spare_units;
     }
@@ -1169,150 +1247,279 @@ impl LoadBalancer {
             .cfg
             .clustering
             .expect("clustered rebalance requires clustering config");
+        let threshold = cfg.distance_threshold;
         let r = self.cfg.resolution;
         let n = self.cfg.connections;
-
-        // 1. Knees and pairwise distances on the per-connection functions.
-        //    Both are cached across rounds keyed on each function's
-        //    generation: only connections that saw new samples (or decay)
-        //    recompute their knee, and only distance rows touching a
-        //    changed knee are refilled.
+        let width = r as usize + 1;
         let scratch = &mut self.scratch;
-        let live: Vec<usize> = (0..n).filter(|&j| self.attached[j]).collect();
-        for (j, f) in self.functions.iter_mut().enumerate() {
-            if !self.attached[j] {
-                scratch.knee_changed[j] = false;
+
+        // 1. Live-slot cache, keyed on the membership generation: rounds
+        //    with detached slots no longer rebuild the index list.
+        if scratch.live_gen != self.membership_gen {
+            scratch.live.clear();
+            scratch.live.extend((0..n).filter(|&j| self.attached[j]));
+            scratch.live_gen = self.membership_gen;
+        }
+
+        // 2. Knee refresh and dirtiness. Each live function whose
+        //    generation moved gets a fresh knee via the fit-based fast path
+        //    (no dense table rebuild); a slot is *dirty* only when the knee
+        //    VALUE actually changed — under per-round decay every
+        //    generation moves every round, but knees converge, so value
+        //    comparison is what makes the steady state cheap.
+        scratch.dirty.clear();
+        for idx in 0..scratch.live.len() {
+            let j = scratch.live[idx];
+            let f = &mut self.functions[j];
+            let gen = f.generation();
+            if scratch.knee_gen[j] == gen {
                 continue;
             }
-            let gen = f.generation();
-            if scratch.knee_gen[j] != gen {
-                scratch.knees[j] = cluster::knee_of(f.predicted());
-                scratch.knee_gen[j] = gen;
-                scratch.knee_changed[j] = true;
-            } else {
-                scratch.knee_changed[j] = false;
+            let fresh = cluster::knee_of_function(f);
+            let never = scratch.knee_gen[j] == u64::MAX;
+            scratch.knee_gen[j] = gen;
+            if never || fresh != scratch.knees[j] {
+                scratch.knees[j] = fresh;
+                scratch.feat[j] = cluster::log_features(&fresh, r);
+                scratch.dirty.push(j);
             }
         }
-        for (pi, &i) in live.iter().enumerate() {
-            for &j in &live[pi + 1..] {
-                if scratch.knee_changed[i] || scratch.knee_changed[j] {
-                    let d = cluster::distance(&scratch.knees[i], &scratch.knees[j], r);
-                    scratch.dist[i * n + j] = d;
-                    scratch.dist[j * n + i] = d;
+
+        // 3. Refill the condensed distance rows of dirty slots against the
+        //    live set. Invariant: a live–live pair is always current,
+        //    because the only way it can go stale is a knee change (the
+        //    slot lands here) or a re-attach/growth (the slot's knee is
+        //    reset to the placeholder, so it lands here too).
+        for di in 0..scratch.dirty.len() {
+            let j = scratch.dirty[di];
+            let fj = scratch.feat[j];
+            for li in 0..scratch.live.len() {
+                let k = scratch.live[li];
+                if k == j {
+                    continue;
                 }
+                let (a, b) = (j.min(k), j.max(k));
+                scratch.dist[cluster::condensed_index(n, a, b)] =
+                    cluster::feature_distance(&fj, &scratch.feat[k]);
             }
         }
-        // Cluster the attached slots only. With full membership this is
-        // exactly the cached distance matrix; otherwise the live rows are
-        // packed into a sub-matrix and the result is remapped to absolute
-        // slot indices, with detached slots assigned the `usize::MAX`
-        // sentinel (they belong to no cluster and hold no weight).
-        let clustering = if live.len() == n {
-            cluster::cluster(n, &scratch.dist, cfg.distance_threshold)
-        } else {
-            let m = live.len();
-            let mut sub = vec![0.0; m * m];
-            for (pi, &i) in live.iter().enumerate() {
-                for (pj, &j) in live.iter().enumerate() {
-                    sub[pi * m + pj] = scratch.dist[i * n + j];
+
+        // 4. Maintain the clustering incrementally. `last_clusters` is
+        //    cleared by every membership change, so `Some` implies the
+        //    previous round clustered this exact live set.
+        let (clustering, changed) = 'cl: {
+            match self.last_clusters.take() {
+                Some(prev) if scratch.dirty.is_empty() => {
+                    // No knee moved: the distance matrix is untouched and
+                    // the partition is identical by construction. Reuse it
+                    // outright (the pooled solve below still runs — member
+                    // data changes every round even when knees do not).
+                    debug_assert_eq!(scratch.clusters_gen, self.membership_gen);
+                    break 'cl (prev, false);
                 }
-            }
-            let packed = cluster::cluster(m, &sub, cfg.distance_threshold);
-            let mut assignment = vec![usize::MAX; n];
-            for (p, &j) in live.iter().enumerate() {
-                assignment[j] = packed.assignment[p];
-            }
-            let members = packed
-                .members
-                .iter()
-                .map(|ms| ms.iter().map(|&p| live[p]).collect())
-                .collect();
-            Clustering {
-                assignment,
-                members,
+                Some(mut prev) => {
+                    debug_assert_eq!(scratch.clusters_gen, self.membership_gen);
+                    // Dirty-cluster fast path. Seed the affected set S with
+                    // the whole previous clusters of the dirty slots, then
+                    // repeatedly pull in the entire previous cluster of any
+                    // live slot within the threshold of S. At the fixpoint
+                    // every S–rest pair is farther than the threshold, so
+                    // complete linkage can never merge across the boundary:
+                    // re-clustering S standalone and keeping the untouched
+                    // previous clusters reproduces the from-scratch result
+                    // exactly (a property test pins this down).
+                    scratch.in_s.clear();
+                    scratch.in_s.resize(n, false);
+                    scratch.s_list.clear();
+                    for di in 0..scratch.dirty.len() {
+                        let c = prev.assignment[scratch.dirty[di]];
+                        for &m in &prev.members[c] {
+                            if !scratch.in_s[m] {
+                                scratch.in_s[m] = true;
+                                scratch.s_list.push(m);
+                            }
+                        }
+                    }
+                    let mut qi = 0;
+                    while qi < scratch.s_list.len() {
+                        let s = scratch.s_list[qi];
+                        qi += 1;
+                        for li in 0..scratch.live.len() {
+                            let u = scratch.live[li];
+                            if scratch.in_s[u] {
+                                continue;
+                            }
+                            let (a, b) = (s.min(u), s.max(u));
+                            if scratch.dist[cluster::condensed_index(n, a, b)] <= threshold {
+                                let c = prev.assignment[u];
+                                for &m in &prev.members[c] {
+                                    if !scratch.in_s[m] {
+                                        scratch.in_s[m] = true;
+                                        scratch.s_list.push(m);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if scratch.s_list.len() < scratch.live.len() {
+                        scratch.s_list.sort_unstable();
+                        let mut sub = std::mem::take(&mut scratch.sub_clusters);
+                        scratch.cluster_scratch.cluster_live(
+                            &scratch.s_list,
+                            n,
+                            &scratch.dist,
+                            threshold,
+                            &mut sub,
+                        );
+                        // Splice: untouched previous clusters merge with the
+                        // re-clustered ones, ordered by smallest member (the
+                        // deterministic labelling both sides already use).
+                        let mut fresh = std::mem::take(&mut scratch.spare_clusters);
+                        scratch.cluster_scratch.recycle(&mut fresh.members);
+                        fresh.assignment.clear();
+                        fresh.assignment.resize(n, usize::MAX);
+                        let (mut oi, mut si) = (0, 0);
+                        loop {
+                            while oi < prev.members.len() && scratch.in_s[prev.members[oi][0]] {
+                                oi += 1;
+                            }
+                            let take_old = match (oi < prev.members.len(), si < sub.members.len()) {
+                                (false, false) => break,
+                                (true, false) => true,
+                                (false, true) => false,
+                                (true, true) => prev.members[oi][0] < sub.members[si][0],
+                            };
+                            fresh.members.push(if take_old {
+                                oi += 1;
+                                std::mem::take(&mut prev.members[oi - 1])
+                            } else {
+                                si += 1;
+                                std::mem::take(&mut sub.members[si - 1])
+                            });
+                        }
+                        for (id, ms) in fresh.members.iter().enumerate() {
+                            for &m in ms {
+                                fresh.assignment[m] = id;
+                            }
+                        }
+                        let changed = fresh.assignment != prev.assignment;
+                        scratch.cluster_scratch.recycle(&mut prev.members);
+                        prev.assignment.clear();
+                        scratch.spare_clusters = prev;
+                        scratch.cluster_scratch.recycle(&mut sub.members);
+                        sub.assignment.clear();
+                        scratch.sub_clusters = sub;
+                        break 'cl (fresh, changed);
+                    }
+                    // The closure swallowed every live slot: recluster all
+                    // of them, keeping `prev` around for the change check.
+                    let mut fresh = std::mem::take(&mut scratch.spare_clusters);
+                    scratch.cluster_scratch.cluster_live(
+                        &scratch.live,
+                        n,
+                        &scratch.dist,
+                        threshold,
+                        &mut fresh,
+                    );
+                    let changed = fresh.assignment != prev.assignment;
+                    scratch.cluster_scratch.recycle(&mut prev.members);
+                    prev.assignment.clear();
+                    scratch.spare_clusters = prev;
+                    (fresh, changed)
+                }
+                None => {
+                    // First clustered round for this membership: full
+                    // nearest-neighbor-chain recluster over the live set.
+                    let mut fresh = std::mem::take(&mut scratch.spare_clusters);
+                    scratch.cluster_scratch.cluster_live(
+                        &scratch.live,
+                        n,
+                        &scratch.dist,
+                        threshold,
+                        &mut fresh,
+                    );
+                    (fresh, true)
+                }
             }
         };
 
-        // 2. Pool member data into one function per cluster.
-        let mut pooled: Vec<BlockingRateFunction> = clustering
-            .members
-            .iter()
-            .map(|members| {
-                let refs: Vec<&BlockingRateFunction> =
-                    members.iter().map(|&m| &self.functions[m]).collect();
-                cluster::aggregate_functions(&refs, self.cfg.smoothing)
-            })
-            .collect();
-        let predicted: Vec<Vec<f64>> = pooled.iter_mut().map(|f| f.predicted().to_vec()).collect();
-        let slices: Vec<&[f64]> = predicted.iter().map(Vec::as_slice).collect();
-
-        // 3. Solve over clusters: granting a cluster one unit of
+        // 5. Pool member data into one predicted row per cluster (in-place
+        //    PAVA refit, bit-identical to `aggregate_functions`) and build
+        //    the per-cluster solver vectors: granting a cluster one unit of
         //    per-connection weight consumes `size` units of resource.
-        let sizes: Vec<u32> = clustering.members.iter().map(|m| m.len() as u32).collect();
+        let k = clustering.members.len();
+        if scratch.cflat.len() < k * width {
+            scratch.cflat.resize(k * width, 0.0);
+        }
+        scratch.clower.clear();
+        scratch.cupper.clear();
+        scratch.csize.clear();
+        scratch.cprio.clear();
         let step = self.cfg.exploration_step;
-        let upper: Vec<u32> = clustering
-            .members
-            .iter()
-            .zip(&predicted)
-            .map(|(members, pred)| {
-                let frontier = Self::clean_frontier(pred);
-                let keep = members
-                    .iter()
-                    .map(|&m| self.weights.units()[m])
-                    .max()
-                    .unwrap_or(0);
+        for (c, members) in clustering.members.iter().enumerate() {
+            let row = &mut scratch.cflat[c * width..(c + 1) * width];
+            scratch.agg.pooled_row(&self.functions, members, row);
+            let frontier = Self::clean_frontier(row);
+            let keep = members
+                .iter()
+                .map(|&m| self.weights.units()[m])
+                .max()
+                .unwrap_or(0);
+            scratch.clower.push(0);
+            scratch.cupper.push(
                 frontier
                     .saturating_add(step)
                     .max(keep.saturating_add(step))
-                    .min(r)
-            })
-            .collect();
-        let lower = vec![0; sizes.len()];
-        let cluster_frontiers: Vec<u64> = predicted
-            .iter()
-            .map(|p| u64::from(Self::clean_frontier(p)))
-            .collect();
-        let problem = Problem::new(slices, r)
-            .expect("pooled function domains are consistent")
-            .with_bounds(lower, upper)
-            .expect("cluster bounds are valid by construction")
-            .with_multiplicity(sizes.clone())
-            .expect("cluster sizes are positive")
-            .with_tie_priority(cluster_frontiers.clone())
-            .expect("priority vector matches the cluster count");
-        let allocation =
-            fox::solve(&problem).expect("keep-current upper bounds always cover R units");
+                    .min(r),
+            );
+            scratch.csize.push(members.len() as u32);
+            scratch.cprio.push(u64::from(frontier));
+        }
 
-        // 4. Expand per-cluster weights to members and hand out the
+        let problem = Problem::from_flat_parts(
+            &scratch.cflat[..k * width],
+            k,
+            r,
+            &scratch.clower,
+            &scratch.cupper,
+            &scratch.csize,
+            &scratch.cprio,
+        )
+        .expect("cluster scratch vectors are sized and bounded by construction");
+        let stats = fox::solve_with(&problem, &mut scratch.fox)
+            .expect("keep-current upper bounds always cover R units");
+
+        // 6. Expand per-cluster weights to members and hand out the
         //    remainder (< max cluster size) unit-by-unit, cheapest marginal
         //    cluster first.
-        let units = &mut self.scratch.units_tmp;
-        units.fill(0);
+        scratch.units_tmp.fill(0);
         for (c, members) in clustering.members.iter().enumerate() {
             for &m in members {
-                units[m] = allocation.weights[c];
+                scratch.units_tmp[m] = scratch.fox.weights[c];
             }
         }
-        let mut remainder = (u64::from(r) - allocation.assigned) as u32;
+        let mut remainder = (u64::from(r) - stats.assigned) as u32;
         if remainder > 0 {
-            let mut order: Vec<usize> = (0..clustering.members.len()).collect();
-            order.sort_by(|&a, &b| {
-                let next = |c: usize| {
-                    let w = (allocation.weights[c] + 1).min(r) as usize;
-                    predicted[c][w]
-                };
+            scratch.corder.clear();
+            scratch.corder.extend(0..k);
+            let cflat = &scratch.cflat;
+            let cprio = &scratch.cprio;
+            let weights = &scratch.fox.weights;
+            scratch.corder.sort_unstable_by(|&a, &b| {
+                let next = |c: usize| cflat[c * width + (weights[c] + 1).min(r) as usize];
                 next(a)
                     .total_cmp(&next(b))
-                    .then(cluster_frontiers[b].cmp(&cluster_frontiers[a]))
+                    .then(cprio[b].cmp(&cprio[a]))
                     .then(a.cmp(&b))
             });
-            'outer: for &c in &order {
+            'outer: for ci in 0..scratch.corder.len() {
+                let c = scratch.corder[ci];
                 for &m in &clustering.members[c] {
                     if remainder == 0 {
                         break 'outer;
                     }
-                    if units[m] < r {
-                        units[m] += 1;
+                    if scratch.units_tmp[m] < r {
+                        scratch.units_tmp[m] += 1;
                         remainder -= 1;
                     }
                 }
@@ -1320,14 +1527,10 @@ impl LoadBalancer {
         }
 
         self.weights
-            .copy_from_units(&self.scratch.units_tmp)
+            .copy_from_units(&scratch.units_tmp)
             .expect("cluster expansion plus remainder distribution totals R");
-        if let Some(trace) = &self.trace {
-            let changed = self
-                .last_clusters
-                .as_ref()
-                .is_none_or(|prev| prev.assignment != clustering.assignment);
-            if changed {
+        if changed {
+            if let Some(trace) = &self.trace {
                 trace.push(TraceEvent::ClusterUpdate {
                     round: self.round,
                     assignment: clustering.assignment.clone(),
@@ -1335,6 +1538,7 @@ impl LoadBalancer {
             }
         }
         self.last_clusters = Some(clustering);
+        scratch.clusters_gen = self.membership_gen;
     }
 }
 
@@ -1825,6 +2029,109 @@ mod tests {
         assert!(clusters.members.iter().flatten().all(|&m| m != 32));
         lb.check_invariants()
             .expect("clustered round with a detached slot stays on the simplex");
+    }
+
+    #[test]
+    fn clustered_round_with_unmoved_knees_reuses_the_partition() {
+        use streambal_telemetry::{TraceBuffer, TraceEvent};
+        // Static mode: with no new samples the function generations do not
+        // move, so follow-up rounds must take the reuse path — the prior
+        // partition verbatim, and no further ClusterUpdate events.
+        let cfg = BalancerConfig::builder(32)
+            .mode(BalancerMode::Static)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .unwrap();
+        let mut lb = LoadBalancer::new(cfg);
+        let trace = TraceBuffer::with_capacity(1024);
+        lb.attach_trace(trace.clone());
+        for j in 0..16 {
+            lb.observe(&[ConnectionSample::new(j, 0.8)]);
+        }
+        lb.rebalance();
+        let first = lb.last_clusters().expect("clustered").clone();
+        for _ in 0..10 {
+            lb.rebalance();
+            let again = lb.last_clusters().expect("still clustered");
+            assert_eq!(first.assignment, again.assignment);
+            assert_eq!(first.members, again.members);
+        }
+        let updates = trace
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::ClusterUpdate { .. }))
+            .count();
+        assert_eq!(updates, 1, "reused partitions must not re-trace");
+    }
+
+    #[test]
+    fn incremental_clustering_matches_from_scratch_recluster() {
+        use crate::cluster::{ClusterScratch, Clustering};
+        // Drive the balancer through quiet rounds (reuse path), sparse knee
+        // movement (dirty-closure path) and membership churn (full
+        // recluster), and after every round rebuild the partition from
+        // scratch out of the public clustering pieces: the incremental
+        // maintenance must be indistinguishable from always reclustering.
+        let n = 40;
+        let cfg = BalancerConfig::builder(n)
+            .clustering(ClusteringConfig::default())
+            .build()
+            .unwrap();
+        let threshold = ClusteringConfig::default().distance_threshold;
+        let mut lb = LoadBalancer::new(cfg);
+        let r = lb.cfg.resolution;
+        let mut rng = crate::rng::SplitMix64::new(0x1BC2_E57A);
+        let tier = |j: usize| match j % 3 {
+            0 => 0.0,
+            1 => 0.05,
+            _ => 0.8,
+        };
+        let mut scratch = ClusterScratch::new();
+        let mut condensed = vec![0.0; cluster::condensed_len(n)];
+        for round in 0..120 {
+            match round {
+                40 => {
+                    lb.detach_connection(5);
+                }
+                41 => {
+                    lb.detach_connection(17);
+                }
+                70 => {
+                    lb.attach_connection(5);
+                }
+                _ => {}
+            }
+            for j in 0..n {
+                if !lb.is_attached(j) {
+                    continue;
+                }
+                // Mostly settled tiers; occasional perturbations move a few
+                // knees per round so the dirty closure stays partial.
+                let rate = if rng.frange(0.0, 1.0) < 0.15 {
+                    rng.frange(0.0, 1.0)
+                } else {
+                    tier(j)
+                };
+                lb.observe(&[ConnectionSample::new(j, rate)]);
+            }
+            lb.rebalance();
+            lb.check_invariants().expect("healthy clustered balancer");
+            let live: Vec<usize> = (0..n).filter(|&j| lb.is_attached(j)).collect();
+            let knees: Vec<Knee> = (0..n)
+                .map(|j| cluster::knee_of(lb.function_mut(j).predicted()))
+                .collect();
+            for (pi, &i) in live.iter().enumerate() {
+                for &j in &live[pi + 1..] {
+                    condensed[cluster::condensed_index(n, i, j)] =
+                        cluster::distance(&knees[i], &knees[j], r);
+                }
+            }
+            let mut want = Clustering::default();
+            scratch.cluster_live(&live, n, &condensed, threshold, &mut want);
+            let got = lb.last_clusters().expect("clustering stays active");
+            assert_eq!(got.assignment, want.assignment, "round {round}");
+            assert_eq!(got.members, want.members, "round {round}");
+        }
     }
 
     #[test]

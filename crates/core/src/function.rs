@@ -84,9 +84,13 @@ impl BlockingRateFunction {
             resolution,
             alpha,
             raw,
-            predicted: vec![0.0; resolution as usize + 1],
+            // The dense table is built on first use: a clustered controller
+            // answers every query from the compact fit, so at 10k+
+            // connections the `R + 1`-point tables would be pure dead weight
+            // (16,384 connections at resolution 32,768 is over 4 GB).
+            predicted: Vec::new(),
             fit_dirty: false,
-            table_dirty: false,
+            table_dirty: true,
             generation: 0,
             xs: vec![0],
             ys: vec![0.0],
@@ -223,6 +227,8 @@ impl BlockingRateFunction {
     pub fn reset(&mut self) {
         self.raw.clear();
         self.raw.insert(0, (0.0, 1.0));
+        // An unbuilt table stays unbuilt (and therefore stale): zeroing in
+        // place is only valid once the allocation exists.
         self.predicted.iter_mut().for_each(|v| *v = 0.0);
         self.xs.clear();
         self.xs.push(0);
@@ -233,7 +239,7 @@ impl BlockingRateFunction {
         self.fit.clear();
         self.fit.push(0.0);
         self.fit_dirty = false;
-        self.table_dirty = false;
+        self.table_dirty = self.predicted.is_empty();
         self.generation = self.generation.wrapping_add(1);
     }
 
@@ -268,6 +274,17 @@ impl BlockingRateFunction {
         f
     }
 
+    /// The monotone fit as `(xs, fit)` parallel slices (one entry per raw
+    /// point, starting at the `(0, 0)` axiom), refreshing it if stale.
+    ///
+    /// This exposes the compact representation behind
+    /// [`predicted`](Self::predicted) so callers (knee extraction) can
+    /// avoid forcing the dense table rebuild.
+    pub(crate) fn fit_points(&mut self) -> (&[u32], &[f64]) {
+        self.ensure_fit();
+        (&self.xs, &self.fit)
+    }
+
     /// Refreshes the monotone fit (`xs`/`fit` scratch) from the raw points.
     fn ensure_fit(&mut self) {
         if !self.fit_dirty {
@@ -285,44 +302,11 @@ impl BlockingRateFunction {
         self.fit_dirty = false;
     }
 
-    /// Fills the dense predicted table from the current fit.
+    /// Fills the dense predicted table from the current fit, allocating it
+    /// on first use (point queries never force the allocation).
     fn fill_table(&mut self) {
-        let xs = &self.xs;
-        let fit = &self.fit;
-        let r = self.resolution as usize;
-        let out = &mut self.predicted;
-        debug_assert_eq!(out.len(), r + 1);
-
-        // Piecewise-linear fill between consecutive raw points.
-        for k in 0..xs.len() {
-            let x0 = xs[k] as usize;
-            let y0 = fit[k];
-            out[x0] = y0;
-            if k + 1 < xs.len() {
-                let x1 = xs[k + 1] as usize;
-                let y1 = fit[k + 1];
-                let span = (x1 - x0) as f64;
-                for (i, x) in (x0 + 1..x1).enumerate() {
-                    out[x] = y0 + (y1 - y0) * (i + 1) as f64 / span;
-                }
-            }
-        }
-
-        // Linear extrapolation past the last raw point using the slope of
-        // the final segment (non-negative because the fit is monotone).
-        let last = *xs.last().expect("raw always contains weight 0") as usize;
-        if last < r {
-            let slope = if xs.len() >= 2 {
-                let x0 = xs[xs.len() - 2] as usize;
-                (fit[xs.len() - 1] - fit[xs.len() - 2]) / (last - x0) as f64
-            } else {
-                0.0
-            };
-            let base = fit[xs.len() - 1];
-            for (i, o) in out[last + 1..=r].iter_mut().enumerate() {
-                *o = base + slope * (i + 1) as f64;
-            }
-        }
+        self.predicted.resize(self.resolution as usize + 1, 0.0);
+        fill_predicted(&self.xs, &self.fit, &mut self.predicted);
     }
 
     /// Evaluates one weight from the fit, with arithmetic identical to
@@ -353,6 +337,48 @@ impl BlockingRateFunction {
                 };
                 fit[xs.len() - 1] + slope * (weight as usize - last) as f64
             }
+        }
+    }
+}
+
+/// Fills a dense predicted table (`out.len() == R + 1`) from a monotone
+/// fit over raw points: piecewise-linear interpolation between the fit
+/// points, linear extrapolation past the last one.
+///
+/// Shared by [`BlockingRateFunction`]'s own table rebuild and the
+/// controller's pooled-cluster rows, so both produce bit-identical tables
+/// from identical fits.
+pub(crate) fn fill_predicted(xs: &[u32], fit: &[f64], out: &mut [f64]) {
+    let r = out.len() - 1;
+
+    // Piecewise-linear fill between consecutive raw points.
+    for k in 0..xs.len() {
+        let x0 = xs[k] as usize;
+        let y0 = fit[k];
+        out[x0] = y0;
+        if k + 1 < xs.len() {
+            let x1 = xs[k + 1] as usize;
+            let y1 = fit[k + 1];
+            let span = (x1 - x0) as f64;
+            for (i, x) in (x0 + 1..x1).enumerate() {
+                out[x] = y0 + (y1 - y0) * (i + 1) as f64 / span;
+            }
+        }
+    }
+
+    // Linear extrapolation past the last raw point using the slope of
+    // the final segment (non-negative because the fit is monotone).
+    let last = *xs.last().expect("raw always contains weight 0") as usize;
+    if last < r {
+        let slope = if xs.len() >= 2 {
+            let x0 = xs[xs.len() - 2] as usize;
+            (fit[xs.len() - 1] - fit[xs.len() - 2]) / (last - x0) as f64
+        } else {
+            0.0
+        };
+        let base = fit[xs.len() - 1];
+        for (i, o) in out[last + 1..=r].iter_mut().enumerate() {
+            *o = base + slope * (i + 1) as f64;
         }
     }
 }

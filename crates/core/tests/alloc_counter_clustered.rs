@@ -1,0 +1,108 @@
+//! Proves the steady-state *clustered* controller round is allocation-free.
+//!
+//! The clustered path has far more moving parts than the plain one — the
+//! fit-based knee refresh, the condensed distance-row maintenance, the
+//! nearest-neighbor-chain recluster (or its dirty-closure fast path), the
+//! in-place pooled PAVA refit and the cluster-level solve — and every one
+//! of them must run out of retained scratch. Adaptive decay moves every
+//! function's generation every round, so the measured window exercises the
+//! knee refresh and (whenever a knee value actually moves) the incremental
+//! recluster, not just the reuse path.
+//!
+//! This file deliberately holds exactly one `#[test]`: the counter is
+//! process-global, so any concurrently running test would pollute it. The
+//! plain-path variant lives in `alloc_counter.rs`; the end-to-end clustered
+//! variant (through `ControlPlane::round`, across detach/attach and
+//! grow/shrink) in `crates/control/tests/alloc_counter_clustered.rs`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use streambal_core::controller::{BalancerConfig, ClusteringConfig, LoadBalancer};
+use streambal_core::rate::ConnectionSample;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn count() {
+    if ENABLED.load(Ordering::Relaxed) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_clustered_round_allocates_nothing() {
+    const N: usize = 64;
+    let cfg = BalancerConfig::builder(N)
+        .clustering(ClusteringConfig::default())
+        .build()
+        .unwrap();
+    let mut lb = LoadBalancer::new(cfg);
+
+    // Warm up with two distinct load tiers so several clusters form and
+    // every scratch buffer (condensed rows, member-vector pool, pooled
+    // rows, solver heap) reaches its steady-state capacity.
+    for round in 0..200u32 {
+        let j = (round as usize * 7) % N;
+        let rate = if j.is_multiple_of(2) {
+            0.05 + 0.3 * f64::from(round % 10) / 10.0
+        } else {
+            0.0
+        };
+        lb.observe(&[ConnectionSample::new(j, rate)]);
+        lb.rebalance();
+    }
+    assert!(
+        lb.last_clusters().is_some(),
+        "64 connections with the default threshold must cluster"
+    );
+    // Settle into the no-new-samples regime (the one we measure) so the
+    // decaying knees converge and the raw-point keys stop changing.
+    for _ in 0..150 {
+        lb.rebalance();
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    for _ in 0..20 {
+        lb.rebalance();
+    }
+    ENABLED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state clustered rounds must not allocate (got {allocs} over 20 rounds)"
+    );
+    // The balancer still functions after the measured window.
+    lb.observe(&[ConnectionSample::new(0, 0.9)]);
+    lb.rebalance();
+    assert_eq!(lb.weights().units().iter().sum::<u32>(), 1000);
+    assert!(lb.last_clusters().is_some());
+}

@@ -1,0 +1,188 @@
+//! Chaos regression at large width: a 900-connection region grows across a
+//! 1000-connection clustering knee to width 1100, then churns (detach,
+//! re-attach, shrink) while the clustered solve is live. The run drives the
+//! control plane directly — the scenario harness pins the default
+//! 32-connection knee and a resolution of 1000, both far too small here —
+//! and checks the width and membership oracles after every round, so any
+//! stale assignment or starved slot the incremental cluster maintenance
+//! could leave behind fires an oracle instead of silently skewing weights.
+
+use streambal::control::ControlPlane;
+use streambal::core::controller::{BalancerConfig, ClusteringConfig};
+use streambal::sim::chaos::oracle::{MembershipOracle, SimplexOracle};
+use streambal::sim::chaos::{OracleSuite, RoundObserver, RoundView, WidthOracle};
+
+const RESOLUTION: u32 = 4096;
+/// Control cadence used for the simulated clock (4 rounds per second).
+const ROUND_NS: u64 = 250_000_000;
+
+/// The per-connection offered load, in blocking-rate terms: three steady
+/// capacity classes, like the paper's Figure 12 regions.
+fn tier_rate(j: usize) -> f64 {
+    match j % 3 {
+        0 => 0.05,
+        1 => 0.3,
+        _ => 0.7,
+    }
+}
+
+struct Run {
+    plane: ControlPlane,
+    suite: OracleSuite,
+    round: u64,
+    weights: Vec<u32>,
+    occupancy: Vec<usize>,
+}
+
+impl Run {
+    fn new(n: usize) -> Self {
+        let cfg = BalancerConfig::builder(n)
+            .resolution(RESOLUTION)
+            .clustering(ClusteringConfig {
+                min_connections: 1000,
+                distance_threshold: 0.7,
+            })
+            .build()
+            .unwrap();
+        Run {
+            plane: ControlPlane::builder(cfg).build(),
+            suite: OracleSuite::empty()
+                .with_oracle(Box::new(SimplexOracle))
+                .with_oracle(Box::new(MembershipOracle::default()))
+                .with_oracle(Box::new(WidthOracle::default())),
+            round: 0,
+            weights: Vec::new(),
+            occupancy: Vec::new(),
+        }
+    }
+
+    /// One control round: feed the rates, install weights, run the oracles.
+    fn round(&mut self, rates: &[f64], alive: &[bool]) {
+        self.round += 1;
+        let t_ns = self.round * ROUND_NS;
+        let installed = self.plane.round(t_ns / 1_000_000, rates);
+        self.weights.clear();
+        self.weights.extend_from_slice(installed.units());
+        self.occupancy.clear();
+        self.occupancy.resize(rates.len(), 0);
+        let mut view = RoundView {
+            round: self.round,
+            t_ns,
+            resolution: RESOLUTION,
+            weights: &self.weights,
+            rates,
+            delivered: 0,
+            next_expected: 0,
+            merge_occupancy: &self.occupancy,
+            merge_capacity: 64,
+            worker_alive: alive,
+            last_fault_ns: None,
+            balancer: Some(self.plane.balancer_mut()),
+        };
+        self.suite.on_round(&mut view);
+    }
+}
+
+#[test]
+fn growth_across_a_large_clustering_knee_survives_churn() {
+    const START: usize = 900;
+    const GROWN: usize = 1100;
+    let mut run = Run::new(START);
+    let mut rates: Vec<f64> = (0..START).map(tier_rate).collect();
+    let mut alive = vec![true; START];
+
+    // Plain regime: 900 connections sit below the 1000-connection knee.
+    for _ in 0..30 {
+        run.round(&rates, &alive);
+    }
+    assert!(
+        run.plane.balancer().last_clusters().is_none(),
+        "900 connections must still solve per-connection"
+    );
+
+    // Membership churn while plain: two detaches, then re-attach.
+    assert!(run.plane.detach_connection(100));
+    assert!(run.plane.detach_connection(200));
+    rates[100] = 0.0;
+    rates[200] = 0.0;
+    for _ in 0..50 {
+        run.round(&rates, &alive);
+    }
+    assert!(run.plane.attach_connection(100));
+    assert!(run.plane.attach_connection(200));
+    rates[100] = tier_rate(100);
+    rates[200] = tier_rate(200);
+    for _ in 0..50 {
+        run.round(&rates, &alive);
+    }
+
+    // Growth crosses the knee: 900 -> 1100 flips the balancer into the
+    // clustered solve at the wider width.
+    let range = run.plane.grow_width(GROWN - START);
+    assert_eq!(range, START..GROWN);
+    rates.resize(GROWN, 0.0);
+    for (j, r) in rates.iter_mut().enumerate().skip(START) {
+        *r = tier_rate(j);
+    }
+    alive.resize(GROWN, true);
+    for _ in 0..30 {
+        run.round(&rates, &alive);
+    }
+    assert!(
+        run.plane.balancer().last_clusters().is_some(),
+        "1100 connections must cluster above the 1000-connection knee"
+    );
+
+    // Knee movement under the clustered solve: one connection oscillates
+    // between the lightest and heaviest class, so every flip dirties its
+    // cluster and exercises the incremental recluster.
+    for flip in 0..20 {
+        rates[7] = if flip % 2 == 0 { 0.7 } else { 0.05 };
+        run.round(&rates, &alive);
+    }
+    rates[7] = tier_rate(7);
+
+    // Membership churn while clustered.
+    assert!(run.plane.detach_connection(950));
+    rates[950] = 0.0;
+    for _ in 0..5 {
+        run.round(&rates, &alive);
+    }
+    assert!(run.plane.attach_connection(950));
+    rates[950] = tier_rate(950);
+    for _ in 0..50 {
+        run.round(&rates, &alive);
+    }
+
+    // Shrink back to exactly the knee: still clustered at width 1000.
+    let width = run.plane.shrink_width(GROWN - 1000);
+    assert_eq!(width, 1000);
+    rates.truncate(1000);
+    alive.truncate(1000);
+    for _ in 0..50 {
+        run.round(&rates, &alive);
+    }
+
+    assert!(
+        run.suite.is_clean(),
+        "oracles fired: {:#?}",
+        run.suite.violations()
+    );
+    let lb = run.plane.balancer();
+    assert!(
+        lb.last_clusters().is_some(),
+        "width 1000 must stay clustered"
+    );
+    let clusters = lb.last_clusters().unwrap();
+    assert_eq!(clusters.assignment.len(), 1000);
+    for (j, &c) in clusters.assignment.iter().enumerate() {
+        assert!(
+            !lb.is_attached(j) || c != usize::MAX,
+            "live slot {j} left unassigned after the churn"
+        );
+    }
+    assert_eq!(
+        run.weights.iter().map(|&u| u64::from(u)).sum::<u64>(),
+        u64::from(RESOLUTION)
+    );
+}
