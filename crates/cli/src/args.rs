@@ -11,6 +11,8 @@ USAGE:
     streambal placement [OPTIONS]    place regions across hosts (cluster-wide)
     streambal chaos [OPTIONS]        fuzz seeded fault scenarios against the
                                      invariant oracles
+    streambal tournament [OPTIONS]   run the strategy x scenario comparison
+                                     matrix and emit a CSV + markdown report
     streambal help                   show this text
 
 SIMULATE OPTIONS:
@@ -48,6 +50,19 @@ CHAOS OPTIONS:
     --require-growth       fail unless at least one scenario contained a
                            WorkerAdd (proves the elastic growth path was
                            exercised)
+
+TOURNAMENT OPTIONS:
+    --seed N               master seed pinning every scenario and strategy
+                           RNG (default 7)
+    --strategies LIST      comma list of rr | random | least-outstanding |
+                           p2c | pkg | lb-adaptive (default: all six)
+    --scenarios LIST       comma list of diurnal-ramp | flash-crowd |
+                           heavy-tailed | correlated-failure | stragglers |
+                           hotspot-churn (default: all six)
+    --threads N            worker threads for the matrix (default: all cores,
+                           or STREAMBAL_THREADS)
+    --csv PATH             write the per-cell results as CSV
+    --md PATH              write the markdown comparison report
 
 PLACEMENT OPTIONS:
     --hosts LIST           as above (default fast,slow)
@@ -140,6 +155,20 @@ pub struct ChaosArgs {
     pub require_growth: bool,
 }
 
+/// The `tournament` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentArgs {
+    pub seed: u64,
+    /// Strategy identifiers to run; `None` means the full roster.
+    pub strategies: Option<Vec<String>>,
+    /// Scenario names to run; `None` means the full library.
+    pub scenarios: Option<Vec<String>>,
+    /// Matrix worker threads; `None` means `driver::default_threads()`.
+    pub threads: Option<usize>,
+    pub csv: Option<String>,
+    pub md: Option<String>,
+}
+
 /// The `placement` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacementArgs {
@@ -157,6 +186,7 @@ pub enum Command {
     Simulate(SimulateArgs),
     Placement(PlacementArgs),
     Chaos(ChaosArgs),
+    Tournament(TournamentArgs),
     Help,
 }
 
@@ -186,6 +216,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "simulate" => parse_simulate(&argv[1..]),
         "placement" => parse_placement(&argv[1..]),
         "chaos" => parse_chaos(&argv[1..]),
+        "tournament" => parse_tournament(&argv[1..]),
         other => Err(err(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -441,6 +472,55 @@ fn parse_chaos(argv: &[String]) -> Result<Command, ParseError> {
     Ok(Command::Chaos(a))
 }
 
+fn parse_tournament(argv: &[String]) -> Result<Command, ParseError> {
+    let mut a = TournamentArgs {
+        seed: 7,
+        strategies: None,
+        scenarios: None,
+        threads: None,
+        csv: None,
+        md: None,
+    };
+    let comma_list = |spec: &str| -> Vec<String> {
+        spec.split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect()
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                a.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("bad --seed"))?
+            }
+            "--strategies" => a.strategies = Some(comma_list(take_value(flag, &mut it)?)),
+            "--scenarios" => a.scenarios = Some(comma_list(take_value(flag, &mut it)?)),
+            "--threads" => {
+                a.threads = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("bad --threads"))?,
+                )
+            }
+            "--csv" => a.csv = Some(take_value(flag, &mut it)?.to_owned()),
+            "--md" => a.md = Some(take_value(flag, &mut it)?.to_owned()),
+            other => return Err(err(format!("unknown flag '{other}'"))),
+        }
+    }
+    if matches!(&a.strategies, Some(list) if list.is_empty()) {
+        return Err(err("--strategies list is empty"));
+    }
+    if matches!(&a.scenarios, Some(list) if list.is_empty()) {
+        return Err(err("--scenarios list is empty"));
+    }
+    if a.threads == Some(0) {
+        return Err(err("--threads must be positive"));
+    }
+    Ok(Command::Tournament(a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +662,54 @@ mod tests {
         assert!(parse(&args("chaos --seed")).is_err());
         assert!(parse(&args("chaos --sabotage frobnicate")).is_err());
         assert!(parse(&args("chaos --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn tournament_defaults_and_flags() {
+        let Command::Tournament(a) = parse(&args("tournament")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            a,
+            TournamentArgs {
+                seed: 7,
+                strategies: None,
+                scenarios: None,
+                threads: None,
+                csv: None,
+                md: None,
+            }
+        );
+        let Command::Tournament(a) = parse(&args(
+            "tournament --seed 9 --strategies rr,lb-adaptive \
+             --scenarios flash-crowd,stragglers --threads 2 \
+             --csv out.csv --md out.md",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.seed, 9);
+        assert_eq!(
+            a.strategies,
+            Some(vec!["rr".to_owned(), "lb-adaptive".to_owned()])
+        );
+        assert_eq!(
+            a.scenarios,
+            Some(vec!["flash-crowd".to_owned(), "stragglers".to_owned()])
+        );
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.md.as_deref(), Some("out.md"));
+    }
+
+    #[test]
+    fn tournament_bad_values_rejected() {
+        assert!(parse(&args("tournament --seed")).is_err());
+        assert!(parse(&args("tournament --seed nine")).is_err());
+        assert!(parse(&args("tournament --strategies ,")).is_err());
+        assert!(parse(&args("tournament --scenarios ,,")).is_err());
+        assert!(parse(&args("tournament --threads 0")).is_err());
+        assert!(parse(&args("tournament --frobnicate")).is_err());
     }
 
     #[test]

@@ -19,9 +19,11 @@ use streambal_sim::SECOND_NS;
 use streambal_telemetry::{export, Telemetry};
 use streambal_workloads::oracle;
 use streambal_workloads::report::Table;
+use streambal_workloads::tournament::{self, StrategyKind, TournamentScenario};
 
 use crate::args::{
     ChaosArgs, Command, HostArg, PlacementArgs, PolicyArg, SabotageArg, SimulateArgs,
+    TournamentArgs,
 };
 
 /// Executes a parsed command.
@@ -34,6 +36,7 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
         Command::Simulate(a) => simulate(a),
         Command::Placement(a) => placement(a),
         Command::Chaos(a) => chaos(a),
+        Command::Tournament(a) => run_tournament(a),
     }
 }
 
@@ -283,6 +286,77 @@ fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
         .into());
     }
     println!("{} chaos seed(s) clean", a.rounds);
+    Ok(())
+}
+
+fn run_tournament(a: TournamentArgs) -> Result<(), Box<dyn Error>> {
+    let strategies: Vec<StrategyKind> = match &a.strategies {
+        None => StrategyKind::roster(),
+        Some(ids) => ids
+            .iter()
+            .map(|id| StrategyKind::parse(id).ok_or_else(|| format!("unknown strategy '{id}'")))
+            .collect::<Result<_, _>>()?,
+    };
+    let scenarios: Vec<TournamentScenario> = match &a.scenarios {
+        None => tournament::library(a.seed),
+        Some(names) => names
+            .iter()
+            .map(|name| {
+                tournament::scenarios::find(name, a.seed)
+                    .ok_or_else(|| format!("unknown scenario '{name}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let threads = a
+        .threads
+        .unwrap_or_else(streambal_sim::driver::default_threads);
+    println!(
+        "running {} strategies x {} scenarios on {threads} thread(s), seed {}",
+        strategies.len(),
+        scenarios.len(),
+        a.seed
+    );
+    let outcomes = tournament::run_matrix(&scenarios, &strategies, a.seed, threads);
+
+    let table = tournament::csv_table(&outcomes, a.seed);
+    println!("{table}");
+    if let Some(path) = &a.csv {
+        table.write_csv(path)?;
+        println!("tournament CSV written to {path}");
+    }
+    if let Some(path) = &a.md {
+        let scenario_names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        let strategy_names: Vec<&str> = strategies.iter().map(|k| k.name()).collect();
+        let md = tournament::markdown_report(&outcomes, &scenario_names, &strategy_names, a.seed);
+        streambal_telemetry::export::write_file(path, &md)?;
+        println!("tournament report written to {path}");
+    }
+
+    // Ordering-critical oracle failures (simplex, in-order delivery,
+    // bounded reorder queues) fail the command: no strategy may buy its
+    // numbers by breaking the region's correctness contract.
+    let mut dirty_cells = 0usize;
+    for cell in &outcomes {
+        let ordering = cell.ordering_violations();
+        if ordering.is_empty() {
+            continue;
+        }
+        dirty_cells += 1;
+        println!(
+            "ordering violation: {} x {} ({} violation(s))",
+            cell.scenario,
+            cell.strategy,
+            ordering.len()
+        );
+        for v in ordering {
+            println!("  {v}");
+        }
+    }
+    if dirty_cells > 0 {
+        return Err(
+            format!("{dirty_cells} tournament cell(s) violated an ordering invariant").into(),
+        );
+    }
     Ok(())
 }
 

@@ -26,7 +26,9 @@ pub mod oracle;
 pub mod policies;
 pub mod report;
 pub mod scenarios;
+pub mod tournament;
 
 pub use policies::PolicyKind;
 pub use report::Table;
 pub use scenarios::Scenario;
+pub use tournament::{StrategyKind, TournamentScenario};

@@ -1,0 +1,353 @@
+//! The curated tournament scenario library.
+//!
+//! Six named disturbance patterns that go beyond the paper's figures —
+//! diurnal ramp, flash crowd, heavy-tailed tuple costs, correlated host
+//! failure, stragglers, hotspot-key churn — each expressed as a seeded
+//! chaos plan over a fixed region shape, so every tournament cell is
+//! deterministic and replayable from `(scenario name, seed)` alone.
+//!
+//! All scenarios share the chaos harness profile (1 k base cost ×
+//! 500 ns/unit workers, 250 ms control rounds) and keep their last fault
+//! at least ~11 simulated seconds before the end of the run, leaving the
+//! quiet tail the reconvergence oracle needs (40 rounds + 5 stable).
+
+use streambal_core::rng::SplitMix64;
+use streambal_sim::chaos::scenario::SAMPLE_INTERVAL_NS;
+use streambal_sim::chaos::{ChaosPlan, FaultKind, TimedFault};
+use streambal_sim::config::{RegionConfig, StopCondition};
+use streambal_sim::SECOND_NS;
+
+/// One tournament column: a named, seeded region + fault schedule.
+#[derive(Debug, Clone)]
+pub struct TournamentScenario {
+    /// Stable scenario name (doubles as the CLI identifier).
+    pub name: &'static str,
+    /// The master seed the scenario was derived from.
+    pub seed: u64,
+    /// The region the scenario runs against.
+    pub config: RegionConfig,
+    /// The disturbance schedule.
+    pub plan: ChaosPlan,
+}
+
+/// Per-scenario RNG: the master seed salted with a scenario tag, so one
+/// `--seed` pins the whole library while scenarios stay decorrelated.
+fn rng_for(seed: u64, tag: u64) -> SplitMix64 {
+    SplitMix64::new(seed ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The shared region profile: chaos-harness worker shape (2 k tuples/s
+/// per worker at load 1, 250 ms control rounds, duration stop), but with
+/// the splitter throttled to `offered` tuples/s. Unlike the open-loop
+/// chaos harness, the tournament provisions headroom — a well-balanced
+/// region absorbs the offered load, so any blocking measures
+/// *misallocation*, not raw saturation. That is what makes the blocking
+/// quantiles discriminate between strategies.
+fn base_config(workers: usize, seed: u64, duration_s: u64, offered: u64) -> RegionConfig {
+    RegionConfig::builder(workers)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .send_overhead_ns(SECOND_NS / offered)
+        .sample_interval_ns(SAMPLE_INTERVAL_NS)
+        .stop(StopCondition::Duration(duration_s * SECOND_NS))
+        .seed(seed)
+        .build()
+        .expect("tournament region shape is valid")
+}
+
+fn spike(t_ns: u64, worker: usize, factor: f64) -> TimedFault {
+    TimedFault {
+        t_ns,
+        fault: FaultKind::LoadSpike { worker, factor },
+    }
+}
+
+/// Diurnal ramp: demand on half the region climbs through a morning
+/// staircase, peaks, and falls back off — the slow, predictable shift a
+/// production balancer sees every day.
+pub fn diurnal_ramp(seed: u64) -> TournamentScenario {
+    let mut rng = rng_for(seed, 1);
+    let mut events = Vec::new();
+    // (hour-of-day offset in seconds, load multiple at that step)
+    let staircase = [(4u64, 2.5), (9, 5.0), (14, 8.0), (19, 4.0), (24, 1.0)];
+    for worker in [0usize, 1] {
+        for &(t_s, factor) in &staircase {
+            let t_ns = t_s * SECOND_NS + rng.range_u64(0, SECOND_NS);
+            let factor = if factor == 1.0 {
+                1.0
+            } else {
+                factor * rng.frange(0.9, 1.1)
+            };
+            events.push(spike(t_ns, worker, factor));
+        }
+    }
+    events.sort_by_key(|e| e.t_ns);
+    TournamentScenario {
+        name: "diurnal-ramp",
+        seed,
+        config: base_config(4, seed, 40, 5_000),
+        plan: ChaosPlan::new(events),
+    }
+}
+
+/// Flash crowd: three of five workers are hit by a near-simultaneous
+/// 8–14× load spike, then recover together a few seconds later.
+pub fn flash_crowd(seed: u64) -> TournamentScenario {
+    let mut rng = rng_for(seed, 2);
+    let t0 = 8 * SECOND_NS + rng.range_u64(0, SECOND_NS);
+    let hold_s = rng.range_u64(5, 8);
+    let mut events = Vec::new();
+    for worker in [0usize, 1, 2] {
+        let stagger = rng.range_u64(0, SECOND_NS / 5);
+        events.push(spike(t0 + stagger, worker, rng.frange(4.0, 7.0)));
+        events.push(spike(t0 + hold_s * SECOND_NS + stagger, worker, 1.0));
+    }
+    events.sort_by_key(|e| e.t_ns);
+    TournamentScenario {
+        name: "flash-crowd",
+        seed,
+        config: base_config(5, seed, 34, 6_000),
+        plan: ChaosPlan::new(events),
+    }
+}
+
+/// Heavy-tailed tuple costs: high service jitter plus frequent multi-
+/// millisecond hiccups make per-tuple cost long-tailed region-wide, with
+/// one mild sustained spike so there is still an imbalance to chase.
+pub fn heavy_tailed(seed: u64) -> TournamentScenario {
+    let mut rng = rng_for(seed, 3);
+    let hiccup_ns = rng.range_u64(2, 5) * 1_000_000;
+    let config = RegionConfig::builder(4)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .send_overhead_ns(SECOND_NS / 5_500)
+        .sample_interval_ns(SAMPLE_INTERVAL_NS)
+        .jitter(0.35)
+        .hiccups(0.02, hiccup_ns)
+        .stop(StopCondition::Duration(32 * SECOND_NS))
+        .seed(seed)
+        .build()
+        .expect("heavy-tailed region shape is valid");
+    let t0 = 10 * SECOND_NS + rng.range_u64(0, SECOND_NS);
+    let events = vec![
+        spike(t0, 2, rng.frange(2.5, 3.5)),
+        spike(t0 + 6 * SECOND_NS, 2, 1.0),
+    ];
+    TournamentScenario {
+        name: "heavy-tailed",
+        seed,
+        config,
+        plan: ChaosPlan::new(events),
+    }
+}
+
+/// Correlated host failure: two workers sharing a host die in the same
+/// instant and come back together; a later slowdown probes the recovered
+/// region.
+pub fn correlated_failure(seed: u64) -> TournamentScenario {
+    let mut rng = rng_for(seed, 4);
+    let die = 9 * SECOND_NS + rng.range_u64(0, SECOND_NS);
+    let restart = die + rng.range_u64(4, 6) * SECOND_NS;
+    let probe = 18 * SECOND_NS + rng.range_u64(0, SECOND_NS);
+    let mut events = Vec::new();
+    for worker in [0usize, 1] {
+        events.push(TimedFault {
+            t_ns: die,
+            fault: FaultKind::WorkerDeath { worker },
+        });
+        events.push(TimedFault {
+            t_ns: restart,
+            fault: FaultKind::WorkerRestart { worker },
+        });
+    }
+    events.push(TimedFault {
+        t_ns: probe,
+        fault: FaultKind::Slowdown {
+            worker: 3,
+            factor: rng.frange(2.5, 3.5),
+        },
+    });
+    events.push(TimedFault {
+        t_ns: probe + 5 * SECOND_NS,
+        fault: FaultKind::Slowdown {
+            worker: 3,
+            factor: 1.0,
+        },
+    });
+    events.sort_by_key(|e| e.t_ns);
+    TournamentScenario {
+        name: "correlated-failure",
+        seed,
+        config: base_config(6, seed, 36, 7_000),
+        plan: ChaosPlan::new(events),
+    }
+}
+
+/// Stragglers: one worker is permanently 3–5× slower from early in the
+/// run, a second is temporarily 2–3× slower — the classic skew the
+/// paper's controller is built for.
+pub fn stragglers(seed: u64) -> TournamentScenario {
+    let mut rng = rng_for(seed, 5);
+    let events = vec![
+        TimedFault {
+            t_ns: 6 * SECOND_NS + rng.range_u64(0, SECOND_NS),
+            fault: FaultKind::Slowdown {
+                worker: 0,
+                factor: rng.frange(3.0, 5.0),
+            },
+        },
+        TimedFault {
+            t_ns: 12 * SECOND_NS + rng.range_u64(0, SECOND_NS),
+            fault: FaultKind::Slowdown {
+                worker: 3,
+                factor: rng.frange(2.0, 3.0),
+            },
+        },
+        TimedFault {
+            t_ns: 22 * SECOND_NS,
+            fault: FaultKind::Slowdown {
+                worker: 3,
+                factor: 1.0,
+            },
+        },
+    ];
+    TournamentScenario {
+        name: "stragglers",
+        seed,
+        config: base_config(5, seed, 36, 6_500),
+        plan: ChaosPlan::new(events),
+    }
+}
+
+/// Hotspot-key churn: the trending keys live on two partitions whose
+/// host is mildly oversubscribed, and the hotspot flaps between those
+/// two partitions every eight seconds — so yesterday's right answer is
+/// always today's wrong one (the AutoFlow-style moving-skew pattern).
+/// Unlike the other scenarios this one runs open-loop at the paper's
+/// saturated operating point — backpressure is the balancer's *only*
+/// signal here, so a static split carries the hot connection's blocking
+/// for the whole dwell while an adaptive strategy sheds it within a few
+/// rounds.
+pub fn hotspot_churn(seed: u64) -> TournamentScenario {
+    let mut rng = rng_for(seed, 6);
+    let mut events = Vec::new();
+    // The weak host: both hot partitions run slightly slow from the
+    // start, before the first key even trends.
+    for worker in [0usize, 2] {
+        events.push(TimedFault {
+            t_ns: SECOND_NS + rng.range_u64(0, SECOND_NS / 2),
+            fault: FaultKind::Slowdown {
+                worker,
+                factor: rng.frange(1.6, 1.8),
+            },
+        });
+    }
+    for k in 0usize..4 {
+        let on = (6 + 8 * k as u64) * SECOND_NS + rng.range_u64(0, SECOND_NS / 2);
+        let off = on + 8 * SECOND_NS;
+        let hot = if k % 2 == 0 { 0 } else { 2 };
+        events.push(spike(on, hot, rng.frange(2.5, 3.5)));
+        events.push(spike(off, hot, 1.0));
+    }
+    events.sort_by_key(|e| e.t_ns);
+    let config = RegionConfig::builder(8)
+        .base_cost(1_000)
+        .mult_ns(500.0)
+        .sample_interval_ns(SAMPLE_INTERVAL_NS)
+        .stop(StopCondition::Duration(58 * SECOND_NS))
+        .seed(seed)
+        .build()
+        .expect("hotspot-churn region shape is valid");
+    TournamentScenario {
+        name: "hotspot-churn",
+        seed,
+        config,
+        plan: ChaosPlan::new(events),
+    }
+}
+
+/// The full scenario library for one master seed, in report order.
+pub fn library(seed: u64) -> Vec<TournamentScenario> {
+    vec![
+        diurnal_ramp(seed),
+        flash_crowd(seed),
+        heavy_tailed(seed),
+        correlated_failure(seed),
+        stragglers(seed),
+        hotspot_churn(seed),
+    ]
+}
+
+/// Looks a scenario up by its stable name.
+pub fn find(name: &str, seed: u64) -> Option<TournamentScenario> {
+    library(seed).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_deterministic_per_seed() {
+        let a = library(7);
+        let b = library(7);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.plan.events, y.plan.events);
+        }
+        // A different master seed perturbs the schedules.
+        let c = library(8);
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.plan.events != y.plan.events));
+    }
+
+    #[test]
+    fn plans_are_valid_and_leave_a_reconvergence_tail() {
+        for s in library(7) {
+            let workers = s.config.num_workers();
+            s.plan.validate(workers).expect("valid plan");
+            let duration = match s.config.stop {
+                StopCondition::Duration(ns) => ns,
+                other => panic!("{}: expected duration stop, got {other:?}", s.name),
+            };
+            let last = s.plan.events.iter().map(|e| e.t_ns).max().unwrap();
+            assert!(
+                duration - last >= 11 * SECOND_NS,
+                "{}: last fault at {last} leaves too little tail before {duration}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        let lib = library(3);
+        for s in &lib {
+            assert_eq!(find(s.name, 3).unwrap().name, s.name);
+        }
+        let mut names: Vec<_> = lib.iter().map(|s| s.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        assert!(find("no-such-scenario", 3).is_none());
+    }
+
+    #[test]
+    fn every_death_has_a_restart() {
+        for s in library(11) {
+            for ev in &s.plan.events {
+                if let FaultKind::WorkerDeath { worker } = ev.fault {
+                    assert!(
+                        s.plan.events.iter().any(|r| {
+                            r.t_ns > ev.t_ns && r.fault == FaultKind::WorkerRestart { worker }
+                        }),
+                        "{}: death of {worker} without restart",
+                        s.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Tournament determinism: the same seed must produce byte-identical
+//! reports, run twice or run on any thread count (the tournament analogue
+//! of `bench/tests/parallel_equivalence.rs`).
+
+use streambal_workloads::tournament::{csv_table, markdown_report, run_matrix, scenarios};
+use streambal_workloads::StrategyKind;
+
+fn slice(seed: u64) -> Vec<streambal_workloads::TournamentScenario> {
+    vec![
+        scenarios::find("flash-crowd", seed).unwrap(),
+        scenarios::find("stragglers", seed).unwrap(),
+    ]
+}
+
+const STRATEGIES: [StrategyKind; 2] = [StrategyKind::RoundRobin, StrategyKind::Controller];
+
+#[test]
+fn same_seed_means_byte_identical_csv() {
+    let seed = 7;
+    let lib = slice(seed);
+    let a = run_matrix(&lib, &STRATEGIES, seed, 1);
+    let b = run_matrix(&lib, &STRATEGIES, seed, 1);
+    let csv_a = csv_table(&a, seed).to_csv();
+    let csv_b = csv_table(&b, seed).to_csv();
+    assert_eq!(csv_a, csv_b, "two serial runs must agree byte-for-byte");
+    // The report layer is a pure function of the outcomes.
+    let names: Vec<&str> = lib.iter().map(|s| s.name).collect();
+    let kinds: Vec<&str> = STRATEGIES.iter().map(|k| k.name()).collect();
+    assert_eq!(
+        markdown_report(&a, &names, &kinds, seed),
+        markdown_report(&b, &names, &kinds, seed),
+    );
+}
+
+#[test]
+fn serial_and_parallel_runs_agree() {
+    let seed = 7;
+    let lib = slice(seed);
+    let serial = run_matrix(&lib, &STRATEGIES, seed, 1);
+    let parallel = run_matrix(&lib, &STRATEGIES, seed, 4);
+    assert_eq!(
+        csv_table(&serial, seed).to_csv(),
+        csv_table(&parallel, seed).to_csv(),
+        "thread count must not leak into the report"
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_matrix(&slice(7), &STRATEGIES, 7, 1);
+    let b = run_matrix(&slice(8), &STRATEGIES, 8, 1);
+    assert_ne!(
+        csv_table(&a, 0).to_csv(),
+        csv_table(&b, 0).to_csv(),
+        "the master seed must actually perturb the matrix"
+    );
+}

@@ -1,70 +1,201 @@
-//! Cluster-wide placement (§8 future work): analytic strategies validated
-//! against the simulator with the local balancer running.
+//! Cluster-level integration tests, in two parts:
+//!
+//! - [`placement`]: cluster-wide placement (§8 future work) — analytic
+//!   strategies validated against the simulator with the local balancer
+//!   running.
+//! - [`clustering`]: channel clustering inside one wide region (§5.3,
+//!   Figures 12/13) — capacity classes must separate into pure clusters
+//!   with capacity-ordered weights.
 
-use streambal::cluster::model::{ClusterSpec, RegionSpec};
-use streambal::cluster::placement::{place, Placement, Strategy};
-use streambal::cluster::verify::simulate_region;
-use streambal::sim::host::Host;
+mod placement {
+    use streambal::cluster::model::{ClusterSpec, RegionSpec};
+    use streambal::cluster::placement::{place, Placement, Strategy};
+    use streambal::cluster::verify::simulate_region;
+    use streambal::sim::host::Host;
 
-fn heterogeneous_spec() -> ClusterSpec {
-    ClusterSpec::new(
-        vec![Host::fast(), Host::slow(), Host::slow()],
-        vec![
-            RegionSpec::new(8, 20_000, 50.0),
-            RegionSpec::new(8, 10_000, 50.0),
-        ],
-    )
-    .unwrap()
-}
+    fn heterogeneous_spec() -> ClusterSpec {
+        ClusterSpec::new(
+            vec![Host::fast(), Host::slow(), Host::slow()],
+            vec![
+                RegionSpec::new(8, 20_000, 50.0),
+                RegionSpec::new(8, 10_000, 50.0),
+            ],
+        )
+        .unwrap()
+    }
 
-#[test]
-fn strategies_are_monotonically_better() {
-    let spec = heterogeneous_spec();
-    let rr = place(&spec, Strategy::RoundRobin);
-    let greedy = place(&spec, Strategy::CapacityAware);
-    let refined = place(&spec, Strategy::LocalSearch);
-    let m = |p: &Placement| spec.min_region_throughput(p);
-    assert!(m(&greedy) >= m(&rr) - 1e-6);
-    assert!(m(&refined) >= m(&greedy) - 1e-6);
-}
+    #[test]
+    fn strategies_are_monotonically_better() {
+        let spec = heterogeneous_spec();
+        let rr = place(&spec, Strategy::RoundRobin);
+        let greedy = place(&spec, Strategy::CapacityAware);
+        let refined = place(&spec, Strategy::LocalSearch);
+        let m = |p: &Placement| spec.min_region_throughput(p);
+        assert!(m(&greedy) >= m(&rr) - 1e-6);
+        assert!(m(&refined) >= m(&greedy) - 1e-6);
+    }
 
-#[test]
-fn capacity_aware_placement_survives_simulation() {
-    let spec = heterogeneous_spec();
-    let p = place(&spec, Strategy::CapacityAware);
-    for r in 0..spec.regions().len() {
-        let predicted = spec.region_throughput(&p, r);
-        let run = simulate_region(&spec, &p, r, 45).unwrap();
-        let measured = run.final_throughput(8);
-        assert!(
-            measured > 0.55 * predicted,
-            "region {r}: predicted {predicted}, measured {measured}"
-        );
-        assert!(
-            measured < 1.35 * predicted,
-            "region {r}: model should not underestimate wildly: {measured} vs {predicted}"
-        );
+    #[test]
+    fn capacity_aware_placement_survives_simulation() {
+        let spec = heterogeneous_spec();
+        let p = place(&spec, Strategy::CapacityAware);
+        for r in 0..spec.regions().len() {
+            let predicted = spec.region_throughput(&p, r);
+            let run = simulate_region(&spec, &p, r, 45).unwrap();
+            let measured = run.final_throughput(8);
+            assert!(
+                measured > 0.55 * predicted,
+                "region {r}: predicted {predicted}, measured {measured}"
+            );
+            assert!(
+                measured < 1.35 * predicted,
+                "region {r}: model should not underestimate wildly: {measured} vs {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_cluster_still_places_everything() {
+        // 48 PEs onto 12 hardware threads.
+        let spec = ClusterSpec::new(
+            vec![Host::new(8, 1.0), Host::new(4, 1.0)],
+            vec![
+                RegionSpec::new(24, 5_000, 50.0),
+                RegionSpec::new(24, 5_000, 50.0),
+            ],
+        )
+        .unwrap();
+        for strategy in [
+            Strategy::RoundRobin,
+            Strategy::CapacityAware,
+            Strategy::LocalSearch,
+        ] {
+            let p = place(&spec, strategy);
+            assert_eq!(spec.pes_per_host(&p).iter().sum::<u32>(), 48);
+            assert!(spec.min_region_throughput(&p) > 0.0);
+        }
     }
 }
 
-#[test]
-fn oversubscribed_cluster_still_places_everything() {
-    // 48 PEs onto 12 hardware threads.
-    let spec = ClusterSpec::new(
-        vec![Host::new(8, 1.0), Host::new(4, 1.0)],
-        vec![
-            RegionSpec::new(24, 5_000, 50.0),
-            RegionSpec::new(24, 5_000, 50.0),
-        ],
-    )
-    .unwrap();
-    for strategy in [
-        Strategy::RoundRobin,
-        Strategy::CapacityAware,
-        Strategy::LocalSearch,
-    ] {
-        let p = place(&spec, strategy);
-        assert_eq!(spec.pes_per_host(&p).iter().sum::<u32>(), 48);
-        assert!(spec.min_region_throughput(&p) > 0.0);
+mod clustering {
+    use streambal::core::controller::{BalancerConfig, ClusteringConfig};
+    use streambal::sim::config::{RegionConfig, StopCondition};
+    use streambal::sim::host::Host;
+    use streambal::sim::policy::{BalancerPolicy, Policy};
+    use streambal::sim::SECOND_NS;
+
+    fn two_class_region(n: usize, load: f64, seconds: u64) -> RegionConfig {
+        let mut b = RegionConfig::builder(n);
+        b.hosts(vec![Host::new(n as u32, 1.0)])
+            .base_cost(20_000)
+            .mult_ns(50.0)
+            .stop(StopCondition::Duration(seconds * SECOND_NS));
+        for j in 0..n / 2 {
+            b.worker_load(j, load);
+        }
+        b.build().unwrap()
+    }
+
+    fn clustered_policy(n: usize) -> BalancerPolicy {
+        BalancerPolicy::new(
+            BalancerConfig::builder(n)
+                .clustering(ClusteringConfig::default())
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// After convergence, no cluster mixes loaded and unloaded channels — the
+    /// paper: "it is imperative that clusters emerge which have *only* channels
+    /// from the [same] group".
+    #[test]
+    fn clusters_become_pure_by_load_class() {
+        let n = 32;
+        let cfg = two_class_region(n, 20.0, 150);
+        let mut policy = clustered_policy(n);
+        let result = streambal::sim::run(&cfg, &mut policy).unwrap();
+        let assignment = policy
+            .cluster_assignment()
+            .expect("clustering active at 32 channels");
+        let mut impure = 0;
+        for c in 0..=*assignment.iter().max().unwrap() {
+            let members: Vec<usize> = (0..n).filter(|&j| assignment[j] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let loaded = members.iter().filter(|&&j| j < n / 2).count();
+            if loaded != 0 && loaded != members.len() {
+                impure += 1;
+            }
+        }
+        assert_eq!(
+            impure, 0,
+            "no cluster may mix load classes: {assignment:?} (run delivered {})",
+            result.delivered
+        );
+    }
+
+    /// Loaded channels end with clearly less weight than unloaded ones.
+    #[test]
+    fn clustered_weights_follow_capacity() {
+        let n = 32;
+        let cfg = two_class_region(n, 20.0, 150);
+        let mut policy = clustered_policy(n);
+        let result = streambal::sim::run(&cfg, &mut policy).unwrap();
+        let last = result.samples.last().unwrap();
+        let mean = |range: std::ops::Range<usize>| {
+            range.clone().map(|j| last.weights[j]).sum::<u32>() as f64 / range.len() as f64
+        };
+        let loaded = mean(0..n / 2);
+        let unloaded = mean(n / 2..n);
+        assert!(
+            unloaded > 4.0 * loaded,
+            "unloaded mean {unloaded} vs loaded mean {loaded}"
+        );
+        assert_eq!(last.weights.iter().sum::<u32>(), 1000);
+    }
+
+    /// Below the activation threshold the clustered configuration behaves like
+    /// the plain one (no cluster assignment is ever reported).
+    #[test]
+    fn clustering_inactive_below_threshold() {
+        let n = 8;
+        let cfg = two_class_region(n, 20.0, 30);
+        let mut policy = clustered_policy(n);
+        let result = streambal::sim::run(&cfg, &mut policy).unwrap();
+        assert!(policy.cluster_assignment().is_none());
+        assert!(result.samples.iter().all(|s| s.clusters.is_none()));
+    }
+
+    /// Three load classes (Figure 12, scaled down): the class means of the
+    /// final weights must be ordered unloaded > 5x > 100x.
+    #[test]
+    fn three_class_weights_are_ordered() {
+        let n = 36;
+        let mut b = RegionConfig::builder(n);
+        b.hosts(vec![Host::new(n as u32, 1.0)])
+            .base_cost(20_000)
+            .mult_ns(50.0)
+            .stop(StopCondition::Duration(200 * SECOND_NS));
+        for j in 0..12 {
+            b.worker_load(j, 100.0);
+        }
+        for j in 12..24 {
+            b.worker_load(j, 5.0);
+        }
+        let cfg = b.build().unwrap();
+        let mut policy = clustered_policy(n);
+        let result = streambal::sim::run(&cfg, &mut policy).unwrap();
+        let last = result.samples.last().unwrap();
+        let mean = |range: std::ops::Range<usize>| {
+            range.clone().map(|j| last.weights[j]).sum::<u32>() as f64 / range.len() as f64
+        };
+        let heavy = mean(0..12);
+        let medium = mean(12..24);
+        let light = mean(24..36);
+        assert!(
+            light > medium && medium > heavy,
+            "class means must order by capacity: 100x={heavy:.1} 5x={medium:.1} 1x={light:.1}"
+        );
     }
 }

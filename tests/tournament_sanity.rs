@@ -1,0 +1,87 @@
+//! Tournament sanity ordering: on the scenarios built around sustained
+//! skew — stragglers and hotspot-key churn — the paper's controller must
+//! strictly beat the static baselines (round-robin, random) on p99
+//! blocking rate, and no strategy may buy its score by violating the
+//! ordering-critical oracles.
+
+use streambal::workloads::tournament::{run_matrix, scenarios, CellOutcome};
+use streambal::workloads::StrategyKind;
+
+const SEED: u64 = 7;
+
+fn outcomes() -> Vec<CellOutcome> {
+    let lib = vec![
+        scenarios::find("stragglers", SEED).unwrap(),
+        scenarios::find("hotspot-churn", SEED).unwrap(),
+    ];
+    let strategies = [
+        StrategyKind::Controller,
+        StrategyKind::RoundRobin,
+        StrategyKind::Random,
+    ];
+    run_matrix(
+        &lib,
+        &strategies,
+        SEED,
+        streambal::sim::driver::default_threads(),
+    )
+}
+
+#[test]
+fn controller_strictly_beats_static_baselines_on_sustained_skew() {
+    let cells = outcomes();
+    let p99 = |scenario: &str, strategy: &str| {
+        cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.strategy == strategy)
+            .unwrap_or_else(|| panic!("missing cell {scenario}/{strategy}"))
+            .stats
+            .p99_block
+    };
+    for sc in ["stragglers", "hotspot-churn"] {
+        let lb = p99(sc, "LB-adaptive");
+        let rr = p99(sc, "RR");
+        let random = p99(sc, "Random");
+        assert!(
+            lb < rr,
+            "{sc}: controller p99 {lb:.4} must strictly beat round-robin {rr:.4}"
+        );
+        assert!(
+            lb < random,
+            "{sc}: controller p99 {lb:.4} must strictly beat random {random:.4}"
+        );
+    }
+}
+
+/// Every cell of the full matrix runs under the standard oracle suite: no
+/// strategy may buy its score by violating the ordering-critical
+/// invariants, and the controller must be clean under the whole suite.
+#[test]
+fn no_strategy_trades_ordering_for_score() {
+    let lib = scenarios::library(SEED);
+    let roster = StrategyKind::roster();
+    let cells = run_matrix(
+        &lib,
+        &roster,
+        SEED,
+        streambal::sim::driver::default_threads(),
+    );
+    assert_eq!(cells.len(), lib.len() * roster.len());
+    for cell in &cells {
+        assert!(
+            cell.ordering_violations().is_empty(),
+            "{}/{}: ordering oracle fired: {}",
+            cell.scenario,
+            cell.strategy,
+            cell.violated_oracles()
+        );
+        if cell.strategy == "LB-adaptive" {
+            assert!(
+                cell.violations.is_empty(),
+                "{}: controller cell must pass every oracle, got {}",
+                cell.scenario,
+                cell.violated_oracles()
+            );
+        }
+    }
+}
