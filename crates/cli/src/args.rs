@@ -13,6 +13,9 @@ USAGE:
                                      invariant oracles
     streambal tournament [OPTIONS]   run the strategy x scenario comparison
                                      matrix and emit a CSV + markdown report
+    streambal autoscale [OPTIONS]    replay the diurnal ramp under the width-
+                                     policy roster and check the autoscaler
+                                     rides it 4->8->4 with a clean record
     streambal help                   show this text
 
 SIMULATE OPTIONS:
@@ -28,6 +31,9 @@ SIMULATE OPTIONS:
     --clustering           enable connection clustering in the balancer
     --grow-at R:N          grow the region by N workers at control round R
                            (seconds at the default 1 s interval; repeatable)
+    --autoscale MAX        close the loop on region width: attach the
+                           production autoscaler with floor --workers and
+                           ceiling MAX (needs an lb-* policy)
     --seconds S            run for S simulated seconds (default 60)
     --tuples T             ...or until T tuples are delivered
     --seed N               simulation seed (default 42)
@@ -42,8 +48,10 @@ CHAOS OPTIONS:
     --rounds R             fuzz R consecutive seeds (default 1)
     --shrink               shrink the first failing scenario and print a
                            ready-to-paste regression test
-    --sabotage skip-renorm deliberately skip weight renormalization after a
-                           worker death (oracle self-test; the run must fail)
+    --sabotage KIND        deliberately break an invariant (oracle self-test;
+                           the run must fail): skip-renorm skips weight
+                           renormalization after a worker death, flap thrashes
+                           the region width every control round
     --require-death        fail unless at least one scenario contained a
                            worker death (proves the detach/attach membership
                            path was exercised)
@@ -62,6 +70,12 @@ TOURNAMENT OPTIONS:
     --threads N            worker threads for the matrix (default: all cores,
                            or STREAMBAL_THREADS)
     --csv PATH             write the per-cell results as CSV
+    --md PATH              write the markdown comparison report
+
+AUTOSCALE OPTIONS:
+    --seed N               ramp seed (default: the pinned seed the committed
+                           results/autoscale.{csv,md} report replays)
+    --csv PATH             write the policy comparison as CSV
     --md PATH              write the markdown comparison report
 
 PLACEMENT OPTIONS:
@@ -123,6 +137,9 @@ pub struct SimulateArgs {
     /// `(round, count)` pairs: at control round `round` the region grows
     /// by `count` workers (live, via the chaos `WorkerAdd` path).
     pub grows: Vec<(u64, usize)>,
+    /// Attach the production autoscaler with this width ceiling (the
+    /// floor is `workers`). Requires a balancer policy.
+    pub autoscale: Option<usize>,
     pub seconds: u64,
     pub tuples: Option<u64>,
     pub seed: u64,
@@ -136,6 +153,9 @@ pub struct SimulateArgs {
 pub enum SabotageArg {
     /// Skip weight renormalization after a worker death.
     SkipRenorm,
+    /// Thrash the region width every control round (trips the flapping
+    /// oracle's reversal budget).
+    Flap,
 }
 
 /// The `chaos` subcommand.
@@ -169,6 +189,16 @@ pub struct TournamentArgs {
     pub md: Option<String>,
 }
 
+/// The `autoscale` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleArgs {
+    /// Ramp seed; `None` means the pinned seed the committed report
+    /// replays.
+    pub seed: Option<u64>,
+    pub csv: Option<String>,
+    pub md: Option<String>,
+}
+
 /// The `placement` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacementArgs {
@@ -187,6 +217,7 @@ pub enum Command {
     Placement(PlacementArgs),
     Chaos(ChaosArgs),
     Tournament(TournamentArgs),
+    Autoscale(AutoscaleArgs),
     Help,
 }
 
@@ -217,6 +248,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "placement" => parse_placement(&argv[1..]),
         "chaos" => parse_chaos(&argv[1..]),
         "tournament" => parse_tournament(&argv[1..]),
+        "autoscale" => parse_autoscale(&argv[1..]),
         other => Err(err(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -291,6 +323,7 @@ fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
         policy: PolicyArg::LbAdaptive,
         clustering: false,
         grows: Vec::new(),
+        autoscale: None,
         seconds: 60,
         tuples: None,
         seed: 42,
@@ -345,6 +378,13 @@ fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
                 }
                 a.grows.push((round, count));
             }
+            "--autoscale" => {
+                a.autoscale = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("bad --autoscale"))?,
+                )
+            }
             "--seconds" => {
                 a.seconds = take_value(flag, &mut it)?
                     .parse()
@@ -374,6 +414,14 @@ fn parse_simulate(argv: &[String]) -> Result<Command, ParseError> {
     for l in &a.loads {
         if l.worker >= a.workers {
             return Err(err(format!("--load worker {} out of range", l.worker)));
+        }
+    }
+    if let Some(max) = a.autoscale {
+        if max <= a.workers {
+            return Err(err("--autoscale ceiling must exceed --workers"));
+        }
+        if !matches!(a.policy, PolicyArg::LbStatic | PolicyArg::LbAdaptive) {
+            return Err(err("--autoscale needs an lb-* policy"));
         }
     }
     Ok(Command::Simulate(a))
@@ -460,6 +508,7 @@ fn parse_chaos(argv: &[String]) -> Result<Command, ParseError> {
             "--sabotage" => {
                 a.sabotage = match take_value(flag, &mut it)? {
                     "skip-renorm" => Some(SabotageArg::SkipRenorm),
+                    "flap" => Some(SabotageArg::Flap),
                     other => return Err(err(format!("unknown sabotage '{other}'"))),
                 }
             }
@@ -519,6 +568,30 @@ fn parse_tournament(argv: &[String]) -> Result<Command, ParseError> {
         return Err(err("--threads must be positive"));
     }
     Ok(Command::Tournament(a))
+}
+
+fn parse_autoscale(argv: &[String]) -> Result<Command, ParseError> {
+    let mut a = AutoscaleArgs {
+        seed: None,
+        csv: None,
+        md: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                a.seed = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("bad --seed"))?,
+                )
+            }
+            "--csv" => a.csv = Some(take_value(flag, &mut it)?.to_owned()),
+            "--md" => a.md = Some(take_value(flag, &mut it)?.to_owned()),
+            other => return Err(err(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(Command::Autoscale(a))
 }
 
 #[cfg(test)]
@@ -654,6 +727,52 @@ mod tests {
         assert!(parse(&args("simulate --grow-at 5:zero")).is_err());
         assert!(parse(&args("simulate --grow-at 5:0")).is_err());
         assert!(parse(&args("simulate --grow-at")).is_err());
+    }
+
+    #[test]
+    fn autoscale_flag_parses_and_validates() {
+        let Command::Simulate(a) = parse(&args("simulate --workers 4 --autoscale 8")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.autoscale, Some(8));
+        assert!(parse(&args("simulate --workers 4 --autoscale 4")).is_err());
+        assert!(parse(&args("simulate --workers 4 --autoscale 8 --policy rr")).is_err());
+        assert!(parse(&args("simulate --autoscale")).is_err());
+        assert!(parse(&args("simulate --autoscale eight")).is_err());
+    }
+
+    #[test]
+    fn autoscale_subcommand_defaults_and_flags() {
+        let Command::Autoscale(a) = parse(&args("autoscale")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            a,
+            AutoscaleArgs {
+                seed: None,
+                csv: None,
+                md: None
+            }
+        );
+        let Command::Autoscale(a) =
+            parse(&args("autoscale --seed 3 --csv out.csv --md out.md")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.seed, Some(3));
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.md.as_deref(), Some("out.md"));
+        assert!(parse(&args("autoscale --seed")).is_err());
+        assert!(parse(&args("autoscale --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn flap_sabotage_parses() {
+        let Command::Chaos(a) = parse(&args("chaos --sabotage flap")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.sabotage, Some(SabotageArg::Flap));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::error::Error;
 use streambal_cluster::model::{ClusterSpec, RegionSpec};
 use streambal_cluster::placement::{place, Strategy};
 use streambal_cluster::verify::{co_simulate_coupled, simulate_region};
+use streambal_control::{Autoscaler, AutoscalerConfig};
 use streambal_core::controller::{BalancerConfig, BalancerMode, ClusteringConfig};
 use streambal_sim::chaos::{
     run_scenario, shrink, ChaosPlan, FaultKind, FuzzFailure, Scenario, TimedFault,
@@ -17,13 +18,14 @@ use streambal_sim::load::LoadSchedule;
 use streambal_sim::policy::{BalancerPolicy, Policy, RoundRobinPolicy};
 use streambal_sim::SECOND_NS;
 use streambal_telemetry::{export, Telemetry};
+use streambal_workloads::autoscale::{self, AutoscalePolicyKind};
 use streambal_workloads::oracle;
 use streambal_workloads::report::Table;
 use streambal_workloads::tournament::{self, StrategyKind, TournamentScenario};
 
 use crate::args::{
-    ChaosArgs, Command, HostArg, PlacementArgs, PolicyArg, SabotageArg, SimulateArgs,
-    TournamentArgs,
+    AutoscaleArgs, ChaosArgs, Command, HostArg, PlacementArgs, PolicyArg, SabotageArg,
+    SimulateArgs, TournamentArgs,
 };
 
 /// Executes a parsed command.
@@ -37,6 +39,7 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
         Command::Placement(a) => placement(a),
         Command::Chaos(a) => chaos(a),
         Command::Tournament(a) => run_tournament(a),
+        Command::Autoscale(a) => run_autoscale(a),
     }
 }
 
@@ -87,7 +90,18 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
             if a.clustering {
                 cb.clustering(ClusteringConfig::default());
             }
-            Box::new(BalancerPolicy::new(cb.build()?))
+            let mut p = BalancerPolicy::new(cb.build()?);
+            if let Some(max) = a.autoscale {
+                // Close the loop on width: the engine polls the policy
+                // every control round and applies its grow/shrink
+                // decisions live.
+                p = p.with_width_policy(Box::new(Autoscaler::new(AutoscalerConfig {
+                    min_width: a.workers,
+                    max_width: max,
+                    ..AutoscalerConfig::default()
+                })));
+            }
+            Box::new(p)
         }
     };
 
@@ -123,6 +137,15 @@ fn simulate(a: SimulateArgs) -> Result<(), Box<dyn Error>> {
     );
     if let Some(last) = result.samples.last() {
         println!("final weights (0.1% units): {:?}", last.weights);
+    }
+    if a.autoscale.is_some() {
+        let widths: Vec<usize> = result.samples.iter().map(|s| s.weights.len()).collect();
+        let first = widths.first().copied().unwrap_or(a.workers);
+        println!(
+            "autoscaled width: start {first}, peak {}, final {}",
+            widths.iter().copied().max().unwrap_or(first),
+            widths.last().copied().unwrap_or(first),
+        );
     }
     if result.rerouted > 0 {
         println!(
@@ -199,8 +222,14 @@ fn chaos(a: ChaosArgs) -> Result<(), Box<dyn Error>> {
     for i in 0..a.rounds {
         let seed = a.seed.wrapping_add(i);
         let mut scenario = Scenario::generate(seed);
-        if let Some(SabotageArg::SkipRenorm) = a.sabotage {
-            scenario.sabotage = Some(streambal_sim::Sabotage::SkipRenormalization);
+        match a.sabotage {
+            Some(SabotageArg::SkipRenorm) => {
+                scenario.sabotage = Some(streambal_sim::Sabotage::SkipRenormalization);
+            }
+            Some(SabotageArg::Flap) => {
+                scenario.sabotage = Some(streambal_sim::Sabotage::FlappingWidth);
+            }
+            None => {}
         }
         deaths += scenario
             .events
@@ -357,6 +386,61 @@ fn run_tournament(a: TournamentArgs) -> Result<(), Box<dyn Error>> {
             format!("{dirty_cells} tournament cell(s) violated an ordering invariant").into(),
         );
     }
+    Ok(())
+}
+
+fn run_autoscale(a: AutoscaleArgs) -> Result<(), Box<dyn Error>> {
+    let seed = a.seed.unwrap_or(autoscale::RAMP_SEED);
+    println!(
+        "replaying the diurnal ramp (seed {seed:#x}) under {} width policies",
+        AutoscalePolicyKind::roster().len()
+    );
+    let outcomes = autoscale::run_comparison(seed);
+    let table = autoscale::comparison_table(&outcomes);
+    println!("{table}");
+    if let Some(path) = &a.csv {
+        table.write_csv(path)?;
+        println!("autoscale CSV written to {path}");
+    }
+    if let Some(path) = &a.md {
+        let md = autoscale::markdown_report(&outcomes, seed);
+        streambal_telemetry::export::write_file(path, &md)?;
+        println!("autoscale report written to {path}");
+    }
+
+    // The command asserts the headline so CI can pin it: the production
+    // autoscaler must ride the full ramp and come back, with a clean
+    // oracle record.
+    let auto = outcomes
+        .iter()
+        .find(|o| o.policy == AutoscalePolicyKind::Autoscaler.name())
+        .expect("the roster always includes the autoscaler");
+    if auto.peak_width != autoscale::PEAK_WIDTH
+        || auto.final_width != autoscale::BASE_WIDTH
+        || !auto.violations.is_empty()
+    {
+        return Err(format!(
+            "autoscaler failed to ride the ramp {}->{}->{} cleanly: \
+             peak {}, final {}, {} violation(s) [{}]",
+            autoscale::BASE_WIDTH,
+            autoscale::PEAK_WIDTH,
+            autoscale::BASE_WIDTH,
+            auto.peak_width,
+            auto.final_width,
+            auto.violations.len(),
+            auto.violated_oracles(),
+        )
+        .into());
+    }
+    println!(
+        "autoscaler rode the ramp {}->{}->{} with a clean oracle record \
+         ({} resizes, {} reversal(s))",
+        autoscale::BASE_WIDTH,
+        autoscale::PEAK_WIDTH,
+        autoscale::BASE_WIDTH,
+        auto.resizes,
+        auto.reversals,
+    );
     Ok(())
 }
 

@@ -38,6 +38,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod width;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -46,6 +48,11 @@ use streambal_core::controller::{BalancerConfig, LoadBalancer};
 use streambal_core::rate::ConnectionSample;
 use streambal_core::weights::WeightVector;
 use streambal_telemetry::{Counter, Gauge, Telemetry, TraceEvent};
+
+pub use width::{
+    Autoscaler, AutoscalerConfig, ReactiveWidth, ScriptedWidth, WidthDecision, WidthPolicy,
+    WidthView,
+};
 
 /// One control round's outcome, shared by every data plane's report type
 /// (`runtime`'s snapshots and `dataflow`'s region traces are aliases of
@@ -151,6 +158,7 @@ pub struct ControlPlaneBuilder {
     keep_snapshots: bool,
     telemetry: Option<Telemetry>,
     metrics_prefix: Option<String>,
+    width_policy: Option<Box<dyn WidthPolicy>>,
 }
 
 impl ControlPlaneBuilder {
@@ -186,11 +194,22 @@ impl ControlPlaneBuilder {
     }
 
     /// Additionally publishes per-round metrics under
-    /// `<prefix>.controller.rounds` and
-    /// `<prefix>.conn<id>.{blocking_rate,weight}` (requires
-    /// [`telemetry`](Self::telemetry)).
+    /// `<prefix>.controller.rounds`,
+    /// `<prefix>.conn<id>.{blocking_rate,weight}`, `<prefix>.width` and
+    /// `<prefix>.autoscale.{grow,shrink,hold,cooldown_suppressed}`
+    /// (requires [`telemetry`](Self::telemetry)).
     pub fn metrics(mut self, prefix: &str) -> Self {
         self.metrics_prefix = Some(prefix.to_owned());
+        self
+    }
+
+    /// Installs a [`WidthPolicy`]: once per round (after the weight solve)
+    /// the plane asks it for a [`WidthDecision`], and
+    /// [`run_threaded`](ControlPlane::run_threaded) applies it through the
+    /// elastic grow/shrink ordering rules. Planes with virtual time poll
+    /// [`ControlPlane::decide_width`] themselves.
+    pub fn width_policy(mut self, policy: Box<dyn WidthPolicy>) -> Self {
+        self.width_policy = Some(policy);
         self
     }
 
@@ -210,9 +229,22 @@ impl ControlPlaneBuilder {
             telemetry: self.telemetry,
             metrics_prefix: self.metrics_prefix,
             metrics: None,
+            scale_metrics: None,
             samples_buf: Vec::with_capacity(n),
+            width_policy: self.width_policy,
         }
     }
+}
+
+/// Width-policy metric handles: the `width` gauge plus the
+/// `autoscale.{grow,shrink,hold,cooldown_suppressed}` decision counters.
+#[derive(Debug, Clone)]
+struct ScaleMetrics {
+    width: Gauge,
+    grow: Counter,
+    shrink: Counter,
+    hold: Counter,
+    cooldown_suppressed: Counter,
 }
 
 /// The control plane: owns the [`LoadBalancer`] and the full round
@@ -227,7 +259,9 @@ pub struct ControlPlane {
     telemetry: Option<Telemetry>,
     metrics_prefix: Option<String>,
     metrics: Option<(Counter, Vec<(Gauge, Gauge)>)>,
+    scale_metrics: Option<ScaleMetrics>,
     samples_buf: Vec<ConnectionSample>,
+    width_policy: Option<Box<dyn WidthPolicy>>,
 }
 
 impl ControlPlane {
@@ -240,6 +274,7 @@ impl ControlPlane {
             keep_snapshots: false,
             telemetry: None,
             metrics_prefix: None,
+            width_policy: None,
         }
     }
 
@@ -271,6 +306,18 @@ impl ControlPlane {
         self.lb.attach_trace(telemetry.trace().clone());
         self.telemetry = Some(telemetry.clone());
         self.metrics = None;
+        self.scale_metrics = None;
+    }
+
+    /// Installs (or replaces) the plane's [`WidthPolicy`] after
+    /// construction. Equivalent to [`ControlPlaneBuilder::width_policy`].
+    pub fn set_width_policy(&mut self, policy: Box<dyn WidthPolicy>) {
+        self.width_policy = Some(policy);
+    }
+
+    /// Whether a [`WidthPolicy`] is installed.
+    pub fn has_width_policy(&self) -> bool {
+        self.width_policy.is_some()
     }
 
     /// Snapshots retained so far (empty unless
@@ -306,6 +353,7 @@ impl ControlPlane {
     pub fn grow_width(&mut self, added: usize) -> std::ops::Range<usize> {
         let range = self.lb.grow(added);
         self.metrics = None;
+        self.scale_metrics = None;
         range
     }
 
@@ -315,6 +363,7 @@ impl ControlPlane {
     pub fn shrink_width(&mut self, removed: usize) -> usize {
         let n = self.lb.shrink(removed);
         self.metrics = None;
+        self.scale_metrics = None;
         n
     }
 
@@ -400,6 +449,53 @@ impl ControlPlane {
         self.lb.weights()
     }
 
+    /// Consults the installed [`WidthPolicy`] with this round's view (the
+    /// solved minimax blocking, the observed rates, the current width and
+    /// liveness) and returns its decision — [`WidthDecision::Hold`] when no
+    /// policy is installed. Increments the
+    /// `autoscale.{grow,shrink,hold,cooldown_suppressed}` counters. The
+    /// caller applies the decision through the grow/shrink ordering rules
+    /// ([`run_threaded`](Self::run_threaded) does this itself; virtual-time
+    /// planes apply it to their own fabric).
+    ///
+    /// Call after [`round`](Self::round) so the solve is fresh; performs no
+    /// heap allocation.
+    pub fn decide_width(&mut self, elapsed_ms: u64, rates: &[f64]) -> WidthDecision {
+        let Some(mut policy) = self.width_policy.take() else {
+            return WidthDecision::Hold;
+        };
+        let mut observed = 0.0f64;
+        for (j, &rate) in rates.iter().enumerate() {
+            if self.lb.is_attached(j) {
+                observed = observed.max(rate);
+            }
+        }
+        let view = WidthView {
+            elapsed_ms,
+            width: self.lb.config().connections(),
+            live: self.lb.live_connections(),
+            solved_blocking: self.lb.solved_blocking(),
+            observed_blocking: observed,
+            rates,
+            weights: self.lb.weights().units(),
+        };
+        let decision = policy.decide(&view);
+        if let Some(sm) = &self.scale_metrics {
+            match decision {
+                WidthDecision::Grow(_) => sm.grow.incr(),
+                WidthDecision::Shrink(_) => sm.shrink.incr(),
+                WidthDecision::Hold => {
+                    sm.hold.incr();
+                    if policy.suppressed_by_cooldown() {
+                        sm.cooldown_suppressed.incr();
+                    }
+                }
+            }
+        }
+        self.width_policy = Some(policy);
+        decision
+    }
+
     /// Emits metrics and retains the snapshot for one completed round.
     fn emit(&mut self, elapsed_ms: u64, rates: &[f64]) {
         if self.metrics.is_none() && self.metrics_prefix.is_some() {
@@ -413,6 +509,9 @@ impl ControlPlane {
                 rate_g.set(rates[j]);
                 weight_g.set(f64::from(units[j]));
             }
+        }
+        if let Some(sm) = &self.scale_metrics {
+            sm.width.set(self.lb.config().connections() as f64);
         }
         if self.keep_snapshots {
             self.snapshots.push(RoundSnapshot {
@@ -443,6 +542,13 @@ impl ControlPlane {
                 )
             })
             .collect();
+        self.scale_metrics = Some(ScaleMetrics {
+            width: reg.gauge(&format!("{prefix}.width")),
+            grow: reg.counter(&format!("{prefix}.autoscale.grow")),
+            shrink: reg.counter(&format!("{prefix}.autoscale.shrink")),
+            hold: reg.counter(&format!("{prefix}.autoscale.hold")),
+            cooldown_suppressed: reg.counter(&format!("{prefix}.autoscale.cooldown_suppressed")),
+        });
         self.metrics = Some((rounds, per_conn));
     }
 
@@ -458,8 +564,11 @@ impl ControlPlane {
     /// slots ([`shrink`](Self::shrink)). It then reconciles per-slot
     /// membership against [`DataPlane::slot_healthy`], detaching slots the
     /// plane reports unhealthy (weight pinned to 0, never the last live
-    /// one) and re-attaching recovered ones exploration-bounded. Width and
-    /// membership changes allocate; the steady state in between does not.
+    /// one) and re-attaching recovered ones exploration-bounded. After the
+    /// round's solve the installed [`WidthPolicy`] (if any) is consulted
+    /// via [`decide_width`](Self::decide_width) and its decision applied
+    /// through the same grow/shrink ordering rules. Width and membership
+    /// changes allocate; the steady state in between does not.
     pub fn run_threaded<P: DataPlane + ?Sized>(
         &mut self,
         plane: &mut P,
@@ -512,6 +621,29 @@ impl ControlPlane {
             self.round(elapsed_ms, &rates);
             if self.balancing {
                 plane.install_weights(self.lb.weights());
+            }
+            // Width-policy hook: the freshly solved round is the policy's
+            // input; its decision flows through the same grow/shrink
+            // ordering rules as the target reconcile above. The rates
+            // buffer re-sizes at the top of the next iteration.
+            match self.decide_width(elapsed_ms, &rates) {
+                WidthDecision::Grow(n) if n > 0 => {
+                    self.grow(plane, n);
+                }
+                WidthDecision::Shrink(n) if n > 0 => {
+                    let width = self.lb.config().connections();
+                    let mut n = n.min(width.saturating_sub(1));
+                    // Never close the slots holding the only live
+                    // connections: back the step off until a live survivor
+                    // remains outside the closed tail.
+                    while n > 0 && !(0..width - n).any(|j| self.lb.is_attached(j)) {
+                        n -= 1;
+                    }
+                    if n > 0 {
+                        self.shrink(plane, n);
+                    }
+                }
+                _ => {}
             }
             if let Some(t) = &self.telemetry {
                 t.trace().push(TraceEvent::Sample {
@@ -834,5 +966,100 @@ mod tests {
         assert_eq!(w.iter().map(|&u| u64::from(u)).sum::<u64>(), 1000);
         assert!(w[0] < w[1], "overloaded connection throttled: {w:?}");
         assert!(!p.snapshots().is_empty());
+    }
+
+    /// An elastic plane that just tracks its width, for width-policy tests.
+    struct ElasticPlane {
+        rates: Vec<f64>,
+        installed: Arc<std::sync::Mutex<Vec<u32>>>,
+    }
+    impl DataPlane for ElasticPlane {
+        fn connections(&self) -> usize {
+            self.rates.len()
+        }
+        fn open_slot(&mut self) -> bool {
+            self.rates.push(0.0);
+            true
+        }
+        fn close_slot(&mut self) -> bool {
+            if self.rates.len() > 1 {
+                self.rates.pop();
+                true
+            } else {
+                false
+            }
+        }
+        fn sample(&mut self, _interval_ns: u64, rates: &mut [f64]) {
+            rates.copy_from_slice(&self.rates);
+        }
+        fn install_weights(&mut self, weights: &WeightVector) {
+            *self.installed.lock().unwrap() = weights.units().to_vec();
+        }
+    }
+
+    #[test]
+    fn run_threaded_applies_a_scripted_width_policy() {
+        let mut script = ScriptedWidth::new();
+        script
+            .grow_after(Duration::from_millis(20), 2)
+            .shrink_after(Duration::from_millis(60), 1);
+        let installed = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut dp = ElasticPlane {
+            rates: vec![0.0, 0.0],
+            installed: Arc::clone(&installed),
+        };
+        let mut p = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap())
+            .width_policy(Box::new(script))
+            .build();
+        let stop = AtomicBool::new(false);
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                p.run_threaded(&mut dp, Duration::from_millis(5), &stop, started);
+            });
+            thread::sleep(Duration::from_millis(120));
+            stop.store(true, Ordering::Release);
+            handle.join().unwrap();
+        });
+        assert_eq!(
+            p.balancer().config().connections(),
+            3,
+            "grew by 2, shrank by 1"
+        );
+        let w = installed.lock().unwrap().clone();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.iter().map(|&u| u64::from(u)).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn decide_width_reports_decisions_through_autoscale_counters() {
+        let telemetry = Telemetry::new();
+        let mut p = ControlPlane::builder(BalancerConfig::builder(2).build().unwrap())
+            .telemetry(&telemetry)
+            .metrics("test")
+            .width_policy(Box::new(Autoscaler::new(AutoscalerConfig {
+                confirm_rounds: 1,
+                cooldown_rounds: 2,
+                high_watermark: 0.15,
+                ..AutoscalerConfig::default()
+            })))
+            .build();
+        // Saturate both slots so the solved minimax blocking stays high.
+        let rates = [5.0, 5.0];
+        let mut decisions = Vec::new();
+        for ms in 0..4u64 {
+            p.round(ms, &rates);
+            decisions.push(p.decide_width(ms, &rates));
+        }
+        assert!(
+            matches!(decisions[0], WidthDecision::Grow(_)),
+            "saturated region grows: {decisions:?}"
+        );
+        let reg = telemetry.registry();
+        // Rounds: Grow, cooldown Hold ×2 (both suppressed), Grow again.
+        assert_eq!(reg.counter("test.autoscale.grow").get(), 2);
+        assert_eq!(reg.counter("test.autoscale.hold").get(), 2);
+        assert_eq!(reg.counter("test.autoscale.cooldown_suppressed").get(), 2);
+        assert!(reg.gauge("test.width").get() >= 2.0);
     }
 }

@@ -684,6 +684,27 @@ impl LoadBalancer {
         self.attached.iter().filter(|&&a| a).count()
     }
 
+    /// The solved minimax blocking rate: the worst predicted blocking
+    /// across attached connections at the currently installed weights.
+    /// This is the objective value of the last solve — the signal a width
+    /// policy watches (near zero: capacity headroom; high: the region is
+    /// saturated and no reallocation can fix it).
+    ///
+    /// Requires `&mut self` because a function's predicted table is
+    /// rebuilt lazily; right after [`rebalance`](Self::rebalance) the
+    /// tables are hot and this performs no allocation.
+    pub fn solved_blocking(&mut self) -> f64 {
+        let mut worst = 0.0f64;
+        for j in 0..self.cfg.connections {
+            if !self.attached[j] {
+                continue;
+            }
+            let w = self.weights.units()[j];
+            worst = worst.max(self.functions[j].value(w));
+        }
+        worst
+    }
+
     /// Detaches connection slot `j` from the region: its blocking-rate
     /// function is retired (replaced by a fresh one — knowledge about a
     /// departed worker does not transfer to whatever reuses the slot), its

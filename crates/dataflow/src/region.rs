@@ -8,7 +8,7 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use streambal_control::{ControlPlane, DataPlane};
+use streambal_control::{ControlPlane, DataPlane, ScriptedWidth};
 use streambal_core::controller::{BalancerConfig, BalancerMode};
 use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_telemetry::Telemetry;
@@ -32,16 +32,7 @@ pub struct ParallelConfig {
     channel_capacity: usize,
     sample_interval: Duration,
     telemetry: Option<Telemetry>,
-    width_steps: Vec<WidthStep>,
-}
-
-/// A scheduled width change: at `after` into the run the region's target
-/// width grows or shrinks by `count` replicas.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct WidthStep {
-    after: Duration,
-    grow: bool,
-    count: usize,
+    width_script: ScriptedWidth,
 }
 
 impl ParallelConfig {
@@ -60,7 +51,7 @@ impl ParallelConfig {
             channel_capacity: 64,
             sample_interval: Duration::from_millis(50),
             telemetry: None,
-            width_steps: Vec::new(),
+            width_script: ScriptedWidth::new(),
         }
     }
 
@@ -110,12 +101,9 @@ impl ParallelConfig {
     /// Schedules live growth: at `after` into the run, `count` fresh
     /// replicas (operator instances on their own threads and channels)
     /// join the region and the balancer re-solves at the wider width.
+    /// Scripted via the shared [`ScriptedWidth`] policy.
     pub fn grow_after(mut self, after: Duration, count: usize) -> Self {
-        self.width_steps.push(WidthStep {
-            after,
-            grow: true,
-            count,
-        });
+        self.width_script.grow_after(after, count);
         self
     }
 
@@ -124,11 +112,7 @@ impl ParallelConfig {
     /// order before the threads exit; the region never drops below one
     /// replica.
     pub fn shrink_after(mut self, after: Duration, count: usize) -> Self {
-        self.width_steps.push(WidthStep {
-            after,
-            grow: false,
-            count,
-        });
+        self.width_script.shrink_after(after, count);
         self
     }
 }
@@ -162,18 +146,16 @@ pub(crate) struct SpawnedRegion {
 /// connections' counters, weights into the splitter's mutex, delivered
 /// counts from the merger's stage counter.
 ///
-/// When `opener`/`closer` are set the plane is *elastic*: scheduled
-/// [`WidthStep`]s move `target` and the control loop reconciles by
-/// opening fresh replicas (operator instance + channel + thread) or
-/// retiring the highest slot, whose queued tuples drain in order.
+/// When `opener`/`closer` are set the plane is *elastic*: the
+/// [`ScriptedWidth`] policy installed on the control plane decides
+/// resizes, and the control loop applies them by opening fresh replicas
+/// (operator instance + channel + thread) or retiring the highest slot,
+/// whose queued tuples drain in order.
 struct ReplicaPlane {
     blocking: Vec<Arc<BlockingCounter>>,
     samplers: Vec<BlockingSampler>,
     weights: Arc<Mutex<WeightVector>>,
     counters: Arc<RegionCounters>,
-    target: usize,
-    steps: Vec<WidthStep>,
-    next_step: usize,
     #[allow(clippy::type_complexity)]
     opener: Option<Box<dyn FnMut(usize) -> Option<Arc<BlockingCounter>> + Send>>,
     #[allow(clippy::type_complexity)]
@@ -183,22 +165,6 @@ struct ReplicaPlane {
 impl DataPlane for ReplicaPlane {
     fn connections(&self) -> usize {
         self.blocking.len()
-    }
-
-    fn target_connections(&self) -> usize {
-        self.target
-    }
-
-    fn begin_round(&mut self, elapsed: Duration) {
-        while self.next_step < self.steps.len() && self.steps[self.next_step].after <= elapsed {
-            let s = self.steps[self.next_step];
-            if s.grow {
-                self.target += s.count;
-            } else {
-                self.target = self.target.saturating_sub(s.count).max(1);
-            }
-            self.next_step += 1;
-        }
     }
 
     fn open_slot(&mut self) -> bool {
@@ -390,7 +356,8 @@ where
         let mode = cfg.mode;
         let telemetry = cfg.telemetry.clone();
         let counters = Arc::clone(&counters);
-        let steps = cfg.width_steps.clone();
+        let mut script = cfg.width_script.clone();
+        script.sort();
         let capacity = cfg.channel_capacity;
         let started = Instant::now();
 
@@ -455,6 +422,9 @@ where
                 if !balanced {
                     builder = builder.round_robin();
                 }
+                if !script.is_empty() {
+                    builder = builder.width_policy(Box::new(script));
+                }
                 let mut plane = builder.build();
                 let n = blocking.len();
                 let mut dp = ReplicaPlane {
@@ -462,9 +432,6 @@ where
                     samplers: vec![BlockingSampler::new(); n],
                     weights,
                     counters: Arc::clone(&counters),
-                    target: n,
-                    steps,
-                    next_step: 0,
                     opener: Some(opener),
                     closer: Some(closer),
                 };

@@ -14,6 +14,13 @@
 //! probe_interval_ms 250
 //! drain_timeout_ms 5000
 //! reload_poll_ms 250
+//! autoscale on
+//! autoscale_high 0.15
+//! autoscale_low 0.02
+//! autoscale_confirm 3
+//! autoscale_cooldown 8
+//! autoscale_max_step 2
+//! autoscale_min_backends 1
 //! ```
 //!
 //! Blank lines and `#` comments are ignored; every other line is
@@ -31,6 +38,8 @@ use std::fmt;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+use streambal_control::AutoscalerConfig;
 
 /// A parse or I/O problem with a config file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +64,7 @@ fn err(message: impl Into<String>) -> ConfigError {
 
 /// Everything the proxy needs to run. See the [module docs](self) for
 /// the file format.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProxyConfig {
     /// Client-facing listening address (`listen`).
     pub listen: SocketAddr,
@@ -83,6 +92,14 @@ pub struct ProxyConfig {
     /// Config-file polling cadence for hot reload (`reload_poll_ms`,
     /// default 250).
     pub reload_poll: Duration,
+    /// Closed-loop autoscaling over the backend pool (`autoscale on`):
+    /// the `backend` lines define the *pool*, the autoscaler decides how
+    /// many of them are live. `None` (the default) keeps every backend
+    /// live, exactly as before. Tuned by `autoscale_high`,
+    /// `autoscale_low`, `autoscale_confirm`, `autoscale_cooldown`,
+    /// `autoscale_max_step` and `autoscale_min_backends`;
+    /// `max_width` is always the pool size, set at spawn.
+    pub autoscale: Option<AutoscalerConfig>,
 }
 
 impl ProxyConfig {
@@ -101,6 +118,7 @@ impl ProxyConfig {
             probe_interval: Duration::from_millis(250),
             drain_timeout: Duration::from_millis(5000),
             reload_poll: Duration::from_millis(250),
+            autoscale: None,
         }
     }
 
@@ -116,6 +134,8 @@ impl ProxyConfig {
         let mut backends: Vec<SocketAddr> = Vec::new();
         let mut ms: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
         let mut eject_after: Option<u32> = None;
+        let mut autoscale_on = false;
+        let mut auto = AutoscalerConfig::default();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -137,10 +157,49 @@ impl ProxyConfig {
                 v.parse()
                     .map_err(|_| err(format!("line {}: bad number '{v}'", lineno + 1)))
             };
+            let frac = |v: &str| -> Result<f64, ConfigError> {
+                match v.parse::<f64>() {
+                    Ok(f) if f.is_finite() && (0.0..=1.0).contains(&f) => Ok(f),
+                    _ => Err(err(format!(
+                        "line {}: expected a rate in [0, 1], got '{v}'",
+                        lineno + 1
+                    ))),
+                }
+            };
             match key {
                 "listen" => listen = Some(addr(value)?),
                 "metrics" => metrics = Some(addr(value)?),
                 "backend" => backends.push(addr(value)?),
+                "autoscale" => {
+                    autoscale_on = match value {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(err(format!(
+                                "line {}: autoscale must be 'on' or 'off', got '{other}'",
+                                lineno + 1
+                            )))
+                        }
+                    };
+                }
+                "autoscale_high" => auto.high_watermark = frac(value)?,
+                "autoscale_low" => auto.low_watermark = frac(value)?,
+                "autoscale_confirm" => {
+                    auto.confirm_rounds = u32::try_from(num(value)?.max(1))
+                        .map_err(|_| err(format!("line {}: value too large", lineno + 1)))?;
+                }
+                "autoscale_cooldown" => {
+                    auto.cooldown_rounds = u32::try_from(num(value)?)
+                        .map_err(|_| err(format!("line {}: value too large", lineno + 1)))?;
+                }
+                "autoscale_max_step" => {
+                    auto.max_step = usize::try_from(num(value)?.max(1))
+                        .map_err(|_| err(format!("line {}: value too large", lineno + 1)))?;
+                }
+                "autoscale_min_backends" => {
+                    auto.min_width = usize::try_from(num(value)?.max(1))
+                        .map_err(|_| err(format!("line {}: value too large", lineno + 1)))?;
+                }
                 "eject_after" => {
                     let n = num(value)?;
                     eject_after =
@@ -181,6 +240,19 @@ impl ProxyConfig {
         cfg.probe_interval = get("probe", cfg.probe_interval);
         cfg.drain_timeout = get("drain", cfg.drain_timeout);
         cfg.reload_poll = get("reload", cfg.reload_poll);
+        if autoscale_on {
+            if auto.low_watermark > auto.high_watermark {
+                return Err(err("autoscale_low above autoscale_high"));
+            }
+            if auto.min_width > cfg.backends.len() {
+                return Err(err(format!(
+                    "autoscale_min_backends {} exceeds the {} configured backends",
+                    auto.min_width,
+                    cfg.backends.len()
+                )));
+            }
+            cfg.autoscale = Some(auto);
+        }
         Ok(cfg)
     }
 
@@ -270,6 +342,63 @@ eject_after 2
         assert_eq!(cfg.sample_interval, Duration::from_millis(50));
         assert_eq!(cfg.eject_after, 2);
         assert_eq!(cfg.forward_timeout, Duration::from_millis(1000), "default");
+    }
+
+    #[test]
+    fn parses_autoscale_keys_into_an_autoscaler_config() {
+        let cfg = ProxyConfig::parse(
+            "listen 127.0.0.1:7100\n\
+             backend 127.0.0.1:7101\n\
+             backend 127.0.0.1:7102\n\
+             autoscale on\n\
+             autoscale_high 0.2\n\
+             autoscale_low 0.01\n\
+             autoscale_confirm 2\n\
+             autoscale_cooldown 6\n\
+             autoscale_max_step 1\n\
+             autoscale_min_backends 1\n",
+        )
+        .unwrap();
+        let auto = cfg.autoscale.expect("autoscale on");
+        assert!((auto.high_watermark - 0.2).abs() < 1e-12);
+        assert!((auto.low_watermark - 0.01).abs() < 1e-12);
+        assert_eq!(auto.confirm_rounds, 2);
+        assert_eq!(auto.cooldown_rounds, 6);
+        assert_eq!(auto.max_step, 1);
+        assert_eq!(auto.min_width, 1);
+
+        // Off (and absent) keep the fixed-width behaviour.
+        let off =
+            ProxyConfig::parse("listen 127.0.0.1:7100\nbackend 127.0.0.1:7101\nautoscale off\n")
+                .unwrap();
+        assert_eq!(off.autoscale, None);
+        assert_eq!(ProxyConfig::parse(SAMPLE).unwrap().autoscale, None);
+
+        // Bad values are named, and constraints are cross-checked.
+        assert!(
+            ProxyConfig::parse("listen 1.2.3.4:1\nbackend 1.2.3.4:2\nautoscale maybe")
+                .unwrap_err()
+                .message
+                .contains("'on' or 'off'")
+        );
+        assert!(
+            ProxyConfig::parse("listen 1.2.3.4:1\nbackend 1.2.3.4:2\nautoscale_high 1.5")
+                .unwrap_err()
+                .message
+                .contains("[0, 1]")
+        );
+        assert!(ProxyConfig::parse(
+            "listen 1.2.3.4:1\nbackend 1.2.3.4:2\nautoscale on\nautoscale_min_backends 3"
+        )
+        .unwrap_err()
+        .message
+        .contains("exceeds"));
+        assert!(ProxyConfig::parse(
+            "listen 1.2.3.4:1\nbackend 1.2.3.4:2\nautoscale on\nautoscale_low 0.5\nautoscale_high 0.1"
+        )
+        .unwrap_err()
+        .message
+        .contains("autoscale_low above autoscale_high"));
     }
 
     #[test]

@@ -408,6 +408,28 @@ impl BackendPool {
         slots.len() + self.pending.lock().expect("pending lock").len()
     }
 
+    /// Whether a reload queued backends that still await slot creation.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.pending.lock().expect("pending lock").is_empty()
+    }
+
+    /// Drains the reload-pending queue without opening slots. The
+    /// autoscaling proxy routes reload-added backends into its reserve
+    /// instead of growing immediately — the config defines the pool, the
+    /// width policy decides how much of it is live.
+    #[must_use]
+    pub fn take_pending(&self) -> Vec<SocketAddr> {
+        std::mem::take(&mut *self.pending.lock().expect("pending lock"))
+    }
+
+    /// Queues one backend for slot creation via
+    /// [`open_pending`](Self::open_pending) (the autoscaler's grow path;
+    /// reload uses [`apply_backends`](Self::apply_backends)).
+    pub fn push_pending(&self, addr: SocketAddr) {
+        self.pending.lock().expect("pending lock").push(addr);
+    }
+
     /// `DataPlane::open_slot`: materialises one pending backend as a new
     /// trailing slot and returns its index.
     ///

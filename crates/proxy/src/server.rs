@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use streambal_control::{ControlPlane, DataPlane};
+use streambal_control::{Autoscaler, AutoscalerConfig, ControlPlane, DataPlane};
 use streambal_core::{BalancerConfig, WeightVector};
 use streambal_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use streambal_transport::BlockingSampler;
@@ -111,6 +111,13 @@ struct ProxyPlane {
     watcher: Option<ConfigWatcher>,
     samplers: Vec<BlockingSampler>,
     reload_generation: u64,
+    /// Whether a width policy (autoscaler) owns grow/shrink. When set,
+    /// reload-added backends land in `reserve` instead of growing the
+    /// region, and closed slots return their address to the reserve.
+    autoscaling: bool,
+    /// Pool backends currently not live (autoscaling only): the head is
+    /// the next to open, so a freshly closed backend reopens first.
+    reserve: Vec<SocketAddr>,
 }
 
 impl ProxyPlane {
@@ -139,6 +146,14 @@ impl DataPlane for ProxyPlane {
         if let Some(watcher) = &mut self.watcher {
             if let Some(cfg) = watcher.poll() {
                 let diff = self.shared.pool.apply_backends(&cfg.backends);
+                if self.autoscaling {
+                    // The config defines the pool, the autoscaler decides
+                    // how much of it is live: reload-added backends join
+                    // the reserve instead of growing the region, and
+                    // reserve entries dropped from the config disappear.
+                    self.reserve.retain(|a| cfg.backends.contains(a));
+                    self.reserve.extend(self.shared.pool.take_pending());
+                }
                 self.reload_generation += 1;
                 self.shared
                     .metrics
@@ -177,7 +192,16 @@ impl DataPlane for ProxyPlane {
     }
 
     fn open_slot(&mut self) -> bool {
-        self.shared.pool.open_pending();
+        if self.shared.pool.has_pending() {
+            self.shared.pool.open_pending();
+        } else if self.reserve.is_empty() {
+            // Autoscaler grow beyond the configured pool: refuse, and the
+            // control plane caps the grow at what actually opened.
+            return false;
+        } else {
+            self.shared.pool.push_pending(self.reserve.remove(0));
+            self.shared.pool.open_pending();
+        }
         self.sync_samplers();
         true
     }
@@ -186,6 +210,15 @@ impl DataPlane for ProxyPlane {
         let width = self.shared.pool.width();
         if width <= 1 {
             return false;
+        }
+        if self.autoscaling {
+            if let Some(b) = self.shared.pool.backend(width - 1) {
+                // A slot closed by the width policy stays in the pool's
+                // reserve; one removed from the config does not.
+                if !b.is_removed() {
+                    self.reserve.insert(0, b.addr);
+                }
+            }
         }
         self.shared.pool.close_tail(width - 1);
         self.sync_samplers();
@@ -290,9 +323,22 @@ impl Proxy {
     pub fn spawn(options: ProxyOptions) -> io::Result<ProxyHandle> {
         let cfg = options.config;
         let telemetry = options.telemetry.unwrap_or_default();
-        let pool = Arc::new(BackendPool::new(&cfg.backends));
+        // With autoscaling, the config's backend list is the pool and the
+        // proxy starts at the configured floor; the autoscaler grows into
+        // the reserve under load and hands slots back when idle.
+        let (live, reserve): (Vec<SocketAddr>, Vec<SocketAddr>) = match cfg.autoscale {
+            Some(a) => {
+                let floor = a.min_width.clamp(1, cfg.backends.len());
+                (
+                    cfg.backends[..floor].to_vec(),
+                    cfg.backends[floor..].to_vec(),
+                )
+            }
+            None => (cfg.backends.clone(), Vec::new()),
+        };
+        let pool = Arc::new(BackendPool::new(&live));
         let metrics = ProxyMetrics::new(&telemetry);
-        metrics.backends.set(cfg.backends.len() as f64);
+        metrics.backends.set(live.len() as f64);
 
         let listener = TcpListener::bind(cfg.listen)?;
         listener.set_nonblocking(true)?;
@@ -337,17 +383,28 @@ impl Proxy {
                     let bcfg = BalancerConfig::builder(width)
                         .build()
                         .expect("a non-empty backend list yields a valid width");
-                    let mut cp = ControlPlane::builder(bcfg)
+                    let mut builder = ControlPlane::builder(bcfg)
                         .rate_cap(10.0)
                         .telemetry(&controller_telemetry)
-                        .metrics("proxy")
-                        .build();
+                        .metrics("proxy");
+                    if let Some(auto) = controller_shared.cfg.autoscale {
+                        // The pool size is the hard ceiling, whatever the
+                        // file said; the reserve can't grow past it anyway.
+                        let auto = AutoscalerConfig {
+                            max_width: controller_shared.cfg.backends.len(),
+                            ..auto
+                        };
+                        builder = builder.width_policy(Box::new(Autoscaler::new(auto)));
+                    }
+                    let mut cp = builder.build();
                     let interval = controller_shared.cfg.sample_interval;
                     let mut plane = ProxyPlane {
                         shared: Arc::clone(&controller_shared),
                         watcher,
                         samplers: Vec::new(),
                         reload_generation: 0,
+                        autoscaling: controller_shared.cfg.autoscale.is_some(),
+                        reserve,
                     };
                     plane.sync_samplers();
                     cp.run_threaded(

@@ -1,0 +1,88 @@
+//! Autoscaling proxy: the config's backend list is the *pool*, the
+//! width policy decides how much of it is live. With `autoscale on` the
+//! proxy starts at the configured floor, serves traffic from there, and
+//! exposes the width gauge and `proxy.autoscale.*` decision counters.
+
+use std::time::{Duration, Instant};
+
+use streambal_control::AutoscalerConfig;
+use streambal_proxy::{run_load, EchoBackend, Proxy, ProxyConfig, ProxyOptions};
+
+fn wait_until(budget: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    done()
+}
+
+#[test]
+fn autoscaling_proxy_starts_at_the_floor_and_reports_decisions() {
+    let a = EchoBackend::spawn("127.0.0.1:0".parse().unwrap()).unwrap();
+    let b = EchoBackend::spawn("127.0.0.1:0".parse().unwrap()).unwrap();
+    let c = EchoBackend::spawn("127.0.0.1:0".parse().unwrap()).unwrap();
+
+    let mut cfg = ProxyConfig::new(
+        "127.0.0.1:0".parse().unwrap(),
+        vec![a.addr(), b.addr(), c.addr()],
+    );
+    cfg.sample_interval = Duration::from_millis(25);
+    cfg.autoscale = Some(AutoscalerConfig {
+        min_width: 1,
+        ..AutoscalerConfig::default()
+    });
+    let handle = Proxy::spawn(ProxyOptions::new(cfg)).unwrap();
+
+    // Only the floor is live; the other two backends sit in reserve.
+    assert_eq!(handle.pool().width(), 1);
+
+    let report = run_load(handle.addr(), 2, 20, 64);
+    assert_eq!(report.failed, 0, "the floor backend serves all traffic");
+    assert_eq!(report.succeeded, 2 * 20);
+    assert!(a.served() >= 40, "traffic lands on the live backend");
+    assert_eq!(b.served(), 0, "reserve backends receive nothing");
+    assert_eq!(c.served(), 0);
+
+    // The control plane publishes the policy's view every round: a width
+    // gauge plus one counter per decision kind. An unloaded echo pool
+    // never blocks, so every confirmed decision here is a Hold (a shrink
+    // at the floor is clamped to Hold too).
+    let registry = handle.telemetry().registry().clone();
+    let width = registry.gauge("proxy.width");
+    let hold = registry.counter("proxy.autoscale.hold");
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            width.get() == 1.0 && hold.get() >= 3
+        }),
+        "expected width gauge 1 and held rounds, got width={} hold={}",
+        width.get(),
+        hold.get()
+    );
+    assert_eq!(
+        registry.counter("proxy.autoscale.grow").get(),
+        0,
+        "an idle pool must never grow"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn fixed_width_proxy_reports_a_width_gauge_too() {
+    let a = EchoBackend::spawn("127.0.0.1:0".parse().unwrap()).unwrap();
+    let b = EchoBackend::spawn("127.0.0.1:0".parse().unwrap()).unwrap();
+    let mut cfg = ProxyConfig::new("127.0.0.1:0".parse().unwrap(), vec![a.addr(), b.addr()]);
+    cfg.sample_interval = Duration::from_millis(25);
+    let handle = Proxy::spawn(ProxyOptions::new(cfg)).unwrap();
+    assert_eq!(handle.pool().width(), 2, "no autoscale: all backends live");
+    let width = handle.telemetry().registry().gauge("proxy.width");
+    assert!(
+        wait_until(Duration::from_secs(5), || width.get() == 2.0),
+        "width gauge never published, got {}",
+        width.get()
+    );
+    handle.shutdown();
+}

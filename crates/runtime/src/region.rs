@@ -7,7 +7,7 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use streambal_control::{ControlPlane, DataPlane};
+use streambal_control::{ControlPlane, DataPlane, ScriptedWidth};
 use streambal_core::controller::{BalancerConfig, BalancerMode};
 use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_telemetry::Telemetry;
@@ -50,23 +50,15 @@ impl fmt::Display for RegionError {
 
 impl std::error::Error for RegionError {}
 
-/// A scheduled width change: at `after` into the run the region's target
-/// width grows or shrinks by `count` slots. Applied by the control loop's
-/// width reconciliation ([`streambal_control::ControlPlane::run_threaded`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct WidthStep {
-    pub(crate) after: Duration,
-    pub(crate) grow: bool,
-    pub(crate) count: usize,
-}
-
 /// The [`DataPlane`] both threaded regions hand to [`ControlPlane`]:
 /// blocking rates come from the transport senders' counters, weights are
 /// installed into the mutex the splitter polls, and scheduled external
 /// load changes apply at the top of each round.
 ///
-/// When `opener`/`closer` are set the plane is *elastic*: scheduled
-/// [`WidthStep`]s move `target`, and the control loop reconciles by
+/// When `opener`/`closer` are set the plane is *elastic*: a
+/// [`WidthPolicy`](streambal_control::WidthPolicy) installed on the
+/// control plane (the builder's `grow_after`/`shrink_after` script, or an
+/// autoscaler) decides resizes, and the control loop applies them by
 /// calling [`DataPlane::open_slot`] (spawn a real connection + worker
 /// thread) or [`DataPlane::close_slot`] (retire the highest slot; its
 /// queued tuples drain in order before the worker exits).
@@ -77,9 +69,6 @@ pub(crate) struct CounterPlane {
     pub(crate) loads: Vec<Arc<AtomicU32>>,
     pub(crate) changes: Vec<LoadChange>,
     pub(crate) next_change: usize,
-    pub(crate) target: usize,
-    pub(crate) steps: Vec<WidthStep>,
-    pub(crate) next_step: usize,
     /// Opens slot `j`: wire a fresh connection and worker, returning its
     /// blocking counter. `None` on failure (growth is refused cleanly).
     #[allow(clippy::type_complexity)]
@@ -101,14 +90,11 @@ impl CounterPlane {
         let n = counters.len();
         CounterPlane {
             samplers: vec![BlockingSampler::new(); n],
-            target: n,
             counters,
             weights,
             loads,
             changes,
             next_change: 0,
-            steps: Vec::new(),
-            next_step: 0,
             opener: None,
             closer: None,
         }
@@ -120,10 +106,6 @@ impl DataPlane for CounterPlane {
         self.counters.len()
     }
 
-    fn target_connections(&self) -> usize {
-        self.target
-    }
-
     fn begin_round(&mut self, elapsed: Duration) {
         while self.next_change < self.changes.len()
             && self.changes[self.next_change].after <= elapsed
@@ -131,15 +113,6 @@ impl DataPlane for CounterPlane {
             let c = self.changes[self.next_change];
             self.loads[c.worker].store((c.factor * LOAD_SCALE) as u32, Ordering::Relaxed);
             self.next_change += 1;
-        }
-        while self.next_step < self.steps.len() && self.steps[self.next_step].after <= elapsed {
-            let s = self.steps[self.next_step];
-            if s.grow {
-                self.target += s.count;
-            } else {
-                self.target = self.target.saturating_sub(s.count).max(1);
-            }
-            self.next_step += 1;
         }
     }
 
@@ -259,7 +232,7 @@ pub struct RegionBuilder {
     sample_interval: Duration,
     initial_loads: Vec<f64>,
     load_changes: Vec<LoadChange>,
-    width_steps: Vec<WidthStep>,
+    width_script: ScriptedWidth,
     balancer_mode: BalancerMode,
     balancing: bool,
     reroute: bool,
@@ -276,7 +249,7 @@ impl RegionBuilder {
             sample_interval: Duration::from_millis(100),
             initial_loads: vec![1.0; workers],
             load_changes: Vec::new(),
-            width_steps: Vec::new(),
+            width_script: ScriptedWidth::new(),
             balancer_mode: BalancerMode::default(),
             balancing: true,
             reroute: false,
@@ -325,13 +298,10 @@ impl RegionBuilder {
 
     /// Schedules live growth: at `after` into the run, `count` fresh
     /// worker threads (with their own channels) join the region and the
-    /// balancer re-solves at the wider width.
+    /// balancer re-solves at the wider width. Scripted via the shared
+    /// [`ScriptedWidth`] policy.
     pub fn grow_after(&mut self, after: Duration, count: usize) -> &mut Self {
-        self.width_steps.push(WidthStep {
-            after,
-            grow: true,
-            count,
-        });
+        self.width_script.grow_after(after, count);
         self
     }
 
@@ -340,11 +310,7 @@ impl RegionBuilder {
     /// order before the workers exit; the region never drops below one
     /// worker.
     pub fn shrink_after(&mut self, after: Duration, count: usize) -> &mut Self {
-        self.width_steps.push(WidthStep {
-            after,
-            grow: false,
-            count,
-        });
+        self.width_script.shrink_after(after, count);
         self
     }
 
@@ -516,8 +482,8 @@ impl RegionBuilder {
             let loads: Vec<Arc<AtomicU32>> = loads.iter().map(Arc::clone).collect();
             let mut changes = self.load_changes.clone();
             changes.sort_by_key(|c| c.after);
-            let mut steps = self.width_steps.clone();
-            steps.sort_by_key(|s| s.after);
+            let mut script = self.width_script.clone();
+            script.sort();
             let telemetry = self.telemetry.clone();
             let opener = {
                 let senders = Arc::clone(&senders);
@@ -568,9 +534,11 @@ impl RegionBuilder {
                     if !balancing {
                         builder = builder.round_robin();
                     }
+                    if !script.is_empty() {
+                        builder = builder.width_policy(Box::new(script));
+                    }
                     let mut plane = builder.build();
                     let mut dp = CounterPlane::fixed(counters, weights, loads, changes);
-                    dp.steps = steps;
                     dp.opener = Some(Box::new(opener));
                     dp.closer = Some(Box::new(closer));
                     plane.run_threaded(&mut dp, interval, &stop, started);

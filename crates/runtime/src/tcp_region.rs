@@ -10,12 +10,12 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use streambal_control::ControlPlane;
+use streambal_control::{ControlPlane, ScriptedWidth};
 use streambal_core::controller::{BalancerConfig, BalancerMode};
 use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_transport::tcp::{connect, listen, Incoming, TcpSender};
 
-use crate::region::{CounterPlane, RegionError, RegionReport, WidthStep};
+use crate::region::{CounterPlane, RegionError, RegionReport};
 use crate::workload::spin_multiplies;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -46,7 +46,7 @@ pub struct TcpRegionBuilder {
     balancing: bool,
     mode: BalancerMode,
     stall: Option<(usize, u64, Duration)>,
-    width_steps: Vec<WidthStep>,
+    width_script: ScriptedWidth,
 }
 
 /// Spawns one TCP worker thread: accept the loopback connection, decode
@@ -99,7 +99,7 @@ impl TcpRegionBuilder {
             balancing: true,
             mode: BalancerMode::default(),
             stall: None,
-            width_steps: Vec::new(),
+            width_script: ScriptedWidth::new(),
         }
     }
 
@@ -161,13 +161,10 @@ impl TcpRegionBuilder {
 
     /// Schedules live growth: at `after` into the run, `count` fresh
     /// workers — each with its own real loopback TCP connection — join the
-    /// region and the balancer re-solves at the wider width.
+    /// region and the balancer re-solves at the wider width. Scripted via
+    /// the shared [`ScriptedWidth`] policy.
     pub fn grow_after(&mut self, after: Duration, count: usize) -> &mut Self {
-        self.width_steps.push(WidthStep {
-            after,
-            grow: true,
-            count,
-        });
+        self.width_script.grow_after(after, count);
         self
     }
 
@@ -176,11 +173,7 @@ impl TcpRegionBuilder {
     /// order before the workers exit; the region never drops below one
     /// worker.
     pub fn shrink_after(&mut self, after: Duration, count: usize) -> &mut Self {
-        self.width_steps.push(WidthStep {
-            after,
-            grow: false,
-            count,
-        });
+        self.width_script.shrink_after(after, count);
         self
     }
 
@@ -249,8 +242,8 @@ impl TcpRegionBuilder {
             let interval = self.sample_interval;
             let balancing = self.balancing;
             let mode = self.mode;
-            let mut steps = self.width_steps.clone();
-            steps.sort_by_key(|s| s.after);
+            let mut script = self.width_script.clone();
+            script.sort();
             let opener = {
                 let senders = Arc::clone(&senders);
                 let handles = Arc::clone(&worker_handles);
@@ -292,9 +285,11 @@ impl TcpRegionBuilder {
                     if !balancing {
                         builder = builder.round_robin();
                     }
+                    if !script.is_empty() {
+                        builder = builder.width_policy(Box::new(script));
+                    }
                     let mut plane = builder.build();
                     let mut dp = CounterPlane::fixed(counters, weights, Vec::new(), Vec::new());
-                    dp.steps = steps;
                     dp.opener = Some(Box::new(opener));
                     dp.closer = Some(Box::new(closer));
                     plane.run_threaded(&mut dp, interval, &stop, started);

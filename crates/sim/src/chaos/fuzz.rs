@@ -285,6 +285,52 @@ mod tests {
     }
 
     #[test]
+    fn flapping_sabotage_trips_the_oscillation_budget_and_shrinks_empty() {
+        // A hysteresis-free width policy thrashing every round needs no
+        // fault events at all: the sabotage alone must trip the flapping
+        // oracle, and the shrinker must strip every noise event.
+        let scenario = Scenario {
+            seed: 0xBAD_5EED,
+            workers: 3,
+            duration_ns: 16 * SECOND_NS,
+            events: vec![
+                TimedFault {
+                    t_ns: 3 * SECOND_NS,
+                    fault: FaultKind::Slowdown {
+                        worker: 0,
+                        factor: 2.0,
+                    },
+                },
+                TimedFault {
+                    t_ns: 5 * SECOND_NS,
+                    fault: FaultKind::LoadSpike {
+                        worker: 1,
+                        factor: 1.5,
+                    },
+                },
+            ],
+            sabotage: Some(Sabotage::FlappingWidth),
+        };
+        let failure = shrink(&scenario, 80)
+            .unwrap()
+            .expect("flapping sabotage must violate an oracle");
+        assert_eq!(failure.original_events, 2);
+        assert!(
+            failure.scenario.events.is_empty(),
+            "the sabotage needs no events; expected an empty reproduction, got {:#?}",
+            failure.scenario.events
+        );
+        assert!(
+            failure.violations.iter().any(|v| v.oracle == "flapping"),
+            "expected the flapping oracle to fire, got {:#?}",
+            failure.violations
+        );
+        // The shrunk scenario replays to the same violations.
+        let replay = run_scenario(&failure.scenario).unwrap();
+        assert_eq!(replay.violations, failure.violations);
+    }
+
+    #[test]
     fn shrink_on_clean_scenario_returns_none() {
         let clean = Scenario {
             seed: 7,

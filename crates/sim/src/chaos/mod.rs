@@ -41,7 +41,9 @@ pub mod oracle;
 pub mod scenario;
 
 pub use fuzz::{fuzz_seed, shrink, FuzzFailure, DEFAULT_SHRINK_RUNS};
-pub use oracle::{Oracle, OracleSuite, RoundObserver, RoundView, Violation, WidthOracle};
+pub use oracle::{
+    FlappingOracle, Oracle, OracleSuite, RoundObserver, RoundView, Violation, WidthOracle,
+};
 pub use scenario::{run_scenario, Scenario, ScenarioOutcome};
 
 use crate::config::ConfigError;
@@ -146,6 +148,13 @@ pub enum Sabotage {
     /// oracle's starvation check (and by nothing else — that is the
     /// point).
     StarveNewSlots,
+    /// A hysteresis-free width policy: every round the region alternately
+    /// grows and shrinks by one worker — the resize thrash a reactive
+    /// scaler with no confirmation window or cooldown produces. Each
+    /// single resize is perfectly legal (the simplex and ordering stay
+    /// intact), so only the flapping oracle's width-oscillation budget
+    /// catches it — that is the point.
+    FlappingWidth,
 }
 
 /// A full fault-injection plan for one run.

@@ -558,6 +558,90 @@ impl Oracle for WidthOracle {
     }
 }
 
+/// Width-oscillation budget: the region's width trajectory must not
+/// *flap*. Every time the width changes direction (a grow directly after
+/// a shrink or vice versa) counts as one reversal; more than
+/// `max_reversals` reversals inside any `window_rounds`-round window
+/// fires the oracle. A scripted resize plan or a well-damped autoscaler
+/// (confirmation + cooldown hysteresis) produces isolated reversals that
+/// stay far inside the budget; a hysteresis-free reactive policy chasing
+/// a noisy signal reverses nearly every round and trips it immediately.
+///
+/// Fires at most once per run; silent for runs whose width never changes.
+#[derive(Debug)]
+pub struct FlappingOracle {
+    max_reversals: usize,
+    window_rounds: u64,
+    prev_width: Option<usize>,
+    /// +1 after a grow, -1 after a shrink, 0 before any resize.
+    last_direction: i8,
+    /// Rounds at which a direction reversal occurred, oldest first.
+    reversals: std::collections::VecDeque<u64>,
+    fired: bool,
+}
+
+impl FlappingOracle {
+    /// Creates the oracle with an explicit oscillation budget.
+    pub fn new(max_reversals: usize, window_rounds: u64) -> Self {
+        FlappingOracle {
+            max_reversals,
+            window_rounds,
+            prev_width: None,
+            last_direction: 0,
+            reversals: std::collections::VecDeque::new(),
+            fired: false,
+        }
+    }
+}
+
+impl Default for FlappingOracle {
+    /// At most 4 direction reversals within any 40-round window (10
+    /// simulated seconds at the scenario cadence). Generated scenarios
+    /// schedule at most a handful of width events over a whole run, so
+    /// legitimate plans sit far below the budget.
+    fn default() -> Self {
+        FlappingOracle::new(4, 40)
+    }
+}
+
+impl Oracle for FlappingOracle {
+    fn name(&self) -> &'static str {
+        "flapping"
+    }
+
+    fn check(&mut self, view: &mut RoundView<'_>) -> Result<(), String> {
+        let width = view.weights.len();
+        if let Some(prev) = self.prev_width {
+            if width != prev {
+                let direction: i8 = if width > prev { 1 } else { -1 };
+                if self.last_direction != 0 && direction != self.last_direction {
+                    self.reversals.push_back(view.round);
+                }
+                self.last_direction = direction;
+            }
+        }
+        self.prev_width = Some(width);
+        while let Some(&oldest) = self.reversals.front() {
+            if view.round.saturating_sub(oldest) >= self.window_rounds {
+                self.reversals.pop_front();
+            } else {
+                break;
+            }
+        }
+        if !self.fired && self.reversals.len() > self.max_reversals {
+            self.fired = true;
+            return Err(format!(
+                "width flapping: {} direction reversals within the last {} \
+                 rounds (budget {})",
+                self.reversals.len(),
+                self.window_rounds,
+                self.max_reversals
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The standard oracle set plus violation collection; this is what
 /// [`run_scenario`](crate::chaos::run_scenario) wires into the engine.
 pub struct OracleSuite {
@@ -587,8 +671,8 @@ impl OracleSuite {
     }
 
     /// The full standard set: simplex, in-order, monotone functions,
-    /// reorder bound, reconvergence, membership and width (default
-    /// budgets).
+    /// reorder bound, reconvergence, membership, width and flapping
+    /// (default budgets).
     pub fn standard() -> Self {
         OracleSuite::empty()
             .with_oracle(Box::new(SimplexOracle))
@@ -598,6 +682,7 @@ impl OracleSuite {
             .with_oracle(Box::new(ReconvergenceOracle::default()))
             .with_oracle(Box::new(MembershipOracle::default()))
             .with_oracle(Box::new(WidthOracle::default()))
+            .with_oracle(Box::new(FlappingOracle::default()))
     }
 
     /// Adds an oracle.
@@ -896,6 +981,102 @@ mod tests {
         };
         let err = o.check(&mut v).unwrap_err();
         assert!(err.contains("width skew"), "{err}");
+    }
+
+    #[test]
+    fn flapping_oracle_is_silent_for_stable_and_one_way_width() {
+        let mut o = FlappingOracle::default();
+        let occ2 = [0usize; 2];
+        let alive2 = [true; 2];
+        let occ3 = [0usize; 3];
+        let alive3 = [true; 3];
+        // Fixed width, then a single grow that sticks: no reversal ever.
+        for round in 1..=50 {
+            if round <= 25 {
+                let mut v = view(&[500, 500], &[0.0, 0.0], &occ2, &alive2);
+                v.round = round;
+                assert!(o.check(&mut v).is_ok(), "round {round}");
+            } else {
+                let mut v = view(&[400, 400, 200], &[0.0; 3], &occ3, &alive3);
+                v.round = round;
+                assert!(o.check(&mut v).is_ok(), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn flapping_oracle_tolerates_reversals_within_budget() {
+        // Width trajectory 2,2,3,3,2,2,3,3,2,2 has four direction changes
+        // of which three are reversals — inside the default budget of 4.
+        let occ2 = [0usize; 2];
+        let alive2 = [true; 2];
+        let occ3 = [0usize; 3];
+        let alive3 = [true; 3];
+        let widths = [2usize, 2, 3, 3, 2, 2, 3, 3, 2, 2];
+        let mut o = FlappingOracle::default();
+        for (i, &w) in widths.iter().enumerate() {
+            let round = (i + 1) as u64;
+            if w == 2 {
+                let mut v = view(&[500, 500], &[0.0, 0.0], &occ2, &alive2);
+                v.round = round;
+                assert!(o.check(&mut v).is_ok(), "round {round}");
+            } else {
+                let mut v = view(&[400, 400, 200], &[0.0; 3], &occ3, &alive3);
+                v.round = round;
+                assert!(o.check(&mut v).is_ok(), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn flapping_oracle_fires_once_on_per_round_thrash() {
+        let mut o = FlappingOracle::default();
+        let occ2 = [0usize; 2];
+        let alive2 = [true; 2];
+        let occ3 = [0usize; 3];
+        let alive3 = [true; 3];
+        let mut violations = 0;
+        for round in 1..=40 {
+            let err = if round % 2 == 0 {
+                let mut v = view(&[400, 400, 200], &[0.0; 3], &occ3, &alive3);
+                v.round = round;
+                o.check(&mut v).err()
+            } else {
+                let mut v = view(&[500, 500], &[0.0, 0.0], &occ2, &alive2);
+                v.round = round;
+                o.check(&mut v).err()
+            };
+            if let Some(detail) = err {
+                assert!(detail.contains("flapping"), "{detail}");
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 1, "fires exactly once");
+    }
+
+    #[test]
+    fn flapping_oracle_window_forgets_old_reversals() {
+        // Reversals spread further apart than the window never accumulate
+        // past the budget.
+        let mut o = FlappingOracle::new(2, 10);
+        let occ2 = [0usize; 2];
+        let alive2 = [true; 2];
+        let occ3 = [0usize; 3];
+        let alive3 = [true; 3];
+        // Toggle width every 15 rounds: each reversal leaves the 10-round
+        // window before the next two arrive.
+        for round in 1..=120 {
+            let grown = (round / 15) % 2 == 1;
+            if grown {
+                let mut v = view(&[400, 400, 200], &[0.0; 3], &occ3, &alive3);
+                v.round = round;
+                assert!(o.check(&mut v).is_ok(), "round {round}");
+            } else {
+                let mut v = view(&[500, 500], &[0.0, 0.0], &occ2, &alive2);
+                v.round = round;
+                assert!(o.check(&mut v).is_ok(), "round {round}");
+            }
+        }
     }
 
     #[test]

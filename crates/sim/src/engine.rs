@@ -20,6 +20,8 @@ use streambal_core::rng::SplitMix64;
 use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceEvent};
 
+use streambal_control::WidthDecision;
+
 use crate::chaos::{ChaosPlan, FaultKind, RoundObserver, RoundView, Sabotage};
 use crate::config::{ConfigError, RegionConfig, StopCondition};
 use crate::metrics::{RunResult, SampleTrace};
@@ -236,6 +238,9 @@ struct Engine<'c> {
     /// The lowest slot index ever added by growth (for
     /// [`Sabotage::StarveNewSlots`]).
     starve_from: Option<usize>,
+    /// Next thrash direction for [`Sabotage::FlappingWidth`] (grow first,
+    /// so the width never dips below its configured floor).
+    flap_grow: bool,
 
     // Chaos (all inert unless a plan is attached; see crate::chaos).
     chaos: Option<&'c ChaosPlan>,
@@ -304,6 +309,7 @@ impl<'c> Engine<'c> {
             next_expected: 0,
             width: n,
             starve_from: None,
+            flap_grow: true,
             chaos: None,
             observer: None,
             worker_alive: vec![true; n],
@@ -806,6 +812,21 @@ impl<'c> Engine<'c> {
     }
 
     fn on_sample(&mut self) {
+        if matches!(
+            self.chaos.and_then(|p| p.sabotage),
+            Some(Sabotage::FlappingWidth)
+        ) {
+            // Deliberate thrash for oracle mutation testing: a width
+            // policy with no hysteresis, reversing direction every round.
+            // Each individual resize is legal, so only the flapping
+            // oracle's oscillation budget can catch it.
+            if self.flap_grow {
+                self.grow_region(1);
+            } else {
+                self.shrink_region(1);
+            }
+            self.flap_grow = !self.flap_grow;
+        }
         let interval = self.cfg.sample_interval_ns;
         // Attribute any in-progress blocked span up to now, so long blocks
         // show up smoothly across intervals (like the paper's select
@@ -884,7 +905,7 @@ impl<'c> Engine<'c> {
                     }
                 }
             }
-            None => {}
+            Some(Sabotage::FlappingWidth) | None => {}
         }
 
         let sample = SampleTrace {
@@ -935,6 +956,16 @@ impl<'c> Engine<'c> {
             if let Some(obs) = self.observer.as_deref_mut() {
                 obs.on_round(&mut view);
             }
+        }
+
+        // Width-policy hook: the policy decides at the end of the round,
+        // the engine applies by resizing the region, which calls back into
+        // `Policy::on_resize` so the policy tracks its own width. The
+        // default implementation holds, so fixed-width runs are untouched.
+        match self.policy.decide_width(&ctx) {
+            WidthDecision::Grow(count) if count > 0 => self.grow_region(count),
+            WidthDecision::Shrink(count) if count > 0 => self.shrink_region(count),
+            _ => {}
         }
 
         self.last_sample_ns = self.now;

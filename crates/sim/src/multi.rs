@@ -17,6 +17,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
+use streambal_control::{ScriptedWidth, WidthDecision};
 use streambal_core::weights::{WeightVector, WrrScheduler};
 use streambal_telemetry::{Telemetry, TraceEvent};
 
@@ -323,8 +324,15 @@ struct MultiEngine<'c> {
     workers: Vec<WorkerState>,
     /// Busy-worker count per host.
     host_busy: Vec<u32>,
-    /// Scheduled live width changes, indexed by [`Ev::Resize`].
+    /// Scheduled live width changes, indexed by [`Ev::Resize`]. The
+    /// events carry the *where* (region, host placement, wakeup time);
+    /// the *what* lives in the per-region [`ScriptedWidth`] adapters.
     resizes: Vec<ResizeEvent>,
+    /// Per-region scripted-width policies compiled from `resizes` in
+    /// firing order; each [`Ev::Resize`] wakeup pops the region's next
+    /// step via [`ScriptedWidth::fire_next`], so every width mutation
+    /// goes through a [`WidthDecision`] like the other layers.
+    scripts: Vec<ScriptedWidth>,
 }
 
 impl<'c> MultiEngine<'c> {
@@ -375,6 +383,23 @@ impl<'c> MultiEngine<'c> {
                 worker_busy_ns: vec![0; n],
             });
         }
+        // Compile each region's schedule into a ScriptedWidth adapter in
+        // firing order (time, then plan order — the same tie-break as the
+        // event heap), so each Resize wakeup pops exactly its own step.
+        let mut scripts = vec![ScriptedWidth::new(); cfg.regions.len()];
+        let mut order: Vec<usize> = (0..resizes.len()).collect();
+        order.sort_by_key(|&i| (resizes[i].t_ns, i));
+        for i in order {
+            let ev = resizes[i];
+            match ev.change {
+                WidthChange::Grow { count, .. } => {
+                    scripts[ev.region].step_at_ns(ev.t_ns, true, count);
+                }
+                WidthChange::Shrink { count } => {
+                    scripts[ev.region].step_at_ns(ev.t_ns, false, count);
+                }
+            }
+        }
         MultiEngine {
             cfg,
             telemetry,
@@ -385,6 +410,7 @@ impl<'c> MultiEngine<'c> {
             workers,
             host_busy: vec![0; cfg.hosts.len()],
             resizes,
+            scripts,
         }
     }
 
@@ -591,9 +617,18 @@ impl<'c> MultiEngine<'c> {
 
     fn on_resize(&mut self, i: usize) {
         let ev = self.resizes[i];
-        match ev.change {
-            WidthChange::Grow { host, count } => self.grow_region(ev.region, host, count),
-            WidthChange::Shrink { count } => self.shrink_region(ev.region, count),
+        // The event only carries placement; the step itself comes from the
+        // region's scripted-width policy, like every other resize path.
+        match self.scripts[ev.region].fire_next() {
+            WidthDecision::Grow(count) => {
+                let host = match ev.change {
+                    WidthChange::Grow { host, .. } => host,
+                    WidthChange::Shrink { .. } => 0,
+                };
+                self.grow_region(ev.region, host, count);
+            }
+            WidthDecision::Shrink(count) => self.shrink_region(ev.region, count),
+            WidthDecision::Hold => {}
         }
     }
 

@@ -8,7 +8,7 @@
 //! | [`SchedulePolicy`] | *Oracle\** | precomputed weight switches at known times |
 //! | [`BalancerPolicy`] | *LB-static* / *LB-adaptive* | the blocking-rate model of §5 |
 
-use streambal_control::ControlPlane;
+use streambal_control::{ControlPlane, WidthDecision, WidthPolicy};
 use streambal_core::controller::{BalancerConfig, BalancerMode, LoadBalancer};
 use streambal_core::weights::{WeightVector, DEFAULT_RESOLUTION};
 use streambal_telemetry::Telemetry;
@@ -86,6 +86,16 @@ pub trait Policy {
     fn on_resize(&mut self, new_width: usize) -> Option<WeightVector> {
         let _ = new_width;
         None
+    }
+
+    /// Called once per control round, after [`on_sample`](Self::on_sample):
+    /// the policy's chance to ask for a width change (closed-loop
+    /// autoscaling). The engine applies a non-[`Hold`](WidthDecision::Hold)
+    /// decision by resizing the region, which calls back into
+    /// [`on_resize`](Self::on_resize). The default holds forever.
+    fn decide_width(&mut self, ctx: &SampleContext) -> WidthDecision {
+        let _ = ctx;
+        WidthDecision::Hold
     }
 }
 
@@ -307,6 +317,14 @@ impl BalancerPolicy {
     pub fn plane_mut(&mut self) -> &mut ControlPlane {
         &mut self.plane
     }
+
+    /// Installs a [`WidthPolicy`] on the wrapped plane: each round, after
+    /// the weight solve, [`Policy::decide_width`] consults it and the
+    /// engine applies the decision (resizing the region end-to-end).
+    pub fn with_width_policy(mut self, policy: Box<dyn WidthPolicy>) -> Self {
+        self.plane.set_width_policy(policy);
+        self
+    }
 }
 
 impl Policy for BalancerPolicy {
@@ -359,6 +377,10 @@ impl Policy for BalancerPolicy {
 
     fn balancer_mut(&mut self) -> Option<&mut LoadBalancer> {
         Some(self.plane.balancer_mut())
+    }
+
+    fn decide_width(&mut self, ctx: &SampleContext) -> WidthDecision {
+        self.plane.decide_width(ctx.now_ns / 1_000_000, &self.rates)
     }
 }
 

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod autoscale;
 pub mod oracle;
 pub mod policies;
 pub mod report;
