@@ -2,8 +2,15 @@
 //! an echo backend and back, on loopback. This is the per-request price
 //! of the ingress path (frame parse, WRR pick, pooled backend round
 //! trip) — the blocking-rate controller itself runs off-path.
+//!
+//! The `proxy/async_round_trip_Nconns` entries repeat the measurement
+//! on the async (readiness-polled) core with N idle connections parked
+//! against the proxy: epoll's O(ready) wakeups mean the per-request
+//! cost must not grow with the parked fleet, which is the property that
+//! lets one event-loop thread carry a five-figure connection count.
 
 use std::hint::black_box;
+use std::net::TcpStream;
 
 use streambal_bench::Micro;
 use streambal_proxy::{EchoBackend, Proxy, ProxyConfig, ProxyOptions};
@@ -32,6 +39,28 @@ fn main() {
         let echoed = conn.round_trip(&payload, deadline).expect("round trip");
         black_box(echoed.len())
     });
+
+    // The async core under parked-fleet pressure: the active connection's
+    // round trip is measured while N others sit idle in the same event
+    // loops. Connections accumulate across the sizes (64 → 1024 → 8192).
+    let mut parked: Vec<TcpStream> = Vec::new();
+    for &n in &[64usize, 1024, 8192] {
+        while parked.len() < n {
+            // Small batches keep the accept backlog comfortable.
+            for _ in 0..64.min(n - parked.len()) {
+                let s = TcpStream::connect(handle.addr()).expect("park conn");
+                s.set_nodelay(true).expect("nodelay");
+                parked.push(s);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        m.run(&format!("proxy/async_round_trip_{n}conns"), || {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            let echoed = conn.round_trip(&payload, deadline).expect("round trip");
+            black_box(echoed.len())
+        });
+    }
+    drop(parked);
 
     handle.shutdown();
 }

@@ -2,15 +2,32 @@
 //! `/metrics` scraper. Lives in the library (not `#[cfg(test)]`) because
 //! the e2e tests, the benches, the CI smoke job and the `streambal-proxy
 //! echo`/`load` subcommands all share it.
+//!
+//! The backend is a single readiness-polled event loop — one thread no
+//! matter how many connections — so a soak test can park thousands of
+//! sockets against it without burning CPU. Each connection is served
+//! strictly serially, and [`EchoBackend::set_delay`] throttles the *read
+//! rate*: after every read that makes progress the connection stops
+//! reading for the delay. That read-stop is what generates real
+//! back-pressure — the kernel buffers fill and the proxy side
+//! accumulates blocked-write time, on both data-plane cores.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::frame::{write_frame_deadline, FrameReader, Poll, POLL_SLEEP};
+use streambal_transport::poll::{set_recv_buffer, Interest, Poller};
+
+use crate::frame::{write_frame_deadline, FrameReader, FrameWriter, Poll, WriteStatus};
+
+const LISTENER_TOKEN: usize = usize::MAX;
+/// Upper bound on how long the loop sleeps: bounds reaction time to
+/// `stall`/`set_delay`/`kill`, which are plain atomics with no waker.
+const TICK: Duration = Duration::from_millis(25);
 
 /// A backend that echoes every frame back, with switchable misbehaviour.
 #[derive(Debug)]
@@ -20,7 +37,16 @@ pub struct EchoBackend {
     stalled: Arc<AtomicBool>,
     read_delay_ms: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    loop_thread: Option<JoinHandle<()>>,
+}
+
+/// Tuning for [`EchoBackend::spawn_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EchoOptions {
+    /// Kernel receive-buffer cap for accepted connections. A small value
+    /// shrinks the backend-side pipe so a delayed backend pushes
+    /// back-pressure to the proxy after just a few queued frames.
+    pub recv_buffer: Option<usize>,
 }
 
 impl EchoBackend {
@@ -31,63 +57,53 @@ impl EchoBackend {
     ///
     /// Fails when the listener cannot bind.
     pub fn spawn(addr: SocketAddr) -> io::Result<Self> {
+        Self::spawn_with(addr, EchoOptions::default())
+    }
+
+    /// [`spawn`](Self::spawn) with explicit [`EchoOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot bind or the poller cannot start.
+    pub fn spawn_with(addr: SocketAddr, options: EchoOptions) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        if let Some(bytes) = options.recv_buffer {
+            // Set on the listener so accepted sockets inherit it before
+            // the peer's first window update.
+            let _ = set_recv_buffer(&listener, bytes);
+        }
         let addr = listener.local_addr()?;
         let served = Arc::new(AtomicU64::new(0));
         let stalled = Arc::new(AtomicBool::new(false));
         let read_delay_ms = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
-        let t = {
-            let served = Arc::clone(&served);
-            let stalled = Arc::clone(&stalled);
-            let read_delay_ms = Arc::clone(&read_delay_ms);
-            let stop = Arc::clone(&stop);
-            thread::Builder::new()
-                .name("echo-accept".into())
-                .spawn(move || {
-                    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-                    while !stop.load(Ordering::Acquire) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                let served = Arc::clone(&served);
-                                let stalled = Arc::clone(&stalled);
-                                let read_delay_ms = Arc::clone(&read_delay_ms);
-                                let stop = Arc::clone(&stop);
-                                if let Ok(h) = thread::Builder::new()
-                                    .name("echo-conn".into())
-                                    .spawn(move || {
-                                        serve_conn(
-                                            stream,
-                                            &served,
-                                            &stalled,
-                                            &read_delay_ms,
-                                            &stop,
-                                        );
-                                    })
-                                {
-                                    conns.push(h);
-                                }
-                            }
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                thread::sleep(Duration::from_millis(1));
-                            }
-                            Err(_) => thread::sleep(Duration::from_millis(1)),
-                        }
-                    }
-                    // The listener drops here: further connects are refused.
-                    for h in conns {
-                        let _ = h.join();
-                    }
-                })?
+        let mut server = EchoLoop {
+            listener,
+            poller: Poller::new()?,
+            conns: Vec::new(),
+            free: Vec::new(),
+            served: Arc::clone(&served),
+            stalled: Arc::clone(&stalled),
+            read_delay_ms: Arc::clone(&read_delay_ms),
+            stop: Arc::clone(&stop),
+            was_stalled: false,
         };
+        server.poller.register(
+            server.listener.as_raw_fd(),
+            LISTENER_TOKEN,
+            Interest::READABLE,
+        )?;
+        let t = thread::Builder::new()
+            .name("echo-loop".into())
+            .spawn(move || server.run())?;
         Ok(EchoBackend {
             addr,
             served,
             stalled,
             read_delay_ms,
             stop,
-            accept_thread: Some(t),
+            loop_thread: Some(t),
         })
     }
 
@@ -103,9 +119,9 @@ impl EchoBackend {
         self.served.load(Ordering::Acquire)
     }
 
-    /// Makes every connection handler stop reading (and answering) —
-    /// the classic "accepts but wedged" failure the health checker must
-    /// catch via forward timeouts.
+    /// Makes every connection stop reading (and answering) — the classic
+    /// "accepts but wedged" failure the health checker must catch via
+    /// forward timeouts.
     pub fn stall(&self) {
         self.stalled.store(true, Ordering::Release);
     }
@@ -115,9 +131,13 @@ impl EchoBackend {
         self.stalled.store(false, Ordering::Release);
     }
 
-    /// Adds a fixed delay before each echo — a slow backend accumulates
-    /// blocked-write time on the proxy side once buffers fill, which is
-    /// exactly the signal the balancer shifts weight away from.
+    /// Throttles each connection's read rate: after any read that makes
+    /// progress (a full frame *or* a partial chunk of a large one), the
+    /// connection reads nothing for `delay`. Once the kernel pipe fills,
+    /// the proxy's writes toward this backend block — exactly the signal
+    /// the balancer shifts weight away from. Pair with a small
+    /// [`EchoOptions::recv_buffer`] and payloads larger than the pipe to
+    /// make the back-pressure show up within a few requests.
     pub fn set_delay(&self, delay: Duration) {
         self.read_delay_ms.store(
             u64::try_from(delay.as_millis()).unwrap_or(u64::MAX),
@@ -129,7 +149,7 @@ impl EchoBackend {
     /// every open connection drops mid-stream.
     pub fn kill(mut self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
     }
@@ -138,44 +158,234 @@ impl EchoBackend {
 impl Drop for EchoBackend {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
     }
 }
 
-fn serve_conn(
-    mut stream: TcpStream,
-    served: &AtomicU64,
-    stalled: &AtomicBool,
-    read_delay_ms: &AtomicU64,
-    stop: &AtomicBool,
-) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_nonblocking(true).is_err() {
-        return;
-    }
-    let mut reader = FrameReader::new();
-    while !stop.load(Ordering::Acquire) {
-        if stalled.load(Ordering::Acquire) {
-            // Wedged: keep the socket open but read and write nothing.
-            thread::sleep(Duration::from_millis(1));
-            continue;
-        }
-        match reader.poll_frame(&mut stream) {
-            Ok(Poll::Frame(frame)) => {
-                let delay = read_delay_ms.load(Ordering::Acquire);
-                if delay > 0 {
-                    thread::sleep(Duration::from_millis(delay));
+struct EchoConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    out: FrameWriter,
+    /// Read throttle: the connection reads nothing before this instant.
+    /// Armed after every read that made progress while a delay is set —
+    /// that read-stop is what turns the delay into back-pressure.
+    read_gate: Option<Instant>,
+    /// An echo is in `out`; `served` increments when it drains.
+    echoing: bool,
+    interest: Interest,
+}
+
+struct EchoLoop {
+    listener: TcpListener,
+    poller: Poller,
+    conns: Vec<Option<EchoConn>>,
+    free: Vec<usize>,
+    served: Arc<AtomicU64>,
+    stalled: Arc<AtomicBool>,
+    read_delay_ms: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    was_stalled: bool,
+}
+
+impl EchoLoop {
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        while !self.stop.load(Ordering::Acquire) {
+            let timeout = self.wait_timeout();
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            let stalled = self.stalled.load(Ordering::Acquire);
+            if stalled != self.was_stalled {
+                self.was_stalled = stalled;
+                for tok in 0..self.conns.len() {
+                    if self.conns[tok].is_some() {
+                        if stalled {
+                            self.set_interest(tok, Interest::NONE);
+                        } else {
+                            self.serve_cycle(tok);
+                        }
+                    }
                 }
-                let deadline = Instant::now() + Duration::from_secs(5);
-                if write_frame_deadline(&mut stream, &frame, deadline, None).is_err() {
+            }
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else if self.conns.get(ev.token).is_some_and(Option::is_some) {
+                    if ev.closed && !ev.readable && !ev.writable {
+                        self.close(ev.token);
+                    } else {
+                        self.serve_cycle(ev.token);
+                    }
+                }
+            }
+            if !stalled {
+                // Resume connections whose read gate has elapsed.
+                let now = Instant::now();
+                for tok in 0..self.conns.len() {
+                    let due = self.conns[tok]
+                        .as_ref()
+                        .is_some_and(|c| c.read_gate.is_some_and(|gate| gate <= now));
+                    if due {
+                        self.serve_cycle(tok);
+                    }
+                }
+            }
+        }
+        // Dropping the loop closes the listener and every connection.
+    }
+
+    fn wait_timeout(&self) -> Duration {
+        let mut timeout = TICK;
+        if !self.was_stalled {
+            let now = Instant::now();
+            for conn in self.conns.iter().flatten() {
+                if let Some(gate) = conn.read_gate {
+                    timeout = timeout.min(gate.saturating_duration_since(now));
+                }
+            }
+        }
+        timeout.max(Duration::from_millis(1))
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let tok = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    let fd = stream.as_raw_fd();
+                    self.conns[tok] = Some(EchoConn {
+                        stream,
+                        reader: FrameReader::new(),
+                        out: FrameWriter::new(),
+                        read_gate: None,
+                        echoing: false,
+                        interest: Interest::READABLE,
+                    });
+                    if self.poller.register(fd, tok, Interest::READABLE).is_err() {
+                        self.conns[tok] = None;
+                        self.free.push(tok);
+                        continue;
+                    }
+                    if self.was_stalled {
+                        self.set_interest(tok, Interest::NONE);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Transient accept failure (e.g. fd pressure): back
+                    // off briefly instead of spinning on the
+                    // still-readable listener.
+                    thread::sleep(Duration::from_millis(5));
                     break;
                 }
-                served.fetch_add(1, Ordering::AcqRel);
             }
-            Ok(Poll::Pending) => thread::sleep(POLL_SLEEP),
-            Ok(Poll::Eof) | Err(_) => break,
+        }
+    }
+
+    /// Advances one connection's serve state machine as far as it can go
+    /// without blocking: flush pending echo, then read/echo frames until
+    /// the socket runs dry, a delay starts, or a write would block.
+    fn serve_cycle(&mut self, tok: usize) {
+        loop {
+            if self.was_stalled {
+                self.set_interest(tok, Interest::NONE);
+                return;
+            }
+            enum Step {
+                Wait(Interest),
+                Served,
+                GotFrame(Vec<u8>),
+                Gate,
+                Close,
+            }
+            let delay = self.read_delay_ms.load(Ordering::Acquire);
+            let step = {
+                let Some(conn) = self.conns[tok].as_mut() else {
+                    return;
+                };
+                if !conn.out.is_empty() {
+                    match conn.out.write_to(&mut conn.stream) {
+                        Ok(WriteStatus::Drained) => {
+                            if conn.echoing {
+                                conn.echoing = false;
+                                Step::Served
+                            } else {
+                                continue;
+                            }
+                        }
+                        Ok(WriteStatus::Blocked) => Step::Wait(Interest::WRITABLE),
+                        Err(_) => Step::Close,
+                    }
+                } else if let Some(gate) = conn.read_gate {
+                    if gate > Instant::now() {
+                        Step::Wait(Interest::NONE)
+                    } else {
+                        conn.read_gate = None;
+                        continue;
+                    }
+                } else {
+                    match conn.reader.poll_frame(&mut conn.stream) {
+                        Ok(Poll::Frame(frame)) => Step::GotFrame(frame),
+                        Ok(Poll::Pending) => {
+                            // Mid-frame progress counts against the read
+                            // throttle too: a throttled backend consumes
+                            // a large frame one buffer-full per delay.
+                            if delay > 0 && conn.reader.mid_frame() {
+                                Step::Gate
+                            } else {
+                                Step::Wait(Interest::READABLE)
+                            }
+                        }
+                        Ok(Poll::Eof) | Err(_) => Step::Close,
+                    }
+                }
+            };
+            match step {
+                Step::Wait(interest) => return self.set_interest(tok, interest),
+                Step::Served => {
+                    self.served.fetch_add(1, Ordering::AcqRel);
+                }
+                Step::GotFrame(frame) => {
+                    let conn = self.conns[tok].as_mut().expect("conn checked above");
+                    conn.out.enqueue(&frame);
+                    conn.echoing = true;
+                    if delay > 0 {
+                        conn.read_gate = Some(Instant::now() + Duration::from_millis(delay));
+                    }
+                }
+                Step::Gate => {
+                    let conn = self.conns[tok].as_mut().expect("conn checked above");
+                    conn.read_gate = Some(Instant::now() + Duration::from_millis(delay));
+                }
+                Step::Close => return self.close(tok),
+            }
+        }
+    }
+
+    fn set_interest(&mut self, tok: usize, want: Interest) {
+        let Some(conn) = self.conns[tok].as_mut() else {
+            return;
+        };
+        if conn.interest != want {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.reregister(fd, tok, want).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    fn close(&mut self, tok: usize) {
+        if let Some(conn) = self.conns[tok].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.free.push(tok);
         }
     }
 }
@@ -190,6 +400,20 @@ pub struct LoadReport {
     pub failed: u64,
 }
 
+/// [`run_load_stats`] output: the pass/fail report plus the latency
+/// distribution of successful round trips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Pass/fail counts, as in [`run_load`].
+    pub report: LoadReport,
+    /// Median round-trip latency (zero when nothing succeeded).
+    pub p50: Duration,
+    /// 99th-percentile round-trip latency (zero when nothing succeeded).
+    pub p99: Duration,
+    /// Worst observed round-trip latency.
+    pub max: Duration,
+}
+
 /// Drives `clients` concurrent connections through the proxy, each
 /// sending `requests` framed payloads and checking the echo. A client
 /// whose connection dies reconnects and **retries the same request** —
@@ -202,14 +426,29 @@ pub fn run_load(
     requests: usize,
     payload_len: usize,
 ) -> LoadReport {
-    let handles: Vec<JoinHandle<LoadReport>> = (0..clients)
+    run_load_stats(proxy, clients, requests, payload_len).report
+}
+
+/// [`run_load`] plus a latency distribution — the soak test's SLO probe.
+/// Latency is measured per request across both attempts, so a retry
+/// after a dropped connection counts its full (slower) round trip.
+#[must_use]
+pub fn run_load_stats(
+    proxy: SocketAddr,
+    clients: usize,
+    requests: usize,
+    payload_len: usize,
+) -> LoadStats {
+    let handles: Vec<JoinHandle<(LoadReport, Vec<u64>)>> = (0..clients)
         .map(|c| {
             thread::spawn(move || {
                 let mut report = LoadReport::default();
+                let mut latencies = Vec::with_capacity(requests);
                 let mut conn: Option<(TcpStream, FrameReader)> = None;
                 for r in 0..requests {
                     let mut payload = vec![0u8; payload_len.max(8)];
                     payload[..8].copy_from_slice(&((c * 1_000_000 + r) as u64).to_le_bytes());
+                    let started = Instant::now();
                     let mut ok = false;
                     for _attempt in 0..2 {
                         if conn.is_none() {
@@ -232,22 +471,39 @@ pub fn run_load(
                     }
                     if ok {
                         report.succeeded += 1;
+                        latencies
+                            .push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
                     } else {
                         report.failed += 1;
                     }
                 }
-                report
+                (report, latencies)
             })
         })
         .collect();
     let mut total = LoadReport::default();
+    let mut latencies: Vec<u64> = Vec::new();
     for h in handles {
-        if let Ok(r) = h.join() {
+        if let Ok((r, lats)) = h.join() {
             total.succeeded += r.succeeded;
             total.failed += r.failed;
+            latencies.extend(lats);
         }
     }
-    total
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        Duration::from_nanos(latencies[idx.min(latencies.len() - 1)])
+    };
+    LoadStats {
+        report: total,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        max: pct(1.0),
+    }
 }
 
 fn connect_client(proxy: SocketAddr) -> Option<(TcpStream, FrameReader)> {

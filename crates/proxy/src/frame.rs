@@ -14,16 +14,18 @@
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use streambal_transport::poll::{wait_readable, wait_writable};
 use streambal_transport::BlockingCounter;
 
 /// Maximum accepted frame length (1 MiB), matching the transport layer.
 pub const MAX_FRAME: usize = 1 << 20;
 
-/// Sleep between non-blocking retries. Short enough that recorded
-/// blocking time tracks the real wait closely.
-pub(crate) const POLL_SLEEP: Duration = Duration::from_micros(200);
+/// First allocation of a reader's reassembly buffer. Kept small — an
+/// idle client costs ~this much memory, and 10k+ of them must fit — and
+/// doubled on demand up to the frame being read.
+const INITIAL_BUF: usize = 4 * 1024;
 
 /// Encodes `payload` as a length-prefixed frame into `scratch` (cleared
 /// first), so per-request forwarding reuses one buffer.
@@ -34,9 +36,9 @@ pub fn encode_into(scratch: &mut Vec<u8>, payload: &[u8]) {
     scratch.extend_from_slice(payload);
 }
 
-/// Writes one frame to a non-blocking stream, waiting (in short sleeps)
-/// while the kernel buffer is full, up to `deadline`. Time spent waiting
-/// is charged to `counter` when one is given.
+/// Writes one frame to a non-blocking stream, parking on writability
+/// readiness while the kernel buffer is full, up to `deadline`. Time
+/// spent unwritable is charged to `counter` when one is given.
 ///
 /// # Errors
 ///
@@ -64,10 +66,13 @@ pub fn write_frame_deadline(
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 blocked_since.get_or_insert_with(Instant::now);
-                if Instant::now() >= deadline {
+                let now = Instant::now();
+                if now >= deadline {
                     break Err(io::Error::new(ErrorKind::TimedOut, "write deadline"));
                 }
-                std::thread::sleep(POLL_SLEEP);
+                if let Err(e) = wait_writable(stream, deadline - now) {
+                    break Err(e);
+                }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => break Err(e),
@@ -78,6 +83,83 @@ pub fn write_frame_deadline(
         c.add_ns(ns);
     }
     result
+}
+
+/// How far a [`FrameWriter`] drain got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// Every queued byte reached the kernel; the queue is empty.
+    Drained,
+    /// The kernel buffer filled (`WouldBlock`) with bytes still queued —
+    /// the caller should ask for writability and try again on the
+    /// readiness transition.
+    Blocked,
+}
+
+/// The write half of an event-loop connection: frames queue as encoded
+/// bytes and drain through non-blocking writes, carrying partial-write
+/// state across `WouldBlock` boundaries. The event loop charges the
+/// span between a [`WriteStatus::Blocked`] and the drain completing to
+/// the backend's [`BlockingCounter`] — that span *is* the paper's
+/// blocked-send time, delimited by readiness transitions.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameWriter {
+    /// An empty write queue.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes queued but not yet accepted by the kernel.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Queues one payload as a length-prefixed frame.
+    pub fn enqueue(&mut self, payload: &[u8]) {
+        // Compact leading drained bytes before growing the tail.
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(self.buf.len() - self.pos);
+            self.pos = 0;
+        }
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Drains queued bytes into `w` until empty or `WouldBlock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a clean `Ok(0)` from the peer is
+    /// `WriteZero` (the connection is dead mid-frame).
+    pub fn write_to(&mut self, w: &mut impl Write) -> io::Result<WriteStatus> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => return Err(io::Error::new(ErrorKind::WriteZero, "peer closed")),
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(WriteStatus::Blocked),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(WriteStatus::Drained)
+    }
 }
 
 /// One non-blocking poll step of [`FrameReader::poll_frame`].
@@ -99,11 +181,13 @@ pub struct FrameReader {
 }
 
 impl FrameReader {
-    /// A reader with an empty reassembly buffer.
+    /// A reader with an empty reassembly buffer. The buffer allocates
+    /// lazily on the first read (`INITIAL_BUF` bytes) so ten thousand
+    /// idle connections cost kilobytes, not megabytes.
     #[must_use]
     pub fn new() -> Self {
         FrameReader {
-            buf: vec![0; 16 * 1024],
+            buf: Vec::new(),
             filled: 0,
         }
     }
@@ -118,19 +202,21 @@ impl FrameReader {
     /// Attempts to produce the next frame without blocking: drains what
     /// the kernel has, returns [`Poll::Frame`] if a full frame is
     /// buffered, [`Poll::Pending`] when more bytes are needed but none
-    /// are available, [`Poll::Eof`] on clean close.
+    /// are available, [`Poll::Eof`] on clean close. Generic over `Read`
+    /// so the event-loop state machines fuzz against in-memory scripts
+    /// as well as real sockets.
     ///
     /// # Errors
     ///
     /// Propagates socket errors; rejects frames over [`MAX_FRAME`] and
     /// mid-frame EOFs as `InvalidData`/`UnexpectedEof`.
-    pub fn poll_frame(&mut self, stream: &mut TcpStream) -> io::Result<Poll> {
+    pub fn poll_frame(&mut self, stream: &mut impl Read) -> io::Result<Poll> {
         loop {
             if let Some(frame) = self.take_buffered()? {
                 return Ok(Poll::Frame(frame));
             }
             if self.filled == self.buf.len() {
-                self.buf.resize(self.buf.len() * 2, 0);
+                self.buf.resize((self.buf.len() * 2).max(INITIAL_BUF), 0);
             }
             match stream.read(&mut self.buf[self.filled..]) {
                 Ok(0) => {
@@ -148,7 +234,7 @@ impl FrameReader {
         }
     }
 
-    /// Blocks (in short sleeps) until the next frame, EOF, or `deadline`.
+    /// Parks on readability until the next frame, EOF, or `deadline`.
     /// Returns `Ok(None)` on clean EOF.
     ///
     /// # Errors
@@ -165,10 +251,11 @@ impl FrameReader {
                 Poll::Frame(f) => return Ok(Some(f)),
                 Poll::Eof => return Ok(None),
                 Poll::Pending => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(io::Error::new(ErrorKind::TimedOut, "read deadline"));
                     }
-                    std::thread::sleep(POLL_SLEEP);
+                    wait_readable(stream, deadline - now)?;
                 }
             }
         }
@@ -200,6 +287,7 @@ impl FrameReader {
 mod tests {
     use super::*;
     use std::net::TcpListener;
+    use std::time::Duration;
 
     fn nonblocking_pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();

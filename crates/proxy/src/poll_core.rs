@@ -1,0 +1,838 @@
+//! The readiness-polled forwarding core: every client and backend
+//! socket multiplexed on a small set of event-loop shards.
+//!
+//! Each shard owns its sockets outright — clients are nonblocking frame
+//! state machines, and each (shard, backend-slot) pair shares one
+//! *pipelined link*: requests from many clients are queued onto the same
+//! backend connection and responses complete them in FIFO order. That
+//! concentration is deliberate: queued bytes pile onto one socket, so a
+//! slow backend turns into measurable *unwritable time* on its link.
+//!
+//! ## Blocking measurement
+//!
+//! The thread-per-client core charges blocked-send time around blocking
+//! writes. Here the same quantity is derived from readiness: a span
+//! starts when a link write returns `WouldBlock` and ends at the next
+//! successful flush (an `EPOLLOUT` transition). Long spans are flushed
+//! into the [`BlockingCounter`](streambal_transport::BlockingCounter)
+//! incrementally so a sampler mid-span still sees the accumulating
+//! time. The controller, sampler, solver and weight installation are
+//! untouched — only the probe that feeds them changed.
+//!
+//! ## Failure semantics
+//!
+//! A dead link redispatches every queued request to another backend
+//! (bounded by the same `max(2×width, 4)` attempt budget as the
+//! threaded core) and charges one failure per queued request toward
+//! ejection. A link that reaches EOF while idle is dropped silently — a
+//! backend closing an idle pooled connection is not evidence of ill
+//! health. Clients whose request exhausts the budget see their
+//! connection close, exactly like the threaded core.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use streambal_transport::poll::{
+    connect_finished, connect_nonblocking, set_send_buffer, Event, Interest, Poller,
+};
+
+use crate::frame::{FrameReader, FrameWriter, Poll, WriteStatus};
+use crate::pool::Backend;
+use crate::server::Shared;
+
+const LISTENER_TOKEN: usize = usize::MAX;
+/// Idle wait bound: reaction time to stop/drain flags and deadlines.
+const IDLE_WAIT: Duration = Duration::from_millis(50);
+/// Wait bound with multiple shards: bounds connection-handoff latency.
+const HANDOFF_WAIT: Duration = Duration::from_millis(15);
+/// A link still unwritable after this long has its accumulated span
+/// flushed into the counter, so samplers see blocking as it happens
+/// rather than one lump when the socket finally drains.
+const BLOCKED_FLUSH: Duration = Duration::from_millis(20);
+/// Back-off after a failed `accept` (fd pressure): the listener stays
+/// level-triggered readable, so without a pause the loop would spin.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Hand-off queue for moving accepted connections between shards.
+pub(crate) type Handoff = Arc<Mutex<Vec<TcpStream>>>;
+
+/// Runs one event-loop shard until the stop flag. Shard 0 owns the
+/// listener and deals accepted connections round-robin across shards
+/// (including itself) via the `handoff` queues.
+pub(crate) fn run_shard(
+    id: usize,
+    listener: Option<TcpListener>,
+    handoff: Vec<Handoff>,
+    shared: Arc<Shared>,
+) {
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("streambal-proxy: shard {id}: poller failed: {e}");
+            return;
+        }
+    };
+    let mut shard = Shard {
+        id,
+        shared,
+        poller,
+        entries: Vec::new(),
+        gens: Vec::new(),
+        free: Vec::new(),
+        links: HashMap::new(),
+        redq: VecDeque::new(),
+        listener,
+        accept_paused_until: None,
+        accepting: true,
+        handoff,
+        next_shard: 0,
+        was_draining: false,
+    };
+    if let Some(l) = &shard.listener {
+        if shard
+            .poller
+            .register(l.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)
+            .is_err()
+        {
+            eprintln!("streambal-proxy: shard {id}: cannot register listener");
+            return;
+        }
+    }
+    let mut events = Vec::new();
+    while !shard.shared.stop.load(Ordering::Acquire) {
+        let timeout = shard.wait_timeout();
+        let _ = shard.poller.wait(&mut events, Some(timeout));
+        for &ev in &events {
+            shard.handle_event(ev);
+        }
+        shard.drain_redispatch();
+        shard.take_handoff();
+        shard.drain_redispatch();
+        shard.scan();
+        shard.drain_redispatch();
+    }
+    // Dropping the shard closes every client and link socket.
+}
+
+/// One request queued on (or bouncing between) backend links.
+struct Inflight {
+    client: usize,
+    gen: u64,
+    request: Vec<u8>,
+    tried: Vec<usize>,
+    attempts: usize,
+    deadline: Instant,
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    out: FrameWriter,
+    /// A request is out on a link; read interest stays off until the
+    /// response completes (one outstanding request per client, like the
+    /// thread-per-client core).
+    awaiting: bool,
+    /// Start of the in-progress request, for the latency histogram.
+    /// `Some` from request receipt until the response fully drains.
+    started: Option<Instant>,
+    interest: Interest,
+}
+
+struct Link {
+    slot: usize,
+    backend: Arc<Backend>,
+    stream: TcpStream,
+    connecting: bool,
+    connect_deadline: Instant,
+    reader: FrameReader,
+    out: FrameWriter,
+    inflight: VecDeque<Inflight>,
+    /// Start of the current unwritable span, when the last write blocked.
+    blocked_since: Option<Instant>,
+    interest: Interest,
+}
+
+enum Entry {
+    Client(Client),
+    Link(Link),
+}
+
+struct Shard {
+    id: usize,
+    shared: Arc<Shared>,
+    poller: Poller,
+    entries: Vec<Option<Entry>>,
+    /// Per-token generation, bumped on free: an `Inflight` holds
+    /// (token, gen) so a response for a dead client is dropped instead
+    /// of completing whoever reused the slot.
+    gens: Vec<u64>,
+    free: Vec<usize>,
+    /// backend slot → link token, this shard's pipelined links.
+    links: HashMap<usize, usize>,
+    /// Requests awaiting (re)dispatch to a link.
+    redq: VecDeque<Inflight>,
+    listener: Option<TcpListener>,
+    accept_paused_until: Option<Instant>,
+    /// Whether the listener's read interest is currently armed.
+    accepting: bool,
+    handoff: Vec<Handoff>,
+    next_shard: usize,
+    was_draining: bool,
+}
+
+impl Shard {
+    fn wait_timeout(&self) -> Duration {
+        if self.was_draining {
+            return Duration::from_millis(5);
+        }
+        if self.handoff.len() > 1 {
+            return HANDOFF_WAIT;
+        }
+        IDLE_WAIT
+    }
+
+    fn insert(&mut self, entry: Entry) -> usize {
+        let tok = self.free.pop().unwrap_or_else(|| {
+            self.entries.push(None);
+            self.gens.push(0);
+            self.entries.len() - 1
+        });
+        self.entries[tok] = Some(entry);
+        tok
+    }
+
+    fn remove(&mut self, tok: usize) -> Option<Entry> {
+        let entry = self.entries.get_mut(tok)?.take()?;
+        self.gens[tok] = self.gens[tok].wrapping_add(1);
+        self.free.push(tok);
+        Some(entry)
+    }
+
+    fn client_alive(&self, tok: usize, gen: u64) -> bool {
+        self.gens.get(tok).copied() == Some(gen)
+            && matches!(self.entries.get(tok), Some(Some(Entry::Client(_))))
+    }
+
+    /// Recomputes and applies an entry's interest set from its state.
+    fn update_interest(&mut self, tok: usize) {
+        let Some(entry) = self.entries.get_mut(tok).and_then(Option::as_mut) else {
+            return;
+        };
+        let (fd, want, cur) = match entry {
+            Entry::Client(c) => {
+                let want = if !c.out.is_empty() {
+                    Interest::WRITABLE
+                } else if c.awaiting {
+                    Interest::NONE
+                } else {
+                    Interest::READABLE
+                };
+                (c.stream.as_raw_fd(), want, &mut c.interest)
+            }
+            Entry::Link(l) => {
+                let want = if l.connecting {
+                    Interest::WRITABLE
+                } else if l.out.is_empty() {
+                    Interest::READABLE
+                } else {
+                    Interest::BOTH
+                };
+                (l.stream.as_raw_fd(), want, &mut l.interest)
+            }
+        };
+        if *cur != want && self.poller.reregister(fd, tok, want).is_ok() {
+            *cur = want;
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        if ev.token == LISTENER_TOKEN {
+            self.accept_ready();
+            return;
+        }
+        let kind = match self.entries.get(ev.token).and_then(Option::as_ref) {
+            Some(Entry::Client(_)) => 0,
+            Some(Entry::Link(l)) => {
+                if l.connecting {
+                    2
+                } else {
+                    1
+                }
+            }
+            None => return,
+        };
+        match kind {
+            0 => {
+                if ev.readable {
+                    self.client_readable(ev.token);
+                }
+                if ev.writable && self.entries.get(ev.token).is_some_and(Option::is_some) {
+                    self.flush_client(ev.token);
+                }
+                if ev.closed
+                    && !ev.readable
+                    && !ev.writable
+                    && self.entries.get(ev.token).is_some_and(Option::is_some)
+                {
+                    self.close_client(ev.token);
+                }
+            }
+            1 => {
+                if ev.readable || ev.closed {
+                    self.link_readable(ev.token);
+                }
+                if ev.writable && self.entries.get(ev.token).is_some_and(Option::is_some) {
+                    self.flush_link(ev.token);
+                }
+            }
+            _ => self.link_connect_ready(ev.token),
+        }
+    }
+
+    // ---- accept path ------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        let draining = self.shared.draining.load(Ordering::Acquire);
+        loop {
+            let accepted = match &self.listener {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    if draining {
+                        drop(stream);
+                        continue;
+                    }
+                    self.shared.metrics.accepted.incr();
+                    let n = self.shared.active_clients.fetch_add(1, Ordering::AcqRel) + 1;
+                    self.shared.metrics.active.set(n as f64);
+                    self.route_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    self.set_accepting(false);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn set_accepting(&mut self, on: bool) {
+        if self.accepting == on {
+            return;
+        }
+        if let Some(l) = &self.listener {
+            let want = if on {
+                Interest::READABLE
+            } else {
+                Interest::NONE
+            };
+            if self
+                .poller
+                .reregister(l.as_raw_fd(), LISTENER_TOKEN, want)
+                .is_ok()
+            {
+                self.accepting = on;
+            }
+        }
+    }
+
+    fn route_conn(&mut self, stream: TcpStream) {
+        let shards = self.handoff.len().max(1);
+        let target = self.next_shard % shards;
+        self.next_shard = self.next_shard.wrapping_add(1);
+        if target == self.id || target >= self.handoff.len() {
+            return self.adopt(stream);
+        }
+        let leftover = match self.handoff[target].lock() {
+            Ok(mut q) => {
+                q.push(stream);
+                None
+            }
+            // A poisoned hand-off queue (a crashed shard) must not lose
+            // the connection; serve it here.
+            Err(_) => Some(stream),
+        };
+        if let Some(stream) = leftover {
+            self.adopt(stream);
+        }
+    }
+
+    fn take_handoff(&mut self) {
+        if self.handoff.len() <= 1 {
+            return;
+        }
+        let incoming: Vec<TcpStream> = match self.handoff.get(self.id).map(|m| m.lock()) {
+            Some(Ok(mut q)) => std::mem::take(&mut *q),
+            _ => return,
+        };
+        for stream in incoming {
+            self.adopt(stream);
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            self.drop_client_conn();
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        let tok = self.insert(Entry::Client(Client {
+            stream,
+            reader: FrameReader::new(),
+            out: FrameWriter::new(),
+            awaiting: false,
+            started: None,
+            interest: Interest::READABLE,
+        }));
+        if self.poller.register(fd, tok, Interest::READABLE).is_err() {
+            self.remove(tok);
+            self.drop_client_conn();
+        }
+    }
+
+    /// Books out a client connection that never became an entry.
+    fn drop_client_conn(&self) {
+        let n = self.shared.active_clients.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.shared.metrics.active.set(n as f64);
+    }
+
+    // ---- client path ------------------------------------------------
+
+    fn client_readable(&mut self, tok: usize) {
+        enum Step {
+            Request(Vec<u8>),
+            Idle,
+            Close,
+        }
+        let step = {
+            let Some(Entry::Client(c)) = self.entries.get_mut(tok).and_then(Option::as_mut) else {
+                return;
+            };
+            if c.awaiting || !c.out.is_empty() {
+                return;
+            }
+            match c.reader.poll_frame(&mut c.stream) {
+                Ok(Poll::Frame(request)) => {
+                    c.awaiting = true;
+                    c.started = Some(Instant::now());
+                    Step::Request(request)
+                }
+                Ok(Poll::Pending) => Step::Idle,
+                Ok(Poll::Eof) | Err(_) => Step::Close,
+            }
+        };
+        match step {
+            Step::Request(request) => {
+                self.shared.metrics.requests.incr();
+                self.update_interest(tok);
+                self.redq.push_back(Inflight {
+                    client: tok,
+                    gen: self.gens[tok],
+                    request,
+                    tried: Vec::new(),
+                    attempts: 0,
+                    deadline: Instant::now() + self.shared.cfg.forward_timeout,
+                });
+            }
+            Step::Idle => self.update_interest(tok),
+            Step::Close => self.close_client(tok),
+        }
+    }
+
+    fn flush_client(&mut self, tok: usize) {
+        enum Step {
+            Done(Option<Instant>),
+            Blocked,
+            Close,
+        }
+        let step = {
+            let Some(Entry::Client(c)) = self.entries.get_mut(tok).and_then(Option::as_mut) else {
+                return;
+            };
+            if c.out.is_empty() {
+                Step::Done(c.started.take())
+            } else {
+                match c.out.write_to(&mut c.stream) {
+                    Ok(WriteStatus::Drained) => Step::Done(c.started.take()),
+                    Ok(WriteStatus::Blocked) => Step::Blocked,
+                    Err(_) => Step::Close,
+                }
+            }
+        };
+        match step {
+            Step::Done(started) => {
+                if let Some(t0) = started {
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.shared.metrics.latency_ns.record(ns);
+                }
+                let mid_frame = match self.entries.get(tok).and_then(Option::as_ref) {
+                    Some(Entry::Client(c)) => c.reader.mid_frame(),
+                    _ => return,
+                };
+                if self.shared.draining.load(Ordering::Acquire) && !mid_frame {
+                    self.close_client(tok);
+                } else {
+                    self.update_interest(tok);
+                    // The next request may already sit in the reader's
+                    // buffer, invisible to the poller — pull it now.
+                    self.client_readable(tok);
+                }
+            }
+            Step::Blocked => self.update_interest(tok),
+            Step::Close => self.close_client(tok),
+        }
+    }
+
+    fn close_client(&mut self, tok: usize) {
+        if let Some(Entry::Client(c)) = self.remove(tok) {
+            let _ = self.poller.deregister(c.stream.as_raw_fd());
+            self.drop_client_conn();
+        }
+    }
+
+    // ---- dispatch + links -------------------------------------------
+
+    fn drain_redispatch(&mut self) {
+        while let Some(inf) = self.redq.pop_front() {
+            self.dispatch(inf);
+        }
+    }
+
+    fn dispatch(&mut self, mut inf: Inflight) {
+        if !self.client_alive(inf.client, inf.gen) {
+            return;
+        }
+        let budget = (2 * self.shared.pool.width()).max(4);
+        loop {
+            if inf.attempts >= budget {
+                return self.fail_request(&inf);
+            }
+            let Some((slot, backend)) = self.shared.pool.pick(&inf.tried) else {
+                return self.fail_request(&inf);
+            };
+            if inf.attempts > 0 {
+                self.shared.metrics.retries.incr();
+            }
+            match self.ensure_link(slot, &backend) {
+                Ok(tok) => {
+                    inf.deadline = Instant::now() + self.shared.cfg.forward_timeout;
+                    let Some(Entry::Link(l)) = self.entries.get_mut(tok).and_then(Option::as_mut)
+                    else {
+                        return self.fail_request(&inf);
+                    };
+                    l.out.enqueue(&inf.request);
+                    let connecting = l.connecting;
+                    l.inflight.push_back(inf);
+                    if connecting {
+                        self.update_interest(tok);
+                    } else {
+                        self.flush_link(tok);
+                    }
+                    return;
+                }
+                Err(_) => {
+                    if backend.record_failure(
+                        self.shared.cfg.eject_after,
+                        self.shared.cfg.probe_interval,
+                        self.shared.pool.now_ms(),
+                    ) {
+                        self.shared.metrics.ejections.incr();
+                    }
+                    inf.tried.push(slot);
+                    inf.attempts += 1;
+                }
+            }
+        }
+    }
+
+    /// Returns this shard's live link to backend `slot`, connecting a
+    /// new one if needed. A stale link (the slot was closed and reopened
+    /// with a different backend) is failed over first.
+    fn ensure_link(&mut self, slot: usize, backend: &Arc<Backend>) -> io::Result<usize> {
+        if let Some(&tok) = self.links.get(&slot) {
+            if let Some(Entry::Link(l)) = self.entries.get(tok).and_then(Option::as_ref) {
+                if Arc::ptr_eq(&l.backend, backend) {
+                    return Ok(tok);
+                }
+            }
+            self.fail_link(tok);
+        }
+        let stream = connect_nonblocking(backend.addr)?;
+        if let Some(bytes) = self.shared.cfg.backend_send_buffer {
+            let _ = set_send_buffer(&stream, bytes);
+        }
+        let _ = stream.set_nodelay(true);
+        let fd = stream.as_raw_fd();
+        let tok = self.insert(Entry::Link(Link {
+            slot,
+            backend: Arc::clone(backend),
+            stream,
+            connecting: true,
+            connect_deadline: Instant::now() + self.shared.cfg.connect_timeout,
+            reader: FrameReader::new(),
+            out: FrameWriter::new(),
+            inflight: VecDeque::new(),
+            blocked_since: None,
+            interest: Interest::WRITABLE,
+        }));
+        if let Err(e) = self.poller.register(fd, tok, Interest::WRITABLE) {
+            self.remove(tok);
+            return Err(e);
+        }
+        self.links.insert(slot, tok);
+        Ok(tok)
+    }
+
+    fn link_connect_ready(&mut self, tok: usize) {
+        let finished = {
+            let Some(Entry::Link(l)) = self.entries.get(tok).and_then(Option::as_ref) else {
+                return;
+            };
+            connect_finished(&l.stream)
+        };
+        match finished {
+            Ok(true) => {
+                if let Some(Entry::Link(l)) = self.entries.get_mut(tok).and_then(Option::as_mut) {
+                    l.connecting = false;
+                }
+                self.flush_link(tok);
+            }
+            Ok(false) => {}
+            Err(_) => self.fail_link(tok),
+        }
+    }
+
+    /// Writes as much of the link's out-queue as the socket accepts,
+    /// charging unwritable spans into the backend's blocking counter.
+    fn flush_link(&mut self, tok: usize) {
+        let result = {
+            let Some(Entry::Link(l)) = self.entries.get_mut(tok).and_then(Option::as_mut) else {
+                return;
+            };
+            let result = if l.out.is_empty() {
+                Ok(WriteStatus::Drained)
+            } else {
+                l.out.write_to(&mut l.stream)
+            };
+            let now = Instant::now();
+            if let Some(t0) = l.blocked_since.take() {
+                let ns = u64::try_from(now.duration_since(t0).as_nanos()).unwrap_or(u64::MAX);
+                l.backend.counter().add_ns(ns);
+            }
+            if matches!(result, Ok(WriteStatus::Blocked)) {
+                l.blocked_since = Some(now);
+            }
+            result
+        };
+        match result {
+            Ok(_) => self.update_interest(tok),
+            Err(_) => self.fail_link(tok),
+        }
+    }
+
+    fn link_readable(&mut self, tok: usize) {
+        loop {
+            enum Step {
+                Response(Vec<u8>),
+                Idle,
+                QuietEof,
+                Fail,
+            }
+            let step = {
+                let Some(Entry::Link(l)) = self.entries.get_mut(tok).and_then(Option::as_mut)
+                else {
+                    return;
+                };
+                match l.reader.poll_frame(&mut l.stream) {
+                    Ok(Poll::Frame(response)) => Step::Response(response),
+                    Ok(Poll::Pending) => Step::Idle,
+                    Ok(Poll::Eof) => {
+                        if l.inflight.is_empty() && l.out.is_empty() {
+                            Step::QuietEof
+                        } else {
+                            Step::Fail
+                        }
+                    }
+                    Err(_) => Step::Fail,
+                }
+            };
+            match step {
+                Step::Response(response) => {
+                    let popped = {
+                        let Some(Entry::Link(l)) =
+                            self.entries.get_mut(tok).and_then(Option::as_mut)
+                        else {
+                            return;
+                        };
+                        l.backend.record_success();
+                        l.inflight.pop_front()
+                    };
+                    match popped {
+                        Some(inf) => self.complete_request(inf, &response),
+                        None => {
+                            // A response with nothing queued: protocol
+                            // confusion — drop the link, quietly.
+                            return self.remove_link_quiet(tok);
+                        }
+                    }
+                }
+                Step::Idle => return,
+                Step::QuietEof => return self.remove_link_quiet(tok),
+                Step::Fail => return self.fail_link(tok),
+            }
+        }
+    }
+
+    fn complete_request(&mut self, inf: Inflight, response: &[u8]) {
+        if !self.client_alive(inf.client, inf.gen) {
+            return;
+        }
+        self.shared
+            .metrics
+            .forwarded_bytes
+            .add((inf.request.len() + response.len()) as u64);
+        if let Some(Entry::Client(c)) = self.entries.get_mut(inf.client).and_then(Option::as_mut) {
+            c.out.enqueue(response);
+            c.awaiting = false;
+        }
+        self.flush_client(inf.client);
+    }
+
+    /// The request ran out of backends: the client connection closes,
+    /// exactly like the threaded core's forward failure.
+    fn fail_request(&mut self, inf: &Inflight) {
+        self.shared.metrics.failed_requests.incr();
+        if self.client_alive(inf.client, inf.gen) {
+            self.close_client(inf.client);
+        }
+    }
+
+    /// Kills a link: every queued request counts one failure toward the
+    /// backend's ejection and goes back to dispatch with this slot on
+    /// its skip-list.
+    fn fail_link(&mut self, tok: usize) {
+        let Some(Entry::Link(l)) = self.remove(tok) else {
+            return;
+        };
+        let _ = self.poller.deregister(l.stream.as_raw_fd());
+        if self.links.get(&l.slot) == Some(&tok) {
+            self.links.remove(&l.slot);
+        }
+        if let Some(t0) = l.blocked_since {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            l.backend.counter().add_ns(ns);
+        }
+        let failures = l.inflight.len().max(1);
+        for _ in 0..failures {
+            if l.backend.record_failure(
+                self.shared.cfg.eject_after,
+                self.shared.cfg.probe_interval,
+                self.shared.pool.now_ms(),
+            ) {
+                self.shared.metrics.ejections.incr();
+            }
+        }
+        for mut inf in l.inflight {
+            inf.tried.push(l.slot);
+            inf.attempts += 1;
+            self.redq.push_back(inf);
+        }
+    }
+
+    /// Drops an idle link without blaming the backend.
+    fn remove_link_quiet(&mut self, tok: usize) {
+        if let Some(Entry::Link(l)) = self.remove(tok) {
+            let _ = self.poller.deregister(l.stream.as_raw_fd());
+            if self.links.get(&l.slot) == Some(&tok) {
+                self.links.remove(&l.slot);
+            }
+        }
+    }
+
+    // ---- periodic scan ----------------------------------------------
+
+    fn scan(&mut self) {
+        let now = Instant::now();
+
+        // Re-arm a paused listener.
+        if self.accept_paused_until.is_some_and(|t| now >= t) {
+            self.accept_paused_until = None;
+            if !self.shared.draining.load(Ordering::Acquire) {
+                self.set_accepting(true);
+            }
+        }
+
+        // Link deadlines, blocked-span flushes, and retired backends.
+        let link_toks: Vec<usize> = self.links.values().copied().collect();
+        for tok in link_toks {
+            enum Action {
+                Nothing,
+                Fail,
+                Retire,
+            }
+            let action = {
+                let Some(Entry::Link(l)) = self.entries.get_mut(tok).and_then(Option::as_mut)
+                else {
+                    continue;
+                };
+                if (l.connecting && now >= l.connect_deadline)
+                    || l.inflight.front().is_some_and(|inf| now >= inf.deadline)
+                {
+                    Action::Fail
+                } else if l.inflight.is_empty()
+                    && l.out.is_empty()
+                    && (l.backend.is_removed() || l.backend.is_ejected())
+                {
+                    // An idle link to a retired backend holds an fd (and
+                    // a half-open socket) for nothing.
+                    Action::Retire
+                } else {
+                    if let Some(t0) = l.blocked_since {
+                        if now.duration_since(t0) >= BLOCKED_FLUSH {
+                            let ns = u64::try_from(now.duration_since(t0).as_nanos())
+                                .unwrap_or(u64::MAX);
+                            l.backend.counter().add_ns(ns);
+                            l.blocked_since = Some(now);
+                        }
+                    }
+                    Action::Nothing
+                }
+            };
+            match action {
+                Action::Nothing => {}
+                Action::Fail => self.fail_link(tok),
+                Action::Retire => self.remove_link_quiet(tok),
+            }
+        }
+
+        // Drain: stop accepting, close idle clients; in-flight clients
+        // close when their response drains (see flush_client).
+        let draining = self.shared.draining.load(Ordering::Acquire);
+        if draining {
+            if !self.was_draining {
+                self.was_draining = true;
+                self.set_accepting(false);
+            }
+            for tok in 0..self.entries.len() {
+                let idle = match self.entries.get(tok).and_then(Option::as_ref) {
+                    Some(Entry::Client(c)) => {
+                        !c.awaiting && c.out.is_empty() && !c.reader.mid_frame()
+                    }
+                    _ => false,
+                };
+                if idle {
+                    self.close_client(tok);
+                }
+            }
+        }
+    }
+}

@@ -184,6 +184,14 @@ impl BackendConn {
         })
     }
 
+    /// Caps this connection's kernel send buffer (best-effort). A small
+    /// explicit buffer disables kernel autotuning, so a slow backend's
+    /// back-pressure surfaces as blocked-write time promptly instead of
+    /// being absorbed by a growing buffer.
+    pub fn limit_send_buffer(&self, bytes: usize) {
+        let _ = streambal_transport::poll::set_send_buffer(&self.stream, bytes);
+    }
+
     /// Sends one request frame and waits for the response frame, all
     /// within `deadline`. Blocked-write time lands on the backend's
     /// counter — this is the writability signal the balancer feeds on.

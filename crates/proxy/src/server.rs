@@ -1,18 +1,23 @@
-//! The proxy server: accept loop, per-client forwarding with
-//! skip-and-retry, the `DataPlane` adapter that hands the round
-//! lifecycle to [`ControlPlane::run_threaded`], the re-admission prober,
-//! and graceful drain.
+//! The proxy server: data-plane spawn (the readiness-polled async core
+//! by default, thread-per-client on request), the `DataPlane` adapter
+//! that hands the round lifecycle to [`ControlPlane::run_threaded`],
+//! the re-admission prober, and graceful drain.
 //!
-//! Thread layout (all joined on shutdown except client threads, which
-//! exit on the stop flag):
+//! Thread layout (all joined on shutdown except threaded-core client
+//! threads, which exit on the stop flag):
 //!
 //! ```text
-//! accept ──spawns──▶ client×N ──pick/forward──▶ BackendPool ◀── controller
-//!                                                   ▲               (run_threaded:
-//!                                                   │                sample, round,
-//!                                               prober                install, reload,
-//!                                        (re-admission probes)        grow/shrink)
+//! async core:    io-shard×K ──pick/pipeline──▶ BackendPool ◀── controller
+//! threaded core: accept ──spawns──▶ client×N ──────▲             (run_threaded:
+//!                                                  │              sample, round,
+//!                                              prober              install, reload,
+//!                                       (re-admission probes)      grow/shrink)
 //! ```
+//!
+//! Both cores answer to the same controller, pool, health ejection,
+//! hot-reload and drain machinery; they differ only in how sockets are
+//! driven and how blocked-send time is measured (see
+//! `poll_core`).
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,10 +30,11 @@ use std::time::{Duration, Instant};
 use streambal_control::{Autoscaler, AutoscalerConfig, ControlPlane, DataPlane};
 use streambal_core::{BalancerConfig, WeightVector};
 use streambal_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use streambal_transport::poll::wait_readable;
 use streambal_transport::BlockingSampler;
 
-use crate::config::{ConfigWatcher, ProxyConfig};
-use crate::frame::{write_frame_deadline, FrameReader, Poll, POLL_SLEEP};
+use crate::config::{ConfigWatcher, CoreMode, ProxyConfig};
+use crate::frame::{write_frame_deadline, FrameReader, Poll};
 use crate::metrics::serve_metrics;
 use crate::pool::{BackendConn, BackendPool};
 
@@ -435,13 +441,41 @@ impl Proxy {
             );
         }
 
-        // Accept loop.
-        let accept_shared = Arc::clone(&shared);
-        threads.push(
-            thread::Builder::new()
-                .name("proxy-accept".into())
-                .spawn(move || run_accept(&listener, &accept_shared))?,
-        );
+        // Data plane.
+        match cfg.core {
+            CoreMode::Async => {
+                let shards = cfg.io_threads.max(1);
+                let handoff: Vec<crate::poll_core::Handoff> = (0..shards)
+                    .map(|_| Arc::new(std::sync::Mutex::new(Vec::new())))
+                    .collect();
+                let mut listener = Some(listener);
+                for id in 0..shards {
+                    let shard_shared = Arc::clone(&shared);
+                    let shard_handoff = handoff.clone();
+                    let shard_listener = if id == 0 { listener.take() } else { None };
+                    threads.push(
+                        thread::Builder::new()
+                            .name(format!("proxy-io-{id}"))
+                            .spawn(move || {
+                                crate::poll_core::run_shard(
+                                    id,
+                                    shard_listener,
+                                    shard_handoff,
+                                    shard_shared,
+                                );
+                            })?,
+                    );
+                }
+            }
+            CoreMode::Threaded => {
+                let accept_shared = Arc::clone(&shared);
+                threads.push(
+                    thread::Builder::new()
+                        .name("proxy-accept".into())
+                        .spawn(move || run_accept(&listener, &accept_shared))?,
+                );
+            }
+        }
 
         Ok(ProxyHandle {
             addr,
@@ -476,9 +510,11 @@ fn run_accept(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(1));
+                // Park on listener readiness instead of sleep-polling;
+                // the timeout bounds reaction to the stop/drain flags.
+                let _ = wait_readable(listener, Duration::from_millis(100));
             }
-            Err(_) => thread::sleep(Duration::from_millis(1)),
+            Err(_) => thread::sleep(Duration::from_millis(5)),
         }
     }
 }
@@ -528,7 +564,9 @@ fn run_client(mut stream: TcpStream, shared: &Arc<Shared>) {
                 {
                     break;
                 }
-                thread::sleep(POLL_SLEEP);
+                // Park on request readiness; the timeout bounds how long
+                // an idle client delays stop/drain.
+                let _ = wait_readable(&stream, Duration::from_millis(50));
             }
             Ok(Poll::Eof) | Err(_) => break,
         }
@@ -576,6 +614,9 @@ fn forward_with_retries(shared: &Arc<Shared>, request: &[u8]) -> io::Result<Vec<
             std::sync::Arc::clone(backend.counter()),
         )
         .and_then(|mut conn| {
+            if let Some(bytes) = shared.cfg.backend_send_buffer {
+                conn.limit_send_buffer(bytes);
+            }
             let deadline = Instant::now() + shared.cfg.forward_timeout;
             conn.round_trip(request, deadline).map(|r| (conn, r))
         });

@@ -1,0 +1,83 @@
+//! Idle-CPU regression: an idle proxy (both cores) plus idle echo
+//! backends and parked client connections must cost (almost) no CPU.
+//!
+//! This pins the readiness-polling work: the echo backend's accept loop
+//! and the proxy's accept/forward paths used to burn short-sleep spin
+//! loops; all of them now park on readiness with bounded timeouts. The
+//! budget is rusage-based (`process_cpu_time`), so wall-clock load from
+//! elsewhere on the machine doesn't flake it — only CPU *this process*
+//! burns counts. Lives in its own integration binary so no sibling test
+//! threads pollute the measurement.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use streambal_proxy::{EchoBackend, Proxy, ProxyConfig, ProxyOptions};
+use streambal_transport::poll::process_cpu_time;
+
+/// CPU budget for ~3 s of idling across one async proxy, one threaded
+/// proxy, six echo loops and 16 parked client connections. An
+/// event-loop stack spends well under 100 ms here (timer wakeups and
+/// 50 ms control rounds); the old spin loops burned whole cores.
+const IDLE_BUDGET: Duration = Duration::from_millis(600);
+const IDLE_SPAN: Duration = Duration::from_secs(3);
+
+fn spawn_proxy(core: &str) -> (Vec<EchoBackend>, streambal_proxy::ProxyHandle) {
+    let backends: Vec<EchoBackend> = (0..3)
+        .map(|_| EchoBackend::spawn("127.0.0.1:0".parse().unwrap()).unwrap())
+        .collect();
+    let mut text =
+        format!("listen 127.0.0.1:0\ncore {core}\nio_threads 1\nsample_interval_ms 50\n");
+    for b in &backends {
+        text.push_str(&format!("backend {}\n", b.addr()));
+    }
+    let config = ProxyConfig::parse(&text).unwrap();
+    let handle = Proxy::spawn(ProxyOptions {
+        config,
+        config_path: None,
+        telemetry: None,
+    })
+    .unwrap();
+    (backends, handle)
+}
+
+#[test]
+fn idle_stack_stays_within_the_cpu_budget() {
+    let (async_backends, async_proxy) = spawn_proxy("async");
+    let (threaded_backends, threaded_proxy) = spawn_proxy("threaded");
+
+    // Park idle clients on both proxies: connections held open, no
+    // requests. These exercise the per-connection wait paths (the async
+    // core's Interest bookkeeping, the threaded core's parked reader).
+    let parked: Vec<TcpStream> = (0..16)
+        .map(|i| {
+            let addr = if i % 2 == 0 {
+                async_proxy.addr()
+            } else {
+                threaded_proxy.addr()
+            };
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            s
+        })
+        .collect();
+    // Let accepts, registrations and the first control rounds settle
+    // before the measurement starts.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let before = process_cpu_time();
+    std::thread::sleep(IDLE_SPAN);
+    let spent = process_cpu_time().saturating_sub(before);
+
+    drop(parked);
+    drop(async_proxy);
+    drop(threaded_proxy);
+    drop(async_backends);
+    drop(threaded_backends);
+
+    assert!(
+        spent <= IDLE_BUDGET,
+        "idle stack burned {spent:?} CPU over {IDLE_SPAN:?} (budget {IDLE_BUDGET:?}) — \
+         a wait path is spinning"
+    );
+}

@@ -1,0 +1,169 @@
+//! Sampling equivalence between the two data-plane cores.
+//!
+//! The threaded core measures blocked-send time inside blocking
+//! `write` calls; the async core derives it from `EPOLLOUT`-wait spans
+//! in the event loop. Both feed the identical
+//! `BlockingCounter`/`BlockingSampler` contract, so the controller must
+//! reach the same verdict from either: run the same
+//! one-throttled-backend scenario through each core and check that the
+//! installed weight trajectory shifts off the throttled slot in both,
+//! ending within a stated tolerance of each other.
+//!
+//! The scenario is engineered so back-pressure is real on both cores:
+//! the throttled backend reads at most one buffer-full per delay (see
+//! `EchoBackend::set_delay`), its kernel receive buffer is capped, the
+//! proxy's send buffer toward backends is capped, and payloads exceed
+//! the resulting pipe — so every forward to the throttled backend
+//! spends measurable wall time unable to write.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use streambal_proxy::{run_load, EchoBackend, EchoOptions, Proxy, ProxyConfig, ProxyOptions};
+
+/// Weight resolution installed by the controller (the simplex sums to
+/// this; see `streambal_control`).
+const RESOLUTION: f64 = 1000.0;
+/// Three backends → fair share is a third of the resolution.
+const FAIR_SHARE: f64 = RESOLUTION / 3.0;
+/// The throttled slot must end at or below this fraction of fair share.
+const SHIFTED_FRACTION: f64 = 0.75;
+/// The two cores' final weights for the throttled slot must agree
+/// within this many weight units. Generous by design: the cores sample
+/// the same physical signal through different clocks, and the solver
+/// amplifies small rate differences near the simplex boundary.
+const CORE_TOLERANCE: f64 = 250.0;
+
+struct Trajectory {
+    /// (elapsed, throttled-slot weight) samples, oldest first.
+    samples: Vec<(Duration, f64)>,
+}
+
+impl Trajectory {
+    fn last(&self) -> f64 {
+        self.samples.last().map_or(FAIR_SHARE, |&(_, w)| w)
+    }
+}
+
+fn config_text(core: &str, backends: &[SocketAddr]) -> String {
+    let mut text = format!(
+        "listen 127.0.0.1:0\ncore {core}\nio_threads 1\n\
+         sample_interval_ms 50\nforward_timeout_ms 3000\n\
+         connect_timeout_ms 500\neject_after 20\nprobe_interval_ms 200\n\
+         backend_send_buffer_bytes 4096\n",
+    );
+    for b in backends {
+        text.push_str(&format!("backend {b}\n"));
+    }
+    text
+}
+
+/// Runs the one-throttled-backend scenario through the given core and
+/// returns the throttled slot's installed-weight trajectory.
+fn run_scenario(core: &str) -> Trajectory {
+    let backends: Vec<EchoBackend> = (0..3)
+        .map(|_| {
+            EchoBackend::spawn_with(
+                "127.0.0.1:0".parse().unwrap(),
+                EchoOptions {
+                    recv_buffer: Some(4096),
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = backends.iter().map(EchoBackend::addr).collect();
+    let config = ProxyConfig::parse(&config_text(core, &addrs)).unwrap();
+    let handle = Proxy::spawn(ProxyOptions {
+        config,
+        config_path: None,
+        telemetry: None,
+    })
+    .unwrap();
+
+    // Throttle backend 1: one read per 20 ms. A 32 KiB frame through a
+    // ~4 KiB receive buffer takes several gated reads, so the proxy's
+    // capped send buffer stays full for most of each forward.
+    backends[1].set_delay(Duration::from_millis(20));
+
+    // Drive load until told to stop; retries inside run_load keep the
+    // fleet alive across any transient hiccup.
+    let stop = Arc::new(AtomicBool::new(false));
+    let loader = {
+        let stop = Arc::clone(&stop);
+        let addr = handle.addr();
+        std::thread::spawn(move || {
+            let mut failed = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                failed += run_load(addr, 4, 10, 32 * 1024).failed;
+            }
+            failed
+        })
+    };
+
+    // Sample the installed weight of the throttled slot while the
+    // controller reacts (sample interval 50 ms → a round every 50 ms).
+    let w1 = handle
+        .telemetry()
+        .registry()
+        .clone()
+        .gauge("proxy.conn1.weight");
+    let started = Instant::now();
+    let budget = Duration::from_secs(6);
+    let mut samples = Vec::new();
+    while started.elapsed() < budget {
+        std::thread::sleep(Duration::from_millis(100));
+        let w = w1.get();
+        samples.push((started.elapsed(), w));
+        // Converged early: weight well below the bar and stable for the
+        // last five samples (half a second).
+        let bar = FAIR_SHARE * SHIFTED_FRACTION;
+        if samples.len() >= 5
+            && samples
+                .iter()
+                .rev()
+                .take(5)
+                .all(|&(_, w)| w > 0.0 && w < bar)
+        {
+            break;
+        }
+    }
+    stop.store(true, Ordering::Release);
+    let failed = loader.join().unwrap();
+    assert_eq!(failed, 0, "[{core}] load failures while sampling weights");
+
+    let drain = handle.shutdown();
+    assert!(drain.drained, "[{core}] shutdown abandoned clients");
+    Trajectory { samples }
+}
+
+#[test]
+fn threaded_and_async_cores_shift_weight_off_the_same_throttled_backend() {
+    let threaded = run_scenario("threaded");
+    let async_ = run_scenario("async");
+
+    let bar = FAIR_SHARE * SHIFTED_FRACTION;
+    for (name, t) in [("threaded", &threaded), ("async", &async_)] {
+        let last = t.last();
+        assert!(
+            last > 0.0 && last < bar,
+            "[{name}] throttled slot held weight {last} (bar {bar}); trajectory: {:?}",
+            t.samples
+        );
+    }
+
+    // Both cores converged below the bar; their final verdicts must
+    // agree within tolerance — same signal, different measurement path.
+    let delta = (threaded.last() - async_.last()).abs();
+    assert!(
+        delta <= CORE_TOLERANCE,
+        "cores disagree on the throttled slot: threaded={} async={} (|Δ|={delta} > {CORE_TOLERANCE})\n\
+         threaded trajectory: {:?}\nasync trajectory: {:?}",
+        threaded.last(),
+        async_.last(),
+        threaded.samples,
+        async_.samples
+    );
+}

@@ -21,14 +21,24 @@
 //!
 //! For full fidelity, [`tcp`] runs the same protocol over *real* loopback
 //! TCP sockets — the kernel's socket buffers provide the back-pressure and
-//! the blocking signal, exactly as in the paper's deployment.
+//! the blocking signal, exactly as in the paper's deployment. At high
+//! connection counts the [`poll`] module supplies the readiness substrate
+//! (`epoll`/`poll(2)`, dependency-free): blocked-write time becomes "time
+//! spent with the socket unwritable", measured from readiness transitions
+//! instead of sleep-loops, feeding the same sampler contract.
+//!
+//! `unsafe` is denied crate-wide and allowed in exactly one place: the
+//! [`poll`] module's thin syscall wrappers (readiness polling has no
+//! std-only spelling). Everything else in the workspace stays safe code.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chan;
 pub mod counters;
+pub mod poll;
 pub mod tcp;
 
 pub use chan::{bounded, Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
 pub use counters::{BlockingCounter, BlockingSampler};
+pub use poll::{Event, Interest, PollBackend, Poller};

@@ -25,9 +25,10 @@ use crate::counters::BlockingCounter;
 /// length prefixes.
 const MAX_FRAME: usize = 1 << 20;
 
-/// How long one elective wait sleeps between non-blocking retries. Short
-/// enough that recorded blocking time tracks the real wait closely.
-const RETRY_SLEEP: Duration = Duration::from_micros(200);
+/// Budget for one readiness wait inside an elective blocking send. The
+/// wait is a kernel `poll` on writability — the span is exact, this
+/// bound only keeps the loop responsive to socket errors.
+const WRITABLE_WAIT: Duration = Duration::from_millis(50);
 
 /// The sending half of an instrumented TCP connection.
 ///
@@ -185,7 +186,10 @@ impl TcpSender {
     }
 
     /// Completes a write that the kernel refused, charging the elapsed time
-    /// to the blocking counter.
+    /// to the blocking counter. The wait between retries parks in the
+    /// kernel until the socket's readiness transitions back to writable
+    /// (no sleep-polling), so the charged span is the genuine
+    /// unwritable-socket time.
     fn finish_blocking(&mut self, mut rest: &[u8]) -> io::Result<()> {
         let start = Instant::now();
         let result = loop {
@@ -200,7 +204,9 @@ impl TcpSender {
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(RETRY_SLEEP);
+                    if let Err(e) = crate::poll::wait_writable(&self.stream, WRITABLE_WAIT) {
+                        break Err(e);
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => break Err(e),

@@ -58,14 +58,22 @@ fn fleet_survives_backend_death_and_hot_reload_grows_the_region() {
         assert!(b.served() > 0, "backend {i} never served");
     }
 
-    // Phase 2 — kill backend 1 while a fleet is mid-run. The fleet is
-    // sized so it is still going well after the kill (loopback round
-    // trips are ~1ms; 500 requests/client is hundreds of ms of traffic).
+    // Phase 2 — kill backend 1 while a fleet is mid-run. The kill is
+    // keyed to observed progress, not a sleep: it fires once the victim
+    // has served a slice of *this* load but well before the run can be
+    // over, so the death lands on live traffic however fast the core
+    // drains the fleet.
     let proxy_addr = handle.addr();
-    let loader = std::thread::spawn(move || run_load(proxy_addr, 6, 500, 128));
-    std::thread::sleep(Duration::from_millis(150));
     let victim = backends.remove(1);
     let victim_addr = victim.addr();
+    let victim_base = victim.served();
+    let loader = std::thread::spawn(move || run_load(proxy_addr, 6, 500, 128));
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            victim.served() > victim_base + 50
+        }),
+        "victim never saw load traffic"
+    );
     victim.kill();
     let report = loader.join().unwrap();
     assert_eq!(
